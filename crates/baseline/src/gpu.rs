@@ -1,0 +1,169 @@
+//! Edge-GPU baseline (NVIDIA Jetson Nano class), modelled as a roofline.
+//!
+//! The paper compares Bishop against an edge GPU running the same spiking
+//! transformers. A GPU executes the model as dense floating-point tensor
+//! operations: it cannot exploit the binary nature of the activations, skips
+//! no zero work, and achieves a very low fraction of its peak throughput on
+//! the short-sequence, small-batch, temporally iterated workloads spiking
+//! transformers produce. The model therefore combines
+//!
+//! * a compute bound: dense FLOPs / (peak FLOP/s × effective utilisation),
+//! * a memory bound: bytes moved / DRAM bandwidth,
+//! * a per-timestep kernel-launch overhead,
+//!
+//! and converts latency to energy with the module's board power.
+
+use bishop_model::profile::WorkloadProfile;
+use bishop_model::ModelConfig;
+
+/// Result of running one inference on the edge GPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuRunSummary {
+    /// End-to-end latency in seconds.
+    pub latency_seconds: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Dense FLOPs executed.
+    pub flops: u64,
+    /// Bytes moved through device memory.
+    pub bytes: u64,
+}
+
+impl GpuRunSummary {
+    /// Energy in picojoules (for parity with the accelerator metrics).
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_mj * 1e9
+    }
+}
+
+/// Roofline model of a Jetson-Nano-class edge GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeGpuModel {
+    /// Peak half-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Device memory bandwidth in bytes/s.
+    pub memory_bandwidth: f64,
+    /// Effective fraction of peak sustained on spiking-transformer inference
+    /// (sparse binary operands, T sequential timesteps, batch size 1).
+    pub utilisation: f64,
+    /// Board power in watts while running inference.
+    pub power_watts: f64,
+    /// Bytes per tensor element (fp16).
+    pub bytes_per_element: usize,
+    /// Fixed kernel-launch / framework overhead per timestep per block, in
+    /// seconds.
+    pub launch_overhead_seconds: f64,
+}
+
+impl EdgeGpuModel {
+    /// A Jetson-Nano-class configuration: 472 GFLOP/s fp16 peak, 25.6 GB/s
+    /// LPDDR4, 10 W module power.
+    pub fn jetson_nano() -> Self {
+        Self {
+            peak_flops: 472e9,
+            memory_bandwidth: 25.6e9,
+            utilisation: 0.06,
+            power_watts: 10.0,
+            bytes_per_element: 2,
+            launch_overhead_seconds: 40e-6,
+        }
+    }
+
+    /// Estimates the device-memory traffic of one inference: weights are
+    /// read once per timestep (no cross-timestep reuse of the working set in
+    /// cache for these model sizes) and activations are written/read between
+    /// every layer.
+    fn bytes_moved(&self, config: &ModelConfig) -> u64 {
+        let weights = config.encoder_parameter_count() as u64 * self.bytes_per_element as u64;
+        let activations_per_layer = (config.tokens * config.features) as u64
+            * self.bytes_per_element as u64;
+        let layers = (config.blocks * 5) as u64;
+        let timesteps = config.timesteps as u64;
+        weights * timesteps + activations_per_layer * layers * timesteps * 2
+    }
+
+    /// Runs the roofline model for one inference of `config`.
+    pub fn simulate(&self, config: &ModelConfig) -> GpuRunSummary {
+        let profile = WorkloadProfile::of(config);
+        let flops = profile.total();
+        let bytes = self.bytes_moved(config);
+
+        let compute_seconds = flops as f64 / (self.peak_flops * self.utilisation);
+        let memory_seconds = bytes as f64 / self.memory_bandwidth;
+        let overhead_seconds = self.launch_overhead_seconds
+            * (config.timesteps * config.blocks * 5) as f64;
+        let latency_seconds = compute_seconds.max(memory_seconds) + overhead_seconds;
+        let energy_mj = self.power_watts * latency_seconds * 1e3;
+
+        GpuRunSummary {
+            latency_seconds,
+            energy_mj,
+            flops,
+            bytes,
+        }
+    }
+}
+
+impl Default for EdgeGpuModel {
+    fn default() -> Self {
+        Self::jetson_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_constants_are_sane() {
+        let gpu = EdgeGpuModel::jetson_nano();
+        assert!(gpu.peak_flops > 1e11);
+        assert!(gpu.memory_bandwidth > 1e10);
+        assert!(gpu.utilisation > 0.0 && gpu.utilisation < 0.2);
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let gpu = EdgeGpuModel::jetson_nano();
+        let small = gpu.simulate(&ModelConfig::model4_dvs_gesture());
+        let large = gpu.simulate(&ModelConfig::model1_cifar10());
+        assert!(large.latency_seconds > small.latency_seconds);
+        assert!(large.energy_mj > small.energy_mj);
+    }
+
+    #[test]
+    fn latency_is_in_the_milliseconds_range_for_paper_models() {
+        // The paper reports the edge GPU to be hundreds of times slower than
+        // Bishop (whose inferences take on the order of a millisecond), so
+        // GPU latencies should land in the hundreds-of-milliseconds range.
+        let gpu = EdgeGpuModel::jetson_nano();
+        for config in ModelConfig::paper_models() {
+            let run = gpu.simulate(&config);
+            assert!(
+                run.latency_seconds > 1e-3 && run.latency_seconds < 10.0,
+                "{}: unexpected GPU latency {}s",
+                config.name,
+                run.latency_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn energy_follows_latency_times_power() {
+        let gpu = EdgeGpuModel::jetson_nano();
+        let run = gpu.simulate(&ModelConfig::model3_imagenet100());
+        assert!((run.energy_mj - 10.0 * run.latency_seconds * 1e3).abs() < 1e-9);
+        assert!((run.energy_pj() - run.energy_mj * 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn higher_utilisation_reduces_latency() {
+        let slow = EdgeGpuModel::jetson_nano();
+        let fast = EdgeGpuModel {
+            utilisation: 0.2,
+            ..EdgeGpuModel::jetson_nano()
+        };
+        let config = ModelConfig::model5_google_sc();
+        assert!(fast.simulate(&config).latency_seconds <= slow.simulate(&config).latency_seconds);
+    }
+}

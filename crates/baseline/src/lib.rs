@@ -1,0 +1,26 @@
+//! # bishop-baseline
+//!
+//! Baseline accelerator models used by the paper's evaluation (§6.1):
+//!
+//! * [`PtbSimulator`] — the Parallel Time Batching accelerator (HPCA'22), a
+//!   homogeneous 512-PE systolic array that batches multiple timesteps of a
+//!   neuron into one weight fetch but has no token-time bundling, no
+//!   dense/sparse stratification, no bundle-level skipping, and no dedicated
+//!   spiking-attention support.
+//! * [`EdgeGpuModel`] — an NVIDIA-Jetson-Nano-class edge GPU modelled with a
+//!   roofline (peak FLOPs vs. memory bandwidth) and a low effective
+//!   utilisation for sparse, binary, short-sequence spiking workloads.
+//!
+//! Both baselines consume the same [`bishop_model::ModelWorkload`] the Bishop
+//! simulator consumes, and the PTB model reuses the same memory-hierarchy and
+//! energy tables so comparisons are iso-technology, mirroring the paper's
+//! iso-area/iso-power setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gpu;
+pub mod ptb;
+
+pub use gpu::{EdgeGpuModel, GpuRunSummary};
+pub use ptb::{PtbConfig, PtbSimulator};

@@ -1,0 +1,344 @@
+//! The Parallel Time Batching (PTB) baseline accelerator model.
+//!
+//! PTB (Lee, Zhang, Li — HPCA 2022) accelerates sparse spiking neural
+//! computation on a systolic array by packing the spiking activity of a
+//! neuron across a *time window* and reusing the fetched multi-bit weight for
+//! every timestep in that window. It targets spiking CNN/FC layers:
+//!
+//! * weight reuse exists only along the temporal axis (one fetch per token
+//!   per window), not across tokens — the reuse Bishop's Token-Time Bundles
+//!   add;
+//! * there is no bundle-level workload skipping and no dense/sparse
+//!   stratification — the single homogeneous array processes everything;
+//! * spiking self-attention has no dedicated support: `S = Q·Kᵀ` and
+//!   `Y = S·V` are executed as ordinary (multi-bit) matrix products on the
+//!   same array, with the score matrix spilled to the global buffers.
+//!
+//! The model is configured iso-resource with Bishop: 512 PEs, the same
+//! global buffers, DRAM channel, clock, and 28 nm energy table.
+
+use bishop_bundle::{BundleShape, TtbTags};
+use bishop_core::metrics::{combine_layer, CoreCost, LayerMetrics, RunMetrics};
+use bishop_memsys::{EnergyModel, MemoryHierarchy, MemoryTraffic};
+use bishop_model::{AttentionWorkload, LayerWorkload, ModelWorkload, ProjectionWorkload};
+
+/// Hardware parameters of the PTB baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtbConfig {
+    /// Core clock in Hz (500 MHz, same as Bishop).
+    pub clock_hz: f64,
+    /// Number of PEs in the systolic array (512, same count as Bishop's
+    /// dense core for an iso-area comparison).
+    pub pes: usize,
+    /// Number of timesteps whose spikes share one weight fetch.
+    pub time_window: usize,
+    /// Number of tokens whose spikes are co-resident in the array and share
+    /// one weight fetch (PTB has limited spatial reuse; Bishop's TTBs extend
+    /// this to whole bundle groups).
+    pub token_parallelism: usize,
+    /// Achieved utilisation of the array on spiking workloads.
+    pub utilisation: f64,
+    /// Parallel LIF lanes of the output stage.
+    pub spike_lanes: usize,
+    /// Pipeline fill/drain overhead per layer in cycles.
+    pub pipeline_overhead_cycles: u64,
+}
+
+impl Default for PtbConfig {
+    fn default() -> Self {
+        Self {
+            clock_hz: 500e6,
+            pes: 512,
+            time_window: 16,
+            token_parallelism: 2,
+            utilisation: 0.70,
+            spike_lanes: 512,
+            pipeline_overhead_cycles: 64,
+        }
+    }
+}
+
+impl PtbConfig {
+    /// Effective accumulate throughput in operations per cycle.
+    pub fn peak_ops_per_cycle(&self) -> f64 {
+        self.pes as f64 * self.utilisation
+    }
+}
+
+/// The PTB accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtbSimulator {
+    config: PtbConfig,
+    energy: EnergyModel,
+    hierarchy: MemoryHierarchy,
+}
+
+impl PtbSimulator {
+    /// Creates a simulator with the default configuration, energy table and
+    /// memory hierarchy.
+    pub fn new(config: PtbConfig) -> Self {
+        Self {
+            config,
+            energy: EnergyModel::bishop_28nm(),
+            hierarchy: MemoryHierarchy::bishop_default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PtbConfig {
+        &self.config
+    }
+
+    /// Memory cycles of a traffic record (single GLB port serves the array).
+    fn memory_cycles(&self, traffic: &MemoryTraffic) -> u64 {
+        let dram = self
+            .hierarchy
+            .dram
+            .transfer_cycles(traffic.dram_bytes(), self.config.clock_hz);
+        let glb = self.hierarchy.spike_glb0.access_cycles(traffic.glb_bytes());
+        dram.max(glb)
+    }
+
+    /// Number of `(token, window, feature)` triples of the input that contain
+    /// at least one spike: each costs PTB one weight-row fetch.
+    fn weight_fetch_groups(&self, layer: &ProjectionWorkload) -> u64 {
+        // A "bundle" of token_parallelism tokens × time_window timesteps
+        // reproduces PTB's temporal packing plus its limited spatial reuse,
+        // so its active-bundle count is exactly the number of weight fetches
+        // PTB performs.
+        let window = BundleShape::new(self.config.time_window, self.config.token_parallelism);
+        let tags = TtbTags::from_tensor(&layer.input, window);
+        tags.active_bundles() as u64
+    }
+
+    /// Cost of one MLP/projection layer on PTB.
+    fn projection_cost(&self, layer: &ProjectionWorkload) -> (u64, CoreCost) {
+        let spikes = layer.input.count_ones() as u64;
+        let accumulate_ops = spikes * layer.output_features as u64;
+        let compute_cycles =
+            (accumulate_ops as f64 / self.config.peak_ops_per_cycle()).ceil() as u64;
+
+        let row_bytes = (layer.output_features * layer.weight_bits).div_ceil(8) as u64;
+        let weight_glb_reads = self.weight_fetch_groups(layer) * row_bytes;
+        let weight_dram_reads = (layer.input_features() as u64) * row_bytes;
+
+        let shape = layer.input.shape();
+        let neuron_updates = (shape.timesteps * shape.tokens * layer.output_features) as u64;
+
+        let compute_energy_pj = accumulate_ops as f64
+            * (self.energy.accumulate_pj + self.energy.mux_pj)
+            + neuron_updates as f64 * self.energy.lif_update_pj
+            + compute_cycles as f64 * self.config.pes as f64 * self.energy.pe_idle_pj_per_cycle;
+
+        let traffic = MemoryTraffic {
+            dram_read_bytes: weight_dram_reads + layer.input.packed_bytes() as u64,
+            dram_write_bytes: neuron_updates.div_ceil(8),
+            glb_read_bytes: weight_glb_reads + spikes * 2,
+            glb_write_bytes: neuron_updates.div_ceil(8),
+            local_read_bytes: neuron_updates * 2,
+            register_bytes: accumulate_ops.div_ceil(8),
+            ..MemoryTraffic::new()
+        };
+
+        let lif_cycles = neuron_updates.div_ceil(self.config.spike_lanes as u64);
+        (
+            compute_cycles + lif_cycles,
+            CoreCost {
+                compute_cycles: compute_cycles + lif_cycles,
+                ops: accumulate_ops,
+                compute_energy_pj,
+                traffic,
+            },
+        )
+    }
+
+    /// Cost of one spiking self-attention layer on PTB (no dedicated core:
+    /// executed as two dense multi-bit matrix products).
+    fn attention_cost(&self, layer: &AttentionWorkload) -> (u64, CoreCost) {
+        let score_ops = layer.score_ops();
+        let output_ops = layer.output_ops();
+        let mac_ops = score_ops + output_ops;
+        let compute_cycles = (mac_ops as f64 / self.config.peak_ops_per_cycle()).ceil() as u64;
+
+        let shape = layer.shape();
+        let bitmap_bytes = (shape.len() as u64).div_ceil(8);
+        let score_bytes_per_entry = (layer.score_bits as u64).div_ceil(8).max(1);
+        // The score matrix does not fit the PE registers without the
+        // S-stationary dataflow, so it is written to and re-read from the
+        // GLB once per timestep.
+        let score_matrix_bytes = (shape.timesteps * shape.tokens * shape.tokens) as u64
+            * score_bytes_per_entry;
+
+        let neuron_updates = shape.len() as u64;
+        let compute_energy_pj = mac_ops as f64 * self.energy.mac8_pj
+            + neuron_updates as f64 * self.energy.lif_update_pj
+            + compute_cycles as f64 * self.config.pes as f64 * self.energy.pe_idle_pj_per_cycle;
+
+        let traffic = MemoryTraffic {
+            dram_read_bytes: 3 * bitmap_bytes,
+            dram_write_bytes: bitmap_bytes,
+            glb_read_bytes: 3 * bitmap_bytes * layer.heads.max(1) as u64 / 2
+                + score_matrix_bytes,
+            glb_write_bytes: score_matrix_bytes + bitmap_bytes,
+            local_read_bytes: 3 * bitmap_bytes,
+            local_write_bytes: score_matrix_bytes,
+            register_bytes: mac_ops.div_ceil(8),
+            ..MemoryTraffic::new()
+        };
+
+        let lif_cycles = neuron_updates.div_ceil(self.config.spike_lanes as u64);
+        (
+            compute_cycles + lif_cycles,
+            CoreCost {
+                compute_cycles: compute_cycles + lif_cycles,
+                ops: mac_ops,
+                compute_energy_pj,
+                traffic,
+            },
+        )
+    }
+
+    /// Simulates one inference of `workload` on PTB.
+    pub fn simulate(&self, workload: &ModelWorkload) -> RunMetrics {
+        let mut run = RunMetrics::new("PTB", self.config.clock_hz);
+        for layer in workload.layers() {
+            let metrics = match layer {
+                LayerWorkload::Projection(p) => {
+                    let (compute_cycles, cost) = self.projection_cost(p);
+                    self.layer_metrics(
+                        &p.label,
+                        p.block,
+                        p.kind.group_label(),
+                        compute_cycles,
+                        &cost,
+                    )
+                }
+                LayerWorkload::Attention(a) => {
+                    let (compute_cycles, cost) = self.attention_cost(a);
+                    self.layer_metrics(&a.label, a.block, "ATN", compute_cycles, &cost)
+                }
+            };
+            run.push(metrics);
+        }
+        run
+    }
+
+    fn layer_metrics(
+        &self,
+        label: &str,
+        block: usize,
+        group: &'static str,
+        compute_cycles: u64,
+        cost: &CoreCost,
+    ) -> LayerMetrics {
+        let memory_cycles = self.memory_cycles(&cost.traffic);
+        combine_layer(
+            label,
+            block,
+            group,
+            compute_cycles,
+            memory_cycles,
+            self.config.pipeline_overhead_cycles,
+            cost,
+            &self.energy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_core::{BishopConfig, BishopSimulator, SimOptions};
+    use bishop_model::workload::SyntheticTraceSpec;
+    use bishop_model::{DatasetKind, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spread_workload(seed: u64) -> ModelWorkload {
+        let config = ModelConfig::new("ptb-test", DatasetKind::ImageNet100, 2, 4, 64, 128, 4);
+        let spec = SyntheticTraceSpec {
+            input_density: 0.2,
+            q_density: 0.12,
+            k_density: 0.08,
+            v_density: 0.18,
+            hidden_density: 0.15,
+            feature_spread: 1.5,
+            silent_fraction: 0.05,
+            cluster: (2, 4, 2.5),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        ModelWorkload::synthetic(&config, &spec, &mut rng)
+    }
+
+    #[test]
+    fn ptb_produces_per_layer_metrics() {
+        let w = spread_workload(1);
+        let run = PtbSimulator::new(PtbConfig::default()).simulate(&w);
+        assert_eq!(run.layers.len(), w.layers().len());
+        assert!(run.total_latency_seconds() > 0.0);
+        assert_eq!(run.accelerator, "PTB");
+    }
+
+    #[test]
+    fn bishop_is_faster_and_more_efficient_than_ptb() {
+        // The headline hardware-only comparison (§6.2/§6.4): Bishop beats PTB
+        // on both latency and energy even without BSA/ECP.
+        let w = spread_workload(2);
+        let ptb = PtbSimulator::new(PtbConfig::default()).simulate(&w);
+        let bishop =
+            BishopSimulator::new(BishopConfig::default()).simulate(&w, &SimOptions::baseline());
+        let speedup = bishop.speedup_vs(&ptb);
+        let energy = bishop.energy_improvement_vs(&ptb);
+        assert!(speedup > 1.5, "expected a clear speedup, got {speedup:.2}x");
+        assert!(speedup < 30.0, "speedup {speedup:.2}x is implausibly large");
+        assert!(energy > 1.2, "expected an energy win, got {energy:.2}x");
+        assert!(energy < 30.0, "energy win {energy:.2}x is implausibly large");
+    }
+
+    #[test]
+    fn ptb_attention_uses_multipliers_and_spills_scores() {
+        let w = spread_workload(3);
+        let ptb = PtbSimulator::new(PtbConfig::default());
+        let attention = w.attention_layers().next().unwrap();
+        let (_, cost) = ptb.attention_cost(attention);
+        assert_eq!(cost.ops, attention.dense_ops());
+        // Score matrix traffic appears in the GLB write stream.
+        let shape = attention.shape();
+        assert!(cost.traffic.glb_write_bytes >= (shape.timesteps * shape.tokens * shape.tokens) as u64);
+    }
+
+    #[test]
+    fn ptb_weight_fetches_scale_with_tokens_not_bundles() {
+        let w = spread_workload(4);
+        let ptb = PtbSimulator::new(PtbConfig::default());
+        let p1 = w.projection_layers().next().unwrap();
+        let groups = ptb.weight_fetch_groups(p1);
+        // At 20% density almost every (token, window) pair of an active
+        // feature holds a spike, so the fetch count approaches
+        // tokens × features (far above Bishop's bundle-level fetch count).
+        assert!(groups > (p1.input.shape().tokens as u64) * 4);
+    }
+
+    #[test]
+    fn longer_time_window_reduces_weight_traffic() {
+        let w = spread_workload(5);
+        let p1 = w.projection_layers().next().unwrap();
+        let short = PtbSimulator::new(PtbConfig {
+            time_window: 1,
+            ..PtbConfig::default()
+        });
+        let long = PtbSimulator::new(PtbConfig {
+            time_window: 16,
+            ..PtbConfig::default()
+        });
+        let (_, short_cost) = short.projection_cost(p1);
+        let (_, long_cost) = long.projection_cost(p1);
+        assert!(long_cost.traffic.glb_read_bytes < short_cost.traffic.glb_read_bytes);
+    }
+
+    #[test]
+    fn peak_ops_reflect_utilisation() {
+        let config = PtbConfig::default();
+        assert!((config.peak_ops_per_cycle() - 512.0 * 0.70).abs() < 1e-9);
+    }
+}

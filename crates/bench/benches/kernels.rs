@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the kernels underneath the simulators: bundle
+//! tagging, stratification, ECP pruning, and the per-core cost models.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use bishop_bundle::{ecp, BundleShape, EcpConfig, Stratifier, TtbTags};
+use bishop_core::{
+    AttentionCoreModel, BishopConfig, BishopSimulator, SimOptions,
+};
+use bishop_memsys::EnergyModel;
+use bishop_model::workload::SyntheticTraceSpec;
+use bishop_model::{DatasetKind, ModelConfig, ModelWorkload};
+use bishop_spiketensor::{SpikeTraceGenerator, TensorShape, TraceProfile};
+
+fn trace(density: f64, shape: TensorShape, seed: u64) -> bishop_spiketensor::SpikeTensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    SpikeTraceGenerator::new(TraceProfile::new(density).with_feature_spread(1.5))
+        .generate(shape, &mut rng)
+}
+
+fn bench_bundle_tagging(c: &mut Criterion) {
+    let tensor = trace(0.15, TensorShape::new(10, 64, 384), 1);
+    let mut group = c.benchmark_group("kernel_bundle_tagging");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("tag_model1_tensor", |b| {
+        b.iter(|| TtbTags::from_tensor(black_box(&tensor), BundleShape::default()))
+    });
+    group.finish();
+}
+
+fn bench_stratifier(c: &mut Criterion) {
+    let tensor = trace(0.2, TensorShape::new(4, 196, 128), 2);
+    let mut group = c.benchmark_group("kernel_stratifier");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("stratify_model3_layer", |b| {
+        b.iter(|| Stratifier::new(4).stratify(black_box(&tensor), BundleShape::default()))
+    });
+    group.finish();
+}
+
+fn bench_ecp(c: &mut Criterion) {
+    let shape = TensorShape::new(4, 196, 128);
+    let q = trace(0.12, shape, 3);
+    let k = trace(0.08, shape, 4);
+    let v = trace(0.18, shape, 5);
+    let mut group = c.benchmark_group("kernel_ecp");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("prune_model3_attention", |b| {
+        b.iter(|| {
+            ecp::apply(
+                black_box(&q),
+                black_box(&k),
+                black_box(&v),
+                EcpConfig::uniform(6, BundleShape::default()),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_attention_core_model(c: &mut Criterion) {
+    let config = ModelConfig::new("bench", DatasetKind::ImageNet100, 1, 4, 96, 128, 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let workload =
+        ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.12), &mut rng);
+    let layer = workload.attention_layers().next().unwrap().clone();
+    let core = AttentionCoreModel::new(&BishopConfig::default());
+    let energy = EnergyModel::bishop_28nm();
+    let mut group = c.benchmark_group("kernel_attention_core_model");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("cost_of_one_layer", |b| {
+        b.iter(|| core.process(black_box(&layer), None, &energy))
+    });
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let config = ModelConfig::new("bench-sim", DatasetKind::Cifar10, 2, 4, 64, 128, 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let workload =
+        ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.12), &mut rng);
+    let simulator = BishopSimulator::new(BishopConfig::default());
+    let mut group = c.benchmark_group("kernel_full_simulation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("bishop_two_block_model", |b| {
+        b.iter(|| simulator.simulate(black_box(&workload), &SimOptions::baseline()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_bundle_tagging,
+    bench_stratifier,
+    bench_ecp,
+    bench_attention_core_model,
+    bench_full_simulation,
+);
+criterion_main!(kernels);

@@ -1,0 +1,147 @@
+//! One Criterion benchmark group per table/figure of the Bishop paper's
+//! evaluation section. Each group regenerates the artefact at the quick
+//! experiment scale (see `bishop-experiments`) so the whole suite completes
+//! in minutes while exercising exactly the code paths the full-scale
+//! binaries use.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bishop_experiments::{self as experiments, ExperimentScale};
+
+fn configured<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = configured(c, "table1_accuracy");
+    group.bench_function("literature_plus_measured", |b| {
+        b.iter(experiments::table1_accuracy::run)
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = configured(c, "table2_models");
+    group.bench_function("model_configurations", |b| {
+        b.iter(experiments::table2_models::run)
+    });
+    group.finish();
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let mut group = configured(c, "fig03_flops_breakdown");
+    group.bench_function("profile_sweep", |b| b.iter(experiments::fig03_flops::run));
+    group.finish();
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let mut group = configured(c, "fig05_bundle_distribution");
+    group.bench_function("q_k_distributions", |b| {
+        b.iter(|| experiments::fig05_bundle_distribution::run(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let mut group = configured(c, "fig06_stratified_density");
+    group.bench_function("stratified_densities", |b| {
+        b.iter(|| experiments::fig06_stratified_density::run(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = configured(c, "fig11_layerwise");
+    group.bench_function("bishop_vs_ptb_per_layer", |b| {
+        b.iter(|| experiments::fig11_layerwise::run(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig12_13(c: &mut Criterion) {
+    let mut group = configured(c, "fig12_13_end_to_end");
+    group.bench_function("all_variants_all_models", |b| {
+        b.iter(|| experiments::fig12_13_end_to_end::run(ExperimentScale::Quick))
+    });
+    group.finish();
+
+    // Print the measured headline comparison once so `cargo bench` output can
+    // be pasted into EXPERIMENTS.md.
+    let results = experiments::fig12_13_end_to_end::run(ExperimentScale::Quick);
+    for r in &results {
+        println!(
+            "[fig12/13] {}: Bishop {:.2}x, +BSA {:.2}x, +BSA+ECP {:.2}x vs PTB (energy {:.2}x)",
+            r.config.name,
+            r.bishop_speedup_vs_ptb(),
+            r.bsa_speedup_vs_ptb(),
+            r.bsa_ecp_speedup_vs_ptb(),
+            r.bsa_ecp_energy_vs_ptb()
+        );
+    }
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = configured(c, "fig14_ecp_sweep");
+    group.bench_function("hardware_threshold_sweep", |b| {
+        b.iter(|| experiments::fig14_ecp_sweep::run_hardware(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut group = configured(c, "fig15_stratification");
+    group.bench_function("strategy_sweep", |b| {
+        b.iter(|| experiments::fig15_stratification::run(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let mut group = configured(c, "fig16_bundle_volume");
+    group.bench_function("bundle_volume_sweep", |b| {
+        b.iter(|| experiments::fig16_bundle_volume::run(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut group = configured(c, "fig17_breakdown");
+    group.bench_function("area_power_breakdown", |b| {
+        b.iter(experiments::fig17_breakdown::run)
+    });
+    group.finish();
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let mut group = configured(c, "headline_summary");
+    group.bench_function("section_6_2_to_6_4", |b| {
+        b.iter(|| experiments::headline::run(ExperimentScale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper_figures,
+    bench_table1,
+    bench_table2,
+    bench_fig03,
+    bench_fig05,
+    bench_fig06,
+    bench_fig11,
+    bench_fig12_13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_headline,
+);
+criterion_main!(paper_figures);

@@ -1,0 +1,40 @@
+//! # bishop-bench
+//!
+//! Criterion benchmark harness for the Bishop reproduction. There are two
+//! bench targets:
+//!
+//! * `paper_figures` — one benchmark group per table/figure of the paper's
+//!   evaluation; each group times the regeneration of that artefact (at the
+//!   quick experiment scale so a full `cargo bench --workspace` stays under a
+//!   few minutes) and prints the headline measured numbers once.
+//! * `kernels` — micro-benchmarks of the hot kernels the simulators and
+//!   algorithms are built on (bundle tagging, stratification, ECP, the
+//!   dense/sparse/attention core cost models).
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bishop_bundle::TrainingRegime;
+use bishop_model::{ModelConfig, ModelWorkload};
+
+/// Builds the quick-scale calibrated workload used by the benchmark groups so
+/// that workload generation cost is paid outside the timed region.
+pub fn quick_workload(config: &ModelConfig, regime: TrainingRegime) -> ModelWorkload {
+    let scaled = bishop_experiments::ExperimentScale::Quick.scale_config(config);
+    bishop_experiments::build_workload(&scaled, regime, 1234)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_builds_for_every_paper_model() {
+        for config in ModelConfig::paper_models() {
+            let workload = quick_workload(&config, TrainingRegime::Baseline);
+            assert!(!workload.layers().is_empty());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Bundle-Sparsity-Aware (BSA) training support (§4.1 of the paper).
+//!
+//! BSA adds a bundle-level sparsity loss `L_bsp` — the sum of the `L0`
+//! activity tags of every TTB across all layers — to the training objective,
+//! weighted by a hyper-parameter `λ`. Training against this loss pushes the
+//! model to (a) fire less overall and (b) concentrate the remaining firing
+//! into fewer bundles and fewer feature columns, which is exactly the
+//! structure the Bishop dataflow can skip.
+//!
+//! Two things live here:
+//!
+//! * [`bundle_sparsity_loss`] — the `L_bsp` term itself, used by the real
+//!   (small-scale) training loop in `bishop-train`;
+//! * [`BsaEffect`] — a trace transformation that reproduces the *statistical
+//!   effect* of BSA training on a given activation trace (used to generate
+//!   "with BSA" workloads for the accelerator evaluation without retraining
+//!   the large models the paper uses — see the substitution table in
+//!   `DESIGN.md`).
+
+use bishop_spiketensor::SpikeTensor;
+use rand::Rng;
+
+use crate::ttb::{BundleShape, TtbTags};
+
+/// Computes the bundle-level sparsity loss `L_bsp` (Eq. 10): the sum over all
+/// provided activation tensors of the `L0` activity tags of their TTBs.
+///
+/// Because each tag is the spike count inside the bundle, this equals the
+/// total spike count — but expressed per bundle it is the quantity whose
+/// gradient (through the surrogate-gradient relaxation in `bishop-train`)
+/// concentrates firing into fewer bundles.
+pub fn bundle_sparsity_loss(tensors: &[&SpikeTensor], bundle: BundleShape) -> u64 {
+    tensors
+        .iter()
+        .map(|t| TtbTags::from_tensor(t, bundle).tag_sum())
+        .sum()
+}
+
+/// Statistical model of the effect of BSA training on an activation trace.
+///
+/// The transformation never *adds* spikes; it removes them in two stages:
+///
+/// 1. **Bundle concentration** — bundles are ranked by activity and the least
+///    active bundles are cleared until only `ttb_keep_fraction` of the
+///    originally active bundles remain. This mirrors Fig. 5/6: BSA removes
+///    most weakly-active bundles and leaves a small number of strongly
+///    active ones.
+/// 2. **Spike thinning** — spikes in the surviving bundles are dropped
+///    uniformly at random until roughly `spike_keep_fraction` of the original
+///    spikes remain (never dropping a surviving bundle to zero, so stage 1's
+///    bundle count is preserved).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BsaEffect {
+    /// Fraction of originally active bundles that stay active.
+    pub ttb_keep_fraction: f64,
+    /// Fraction of original spikes that remain after both stages.
+    pub spike_keep_fraction: f64,
+}
+
+impl BsaEffect {
+    /// Creates a BSA effect model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is outside `[0, 1]` or the spike fraction
+    /// exceeds the bundle fraction (you cannot keep more spikes than the
+    /// bundles that contain them allow).
+    pub fn new(ttb_keep_fraction: f64, spike_keep_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ttb_keep_fraction) && (0.0..=1.0).contains(&spike_keep_fraction),
+            "keep fractions must be in [0, 1]"
+        );
+        Self {
+            ttb_keep_fraction,
+            spike_keep_fraction,
+        }
+    }
+
+    /// Applies the effect to a trace, returning the sparsified trace.
+    pub fn apply<R: Rng>(&self, tensor: &SpikeTensor, bundle: BundleShape, rng: &mut R) -> SpikeTensor {
+        let tags = TtbTags::from_tensor(tensor, bundle);
+        let grid = tags.grid();
+        let features = tensor.shape().features;
+
+        // Stage 1: rank active bundles by activity and keep the strongest.
+        let mut active: Vec<(u32, usize, usize, usize)> = Vec::new();
+        for (bt, bn) in grid.iter_bundles() {
+            for d in 0..features {
+                let tag = tags.tag(bt, bn, d);
+                if tag > 0 {
+                    active.push((tag, bt, bn, d));
+                }
+            }
+        }
+        active.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        let keep_count = (self.ttb_keep_fraction * active.len() as f64).round() as usize;
+        let kept = &active[..keep_count.min(active.len())];
+
+        let mut keep_mask = vec![false; grid.bundles_per_feature() * features];
+        for &(_, bt, bn, d) in kept {
+            keep_mask[(bt * grid.token_bundles() + bn) * features + d] = true;
+        }
+
+        let concentrated = SpikeTensor::from_fn(tensor.shape(), |t, n, d| {
+            if !tensor.get(t, n, d) {
+                return false;
+            }
+            let (bt, bn) = grid.bundle_of(t, n);
+            keep_mask[(bt * grid.token_bundles() + bn) * features + d]
+        });
+
+        // Stage 2: thin spikes inside surviving bundles down to the target
+        // overall spike count, keeping at least one spike per surviving
+        // bundle.
+        let target_spikes =
+            (self.spike_keep_fraction * tensor.count_ones() as f64).round() as usize;
+        let current = concentrated.count_ones();
+        if current <= target_spikes {
+            return concentrated;
+        }
+        let surviving_bundles = kept.len();
+        let removable = current.saturating_sub(surviving_bundles);
+        let to_remove = (current - target_spikes).min(removable);
+        if to_remove == 0 {
+            return concentrated;
+        }
+        let drop_probability = to_remove as f64 / removable.max(1) as f64;
+
+        // Track per-bundle remaining counts so we never empty a bundle.
+        let mut remaining = vec![0u32; grid.bundles_per_feature() * features];
+        for (t, n, d) in concentrated.iter_active() {
+            let (bt, bn) = grid.bundle_of(t, n);
+            remaining[(bt * grid.token_bundles() + bn) * features + d] += 1;
+        }
+        let mut result = concentrated.clone();
+        for (t, n, d) in concentrated.iter_active() {
+            let (bt, bn) = grid.bundle_of(t, n);
+            let idx = (bt * grid.token_bundles() + bn) * features + d;
+            if remaining[idx] > 1 && rng.gen_bool(drop_probability.clamp(0.0, 1.0)) {
+                result.set(t, n, d, false);
+                remaining[idx] -= 1;
+            }
+        }
+        result
+    }
+}
+
+impl Default for BsaEffect {
+    /// The effect measured on Model 1 in the paper (Fig. 6): TTB density
+    /// 11.16 % → 5.22 % (≈ 0.47×) and spike density 6.34 % → 2.75 %
+    /// (≈ 0.43×).
+    fn default() -> Self {
+        Self {
+            ttb_keep_fraction: 0.47,
+            spike_keep_fraction: 0.43,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::BundleSparsityStats;
+    use bishop_spiketensor::{SpikeTraceGenerator, TensorShape, TraceProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace(density: f64, seed: u64) -> SpikeTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SpikeTraceGenerator::new(TraceProfile::new(density).with_feature_spread(1.5))
+            .generate(TensorShape::new(8, 32, 48), &mut rng)
+    }
+
+    #[test]
+    fn loss_equals_total_spike_count() {
+        let a = trace(0.1, 1);
+        let b = trace(0.2, 2);
+        let loss = bundle_sparsity_loss(&[&a, &b], BundleShape::default());
+        assert_eq!(loss, (a.count_ones() + b.count_ones()) as u64);
+    }
+
+    #[test]
+    fn loss_of_empty_trace_is_zero() {
+        let empty = SpikeTensor::zeros(TensorShape::new(2, 2, 2));
+        assert_eq!(bundle_sparsity_loss(&[&empty], BundleShape::default()), 0);
+    }
+
+    #[test]
+    fn bsa_never_adds_spikes() {
+        let original = trace(0.15, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let shaped = BsaEffect::default().apply(&original, BundleShape::default(), &mut rng);
+        for (t, n, d) in shaped.iter_active() {
+            assert!(original.get(t, n, d), "BSA created a spike at ({t},{n},{d})");
+        }
+    }
+
+    #[test]
+    fn bsa_hits_the_requested_bundle_and_spike_reduction() {
+        let original = trace(0.12, 5);
+        let bundle = BundleShape::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let effect = BsaEffect::new(0.5, 0.45);
+        let shaped = effect.apply(&original, bundle, &mut rng);
+
+        let before = BundleSparsityStats::measure(&original, bundle);
+        let after = BundleSparsityStats::measure(&shaped, bundle);
+        let bundle_ratio = after.active_bundles as f64 / before.active_bundles as f64;
+        let spike_ratio = shaped.count_ones() as f64 / original.count_ones() as f64;
+        assert!((bundle_ratio - 0.5).abs() < 0.05, "bundle ratio {bundle_ratio}");
+        assert!((spike_ratio - 0.45).abs() < 0.12, "spike ratio {spike_ratio}");
+    }
+
+    #[test]
+    fn bsa_increases_silent_features() {
+        let original = trace(0.05, 7);
+        let bundle = BundleShape::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let shaped = BsaEffect::new(0.3, 0.3).apply(&original, bundle, &mut rng);
+        let before = BundleSparsityStats::measure(&original, bundle);
+        let after = BundleSparsityStats::measure(&shaped, bundle);
+        assert!(after.silent_feature_fraction >= before.silent_feature_fraction);
+    }
+
+    #[test]
+    fn keep_everything_is_identity() {
+        let original = trace(0.1, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let shaped = BsaEffect::new(1.0, 1.0).apply(&original, BundleShape::default(), &mut rng);
+        assert_eq!(shaped, original);
+    }
+
+    #[test]
+    fn keep_nothing_clears_the_trace() {
+        let original = trace(0.1, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let shaped = BsaEffect::new(0.0, 0.0).apply(&original, BundleShape::default(), &mut rng);
+        assert_eq!(shaped.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep fractions")]
+    fn invalid_fraction_rejected() {
+        BsaEffect::new(1.5, 0.5);
+    }
+}

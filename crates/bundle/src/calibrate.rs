@@ -1,0 +1,259 @@
+//! Per-dataset workload calibration.
+//!
+//! The paper's accelerator evaluation runs on activation traces of spiking
+//! transformers trained on five datasets. This reproduction substitutes the
+//! trained models with trace generators whose statistics (firing density,
+//! per-feature spread, bundle clustering, BSA effect) are calibrated to the
+//! values the paper reports:
+//!
+//! * §6.4: the ImageNet-100 model averages ≈ 20 % firing density across
+//!   layers, and the stratifier routes ≈ 50 % of the workload to the dense
+//!   core;
+//! * Fig. 5/6 (Model 1, CIFAR-10): ≈ 29 % of bundles active without BSA;
+//!   spike density 6.34 % → 2.75 % and TTB density 11.16 % → 5.22 % with BSA;
+//!   the fraction of silent Q features grows from 9.3 % to 52.2 %;
+//! * §6.3: after ECP with the paper's thresholds, Q/K token retention ranges
+//!   from ≈ 72 %/52 % (CIFAR-10) down to ≈ 8 %/5.5 % (DVS-Gesture);
+//! * §6.1: DVS models run at 20 timesteps with extremely sparse firing,
+//!   speech models are in between.
+
+use bishop_model::workload::SyntheticTraceSpec;
+use bishop_model::{DatasetKind, ModelConfig};
+
+use crate::bsa::BsaEffect;
+use crate::ecp::EcpConfig;
+use crate::ttb::BundleShape;
+
+/// Whether a workload reflects baseline training or BSA training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingRegime {
+    /// Standard (cross-entropy only) training.
+    Baseline,
+    /// Bundle-Sparsity-Aware training (cross-entropy + λ·L_bsp).
+    Bsa,
+}
+
+/// Calibrated workload statistics and co-design hyper-parameters for one
+/// dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetCalibration {
+    /// The dataset this calibration describes.
+    pub dataset: DatasetKind,
+    /// Trace statistics of the baseline-trained model.
+    pub baseline: SyntheticTraceSpec,
+    /// Trace statistics of the BSA-trained model.
+    pub bsa: SyntheticTraceSpec,
+    /// The BSA loss weight λ used in the paper.
+    pub bsa_lambda: f64,
+    /// The ECP pruning threshold θp used in the paper.
+    pub ecp_threshold: u32,
+    /// The statistical BSA effect (bundle / spike keep fractions).
+    pub bsa_effect: BsaEffect,
+}
+
+impl DatasetCalibration {
+    /// Calibration table for each evaluation dataset.
+    pub fn for_dataset(dataset: DatasetKind) -> Self {
+        // Helper: a baseline spec plus a BSA spec derived by scaling the
+        // densities and silencing more features.
+        fn spec(
+            input: f64,
+            q: f64,
+            k: f64,
+            v: f64,
+            hidden: f64,
+            spread: f64,
+            silent: f64,
+            cluster_boost: f64,
+        ) -> SyntheticTraceSpec {
+            SyntheticTraceSpec {
+                input_density: input,
+                q_density: q,
+                k_density: k,
+                v_density: v,
+                hidden_density: hidden,
+                feature_spread: spread,
+                silent_fraction: silent,
+                cluster: (2, 4, cluster_boost),
+            }
+        }
+        fn bsa_from(baseline: &SyntheticTraceSpec, density_scale: f64, silent: f64) -> SyntheticTraceSpec {
+            SyntheticTraceSpec {
+                input_density: baseline.input_density * density_scale,
+                q_density: baseline.q_density * density_scale,
+                k_density: baseline.k_density * density_scale,
+                v_density: baseline.v_density * density_scale,
+                hidden_density: baseline.hidden_density * density_scale,
+                feature_spread: baseline.feature_spread + 0.5,
+                silent_fraction: silent,
+                cluster: (
+                    baseline.cluster.0,
+                    baseline.cluster.1,
+                    baseline.cluster.2 * 1.5,
+                ),
+            }
+        }
+
+        match dataset {
+            DatasetKind::Cifar10 => {
+                let baseline = spec(0.12, 0.09, 0.07, 0.12, 0.10, 2.0, 0.09, 3.0);
+                let bsa = bsa_from(&baseline, 0.43, 0.52);
+                Self {
+                    dataset,
+                    baseline,
+                    bsa,
+                    bsa_lambda: 1.0,
+                    ecp_threshold: 6,
+                    bsa_effect: BsaEffect::new(0.47, 0.43),
+                }
+            }
+            DatasetKind::Cifar100 => {
+                let baseline = spec(0.14, 0.11, 0.09, 0.13, 0.11, 2.0, 0.05, 3.0);
+                let bsa = bsa_from(&baseline, 0.50, 0.39);
+                Self {
+                    dataset,
+                    baseline,
+                    bsa,
+                    bsa_lambda: 0.5,
+                    ecp_threshold: 6,
+                    bsa_effect: BsaEffect::new(0.55, 0.50),
+                }
+            }
+            DatasetKind::ImageNet100 => {
+                let baseline = spec(0.20, 0.12, 0.08, 0.18, 0.15, 1.5, 0.03, 2.5);
+                let bsa = bsa_from(&baseline, 0.50, 0.30);
+                Self {
+                    dataset,
+                    baseline,
+                    bsa,
+                    bsa_lambda: 0.3,
+                    ecp_threshold: 6,
+                    bsa_effect: BsaEffect::new(0.55, 0.50),
+                }
+            }
+            DatasetKind::DvsGesture => {
+                let baseline = spec(0.08, 0.05, 0.04, 0.08, 0.06, 2.5, 0.15, 4.0);
+                let bsa = bsa_from(&baseline, 0.45, 0.45);
+                Self {
+                    dataset,
+                    baseline,
+                    bsa,
+                    bsa_lambda: 1.0,
+                    ecp_threshold: 10,
+                    bsa_effect: BsaEffect::new(0.45, 0.42),
+                }
+            }
+            DatasetKind::GoogleSpeechCommands => {
+                let baseline = spec(0.15, 0.10, 0.08, 0.14, 0.12, 1.8, 0.06, 2.5);
+                let bsa = bsa_from(&baseline, 0.55, 0.35);
+                Self {
+                    dataset,
+                    baseline,
+                    bsa,
+                    bsa_lambda: 0.5,
+                    ecp_threshold: 6,
+                    bsa_effect: BsaEffect::new(0.55, 0.52),
+                }
+            }
+        }
+    }
+
+    /// Calibration for a model configuration (keyed by its dataset).
+    pub fn for_model(config: &ModelConfig) -> Self {
+        Self::for_dataset(config.dataset)
+    }
+
+    /// The trace spec for the requested training regime.
+    pub fn spec(&self, regime: TrainingRegime) -> &SyntheticTraceSpec {
+        match regime {
+            TrainingRegime::Baseline => &self.baseline,
+            TrainingRegime::Bsa => &self.bsa,
+        }
+    }
+
+    /// The paper's ECP configuration for this dataset under the given bundle
+    /// shape.
+    pub fn ecp_config(&self, bundle: BundleShape) -> EcpConfig {
+        EcpConfig::uniform(self.ecp_threshold, bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_has_a_calibration() {
+        for dataset in DatasetKind::all() {
+            let cal = DatasetCalibration::for_dataset(dataset);
+            assert_eq!(cal.dataset, dataset);
+            assert!(cal.baseline.input_density > 0.0);
+            assert!(cal.bsa.input_density < cal.baseline.input_density);
+        }
+    }
+
+    #[test]
+    fn ecp_thresholds_match_paper() {
+        assert_eq!(
+            DatasetCalibration::for_dataset(DatasetKind::DvsGesture).ecp_threshold,
+            10
+        );
+        for dataset in [
+            DatasetKind::Cifar10,
+            DatasetKind::Cifar100,
+            DatasetKind::ImageNet100,
+            DatasetKind::GoogleSpeechCommands,
+        ] {
+            assert_eq!(DatasetCalibration::for_dataset(dataset).ecp_threshold, 6);
+        }
+    }
+
+    #[test]
+    fn bsa_lambdas_match_paper() {
+        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::Cifar10).bsa_lambda, 1.0);
+        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::Cifar100).bsa_lambda, 0.5);
+        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::ImageNet100).bsa_lambda, 0.3);
+        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::DvsGesture).bsa_lambda, 1.0);
+    }
+
+    #[test]
+    fn imagenet_density_is_around_twenty_percent() {
+        let cal = DatasetCalibration::for_dataset(DatasetKind::ImageNet100);
+        assert!((cal.baseline.input_density - 0.20).abs() < 0.02);
+    }
+
+    #[test]
+    fn dvs_is_the_sparsest_workload() {
+        let dvs = DatasetCalibration::for_dataset(DatasetKind::DvsGesture);
+        for other in [
+            DatasetKind::Cifar10,
+            DatasetKind::Cifar100,
+            DatasetKind::ImageNet100,
+            DatasetKind::GoogleSpeechCommands,
+        ] {
+            let cal = DatasetCalibration::for_dataset(other);
+            assert!(dvs.baseline.q_density <= cal.baseline.q_density);
+        }
+    }
+
+    #[test]
+    fn spec_selector_returns_the_right_regime() {
+        let cal = DatasetCalibration::for_dataset(DatasetKind::Cifar10);
+        assert_eq!(cal.spec(TrainingRegime::Baseline), &cal.baseline);
+        assert_eq!(cal.spec(TrainingRegime::Bsa), &cal.bsa);
+    }
+
+    #[test]
+    fn for_model_uses_the_models_dataset() {
+        let cal = DatasetCalibration::for_model(&ModelConfig::model3_imagenet100());
+        assert_eq!(cal.dataset, DatasetKind::ImageNet100);
+    }
+
+    #[test]
+    fn ecp_config_propagates_threshold_and_bundle() {
+        let cal = DatasetCalibration::for_dataset(DatasetKind::DvsGesture);
+        let config = cal.ecp_config(BundleShape::new(4, 2));
+        assert_eq!(config.theta_q, 10);
+        assert_eq!(config.bundle, BundleShape::new(4, 2));
+    }
+}

@@ -1,0 +1,171 @@
+//! Bundle-level sparsity statistics (the quantities visualised in Fig. 5,
+//! Fig. 6 and Fig. 10 of the paper).
+
+use bishop_spiketensor::SpikeTensor;
+
+use crate::ttb::{BundleShape, TtbTags};
+
+/// Summary of the bundle-level sparsity of one activation tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleSparsityStats {
+    /// Spike-level density (fraction of positions that fired).
+    pub spike_density: f64,
+    /// Bundle-level density (fraction of TTBs that are active).
+    pub ttb_density: f64,
+    /// Total number of bundles.
+    pub total_bundles: usize,
+    /// Number of active bundles.
+    pub active_bundles: usize,
+    /// Number of active bundles per feature column.
+    pub active_per_feature: Vec<usize>,
+    /// Fraction of feature columns with no active bundle at all.
+    pub silent_feature_fraction: f64,
+    /// Mean spike count inside *active* bundles (how "full" an active bundle
+    /// is; higher means better intra-bundle weight reuse).
+    pub mean_spikes_per_active_bundle: f64,
+}
+
+impl BundleSparsityStats {
+    /// Measures the statistics of `tensor` under bundle shape `bundle`.
+    pub fn measure(tensor: &SpikeTensor, bundle: BundleShape) -> Self {
+        let tags = TtbTags::from_tensor(tensor, bundle);
+        Self::from_tags(tensor, &tags)
+    }
+
+    /// Measures the statistics from pre-computed tags (avoids re-tagging).
+    pub fn from_tags(tensor: &SpikeTensor, tags: &TtbTags) -> Self {
+        let active = tags.active_bundles();
+        let total = tags.total_bundles();
+        let features = tensor.shape().features;
+        let active_per_feature = tags.active_per_feature();
+        let silent = active_per_feature.iter().filter(|&&c| c == 0).count();
+        let spikes = tensor.count_ones();
+        Self {
+            spike_density: tensor.density(),
+            ttb_density: active as f64 / total as f64,
+            total_bundles: total,
+            active_bundles: active,
+            active_per_feature,
+            silent_feature_fraction: silent as f64 / features as f64,
+            mean_spikes_per_active_bundle: if active == 0 {
+                0.0
+            } else {
+                spikes as f64 / active as f64
+            },
+        }
+    }
+
+    /// Histogram of the number of active bundles per feature with `bins`
+    /// equal-width bins over `[0, bundles_per_feature]`; returns the fraction
+    /// of features falling in each bin (the "ratio of features" axis of
+    /// Fig. 5).
+    pub fn feature_histogram(&self, bins: usize) -> Vec<f64> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let features = self.active_per_feature.len();
+        let bundles_per_feature = self.total_bundles / features.max(1);
+        let mut histogram = vec![0usize; bins];
+        for &count in &self.active_per_feature {
+            let bin = if bundles_per_feature == 0 {
+                0
+            } else {
+                (count * bins) / (bundles_per_feature + 1)
+            };
+            histogram[bin.min(bins - 1)] += 1;
+        }
+        histogram
+            .into_iter()
+            .map(|c| c as f64 / features as f64)
+            .collect()
+    }
+
+    /// The skipping opportunity: fraction of bundles the accelerator does not
+    /// have to process at all.
+    pub fn skippable_fraction(&self) -> f64 {
+        1.0 - self.ttb_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_spiketensor::{SpikeTraceGenerator, TensorShape, TraceProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_of_empty_tensor() {
+        let tensor = SpikeTensor::zeros(TensorShape::new(4, 8, 4));
+        let stats = BundleSparsityStats::measure(&tensor, BundleShape::default());
+        assert_eq!(stats.spike_density, 0.0);
+        assert_eq!(stats.ttb_density, 0.0);
+        assert_eq!(stats.active_bundles, 0);
+        assert_eq!(stats.silent_feature_fraction, 1.0);
+        assert_eq!(stats.mean_spikes_per_active_bundle, 0.0);
+        assert_eq!(stats.skippable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn stats_of_full_tensor() {
+        let tensor = SpikeTensor::ones(TensorShape::new(4, 8, 4));
+        let stats = BundleSparsityStats::measure(&tensor, BundleShape::new(2, 4));
+        assert_eq!(stats.spike_density, 1.0);
+        assert_eq!(stats.ttb_density, 1.0);
+        assert_eq!(stats.silent_feature_fraction, 0.0);
+        assert_eq!(stats.mean_spikes_per_active_bundle, 8.0);
+        assert_eq!(stats.skippable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ttb_density_exceeds_spike_density_for_scattered_firing() {
+        // A single spike activates a whole bundle, so TTB density >= spike
+        // density (the paper reports e.g. 6.34 % spikes vs 11.16 % TTBs).
+        let mut rng = StdRng::seed_from_u64(3);
+        let tensor = SpikeTraceGenerator::new(TraceProfile::new(0.05))
+            .generate(TensorShape::new(8, 64, 64), &mut rng);
+        let stats = BundleSparsityStats::measure(&tensor, BundleShape::new(2, 4));
+        assert!(stats.ttb_density >= stats.spike_density);
+    }
+
+    #[test]
+    fn clustering_lowers_ttb_density_at_fixed_spike_density() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shape = TensorShape::new(8, 64, 64);
+        let scattered = SpikeTraceGenerator::new(TraceProfile::new(0.05)).generate(shape, &mut rng);
+        let clustered = SpikeTraceGenerator::new(
+            TraceProfile::new(0.05).with_clustering(2, 4, 6.0),
+        )
+        .generate(shape, &mut rng);
+        let bundle = BundleShape::new(2, 4);
+        let s_scattered = BundleSparsityStats::measure(&scattered, bundle);
+        let s_clustered = BundleSparsityStats::measure(&clustered, bundle);
+        assert!(
+            s_clustered.ttb_density < s_scattered.ttb_density,
+            "clustered {} vs scattered {}",
+            s_clustered.ttb_density,
+            s_scattered.ttb_density
+        );
+    }
+
+    #[test]
+    fn feature_histogram_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tensor = SpikeTraceGenerator::new(TraceProfile::new(0.1).with_feature_spread(2.0))
+            .generate(TensorShape::new(8, 32, 32), &mut rng);
+        let stats = BundleSparsityStats::measure(&tensor, BundleShape::default());
+        let hist = stats.feature_histogram(10);
+        assert_eq!(hist.len(), 10);
+        assert!((hist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_tags_matches_measure() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let tensor = SpikeTraceGenerator::new(TraceProfile::new(0.2))
+            .generate(TensorShape::new(4, 16, 16), &mut rng);
+        let tags = TtbTags::from_tensor(&tensor, BundleShape::default());
+        assert_eq!(
+            BundleSparsityStats::from_tags(&tensor, &tags),
+            BundleSparsityStats::measure(&tensor, BundleShape::default())
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Hardware configuration of the Bishop accelerator (§6.1 of the paper).
+
+use bishop_bundle::BundleShape;
+
+/// How the stratification threshold `θs` is chosen per layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StratifyPolicy {
+    /// Per layer, choose the split that balances the estimated completion
+    /// time of the dense and sparse cores (the paper's near-optimal
+    /// operating point, §6.5.1).
+    Balanced,
+    /// Use a fixed threshold (number of active bundles per feature) for every
+    /// layer.
+    Fixed(usize),
+    /// Per layer, pick the threshold that routes approximately this fraction
+    /// of the *features* to the dense core. The paper's near-optimal point
+    /// balances the work between the two cores (≈ 0.5 for ImageNet-100).
+    TargetDenseFraction(f64),
+    /// Route everything to the dense core (used for the heterogeneity
+    /// ablation in §6.4: this is how a homogeneous PTB-like array behaves).
+    AllDense,
+    /// Route everything to the sparse core.
+    AllSparse,
+}
+
+/// Hardware parameters of a Bishop instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BishopConfig {
+    /// Core clock frequency in Hz (500 MHz in the paper).
+    pub clock_hz: f64,
+    /// Number of PEs in the TT-Bundle dense core (512).
+    pub dense_pes: usize,
+    /// Output features processed in parallel by the dense core (32).
+    pub dense_feature_lanes: usize,
+    /// TT-bundles processed in parallel by the dense core (16).
+    pub dense_bundle_lanes: usize,
+    /// Spikes a TTB processing unit handles per cycle (10).
+    pub spikes_per_unit_cycle: usize,
+    /// Number of parallel TTB units in the sparse core (128).
+    pub sparse_units: usize,
+    /// Effective operations per sparse unit per cycle (the SIGMA-like
+    /// distribution/reduction network sustains multiple reductions per cycle
+    /// on irregular operands).
+    pub sparse_ops_per_unit_cycle: usize,
+    /// Utilisation factor of the sparse core on irregular workloads.
+    pub sparse_utilisation: f64,
+    /// Number of PEs in the TT-Bundle attention core (512).
+    pub attention_pes: usize,
+    /// AND/select-accumulate lanes per attention PE (time-point groups).
+    pub attention_lanes_per_pe: usize,
+    /// Utilisation factor of the attention core.
+    pub attention_utilisation: f64,
+    /// Utilisation factor of the dense core.
+    pub dense_utilisation: f64,
+    /// Parallel LIF lanes in the spike generator (512).
+    pub spike_generator_lanes: usize,
+    /// Pipeline fill / drain overhead charged once per tile wave, in cycles.
+    pub pipeline_overhead_cycles: u64,
+    /// Token-Time-Bundle shape used for packing, tagging and stratification.
+    pub bundle: BundleShape,
+    /// Stratification policy.
+    pub stratify: StratifyPolicy,
+}
+
+impl Default for BishopConfig {
+    fn default() -> Self {
+        Self {
+            clock_hz: 500e6,
+            dense_pes: 512,
+            dense_feature_lanes: 32,
+            dense_bundle_lanes: 16,
+            spikes_per_unit_cycle: 10,
+            sparse_units: 128,
+            sparse_ops_per_unit_cycle: 4,
+            sparse_utilisation: 0.60,
+            attention_pes: 512,
+            attention_lanes_per_pe: 10,
+            attention_utilisation: 0.80,
+            dense_utilisation: 0.90,
+            spike_generator_lanes: 512,
+            pipeline_overhead_cycles: 64,
+            bundle: BundleShape::default(),
+            stratify: StratifyPolicy::Balanced,
+        }
+    }
+}
+
+impl BishopConfig {
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different bundle shape (used by the Fig. 16
+    /// design-space exploration).
+    pub fn with_bundle(mut self, bundle: BundleShape) -> Self {
+        self.bundle = bundle;
+        self
+    }
+
+    /// Returns a copy with a different stratification policy (Fig. 15).
+    pub fn with_stratify(mut self, policy: StratifyPolicy) -> Self {
+        self.stratify = policy;
+        self
+    }
+
+    /// Peak select-accumulate throughput of the dense core in ops/cycle.
+    pub fn dense_peak_ops_per_cycle(&self) -> f64 {
+        (self.dense_pes * self.spikes_per_unit_cycle) as f64 * self.dense_utilisation
+    }
+
+    /// Peak throughput of the sparse core in ops/cycle.
+    pub fn sparse_peak_ops_per_cycle(&self) -> f64 {
+        (self.sparse_units * self.sparse_ops_per_unit_cycle) as f64 * self.sparse_utilisation
+    }
+
+    /// Peak AND/select-accumulate throughput of the attention core in
+    /// ops/cycle.
+    pub fn attention_peak_ops_per_cycle(&self) -> f64 {
+        (self.attention_pes * self.attention_lanes_per_pe) as f64 * self.attention_utilisation
+    }
+
+    /// Converts a cycle count to seconds at this configuration's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_resources() {
+        let c = BishopConfig::default();
+        assert_eq!(c.dense_pes, 512);
+        assert_eq!(c.attention_pes, 512);
+        assert_eq!(c.sparse_units, 128);
+        assert_eq!(c.spike_generator_lanes, 512);
+        assert_eq!(c.spikes_per_unit_cycle, 10);
+        assert_eq!(c.clock_hz, 500e6);
+        assert_eq!(c.dense_feature_lanes * c.dense_bundle_lanes, c.dense_pes);
+    }
+
+    #[test]
+    fn throughput_helpers_scale_with_resources() {
+        let c = BishopConfig::default();
+        assert!(c.dense_peak_ops_per_cycle() > c.sparse_peak_ops_per_cycle());
+        assert!(c.attention_peak_ops_per_cycle() > 1000.0);
+        let mut small = c.clone();
+        small.dense_pes = 256;
+        assert!(small.dense_peak_ops_per_cycle() < c.dense_peak_ops_per_cycle());
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let c = BishopConfig::default();
+        assert!((c.cycles_to_seconds(500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = BishopConfig::default()
+            .with_bundle(BundleShape::new(4, 4))
+            .with_stratify(StratifyPolicy::Fixed(3));
+        assert_eq!(c.bundle, BundleShape::new(4, 4));
+        assert_eq!(c.stratify, StratifyPolicy::Fixed(3));
+    }
+}

@@ -1,0 +1,65 @@
+//! # bishop-core
+//!
+//! The Bishop heterogeneous spiking-transformer accelerator model — the
+//! paper's primary contribution (§5).
+//!
+//! Bishop processes a spiking transformer layer by layer:
+//!
+//! * MLP and projection layers are **stratified** per input feature into a
+//!   dense part and a sparse part (Alg. 1). The dense part runs on the
+//!   **TT-Bundle dense core** (a 512-PE output-stationary systolic array of
+//!   select-accumulate units, 32 output features × 16 bundles in flight,
+//!   up to 10 spikes per PE per cycle), the sparse part on the **TT-Bundle
+//!   sparse core** (a SIGMA-like array of 128 bundle units). The two cores
+//!   run concurrently and their partial sums are merged by the **spike
+//!   generator** (512 parallel LIF units).
+//! * Spiking self-attention layers run on the **TT-Bundle attention core**
+//!   (512 reconfigurable PEs): mode 1 computes the integer score matrix
+//!   `S = Q·Kᵀ` with AND-accumulate units and an S-stationary dataflow,
+//!   mode 2 computes `Y = S·V` with select-accumulate units. Error-
+//!   Constrained TTB Pruning removes Q/K bundle rows before any data is
+//!   loaded.
+//!
+//! The simulator is an analytic cycle/energy model in the same spirit as the
+//! paper's evaluation infrastructure: per layer it derives compute cycles
+//! from the dataflow and PE counts, memory traffic at each hierarchy level
+//! from the reuse scheme, overlaps compute with double-buffered memory
+//! transfers, and converts events to energy with the 28 nm table from
+//! `bishop-memsys`.
+//!
+//! ```
+//! use bishop_core::{BishopConfig, BishopSimulator, SimOptions};
+//! use bishop_model::{ModelConfig, ModelWorkload};
+//! use bishop_model::workload::SyntheticTraceSpec;
+//! use rand::SeedableRng;
+//!
+//! let config = ModelConfig::new("demo", bishop_model::DatasetKind::Cifar10, 1, 4, 16, 32, 2);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.15), &mut rng);
+//! let simulator = BishopSimulator::new(BishopConfig::default());
+//! let metrics = simulator.simulate(&workload, &SimOptions::default());
+//! assert!(metrics.total_latency_seconds() > 0.0);
+//! assert!(metrics.total_energy_mj() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention_core;
+pub mod config;
+pub mod dense_core;
+pub mod metrics;
+pub mod scheduler;
+pub mod simulator;
+pub mod sparse_core;
+pub mod spike_generator;
+pub mod stratifier_unit;
+
+pub use attention_core::AttentionCoreModel;
+pub use config::{BishopConfig, StratifyPolicy};
+pub use dense_core::DenseCoreModel;
+pub use metrics::{CoreCost, LayerMetrics, RunMetrics};
+pub use simulator::{BishopSimulator, SimOptions};
+pub use sparse_core::SparseCoreModel;
+pub use spike_generator::SpikeGeneratorModel;
+pub use stratifier_unit::StratifierUnit;

@@ -1,0 +1,182 @@
+//! The TT-Bundle sparse core (§5.4): a SIGMA-like array of 128 TTB
+//! processing units with a flexible distribution/reduction network.
+
+use bishop_memsys::{EnergyModel, MemoryTraffic};
+
+use crate::config::BishopConfig;
+use crate::metrics::CoreCost;
+use crate::stratifier_unit::RoutedSlice;
+
+/// Analytic model of the sparse TTB core.
+///
+/// The sparse core receives the features the stratifier classified as
+/// low-density. Unlike the dense core, which streams every position of an
+/// active bundle, the sparse core's distribution network routes only the
+/// *actual spikes* to its reduction trees, so its work is proportional to the
+/// non-zero count — at the price of a lower clock-for-clock throughput and a
+/// utilisation penalty for irregular operands (captured by
+/// `sparse_ops_per_unit_cycle` and `sparse_utilisation` in the
+/// configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseCoreModel {
+    config: BishopConfig,
+}
+
+impl SparseCoreModel {
+    /// Creates the model for a hardware configuration.
+    pub fn new(config: &BishopConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+
+    /// Cost of processing the sparse-routed slice of a projection layer.
+    pub fn process(
+        &self,
+        slice: &RoutedSlice,
+        output_features: usize,
+        weight_bits: usize,
+        energy: &EnergyModel,
+    ) -> CoreCost {
+        if slice.spikes == 0 || slice.feature_count == 0 {
+            return CoreCost::zero();
+        }
+        let accumulate_ops = slice.spikes as u64 * output_features as u64;
+        let peak = self.config.sparse_peak_ops_per_cycle();
+        let compute_cycles = (accumulate_ops as f64 / peak).ceil() as u64;
+
+        // Each accumulate also pays a distribution-network routing cost
+        // (modelled as half a mux) — the price of full irregular-sparsity
+        // support.
+        let compute_energy_pj = accumulate_ops as f64 * (energy.accumulate_pj + 0.5 * energy.mux_pj)
+            + compute_cycles as f64 * self.config.sparse_units as f64 * energy.pe_idle_pj_per_cycle;
+
+        let weight_bytes_per_row = (output_features * weight_bits).div_ceil(8) as u64;
+        // Multi-bit weight reuse happens inside a bundle: the weight row of a
+        // feature is fetched once per *active bundle* of that feature and
+        // reused for the (clustered) spikes inside it.
+        let weight_glb_reads = slice.active_bundles as u64 * weight_bytes_per_row;
+        let weight_dram_reads = slice.feature_count as u64 * weight_bytes_per_row;
+        // Spike operands arrive in compressed coordinate form: ~2 bytes per
+        // spike (bundle-relative coordinate + feature offset).
+        let activation_glb_reads = slice.spikes as u64 * 2;
+
+        let traffic = MemoryTraffic {
+            dram_read_bytes: weight_dram_reads,
+            glb_read_bytes: weight_glb_reads + activation_glb_reads,
+            local_read_bytes: weight_glb_reads,
+            register_bytes: accumulate_ops.div_ceil(8),
+            ..MemoryTraffic::new()
+        };
+
+        CoreCost {
+            compute_cycles,
+            ops: accumulate_ops,
+            compute_energy_pj,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_core::DenseCoreModel;
+
+    fn slice(active_bundles: usize, spikes: usize, features: usize) -> RoutedSlice {
+        RoutedSlice {
+            feature_count: features,
+            active_bundles,
+            spikes,
+            bundle_volume: 8,
+            weight_row_fetches: active_bundles,
+        }
+    }
+
+    fn model() -> SparseCoreModel {
+        SparseCoreModel::new(&BishopConfig::default())
+    }
+
+    #[test]
+    fn empty_slice_costs_nothing() {
+        let cost = model().process(&slice(0, 0, 0), 128, 8, &EnergyModel::bishop_28nm());
+        assert_eq!(cost, CoreCost::zero());
+    }
+
+    #[test]
+    fn work_is_proportional_to_spikes_not_bundles() {
+        let energy = EnergyModel::bishop_28nm();
+        let few_spikes = model().process(&slice(100, 50, 32), 64, 8, &energy);
+        let many_spikes = model().process(&slice(100, 200, 32), 64, 8, &energy);
+        assert_eq!(many_spikes.ops, 4 * few_spikes.ops);
+        // Same bundle count, so the weight GLB traffic is identical.
+        assert_eq!(
+            many_spikes.traffic.glb_read_bytes - many_spikes.traffic.local_read_bytes - 400,
+            few_spikes.traffic.glb_read_bytes - few_spikes.traffic.local_read_bytes - 100
+        );
+    }
+
+    #[test]
+    fn sparse_core_is_more_energy_efficient_on_very_sparse_slices() {
+        // The motivation for heterogeneity: a slice with many active but
+        // nearly-empty bundles burns less energy on the sparse core, which
+        // only touches the actual spikes, than on the dense core, which
+        // streams every position of every active bundle.
+        let config = BishopConfig::default();
+        let energy = EnergyModel::bishop_28nm();
+        let sparse_slice = RoutedSlice {
+            feature_count: 64,
+            active_bundles: 500,
+            spikes: 600, // ~1.2 spikes per active bundle of volume 8
+            bundle_volume: 8,
+            weight_row_fetches: 500,
+        };
+        let on_sparse = SparseCoreModel::new(&config).process(&sparse_slice, 128, 8, &energy);
+        let on_dense = DenseCoreModel::new(&config).process(&sparse_slice, 128, 8, &energy);
+        assert!(
+            on_sparse.compute_energy_pj < on_dense.compute_energy_pj,
+            "sparse core should be cheaper on low-occupancy bundles: {} vs {}",
+            on_sparse.compute_energy_pj,
+            on_dense.compute_energy_pj
+        );
+        assert!(on_sparse.ops < on_dense.ops);
+    }
+
+    #[test]
+    fn dense_core_beats_sparse_core_on_dense_slices() {
+        let config = BishopConfig::default();
+        let energy = EnergyModel::bishop_28nm();
+        let dense_slice = RoutedSlice {
+            feature_count: 64,
+            active_bundles: 500,
+            spikes: 500 * 7, // ~7 of 8 positions firing
+            bundle_volume: 8,
+            weight_row_fetches: 500_usize.div_ceil(16),
+        };
+        let on_sparse = SparseCoreModel::new(&config).process(&dense_slice, 128, 8, &energy);
+        let on_dense = DenseCoreModel::new(&config).process(&dense_slice, 128, 8, &energy);
+        assert!(
+            on_dense.compute_cycles < on_sparse.compute_cycles,
+            "dense core should win on high-occupancy bundles: {} vs {}",
+            on_dense.compute_cycles,
+            on_sparse.compute_cycles
+        );
+    }
+
+    #[test]
+    fn cycles_respect_peak_throughput() {
+        let config = BishopConfig::default();
+        let energy = EnergyModel::bishop_28nm();
+        let cost = model().process(&slice(100, 5000, 64), 128, 8, &energy);
+        let min_cycles = (cost.ops as f64 / config.sparse_peak_ops_per_cycle()).floor() as u64;
+        assert!(cost.compute_cycles >= min_cycles);
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let energy = EnergyModel::bishop_28nm();
+        let small = model().process(&slice(10, 100, 8), 64, 8, &energy);
+        let large = model().process(&slice(10, 1000, 8), 64, 8, &energy);
+        assert!(large.compute_energy_pj > small.compute_energy_pj);
+    }
+}

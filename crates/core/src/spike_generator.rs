@@ -1,0 +1,105 @@
+//! The spike generator (§5.4): merges the partial sums from the dense and
+//! sparse cores, updates membrane potentials, and conditionally emits output
+//! spikes.
+
+use bishop_memsys::{EnergyModel, MemoryTraffic};
+
+use crate::config::BishopConfig;
+use crate::metrics::CoreCost;
+
+/// Analytic model of the spike-generator array (512 parallel LIF lanes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeGeneratorModel {
+    config: BishopConfig,
+}
+
+impl SpikeGeneratorModel {
+    /// Creates the model for a hardware configuration.
+    pub fn new(config: &BishopConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+
+    /// Cost of generating `neuron_updates` output values (`T · N · D_out`
+    /// membrane updates) by merging `partial_sum_streams` streams of partial
+    /// sums (2 when both the dense and sparse cores contribute, 1 for the
+    /// attention path).
+    pub fn process(
+        &self,
+        neuron_updates: u64,
+        partial_sum_streams: usize,
+        energy: &EnergyModel,
+    ) -> CoreCost {
+        if neuron_updates == 0 {
+            return CoreCost::zero();
+        }
+        let lanes = self.config.spike_generator_lanes as u64;
+        let compute_cycles = neuron_updates.div_ceil(lanes);
+
+        // Sparse-dense addition: one extra accumulate per update per extra
+        // stream, then the LIF threshold/update itself.
+        let merge_ops = neuron_updates * (partial_sum_streams.saturating_sub(1)) as u64;
+        let compute_energy_pj = neuron_updates as f64 * energy.lif_update_pj
+            + merge_ops as f64 * energy.accumulate_pj
+            + compute_cycles as f64 * lanes as f64 * energy.pe_idle_pj_per_cycle * 0.25;
+
+        // Each partial-sum stream is read from the producing core's output
+        // buffer (2 bytes per value); the binary spike outputs are written
+        // back to the spike TTB GLB as a packed bitmap.
+        let traffic = MemoryTraffic {
+            local_read_bytes: neuron_updates * 2 * partial_sum_streams as u64,
+            glb_write_bytes: neuron_updates.div_ceil(8),
+            ..MemoryTraffic::new()
+        };
+
+        CoreCost {
+            compute_cycles,
+            ops: neuron_updates + merge_ops,
+            compute_energy_pj,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SpikeGeneratorModel {
+        SpikeGeneratorModel::new(&BishopConfig::default())
+    }
+
+    #[test]
+    fn zero_updates_cost_nothing() {
+        assert_eq!(
+            model().process(0, 2, &EnergyModel::bishop_28nm()),
+            CoreCost::zero()
+        );
+    }
+
+    #[test]
+    fn cycles_use_all_lanes() {
+        let energy = EnergyModel::bishop_28nm();
+        assert_eq!(model().process(512, 1, &energy).compute_cycles, 1);
+        assert_eq!(model().process(513, 1, &energy).compute_cycles, 2);
+        assert_eq!(model().process(5120, 1, &energy).compute_cycles, 10);
+    }
+
+    #[test]
+    fn merging_two_streams_costs_more_than_one() {
+        let energy = EnergyModel::bishop_28nm();
+        let one = model().process(1000, 1, &energy);
+        let two = model().process(1000, 2, &energy);
+        assert!(two.compute_energy_pj > one.compute_energy_pj);
+        assert!(two.traffic.local_read_bytes > one.traffic.local_read_bytes);
+        assert_eq!(one.traffic.glb_write_bytes, two.traffic.glb_write_bytes);
+    }
+
+    #[test]
+    fn output_bitmap_is_one_bit_per_neuron() {
+        let energy = EnergyModel::bishop_28nm();
+        let cost = model().process(8000, 2, &energy);
+        assert_eq!(cost.traffic.glb_write_bytes, 1000);
+    }
+}

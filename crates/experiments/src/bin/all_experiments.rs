@@ -1,0 +1,12 @@
+//! Runs every experiment of the Bishop reproduction and prints the combined
+//! markdown report (pass `--quick` for the reduced-scale configurations).
+use bishop_experiments::ExperimentScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::Quick
+    } else {
+        ExperimentScale::Full
+    };
+    print!("{}", bishop_experiments::full_report(scale));
+}

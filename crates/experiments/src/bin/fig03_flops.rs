@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact implemented by `bishop_experiments::fig03_flops`.
+fn main() {
+    print!("{}", bishop_experiments::fig03_flops::report());
+}

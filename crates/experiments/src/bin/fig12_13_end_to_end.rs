@@ -1,0 +1,11 @@
+//! Regenerates the paper artefact implemented by `bishop_experiments::fig12_13_end_to_end`.
+use bishop_experiments::ExperimentScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::Quick
+    } else {
+        ExperimentScale::Full
+    };
+    print!("{}", bishop_experiments::fig12_13_end_to_end::report(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact implemented by `bishop_experiments::fig17_breakdown`.
+fn main() {
+    print!("{}", bishop_experiments::fig17_breakdown::report());
+}

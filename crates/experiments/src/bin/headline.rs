@@ -1,0 +1,11 @@
+//! Regenerates the paper artefact implemented by `bishop_experiments::headline`.
+use bishop_experiments::ExperimentScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::Quick
+    } else {
+        ExperimentScale::Full
+    };
+    print!("{}", bishop_experiments::headline::report(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact implemented by `bishop_experiments::table1_accuracy`.
+fn main() {
+    print!("{}", bishop_experiments::table1_accuracy::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact implemented by `bishop_experiments::table2_models`.
+fn main() {
+    print!("{}", bishop_experiments::table2_models::report());
+}

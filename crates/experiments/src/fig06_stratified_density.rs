@@ -1,0 +1,138 @@
+//! Fig. 6 — spiking activity of the output-projection layer of Model 1
+//! before/after stratification and before/after BSA.
+//!
+//! The paper reports, for the 3rd encoder block's output projection:
+//! without BSA the workload has 6.34 % spike density and 11.16 % TTB density;
+//! the stratified "up" (sparse) part has 1.28 % / 8.58 % and the "down"
+//! (dense) part 23.89 % / 75.50 %. With BSA the overall densities drop to
+//! 2.75 % / 5.22 %.
+
+use bishop_bundle::{BundleShape, BundleSparsityStats, TrainingRegime};
+use bishop_bundle::{StratifiedWorkload, Stratifier};
+use bishop_model::ModelConfig;
+use bishop_spiketensor::SpikeTensor;
+
+use crate::report::{percent, Table};
+use crate::workloads::{build_workload, ExperimentScale};
+
+/// Densities of one (possibly stratified) workload slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceDensity {
+    /// Which slice this row describes.
+    pub label: String,
+    /// Spike-level density.
+    pub spike_density: f64,
+    /// Bundle-level (TTB) density.
+    pub ttb_density: f64,
+}
+
+fn measure(label: &str, tensor: &SpikeTensor, bundle: BundleShape) -> SliceDensity {
+    let stats = BundleSparsityStats::measure(tensor, bundle);
+    SliceDensity {
+        label: label.to_string(),
+        spike_density: stats.spike_density,
+        ttb_density: stats.ttb_density,
+    }
+}
+
+/// Extracts the sub-tensor containing only the listed feature columns (the
+/// density of a stratified slice is measured over its own features, as in the
+/// paper's figure).
+fn select_features(tensor: &SpikeTensor, features: &[usize]) -> SpikeTensor {
+    let shape = tensor.shape();
+    let sub_shape = shape.with_features(features.len().max(1));
+    SpikeTensor::from_fn(sub_shape, |t, n, d| {
+        features.get(d).is_some_and(|&source| tensor.get(t, n, source))
+    })
+}
+
+fn stratify(tensor: &SpikeTensor, bundle: BundleShape) -> (StratifiedWorkload, SpikeTensor, SpikeTensor) {
+    let threshold = Stratifier::threshold_for_dense_fraction(tensor, bundle, 0.5);
+    let split = Stratifier::new(threshold).stratify(tensor, bundle);
+    let dense = select_features(tensor, &split.dense_features);
+    let sparse = select_features(tensor, &split.sparse_features);
+    (split, dense, sparse)
+}
+
+/// Measures the original, stratified-sparse and stratified-dense densities of
+/// the output-projection input of the last block of Model 1, for both
+/// training regimes.
+pub fn run(scale: ExperimentScale) -> Vec<SliceDensity> {
+    let config = scale.scale_config(&ModelConfig::model1_cifar10());
+    let bundle = BundleShape::default();
+    let mut rows = Vec::new();
+    for regime in [TrainingRegime::Baseline, TrainingRegime::Bsa] {
+        let workload = build_workload(&config, regime, 101);
+        let projection = workload
+            .projection_layers()
+            .filter(|p| p.label.ends_with(".P2"))
+            .last()
+            .expect("workload has an output projection");
+        let tensor = &projection.input;
+        let tag = match regime {
+            TrainingRegime::Baseline => "w/o BSA",
+            TrainingRegime::Bsa => "with BSA",
+        };
+        rows.push(measure(&format!("original ({tag})"), tensor, bundle));
+        let (_, dense, sparse) = stratify(tensor, bundle);
+        rows.push(measure(&format!("stratified sparse ({tag})"), &sparse, bundle));
+        rows.push(measure(&format!("stratified dense ({tag})"), &dense, bundle));
+    }
+    rows
+}
+
+/// Renders the experiment as markdown.
+pub fn report(scale: ExperimentScale) -> String {
+    let mut table = Table::new(
+        "Fig. 6 — output-projection activity, original vs stratified vs BSA (Model 1)",
+        &["Slice", "Spike density", "TTB density"],
+    );
+    for row in run(scale) {
+        table.push_row(vec![
+            row.label.clone(),
+            percent(row.spike_density),
+            percent(row.ttb_density),
+        ]);
+    }
+    table.push_note(
+        "Paper: 6.34%/11.16% original, 1.28%/8.58% stratified-sparse, 23.89%/75.50% \
+         stratified-dense; 2.75%/5.22% original with BSA.",
+    );
+    table.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(rows: &'a [SliceDensity], label: &str) -> &'a SliceDensity {
+        rows.iter().find(|r| r.label.contains(label)).unwrap()
+    }
+
+    #[test]
+    fn stratification_separates_dense_and_sparse_parts() {
+        let rows = run(ExperimentScale::Quick);
+        let original = find(&rows, "original (w/o BSA)");
+        let sparse = find(&rows, "stratified sparse (w/o BSA)");
+        let dense = find(&rows, "stratified dense (w/o BSA)");
+        assert!(sparse.spike_density < original.spike_density);
+        assert!(dense.spike_density > original.spike_density);
+        assert!(dense.ttb_density > sparse.ttb_density);
+    }
+
+    #[test]
+    fn bsa_reduces_both_density_measures() {
+        let rows = run(ExperimentScale::Quick);
+        let baseline = find(&rows, "original (w/o BSA)");
+        let bsa = find(&rows, "original (with BSA)");
+        assert!(bsa.spike_density < baseline.spike_density);
+        assert!(bsa.ttb_density < baseline.ttb_density);
+    }
+
+    #[test]
+    fn ttb_density_is_at_least_spike_density() {
+        for row in run(ExperimentScale::Quick) {
+            assert!(row.ttb_density + 1e-12 >= row.spike_density, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Fig. 11 — layer-wise normalized latency and energy of Bishop vs PTB.
+//!
+//! The paper plots, for Models 1–4, the latency and energy of every layer
+//! (P1 = Q/K/V projection, ATN = spiking attention, P2 = output projection,
+//! MLP) of every encoder block, normalized by the first projection layer of
+//! the first block on Bishop. Bishop's advantage is largest on the attention
+//! layers (dedicated AAC core) and grows with the attention share of the
+//! model.
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::{BishopConfig, BishopSimulator, RunMetrics, SimOptions};
+use bishop_baseline::{PtbConfig, PtbSimulator};
+use bishop_model::ModelConfig;
+
+use crate::report::Table;
+use crate::workloads::{build_workload, ExperimentScale};
+
+/// One layer row of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Model name.
+    pub model: String,
+    /// Encoder block index.
+    pub block: usize,
+    /// Layer group (`P1`/`ATN`/`P2`/`MLP`).
+    pub group: &'static str,
+    /// PTB latency normalized by Bishop's first P1 layer.
+    pub ptb_latency: f64,
+    /// Bishop latency normalized the same way.
+    pub bishop_latency: f64,
+    /// PTB energy normalized by Bishop's first P1 layer.
+    pub ptb_energy: f64,
+    /// Bishop energy normalized the same way.
+    pub bishop_energy: f64,
+}
+
+/// The four models shown in Fig. 11.
+fn fig11_models() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::model1_cifar10(),
+        ModelConfig::model2_cifar100(),
+        ModelConfig::model3_imagenet100(),
+        ModelConfig::model4_dvs_gesture(),
+    ]
+}
+
+fn normalise(run: &RunMetrics, reference_cycles: f64, reference_energy: f64) -> Vec<(f64, f64)> {
+    run.layers
+        .iter()
+        .map(|l| {
+            (
+                l.latency_cycles as f64 / reference_cycles,
+                l.total_energy_pj() / reference_energy,
+            )
+        })
+        .collect()
+}
+
+/// Simulates the layer-wise comparison for every Fig. 11 model.
+pub fn run(scale: ExperimentScale) -> Vec<LayerRow> {
+    let bishop = BishopSimulator::new(BishopConfig::default());
+    let ptb = PtbSimulator::new(PtbConfig::default());
+    let mut rows = Vec::new();
+    for config in fig11_models() {
+        let config = scale.scale_config(&config);
+        let workload = build_workload(&config, TrainingRegime::Baseline, 7);
+        let bishop_run = bishop.simulate(&workload, &SimOptions::baseline());
+        let ptb_run = ptb.simulate(&workload);
+
+        let reference = &bishop_run.layers[0];
+        let reference_cycles = reference.latency_cycles as f64;
+        let reference_energy = reference.total_energy_pj();
+        let bishop_norm = normalise(&bishop_run, reference_cycles, reference_energy);
+        let ptb_norm = normalise(&ptb_run, reference_cycles, reference_energy);
+
+        for (index, layer) in bishop_run.layers.iter().enumerate() {
+            rows.push(LayerRow {
+                model: config.name.clone(),
+                block: layer.block,
+                group: layer.group,
+                ptb_latency: ptb_norm[index].0,
+                bishop_latency: bishop_norm[index].0,
+                ptb_energy: ptb_norm[index].1,
+                bishop_energy: bishop_norm[index].1,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the experiment as markdown.
+pub fn report(scale: ExperimentScale) -> String {
+    let mut table = Table::new(
+        "Fig. 11 — layer-wise normalized latency and energy (PTB vs Bishop)",
+        &[
+            "Model",
+            "Block",
+            "Layer",
+            "PTB latency",
+            "Bishop latency",
+            "PTB energy",
+            "Bishop energy",
+        ],
+    );
+    for row in run(scale) {
+        table.push_row(vec![
+            row.model.clone(),
+            row.block.to_string(),
+            row.group.to_string(),
+            format!("{:.2}", row.ptb_latency),
+            format!("{:.2}", row.bishop_latency),
+            format!("{:.2}", row.ptb_energy),
+            format!("{:.2}", row.bishop_energy),
+        ]);
+    }
+    table.push_note(
+        "All values are normalized by the first Q/K/V projection layer of the first block \
+         executed on Bishop, matching the paper's normalization.",
+    );
+    table.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bishop_beats_ptb_on_most_layers() {
+        let rows = run(ExperimentScale::Quick);
+        assert!(!rows.is_empty());
+        let faster = rows
+            .iter()
+            .filter(|r| r.bishop_latency <= r.ptb_latency + 1e-9)
+            .count();
+        assert!(
+            faster * 10 >= rows.len() * 7,
+            "Bishop should be at least as fast as PTB on >=70% of layers ({faster}/{})",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn attention_layers_show_a_large_gap() {
+        let rows = run(ExperimentScale::Quick);
+        let mean_ratio = |group: &str, metric: fn(&LayerRow) -> (f64, f64)| {
+            let selected: Vec<&LayerRow> = rows.iter().filter(|r| r.group == group).collect();
+            selected
+                .iter()
+                .map(|r| {
+                    let (ptb, bishop) = metric(r);
+                    ptb / bishop.max(1e-9)
+                })
+                .sum::<f64>()
+                / selected.len() as f64
+        };
+        let latency = |r: &LayerRow| (r.ptb_latency, r.bishop_latency);
+        let energy = |r: &LayerRow| (r.ptb_energy, r.bishop_energy);
+        // The dedicated AAC core gives the attention layers a large latency
+        // advantage (paper: 10.7x–23.3x) and the largest *energy* advantage
+        // of any layer group (multiplier-free vs multi-bit MACs).
+        assert!(
+            mean_ratio("ATN", latency) > 5.0,
+            "attention-layer latency advantage should be large"
+        );
+        assert!(
+            mean_ratio("ATN", energy) > mean_ratio("MLP", energy),
+            "the attention core should give the biggest per-layer energy gain"
+        );
+    }
+
+    #[test]
+    fn normalization_reference_is_one() {
+        let rows = run(ExperimentScale::Quick);
+        let first = &rows[0];
+        assert_eq!(first.group, "P1");
+        assert!((first.bishop_latency - 1.0).abs() < 1e-9);
+        assert!((first.bishop_energy - 1.0).abs() < 1e-9);
+    }
+}

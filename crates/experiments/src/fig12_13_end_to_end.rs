@@ -1,0 +1,228 @@
+//! Fig. 12 / Fig. 13 — end-to-end normalized latency and energy of the edge
+//! GPU, PTB, Bishop, Bishop+BSA and Bishop+BSA+ECP across Models 1–5.
+
+use bishop_baseline::{EdgeGpuModel, GpuRunSummary, PtbConfig, PtbSimulator};
+use bishop_bundle::TrainingRegime;
+use bishop_core::{BishopConfig, BishopSimulator, RunMetrics, SimOptions};
+use bishop_model::ModelConfig;
+
+use crate::paper::PAPER_SPEEDUPS;
+use crate::report::{energy_mj, latency, ratio, Table};
+use crate::workloads::{build_workload, paper_ecp_threshold, ExperimentScale};
+
+/// End-to-end results of every accelerator variant for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantResults {
+    /// The (possibly scaled) model configuration.
+    pub config: ModelConfig,
+    /// Edge GPU roofline result.
+    pub gpu: GpuRunSummary,
+    /// PTB on the baseline-trained workload.
+    pub ptb: RunMetrics,
+    /// Bishop (hardware only) on the baseline-trained workload.
+    pub bishop: RunMetrics,
+    /// Bishop on the BSA-trained workload.
+    pub bishop_bsa: RunMetrics,
+    /// Bishop on the BSA-trained workload with ECP at the paper's threshold.
+    pub bishop_bsa_ecp: RunMetrics,
+}
+
+impl VariantResults {
+    /// Speedup of plain Bishop over PTB.
+    pub fn bishop_speedup_vs_ptb(&self) -> f64 {
+        self.bishop.speedup_vs(&self.ptb)
+    }
+
+    /// Speedup of Bishop+BSA over PTB.
+    pub fn bsa_speedup_vs_ptb(&self) -> f64 {
+        self.bishop_bsa.speedup_vs(&self.ptb)
+    }
+
+    /// Speedup of Bishop+BSA+ECP over PTB.
+    pub fn bsa_ecp_speedup_vs_ptb(&self) -> f64 {
+        self.bishop_bsa_ecp.speedup_vs(&self.ptb)
+    }
+
+    /// Speedup of plain Bishop over the edge GPU.
+    pub fn bishop_speedup_vs_gpu(&self) -> f64 {
+        self.gpu.latency_seconds / self.bishop.total_latency_seconds()
+    }
+
+    /// Energy improvement of plain Bishop over PTB.
+    pub fn bishop_energy_vs_ptb(&self) -> f64 {
+        self.bishop.energy_improvement_vs(&self.ptb)
+    }
+
+    /// Energy improvement of Bishop+BSA+ECP over PTB.
+    pub fn bsa_ecp_energy_vs_ptb(&self) -> f64 {
+        self.bishop_bsa_ecp.energy_improvement_vs(&self.ptb)
+    }
+}
+
+/// Evaluates all accelerator variants for one model configuration.
+pub fn evaluate_variants(config: &ModelConfig, seed: u64) -> VariantResults {
+    let baseline_workload = build_workload(config, TrainingRegime::Baseline, seed);
+    let bsa_workload = build_workload(config, TrainingRegime::Bsa, seed);
+
+    let gpu = EdgeGpuModel::jetson_nano().simulate(config);
+    let ptb = PtbSimulator::new(PtbConfig::default()).simulate(&baseline_workload);
+    let bishop_sim = BishopSimulator::new(BishopConfig::default());
+    let bishop = bishop_sim.simulate(&baseline_workload, &SimOptions::baseline());
+    let bishop_bsa = bishop_sim.simulate(&bsa_workload, &SimOptions::baseline());
+    let bishop_bsa_ecp = bishop_sim.simulate(
+        &bsa_workload,
+        &SimOptions::with_ecp(paper_ecp_threshold(config)),
+    );
+
+    VariantResults {
+        config: config.clone(),
+        gpu,
+        ptb,
+        bishop,
+        bishop_bsa,
+        bishop_bsa_ecp,
+    }
+}
+
+/// Evaluates all five paper models at the given scale.
+pub fn run(scale: ExperimentScale) -> Vec<VariantResults> {
+    scale
+        .paper_models()
+        .iter()
+        .map(|config| evaluate_variants(config, 2025))
+        .collect()
+}
+
+/// Renders the Fig. 12 (latency) and Fig. 13 (energy) tables as markdown.
+pub fn report(scale: ExperimentScale) -> String {
+    let results = run(scale);
+
+    let mut fig12 = Table::new(
+        "Fig. 12 — end-to-end latency (absolute and speedups over baselines)",
+        &[
+            "Model",
+            "GPU latency",
+            "PTB latency",
+            "Bishop latency",
+            "Bishop vs GPU",
+            "Bishop vs PTB",
+            "+BSA vs PTB",
+            "+BSA+ECP vs PTB",
+            "Paper (+BSA+ECP vs PTB)",
+        ],
+    );
+    let mut fig13 = Table::new(
+        "Fig. 13 — end-to-end energy (absolute and improvements over baselines)",
+        &[
+            "Model",
+            "GPU energy",
+            "PTB energy",
+            "Bishop energy",
+            "Bishop vs PTB",
+            "+BSA vs PTB",
+            "+BSA+ECP vs PTB",
+        ],
+    );
+
+    for (index, r) in results.iter().enumerate() {
+        let paper = PAPER_SPEEDUPS
+            .get(index)
+            .map(|p| ratio(p.bishop_bsa_ecp_vs_ptb))
+            .unwrap_or_else(|| "-".to_string());
+        fig12.push_row(vec![
+            r.config.name.clone(),
+            latency(r.gpu.latency_seconds),
+            latency(r.ptb.total_latency_seconds()),
+            latency(r.bishop.total_latency_seconds()),
+            ratio(r.bishop_speedup_vs_gpu()),
+            ratio(r.bishop_speedup_vs_ptb()),
+            ratio(r.bsa_speedup_vs_ptb()),
+            ratio(r.bsa_ecp_speedup_vs_ptb()),
+            paper,
+        ]);
+        fig13.push_row(vec![
+            r.config.name.clone(),
+            energy_mj(r.gpu.energy_mj),
+            energy_mj(r.ptb.total_energy_mj()),
+            energy_mj(r.bishop.total_energy_mj()),
+            ratio(r.bishop_energy_vs_ptb()),
+            ratio(r.bishop_bsa.energy_improvement_vs(&r.ptb)),
+            ratio(r.bsa_ecp_energy_vs_ptb()),
+        ]);
+    }
+    fig12.push_note(
+        "Paper per-model speedups of Bishop/+BSA/+BSA+ECP over PTB: 4.68/6.37/6.71 (M1), \
+         3.95/4.90/5.14 (M2), 5.17/6.34/7.73 (M3), 3.30/3.81/4.06 (M4), 1.43/1.92/4.0 (M5).",
+    );
+    fig13.push_note("Paper average energy-efficiency improvement over PTB: 6.11x.");
+    format!("{}\n{}", fig12.to_markdown(), fig13.to_markdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_results() -> Vec<VariantResults> {
+        // Two representative models keep the debug-mode test fast.
+        let models = [
+            ModelConfig::model1_cifar10(),
+            ModelConfig::model3_imagenet100(),
+        ];
+        models
+            .iter()
+            .map(|m| evaluate_variants(&ExperimentScale::Quick.scale_config(m), 5))
+            .collect()
+    }
+
+    #[test]
+    fn ordering_gpu_slowest_then_ptb_then_bishop_variants() {
+        for r in quick_results() {
+            assert!(
+                r.gpu.latency_seconds > r.ptb.total_latency_seconds(),
+                "{}: GPU should be the slowest",
+                r.config.name
+            );
+            assert!(r.bishop_speedup_vs_ptb() > 1.0, "{}", r.config.name);
+            assert!(
+                r.bsa_speedup_vs_ptb() >= r.bishop_speedup_vs_ptb() * 0.95,
+                "{}: BSA should not slow Bishop down",
+                r.config.name
+            );
+            assert!(
+                r.bsa_ecp_speedup_vs_ptb() >= r.bsa_speedup_vs_ptb() * 0.98,
+                "{}: ECP should not slow Bishop+BSA down",
+                r.config.name
+            );
+        }
+    }
+
+    #[test]
+    fn energy_improvements_follow_the_same_trend() {
+        for r in quick_results() {
+            assert!(r.bishop_energy_vs_ptb() > 1.0, "{}", r.config.name);
+            assert!(
+                r.bsa_ecp_energy_vs_ptb() >= r.bishop_energy_vs_ptb() * 0.95,
+                "{}",
+                r.config.name
+            );
+        }
+    }
+
+    #[test]
+    fn speedups_are_in_a_plausible_range() {
+        for r in quick_results() {
+            let speedup = r.bsa_ecp_speedup_vs_ptb();
+            assert!(
+                speedup > 1.0 && speedup < 100.0,
+                "{}: implausible speedup {speedup}",
+                r.config.name
+            );
+            let vs_gpu = r.bishop_speedup_vs_gpu();
+            assert!(
+                vs_gpu > 10.0,
+                "{}: Bishop should be orders of magnitude faster than the edge GPU ({vs_gpu})",
+                r.config.name
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Fig. 15 — impact of the stratification threshold (dense-to-sparse split
+//! ratio) on energy, latency, and EDP for Model 3 (ImageNet-100).
+
+use bishop_baseline::{PtbConfig, PtbSimulator};
+use bishop_bundle::TrainingRegime;
+use bishop_core::{BishopConfig, BishopSimulator, SimOptions, StratifyPolicy};
+use bishop_model::ModelConfig;
+
+use crate::report::{energy_mj, latency, ratio, Table};
+use crate::workloads::{build_workload, ExperimentScale};
+
+/// One stratification strategy evaluated by the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratificationPoint {
+    /// Strategy label.
+    pub label: String,
+    /// End-to-end latency in seconds.
+    pub latency_seconds: f64,
+    /// End-to-end energy in millijoules.
+    pub energy_mj: f64,
+    /// Energy-delay product in joule-seconds.
+    pub edp: f64,
+    /// EDP improvement over PTB.
+    pub edp_vs_ptb: f64,
+}
+
+/// The dense-feature-fraction targets swept (plus the balanced policy and the
+/// two all-one-core extremes).
+pub const DENSE_FRACTIONS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Runs the sweep on Model 3.
+pub fn run(scale: ExperimentScale) -> Vec<StratificationPoint> {
+    let config = scale.scale_config(&ModelConfig::model3_imagenet100());
+    let workload = build_workload(&config, TrainingRegime::Baseline, 15);
+    let ptb = PtbSimulator::new(PtbConfig::default()).simulate(&workload);
+
+    let mut points = Vec::new();
+    let mut evaluate = |label: String, policy: StratifyPolicy| {
+        let run = BishopSimulator::new(BishopConfig::default().with_stratify(policy))
+            .simulate(&workload, &SimOptions::baseline());
+        points.push(StratificationPoint {
+            label,
+            latency_seconds: run.total_latency_seconds(),
+            energy_mj: run.total_energy_mj(),
+            edp: run.edp(),
+            edp_vs_ptb: ptb.edp() / run.edp(),
+        });
+    };
+
+    evaluate("balanced (per-layer)".to_string(), StratifyPolicy::Balanced);
+    for fraction in DENSE_FRACTIONS {
+        evaluate(
+            format!("{:.0}% of features dense", fraction * 100.0),
+            StratifyPolicy::TargetDenseFraction(fraction),
+        );
+    }
+    evaluate("all dense".to_string(), StratifyPolicy::AllDense);
+    evaluate("all sparse".to_string(), StratifyPolicy::AllSparse);
+    points
+}
+
+/// Renders the experiment as markdown.
+pub fn report(scale: ExperimentScale) -> String {
+    let mut table = Table::new(
+        "Fig. 15 — stratification strategy vs energy / latency / EDP (Model 3)",
+        &["Strategy", "Latency", "Energy", "EDP (J·s)", "EDP vs PTB"],
+    );
+    for point in run(scale) {
+        table.push_row(vec![
+            point.label.clone(),
+            latency(point.latency_seconds),
+            energy_mj(point.energy_mj),
+            format!("{:.3e}", point.edp),
+            ratio(point.edp_vs_ptb),
+        ]);
+    }
+    table.push_note(
+        "Paper: a near-balanced split achieves a 2.49x EDP improvement over PTB; strong \
+         imbalance degrades Bishop's EDP by up to 1.65x.",
+    );
+    table.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_policy_achieves_the_best_or_near_best_edp() {
+        let points = run(ExperimentScale::Quick);
+        let balanced = points
+            .iter()
+            .find(|p| p.label.starts_with("balanced"))
+            .unwrap();
+        let best = points
+            .iter()
+            .map(|p| p.edp)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            balanced.edp <= best * 1.2,
+            "balanced EDP {} should be within 20% of the best {}",
+            balanced.edp,
+            best
+        );
+    }
+
+    #[test]
+    fn extreme_imbalance_is_worse_than_balanced() {
+        let points = run(ExperimentScale::Quick);
+        let balanced = points
+            .iter()
+            .find(|p| p.label.starts_with("balanced"))
+            .unwrap();
+        let all_sparse = points.iter().find(|p| p.label == "all sparse").unwrap();
+        assert!(
+            all_sparse.edp >= balanced.edp,
+            "routing everything to the sparse core should not beat the balanced split"
+        );
+    }
+
+    #[test]
+    fn balanced_bishop_beats_ptb_on_edp() {
+        let points = run(ExperimentScale::Quick);
+        let balanced = points
+            .iter()
+            .find(|p| p.label.starts_with("balanced"))
+            .unwrap();
+        assert!(
+            balanced.edp_vs_ptb > 1.0,
+            "balanced Bishop should improve EDP over PTB, got {}",
+            balanced.edp_vs_ptb
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig. 16 — sensitivity of latency and energy to the Token-Time-Bundle
+//! volume `(BSt, BSn)` for Model 3 (ImageNet-100).
+
+use bishop_bundle::{BundleShape, TrainingRegime};
+use bishop_core::{BishopConfig, BishopSimulator, SimOptions};
+use bishop_model::ModelConfig;
+
+use crate::report::{energy_mj, latency, Table};
+use crate::workloads::{build_workload, ExperimentScale};
+
+/// Result of simulating one bundle shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleVolumePoint {
+    /// The bundle shape `(BSt, BSn)`.
+    pub bundle: BundleShape,
+    /// Bundle volume `BSt · BSn`.
+    pub volume: usize,
+    /// End-to-end latency in seconds.
+    pub latency_seconds: f64,
+    /// End-to-end energy in millijoules.
+    pub energy_mj: f64,
+    /// Latency of the attention layers only (cycles).
+    pub attention_cycles: u64,
+    /// Latency of the projection/MLP layers only (cycles).
+    pub projection_cycles: u64,
+}
+
+/// The `(BSt, BSn)` grid swept (volumes from 2 to 56, matching the paper's
+/// range including the degenerate small shapes and the oversized (4, 14)).
+pub const BUNDLE_SHAPES: [(usize, usize); 9] = [
+    (1, 2),
+    (2, 1),
+    (2, 2),
+    (2, 4),
+    (4, 2),
+    (2, 8),
+    (4, 4),
+    (4, 8),
+    (4, 14),
+];
+
+/// Runs the sweep.
+pub fn run(scale: ExperimentScale) -> Vec<BundleVolumePoint> {
+    let config = scale.scale_config(&ModelConfig::model3_imagenet100());
+    let workload = build_workload(&config, TrainingRegime::Baseline, 23);
+
+    BUNDLE_SHAPES
+        .iter()
+        .map(|&(bst, bsn)| {
+            let bundle = BundleShape::new(bst, bsn);
+            let simulator =
+                BishopSimulator::new(BishopConfig::default().with_bundle(bundle));
+            let run = simulator.simulate(&workload, &SimOptions::baseline());
+            let attention_cycles = run.cycles_for_group("ATN");
+            let projection_cycles =
+                run.total_cycles() - attention_cycles;
+            BundleVolumePoint {
+                bundle,
+                volume: bundle.volume(),
+                latency_seconds: run.total_latency_seconds(),
+                energy_mj: run.total_energy_mj(),
+                attention_cycles,
+                projection_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders the experiment as markdown.
+pub fn report(scale: ExperimentScale) -> String {
+    let mut table = Table::new(
+        "Fig. 16 — TTB bundle-volume sensitivity (Model 3)",
+        &[
+            "(BSt, BSn)",
+            "Volume",
+            "Latency",
+            "Energy",
+            "Attention cycles",
+            "Projection/MLP cycles",
+        ],
+    );
+    for point in run(scale) {
+        table.push_row(vec![
+            format!("({}, {})", point.bundle.timesteps, point.bundle.tokens),
+            point.volume.to_string(),
+            latency(point.latency_seconds),
+            energy_mj(point.energy_mj),
+            point.attention_cycles.to_string(),
+            point.projection_cycles.to_string(),
+        ]);
+    }
+    table.push_note(
+        "Paper: bundle volumes between 4 and 8 are near-optimal; very small volumes lose \
+         weight/key reuse, very large volumes waste work on idle positions inside bundles.",
+    );
+    table.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_shapes() {
+        let points = run(ExperimentScale::Quick);
+        assert_eq!(points.len(), BUNDLE_SHAPES.len());
+    }
+
+    #[test]
+    fn sweet_spot_volumes_beat_oversized_bundles() {
+        let points = run(ExperimentScale::Quick);
+        let best_mid = points
+            .iter()
+            .filter(|p| p.volume >= 4 && p.volume <= 8)
+            .map(|p| p.energy_mj)
+            .fold(f64::INFINITY, f64::min);
+        let oversized = points
+            .iter()
+            .find(|p| p.volume >= 56)
+            .expect("sweep includes an oversized bundle");
+        assert!(
+            best_mid <= oversized.energy_mj * 1.05,
+            "a 4-8 volume bundle ({best_mid}) should not lose to the oversized bundle ({})",
+            oversized.energy_mj
+        );
+    }
+
+    #[test]
+    fn latency_and_energy_are_positive_everywhere() {
+        for point in run(ExperimentScale::Quick) {
+            assert!(point.latency_seconds > 0.0);
+            assert!(point.energy_mj > 0.0);
+            assert!(point.attention_cycles > 0);
+            assert!(point.projection_cycles > 0);
+        }
+    }
+}

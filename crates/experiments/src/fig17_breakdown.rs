@@ -1,0 +1,70 @@
+//! Fig. 17 — area and peak-power breakdown of the synthesized Bishop
+//! accelerator.
+
+use bishop_memsys::AreaPowerBreakdown;
+
+use crate::report::{percent, Table};
+
+/// Builds the breakdown table.
+pub fn run() -> Table {
+    let breakdown = AreaPowerBreakdown::bishop_28nm();
+    let mut table = Table::new(
+        "Fig. 17 — Bishop area and peak-power breakdown (28 nm, 500 MHz)",
+        &[
+            "Unit",
+            "Area (mm²)",
+            "Area share",
+            "Power (mW)",
+            "Power share",
+        ],
+    );
+    for component in breakdown.components() {
+        table.push_row(vec![
+            component.unit.name().to_string(),
+            format!("{:.3}", component.area_mm2),
+            percent(breakdown.area_fraction(component.unit)),
+            format!("{:.1}", component.power_mw),
+            percent(breakdown.power_fraction(component.unit)),
+        ]);
+    }
+    table.push_row(vec![
+        "TOTAL".to_string(),
+        format!("{:.2}", breakdown.total_area_mm2()),
+        "100.0%".to_string(),
+        format!("{:.1}", breakdown.total_power_mw()),
+        "100.0%".to_string(),
+    ]);
+    let ptb = AreaPowerBreakdown::ptb_28nm();
+    table.push_note(format!(
+        "PTB baseline for the iso-resource comparison: {:.2} mm², {:.1} mW.",
+        ptb.total_area_mm2(),
+        ptb.total_power_mw()
+    ));
+    table.push_note(
+        "Paper: dense core 0.92 mm²/246.1 mW, attention core 1.06 mm²/242.5 mW, sparse core \
+         0.38 mm²/72.2 mW, spike generator 0.09 mm²/18.1 mW, GLBs 0.495 mm²/48.3 mW; total \
+         2.96 mm² / 627 mW.",
+    );
+    table
+}
+
+/// Renders the experiment as markdown.
+pub fn report() -> String {
+    run().to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_memsys::HardwareUnit;
+
+    #[test]
+    fn table_covers_every_unit_plus_total() {
+        let table = run();
+        assert_eq!(table.len(), HardwareUnit::all().len() + 1);
+        let md = table.to_markdown();
+        assert!(md.contains("TTB attention core"));
+        assert!(md.contains("TOTAL"));
+        assert!(md.contains("2.96"));
+    }
+}

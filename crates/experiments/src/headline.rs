@@ -1,0 +1,192 @@
+//! §6.2–§6.4 headline numbers: average speedup/energy gains over the
+//! baselines, the ECP pruning statistics, the heterogeneity ablation, and the
+//! Fig. 1 contribution breakdown.
+
+use bishop_bundle::{ecp, BundleShape, EcpConfig, TrainingRegime};
+use bishop_core::{BishopConfig, BishopSimulator, SimOptions, StratifyPolicy};
+use bishop_model::ModelConfig;
+
+use crate::fig12_13_end_to_end::{evaluate_variants, VariantResults};
+use crate::paper;
+use crate::report::{percent, ratio, Table};
+use crate::workloads::{build_workload, paper_ecp_threshold, ExperimentScale};
+
+/// Aggregated headline metrics of the reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineSummary {
+    /// Per-model variant results.
+    pub per_model: Vec<VariantResults>,
+    /// Mean speedup of Bishop+BSA+ECP over PTB.
+    pub average_speedup_vs_ptb: f64,
+    /// Mean energy improvement of Bishop+BSA+ECP over PTB.
+    pub average_energy_vs_ptb: f64,
+    /// Mean speedup of Bishop over the edge GPU.
+    pub average_speedup_vs_gpu: f64,
+    /// Mean fraction of Q bundle rows pruned at the paper thresholds.
+    pub average_q_pruned: f64,
+    /// Mean fraction of K bundle rows pruned at the paper thresholds.
+    pub average_k_pruned: f64,
+    /// Heterogeneity ablation: speedup of the balanced split over all-dense.
+    pub heterogeneity_speedup: f64,
+    /// Heterogeneity ablation: energy saving of the balanced split.
+    pub heterogeneity_energy_saving: f64,
+}
+
+/// Computes the headline summary at the given scale.
+pub fn run(scale: ExperimentScale) -> HeadlineSummary {
+    let per_model: Vec<VariantResults> = scale
+        .paper_models()
+        .iter()
+        .map(|config| evaluate_variants(config, 2025))
+        .collect();
+    let n = per_model.len() as f64;
+    let average_speedup_vs_ptb =
+        per_model.iter().map(|r| r.bsa_ecp_speedup_vs_ptb()).sum::<f64>() / n;
+    let average_energy_vs_ptb =
+        per_model.iter().map(|r| r.bsa_ecp_energy_vs_ptb()).sum::<f64>() / n;
+    let average_speedup_vs_gpu =
+        per_model.iter().map(|r| r.bishop_speedup_vs_gpu()).sum::<f64>() / n;
+
+    // §6.3: average Q/K pruning at the paper's thresholds over the BSA
+    // workloads of Models 1–4.
+    let bundle = BundleShape::default();
+    let mut q_pruned = 0.0;
+    let mut k_pruned = 0.0;
+    let mut counted = 0usize;
+    for config in [
+        ModelConfig::model1_cifar10(),
+        ModelConfig::model2_cifar100(),
+        ModelConfig::model3_imagenet100(),
+        ModelConfig::model4_dvs_gesture(),
+    ] {
+        let config = scale.scale_config(&config);
+        let workload = build_workload(&config, TrainingRegime::Bsa, 99);
+        let theta = paper_ecp_threshold(&config);
+        for layer in workload.attention_layers() {
+            let result = ecp::apply(&layer.q, &layer.k, &layer.v, EcpConfig::uniform(theta, bundle));
+            q_pruned += 1.0 - result.q_retention();
+            k_pruned += 1.0 - result.k_retention();
+            counted += 1;
+        }
+    }
+    let average_q_pruned = q_pruned / counted as f64;
+    let average_k_pruned = k_pruned / counted as f64;
+
+    // §6.4 heterogeneity ablation on Model 3 (no BSA/ECP): balanced
+    // stratification vs forcing everything onto the dense core.
+    let model3 = scale.scale_config(&ModelConfig::model3_imagenet100());
+    let workload = build_workload(&model3, TrainingRegime::Baseline, 7);
+    let balanced = BishopSimulator::new(BishopConfig::default())
+        .simulate(&workload, &SimOptions::baseline());
+    let all_dense = BishopSimulator::new(
+        BishopConfig::default().with_stratify(StratifyPolicy::AllDense),
+    )
+    .simulate(&workload, &SimOptions::baseline());
+
+    HeadlineSummary {
+        per_model,
+        average_speedup_vs_ptb,
+        average_energy_vs_ptb,
+        average_speedup_vs_gpu,
+        average_q_pruned,
+        average_k_pruned,
+        heterogeneity_speedup: all_dense.total_latency_seconds()
+            / balanced.total_latency_seconds(),
+        heterogeneity_energy_saving: all_dense.total_energy_pj() / balanced.total_energy_pj(),
+    }
+}
+
+/// Renders the headline report as markdown.
+pub fn report(scale: ExperimentScale) -> String {
+    let summary = run(scale);
+    let mut table = Table::new(
+        "Headline comparison (paper §6.2–§6.4 vs measured)",
+        &["Metric", "Paper", "Measured"],
+    );
+    table.push_row(vec![
+        "Average speedup over PTB (Bishop+BSA+ECP)".to_string(),
+        ratio(paper::PAPER_AVERAGE_SPEEDUP_VS_PTB),
+        ratio(summary.average_speedup_vs_ptb),
+    ]);
+    table.push_row(vec![
+        "Average energy improvement over PTB (Bishop+BSA+ECP)".to_string(),
+        ratio(paper::PAPER_AVERAGE_ENERGY_VS_PTB),
+        ratio(summary.average_energy_vs_ptb),
+    ]);
+    table.push_row(vec![
+        "Average speedup over edge GPU (Bishop)".to_string(),
+        ratio(paper::PAPER_AVERAGE_SPEEDUP_VS_GPU),
+        ratio(summary.average_speedup_vs_gpu),
+    ]);
+    table.push_row(vec![
+        "Average Q tokens pruned by ECP".to_string(),
+        percent(paper::ecp::AVERAGE_Q_PRUNED),
+        percent(summary.average_q_pruned),
+    ]);
+    table.push_row(vec![
+        "Average K tokens pruned by ECP".to_string(),
+        percent(paper::ecp::AVERAGE_K_PRUNED),
+        percent(summary.average_k_pruned),
+    ]);
+    table.push_row(vec![
+        "Heterogeneity speedup (split vs all-dense, Model 3)".to_string(),
+        ratio(paper::heterogeneity::SPEEDUP),
+        ratio(summary.heterogeneity_speedup),
+    ]);
+    table.push_row(vec![
+        "Heterogeneity energy saving (Model 3)".to_string(),
+        ratio(paper::heterogeneity::ENERGY_SAVING),
+        ratio(summary.heterogeneity_energy_saving),
+    ]);
+
+    let mut per_model = Table::new(
+        "Per-model speedups over PTB (paper vs measured)",
+        &[
+            "Model",
+            "Bishop (paper)",
+            "Bishop (measured)",
+            "+BSA (paper)",
+            "+BSA (measured)",
+            "+BSA+ECP (paper)",
+            "+BSA+ECP (measured)",
+        ],
+    );
+    for (index, result) in summary.per_model.iter().enumerate() {
+        let paper_row = &paper::PAPER_SPEEDUPS[index.min(paper::PAPER_SPEEDUPS.len() - 1)];
+        per_model.push_row(vec![
+            result.config.name.clone(),
+            ratio(paper_row.bishop_vs_ptb),
+            ratio(result.bishop_speedup_vs_ptb()),
+            ratio(paper_row.bishop_bsa_vs_ptb),
+            ratio(result.bsa_speedup_vs_ptb()),
+            ratio(paper_row.bishop_bsa_ecp_vs_ptb),
+            ratio(result.bsa_ecp_speedup_vs_ptb()),
+        ]);
+    }
+    format!("{}\n{}", table.to_markdown(), per_model.to_markdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_trends_match_the_paper_shape() {
+        let summary = run(ExperimentScale::Quick);
+        assert!(summary.average_speedup_vs_ptb > 1.5);
+        assert!(summary.average_energy_vs_ptb > 1.2);
+        assert!(summary.average_speedup_vs_gpu > 10.0);
+        assert!(summary.heterogeneity_speedup >= 1.0);
+        assert!(summary.heterogeneity_energy_saving >= 0.9);
+        assert!(summary.average_q_pruned > 0.0 && summary.average_q_pruned < 1.0);
+        assert!(summary.average_k_pruned >= summary.average_q_pruned * 0.5);
+    }
+
+    #[test]
+    fn report_contains_paper_and_measured_columns() {
+        let text = report(ExperimentScale::Quick);
+        assert!(text.contains("Paper"));
+        assert!(text.contains("Measured"));
+        assert!(text.contains("5.91x"));
+    }
+}

@@ -1,0 +1,76 @@
+//! # bishop-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Bishop paper's evaluation (§6). Each module corresponds to one artefact
+//! and exposes
+//!
+//! * a structured `run(...)` entry point returning the measured rows, and
+//! * a `report()` function producing a self-contained markdown report that
+//!   also lists the paper-reported values for comparison.
+//!
+//! Binaries: `cargo run --release -p bishop-experiments --bin <experiment>`
+//! (one binary per table/figure) or `--bin all_experiments` for everything.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table1_accuracy`] | Table 1 — ANN vs SNN accuracy survey |
+//! | [`table2_models`] | Table 2 — evaluated model architectures |
+//! | [`fig03_flops`] | Fig. 3 — FLOPs breakdown |
+//! | [`fig05_bundle_distribution`] | Fig. 5 — active-bundle distribution w/ and w/o BSA |
+//! | [`fig06_stratified_density`] | Fig. 6 — stratified workload densities |
+//! | [`fig11_layerwise`] | Fig. 11 — layer-wise latency/energy vs PTB |
+//! | [`fig12_13_end_to_end`] | Fig. 12/13 — end-to-end latency and energy |
+//! | [`fig14_ecp_sweep`] | Fig. 14 — accuracy / efficiency vs ECP threshold |
+//! | [`fig15_stratification`] | Fig. 15 — stratification-threshold sweep |
+//! | [`fig16_bundle_volume`] | Fig. 16 — TTB bundle-volume sweep |
+//! | [`fig17_breakdown`] | Fig. 17 — area/power breakdown |
+//! | [`headline`] | §6.2–6.4 headline speedup/energy/heterogeneity numbers |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig03_flops;
+pub mod fig05_bundle_distribution;
+pub mod fig06_stratified_density;
+pub mod fig11_layerwise;
+pub mod fig12_13_end_to_end;
+pub mod fig14_ecp_sweep;
+pub mod fig15_stratification;
+pub mod fig16_bundle_volume;
+pub mod fig17_breakdown;
+pub mod headline;
+pub mod paper;
+pub mod report;
+pub mod table1_accuracy;
+pub mod table2_models;
+pub mod workloads;
+
+pub use report::Table;
+pub use workloads::{build_workload, ExperimentScale};
+
+/// Runs every experiment and concatenates the reports (the `all_experiments`
+/// binary and `EXPERIMENTS.md` generator).
+pub fn full_report(scale: ExperimentScale) -> String {
+    let mut sections = vec![
+        table1_accuracy::report(),
+        table2_models::report(),
+        fig03_flops::report(),
+        fig05_bundle_distribution::report(scale),
+        fig06_stratified_density::report(scale),
+        fig11_layerwise::report(scale),
+        fig12_13_end_to_end::report(scale),
+        fig14_ecp_sweep::report(scale),
+        fig15_stratification::report(scale),
+        fig16_bundle_volume::report(scale),
+        fig17_breakdown::report(),
+        headline::report(scale),
+    ];
+    sections.insert(
+        0,
+        format!(
+            "# Bishop reproduction — experiment report ({:?} scale)\n",
+            scale
+        ),
+    );
+    sections.join("\n")
+}

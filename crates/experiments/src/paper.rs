@@ -1,0 +1,166 @@
+//! Paper-reported reference values, used so every experiment report can show
+//! "paper vs. measured" side by side (and so `EXPERIMENTS.md` can be
+//! generated mechanically).
+
+/// Headline speedups of Bishop variants over the edge GPU and PTB (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperSpeedups {
+    /// Dataset / model label.
+    pub model: &'static str,
+    /// Bishop (HW only) speedup over the edge GPU.
+    pub bishop_vs_gpu: f64,
+    /// Bishop (HW only) speedup over PTB.
+    pub bishop_vs_ptb: f64,
+    /// Bishop+BSA speedup over PTB.
+    pub bishop_bsa_vs_ptb: f64,
+    /// Bishop+BSA+ECP speedup over PTB.
+    pub bishop_bsa_ecp_vs_ptb: f64,
+}
+
+/// The per-model speedups reported in §6.2.
+pub const PAPER_SPEEDUPS: [PaperSpeedups; 5] = [
+    PaperSpeedups {
+        model: "Model 1 (CIFAR10)",
+        bishop_vs_gpu: 173.9,
+        bishop_vs_ptb: 4.68,
+        bishop_bsa_vs_ptb: 6.37,
+        bishop_bsa_ecp_vs_ptb: 6.71,
+    },
+    PaperSpeedups {
+        model: "Model 2 (CIFAR100)",
+        bishop_vs_gpu: 156.0,
+        bishop_vs_ptb: 3.95,
+        bishop_bsa_vs_ptb: 4.90,
+        bishop_bsa_ecp_vs_ptb: 5.14,
+    },
+    PaperSpeedups {
+        model: "Model 3 (ImageNet-100)",
+        bishop_vs_gpu: 317.6,
+        bishop_vs_ptb: 5.17,
+        bishop_bsa_vs_ptb: 6.34,
+        bishop_bsa_ecp_vs_ptb: 7.73,
+    },
+    PaperSpeedups {
+        model: "Model 4 (DVS-Gesture)",
+        bishop_vs_gpu: 221.0,
+        bishop_vs_ptb: 3.30,
+        bishop_bsa_vs_ptb: 3.81,
+        bishop_bsa_ecp_vs_ptb: 4.06,
+    },
+    PaperSpeedups {
+        model: "Model 5 (Google SC)",
+        bishop_vs_gpu: 72.2,
+        bishop_vs_ptb: 1.43,
+        bishop_bsa_vs_ptb: 1.92,
+        bishop_bsa_ecp_vs_ptb: 4.0,
+    },
+];
+
+/// Average speedup of Bishop over PTB reported in the abstract/§6.2.
+pub const PAPER_AVERAGE_SPEEDUP_VS_PTB: f64 = 5.91;
+/// Average energy-efficiency improvement over PTB (abstract/§6.2).
+pub const PAPER_AVERAGE_ENERGY_VS_PTB: f64 = 6.11;
+/// Average speedup over the edge GPU (§6.2).
+pub const PAPER_AVERAGE_SPEEDUP_VS_GPU: f64 = 299.0;
+
+/// §6.4 heterogeneity ablation on ImageNet-100 (no BSA/ECP).
+pub mod heterogeneity {
+    /// Dense-core latency of a single-image inference (ms).
+    pub const DENSE_CORE_LATENCY_MS: f64 = 1.16;
+    /// Sparse-core latency (ms), running concurrently with the dense core.
+    pub const SPARSE_CORE_LATENCY_MS: f64 = 0.53;
+    /// Latency when everything is processed by the dense core (ms).
+    pub const ALL_DENSE_LATENCY_MS: f64 = 1.83;
+    /// Speedup from heterogeneity.
+    pub const SPEEDUP: f64 = 1.39;
+    /// Energy saving from heterogeneity.
+    pub const ENERGY_SAVING: f64 = 1.57;
+    /// Attention-core latency reduction range vs PTB.
+    pub const ATTENTION_LATENCY_REDUCTION: (f64, f64) = (10.7, 23.3);
+    /// Attention-core energy saving range vs PTB.
+    pub const ATTENTION_ENERGY_SAVING: (f64, f64) = (1.39, 1.96);
+}
+
+/// §6.3 ECP retention/пerformance statistics at the paper's thresholds.
+pub mod ecp {
+    /// Average fraction of spiking Q tokens pruned away.
+    pub const AVERAGE_Q_PRUNED: f64 = 0.5171;
+    /// Average fraction of spiking K tokens pruned away.
+    pub const AVERAGE_K_PRUNED: f64 = 0.6777;
+    /// Average fraction of the attention computation that remains.
+    pub const AVERAGE_COMPUTE_REMAINING: f64 = 0.155;
+    /// Average energy reduction of the self-attention layers.
+    pub const AVERAGE_ENERGY_REDUCTION: f64 = 0.8376;
+    /// Average latency reduction of the self-attention layers.
+    pub const AVERAGE_LATENCY_REDUCTION: f64 = 0.4392;
+    /// ImageNet-100: fraction of Q tokens retained.
+    pub const IMAGENET_Q_RETAINED: f64 = 0.107;
+    /// ImageNet-100: fraction of K tokens retained.
+    pub const IMAGENET_K_RETAINED: f64 = 0.097;
+}
+
+/// Fig. 1 contribution-by-contribution improvements over PTB.
+pub mod contributions {
+    /// TT-bundling + heterogeneous cores: (energy, speedup).
+    pub const BUNDLING_HETEROGENEOUS: (f64, f64) = (2.66, 4.27);
+    /// BSA training: (energy, speedup).
+    pub const BSA: (f64, f64) = (1.33, 1.25);
+    /// ECP pruning: (energy, speedup).
+    pub const ECP: (f64, f64) = (1.72, 1.38);
+}
+
+/// Fig. 15: EDP improvement of the balanced stratification vs PTB, and the
+/// worst-case degradation from imbalance.
+pub mod stratification {
+    /// EDP improvement over PTB at the balanced operating point.
+    pub const BALANCED_EDP_IMPROVEMENT: f64 = 2.49;
+    /// EDP degradation factor for a strongly imbalanced split.
+    pub const IMBALANCE_DEGRADATION: f64 = 1.65;
+}
+
+/// Table 1 accuracy survey (literature values reproduced verbatim).
+pub const TABLE1_ROWS: [(&str, &str, f64); 12] = [
+    ("CIFAR10", "ANN ResNet-19", 94.97),
+    ("CIFAR10", "ANN Transformer", 96.73),
+    ("CIFAR10", "SNN ResNet-19", 92.92),
+    ("CIFAR10", "Spiking Transformer", 95.19),
+    ("CIFAR100", "ANN Transformer", 81.02),
+    ("CIFAR100", "Spiking Transformer", 77.86),
+    ("DVS-Gesture", "ANN 12-layer CNN", 94.59),
+    ("DVS-Gesture", "Spiking Transformer", 98.3),
+    ("ImageNet", "ANN Transformer", 80.8),
+    ("ImageNet", "Spiking Transformer", 73.38),
+    ("Google SC", "AttentionRNN", 93.9),
+    ("Google SC", "Spiking Transformer", 95.11),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_are_consistent_with_per_model_numbers() {
+        let mean: f64 =
+            PAPER_SPEEDUPS.iter().map(|s| s.bishop_vs_ptb).sum::<f64>() / PAPER_SPEEDUPS.len() as f64;
+        // The paper's 5.91x average includes the BSA/ECP variants; the raw
+        // Bishop mean is lower but in the same regime.
+        assert!(mean > 3.0 && mean < PAPER_AVERAGE_SPEEDUP_VS_PTB);
+    }
+
+    #[test]
+    fn contribution_product_approximates_the_headline_energy_gain() {
+        let product = contributions::BUNDLING_HETEROGENEOUS.0
+            * contributions::BSA.0
+            * contributions::ECP.0;
+        assert!((product - PAPER_AVERAGE_ENERGY_VS_PTB).abs() < 0.3);
+    }
+
+    #[test]
+    fn table1_has_spiking_transformer_rows_for_every_dataset() {
+        for dataset in ["CIFAR10", "CIFAR100", "DVS-Gesture", "ImageNet", "Google SC"] {
+            assert!(TABLE1_ROWS
+                .iter()
+                .any(|(d, model, _)| *d == dataset && model.contains("Spiking Transformer")));
+        }
+    }
+}

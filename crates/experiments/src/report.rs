@@ -1,0 +1,149 @@
+//! Minimal table/report formatting helpers (markdown output).
+
+use std::fmt::Write as _;
+
+/// A simple titled table rendered as GitHub-flavoured markdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (rendered as a heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes rendered under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note shown under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+            for note in &self.notes {
+                let _ = writeln!(out, "> {note}");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Formats a latency in seconds using an appropriate unit.
+pub fn latency(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+/// Formats an energy in millijoules using an appropriate unit.
+pub fn energy_mj(mj: f64) -> String {
+    if mj >= 1.0 {
+        format!("{mj:.3} mJ")
+    } else {
+        format!("{:.2} uJ", mj * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut table = Table::new("Demo", &["a", "b"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        table.push_note("a note");
+        let md = table.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> a note"));
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_is_rejected() {
+        let mut table = Table::new("Demo", &["a", "b"]);
+        table.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters_pick_sensible_units() {
+        assert_eq!(ratio(5.912), "5.91x");
+        assert_eq!(percent(0.1234), "12.3%");
+        assert_eq!(latency(0.0025), "2.500 ms");
+        assert_eq!(latency(2.0), "2.000 s");
+        assert_eq!(latency(5e-6), "5.0 us");
+        assert_eq!(energy_mj(0.5), "0.50 uJ".replace("0.50", "500.00"));
+        assert_eq!(energy_mj(2.0), "2.000 mJ");
+    }
+}

@@ -1,0 +1,54 @@
+//! Table 2 — the spiking transformer architectures used by the evaluation.
+
+use bishop_model::ModelConfig;
+
+use crate::report::Table;
+
+/// Builds the model-architecture table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "Table 2 — spiking transformer architectures",
+        &[
+            "Model",
+            "Dataset",
+            "Blocks (B)",
+            "Timesteps (T)",
+            "Tokens (N)",
+            "Features (D)",
+            "Heads",
+            "Encoder params",
+        ],
+    );
+    for config in ModelConfig::paper_models() {
+        table.push_row(vec![
+            config.name.clone(),
+            config.dataset.to_string(),
+            config.blocks.to_string(),
+            config.timesteps.to_string(),
+            config.tokens.to_string(),
+            config.features.to_string(),
+            config.heads.to_string(),
+            format!("{:.1} M", config.encoder_parameter_count() as f64 / 1e6),
+        ]);
+    }
+    table
+}
+
+/// Renders the experiment as markdown.
+pub fn report() -> String {
+    run().to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_configurations() {
+        let table = run();
+        assert_eq!(table.len(), 5);
+        let md = table.to_markdown();
+        assert!(md.contains("| Model 3 | ImageNet-100 | 8 | 4 | 196 | 128 |"));
+        assert!(md.contains("| Model 1 | CIFAR10 | 4 | 10 | 64 | 384 |"));
+    }
+}

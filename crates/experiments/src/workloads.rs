@@ -1,0 +1,123 @@
+//! Workload construction shared by the experiments.
+
+use bishop_bundle::{DatasetCalibration, TrainingRegime};
+use bishop_model::workload::SyntheticTraceSpec;
+use bishop_model::{ModelConfig, ModelWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How large an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentScale {
+    /// The paper's full model configurations (Table 2). Use for the
+    /// release-mode binaries and benches.
+    Full,
+    /// Reduced configurations (fewer blocks/timesteps) for fast debug-mode
+    /// test runs; workload statistics are preserved, absolute magnitudes are
+    /// smaller.
+    Quick,
+}
+
+impl ExperimentScale {
+    /// Scales a paper model configuration according to the chosen scale.
+    pub fn scale_config(&self, config: &ModelConfig) -> ModelConfig {
+        match self {
+            ExperimentScale::Full => config.clone(),
+            ExperimentScale::Quick => {
+                let blocks = config.blocks.min(2);
+                let timesteps = config.timesteps.min(4);
+                let tokens = config.tokens.min(64);
+                let features = config.features.min(128);
+                let heads = config.heads.min(4);
+                ModelConfig::new(
+                    format!("{} (quick)", config.name),
+                    config.dataset,
+                    blocks,
+                    timesteps,
+                    tokens,
+                    features,
+                    heads,
+                )
+            }
+        }
+    }
+
+    /// The five paper models at this scale.
+    pub fn paper_models(&self) -> Vec<ModelConfig> {
+        ModelConfig::paper_models()
+            .iter()
+            .map(|m| self.scale_config(m))
+            .collect()
+    }
+}
+
+/// Builds a calibrated synthetic workload for `config` under the given
+/// training regime, with a deterministic seed derived from the model name.
+pub fn build_workload(
+    config: &ModelConfig,
+    regime: TrainingRegime,
+    seed: u64,
+) -> ModelWorkload {
+    let calibration = DatasetCalibration::for_model(config);
+    let spec: &SyntheticTraceSpec = calibration.spec(regime);
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&config.name));
+    ModelWorkload::synthetic(config, spec, &mut rng)
+}
+
+/// The paper's ECP pruning threshold for a model's dataset.
+pub fn paper_ecp_threshold(config: &ModelConfig) -> u32 {
+    DatasetCalibration::for_model(config).ecp_threshold
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_model::DatasetKind;
+
+    #[test]
+    fn quick_scale_shrinks_models() {
+        let full = ModelConfig::model3_imagenet100();
+        let quick = ExperimentScale::Quick.scale_config(&full);
+        assert!(quick.blocks <= 2);
+        assert!(quick.tokens <= 64);
+        assert_eq!(quick.dataset, DatasetKind::ImageNet100);
+        let same = ExperimentScale::Full.scale_config(&full);
+        assert_eq!(same, full);
+    }
+
+    #[test]
+    fn paper_models_cover_all_five() {
+        assert_eq!(ExperimentScale::Quick.paper_models().len(), 5);
+        assert_eq!(ExperimentScale::Full.paper_models().len(), 5);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let config = ExperimentScale::Quick.scale_config(&ModelConfig::model1_cifar10());
+        let a = build_workload(&config, TrainingRegime::Baseline, 7);
+        let b = build_workload(&config, TrainingRegime::Baseline, 7);
+        assert_eq!(a, b);
+        let c = build_workload(&config, TrainingRegime::Baseline, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bsa_workloads_are_sparser() {
+        let config = ExperimentScale::Quick.scale_config(&ModelConfig::model1_cifar10());
+        let baseline = build_workload(&config, TrainingRegime::Baseline, 1);
+        let bsa = build_workload(&config, TrainingRegime::Bsa, 1);
+        assert!(bsa.mean_projection_density() < baseline.mean_projection_density());
+    }
+
+    #[test]
+    fn ecp_thresholds_match_paper() {
+        assert_eq!(paper_ecp_threshold(&ModelConfig::model1_cifar10()), 6);
+        assert_eq!(paper_ecp_threshold(&ModelConfig::model4_dvs_gesture()), 10);
+    }
+}

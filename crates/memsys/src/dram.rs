@@ -1,0 +1,99 @@
+//! Off-chip DRAM model (DDR4-2400, as configured in §6.1 of the paper).
+
+use crate::energy::EnergyModel;
+
+/// Bandwidth/energy model of the off-chip memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramModel {
+    /// Peak sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Active power draw in watts (used for idle/background accounting).
+    pub power_watts: f64,
+    /// Minimum burst granularity in bytes; transfers are rounded up to it.
+    pub burst_bytes: usize,
+}
+
+impl DramModel {
+    /// The paper's configuration: DDR4-2400 with 76.8 GB/s of bandwidth and
+    /// 323.9 mW of power at a 500 MHz core clock.
+    pub fn ddr4_2400() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 76.8e9,
+            power_watts: 0.3239,
+            burst_bytes: 64,
+        }
+    }
+
+    /// Rounds a transfer size up to the burst granularity.
+    pub fn burst_aligned(&self, bytes: u64) -> u64 {
+        let burst = self.burst_bytes as u64;
+        bytes.div_ceil(burst) * burst
+    }
+
+    /// Time in seconds to move `bytes` (burst aligned) at peak bandwidth.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.burst_aligned(bytes) as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// Core-clock cycles (at `clock_hz`) the transfer occupies the DRAM
+    /// channel.
+    pub fn transfer_cycles(&self, bytes: u64, clock_hz: f64) -> u64 {
+        (self.transfer_seconds(bytes) * clock_hz).ceil() as u64
+    }
+
+    /// Access energy of the transfer in picojoules.
+    pub fn transfer_energy_pj(&self, bytes: u64, energy: &EnergyModel) -> f64 {
+        self.burst_aligned(bytes) as f64 * energy.dram_pj_per_byte
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        Self::ddr4_2400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_constants_match_the_paper() {
+        let dram = DramModel::ddr4_2400();
+        assert_eq!(dram.bandwidth_bytes_per_sec, 76.8e9);
+        assert!((dram.power_watts - 0.3239).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_alignment_rounds_up() {
+        let dram = DramModel::ddr4_2400();
+        assert_eq!(dram.burst_aligned(1), 64);
+        assert_eq!(dram.burst_aligned(64), 64);
+        assert_eq!(dram.burst_aligned(65), 128);
+        assert_eq!(dram.burst_aligned(0), 0);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let dram = DramModel::ddr4_2400();
+        let one = dram.transfer_seconds(1 << 20);
+        let two = dram.transfer_seconds(2 << 20);
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_use_the_core_clock() {
+        let dram = DramModel::ddr4_2400();
+        let cycles = dram.transfer_cycles(76_800, 500e6);
+        // 76.8 kB at 76.8 GB/s = 1 µs = 500 cycles at 500 MHz.
+        assert_eq!(cycles, 500);
+    }
+
+    #[test]
+    fn energy_uses_the_energy_table() {
+        let dram = DramModel::ddr4_2400();
+        let energy = EnergyModel::bishop_28nm();
+        let pj = dram.transfer_energy_pj(128, &energy);
+        assert!((pj - 128.0 * energy.dram_pj_per_byte).abs() < 1e-9);
+    }
+}

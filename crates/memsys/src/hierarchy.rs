@@ -1,0 +1,191 @@
+//! The three-level memory hierarchy (DRAM → GLBs → core-local buffers) and
+//! its traffic accounting.
+
+use crate::dram::DramModel;
+use crate::energy::EnergyModel;
+use crate::sram::SramBuffer;
+
+/// Byte counts moved at each level of the hierarchy during (part of) a
+/// simulation. Simulators accumulate one of these per layer and convert it to
+/// energy at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryTraffic {
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes read from the global buffers.
+    pub glb_read_bytes: u64,
+    /// Bytes written to the global buffers.
+    pub glb_write_bytes: u64,
+    /// Bytes read from core-local buffers.
+    pub local_read_bytes: u64,
+    /// Bytes written to core-local buffers.
+    pub local_write_bytes: u64,
+    /// Bytes moved through PE registers.
+    pub register_bytes: u64,
+}
+
+impl MemoryTraffic {
+    /// An empty traffic record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elementwise sum of two traffic records.
+    pub fn add(&self, other: &MemoryTraffic) -> MemoryTraffic {
+        MemoryTraffic {
+            dram_read_bytes: self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + other.dram_write_bytes,
+            glb_read_bytes: self.glb_read_bytes + other.glb_read_bytes,
+            glb_write_bytes: self.glb_write_bytes + other.glb_write_bytes,
+            local_read_bytes: self.local_read_bytes + other.local_read_bytes,
+            local_write_bytes: self.local_write_bytes + other.local_write_bytes,
+            register_bytes: self.register_bytes + other.register_bytes,
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn accumulate(&mut self, other: &MemoryTraffic) {
+        *self = self.add(other);
+    }
+
+    /// Total bytes that cross the off-chip boundary.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total bytes that touch the global buffers.
+    pub fn glb_bytes(&self) -> u64 {
+        self.glb_read_bytes + self.glb_write_bytes
+    }
+
+    /// Access energy of all recorded traffic in picojoules.
+    pub fn energy_pj(&self, energy: &EnergyModel) -> f64 {
+        self.dram_bytes() as f64 * energy.dram_pj_per_byte
+            + self.glb_read_bytes as f64 * energy.glb_read_pj_per_byte
+            + self.glb_write_bytes as f64 * energy.glb_write_pj_per_byte
+            + (self.local_read_bytes + self.local_write_bytes) as f64 * energy.local_pj_per_byte
+            + self.register_bytes as f64 * energy.register_pj_per_byte
+    }
+}
+
+/// The hierarchy configuration used by both accelerators: one DRAM channel,
+/// a weight GLB, and a ping-pong pair of spike TTB GLBs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryHierarchy {
+    /// Off-chip DRAM.
+    pub dram: DramModel,
+    /// Multi-bit weight global buffer.
+    pub weight_glb: SramBuffer,
+    /// Ping-pong spike TT-bundle global buffer 0.
+    pub spike_glb0: SramBuffer,
+    /// Ping-pong spike TT-bundle global buffer 1.
+    pub spike_glb1: SramBuffer,
+}
+
+impl MemoryHierarchy {
+    /// The paper's configuration (§6.1).
+    pub fn bishop_default() -> Self {
+        Self {
+            dram: DramModel::ddr4_2400(),
+            weight_glb: SramBuffer::weight_glb(),
+            spike_glb0: SramBuffer::spike_ttb_glb(),
+            spike_glb1: SramBuffer::spike_ttb_glb(),
+        }
+    }
+
+    /// Total on-chip SRAM capacity in bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.weight_glb.capacity_bytes
+            + self.spike_glb0.capacity_bytes
+            + self.spike_glb1.capacity_bytes
+    }
+
+    /// Cycles to bring `bytes` of weights from DRAM into the weight GLB and
+    /// stream them to the cores, assuming double buffering overlaps the DRAM
+    /// fill with compute: the visible cost is the larger of the DRAM transfer
+    /// and the GLB streaming.
+    pub fn weight_load_cycles(&self, bytes: u64, clock_hz: f64) -> u64 {
+        let dram_cycles = self.dram.transfer_cycles(bytes, clock_hz);
+        let glb_cycles = self.weight_glb.access_cycles(bytes);
+        dram_cycles.max(glb_cycles)
+    }
+
+    /// Cycles to stream `bytes` of spike data through a spike GLB.
+    pub fn spike_stream_cycles(&self, bytes: u64) -> u64 {
+        self.spike_glb0.access_cycles(bytes)
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        Self::bishop_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_addition_is_elementwise() {
+        let a = MemoryTraffic {
+            dram_read_bytes: 10,
+            glb_read_bytes: 5,
+            register_bytes: 1,
+            ..MemoryTraffic::new()
+        };
+        let b = MemoryTraffic {
+            dram_read_bytes: 3,
+            dram_write_bytes: 7,
+            glb_write_bytes: 2,
+            ..MemoryTraffic::new()
+        };
+        let sum = a.add(&b);
+        assert_eq!(sum.dram_read_bytes, 13);
+        assert_eq!(sum.dram_write_bytes, 7);
+        assert_eq!(sum.glb_read_bytes, 5);
+        assert_eq!(sum.glb_write_bytes, 2);
+        assert_eq!(sum.dram_bytes(), 20);
+        assert_eq!(sum.glb_bytes(), 7);
+
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn energy_is_dominated_by_dram_for_equal_byte_counts() {
+        let energy = EnergyModel::bishop_28nm();
+        let dram_heavy = MemoryTraffic {
+            dram_read_bytes: 1000,
+            ..MemoryTraffic::new()
+        };
+        let glb_heavy = MemoryTraffic {
+            glb_read_bytes: 1000,
+            ..MemoryTraffic::new()
+        };
+        assert!(dram_heavy.energy_pj(&energy) > 10.0 * glb_heavy.energy_pj(&energy));
+    }
+
+    #[test]
+    fn default_hierarchy_matches_paper_capacities() {
+        let hierarchy = MemoryHierarchy::bishop_default();
+        assert_eq!(hierarchy.total_sram_bytes(), (144 + 12 + 12) * 1024);
+    }
+
+    #[test]
+    fn weight_load_overlaps_dram_and_glb() {
+        let hierarchy = MemoryHierarchy::bishop_default();
+        let cycles = hierarchy.weight_load_cycles(64 * 1024, 500e6);
+        let dram_only = hierarchy.dram.transfer_cycles(64 * 1024, 500e6);
+        let glb_only = hierarchy.weight_glb.access_cycles(64 * 1024);
+        assert_eq!(cycles, dram_only.max(glb_only));
+    }
+
+    #[test]
+    fn empty_traffic_has_zero_energy() {
+        assert_eq!(MemoryTraffic::new().energy_pj(&EnergyModel::bishop_28nm()), 0.0);
+    }
+}

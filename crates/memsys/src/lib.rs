@@ -1,0 +1,39 @@
+//! # bishop-memsys
+//!
+//! Memory-system and technology models shared by the Bishop and PTB
+//! accelerator simulators: a 28 nm per-event energy table, a DDR4 DRAM
+//! bandwidth/energy model, SRAM global-buffer models (the paper's 144 KB
+//! weight GLB and 2 × 12 KB ping-pong spike TTB GLBs), a traffic accountant
+//! for the three-level hierarchy, and the area/power breakdown constants of
+//! the synthesized design (Fig. 17 of the paper).
+//!
+//! The paper derives its energy numbers from CACTI 7.0 and a commercial
+//! 28 nm synthesis; this crate substitutes those tools with a constants table
+//! calibrated so that the modelled accelerator reproduces the published
+//! aggregate area (2.96 mm²) and peak power (627 mW) — see `DESIGN.md`.
+//!
+//! ```
+//! use bishop_memsys::{DramModel, EnergyModel};
+//!
+//! let dram = DramModel::ddr4_2400();
+//! let energy = EnergyModel::bishop_28nm();
+//! // Streaming 1 MiB from DRAM at 76.8 GB/s takes ~13.65 µs.
+//! let seconds = dram.transfer_seconds(1 << 20);
+//! assert!((seconds - 1.365e-5).abs() < 1e-6);
+//! assert!(energy.dram_pj_per_byte > energy.glb_read_pj_per_byte);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod dram;
+pub mod energy;
+pub mod hierarchy;
+pub mod sram;
+
+pub use area::{AreaPowerBreakdown, ComponentBudget, HardwareUnit};
+pub use dram::DramModel;
+pub use energy::EnergyModel;
+pub use hierarchy::{MemoryHierarchy, MemoryTraffic};
+pub use sram::SramBuffer;

@@ -1,0 +1,135 @@
+//! On-chip SRAM buffer models (global buffers and core-local buffers).
+
+use crate::energy::EnergyModel;
+
+/// A single- or double-buffered on-chip SRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramBuffer {
+    /// Human-readable name, e.g. `"weight GLB"`.
+    pub name: String,
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Read/write port width in bits.
+    pub port_bits: usize,
+    /// Whether the buffer is ping-pong (double) buffered; if so only half the
+    /// capacity is usable per phase while the other half is being filled.
+    pub double_buffered: bool,
+}
+
+impl SramBuffer {
+    /// The paper's 144 KB weight global buffer with 512-bit ports.
+    pub fn weight_glb() -> Self {
+        Self {
+            name: "weight GLB".to_string(),
+            capacity_bytes: 144 * 1024,
+            port_bits: 512,
+            double_buffered: true,
+        }
+    }
+
+    /// One of the paper's 12 KB spike TT-bundle global buffers (two of these
+    /// form the ping-pong pair GLB0/GLB1).
+    pub fn spike_ttb_glb() -> Self {
+        Self {
+            name: "spike TTB GLB".to_string(),
+            capacity_bytes: 12 * 1024,
+            port_bits: 512,
+            double_buffered: true,
+        }
+    }
+
+    /// A core-local operand buffer.
+    pub fn local_buffer(name: &str, capacity_bytes: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity_bytes,
+            port_bits: 256,
+            double_buffered: false,
+        }
+    }
+
+    /// Usable capacity per phase (half the physical capacity when
+    /// double-buffered).
+    pub fn usable_bytes(&self) -> usize {
+        if self.double_buffered {
+            self.capacity_bytes / 2
+        } else {
+            self.capacity_bytes
+        }
+    }
+
+    /// Whether a working set of `bytes` fits in the usable capacity.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.usable_bytes()
+    }
+
+    /// Number of port cycles needed to stream `bytes` through this buffer.
+    pub fn access_cycles(&self, bytes: u64) -> u64 {
+        let bytes_per_cycle = (self.port_bits / 8) as u64;
+        bytes.div_ceil(bytes_per_cycle.max(1))
+    }
+
+    /// Number of tiles a working set of `total_bytes` must be split into to
+    /// fit the usable capacity.
+    pub fn tiles_needed(&self, total_bytes: u64) -> u64 {
+        (total_bytes).div_ceil(self.usable_bytes().max(1) as u64).max(1)
+    }
+
+    /// Read energy for `bytes` in picojoules.
+    pub fn read_energy_pj(&self, bytes: u64, energy: &EnergyModel) -> f64 {
+        bytes as f64 * energy.glb_read_pj_per_byte
+    }
+
+    /// Write energy for `bytes` in picojoules.
+    pub fn write_energy_pj(&self, bytes: u64, energy: &EnergyModel) -> f64 {
+        bytes as f64 * energy.glb_write_pj_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_buffer_sizes() {
+        assert_eq!(SramBuffer::weight_glb().capacity_bytes, 147_456);
+        assert_eq!(SramBuffer::spike_ttb_glb().capacity_bytes, 12_288);
+        assert_eq!(SramBuffer::weight_glb().port_bits, 512);
+    }
+
+    #[test]
+    fn double_buffering_halves_usable_capacity() {
+        let glb = SramBuffer::weight_glb();
+        assert_eq!(glb.usable_bytes(), 72 * 1024);
+        assert!(glb.fits(70 * 1024));
+        assert!(!glb.fits(80 * 1024));
+        let local = SramBuffer::local_buffer("acc", 4096);
+        assert_eq!(local.usable_bytes(), 4096);
+    }
+
+    #[test]
+    fn access_cycles_respect_port_width() {
+        let glb = SramBuffer::weight_glb();
+        // 512-bit port = 64 bytes per cycle.
+        assert_eq!(glb.access_cycles(64), 1);
+        assert_eq!(glb.access_cycles(65), 2);
+        assert_eq!(glb.access_cycles(0), 0);
+    }
+
+    #[test]
+    fn tiling_covers_large_working_sets() {
+        let glb = SramBuffer::spike_ttb_glb();
+        assert_eq!(glb.tiles_needed(1), 1);
+        assert_eq!(glb.tiles_needed(6 * 1024), 1);
+        assert_eq!(glb.tiles_needed(12 * 1024), 2);
+        assert_eq!(glb.tiles_needed(0), 1);
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let glb = SramBuffer::weight_glb();
+        let energy = EnergyModel::bishop_28nm();
+        assert!(glb.write_energy_pj(100, &energy) > glb.read_energy_pj(100, &energy));
+        assert_eq!(glb.read_energy_pj(0, &energy), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Model architecture configurations (Table 2 of the paper).
+
+use std::fmt;
+
+use bishop_spiketensor::TensorShape;
+
+/// The dataset a spiking transformer model targets.
+///
+/// Only the *workload shape and statistics* of the datasets matter to the
+/// accelerator evaluation; the datasets themselves are substituted by
+/// synthetic generators (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// CIFAR-10 (32×32 static images, 10 classes).
+    Cifar10,
+    /// CIFAR-100 (32×32 static images, 100 classes).
+    Cifar100,
+    /// ImageNet-100 (224×224 static images, 100 classes).
+    ImageNet100,
+    /// DVS-Gesture-128 (128×128 event streams, 11 classes).
+    DvsGesture,
+    /// Google Speech Commands V2 (1 s audio snippets, 35 keywords).
+    GoogleSpeechCommands,
+}
+
+impl DatasetKind {
+    /// All datasets used in the paper's evaluation, in Model 1..5 order.
+    pub fn all() -> [DatasetKind; 5] {
+        [
+            DatasetKind::Cifar10,
+            DatasetKind::Cifar100,
+            DatasetKind::ImageNet100,
+            DatasetKind::DvsGesture,
+            DatasetKind::GoogleSpeechCommands,
+        ]
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetKind::Cifar10 => 10,
+            DatasetKind::Cifar100 => 100,
+            DatasetKind::ImageNet100 => 100,
+            DatasetKind::DvsGesture => 11,
+            DatasetKind::GoogleSpeechCommands => 35,
+        }
+    }
+
+    /// Whether the input is natively event-based (spiking) rather than a
+    /// static frame.
+    pub fn is_event_based(&self) -> bool {
+        matches!(self, DatasetKind::DvsGesture)
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DatasetKind::Cifar10 => "CIFAR10",
+            DatasetKind::Cifar100 => "CIFAR100",
+            DatasetKind::ImageNet100 => "ImageNet-100",
+            DatasetKind::DvsGesture => "DVS-Gesture",
+            DatasetKind::GoogleSpeechCommands => "Google SC",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Architecture hyper-parameters of a spiking transformer (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable model name ("Model 1" … "Model 5" for the paper's
+    /// configurations).
+    pub name: String,
+    /// Target dataset.
+    pub dataset: DatasetKind,
+    /// Number of encoder blocks `L` (the paper's `B` column).
+    pub blocks: usize,
+    /// Number of timesteps `T`.
+    pub timesteps: usize,
+    /// Number of tokens `N`.
+    pub tokens: usize,
+    /// Embedding feature dimension `D`.
+    pub features: usize,
+    /// Number of attention heads `H`.
+    pub heads: usize,
+    /// MLP hidden expansion ratio (hidden dim = ratio × D).
+    pub mlp_ratio: usize,
+    /// Weight precision in bits (the paper assumes multi-bit, typically
+    /// 8-bit, weights).
+    pub weight_bits: usize,
+    /// log2 of the power-of-two attention scaling factor `s` in Eq. 6
+    /// (`score * 2^-scale_shift`), implemented as a bit shift in hardware.
+    pub scale_shift: u32,
+}
+
+impl ModelConfig {
+    /// Builds a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural dimension is zero or `heads` does not divide
+    /// `features`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        dataset: DatasetKind,
+        blocks: usize,
+        timesteps: usize,
+        tokens: usize,
+        features: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(
+            blocks > 0 && timesteps > 0 && tokens > 0 && features > 0 && heads > 0,
+            "model dimensions must be non-zero"
+        );
+        assert_eq!(
+            features % heads,
+            0,
+            "feature dimension {features} must be divisible by {heads} heads"
+        );
+        Self {
+            name: name.into(),
+            dataset,
+            blocks,
+            timesteps,
+            tokens,
+            features,
+            heads,
+            mlp_ratio: 4,
+            weight_bits: 8,
+            scale_shift: (features / heads).ilog2() / 2,
+        }
+    }
+
+    /// Model 1: CIFAR-10 — 4 blocks, T=10, N=64, D=384.
+    pub fn model1_cifar10() -> Self {
+        Self::new("Model 1", DatasetKind::Cifar10, 4, 10, 64, 384, 8)
+    }
+
+    /// Model 2: CIFAR-100 — 4 blocks, T=8, N=64, D=384.
+    pub fn model2_cifar100() -> Self {
+        Self::new("Model 2", DatasetKind::Cifar100, 4, 8, 64, 384, 8)
+    }
+
+    /// Model 3: ImageNet-100 — 8 blocks, T=4, N=196, D=128.
+    pub fn model3_imagenet100() -> Self {
+        Self::new("Model 3", DatasetKind::ImageNet100, 8, 4, 196, 128, 8)
+    }
+
+    /// Model 4: DVS-Gesture — 2 blocks, T=20, N=64, D=128.
+    pub fn model4_dvs_gesture() -> Self {
+        Self::new("Model 4", DatasetKind::DvsGesture, 2, 20, 64, 128, 8)
+    }
+
+    /// Model 5: Google Speech Commands — 4 blocks, T=8, N=256, D=384.
+    pub fn model5_google_sc() -> Self {
+        Self::new(
+            "Model 5",
+            DatasetKind::GoogleSpeechCommands,
+            4,
+            8,
+            256,
+            384,
+            8,
+        )
+    }
+
+    /// The five paper configurations in order (Table 2).
+    pub fn paper_models() -> Vec<ModelConfig> {
+        vec![
+            Self::model1_cifar10(),
+            Self::model2_cifar100(),
+            Self::model3_imagenet100(),
+            Self::model4_dvs_gesture(),
+            Self::model5_google_sc(),
+        ]
+    }
+
+    /// Overrides the MLP expansion ratio.
+    pub fn with_mlp_ratio(mut self, ratio: usize) -> Self {
+        assert!(ratio > 0, "MLP ratio must be non-zero");
+        self.mlp_ratio = ratio;
+        self
+    }
+
+    /// Overrides the weight precision.
+    pub fn with_weight_bits(mut self, bits: usize) -> Self {
+        assert!(bits > 0 && bits <= 32, "weight bits must be in 1..=32");
+        self.weight_bits = bits;
+        self
+    }
+
+    /// Shape of the activation tensors flowing between blocks.
+    pub fn activation_shape(&self) -> TensorShape {
+        TensorShape::new(self.timesteps, self.tokens, self.features)
+    }
+
+    /// Feature dimension of a single attention head.
+    pub fn head_features(&self) -> usize {
+        self.features / self.heads
+    }
+
+    /// MLP hidden dimension.
+    pub fn mlp_hidden(&self) -> usize {
+        self.mlp_ratio * self.features
+    }
+
+    /// Whether attention complexity dominates the MLP/projection complexity
+    /// (the paper's `N ≫ D` vs `D ≫ N` discussion in §2.2).
+    pub fn attention_dominated(&self) -> bool {
+        self.tokens > self.features
+    }
+
+    /// Total number of weight parameters in MLP + projection layers across
+    /// all blocks (tokenizer and classifier head excluded).
+    pub fn encoder_parameter_count(&self) -> usize {
+        let d = self.features;
+        let per_block_projections = 4 * d * d;
+        let per_block_mlp = 2 * d * self.mlp_hidden();
+        self.blocks * (per_block_projections + per_block_mlp)
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}: B={}, T={}, N={}, D={}, H={})",
+            self.name,
+            self.dataset,
+            self.blocks,
+            self.timesteps,
+            self.tokens,
+            self.features,
+            self.heads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_match_paper() {
+        let m1 = ModelConfig::model1_cifar10();
+        assert_eq!((m1.blocks, m1.timesteps, m1.tokens, m1.features), (4, 10, 64, 384));
+        let m2 = ModelConfig::model2_cifar100();
+        assert_eq!((m2.blocks, m2.timesteps, m2.tokens, m2.features), (4, 8, 64, 384));
+        let m3 = ModelConfig::model3_imagenet100();
+        assert_eq!((m3.blocks, m3.timesteps, m3.tokens, m3.features), (8, 4, 196, 128));
+        let m4 = ModelConfig::model4_dvs_gesture();
+        assert_eq!((m4.blocks, m4.timesteps, m4.tokens, m4.features), (2, 20, 64, 128));
+        let m5 = ModelConfig::model5_google_sc();
+        assert_eq!((m5.blocks, m5.timesteps, m5.tokens, m5.features), (4, 8, 256, 384));
+    }
+
+    #[test]
+    fn attention_domination_matches_shape() {
+        // D >> N for CIFAR models, so MLP/projection dominate.
+        assert!(!ModelConfig::model1_cifar10().attention_dominated());
+        // N > D for ImageNet-100, so attention dominates.
+        assert!(ModelConfig::model3_imagenet100().attention_dominated());
+    }
+
+    #[test]
+    fn head_features_divide_evenly() {
+        for model in ModelConfig::paper_models() {
+            assert_eq!(model.head_features() * model.heads, model.features);
+        }
+    }
+
+    #[test]
+    fn activation_shape_matches_dimensions() {
+        let m = ModelConfig::model3_imagenet100();
+        let shape = m.activation_shape();
+        assert_eq!(shape.timesteps, 4);
+        assert_eq!(shape.tokens, 196);
+        assert_eq!(shape.features, 128);
+    }
+
+    #[test]
+    fn parameter_count_formula() {
+        let m = ModelConfig::model4_dvs_gesture();
+        // 2 blocks x (4*128*128 + 2*128*512)
+        assert_eq!(m.encoder_parameter_count(), 2 * (4 * 128 * 128 + 2 * 128 * 512));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let m = ModelConfig::model1_cifar10()
+            .with_mlp_ratio(2)
+            .with_weight_bits(4);
+        assert_eq!(m.mlp_hidden(), 768);
+        assert_eq!(m.weight_bits, 4);
+    }
+
+    #[test]
+    fn dataset_metadata() {
+        assert_eq!(DatasetKind::Cifar100.classes(), 100);
+        assert!(DatasetKind::DvsGesture.is_event_based());
+        assert!(!DatasetKind::Cifar10.is_event_based());
+        assert_eq!(DatasetKind::all().len(), 5);
+        assert_eq!(format!("{}", DatasetKind::ImageNet100), "ImageNet-100");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn heads_must_divide_features() {
+        ModelConfig::new("bad", DatasetKind::Cifar10, 1, 1, 4, 10, 3);
+    }
+
+    #[test]
+    fn display_contains_key_dimensions() {
+        let text = format!("{}", ModelConfig::model5_google_sc());
+        assert!(text.contains("N=256"));
+        assert!(text.contains("Google SC"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Analytic computational-complexity profiling (Fig. 3 / §2.2 of the paper).
+//!
+//! The profiler counts the floating-point-equivalent operations of every
+//! component of a spiking transformer inference, reproducing the FLOPs
+//! breakdown that motivates targeting the attention and MLP blocks:
+//!
+//! * MLP + projection layers: `O(T·N·D²)`
+//! * attention layers: `O(T·N²·D)`
+//! * LIF layers: `O(T·N·D)`
+//! * tokenizer: `O(T·H·W·C²·K²)`
+
+use crate::config::{DatasetKind, ModelConfig};
+
+/// Input geometry used to estimate tokenizer cost for each dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputGeometry {
+    /// Input height in pixels (or spectrogram frames).
+    pub height: usize,
+    /// Input width in pixels (or mel bins).
+    pub width: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Convolutional kernel size of the tokenizer stem.
+    pub kernel: usize,
+}
+
+impl InputGeometry {
+    /// Canonical geometry of each evaluation dataset.
+    pub fn for_dataset(dataset: DatasetKind) -> Self {
+        match dataset {
+            DatasetKind::Cifar10 | DatasetKind::Cifar100 => Self {
+                height: 32,
+                width: 32,
+                channels: 3,
+                kernel: 3,
+            },
+            DatasetKind::ImageNet100 => Self {
+                height: 224,
+                width: 224,
+                channels: 3,
+                kernel: 3,
+            },
+            DatasetKind::DvsGesture => Self {
+                height: 128,
+                width: 128,
+                channels: 2,
+                kernel: 3,
+            },
+            DatasetKind::GoogleSpeechCommands => Self {
+                height: 101,
+                width: 40,
+                channels: 1,
+                kernel: 3,
+            },
+        }
+    }
+}
+
+/// FLOP counts of each component of one model inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    /// Q/K/V and output projection layers across all blocks.
+    pub projection_flops: u64,
+    /// MLP layers across all blocks.
+    pub mlp_flops: u64,
+    /// Spiking attention layers (`S = Q·Kᵀ` and `Y = S·V`) across all blocks.
+    pub attention_flops: u64,
+    /// LIF neuron updates across all blocks.
+    pub lif_flops: u64,
+    /// Tokenizer stem.
+    pub tokenizer_flops: u64,
+    /// Classification head.
+    pub head_flops: u64,
+}
+
+impl WorkloadProfile {
+    /// Profiles a model configuration.
+    pub fn of(config: &ModelConfig) -> Self {
+        let t = config.timesteps as u64;
+        let n = config.tokens as u64;
+        let d = config.features as u64;
+        let hidden = config.mlp_hidden() as u64;
+        let blocks = config.blocks as u64;
+        let geometry = InputGeometry::for_dataset(config.dataset);
+
+        // One multiply-accumulate = 2 FLOPs.
+        let projection_flops = blocks * 4 * 2 * t * n * d * d;
+        let mlp_flops = blocks * 2 * 2 * t * n * d * hidden;
+        let attention_flops = blocks * 2 * 2 * t * n * n * d;
+        // Each LIF update is ~3 ops (accumulate, compare, reset); applied to
+        // Q/K/V, attention output, and the two MLP stages per block.
+        let lif_stages = 6;
+        let lif_flops = blocks * lif_stages * 3 * t * n * d;
+        let tokenizer_flops = 2
+            * t
+            * geometry.height as u64
+            * geometry.width as u64
+            * (geometry.channels as u64).pow(2)
+            * (geometry.kernel as u64).pow(2);
+        let head_flops = 2 * d * config.dataset.classes() as u64;
+
+        Self {
+            projection_flops,
+            mlp_flops,
+            attention_flops,
+            lif_flops,
+            tokenizer_flops,
+            head_flops,
+        }
+    }
+
+    /// Profiles a hypothetical configuration with explicit `(T, N, D)` and
+    /// block count, keeping the ImageNet input geometry. Used for the Fig. 3
+    /// sweep over token/feature sizes.
+    pub fn of_shape(timesteps: usize, tokens: usize, features: usize, blocks: usize) -> Self {
+        let config = ModelConfig::new(
+            format!("profile-N{tokens}-D{features}"),
+            DatasetKind::ImageNet100,
+            blocks,
+            timesteps,
+            tokens,
+            features,
+            1,
+        );
+        Self::of(&config)
+    }
+
+    /// Total FLOPs of one inference.
+    pub fn total(&self) -> u64 {
+        self.projection_flops
+            + self.mlp_flops
+            + self.attention_flops
+            + self.lif_flops
+            + self.tokenizer_flops
+            + self.head_flops
+    }
+
+    /// Fraction of FLOPs spent in attention layers.
+    pub fn attention_fraction(&self) -> f64 {
+        self.attention_flops as f64 / self.total() as f64
+    }
+
+    /// Fraction of FLOPs spent in MLP layers.
+    pub fn mlp_fraction(&self) -> f64 {
+        self.mlp_flops as f64 / self.total() as f64
+    }
+
+    /// Fraction of FLOPs spent in projection layers.
+    pub fn projection_fraction(&self) -> f64 {
+        self.projection_flops as f64 / self.total() as f64
+    }
+
+    /// Combined attention + MLP fraction — the 66.5 %–91.0 % range reported
+    /// in Fig. 3 for the ImageNet-scale configurations.
+    pub fn attention_plus_mlp_fraction(&self) -> f64 {
+        self.attention_fraction() + self.mlp_fraction()
+    }
+
+    /// Named component breakdown in a stable order (for reports).
+    pub fn breakdown(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("attention", self.attention_flops),
+            ("mlp", self.mlp_flops),
+            ("projection", self.projection_flops),
+            ("lif", self.lif_flops),
+            ("tokenizer", self.tokenizer_flops),
+            ("head", self.head_flops),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_dominates_when_tokens_exceed_features() {
+        let profile = WorkloadProfile::of(&ModelConfig::model3_imagenet100());
+        assert!(profile.attention_fraction() > profile.projection_fraction() / 4.0);
+        // N=196 > D=128 so attention cost > a single projection layer's cost.
+        assert!(profile.attention_flops > profile.projection_flops / 4);
+    }
+
+    #[test]
+    fn mlp_dominates_when_features_exceed_tokens() {
+        let profile = WorkloadProfile::of(&ModelConfig::model1_cifar10());
+        assert!(profile.mlp_fraction() > profile.attention_fraction());
+    }
+
+    #[test]
+    fn fig3_range_attention_plus_mlp_dominate() {
+        // Fig. 3: across ImageNet-scale configurations the attention + MLP
+        // share ranges from ~66.5 % to ~91 %.
+        for (n, d) in [(128, 256), (196, 128), (256, 128), (256, 256)] {
+            let profile = WorkloadProfile::of_shape(4, n, d, 8);
+            let share = profile.attention_plus_mlp_fraction();
+            assert!(
+                share > 0.6 && share < 0.99,
+                "attention+MLP share {share} out of expected range for N={n}, D={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_share_grows_with_token_count() {
+        let small_n = WorkloadProfile::of_shape(4, 128, 128, 8);
+        let large_n = WorkloadProfile::of_shape(4, 256, 128, 8);
+        assert!(large_n.attention_fraction() > small_n.attention_fraction());
+    }
+
+    #[test]
+    fn projection_flops_formula() {
+        let config = ModelConfig::new("p", DatasetKind::Cifar10, 2, 3, 5, 8, 1);
+        let profile = WorkloadProfile::of(&config);
+        assert_eq!(profile.projection_flops, 2 * 4 * 2 * 3 * 5 * 8 * 8);
+        assert_eq!(profile.mlp_flops, 2 * 2 * 2 * 3 * 5 * 8 * 32);
+        assert_eq!(profile.attention_flops, 2 * 2 * 2 * 3 * 5 * 5 * 8);
+    }
+
+    #[test]
+    fn total_is_sum_of_breakdown() {
+        let profile = WorkloadProfile::of(&ModelConfig::model5_google_sc());
+        let sum: u64 = profile.breakdown().iter().map(|(_, v)| v).sum();
+        assert_eq!(profile.total(), sum);
+    }
+
+    #[test]
+    fn tokenizer_is_not_dominant() {
+        for config in ModelConfig::paper_models() {
+            let profile = WorkloadProfile::of(&config);
+            assert!(
+                (profile.tokenizer_flops as f64) < 0.5 * profile.total() as f64,
+                "tokenizer should not dominate for {}",
+                config.name
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_lookup_covers_all_datasets() {
+        for dataset in DatasetKind::all() {
+            let g = InputGeometry::for_dataset(dataset);
+            assert!(g.height > 0 && g.width > 0 && g.channels > 0 && g.kernel > 0);
+        }
+    }
+}

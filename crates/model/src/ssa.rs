@@ -1,0 +1,296 @@
+//! Multi-head Spiking Self-Attention (SSA), Eq. 3–8 of the paper.
+
+use bishop_neuron::{lif_over_time, LifConfig};
+use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
+use rand::Rng;
+
+use crate::projection::SpikingLinear;
+
+/// Output bundle of an SSA block forward pass.
+///
+/// Besides the block output it exposes the intermediate binary tensors the
+/// accelerator operates on (Q/K/V, the spiking attention output before the
+/// final projection), because those are exactly the operands the Bishop
+/// attention core loads, the ECP algorithm prunes, and the workload builder
+/// captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsaOutput {
+    /// Spiking queries (all heads concatenated), `T × N × D`.
+    pub q: SpikeTensor,
+    /// Spiking keys, `T × N × D`.
+    pub k: SpikeTensor,
+    /// Spiking values, `T × N × D`.
+    pub v: SpikeTensor,
+    /// Binary attention activations `O_temp = LIF(concat(S·V))`, `T × N × D`
+    /// (Eq. 7).
+    pub o_temp: SpikeTensor,
+    /// Block output after the final projection `W_O` and its LIF stage,
+    /// `T × N × D`.
+    pub output: SpikeTensor,
+    /// Integer attention score matrices, indexed `[head][timestep]`, each
+    /// `N × N`. Scores are *unscaled* accumulations of AND operations; the
+    /// power-of-two scaling is applied when computing `Y`.
+    pub scores: Vec<Vec<DenseMatrix>>,
+}
+
+impl SsaOutput {
+    /// Maximum attention score observed across all heads/timesteps; bounded
+    /// by the per-head feature count because Q/K are binary (this is the
+    /// property ECP's error bound builds on).
+    pub fn max_score(&self) -> f32 {
+        self.scores
+            .iter()
+            .flatten()
+            .map(|m| m.as_slice().iter().cloned().fold(0.0, f32::max))
+            .fold(0.0, f32::max)
+    }
+}
+
+/// A multi-head spiking self-attention block.
+///
+/// The computation follows Eq. 3–8: Q/K/V are produced by spiking linear
+/// layers; per head and per timestep the integer score matrix `S = Q·Kᵀ` is
+/// computed from binary operands (AND + accumulate in hardware), scaled by a
+/// power of two, multiplied with the binary `V` (select + accumulate), the
+/// head outputs are concatenated and passed through an LIF layer *before*
+/// the final projection `W_O` (the re-ordering relative to Spikformer that
+/// keeps the final projection multiplication-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikingSelfAttention {
+    heads: usize,
+    scale_shift: u32,
+    wq: SpikingLinear,
+    wk: SpikingLinear,
+    wv: SpikingLinear,
+    wo: SpikingLinear,
+}
+
+impl SpikingSelfAttention {
+    /// Creates an SSA block with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `features`.
+    pub fn random<R: Rng>(
+        features: usize,
+        heads: usize,
+        scale_shift: u32,
+        lif: LifConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(heads > 0 && features % heads == 0, "heads must divide features");
+        let scale = 1.0 / (features as f32).sqrt();
+        Self {
+            heads,
+            scale_shift,
+            wq: SpikingLinear::random(features, features, scale, lif, rng),
+            wk: SpikingLinear::random(features, features, scale, lif, rng),
+            wv: SpikingLinear::random(features, features, scale, lif, rng),
+            wo: SpikingLinear::random(features, features, scale, lif, rng),
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// The power-of-two scaling exponent applied to attention scores.
+    pub fn scale_shift(&self) -> u32 {
+        self.scale_shift
+    }
+
+    /// The Q projection layer.
+    pub fn wq(&self) -> &SpikingLinear {
+        &self.wq
+    }
+
+    /// The K projection layer.
+    pub fn wk(&self) -> &SpikingLinear {
+        &self.wk
+    }
+
+    /// The V projection layer.
+    pub fn wv(&self) -> &SpikingLinear {
+        &self.wv
+    }
+
+    /// The output projection layer.
+    pub fn wo(&self) -> &SpikingLinear {
+        &self.wo
+    }
+
+    /// Computes the integer attention scores `S = Q·Kᵀ` for one head and one
+    /// timestep from binary operands.
+    pub fn attention_scores(q: &SpikeTensor, k: &SpikeTensor, t: usize) -> DenseMatrix {
+        assert_eq!(q.shape(), k.shape(), "Q and K must have identical shapes");
+        let shape = q.shape();
+        let mut s = DenseMatrix::zeros(shape.tokens, shape.tokens);
+        for i in 0..shape.tokens {
+            for j in 0..shape.tokens {
+                let mut acc = 0.0;
+                for d in 0..shape.features {
+                    // Binary AND of q[i,d] and k[j,d], accumulated.
+                    if q.get(t, i, d) && k.get(t, j, d) {
+                        acc += 1.0;
+                    }
+                }
+                s.set(i, j, acc);
+            }
+        }
+        s
+    }
+
+    /// Full forward pass of the SSA block.
+    pub fn forward(&self, x: &SpikeTensor) -> SsaOutput {
+        let shape = x.shape();
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+
+        let head_dim = shape.features / self.heads;
+        let scale = 2.0_f32.powi(-(self.scale_shift as i32));
+
+        let mut scores: Vec<Vec<DenseMatrix>> = Vec::with_capacity(self.heads);
+        // Synaptic input to the O_temp LIF layer: concatenated head outputs.
+        let mut head_outputs: Vec<DenseMatrix> = (0..shape.timesteps)
+            .map(|_| DenseMatrix::zeros(shape.tokens, shape.features))
+            .collect();
+
+        for h in 0..self.heads {
+            let qh = q.head_slice(h, self.heads);
+            let kh = k.head_slice(h, self.heads);
+            let vh = v.head_slice(h, self.heads);
+            let mut head_scores = Vec::with_capacity(shape.timesteps);
+            for t in 0..shape.timesteps {
+                let s = Self::attention_scores(&qh, &kh, t);
+                // Y[t] = (S · s) · V[t]  — V is binary, so this is a
+                // select-accumulate over the score rows.
+                for i in 0..shape.tokens {
+                    for j in 0..shape.tokens {
+                        let weight = s.get(i, j) * scale;
+                        if weight == 0.0 {
+                            continue;
+                        }
+                        for d in 0..head_dim {
+                            if vh.get(t, j, d) {
+                                head_outputs[t].add_assign(i, h * head_dim + d, weight);
+                            }
+                        }
+                    }
+                }
+                head_scores.push(s);
+            }
+            scores.push(head_scores);
+        }
+
+        // Eq. 7: LIF over the concatenated head outputs.
+        let o_temp = lif_over_time(&head_outputs, self.wq.lif_config());
+        // Eq. 8 + re-binarisation by the next stage's spike generator.
+        let output = self.wo.forward(&o_temp);
+
+        SsaOutput {
+            q,
+            k,
+            v,
+            o_temp,
+            output,
+            scores,
+        }
+    }
+
+    /// Shape of the activations this block expects, given a token count and
+    /// timestep count.
+    pub fn expected_shape(&self, timesteps: usize, tokens: usize) -> TensorShape {
+        TensorShape::new(timesteps, tokens, self.wq.in_features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn block(features: usize, heads: usize) -> SpikingSelfAttention {
+        let mut rng = StdRng::seed_from_u64(5);
+        SpikingSelfAttention::random(features, heads, 2, LifConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn attention_scores_count_common_active_features() {
+        let shape = TensorShape::new(1, 2, 4);
+        let q = SpikeTensor::from_fn(shape, |_, n, d| n == 0 && d < 3);
+        let k = SpikeTensor::from_fn(shape, |_, n, d| n == 1 && d >= 1);
+        let s = SpikingSelfAttention::attention_scores(&q, &k, 0);
+        // q token 0 active on {0,1,2}; k token 1 active on {1,2,3} -> overlap 2.
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.get(1, 0), 0.0);
+        assert_eq!(s.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn scores_are_bounded_by_head_features() {
+        let ssa = block(16, 4);
+        let shape = TensorShape::new(2, 6, 16);
+        let x = SpikeTensor::ones(shape);
+        let out = ssa.forward(&x);
+        // Per-head feature count is 4, so no score can exceed 4.
+        assert!(out.max_score() <= 4.0);
+    }
+
+    #[test]
+    fn forward_shapes_are_consistent() {
+        let ssa = block(8, 2);
+        let shape = TensorShape::new(3, 5, 8);
+        let x = SpikeTensor::from_fn(shape, |t, n, d| (t + n + d) % 2 == 0);
+        let out = ssa.forward(&x);
+        assert_eq!(out.q.shape(), shape);
+        assert_eq!(out.k.shape(), shape);
+        assert_eq!(out.v.shape(), shape);
+        assert_eq!(out.o_temp.shape(), shape);
+        assert_eq!(out.output.shape(), shape);
+        assert_eq!(out.scores.len(), 2);
+        assert_eq!(out.scores[0].len(), 3);
+        assert_eq!(out.scores[0][0].rows(), 5);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_attention() {
+        let ssa = block(8, 2);
+        let x = SpikeTensor::zeros(TensorShape::new(2, 4, 8));
+        let out = ssa.forward(&x);
+        assert_eq!(out.q.count_ones(), 0);
+        assert_eq!(out.k.count_ones(), 0);
+        assert_eq!(out.o_temp.count_ones(), 0);
+        assert_eq!(out.max_score(), 0.0);
+    }
+
+    #[test]
+    fn all_outputs_are_binary_tensors() {
+        // By construction SpikeTensor is binary; this checks the densities
+        // are sane (not everything fires).
+        let ssa = block(16, 4);
+        let shape = TensorShape::new(2, 8, 16);
+        let x = SpikeTensor::from_fn(shape, |t, n, d| (t * 31 + n * 17 + d * 7) % 5 == 0);
+        let out = ssa.forward(&x);
+        assert!(out.output.density() <= 1.0);
+        assert!(out.q.density() <= 1.0);
+    }
+
+    #[test]
+    fn expected_shape_uses_projection_width() {
+        let ssa = block(8, 2);
+        assert_eq!(ssa.expected_shape(4, 10), TensorShape::new(4, 10, 8));
+        assert_eq!(ssa.heads(), 2);
+        assert_eq!(ssa.scale_shift(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide features")]
+    fn heads_must_divide_features() {
+        let mut rng = StdRng::seed_from_u64(1);
+        SpikingSelfAttention::random(10, 3, 1, LifConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,90 @@
+//! Input spike encodings.
+//!
+//! Static images (CIFAR/ImageNet) enter a spiking transformer either through
+//! *rate encoding* (a pixel's intensity becomes the Bernoulli firing
+//! probability at every timestep) or *direct encoding* (the first
+//! convolutional/tokenizer layer receives the analog value and its LIF layer
+//! produces the first spikes). Dynamic-vision-sensor data (DVS-Gesture) is
+//! natively spike-formed. These helpers produce the tokenised `T × N × D`
+//! input spike tensors used by the functional model and the synthetic
+//! training tasks.
+
+use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
+use rand::Rng;
+
+/// Rate-encodes an `N × D` analog token matrix into `timesteps` Bernoulli
+/// spike planes. Values are interpreted as firing probabilities and clamped
+/// to `[0, 1]`.
+///
+/// ```
+/// use bishop_neuron::rate_encode;
+/// use bishop_spiketensor::DenseMatrix;
+/// use rand::SeedableRng;
+///
+/// let tokens = DenseMatrix::from_rows(&[vec![0.0, 1.0]]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let spikes = rate_encode(&tokens, 8, &mut rng);
+/// assert_eq!(spikes.feature_count(0), 0);
+/// assert_eq!(spikes.feature_count(1), 8);
+/// ```
+pub fn rate_encode<R: Rng>(tokens: &DenseMatrix, timesteps: usize, rng: &mut R) -> SpikeTensor {
+    assert!(timesteps > 0, "need at least one timestep");
+    let shape = TensorShape::new(timesteps, tokens.rows(), tokens.cols());
+    SpikeTensor::from_fn(shape, |_, n, d| {
+        let p = f64::from(tokens.get(n, d)).clamp(0.0, 1.0);
+        p > 0.0 && rng.gen_bool(p)
+    })
+}
+
+/// Direct (threshold) encoding: the analog token matrix is repeated at every
+/// timestep and a position spikes when its value exceeds `threshold`. This is
+/// deterministic and models the "direct input encoding" used by low-latency
+/// SNNs (Diet-SNN et al.).
+pub fn direct_encode(tokens: &DenseMatrix, timesteps: usize, threshold: f32) -> SpikeTensor {
+    assert!(timesteps > 0, "need at least one timestep");
+    let shape = TensorShape::new(timesteps, tokens.rows(), tokens.cols());
+    SpikeTensor::from_fn(shape, |_, n, d| tokens.get(n, d) > threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_encode_matches_probabilities_statistically() {
+        let tokens = DenseMatrix::from_fn(8, 8, |_, _| 0.25);
+        let mut rng = StdRng::seed_from_u64(3);
+        let spikes = rate_encode(&tokens, 64, &mut rng);
+        assert!((spikes.density() - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn rate_encode_clamps_out_of_range_values() {
+        let tokens = DenseMatrix::from_rows(&[vec![-0.5, 2.0]]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let spikes = rate_encode(&tokens, 16, &mut rng);
+        assert_eq!(spikes.feature_count(0), 0);
+        assert_eq!(spikes.feature_count(1), 16);
+    }
+
+    #[test]
+    fn direct_encode_is_deterministic_threshold() {
+        let tokens = DenseMatrix::from_rows(&[vec![0.1, 0.9], vec![0.6, 0.4]]);
+        let spikes = direct_encode(&tokens, 3, 0.5);
+        assert_eq!(spikes.shape(), TensorShape::new(3, 2, 2));
+        for t in 0..3 {
+            assert!(!spikes.get(t, 0, 0));
+            assert!(spikes.get(t, 0, 1));
+            assert!(spikes.get(t, 1, 0));
+            assert!(!spikes.get(t, 1, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn zero_timesteps_rejected() {
+        direct_encode(&DenseMatrix::zeros(1, 1), 0, 0.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! # bishop-neuron
+//!
+//! Leaky Integrate-and-Fire (LIF) neuron dynamics, surrogate gradients, and
+//! input spike encodings for the Bishop spiking-transformer reproduction.
+//!
+//! The paper (§2.1, Eq. 1–2) uses the discretised LIF model
+//!
+//! ```text
+//! V_m[t_k] = V_m[t_k-1] + I[t_k] - V_leak
+//! S[t_k]   = 1 and V_m[t_k] := 0      if V_m[t_k] > V_th
+//! S[t_k]   = 0 and V_m unchanged      otherwise
+//! ```
+//!
+//! Every linear/projection/MLP layer of a spiking transformer is followed by
+//! an LIF layer that converts multi-bit synaptic integration back into binary
+//! spikes, which is what keeps all tensor operands of the attention block
+//! binary and lets the Bishop hardware replace multipliers with AND/select
+//! accumulators.
+//!
+//! ```
+//! use bishop_neuron::{LifConfig, LifNeuron};
+//!
+//! let mut neuron = LifNeuron::new(LifConfig::default());
+//! // Sub-threshold input accumulates, then the neuron fires and resets.
+//! assert!(!neuron.step(0.6));
+//! assert!(neuron.step(0.6));
+//! assert_eq!(neuron.membrane_potential(), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod lif;
+pub mod surrogate;
+
+pub use encode::{direct_encode, rate_encode};
+pub use lif::{lif_over_time, LifConfig, LifLayer, LifNeuron};
+pub use surrogate::SurrogateKind;

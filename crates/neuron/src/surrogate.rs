@@ -1,0 +1,110 @@
+//! Surrogate gradients for training through the non-differentiable spike
+//! function.
+//!
+//! Direct training of spiking transformers (and the paper's BSA / ECP-aware
+//! training pipelines) relies on backpropagation-through-time with a
+//! *surrogate* derivative substituted for the Heaviside step at the firing
+//! threshold. `bishop-train` uses these functions.
+
+/// The family of surrogate derivative used for `dS/dV` at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SurrogateKind {
+    /// Rectangular window: `1/(2w)` when `|V - V_th| < w`, else 0. The
+    /// default used by the Spikformer/TET training recipes.
+    #[default]
+    Rectangular,
+    /// Derivative of a scaled sigmoid centred at the threshold.
+    Sigmoid,
+    /// Derivative of a scaled arctangent centred at the threshold.
+    Atan,
+}
+
+impl SurrogateKind {
+    /// Evaluates the surrogate derivative at membrane potential `v_mem` for
+    /// a threshold `v_threshold` and sharpness/width parameter `alpha`.
+    ///
+    /// For all kinds the function is non-negative, symmetric around the
+    /// threshold, and maximal exactly at the threshold.
+    pub fn derivative(&self, v_mem: f32, v_threshold: f32, alpha: f32) -> f32 {
+        assert!(alpha > 0.0, "surrogate sharpness must be positive");
+        let x = v_mem - v_threshold;
+        match self {
+            SurrogateKind::Rectangular => {
+                if x.abs() < alpha {
+                    1.0 / (2.0 * alpha)
+                } else {
+                    0.0
+                }
+            }
+            SurrogateKind::Sigmoid => {
+                let s = 1.0 / (1.0 + (-alpha * x).exp());
+                alpha * s * (1.0 - s)
+            }
+            SurrogateKind::Atan => {
+                let denom = 1.0 + (std::f32::consts::PI * alpha * x).powi(2);
+                alpha / (2.0 * denom)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [SurrogateKind; 3] = [
+        SurrogateKind::Rectangular,
+        SurrogateKind::Sigmoid,
+        SurrogateKind::Atan,
+    ];
+
+    #[test]
+    fn maximal_at_threshold() {
+        for kind in KINDS {
+            let at = kind.derivative(1.0, 1.0, 1.0);
+            let away = kind.derivative(3.0, 1.0, 1.0);
+            assert!(at >= away, "{kind:?} should peak at the threshold");
+            assert!(at > 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_around_threshold() {
+        for kind in KINDS {
+            let above = kind.derivative(1.3, 1.0, 1.0);
+            let below = kind.derivative(0.7, 1.0, 1.0);
+            assert!(
+                (above - below).abs() < 1e-6,
+                "{kind:?} should be symmetric: {above} vs {below}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_negative_everywhere() {
+        for kind in KINDS {
+            for i in -20..=20 {
+                let v = i as f32 * 0.25;
+                assert!(kind.derivative(v, 1.0, 2.0) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_window_is_compactly_supported() {
+        let kind = SurrogateKind::Rectangular;
+        assert_eq!(kind.derivative(2.5, 1.0, 1.0), 0.0);
+        assert_eq!(kind.derivative(1.5, 1.0, 1.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sharpness_rejected() {
+        SurrogateKind::Rectangular.derivative(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn default_is_rectangular() {
+        assert_eq!(SurrogateKind::default(), SurrogateKind::Rectangular);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types shared by the tensor primitives.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::TensorShape;
+
+/// Error returned when two tensors (or a tensor and a matrix) have
+/// incompatible shapes for the requested operation.
+///
+/// ```
+/// use bishop_spiketensor::{ShapeError, TensorShape};
+/// let err = ShapeError::new(
+///     "elementwise or",
+///     TensorShape::new(2, 2, 2),
+///     TensorShape::new(2, 2, 4),
+/// );
+/// assert!(err.to_string().contains("elementwise or"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    operation: &'static str,
+    left: TensorShape,
+    right: TensorShape,
+}
+
+impl ShapeError {
+    /// Creates a new shape mismatch error for `operation`.
+    pub fn new(operation: &'static str, left: TensorShape, right: TensorShape) -> Self {
+        Self {
+            operation,
+            left,
+            right,
+        }
+    }
+
+    /// The operation that failed.
+    pub fn operation(&self) -> &'static str {
+        self.operation
+    }
+
+    /// Shape of the left-hand operand.
+    pub fn left(&self) -> TensorShape {
+        self.left
+    }
+
+    /// Shape of the right-hand operand.
+    pub fn right(&self) -> TensorShape {
+        self.right
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: left operand is {}, right operand is {}",
+            self.operation, self.left, self.right
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_shapes() {
+        let err = ShapeError::new("and", TensorShape::new(1, 2, 3), TensorShape::new(3, 2, 1));
+        let text = err.to_string();
+        assert!(text.contains("[T=1 x N=2 x D=3]"));
+        assert!(text.contains("[T=3 x N=2 x D=1]"));
+        assert_eq!(err.operation(), "and");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let left = TensorShape::new(2, 4, 8);
+        let right = TensorShape::new(2, 4, 16);
+        let err = ShapeError::new("merge", left, right);
+        assert_eq!(err.left(), left);
+        assert_eq!(err.right(), right);
+    }
+}

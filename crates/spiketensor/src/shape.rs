@@ -1,0 +1,219 @@
+//! Tensor shape of a spatiotemporal spiking activation tensor.
+
+use std::fmt;
+
+/// Shape of a spiking activation tensor: `T` timesteps × `N` tokens ×
+/// `D` features.
+///
+/// The layout used throughout the workspace is row-major with the feature
+/// dimension innermost: linear index = `((t * tokens) + n) * features + d`.
+/// This matches how spiking transformers produce activations (a token's
+/// feature vector at a timestep is contiguous) and makes per-feature slicing
+/// a strided walk.
+///
+/// ```
+/// use bishop_spiketensor::TensorShape;
+/// let shape = TensorShape::new(4, 64, 384);
+/// assert_eq!(shape.len(), 4 * 64 * 384);
+/// assert_eq!(shape.linear_index(1, 2, 3), (1 * 64 + 2) * 384 + 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    /// Number of timesteps `T`.
+    pub timesteps: usize,
+    /// Number of spatial tokens `N`.
+    pub tokens: usize,
+    /// Number of features `D`.
+    pub features: usize,
+}
+
+impl TensorShape {
+    /// Creates a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; a degenerate tensor has no meaning in
+    /// the workload model and would silently break downstream bundling math.
+    pub fn new(timesteps: usize, tokens: usize, features: usize) -> Self {
+        assert!(
+            timesteps > 0 && tokens > 0 && features > 0,
+            "tensor dimensions must be non-zero (got T={timesteps}, N={tokens}, D={features})"
+        );
+        Self {
+            timesteps,
+            tokens,
+            features,
+        }
+    }
+
+    /// Total number of positions in the tensor.
+    pub fn len(&self) -> usize {
+        self.timesteps * self.tokens * self.features
+    }
+
+    /// Whether the tensor has zero positions. Always `false` for a
+    /// constructed shape but provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of (timestep, token) pairs, i.e. positions per feature.
+    pub fn spatiotemporal_len(&self) -> usize {
+        self.timesteps * self.tokens
+    }
+
+    /// Linear index of position `(t, n, d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[inline]
+    pub fn linear_index(&self, t: usize, n: usize, d: usize) -> usize {
+        assert!(
+            t < self.timesteps && n < self.tokens && d < self.features,
+            "index (t={t}, n={n}, d={d}) out of bounds for shape {self}"
+        );
+        (t * self.tokens + n) * self.features + d
+    }
+
+    /// Inverse of [`TensorShape::linear_index`].
+    #[inline]
+    pub fn coordinates(&self, linear: usize) -> (usize, usize, usize) {
+        assert!(linear < self.len(), "linear index {linear} out of bounds");
+        let d = linear % self.features;
+        let rest = linear / self.features;
+        let n = rest % self.tokens;
+        let t = rest / self.tokens;
+        (t, n, d)
+    }
+
+    /// Iterates over all `(t, n, d)` coordinates in layout order.
+    pub fn iter_coordinates(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let shape = *self;
+        (0..shape.len()).map(move |i| shape.coordinates(i))
+    }
+
+    /// Returns the shape of a single attention head given `heads` splitting
+    /// the feature dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide the feature dimension.
+    pub fn per_head(&self, heads: usize) -> TensorShape {
+        assert!(heads > 0, "head count must be non-zero");
+        assert_eq!(
+            self.features % heads,
+            0,
+            "feature dimension {} is not divisible by {} heads",
+            self.features,
+            heads
+        );
+        TensorShape::new(self.timesteps, self.tokens, self.features / heads)
+    }
+
+    /// Returns a copy with the feature dimension replaced.
+    pub fn with_features(&self, features: usize) -> TensorShape {
+        TensorShape::new(self.timesteps, self.tokens, features)
+    }
+
+    /// Returns a copy with the token dimension replaced.
+    pub fn with_tokens(&self, tokens: usize) -> TensorShape {
+        TensorShape::new(self.timesteps, tokens, self.features)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[T={} x N={} x D={}]",
+            self.timesteps, self.tokens, self.features
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_round_trips() {
+        let shape = TensorShape::new(3, 5, 7);
+        for t in 0..3 {
+            for n in 0..5 {
+                for d in 0..7 {
+                    let linear = shape.linear_index(t, n, d);
+                    assert_eq!(shape.coordinates(linear), (t, n, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn len_matches_product() {
+        let shape = TensorShape::new(4, 64, 384);
+        assert_eq!(shape.len(), 4 * 64 * 384);
+        assert_eq!(shape.spatiotemporal_len(), 4 * 64);
+        assert!(!shape.is_empty());
+    }
+
+    #[test]
+    fn feature_dimension_is_innermost() {
+        let shape = TensorShape::new(2, 2, 4);
+        assert_eq!(shape.linear_index(0, 0, 1) - shape.linear_index(0, 0, 0), 1);
+        assert_eq!(shape.linear_index(0, 1, 0) - shape.linear_index(0, 0, 0), 4);
+        assert_eq!(shape.linear_index(1, 0, 0) - shape.linear_index(0, 0, 0), 8);
+    }
+
+    #[test]
+    fn per_head_divides_features() {
+        let shape = TensorShape::new(4, 64, 384);
+        let head = shape.per_head(8);
+        assert_eq!(head.features, 48);
+        assert_eq!(head.tokens, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn per_head_rejects_non_divisor() {
+        TensorShape::new(4, 64, 384).per_head(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        TensorShape::new(0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_index_panics() {
+        let shape = TensorShape::new(2, 2, 2);
+        shape.linear_index(2, 0, 0);
+    }
+
+    #[test]
+    fn iter_coordinates_covers_everything_once() {
+        let shape = TensorShape::new(2, 3, 4);
+        let coords: Vec<_> = shape.iter_coordinates().collect();
+        assert_eq!(coords.len(), shape.len());
+        let mut seen = std::collections::HashSet::new();
+        for c in coords {
+            assert!(seen.insert(c), "duplicate coordinate {c:?}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let shape = TensorShape::new(4, 196, 128);
+        assert_eq!(format!("{shape}"), "[T=4 x N=196 x D=128]");
+    }
+
+    #[test]
+    fn with_features_and_tokens_replace_dimensions() {
+        let shape = TensorShape::new(4, 64, 384);
+        assert_eq!(shape.with_features(128).features, 128);
+        assert_eq!(shape.with_tokens(196).tokens, 196);
+        assert_eq!(shape.with_features(128).tokens, 64);
+    }
+}

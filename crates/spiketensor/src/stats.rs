@@ -1,0 +1,201 @@
+//! Summary statistics over spike tensors.
+
+use crate::SpikeTensor;
+
+/// Per-feature firing density of a spike tensor, with helpers for building
+/// the kind of distribution plots shown in Fig. 5/10 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDensity {
+    densities: Vec<f64>,
+    spatiotemporal_len: usize,
+}
+
+impl FeatureDensity {
+    /// Measures the per-feature densities of `tensor`.
+    pub fn measure(tensor: &SpikeTensor) -> Self {
+        let shape = tensor.shape();
+        let counts = tensor.per_feature_counts();
+        let densities = counts
+            .iter()
+            .map(|&c| c as f64 / shape.spatiotemporal_len() as f64)
+            .collect();
+        Self {
+            densities,
+            spatiotemporal_len: shape.spatiotemporal_len(),
+        }
+    }
+
+    /// Density of feature `d`.
+    pub fn density(&self, d: usize) -> f64 {
+        self.densities[d]
+    }
+
+    /// All per-feature densities.
+    pub fn densities(&self) -> &[f64] {
+        &self.densities
+    }
+
+    /// Number of features with no spikes at all.
+    pub fn silent_features(&self) -> usize {
+        self.densities.iter().filter(|&&d| d == 0.0).count()
+    }
+
+    /// Fraction of features with no spikes at all.
+    pub fn silent_fraction(&self) -> f64 {
+        self.silent_features() as f64 / self.densities.len() as f64
+    }
+
+    /// Mean density across features.
+    pub fn mean(&self) -> f64 {
+        if self.densities.is_empty() {
+            0.0
+        } else {
+            self.densities.iter().sum::<f64>() / self.densities.len() as f64
+        }
+    }
+
+    /// Population standard deviation across features.
+    pub fn std_dev(&self) -> f64 {
+        if self.densities.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .densities
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / self.densities.len() as f64;
+        var.sqrt()
+    }
+
+    /// Histogram of per-feature *spike counts* with `bins` equal-width bins
+    /// over `[0, spatiotemporal_len]`. Returns the number of features in each
+    /// bin; used to reproduce the "# of active bundles vs ratio of features"
+    /// histograms of Fig. 5.
+    pub fn count_histogram(&self, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let mut histogram = vec![0usize; bins];
+        for &density in &self.densities {
+            let count = density * self.spatiotemporal_len as f64;
+            let bin = ((count / self.spatiotemporal_len as f64) * bins as f64) as usize;
+            histogram[bin.min(bins - 1)] += 1;
+        }
+        histogram
+    }
+}
+
+/// Whole-tensor density summary: overall, per-timestep and per-token means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensitySummary {
+    /// Overall fraction of fired positions.
+    pub overall: f64,
+    /// Firing density of each timestep.
+    pub per_timestep: Vec<f64>,
+    /// Firing density of each token (summed across time and features).
+    pub per_token: Vec<f64>,
+    /// Firing density of each feature.
+    pub per_feature: Vec<f64>,
+}
+
+impl DensitySummary {
+    /// Measures the summary for `tensor`.
+    pub fn measure(tensor: &SpikeTensor) -> Self {
+        let shape = tensor.shape();
+        let per_timestep = tensor
+            .per_timestep_counts()
+            .iter()
+            .map(|&c| c as f64 / (shape.tokens * shape.features) as f64)
+            .collect();
+        let per_token = tensor
+            .per_token_counts()
+            .iter()
+            .map(|&c| c as f64 / (shape.timesteps * shape.features) as f64)
+            .collect();
+        let per_feature = tensor
+            .per_feature_counts()
+            .iter()
+            .map(|&c| c as f64 / shape.spatiotemporal_len() as f64)
+            .collect();
+        Self {
+            overall: tensor.density(),
+            per_timestep,
+            per_token,
+            per_feature,
+        }
+    }
+
+    /// The largest per-feature density (the "hottest" feature).
+    pub fn max_feature_density(&self) -> f64 {
+        self.per_feature.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The smallest per-feature density.
+    pub fn min_feature_density(&self) -> f64 {
+        self.per_feature.iter().cloned().fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpikeTensor, TensorShape};
+
+    fn striped() -> SpikeTensor {
+        // Feature 0 always fires, feature 1 never, feature 2 fires on even tokens.
+        SpikeTensor::from_fn(TensorShape::new(2, 4, 3), |_, n, d| match d {
+            0 => true,
+            1 => false,
+            _ => n % 2 == 0,
+        })
+    }
+
+    #[test]
+    fn feature_density_measures_columns() {
+        let fd = FeatureDensity::measure(&striped());
+        assert_eq!(fd.density(0), 1.0);
+        assert_eq!(fd.density(1), 0.0);
+        assert_eq!(fd.density(2), 0.5);
+        assert_eq!(fd.silent_features(), 1);
+        assert!((fd.silent_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std_are_consistent() {
+        let fd = FeatureDensity::measure(&striped());
+        assert!((fd.mean() - 0.5).abs() < 1e-12);
+        assert!(fd.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_features() {
+        let fd = FeatureDensity::measure(&striped());
+        let hist = fd.count_histogram(2);
+        // density 0.0 -> bin 0, density 0.5 -> bin 1, density 1.0 -> bin 1 (clamped)
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 2);
+    }
+
+    #[test]
+    fn summary_matches_manual_densities() {
+        let summary = DensitySummary::measure(&striped());
+        assert!((summary.overall - 0.5).abs() < 1e-12);
+        assert_eq!(summary.per_timestep.len(), 2);
+        assert_eq!(summary.per_token.len(), 4);
+        assert_eq!(summary.per_feature.len(), 3);
+        assert_eq!(summary.max_feature_density(), 1.0);
+        assert_eq!(summary.min_feature_density(), 0.0);
+        // Even tokens fire on features 0 and 2, odd tokens only on feature 0.
+        assert!((summary.per_token[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((summary.per_token[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tensor_summary_is_zero() {
+        let tensor = SpikeTensor::zeros(TensorShape::new(2, 2, 2));
+        let summary = DensitySummary::measure(&tensor);
+        assert_eq!(summary.overall, 0.0);
+        assert_eq!(summary.max_feature_density(), 0.0);
+    }
+}

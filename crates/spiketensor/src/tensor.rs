@@ -1,0 +1,417 @@
+//! Bit-packed binary spike tensor.
+
+use crate::{ShapeError, TensorShape};
+
+/// A binary spiking activation tensor of shape `T × N × D`, bit-packed 64
+/// positions per `u64` word.
+///
+/// The tensor stores the output of an LIF neuron layer: position `(t, n, d)`
+/// is `true` when token `n` fired on feature `d` at timestep `t`. All the
+/// Token-Time-Bundle machinery (`bishop-bundle`) as well as the accelerator
+/// simulators consume this type.
+///
+/// ```
+/// use bishop_spiketensor::{SpikeTensor, TensorShape};
+///
+/// let mut q = SpikeTensor::zeros(TensorShape::new(2, 4, 8));
+/// q.set(1, 2, 3, true);
+/// q.set(0, 0, 0, true);
+/// assert_eq!(q.count_ones(), 2);
+/// assert!((q.density() - 2.0 / 64.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeTensor {
+    shape: TensorShape,
+    words: Vec<u64>,
+}
+
+impl SpikeTensor {
+    /// Creates an all-zero spike tensor of the given shape.
+    pub fn zeros(shape: TensorShape) -> Self {
+        let words = vec![0u64; shape.len().div_ceil(64)];
+        Self { shape, words }
+    }
+
+    /// Creates an all-one spike tensor of the given shape (every position
+    /// fired). Mostly useful for worst-case workload modelling and tests.
+    pub fn ones(shape: TensorShape) -> Self {
+        let mut tensor = Self::zeros(shape);
+        for word in &mut tensor.words {
+            *word = u64::MAX;
+        }
+        tensor.clear_tail();
+        tensor
+    }
+
+    /// Builds a tensor by evaluating `f` on every coordinate.
+    ///
+    /// ```
+    /// use bishop_spiketensor::{SpikeTensor, TensorShape};
+    /// let t = SpikeTensor::from_fn(TensorShape::new(2, 2, 2), |t, n, d| (t + n + d) % 2 == 0);
+    /// assert_eq!(t.count_ones(), 4);
+    /// ```
+    pub fn from_fn<F>(shape: TensorShape, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize) -> bool,
+    {
+        let mut tensor = Self::zeros(shape);
+        for (t, n, d) in shape.iter_coordinates() {
+            if f(t, n, d) {
+                tensor.set(t, n, d, true);
+            }
+        }
+        tensor
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> TensorShape {
+        self.shape
+    }
+
+    /// Reads the spike at `(t, n, d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, t: usize, n: usize, d: usize) -> bool {
+        let idx = self.shape.linear_index(t, n, d);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes the spike at `(t, n, d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, t: usize, n: usize, d: usize, value: bool) {
+        let idx = self.shape.linear_index(t, n, d);
+        let word = &mut self.words[idx / 64];
+        if value {
+            *word |= 1 << (idx % 64);
+        } else {
+            *word &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Number of active spikes in the whole tensor.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of positions that fired, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / self.shape.len() as f64
+    }
+
+    /// Fraction of positions that did *not* fire, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Number of active spikes on feature column `d` across all timesteps and
+    /// tokens.
+    pub fn feature_count(&self, d: usize) -> usize {
+        assert!(d < self.shape.features, "feature {d} out of bounds");
+        let mut count = 0;
+        for t in 0..self.shape.timesteps {
+            for n in 0..self.shape.tokens {
+                if self.get(t, n, d) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Firing density of feature column `d`.
+    pub fn feature_density(&self, d: usize) -> f64 {
+        self.feature_count(d) as f64 / self.shape.spatiotemporal_len() as f64
+    }
+
+    /// Number of active spikes for token `n` at timestep `t` across all
+    /// features (the length of the token's active feature vector).
+    pub fn token_count(&self, t: usize, n: usize) -> usize {
+        (0..self.shape.features).filter(|&d| self.get(t, n, d)).count()
+    }
+
+    /// Counts active spikes inside the axis-aligned region
+    /// `[t0, t1) × [n0, n1)` of feature `d`.
+    ///
+    /// This is the `L0` norm used for Token-Time-Bundle activity tags
+    /// (Eq. 9 of the paper). Ranges are clamped to the tensor bounds.
+    pub fn count_in_region(
+        &self,
+        t_range: (usize, usize),
+        n_range: (usize, usize),
+        d: usize,
+    ) -> usize {
+        let (t0, t1) = (t_range.0, t_range.1.min(self.shape.timesteps));
+        let (n0, n1) = (n_range.0, n_range.1.min(self.shape.tokens));
+        let mut count = 0;
+        for t in t0..t1 {
+            for n in n0..n1 {
+                if self.get(t, n, d) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Iterates over the coordinates of all active spikes in layout order.
+    pub fn iter_active(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let shape = self.shape;
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut bits = word;
+            let mut out = Vec::new();
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                let linear = wi * 64 + bit;
+                if linear < shape.len() {
+                    out.push(shape.coordinates(linear));
+                }
+                bits &= bits - 1;
+            }
+            out
+        })
+    }
+
+    /// Elementwise logical AND of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn and(&self, other: &SpikeTensor) -> Result<SpikeTensor, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new("elementwise and", self.shape, other.shape));
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Ok(SpikeTensor {
+            shape: self.shape,
+            words,
+        })
+    }
+
+    /// Elementwise logical OR of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn or(&self, other: &SpikeTensor) -> Result<SpikeTensor, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new("elementwise or", self.shape, other.shape));
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Ok(SpikeTensor {
+            shape: self.shape,
+            words,
+        })
+    }
+
+    /// Returns a copy restricted to the given feature columns (all other
+    /// columns cleared). Used by the stratifier to split a workload into its
+    /// dense-routed and sparse-routed halves while keeping the original
+    /// feature indexing.
+    pub fn masked_by_features(&self, features: &[usize]) -> SpikeTensor {
+        let mut keep = vec![false; self.shape.features];
+        for &d in features {
+            assert!(d < self.shape.features, "feature {d} out of bounds");
+            keep[d] = true;
+        }
+        SpikeTensor::from_fn(self.shape, |t, n, d| keep[d] && self.get(t, n, d))
+    }
+
+    /// Extracts the feature sub-tensor for attention head `head` out of
+    /// `heads` equally sized heads. Feature `d` of the result corresponds to
+    /// feature `head * (D / heads) + d` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `D` or `head >= heads`.
+    pub fn head_slice(&self, head: usize, heads: usize) -> SpikeTensor {
+        let head_shape = self.shape.per_head(heads);
+        assert!(head < heads, "head index {head} out of range 0..{heads}");
+        let offset = head * head_shape.features;
+        SpikeTensor::from_fn(head_shape, |t, n, d| self.get(t, n, offset + d))
+    }
+
+    /// Per-timestep view: number of spikes at each timestep.
+    pub fn per_timestep_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shape.timesteps];
+        for (t, _, _) in self.iter_active() {
+            counts[t] += 1;
+        }
+        counts
+    }
+
+    /// Per-token firing count of the token's features summed over time; a
+    /// proxy for "how busy" a token is, used by ECP statistics.
+    pub fn per_token_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shape.tokens];
+        for (_, n, _) in self.iter_active() {
+            counts[n] += 1;
+        }
+        counts
+    }
+
+    /// Per-feature firing counts across all timesteps and tokens.
+    pub fn per_feature_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shape.features];
+        for (_, _, d) in self.iter_active() {
+            counts[d] += 1;
+        }
+        counts
+    }
+
+    /// Size in bytes of the packed representation (what the accelerator would
+    /// move for this tensor when stored as a bitmap).
+    pub fn packed_bytes(&self) -> usize {
+        self.shape.len().div_ceil(8)
+    }
+
+    /// Clears bits beyond the logical length in the final word so that
+    /// `count_ones` stays exact after bulk word operations.
+    fn clear_tail(&mut self) {
+        let valid = self.shape.len();
+        let last_bits = valid % 64;
+        if last_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << last_bits) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SpikeTensor {
+        let mut t = SpikeTensor::zeros(TensorShape::new(2, 3, 4));
+        t.set(0, 0, 0, true);
+        t.set(0, 1, 2, true);
+        t.set(1, 2, 3, true);
+        t
+    }
+
+    #[test]
+    fn zeros_has_no_spikes() {
+        let t = SpikeTensor::zeros(TensorShape::new(3, 5, 7));
+        assert_eq!(t.count_ones(), 0);
+        assert_eq!(t.density(), 0.0);
+        assert_eq!(t.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn ones_covers_every_position_exactly() {
+        let shape = TensorShape::new(3, 5, 7);
+        let t = SpikeTensor::ones(shape);
+        assert_eq!(t.count_ones(), shape.len());
+        assert_eq!(t.density(), 1.0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut t = SpikeTensor::zeros(TensorShape::new(4, 4, 4));
+        t.set(3, 3, 3, true);
+        assert!(t.get(3, 3, 3));
+        t.set(3, 3, 3, false);
+        assert!(!t.get(3, 3, 3));
+    }
+
+    #[test]
+    fn count_in_region_matches_manual_count() {
+        let t = small();
+        assert_eq!(t.count_in_region((0, 1), (0, 2), 0), 1);
+        assert_eq!(t.count_in_region((0, 1), (0, 2), 2), 1);
+        assert_eq!(t.count_in_region((0, 2), (0, 3), 3), 1);
+        assert_eq!(t.count_in_region((0, 2), (0, 3), 1), 0);
+    }
+
+    #[test]
+    fn count_in_region_clamps_ranges() {
+        let t = small();
+        assert_eq!(t.count_in_region((0, 100), (0, 100), 3), 1);
+    }
+
+    #[test]
+    fn iter_active_yields_exactly_set_positions() {
+        let t = small();
+        let active: Vec<_> = t.iter_active().collect();
+        assert_eq!(active, vec![(0, 0, 0), (0, 1, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn feature_and_token_counts() {
+        let t = small();
+        assert_eq!(t.feature_count(0), 1);
+        assert_eq!(t.feature_count(1), 0);
+        assert_eq!(t.token_count(0, 1), 1);
+        assert_eq!(t.token_count(1, 2), 1);
+        assert_eq!(t.per_feature_counts(), vec![1, 0, 1, 1]);
+        assert_eq!(t.per_token_counts(), vec![1, 1, 1]);
+        assert_eq!(t.per_timestep_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn and_or_respect_shapes() {
+        let a = small();
+        let mut b = SpikeTensor::zeros(a.shape());
+        b.set(0, 0, 0, true);
+        b.set(1, 1, 1, true);
+        let and = a.and(&b).unwrap();
+        assert_eq!(and.count_ones(), 1);
+        assert!(and.get(0, 0, 0));
+        let or = a.or(&b).unwrap();
+        assert_eq!(or.count_ones(), 4);
+
+        let c = SpikeTensor::zeros(TensorShape::new(1, 1, 1));
+        assert!(a.and(&c).is_err());
+        assert!(a.or(&c).is_err());
+    }
+
+    #[test]
+    fn masked_by_features_keeps_only_selected_columns() {
+        let t = small();
+        let masked = t.masked_by_features(&[2, 3]);
+        assert_eq!(masked.count_ones(), 2);
+        assert!(!masked.get(0, 0, 0));
+        assert!(masked.get(0, 1, 2));
+    }
+
+    #[test]
+    fn head_slice_extracts_contiguous_features() {
+        let shape = TensorShape::new(1, 2, 8);
+        let t = SpikeTensor::from_fn(shape, |_, _, d| d >= 4);
+        let head0 = t.head_slice(0, 2);
+        let head1 = t.head_slice(1, 2);
+        assert_eq!(head0.count_ones(), 0);
+        assert_eq!(head1.count_ones(), 2 * 4);
+    }
+
+    #[test]
+    fn packed_bytes_rounds_up() {
+        let t = SpikeTensor::zeros(TensorShape::new(1, 1, 9));
+        assert_eq!(t.packed_bytes(), 2);
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let shape = TensorShape::new(2, 2, 2);
+        let t = SpikeTensor::from_fn(shape, |t, n, d| t == 1 && n == 0 && d == 1);
+        assert_eq!(t.count_ones(), 1);
+        assert!(t.get(1, 0, 1));
+    }
+}

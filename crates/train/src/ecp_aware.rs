@@ -1,0 +1,114 @@
+//! Accuracy-vs-pruning-threshold sweeps (the accuracy axis of Fig. 14).
+
+use bishop_bundle::BundleShape;
+
+use crate::classifier::SpikingClassifier;
+use crate::dataset::SpikeSample;
+
+/// One point of an ECP threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcpSweepPoint {
+    /// The pruning threshold `θp`.
+    pub threshold: u32,
+    /// Classification accuracy with pruning applied at inference time.
+    pub accuracy: f64,
+    /// Accuracy without any pruning (reference).
+    pub baseline_accuracy: f64,
+}
+
+impl EcpSweepPoint {
+    /// Accuracy change relative to the unpruned baseline (positive means the
+    /// pruning acted as a beneficial denoiser, as the paper observes for
+    /// moderate thresholds).
+    pub fn accuracy_delta(&self) -> f64 {
+        self.accuracy - self.baseline_accuracy
+    }
+}
+
+/// Evaluates `model` on `samples` for every pruning threshold in
+/// `thresholds`, returning one sweep point per threshold.
+pub fn accuracy_under_pruning(
+    model: &SpikingClassifier,
+    samples: &[SpikeSample],
+    thresholds: &[u32],
+    bundle: BundleShape,
+) -> Vec<EcpSweepPoint> {
+    let baseline_accuracy = model.accuracy(samples, None, bundle);
+    thresholds
+        .iter()
+        .map(|&threshold| EcpSweepPoint {
+            threshold,
+            accuracy: model.accuracy(samples, Some(threshold), bundle),
+            baseline_accuracy,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SpikePatternDataset;
+    use crate::trainer::{Trainer, TrainingConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained() -> (SpikingClassifier, SpikePatternDataset) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dataset = SpikePatternDataset::generate(3, 30, 4, 8, 18, 0.05, &mut rng);
+        let mut model = SpikingClassifier::random(18, 24, 3, &mut rng);
+        Trainer::new(TrainingConfig {
+            epochs: 10,
+            learning_rate: 0.08,
+            ..TrainingConfig::default()
+        })
+        .train(&mut model, &dataset, &mut rng);
+        (model, dataset)
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_threshold() {
+        let (model, dataset) = trained();
+        let points = accuracy_under_pruning(
+            &model,
+            &dataset.test,
+            &[0, 2, 4, 64],
+            BundleShape::default(),
+        );
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].threshold, 0);
+    }
+
+    #[test]
+    fn zero_threshold_matches_baseline_accuracy() {
+        let (model, dataset) = trained();
+        let points =
+            accuracy_under_pruning(&model, &dataset.test, &[0], BundleShape::default());
+        assert!((points[0].accuracy - points[0].baseline_accuracy).abs() < 1e-9);
+        assert!(points[0].accuracy_delta().abs() < 1e-9);
+    }
+
+    #[test]
+    fn moderate_thresholds_keep_accuracy_extreme_thresholds_destroy_it() {
+        let (model, dataset) = trained();
+        let points = accuracy_under_pruning(
+            &model,
+            &dataset.test,
+            &[0, 2, 1000],
+            BundleShape::default(),
+        );
+        let baseline = points[0].accuracy;
+        let moderate = points[1].accuracy;
+        let extreme = points[2].accuracy;
+        assert!(
+            moderate >= baseline - 0.2,
+            "moderate pruning should roughly preserve accuracy: {moderate} vs {baseline}"
+        );
+        assert!(
+            extreme <= moderate,
+            "pruning everything should not beat moderate pruning"
+        );
+        // Pruning every bundle row leaves no evidence to classify with;
+        // accuracy collapses to (at best) chance level.
+        assert!(extreme <= 1.0 / 3.0 + 0.2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Surrogate-gradient training loop with the BSA bundle-sparsity loss.
+
+use bishop_bundle::{BundleShape, BundleSparsityStats, TtbTags};
+use bishop_spiketensor::DenseMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::classifier::SpikingClassifier;
+use crate::dataset::SpikePatternDataset;
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Weight `λ` of the bundle-sparsity loss `L_bsp` (0 disables BSA).
+    pub bsa_lambda: f32,
+    /// Bundle shape used for the BSA loss and for ECP-aware training.
+    pub bundle: BundleShape,
+    /// When set, ECP pruning with this threshold is applied in the forward
+    /// pass during training (ECP-aware training, §4).
+    pub ecp_aware_threshold: Option<u32>,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            learning_rate: 0.05,
+            bsa_lambda: 0.0,
+            bundle: BundleShape::default(),
+            ecp_aware_threshold: None,
+        }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// Mean cross-entropy loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Accuracy on the training split after the final epoch.
+    pub final_train_accuracy: f64,
+    /// Accuracy on the held-out split after the final epoch.
+    pub test_accuracy: f64,
+    /// Mean spike density of the hidden layer over the test split.
+    pub hidden_spike_density: f64,
+    /// Mean TTB (bundle-level) density of the hidden layer over the test
+    /// split — the quantity BSA training drives down.
+    pub hidden_ttb_density: f64,
+    /// Mean bundle-sparsity loss (`L_bsp`, spike count) per test sample.
+    pub mean_bundle_loss: f64,
+}
+
+/// The trainer: plain SGD with backpropagation through the readout and one
+/// surrogate-gradient step through the hidden LIF layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trainer {
+    config: TrainingConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `dataset` and returns the report.
+    pub fn train<R: Rng>(
+        &self,
+        model: &mut SpikingClassifier,
+        dataset: &SpikePatternDataset,
+        rng: &mut R,
+    ) -> TrainingReport {
+        let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+
+        for _ in 0..self.config.epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            for &index in &order {
+                let sample = &dataset.train[index];
+                epoch_loss += self.train_step(model, sample.label, sample);
+            }
+            epoch_losses.push(epoch_loss / dataset.train.len() as f64);
+        }
+
+        // Final statistics on the held-out split.
+        let mut spike_density = 0.0;
+        let mut ttb_density = 0.0;
+        let mut bundle_loss = 0.0;
+        for sample in &dataset.test {
+            let trace = model.forward(&sample.spikes, None, self.config.bundle);
+            let stats = BundleSparsityStats::measure(&trace.hidden_spikes, self.config.bundle);
+            spike_density += stats.spike_density;
+            ttb_density += stats.ttb_density;
+            bundle_loss +=
+                TtbTags::from_tensor(&trace.hidden_spikes, self.config.bundle).tag_sum() as f64;
+        }
+        let n_test = dataset.test.len().max(1) as f64;
+
+        TrainingReport {
+            epoch_losses,
+            final_train_accuracy: model.accuracy(&dataset.train, None, self.config.bundle),
+            test_accuracy: model.accuracy(&dataset.test, None, self.config.bundle),
+            hidden_spike_density: spike_density / n_test,
+            hidden_ttb_density: ttb_density / n_test,
+            mean_bundle_loss: bundle_loss / n_test,
+        }
+    }
+
+    /// One SGD step on one sample; returns the cross-entropy loss.
+    fn train_step(
+        &self,
+        model: &mut SpikingClassifier,
+        label: usize,
+        sample: &crate::dataset::SpikeSample,
+    ) -> f64 {
+        let input = &sample.spikes;
+        let shape = input.shape();
+        let trace = model.forward(input, self.config.ecp_aware_threshold, self.config.bundle);
+        let probabilities = trace.probabilities();
+        let loss = -f64::from(probabilities[label].max(1e-12).ln());
+
+        // dL/dlogit_c = p_c - 1{c == label}
+        let mut dlogits = probabilities;
+        dlogits[label] -= 1.0;
+
+        let hidden = model.hidden();
+        let classes = model.classes();
+        let norm = (shape.timesteps * shape.tokens) as f32;
+
+        // Readout gradient: dL/dW2[h, c] = Σ_{t,n} S[t,n,h] / norm * dlogits[c].
+        let mut dw2 = DenseMatrix::zeros(hidden, classes);
+        for (_, _, h) in trace.hidden_spikes.iter_active() {
+            for c in 0..classes {
+                dw2.add_assign(h, c, dlogits[c] / norm);
+            }
+        }
+
+        // Gradient reaching each hidden spike through the readout:
+        // dL/dS[t,n,h] = Σ_c W2[h,c] * dlogits[c] / norm.
+        let mut dspike_readout = vec![0.0f32; hidden];
+        for (h, value) in dspike_readout.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for c in 0..classes {
+                acc += model.w2().get(h, c) * dlogits[c];
+            }
+            *value = acc / norm;
+        }
+
+        // BSA: L_bsp adds a constant positive gradient to every potential
+        // spike, weighted so that spikes sitting in weakly active bundles are
+        // suppressed first (which is what empties bundles and creates the
+        // structured sparsity of Fig. 5/6).
+        let tags = (self.config.bsa_lambda != 0.0)
+            .then(|| TtbTags::from_tensor(&trace.hidden_spikes, self.config.bundle));
+        let grid = tags.as_ref().map(|t| t.grid());
+
+        // Hidden-layer gradient through the surrogate:
+        // dL/dW1[d, h] = Σ_{t,n} (dL/dS + λ·w_bundle) · σ'(V[t,n,h]) · X[t,n,d].
+        let mut dw1 = DenseMatrix::zeros(model.input_features(), hidden);
+        for t in 0..shape.timesteps {
+            let membrane = &trace.hidden_membrane[t];
+            for n in 0..shape.tokens {
+                // Collect the active input features of this (t, n) once.
+                let active_inputs: Vec<usize> = (0..shape.features)
+                    .filter(|&d| input.get(t, n, d))
+                    .collect();
+                if active_inputs.is_empty() {
+                    continue;
+                }
+                for h in 0..hidden {
+                    let surrogate = model.surrogate_derivative(membrane.get(n, h));
+                    if surrogate == 0.0 {
+                        continue;
+                    }
+                    let mut upstream = dspike_readout[h];
+                    // The BSA penalty only pushes on positions that actually
+                    // fired: existing spikes in weakly active bundles receive
+                    // the strongest suppression, so those bundles empty out
+                    // first. This keeps the regulariser self-limiting (once
+                    // firing stops, so does the pressure).
+                    if trace.hidden_spikes.get(t, n, h) {
+                        if let (Some(tags), Some(grid)) = (tags.as_ref(), grid.as_ref()) {
+                            let (bt, bn) = grid.bundle_of(t, n);
+                            let tag = tags.tag(bt, bn, h) as f32;
+                            upstream += self.config.bsa_lambda / (1.0 + tag);
+                        }
+                    }
+                    let delta = upstream * surrogate;
+                    if delta == 0.0 {
+                        continue;
+                    }
+                    for &d in &active_inputs {
+                        dw1.add_assign(d, h, delta);
+                    }
+                }
+            }
+        }
+
+        model.apply_gradients(&dw1, &dw2, self.config.learning_rate);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64) -> SpikePatternDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SpikePatternDataset::generate(3, 30, 4, 8, 18, 0.05, &mut rng)
+    }
+
+    fn train_with(config: TrainingConfig, seed: u64) -> (SpikingClassifier, TrainingReport) {
+        let data = dataset(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let mut model = SpikingClassifier::random(18, 24, 3, &mut rng);
+        let report = Trainer::new(config).train(&mut model, &data, &mut rng);
+        (model, report)
+    }
+
+    #[test]
+    fn training_learns_the_task() {
+        let (_, report) = train_with(
+            TrainingConfig {
+                epochs: 12,
+                learning_rate: 0.08,
+                ..TrainingConfig::default()
+            },
+            3,
+        );
+        assert!(
+            report.final_train_accuracy > 0.7,
+            "train accuracy too low: {}",
+            report.final_train_accuracy
+        );
+        assert!(
+            report.test_accuracy > 0.6,
+            "test accuracy too low: {}",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (_, report) = train_with(
+            TrainingConfig {
+                epochs: 10,
+                learning_rate: 0.08,
+                ..TrainingConfig::default()
+            },
+            5,
+        );
+        let first = report.epoch_losses.first().copied().unwrap();
+        let last = report.epoch_losses.last().copied().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn bsa_reduces_bundle_density_without_collapsing_accuracy() {
+        let baseline = train_with(
+            TrainingConfig {
+                epochs: 12,
+                learning_rate: 0.08,
+                bsa_lambda: 0.0,
+                ..TrainingConfig::default()
+            },
+            7,
+        )
+        .1;
+        let bsa = train_with(
+            TrainingConfig {
+                epochs: 12,
+                learning_rate: 0.08,
+                bsa_lambda: 0.02,
+                ..TrainingConfig::default()
+            },
+            7,
+        )
+        .1;
+        assert!(
+            bsa.hidden_ttb_density < baseline.hidden_ttb_density,
+            "BSA should reduce bundle density: {} vs {}",
+            bsa.hidden_ttb_density,
+            baseline.hidden_ttb_density
+        );
+        assert!(
+            bsa.test_accuracy >= baseline.test_accuracy - 0.25,
+            "BSA cost too much accuracy: {} vs {}",
+            bsa.test_accuracy,
+            baseline.test_accuracy
+        );
+    }
+
+    #[test]
+    fn ecp_aware_training_still_learns() {
+        let (_, report) = train_with(
+            TrainingConfig {
+                epochs: 12,
+                learning_rate: 0.08,
+                ecp_aware_threshold: Some(2),
+                ..TrainingConfig::default()
+            },
+            9,
+        );
+        assert!(
+            report.final_train_accuracy > 0.55,
+            "ECP-aware training accuracy too low: {}",
+            report.final_train_accuracy
+        );
+    }
+
+    #[test]
+    fn report_densities_are_fractions() {
+        let (_, report) = train_with(TrainingConfig::default(), 11);
+        assert!((0.0..=1.0).contains(&report.hidden_spike_density));
+        assert!((0.0..=1.0).contains(&report.hidden_ttb_density));
+        assert!(report.mean_bundle_loss >= 0.0);
+    }
+}

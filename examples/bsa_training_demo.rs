@@ -1,0 +1,56 @@
+//! Bundle-Sparsity-Aware training demo: trains the same spiking classifier
+//! with and without the `λ·L_bsp` term and reports how the bundle-level
+//! sparsity of its activations changes — the mechanism behind Figs. 5/6 of
+//! the paper.
+//!
+//! Run with `cargo run --release --example bsa_training_demo`.
+
+use bishop::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dataset = SpikePatternDataset::generate(4, 60, 6, 8, 24, 0.05, &mut rng);
+    println!(
+        "synthetic task: {} classes, {} train / {} test samples, input shape {}",
+        dataset.classes,
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.input_shape()
+    );
+
+    for (name, lambda) in [("baseline (λ = 0)", 0.0f32), ("BSA (λ = 0.01)", 0.01)] {
+        let mut model_rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut model = SpikingClassifier::random(24, 32, 4, &mut model_rng);
+        let report = Trainer::new(TrainingConfig {
+            epochs: 15,
+            learning_rate: 0.08,
+            bsa_lambda: lambda,
+            ..TrainingConfig::default()
+        })
+        .train(&mut model, &dataset, &mut model_rng);
+
+        println!("\n== {name} ==");
+        println!(
+            "  loss: {:.3} -> {:.3}",
+            report.epoch_losses.first().unwrap(),
+            report.epoch_losses.last().unwrap()
+        );
+        println!(
+            "  accuracy: train {:.1}%, test {:.1}%",
+            report.final_train_accuracy * 100.0,
+            report.test_accuracy * 100.0
+        );
+        println!(
+            "  hidden activations: spike density {:.2}%, TTB density {:.2}%, mean L_bsp {:.1}",
+            report.hidden_spike_density * 100.0,
+            report.hidden_ttb_density * 100.0,
+            report.mean_bundle_loss
+        );
+    }
+
+    println!(
+        "\nThe BSA run keeps accuracy close to the baseline while concentrating firing into \
+         fewer Token-Time Bundles — exactly the structured sparsity the Bishop dataflow skips."
+    );
+}

@@ -1,0 +1,71 @@
+//! Error-Constrained TTB Pruning sweep: how the pruning threshold `θp`
+//! trades attention-layer work, memory access and (proxy) accuracy — the
+//! scenario behind Fig. 14 and §6.3 of the paper.
+//!
+//! Run with `cargo run --release --example ecp_pruning_sweep`.
+
+use bishop::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let config = ModelConfig::model3_imagenet100();
+    let calibration = DatasetCalibration::for_model(&config);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let workload =
+        ModelWorkload::synthetic(&config, calibration.spec(TrainingRegime::Bsa), &mut rng);
+    let attention = workload
+        .attention_layers()
+        .next()
+        .expect("Model 3 has attention layers");
+    let bundle = BundleShape::default();
+
+    println!("ECP sweep on {} (first attention layer)", config.name);
+    println!(
+        "{:>4} {:>12} {:>12} {:>16} {:>16} {:>12}",
+        "θp", "Q retained", "K retained", "score work left", "memory left", "error bound"
+    );
+    for theta in [0u32, 2, 4, 6, 8, 10, 12, 16] {
+        let result = ecp::apply(
+            &attention.q,
+            &attention.k,
+            &attention.v,
+            EcpConfig::uniform(theta, bundle),
+        );
+        println!(
+            "{:>4} {:>11.1}% {:>11.1}% {:>15.1}% {:>15.1}% {:>12}",
+            theta,
+            result.q_retention() * 100.0,
+            result.k_retention() * 100.0,
+            result.score_work_fraction() * 100.0,
+            result.memory_access_fraction() * 100.0,
+            result.error_bound()
+        );
+    }
+
+    // Accuracy proxy: a trained spiking classifier evaluated under the same
+    // bundle-row pruning rule (the paper reports the CIFAR/DVS accuracies of
+    // its trained transformers; see DESIGN.md for the substitution).
+    let mut data_rng = rand::rngs::StdRng::seed_from_u64(5);
+    let dataset = SpikePatternDataset::generate(4, 40, 4, 8, 24, 0.05, &mut data_rng);
+    let mut model = SpikingClassifier::random(24, 32, 4, &mut data_rng);
+    Trainer::new(TrainingConfig {
+        epochs: 10,
+        learning_rate: 0.08,
+        ..TrainingConfig::default()
+    })
+    .train(&mut model, &dataset, &mut data_rng);
+    println!("\naccuracy proxy (synthetic spike-pattern task):");
+    for point in bishop::train::accuracy_under_pruning(
+        &model,
+        &dataset.test,
+        &[0, 2, 4, 8, 16, 64],
+        bundle,
+    ) {
+        println!(
+            "  θp = {:>3}: accuracy {:>5.1}% ({:+.1} pp vs unpruned)",
+            point.threshold,
+            point.accuracy * 100.0,
+            point.accuracy_delta() * 100.0
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a spiking-transformer workload, run it through the
+//! Bishop simulator and the PTB baseline, and print the comparison.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use bishop::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Pick a model (Model 1 of the paper: CIFAR-10, 4 blocks, T=10, N=64,
+    //    D=384) and the calibrated activation statistics of its dataset.
+    let config = ModelConfig::model1_cifar10();
+    let calibration = DatasetCalibration::for_model(&config);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let workload = ModelWorkload::synthetic(
+        &config,
+        calibration.spec(TrainingRegime::Baseline),
+        &mut rng,
+    );
+    println!("model: {config}");
+    println!(
+        "workload: {} layers, mean projection density {:.1}%",
+        workload.layers().len(),
+        workload.mean_projection_density() * 100.0
+    );
+
+    // 2. Simulate one inference on Bishop and on the PTB baseline.
+    let bishop = BishopSimulator::new(BishopConfig::default());
+    let bishop_run = bishop.simulate(&workload, &SimOptions::baseline());
+    let ptb_run = PtbSimulator::new(PtbConfig::default()).simulate(&workload);
+
+    println!(
+        "Bishop : {:.3} ms, {:.3} mJ",
+        bishop_run.total_latency_seconds() * 1e3,
+        bishop_run.total_energy_mj()
+    );
+    println!(
+        "PTB    : {:.3} ms, {:.3} mJ",
+        ptb_run.total_latency_seconds() * 1e3,
+        ptb_run.total_energy_mj()
+    );
+    println!(
+        "Bishop vs PTB: {:.2}x faster, {:.2}x more energy efficient",
+        bishop_run.speedup_vs(&ptb_run),
+        bishop_run.energy_improvement_vs(&ptb_run)
+    );
+
+    // 3. Add the co-design algorithms: a BSA-trained workload plus ECP.
+    let bsa_workload =
+        ModelWorkload::synthetic(&config, calibration.spec(TrainingRegime::Bsa), &mut rng);
+    let full = bishop.simulate(
+        &bsa_workload,
+        &SimOptions::with_ecp(calibration.ecp_threshold),
+    );
+    println!(
+        "Bishop+BSA+ECP vs PTB: {:.2}x faster, {:.2}x more energy efficient",
+        full.speedup_vs(&ptb_run),
+        full.energy_improvement_vs(&ptb_run)
+    );
+}

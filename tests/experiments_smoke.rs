@@ -1,0 +1,30 @@
+//! Smoke tests for the experiment harness: every report can be generated at
+//! the quick scale and contains the expected sections.
+
+use bishop::experiments::{self, ExperimentScale};
+
+#[test]
+fn static_reports_render() {
+    assert!(experiments::table2_models::report().contains("Model 5"));
+    assert!(experiments::fig03_flops::report().contains("Attention + MLP"));
+    assert!(experiments::fig17_breakdown::report().contains("TTB attention core"));
+}
+
+#[test]
+fn workload_driven_reports_render_at_quick_scale() {
+    let scale = ExperimentScale::Quick;
+    assert!(experiments::fig05_bundle_distribution::report(scale).contains("Silent features"));
+    assert!(experiments::fig06_stratified_density::report(scale).contains("stratified dense"));
+    assert!(experiments::fig15_stratification::report(scale).contains("EDP vs PTB"));
+    assert!(experiments::fig16_bundle_volume::report(scale).contains("(2, 4)"));
+}
+
+#[test]
+fn comparison_reports_mention_both_accelerators() {
+    let scale = ExperimentScale::Quick;
+    let fig11 = experiments::fig11_layerwise::report(scale);
+    assert!(fig11.contains("PTB latency") && fig11.contains("Bishop latency"));
+    let fig12 = experiments::fig12_13_end_to_end::report(scale);
+    assert!(fig12.contains("Bishop vs PTB"));
+    assert!(fig12.contains("Fig. 13"));
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the core invariants of the pipeline
+//! (bundle tagging, stratification, ECP's error bound, simulator sanity).
+
+use bishop::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arbitrary_tensor(
+    max_t: usize,
+    max_n: usize,
+    max_d: usize,
+) -> impl Strategy<Value = SpikeTensor> {
+    (1..=max_t, 1..=max_n, 1..=max_d, 0.0f64..0.5, any::<u64>()).prop_map(
+        |(t, n, d, density, seed)| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            SpikeTensor::from_fn(TensorShape::new(t, n, d), |_, _, _| {
+                use rand::Rng;
+                rng.gen_bool(density)
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bundle_tags_conserve_spike_count(
+        tensor in arbitrary_tensor(6, 16, 12),
+        bst in 1usize..4,
+        bsn in 1usize..6,
+    ) {
+        let tags = TtbTags::from_tensor(&tensor, BundleShape::new(bst, bsn));
+        prop_assert_eq!(tags.tag_sum(), tensor.count_ones() as u64);
+        prop_assert!(tags.active_bundles() <= tags.total_bundles());
+        prop_assert!(tags.active_bundles() <= tensor.count_ones());
+    }
+
+    #[test]
+    fn stratifier_always_produces_a_partition(
+        tensor in arbitrary_tensor(6, 16, 12),
+        threshold in 0usize..10,
+    ) {
+        let split = Stratifier::new(threshold).stratify(&tensor, BundleShape::default());
+        prop_assert!(split.is_partition(tensor.shape().features));
+        prop_assert_eq!(split.dense_spikes + split.sparse_spikes, tensor.count_ones());
+    }
+
+    #[test]
+    fn ecp_error_bound_holds_for_arbitrary_tensors(
+        q in arbitrary_tensor(4, 12, 10),
+        theta in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        // Build K/V with the same shape as Q.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = SpikeTensor::from_fn(q.shape(), |_, _, _| {
+            use rand::Rng;
+            rng.gen_bool(0.2)
+        });
+        let v = SpikeTensor::from_fn(q.shape(), |_, _, _| {
+            use rand::Rng;
+            rng.gen_bool(0.3)
+        });
+        let config = EcpConfig::uniform(theta, BundleShape::new(2, 2));
+        let result = ecp::apply(&q, &k, &v, config);
+        let error = ecp::max_score_error(&q, &k, &result.pruned_q, &result.pruned_k);
+        prop_assert!(error < theta.max(1), "error {} >= bound {}", error, theta);
+        // Pruning only removes spikes.
+        prop_assert!(result.pruned_q.count_ones() <= q.count_ones());
+        prop_assert!(result.pruned_k.count_ones() <= k.count_ones());
+    }
+
+    #[test]
+    fn ecp_retention_is_monotone_in_threshold(
+        q in arbitrary_tensor(4, 12, 10),
+    ) {
+        let k = q.clone();
+        let v = q.clone();
+        let mut previous = f64::INFINITY;
+        for theta in [0u32, 1, 2, 4, 8, 16] {
+            let result = ecp::apply(&q, &k, &v, EcpConfig::uniform(theta, BundleShape::new(2, 2)));
+            let retained = result.q_retention() + result.k_retention();
+            prop_assert!(retained <= previous + 1e-12);
+            previous = retained;
+        }
+    }
+
+    #[test]
+    fn bsa_effect_never_creates_spikes_and_respects_fractions(
+        tensor in arbitrary_tensor(4, 12, 10),
+        keep in 0.1f64..1.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let shaped = BsaEffect::new(keep, keep).apply(&tensor, BundleShape::default(), &mut rng);
+        prop_assert!(shaped.count_ones() <= tensor.count_ones());
+        for (t, n, d) in shaped.iter_active() {
+            prop_assert!(tensor.get(t, n, d));
+        }
+    }
+}
+
+proptest! {
+    // Simulator-level properties use fewer cases: each case builds and
+    // simulates a small workload.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulated_cost_grows_with_density(
+        low in 0.02f64..0.08,
+        seed in any::<u64>(),
+    ) {
+        let high = low * 4.0;
+        let config = ModelConfig::new("prop", DatasetKind::Cifar10, 1, 4, 16, 32, 2);
+        let mut rng_low = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_high = rand::rngs::StdRng::seed_from_u64(seed);
+        let sparse = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(low), &mut rng_low);
+        let dense = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(high), &mut rng_high);
+        let simulator = BishopSimulator::new(BishopConfig::default());
+        let sparse_run = simulator.simulate(&sparse, &SimOptions::baseline());
+        let dense_run = simulator.simulate(&dense, &SimOptions::baseline());
+        prop_assert!(dense_run.total_energy_pj() >= sparse_run.total_energy_pj());
+    }
+
+    #[test]
+    fn ecp_never_makes_the_accelerator_slower(
+        density in 0.03f64..0.2,
+        theta in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let config = ModelConfig::new("prop-ecp", DatasetKind::ImageNet100, 1, 4, 32, 32, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(density), &mut rng);
+        let simulator = BishopSimulator::new(BishopConfig::default());
+        let baseline = simulator.simulate(&workload, &SimOptions::baseline());
+        let pruned = simulator.simulate(&workload, &SimOptions::with_ecp(theta));
+        prop_assert!(pruned.total_cycles() <= baseline.total_cycles());
+        prop_assert!(pruned.total_energy_pj() <= baseline.total_energy_pj() + 1e-6);
+    }
+}
