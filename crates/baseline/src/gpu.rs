@@ -75,8 +75,8 @@ impl EdgeGpuModel {
     /// every layer.
     fn bytes_moved(&self, config: &ModelConfig) -> u64 {
         let weights = config.encoder_parameter_count() as u64 * self.bytes_per_element as u64;
-        let activations_per_layer = (config.tokens * config.features) as u64
-            * self.bytes_per_element as u64;
+        let activations_per_layer =
+            (config.tokens * config.features) as u64 * self.bytes_per_element as u64;
         let layers = (config.blocks * 5) as u64;
         let timesteps = config.timesteps as u64;
         weights * timesteps + activations_per_layer * layers * timesteps * 2
@@ -90,8 +90,8 @@ impl EdgeGpuModel {
 
         let compute_seconds = flops as f64 / (self.peak_flops * self.utilisation);
         let memory_seconds = bytes as f64 / self.memory_bandwidth;
-        let overhead_seconds = self.launch_overhead_seconds
-            * (config.timesteps * config.blocks * 5) as f64;
+        let overhead_seconds =
+            self.launch_overhead_seconds * (config.timesteps * config.blocks * 5) as f64;
         let latency_seconds = compute_seconds.max(memory_seconds) + overhead_seconds;
         let energy_mj = self.power_watts * latency_seconds * 1e3;
 

@@ -166,8 +166,8 @@ impl PtbSimulator {
         // The score matrix does not fit the PE registers without the
         // S-stationary dataflow, so it is written to and re-read from the
         // GLB once per timestep.
-        let score_matrix_bytes = (shape.timesteps * shape.tokens * shape.tokens) as u64
-            * score_bytes_per_entry;
+        let score_matrix_bytes =
+            (shape.timesteps * shape.tokens * shape.tokens) as u64 * score_bytes_per_entry;
 
         let neuron_updates = shape.len() as u64;
         let compute_energy_pj = mac_ops as f64 * self.energy.mac8_pj
@@ -177,13 +177,11 @@ impl PtbSimulator {
         let traffic = MemoryTraffic {
             dram_read_bytes: 3 * bitmap_bytes,
             dram_write_bytes: bitmap_bytes,
-            glb_read_bytes: 3 * bitmap_bytes * layer.heads.max(1) as u64 / 2
-                + score_matrix_bytes,
+            glb_read_bytes: 3 * bitmap_bytes * layer.heads.max(1) as u64 / 2 + score_matrix_bytes,
             glb_write_bytes: score_matrix_bytes + bitmap_bytes,
             local_read_bytes: 3 * bitmap_bytes,
             local_write_bytes: score_matrix_bytes,
             register_bytes: mac_ops.div_ceil(8),
-            ..MemoryTraffic::new()
         };
 
         let lif_cycles = neuron_updates.div_ceil(self.config.spike_lanes as u64);
@@ -292,7 +290,10 @@ mod tests {
         assert!(speedup > 1.5, "expected a clear speedup, got {speedup:.2}x");
         assert!(speedup < 30.0, "speedup {speedup:.2}x is implausibly large");
         assert!(energy > 1.2, "expected an energy win, got {energy:.2}x");
-        assert!(energy < 30.0, "energy win {energy:.2}x is implausibly large");
+        assert!(
+            energy < 30.0,
+            "energy win {energy:.2}x is implausibly large"
+        );
     }
 
     #[test]
@@ -304,7 +305,9 @@ mod tests {
         assert_eq!(cost.ops, attention.dense_ops());
         // Score matrix traffic appears in the GLB write stream.
         let shape = attention.shape();
-        assert!(cost.traffic.glb_write_bytes >= (shape.timesteps * shape.tokens * shape.tokens) as u64);
+        assert!(
+            cost.traffic.glb_write_bytes >= (shape.timesteps * shape.tokens * shape.tokens) as u64
+        );
     }
 
     #[test]

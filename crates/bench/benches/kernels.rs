@@ -7,9 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 
 use bishop_bundle::{ecp, BundleShape, EcpConfig, Stratifier, TtbTags};
-use bishop_core::{
-    AttentionCoreModel, BishopConfig, BishopSimulator, SimOptions,
-};
+use bishop_core::{AttentionCoreModel, BishopConfig, BishopSimulator, SimOptions};
 use bishop_memsys::EnergyModel;
 use bishop_model::workload::SyntheticTraceSpec;
 use bishop_model::{DatasetKind, ModelConfig, ModelWorkload};
@@ -67,8 +65,7 @@ fn bench_ecp(c: &mut Criterion) {
 fn bench_attention_core_model(c: &mut Criterion) {
     let config = ModelConfig::new("bench", DatasetKind::ImageNet100, 1, 4, 96, 128, 4);
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-    let workload =
-        ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.12), &mut rng);
+    let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.12), &mut rng);
     let layer = workload.attention_layers().next().unwrap().clone();
     let core = AttentionCoreModel::new(&BishopConfig::default());
     let energy = EnergyModel::bishop_28nm();
@@ -84,8 +81,7 @@ fn bench_attention_core_model(c: &mut Criterion) {
 fn bench_full_simulation(c: &mut Criterion) {
     let config = ModelConfig::new("bench-sim", DatasetKind::Cifar10, 2, 4, 64, 128, 4);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let workload =
-        ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.12), &mut rng);
+    let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.12), &mut rng);
     let simulator = BishopSimulator::new(BishopConfig::default());
     let mut group = c.benchmark_group("kernel_full_simulation");
     group.sample_size(10);

@@ -1,0 +1,84 @@
+//! Serving-throughput benchmark: sequential single-request simulation vs
+//! batched multi-worker serving on the same mixed CIFAR-10 / ImageNet-100
+//! traffic trace.
+//!
+//! The sequential baseline is the pre-runtime status quo: a plain loop that
+//! synthesizes each request's workload and simulates it, one request at a
+//! time, with no batching and no caching. The batched configuration runs the
+//! full runtime: Token-Time-Bundle-aligned batch formation, a multi-worker
+//! pool of simulated chip instances, and the two memoization levels
+//! (calibration cache + batch result cache). The headline number is
+//! requests/s — batched serving must comfortably beat the baseline.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bishop_core::{BishopConfig, BishopSimulator};
+use bishop_runtime::{
+    cache::synthesize, default_mixed_models, mixed_trace, BatchPolicy, BishopServer,
+    InferenceRequest, RuntimeConfig,
+};
+
+const TRACE_LEN: usize = 64;
+const SEED_POOL: u64 = 4;
+
+fn trace() -> Vec<InferenceRequest> {
+    mixed_trace(&default_mixed_models(), TRACE_LEN, SEED_POOL, 42)
+}
+
+/// The pre-runtime baseline: one synthesis + one simulation per request.
+fn serve_sequentially(requests: &[InferenceRequest]) -> f64 {
+    let simulator = BishopSimulator::new(BishopConfig::default());
+    let mut total_latency = 0.0;
+    for request in requests {
+        let workload = synthesize(&request.model, request.regime, request.seed);
+        let run = simulator.simulate(&workload, &request.options);
+        total_latency += run.total_latency_seconds();
+    }
+    total_latency
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let requests = trace();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("sequential_single_request", |b| {
+        b.iter(|| serve_sequentially(black_box(&requests)))
+    });
+
+    group.bench_function("batched_4workers_batch8", |b| {
+        b.iter(|| {
+            let server = BishopServer::new(RuntimeConfig::new(4, BatchPolicy::new(8)));
+            server.serve(requests.clone())
+        })
+    });
+
+    // Steady-state serving: the server (and its caches) lives across
+    // iterations — the realistic deployment shape.
+    let warm = BishopServer::new(RuntimeConfig::new(4, BatchPolicy::new(8)));
+    group.bench_function("batched_4workers_warm_cache", |b| {
+        b.iter(|| warm.serve(requests.clone()))
+    });
+
+    group.finish();
+
+    // Print the acceptance comparison once, outside the timed region.
+    let start = std::time::Instant::now();
+    serve_sequentially(&requests);
+    let sequential_rps = requests.len() as f64 / start.elapsed().as_secs_f64();
+    let batched = BishopServer::new(RuntimeConfig::new(4, BatchPolicy::new(8))).serve(requests);
+    let batched_rps = batched.report.wall.requests_per_second;
+    println!(
+        "serving summary: sequential {:.1} req/s | batched {:.1} req/s | {:.2}x",
+        sequential_rps,
+        batched_rps,
+        batched_rps / sequential_rps,
+    );
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -77,7 +77,12 @@ impl BsaEffect {
     }
 
     /// Applies the effect to a trace, returning the sparsified trace.
-    pub fn apply<R: Rng>(&self, tensor: &SpikeTensor, bundle: BundleShape, rng: &mut R) -> SpikeTensor {
+    pub fn apply<R: Rng>(
+        &self,
+        tensor: &SpikeTensor,
+        bundle: BundleShape,
+        rng: &mut R,
+    ) -> SpikeTensor {
         let tags = TtbTags::from_tensor(tensor, bundle);
         let grid = tags.grid();
         let features = tensor.shape().features;
@@ -92,7 +97,7 @@ impl BsaEffect {
                 }
             }
         }
-        active.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        active.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.0));
         let keep_count = (self.ttb_keep_fraction * active.len() as f64).round() as usize;
         let kept = &active[..keep_count.min(active.len())];
 
@@ -191,7 +196,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let shaped = BsaEffect::default().apply(&original, BundleShape::default(), &mut rng);
         for (t, n, d) in shaped.iter_active() {
-            assert!(original.get(t, n, d), "BSA created a spike at ({t},{n},{d})");
+            assert!(
+                original.get(t, n, d),
+                "BSA created a spike at ({t},{n},{d})"
+            );
         }
     }
 
@@ -207,8 +215,14 @@ mod tests {
         let after = BundleSparsityStats::measure(&shaped, bundle);
         let bundle_ratio = after.active_bundles as f64 / before.active_bundles as f64;
         let spike_ratio = shaped.count_ones() as f64 / original.count_ones() as f64;
-        assert!((bundle_ratio - 0.5).abs() < 0.05, "bundle ratio {bundle_ratio}");
-        assert!((spike_ratio - 0.45).abs() < 0.12, "spike ratio {spike_ratio}");
+        assert!(
+            (bundle_ratio - 0.5).abs() < 0.05,
+            "bundle ratio {bundle_ratio}"
+        );
+        assert!(
+            (spike_ratio - 0.45).abs() < 0.12,
+            "spike ratio {spike_ratio}"
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl DatasetCalibration {
     pub fn for_dataset(dataset: DatasetKind) -> Self {
         // Helper: a baseline spec plus a BSA spec derived by scaling the
         // densities and silencing more features.
+        #[allow(clippy::too_many_arguments)]
         fn spec(
             input: f64,
             q: f64,
@@ -77,7 +78,11 @@ impl DatasetCalibration {
                 cluster: (2, 4, cluster_boost),
             }
         }
-        fn bsa_from(baseline: &SyntheticTraceSpec, density_scale: f64, silent: f64) -> SyntheticTraceSpec {
+        fn bsa_from(
+            baseline: &SyntheticTraceSpec,
+            density_scale: f64,
+            silent: f64,
+        ) -> SyntheticTraceSpec {
             SyntheticTraceSpec {
                 input_density: baseline.input_density * density_scale,
                 q_density: baseline.q_density * density_scale,
@@ -210,10 +215,22 @@ mod tests {
 
     #[test]
     fn bsa_lambdas_match_paper() {
-        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::Cifar10).bsa_lambda, 1.0);
-        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::Cifar100).bsa_lambda, 0.5);
-        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::ImageNet100).bsa_lambda, 0.3);
-        assert_eq!(DatasetCalibration::for_dataset(DatasetKind::DvsGesture).bsa_lambda, 1.0);
+        assert_eq!(
+            DatasetCalibration::for_dataset(DatasetKind::Cifar10).bsa_lambda,
+            1.0
+        );
+        assert_eq!(
+            DatasetCalibration::for_dataset(DatasetKind::Cifar100).bsa_lambda,
+            0.5
+        );
+        assert_eq!(
+            DatasetCalibration::for_dataset(DatasetKind::ImageNet100).bsa_lambda,
+            0.3
+        );
+        assert_eq!(
+            DatasetCalibration::for_dataset(DatasetKind::DvsGesture).bsa_lambda,
+            1.0
+        );
     }
 
     #[test]

@@ -245,7 +245,12 @@ mod tests {
     #[test]
     fn huge_threshold_prunes_everything() {
         let (q, k, v) = random_qkv(0.1, 0.1, 2);
-        let result = apply(&q, &k, &v, EcpConfig::uniform(10_000, BundleShape::default()));
+        let result = apply(
+            &q,
+            &k,
+            &v,
+            EcpConfig::uniform(10_000, BundleShape::default()),
+        );
         assert_eq!(result.q_kept_rows.len(), 0);
         assert_eq!(result.k_kept_rows.len(), 0);
         assert_eq!(result.pruned_q.count_ones(), 0);
@@ -257,7 +262,12 @@ mod tests {
         let (q, k, v) = random_qkv(0.08, 0.05, 3);
         let mut previous = f64::INFINITY;
         for theta in [0u32, 2, 4, 8, 16, 32] {
-            let result = apply(&q, &k, &v, EcpConfig::uniform(theta, BundleShape::default()));
+            let result = apply(
+                &q,
+                &k,
+                &v,
+                EcpConfig::uniform(theta, BundleShape::default()),
+            );
             let kept = result.q_retention() + result.k_retention();
             assert!(
                 kept <= previous + 1e-12,
@@ -326,10 +336,11 @@ mod tests {
     fn retention_fractions_are_consistent_with_kept_rows() {
         let (q, k, v) = random_qkv(0.1, 0.08, 13);
         let result = apply(&q, &k, &v, EcpConfig::uniform(4, BundleShape::default()));
-        assert!((result.q_retention() * result.total_rows as f64
-            - result.q_kept_rows.len() as f64)
-            .abs()
-            < 1e-9);
+        assert!(
+            (result.q_retention() * result.total_rows as f64 - result.q_kept_rows.len() as f64)
+                .abs()
+                < 1e-9
+        );
         assert!(result.memory_access_fraction() <= 1.0);
         assert_eq!(result.error_bound(), 4);
     }

@@ -131,10 +131,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let shape = TensorShape::new(8, 64, 64);
         let scattered = SpikeTraceGenerator::new(TraceProfile::new(0.05)).generate(shape, &mut rng);
-        let clustered = SpikeTraceGenerator::new(
-            TraceProfile::new(0.05).with_clustering(2, 4, 6.0),
-        )
-        .generate(shape, &mut rng);
+        let clustered =
+            SpikeTraceGenerator::new(TraceProfile::new(0.05).with_clustering(2, 4, 6.0))
+                .generate(shape, &mut rng);
         let bundle = BundleShape::new(2, 4);
         let s_scattered = BundleSparsityStats::measure(&scattered, bundle);
         let s_clustered = BundleSparsityStats::measure(&clustered, bundle);

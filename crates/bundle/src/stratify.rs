@@ -160,7 +160,9 @@ impl Stratifier {
         }
         // Features with count > threshold are dense; choose the count at the
         // boundary so approximately `dense_target` features exceed it.
-        counts[dense_target.saturating_sub(1)].saturating_sub(1).max(counts[dense_target])
+        counts[dense_target.saturating_sub(1)]
+            .saturating_sub(1)
+            .max(counts[dense_target])
     }
 }
 
@@ -187,7 +189,10 @@ mod tests {
         let tensor = mixed_tensor();
         for threshold in 0..10 {
             let split = Stratifier::new(threshold).stratify(&tensor, BundleShape::default());
-            assert!(split.is_partition(16), "threshold {threshold} broke the partition");
+            assert!(
+                split.is_partition(16),
+                "threshold {threshold} broke the partition"
+            );
         }
     }
 
@@ -195,10 +200,16 @@ mod tests {
     fn hot_features_go_dense_cold_features_go_sparse() {
         let split = Stratifier::new(2).stratify(&mixed_tensor(), BundleShape::default());
         for d in 0..4 {
-            assert!(split.dense_features.contains(&d), "hot feature {d} should be dense");
+            assert!(
+                split.dense_features.contains(&d),
+                "hot feature {d} should be dense"
+            );
         }
         for d in 4..16 {
-            assert!(split.sparse_features.contains(&d), "cold feature {d} should be sparse");
+            assert!(
+                split.sparse_features.contains(&d),
+                "cold feature {d} should be sparse"
+            );
         }
         assert!(split.dense_work_fraction() > 0.8);
     }
@@ -207,9 +218,10 @@ mod tests {
     fn zero_threshold_routes_every_active_feature_dense() {
         let split = Stratifier::new(0).stratify(&mixed_tensor(), BundleShape::default());
         // Every feature with at least one active bundle is "dense" at θs=0.
-        assert!(split.sparse_features.iter().all(|&d| {
-            mixed_tensor().feature_count(d) == 0 || d >= 4
-        }));
+        assert!(split
+            .sparse_features
+            .iter()
+            .all(|&d| { mixed_tensor().feature_count(d) == 0 || d >= 4 }));
         assert_eq!(split.threshold, 0);
     }
 
@@ -242,11 +254,8 @@ mod tests {
         let tensor = SpikeTraceGenerator::new(TraceProfile::new(0.15).with_feature_spread(2.0))
             .generate(TensorShape::new(8, 64, 128), &mut rng);
         for target in [0.25, 0.5, 0.75] {
-            let threshold = Stratifier::threshold_for_dense_fraction(
-                &tensor,
-                BundleShape::default(),
-                target,
-            );
+            let threshold =
+                Stratifier::threshold_for_dense_fraction(&tensor, BundleShape::default(), target);
             let split = Stratifier::new(threshold).stratify(&tensor, BundleShape::default());
             let fraction = split.dense_feature_fraction();
             assert!(

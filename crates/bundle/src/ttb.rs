@@ -225,7 +225,10 @@ impl TtbTags {
     /// Number of features with no active bundle at all (BSA pushes a large
     /// fraction of features into this regime — Fig. 5).
     pub fn silent_features(&self) -> usize {
-        self.active_per_feature().iter().filter(|&&c| c == 0).count()
+        self.active_per_feature()
+            .iter()
+            .filter(|&&c| c == 0)
+            .count()
     }
 
     /// Number of active bundles in bundle row `(bt, bn)` counted across all
@@ -234,9 +237,7 @@ impl TtbTags {
     /// the tokens inside this bundle row is bounded by this count.
     pub fn active_in_row(&self, bt: usize, bn: usize) -> usize {
         let features = self.grid.tensor_shape().features;
-        (0..features)
-            .filter(|&d| self.is_active(bt, bn, d))
-            .count()
+        (0..features).filter(|&d| self.is_active(bt, bn, d)).count()
     }
 
     /// Per-bundle-row active-bundle counts, indexed `[bt][bn]` flattened as

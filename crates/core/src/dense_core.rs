@@ -177,7 +177,10 @@ mod tests {
             weight_row_fetches: 4,
         };
         let cost = model().process(&s, 128, 8, &energy);
-        assert_eq!(cost.traffic.glb_read_bytes, 4 * 128 + (64u64 * 8).div_ceil(8));
+        assert_eq!(
+            cost.traffic.glb_read_bytes,
+            4 * 128 + (64u64 * 8).div_ceil(8)
+        );
         assert_eq!(cost.traffic.dram_read_bytes, 4 * 128);
     }
 

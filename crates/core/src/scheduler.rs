@@ -3,7 +3,7 @@
 
 use bishop_bundle::{ecp, EcpConfig};
 use bishop_memsys::{EnergyModel, MemoryHierarchy, MemoryTraffic};
-use bishop_model::{AttentionWorkload, ProjectionWorkload};
+use bishop_model::{AttentionWorkload, LayerWorkload, ProjectionWorkload};
 
 use crate::attention_core::AttentionCoreModel;
 use crate::config::BishopConfig;
@@ -64,6 +64,24 @@ impl LayerScheduler {
         dram.max(glb)
     }
 
+    /// Schedules any workload layer, dispatching to the projection or
+    /// attention path. `ecp_config` only applies to attention layers.
+    ///
+    /// This is the reusable per-layer entry point the serving runtime (and
+    /// any other multi-tenant driver) uses: a `LayerScheduler` is immutable
+    /// after construction, so one instance can be cloned per worker thread
+    /// and fed layers from different requests concurrently.
+    pub fn schedule_layer(
+        &self,
+        layer: &LayerWorkload,
+        ecp_config: Option<EcpConfig>,
+    ) -> LayerMetrics {
+        match layer {
+            LayerWorkload::Projection(p) => self.schedule_projection(p),
+            LayerWorkload::Attention(a) => self.schedule_attention(a, ecp_config),
+        }
+    }
+
     /// Schedules an MLP/projection layer across the stratifier, dense core,
     /// sparse core and spike generator.
     pub fn schedule_projection(&self, layer: &ProjectionWorkload) -> LayerMetrics {
@@ -88,8 +106,7 @@ impl LayerScheduler {
         );
 
         let shape = layer.input.shape();
-        let neuron_updates =
-            (shape.timesteps * shape.tokens * layer.output_features) as u64;
+        let neuron_updates = (shape.timesteps * shape.tokens * layer.output_features) as u64;
         let streams = usize::from(dense_cost.ops > 0) + usize::from(sparse_cost.ops > 0);
         let generator_cost =
             self.spike_generator
@@ -141,9 +158,9 @@ impl LayerScheduler {
         ecp_config: Option<EcpConfig>,
     ) -> LayerMetrics {
         let ecp_result = ecp_config.map(|cfg| ecp::apply(&layer.q, &layer.k, &layer.v, cfg));
-        let attention_cost =
-            self.attention
-                .process(layer, ecp_result.as_ref(), &self.energy);
+        let attention_cost = self
+            .attention
+            .process(layer, ecp_result.as_ref(), &self.energy);
 
         let shape = layer.shape();
         let neuron_updates = (shape.len() as f64 * attention_cost.q_fraction).ceil() as u64;
@@ -152,8 +169,7 @@ impl LayerScheduler {
             .process(neuron_updates, 1, &self.energy);
 
         let total = attention_cost.cost.add(&generator_cost);
-        let compute_cycles =
-            attention_cost.cost.compute_cycles + generator_cost.compute_cycles;
+        let compute_cycles = attention_cost.cost.compute_cycles + generator_cost.compute_cycles;
         let memory_cycles = self.memory_cycles(&total.traffic);
 
         combine_layer(
@@ -258,10 +274,8 @@ mod tests {
         let sched = scheduler(BishopConfig::default());
         let layer = first_attention(&w);
         let baseline = sched.schedule_attention(layer, None);
-        let pruned = sched.schedule_attention(
-            layer,
-            Some(EcpConfig::uniform(6, BundleShape::default())),
-        );
+        let pruned =
+            sched.schedule_attention(layer, Some(EcpConfig::uniform(6, BundleShape::default())));
         assert!(pruned.compute_cycles <= baseline.compute_cycles);
         assert!(pruned.total_energy_pj() <= baseline.total_energy_pj());
         assert_eq!(pruned.group, "ATN");
@@ -290,7 +304,11 @@ mod tests {
                 LayerWorkload::Projection(p) => sched.schedule_projection(p),
                 LayerWorkload::Attention(a) => sched.schedule_attention(a, None),
             };
-            assert!(metrics.latency_cycles > 0, "{} had zero latency", layer.label());
+            assert!(
+                metrics.latency_cycles > 0,
+                "{} had zero latency",
+                layer.label()
+            );
         }
     }
 }

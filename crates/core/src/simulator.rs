@@ -2,14 +2,14 @@
 
 use bishop_bundle::EcpConfig;
 use bishop_memsys::{EnergyModel, MemoryHierarchy};
-use bishop_model::{LayerWorkload, ModelWorkload};
+use bishop_model::ModelWorkload;
 
 use crate::config::BishopConfig;
 use crate::metrics::RunMetrics;
 use crate::scheduler::LayerScheduler;
 
 /// Options controlling one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SimOptions {
     /// When set, Error-Constrained TTB Pruning with this threshold is applied
     /// to every attention layer before it is executed (the bundle shape is
@@ -34,22 +34,26 @@ impl SimOptions {
 }
 
 /// The Bishop accelerator simulator.
+///
+/// The simulator owns one [`LayerScheduler`], built once at construction, so
+/// repeated `simulate` calls (and clones handed to worker threads — a
+/// `BishopSimulator` models one chip instance) do not re-derive the per-core
+/// cost models. Cloning is cheap: the scheduler state is a handful of small
+/// plain-data tables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BishopSimulator {
-    config: BishopConfig,
-    energy: EnergyModel,
-    hierarchy: MemoryHierarchy,
+    scheduler: LayerScheduler,
 }
 
 impl BishopSimulator {
     /// Creates a simulator with the default 28 nm energy table and the
     /// paper's memory hierarchy.
     pub fn new(config: BishopConfig) -> Self {
-        Self {
+        Self::with_models(
             config,
-            energy: EnergyModel::bishop_28nm(),
-            hierarchy: MemoryHierarchy::bishop_default(),
-        }
+            EnergyModel::bishop_28nm(),
+            MemoryHierarchy::bishop_default(),
+        )
     }
 
     /// Creates a simulator with explicit energy/memory models.
@@ -59,41 +63,51 @@ impl BishopSimulator {
         hierarchy: MemoryHierarchy,
     ) -> Self {
         Self {
-            config,
-            energy,
-            hierarchy,
+            scheduler: LayerScheduler::new(config, energy, hierarchy),
         }
     }
 
     /// The hardware configuration.
     pub fn config(&self) -> &BishopConfig {
-        &self.config
+        self.scheduler.config()
+    }
+
+    /// The per-layer scheduler backing this simulator. Exposed so drivers
+    /// that manage their own run loop (e.g. the serving runtime) can schedule
+    /// individual layers without paying for a fresh scheduler per call.
+    pub fn scheduler(&self) -> &LayerScheduler {
+        &self.scheduler
+    }
+
+    /// The ECP configuration implied by `options` for attention layers under
+    /// this simulator's bundle shape.
+    pub fn ecp_config_for(&self, options: &SimOptions) -> Option<EcpConfig> {
+        options
+            .ecp_threshold
+            .map(|theta| EcpConfig::uniform(theta, self.config().bundle))
     }
 
     /// Simulates one inference of `workload` and returns the per-layer and
     /// end-to-end metrics.
     pub fn simulate(&self, workload: &ModelWorkload, options: &SimOptions) -> RunMetrics {
-        let scheduler = LayerScheduler::new(
-            self.config.clone(),
-            self.energy.clone(),
-            self.hierarchy.clone(),
-        );
         let name = match options.ecp_threshold {
             Some(theta) => format!("Bishop+ECP(θp={theta})"),
             None => "Bishop".to_string(),
         };
-        let mut run = RunMetrics::new(name, self.config.clock_hz);
+        self.simulate_named(workload, options, name)
+    }
+
+    /// Like [`simulate`](Self::simulate) with an explicit run name.
+    pub fn simulate_named(
+        &self,
+        workload: &ModelWorkload,
+        options: &SimOptions,
+        name: impl Into<String>,
+    ) -> RunMetrics {
+        let ecp_config = self.ecp_config_for(options);
+        let mut run = RunMetrics::new(name, self.config().clock_hz);
         for layer in workload.layers() {
-            let metrics = match layer {
-                LayerWorkload::Projection(p) => scheduler.schedule_projection(p),
-                LayerWorkload::Attention(a) => {
-                    let ecp_config = options
-                        .ecp_threshold
-                        .map(|theta| EcpConfig::uniform(theta, self.config.bundle));
-                    scheduler.schedule_attention(a, ecp_config)
-                }
-            };
-            run.push(metrics);
+            run.push(self.scheduler.schedule_layer(layer, ecp_config));
         }
         run
     }
@@ -117,8 +131,8 @@ mod tests {
     #[test]
     fn simulation_produces_one_metric_per_layer() {
         let w = workload(2, 0.15, 1);
-        let run = BishopSimulator::new(BishopConfig::default())
-            .simulate(&w, &SimOptions::baseline());
+        let run =
+            BishopSimulator::new(BishopConfig::default()).simulate(&w, &SimOptions::baseline());
         assert_eq!(run.layers.len(), w.layers().len());
         assert!(run.total_latency_seconds() > 0.0);
         assert!(run.total_energy_mj() > 0.0);
@@ -154,12 +168,11 @@ mod tests {
     #[test]
     fn stratification_policy_changes_results() {
         let w = workload(1, 0.2, 7);
-        let balanced = BishopSimulator::new(BishopConfig::default())
-            .simulate(&w, &SimOptions::baseline());
-        let all_dense = BishopSimulator::new(
-            BishopConfig::default().with_stratify(StratifyPolicy::AllDense),
-        )
-        .simulate(&w, &SimOptions::baseline());
+        let balanced =
+            BishopSimulator::new(BishopConfig::default()).simulate(&w, &SimOptions::baseline());
+        let all_dense =
+            BishopSimulator::new(BishopConfig::default().with_stratify(StratifyPolicy::AllDense))
+                .simulate(&w, &SimOptions::baseline());
         // They must at least differ; the balanced split should not be slower.
         assert!(balanced.total_cycles() <= all_dense.total_cycles());
     }
@@ -167,8 +180,8 @@ mod tests {
     #[test]
     fn average_power_is_below_the_synthesized_peak() {
         let w = workload(2, 0.2, 9);
-        let run = BishopSimulator::new(BishopConfig::default())
-            .simulate(&w, &SimOptions::baseline());
+        let run =
+            BishopSimulator::new(BishopConfig::default()).simulate(&w, &SimOptions::baseline());
         // 627 mW peak power for the synthesized design; the analytic model
         // should not wildly exceed it (DRAM power excluded from the peak).
         assert!(run.average_power_watts() < 2.0);

@@ -48,7 +48,8 @@ impl SparseCoreModel {
         // Each accumulate also pays a distribution-network routing cost
         // (modelled as half a mux) — the price of full irregular-sparsity
         // support.
-        let compute_energy_pj = accumulate_ops as f64 * (energy.accumulate_pj + 0.5 * energy.mux_pj)
+        let compute_energy_pj = accumulate_ops as f64
+            * (energy.accumulate_pj + 0.5 * energy.mux_pj)
             + compute_cycles as f64 * self.config.sparse_units as f64 * energy.pe_idle_pj_per_cycle;
 
         let weight_bytes_per_row = (output_features * weight_bits).div_ceil(8) as u64;

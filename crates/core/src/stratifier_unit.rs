@@ -103,8 +103,7 @@ impl StratifierUnit {
             for d in 0..active_per_feature.len() {
                 if active_per_feature[d] > threshold {
                     dense_positions += active_per_feature[d] as f64 * volume;
-                    dense_row_fetches +=
-                        active_per_feature[d].div_ceil(self.bundle_lanes) as f64;
+                    dense_row_fetches += active_per_feature[d].div_ceil(self.bundle_lanes) as f64;
                 } else {
                     sparse_spikes += spikes_per_feature[d] as f64;
                     sparse_row_fetches += active_per_feature[d] as f64;
@@ -268,7 +267,8 @@ mod tests {
     #[test]
     fn all_dense_routes_everything_to_the_dense_core() {
         let input = input();
-        let result = unit(StratifyPolicy::AllDense).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
+        let result =
+            unit(StratifyPolicy::AllDense).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
         assert_eq!(result.sparse.spikes, 0);
         assert_eq!(result.sparse.feature_count, 0);
         assert_eq!(result.dense.spikes, input.count_ones());
@@ -277,7 +277,8 @@ mod tests {
     #[test]
     fn all_sparse_routes_everything_to_the_sparse_core() {
         let input = input();
-        let result = unit(StratifyPolicy::AllSparse).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
+        let result =
+            unit(StratifyPolicy::AllSparse).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
         assert_eq!(result.dense.spikes, 0);
         assert_eq!(result.sparse.spikes, input.count_ones());
     }
@@ -285,8 +286,12 @@ mod tests {
     #[test]
     fn target_fraction_routes_roughly_that_many_features_dense() {
         let input = input();
-        let result = unit(StratifyPolicy::TargetDenseFraction(0.5))
-            .stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
+        let result = unit(StratifyPolicy::TargetDenseFraction(0.5)).stratify(
+            &input,
+            128,
+            8,
+            &EnergyModel::bishop_28nm(),
+        );
         let fraction = result.split.dense_feature_fraction();
         assert!((fraction - 0.5).abs() < 0.3, "got {fraction}");
         // Dense-routed features are the busy ones, so they carry the majority
@@ -297,7 +302,8 @@ mod tests {
     #[test]
     fn weight_row_fetches_reflect_bundle_lane_sharing() {
         let input = SpikeTensor::ones(TensorShape::new(8, 32, 4));
-        let result = unit(StratifyPolicy::AllDense).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
+        let result =
+            unit(StratifyPolicy::AllDense).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
         // Every feature has 4x8 = 32 active bundles; with 16 bundle lanes the
         // weight row is fetched twice per feature.
         assert_eq!(result.dense.weight_row_fetches, 4 * 2);
@@ -306,7 +312,8 @@ mod tests {
     #[test]
     fn stratifier_cost_is_small() {
         let input = input();
-        let result = unit(StratifyPolicy::Fixed(2)).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
+        let result =
+            unit(StratifyPolicy::Fixed(2)).stratify(&input, 128, 8, &EnergyModel::bishop_28nm());
         assert!(result.cost.compute_cycles < 10);
         assert!(result.cost.compute_energy_pj < 100.0);
     }

@@ -7,5 +7,8 @@ fn main() {
     } else {
         ExperimentScale::Full
     };
-    print!("{}", bishop_experiments::fig05_bundle_distribution::report(scale));
+    print!(
+        "{}",
+        bishop_experiments::fig05_bundle_distribution::report(scale)
+    );
 }

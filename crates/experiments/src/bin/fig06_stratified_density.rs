@@ -7,5 +7,8 @@ fn main() {
     } else {
         ExperimentScale::Full
     };
-    print!("{}", bishop_experiments::fig06_stratified_density::report(scale));
+    print!(
+        "{}",
+        bishop_experiments::fig06_stratified_density::report(scale)
+    );
 }

@@ -7,5 +7,8 @@ fn main() {
     } else {
         ExperimentScale::Full
     };
-    print!("{}", bishop_experiments::fig15_stratification::report(scale));
+    print!(
+        "{}",
+        bishop_experiments::fig15_stratification::report(scale)
+    );
 }

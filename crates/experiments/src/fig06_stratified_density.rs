@@ -42,11 +42,16 @@ fn select_features(tensor: &SpikeTensor, features: &[usize]) -> SpikeTensor {
     let shape = tensor.shape();
     let sub_shape = shape.with_features(features.len().max(1));
     SpikeTensor::from_fn(sub_shape, |t, n, d| {
-        features.get(d).is_some_and(|&source| tensor.get(t, n, source))
+        features
+            .get(d)
+            .is_some_and(|&source| tensor.get(t, n, source))
     })
 }
 
-fn stratify(tensor: &SpikeTensor, bundle: BundleShape) -> (StratifiedWorkload, SpikeTensor, SpikeTensor) {
+fn stratify(
+    tensor: &SpikeTensor,
+    bundle: BundleShape,
+) -> (StratifiedWorkload, SpikeTensor, SpikeTensor) {
     let threshold = Stratifier::threshold_for_dense_fraction(tensor, bundle, 0.5);
     let split = Stratifier::new(threshold).stratify(tensor, bundle);
     let dense = select_features(tensor, &split.dense_features);
@@ -75,8 +80,16 @@ pub fn run(scale: ExperimentScale) -> Vec<SliceDensity> {
         };
         rows.push(measure(&format!("original ({tag})"), tensor, bundle));
         let (_, dense, sparse) = stratify(tensor, bundle);
-        rows.push(measure(&format!("stratified sparse ({tag})"), &sparse, bundle));
-        rows.push(measure(&format!("stratified dense ({tag})"), &dense, bundle));
+        rows.push(measure(
+            &format!("stratified sparse ({tag})"),
+            &sparse,
+            bundle,
+        ));
+        rows.push(measure(
+            &format!("stratified dense ({tag})"),
+            &dense,
+            bundle,
+        ));
     }
     rows
 }

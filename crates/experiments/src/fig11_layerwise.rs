@@ -7,9 +7,9 @@
 //! layers (dedicated AAC core) and grows with the attention share of the
 //! model.
 
+use bishop_baseline::{PtbConfig, PtbSimulator};
 use bishop_bundle::TrainingRegime;
 use bishop_core::{BishopConfig, BishopSimulator, RunMetrics, SimOptions};
-use bishop_baseline::{PtbConfig, PtbSimulator};
 use bishop_model::ModelConfig;
 
 use crate::report::Table;

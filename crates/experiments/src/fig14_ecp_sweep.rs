@@ -5,7 +5,9 @@ use bishop_bundle::{ecp, BundleShape, EcpConfig, TrainingRegime};
 use bishop_core::{AttentionCoreModel, BishopConfig};
 use bishop_memsys::EnergyModel;
 use bishop_model::ModelConfig;
-use bishop_train::{accuracy_under_pruning, SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig};
+use bishop_train::{
+    accuracy_under_pruning, SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,8 +61,7 @@ pub fn run_hardware(scale: ExperimentScale) -> Vec<EcpHardwarePoint> {
         for layer in workload.attention_layers() {
             let cost = core.process(layer, None, &energy);
             reference_cycles += cost.cost.compute_cycles;
-            reference_energy +=
-                cost.cost.compute_energy_pj + cost.cost.traffic.energy_pj(&energy);
+            reference_energy += cost.cost.compute_energy_pj + cost.cost.traffic.energy_pj(&energy);
         }
 
         for &threshold in &THRESHOLDS {
@@ -70,8 +71,14 @@ pub fn run_hardware(scale: ExperimentScale) -> Vec<EcpHardwarePoint> {
             let mut k_retention = 0.0;
             let mut layers = 0usize;
             for layer in workload.attention_layers() {
-                let result = (threshold > 0)
-                    .then(|| ecp::apply(&layer.q, &layer.k, &layer.v, EcpConfig::uniform(threshold, bundle)));
+                let result = (threshold > 0).then(|| {
+                    ecp::apply(
+                        &layer.q,
+                        &layer.k,
+                        &layer.v,
+                        EcpConfig::uniform(threshold, bundle),
+                    )
+                });
                 let cost = core.process(layer, result.as_ref(), &energy);
                 cycles += cost.cost.compute_cycles;
                 total_energy += cost.cost.compute_energy_pj + cost.cost.traffic.energy_pj(&energy);
@@ -162,10 +169,8 @@ mod tests {
     fn retention_decreases_and_speedup_increases_with_threshold() {
         let rows = run_hardware(ExperimentScale::Quick);
         for model in ["Model 1", "Model 3"] {
-            let series: Vec<&EcpHardwarePoint> = rows
-                .iter()
-                .filter(|r| r.model.starts_with(model))
-                .collect();
+            let series: Vec<&EcpHardwarePoint> =
+                rows.iter().filter(|r| r.model.starts_with(model)).collect();
             assert!(!series.is_empty());
             for pair in series.windows(2) {
                 assert!(

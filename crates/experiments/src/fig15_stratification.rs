@@ -92,10 +92,7 @@ mod tests {
             .iter()
             .find(|p| p.label.starts_with("balanced"))
             .unwrap();
-        let best = points
-            .iter()
-            .map(|p| p.edp)
-            .fold(f64::INFINITY, f64::min);
+        let best = points.iter().map(|p| p.edp).fold(f64::INFINITY, f64::min);
         assert!(
             balanced.edp <= best * 1.2,
             "balanced EDP {} should be within 20% of the best {}",

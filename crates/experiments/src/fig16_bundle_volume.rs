@@ -48,12 +48,10 @@ pub fn run(scale: ExperimentScale) -> Vec<BundleVolumePoint> {
         .iter()
         .map(|&(bst, bsn)| {
             let bundle = BundleShape::new(bst, bsn);
-            let simulator =
-                BishopSimulator::new(BishopConfig::default().with_bundle(bundle));
+            let simulator = BishopSimulator::new(BishopConfig::default().with_bundle(bundle));
             let run = simulator.simulate(&workload, &SimOptions::baseline());
             let attention_cycles = run.cycles_for_group("ATN");
-            let projection_cycles =
-                run.total_cycles() - attention_cycles;
+            let projection_cycles = run.total_cycles() - attention_cycles;
             BundleVolumePoint {
                 bundle,
                 volume: bundle.volume(),

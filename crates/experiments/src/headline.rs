@@ -40,12 +40,21 @@ pub fn run(scale: ExperimentScale) -> HeadlineSummary {
         .map(|config| evaluate_variants(config, 2025))
         .collect();
     let n = per_model.len() as f64;
-    let average_speedup_vs_ptb =
-        per_model.iter().map(|r| r.bsa_ecp_speedup_vs_ptb()).sum::<f64>() / n;
-    let average_energy_vs_ptb =
-        per_model.iter().map(|r| r.bsa_ecp_energy_vs_ptb()).sum::<f64>() / n;
-    let average_speedup_vs_gpu =
-        per_model.iter().map(|r| r.bishop_speedup_vs_gpu()).sum::<f64>() / n;
+    let average_speedup_vs_ptb = per_model
+        .iter()
+        .map(|r| r.bsa_ecp_speedup_vs_ptb())
+        .sum::<f64>()
+        / n;
+    let average_energy_vs_ptb = per_model
+        .iter()
+        .map(|r| r.bsa_ecp_energy_vs_ptb())
+        .sum::<f64>()
+        / n;
+    let average_speedup_vs_gpu = per_model
+        .iter()
+        .map(|r| r.bishop_speedup_vs_gpu())
+        .sum::<f64>()
+        / n;
 
     // §6.3: average Q/K pruning at the paper's thresholds over the BSA
     // workloads of Models 1–4.
@@ -63,7 +72,12 @@ pub fn run(scale: ExperimentScale) -> HeadlineSummary {
         let workload = build_workload(&config, TrainingRegime::Bsa, 99);
         let theta = paper_ecp_threshold(&config);
         for layer in workload.attention_layers() {
-            let result = ecp::apply(&layer.q, &layer.k, &layer.v, EcpConfig::uniform(theta, bundle));
+            let result = ecp::apply(
+                &layer.q,
+                &layer.k,
+                &layer.v,
+                EcpConfig::uniform(theta, bundle),
+            );
             q_pruned += 1.0 - result.q_retention();
             k_pruned += 1.0 - result.k_retention();
             counted += 1;
@@ -76,12 +90,11 @@ pub fn run(scale: ExperimentScale) -> HeadlineSummary {
     // stratification vs forcing everything onto the dense core.
     let model3 = scale.scale_config(&ModelConfig::model3_imagenet100());
     let workload = build_workload(&model3, TrainingRegime::Baseline, 7);
-    let balanced = BishopSimulator::new(BishopConfig::default())
-        .simulate(&workload, &SimOptions::baseline());
-    let all_dense = BishopSimulator::new(
-        BishopConfig::default().with_stratify(StratifyPolicy::AllDense),
-    )
-    .simulate(&workload, &SimOptions::baseline());
+    let balanced =
+        BishopSimulator::new(BishopConfig::default()).simulate(&workload, &SimOptions::baseline());
+    let all_dense =
+        BishopSimulator::new(BishopConfig::default().with_stratify(StratifyPolicy::AllDense))
+            .simulate(&workload, &SimOptions::baseline());
 
     HeadlineSummary {
         per_model,
@@ -90,8 +103,7 @@ pub fn run(scale: ExperimentScale) -> HeadlineSummary {
         average_speedup_vs_gpu,
         average_q_pruned,
         average_k_pruned,
-        heterogeneity_speedup: all_dense.total_latency_seconds()
-            / balanced.total_latency_seconds(),
+        heterogeneity_speedup: all_dense.total_latency_seconds() / balanced.total_latency_seconds(),
         heterogeneity_energy_saving: all_dense.total_energy_pj() / balanced.total_energy_pj(),
     }
 }

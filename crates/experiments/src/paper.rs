@@ -140,8 +140,8 @@ mod tests {
 
     #[test]
     fn averages_are_consistent_with_per_model_numbers() {
-        let mean: f64 =
-            PAPER_SPEEDUPS.iter().map(|s| s.bishop_vs_ptb).sum::<f64>() / PAPER_SPEEDUPS.len() as f64;
+        let mean: f64 = PAPER_SPEEDUPS.iter().map(|s| s.bishop_vs_ptb).sum::<f64>()
+            / PAPER_SPEEDUPS.len() as f64;
         // The paper's 5.91x average includes the BSA/ECP variants; the raw
         // Bishop mean is lower but in the same regime.
         assert!(mean > 3.0 && mean < PAPER_AVERAGE_SPEEDUP_VS_PTB);
@@ -149,15 +149,20 @@ mod tests {
 
     #[test]
     fn contribution_product_approximates_the_headline_energy_gain() {
-        let product = contributions::BUNDLING_HETEROGENEOUS.0
-            * contributions::BSA.0
-            * contributions::ECP.0;
+        let product =
+            contributions::BUNDLING_HETEROGENEOUS.0 * contributions::BSA.0 * contributions::ECP.0;
         assert!((product - PAPER_AVERAGE_ENERGY_VS_PTB).abs() < 0.3);
     }
 
     #[test]
     fn table1_has_spiking_transformer_rows_for_every_dataset() {
-        for dataset in ["CIFAR10", "CIFAR100", "DVS-Gesture", "ImageNet", "Google SC"] {
+        for dataset in [
+            "CIFAR10",
+            "CIFAR100",
+            "DVS-Gesture",
+            "ImageNet",
+            "Google SC",
+        ] {
             assert!(TABLE1_ROWS
                 .iter()
                 .any(|(d, model, _)| *d == dataset && model.contains("Spiking Transformer")));

@@ -53,11 +53,7 @@ impl ExperimentScale {
 
 /// Builds a calibrated synthetic workload for `config` under the given
 /// training regime, with a deterministic seed derived from the model name.
-pub fn build_workload(
-    config: &ModelConfig,
-    regime: TrainingRegime,
-    seed: u64,
-) -> ModelWorkload {
+pub fn build_workload(config: &ModelConfig, regime: TrainingRegime, seed: u64) -> ModelWorkload {
     let calibration = DatasetCalibration::for_model(config);
     let spec: &SyntheticTraceSpec = calibration.spec(regime);
     let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&config.name));

@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn all_components_are_positive_and_unique() {
-        for breakdown in [AreaPowerBreakdown::bishop_28nm(), AreaPowerBreakdown::ptb_28nm()] {
+        for breakdown in [
+            AreaPowerBreakdown::bishop_28nm(),
+            AreaPowerBreakdown::ptb_28nm(),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for c in breakdown.components() {
                 assert!(c.area_mm2 > 0.0, "{} area must be positive", c.unit.name());

@@ -186,6 +186,9 @@ mod tests {
 
     #[test]
     fn empty_traffic_has_zero_energy() {
-        assert_eq!(MemoryTraffic::new().energy_pj(&EnergyModel::bishop_28nm()), 0.0);
+        assert_eq!(
+            MemoryTraffic::new().energy_pj(&EnergyModel::bishop_28nm()),
+            0.0
+        );
     }
 }

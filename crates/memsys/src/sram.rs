@@ -72,7 +72,9 @@ impl SramBuffer {
     /// Number of tiles a working set of `total_bytes` must be split into to
     /// fit the usable capacity.
     pub fn tiles_needed(&self, total_bytes: u64) -> u64 {
-        (total_bytes).div_ceil(self.usable_bytes().max(1) as u64).max(1)
+        (total_bytes)
+            .div_ceil(self.usable_bytes().max(1) as u64)
+            .max(1)
     }
 
     /// Read energy for `bytes` in picojoules.

@@ -67,7 +67,7 @@ impl fmt::Display for DatasetKind {
 }
 
 /// Architecture hyper-parameters of a spiking transformer (Table 2).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelConfig {
     /// Human-readable model name ("Model 1" … "Model 5" for the paper's
     /// configurations).
@@ -178,6 +178,44 @@ impl ModelConfig {
         ]
     }
 
+    /// Overrides the model name (used by derived configurations, e.g. the
+    /// serving runtime's batched variants).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Overrides the token count `N`, keeping every other hyper-parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn with_tokens(mut self, tokens: usize) -> Self {
+        assert!(tokens > 0, "token count must be non-zero");
+        self.tokens = tokens;
+        self
+    }
+
+    /// Overrides the timestep count `T`, keeping every other hyper-parameter.
+    ///
+    /// The serving runtime folds the batch dimension into the timestep axis:
+    /// spiking self-attention is computed independently per timestep
+    /// (`S_t = Q_t·K_tᵀ`), so `B` requests of `T` timesteps are exactly one
+    /// workload of `B·T` timesteps — every layer's operation count is linear
+    /// in `T`, while per-layer weight streaming and pipeline overhead are
+    /// paid once per batch. A batched workload is therefore described by the
+    /// same configuration with a scaled timestep count (rounded up to the
+    /// Token-Time-Bundle timestep multiple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps` is zero.
+    pub fn with_timesteps(mut self, timesteps: usize) -> Self {
+        assert!(timesteps > 0, "timestep count must be non-zero");
+        self.timesteps = timesteps;
+        self
+    }
+
     /// Overrides the MLP expansion ratio.
     pub fn with_mlp_ratio(mut self, ratio: usize) -> Self {
         assert!(ratio > 0, "MLP ratio must be non-zero");
@@ -246,15 +284,30 @@ mod tests {
     #[test]
     fn table2_shapes_match_paper() {
         let m1 = ModelConfig::model1_cifar10();
-        assert_eq!((m1.blocks, m1.timesteps, m1.tokens, m1.features), (4, 10, 64, 384));
+        assert_eq!(
+            (m1.blocks, m1.timesteps, m1.tokens, m1.features),
+            (4, 10, 64, 384)
+        );
         let m2 = ModelConfig::model2_cifar100();
-        assert_eq!((m2.blocks, m2.timesteps, m2.tokens, m2.features), (4, 8, 64, 384));
+        assert_eq!(
+            (m2.blocks, m2.timesteps, m2.tokens, m2.features),
+            (4, 8, 64, 384)
+        );
         let m3 = ModelConfig::model3_imagenet100();
-        assert_eq!((m3.blocks, m3.timesteps, m3.tokens, m3.features), (8, 4, 196, 128));
+        assert_eq!(
+            (m3.blocks, m3.timesteps, m3.tokens, m3.features),
+            (8, 4, 196, 128)
+        );
         let m4 = ModelConfig::model4_dvs_gesture();
-        assert_eq!((m4.blocks, m4.timesteps, m4.tokens, m4.features), (2, 20, 64, 128));
+        assert_eq!(
+            (m4.blocks, m4.timesteps, m4.tokens, m4.features),
+            (2, 20, 64, 128)
+        );
         let m5 = ModelConfig::model5_google_sc();
-        assert_eq!((m5.blocks, m5.timesteps, m5.tokens, m5.features), (4, 8, 256, 384));
+        assert_eq!(
+            (m5.blocks, m5.timesteps, m5.tokens, m5.features),
+            (4, 8, 256, 384)
+        );
     }
 
     #[test]
@@ -285,7 +338,10 @@ mod tests {
     fn parameter_count_formula() {
         let m = ModelConfig::model4_dvs_gesture();
         // 2 blocks x (4*128*128 + 2*128*512)
-        assert_eq!(m.encoder_parameter_count(), 2 * (4 * 128 * 128 + 2 * 128 * 512));
+        assert_eq!(
+            m.encoder_parameter_count(),
+            2 * (4 * 128 * 128 + 2 * 128 * 512)
+        );
     }
 
     #[test]

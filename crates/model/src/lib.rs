@@ -48,4 +48,6 @@ pub use projection::{spike_matmul, SpikingLinear};
 pub use ssa::{SpikingSelfAttention, SsaOutput};
 pub use tokenizer::SpikingTokenizer;
 pub use transformer::{InferenceResult, SpikingTransformer};
-pub use workload::{AttentionWorkload, LayerKind, LayerWorkload, ModelWorkload, ProjectionWorkload};
+pub use workload::{
+    AttentionWorkload, LayerKind, LayerWorkload, ModelWorkload, ProjectionWorkload,
+};

@@ -29,12 +29,7 @@ pub struct MlpOutput {
 
 impl SpikingMlp {
     /// Creates an MLP block with random weights.
-    pub fn random<R: Rng>(
-        features: usize,
-        hidden: usize,
-        lif: LifConfig,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random<R: Rng>(features: usize, hidden: usize, lif: LifConfig, rng: &mut R) -> Self {
         let scale1 = 1.0 / (features as f32).sqrt();
         let scale2 = 1.0 / (hidden as f32).sqrt();
         Self {

@@ -129,7 +129,8 @@ mod tests {
 
     #[test]
     fn spike_matmul_accumulates_weight_rows_of_active_inputs() {
-        let weight = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]]);
+        let weight =
+            DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]]);
         let mut x = SpikeTensor::zeros(TensorShape::new(1, 2, 3));
         x.set(0, 0, 0, true);
         x.set(0, 0, 2, true);

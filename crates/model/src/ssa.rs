@@ -78,7 +78,10 @@ impl SpikingSelfAttention {
         lif: LifConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(heads > 0 && features % heads == 0, "heads must divide features");
+        assert!(
+            heads > 0 && features.is_multiple_of(heads),
+            "heads must divide features"
+        );
         let scale = 1.0 / (features as f32).sqrt();
         Self {
             heads,
@@ -162,7 +165,7 @@ impl SpikingSelfAttention {
             let kh = k.head_slice(h, self.heads);
             let vh = v.head_slice(h, self.heads);
             let mut head_scores = Vec::with_capacity(shape.timesteps);
-            for t in 0..shape.timesteps {
+            for (t, head_output) in head_outputs.iter_mut().enumerate() {
                 let s = Self::attention_scores(&qh, &kh, t);
                 // Y[t] = (S · s) · V[t]  — V is binary, so this is a
                 // select-accumulate over the score rows.
@@ -174,7 +177,7 @@ impl SpikingSelfAttention {
                         }
                         for d in 0..head_dim {
                             if vh.get(t, j, d) {
-                                head_outputs[t].add_assign(i, h * head_dim + d, weight);
+                                head_output.add_assign(i, h * head_dim + d, weight);
                             }
                         }
                     }

@@ -9,8 +9,7 @@ use crate::config::ModelConfig;
 use crate::encoder::EncoderBlock;
 use crate::tokenizer::SpikingTokenizer;
 use crate::workload::{
-    score_bits_for, AttentionWorkload, LayerKind, LayerWorkload, ModelWorkload,
-    ProjectionWorkload,
+    score_bits_for, AttentionWorkload, LayerKind, LayerWorkload, ModelWorkload, ProjectionWorkload,
 };
 
 /// Result of one end-to-end inference: class logits plus the captured
@@ -49,13 +48,8 @@ impl SpikingTransformer {
         rng: &mut R,
     ) -> Self {
         let lif = LifConfig::default();
-        let tokenizer = SpikingTokenizer::random(
-            patch_features,
-            config.features,
-            config.timesteps,
-            lif,
-            rng,
-        );
+        let tokenizer =
+            SpikingTokenizer::random(patch_features, config.features, config.timesteps, lif, rng);
         let blocks = (0..config.blocks)
             .map(|_| {
                 EncoderBlock::random(
@@ -228,10 +222,7 @@ mod tests {
         assert_eq!(result.logits.len(), 10);
         assert!(result.prediction < 10);
         assert_eq!(result.workload.layers().len(), 5 * config.blocks);
-        assert_eq!(
-            result.final_spikes.shape(),
-            TensorShape::new(3, 8, 16)
-        );
+        assert_eq!(result.final_spikes.shape(), TensorShape::new(3, 8, 16));
     }
 
     #[test]

@@ -258,8 +258,8 @@ impl ModelWorkload {
         let hidden_shape = shape.with_features(config.mlp_hidden());
         let mut layers = Vec::new();
         for block in 0..config.blocks {
-            let input = SpikeTraceGenerator::new(spec.profile(spec.input_density))
-                .generate(shape, rng);
+            let input =
+                SpikeTraceGenerator::new(spec.profile(spec.input_density)).generate(shape, rng);
             layers.push(LayerWorkload::Projection(ProjectionWorkload {
                 block,
                 kind: LayerKind::QkvProjection,
@@ -282,8 +282,8 @@ impl ModelWorkload {
                 score_bits: score_bits_for(config),
             }));
 
-            let attn_out = SpikeTraceGenerator::new(spec.profile(spec.input_density))
-                .generate(shape, rng);
+            let attn_out =
+                SpikeTraceGenerator::new(spec.profile(spec.input_density)).generate(shape, rng);
             layers.push(LayerWorkload::Projection(ProjectionWorkload {
                 block,
                 kind: LayerKind::OutputProjection,
@@ -293,8 +293,8 @@ impl ModelWorkload {
                 weight_bits: config.weight_bits,
             }));
 
-            let mlp_in = SpikeTraceGenerator::new(spec.profile(spec.input_density))
-                .generate(shape, rng);
+            let mlp_in =
+                SpikeTraceGenerator::new(spec.profile(spec.input_density)).generate(shape, rng);
             layers.push(LayerWorkload::Projection(ProjectionWorkload {
                 block,
                 kind: LayerKind::MlpFc1,
@@ -390,7 +390,8 @@ mod tests {
     fn synthetic_workload_has_five_layers_per_block() {
         let config = tiny_config();
         let mut rng = StdRng::seed_from_u64(1);
-        let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.2), &mut rng);
+        let workload =
+            ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.2), &mut rng);
         assert_eq!(workload.layers().len(), 5 * config.blocks);
         assert_eq!(workload.projection_layers().count(), 4 * config.blocks);
         assert_eq!(workload.attention_layers().count(), config.blocks);
@@ -400,7 +401,8 @@ mod tests {
     fn layer_kinds_follow_paper_grouping() {
         let config = tiny_config();
         let mut rng = StdRng::seed_from_u64(2);
-        let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.2), &mut rng);
+        let workload =
+            ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.2), &mut rng);
         let labels: Vec<&str> = workload.layers()[..5]
             .iter()
             .map(|l| l.kind().group_label())
@@ -412,7 +414,8 @@ mod tests {
     fn projection_op_counts_match_formula() {
         let config = tiny_config();
         let mut rng = StdRng::seed_from_u64(3);
-        let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.5), &mut rng);
+        let workload =
+            ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.5), &mut rng);
         let p1 = workload.projection_layers().next().unwrap();
         assert_eq!(
             p1.dense_ops(),
@@ -427,7 +430,8 @@ mod tests {
     fn attention_op_counts_match_formula() {
         let config = tiny_config();
         let mut rng = StdRng::seed_from_u64(4);
-        let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.5), &mut rng);
+        let workload =
+            ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.5), &mut rng);
         let attn = workload.attention_layers().next().unwrap();
         assert_eq!(attn.score_ops(), (4 * 8 * 8 * 16) as u64);
         assert_eq!(attn.dense_ops(), 2 * attn.score_ops());
@@ -458,7 +462,8 @@ mod tests {
     fn total_dense_ops_sums_layers() {
         let config = tiny_config();
         let mut rng = StdRng::seed_from_u64(6);
-        let workload = ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.2), &mut rng);
+        let workload =
+            ModelWorkload::synthetic(&config, &SyntheticTraceSpec::uniform(0.2), &mut rng);
         let sum: u64 = workload.layers().iter().map(|l| l.dense_ops()).sum();
         assert_eq!(workload.total_dense_ops(), sum);
         assert!(sum > 0);

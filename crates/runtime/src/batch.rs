@@ -1,0 +1,311 @@
+//! Dynamic batch formation.
+//!
+//! Requests are compatible when they ask for the same model, regime and
+//! simulation options — then their activation traces can ride one
+//! Token-Time-Bundle stream. The batch dimension folds into the *timestep*
+//! axis: spiking self-attention is computed independently per timestep, so
+//! `B` requests of `T` timesteps are exactly one workload of `B·T` timesteps
+//! (rounded up to the bundle timestep multiple `BSt`), and per-layer weight
+//! streaming plus pipeline fill/drain are paid once per batch instead of
+//! once per request.
+
+use std::collections::HashMap;
+
+use bishop_bundle::BundleShape;
+use bishop_core::SimOptions;
+use bishop_model::ModelConfig;
+
+use crate::request::InferenceRequest;
+
+/// Compatibility key: requests with equal keys may share a batch.
+///
+/// Keys embed the full `ModelConfig` and `SimOptions` (both `Eq + Hash`)
+/// rather than mirrored field subsets, so new fields on either struct can
+/// never silently coalesce incompatible requests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    config: ModelConfig,
+    regime: bishop_bundle::TrainingRegime,
+    options: SimOptions,
+}
+
+impl From<&InferenceRequest> for BatchKey {
+    fn from(request: &InferenceRequest) -> Self {
+        Self {
+            config: request.model.clone(),
+            regime: request.regime,
+            options: request.options,
+        }
+    }
+}
+
+/// Batch-former policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum number of requests coalesced into one batch. `1` disables
+    /// batching (every request is served alone).
+    pub max_batch_size: usize,
+}
+
+impl BatchPolicy {
+    /// A policy batching up to `max_batch_size` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch_size` is zero.
+    pub fn new(max_batch_size: usize) -> Self {
+        assert!(max_batch_size > 0, "batch size must be non-zero");
+        Self { max_batch_size }
+    }
+
+    /// The no-batching policy (sequential single-request serving).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// A closed batch of compatible requests, ready for dispatch.
+#[derive(Debug, Clone)]
+pub struct RequestBatch {
+    /// Sequential batch identifier (assignment order = formation order).
+    pub id: u64,
+    /// The coalesced requests, in submission order.
+    pub requests: Vec<InferenceRequest>,
+}
+
+impl RequestBatch {
+    /// Number of requests riding this batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never true for formed batches).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Simulation options shared by every request of the batch.
+    pub fn options(&self) -> SimOptions {
+        self.requests[0].options
+    }
+
+    /// The model configuration describing the whole batch: the members'
+    /// configuration with the batch folded into the timestep axis, padded up
+    /// to the bundle timestep multiple `BSt` so the packed TTB stream stays
+    /// aligned.
+    pub fn batched_config(&self, bundle: BundleShape) -> ModelConfig {
+        let base = &self.requests[0].model;
+        let folded = base.timesteps * self.len();
+        let padded = folded.div_ceil(bundle.timesteps) * bundle.timesteps;
+        base.clone()
+            .with_name(format!("{}[x{}]", base.name, self.len()))
+            .with_timesteps(padded)
+    }
+
+    /// Deterministic seed of the batch's combined trace, folded from the
+    /// member seeds in submission order.
+    pub fn combined_seed(&self) -> u64 {
+        self.requests.iter().fold(0x243F6A8885A308D3, |acc, r| {
+            acc.rotate_left(17) ^ r.seed.wrapping_mul(0x9E3779B97F4A7C15)
+        })
+    }
+
+    /// Analytic estimate of the batch's dense operation count, used by the
+    /// least-loaded dispatch policy. Cheap (no trace synthesis): per block,
+    /// `P1 + P2 + MLP` contribute `T·N·D·(3D + D + 8·D)` accumulations and
+    /// attention contributes `2·T·N²·D`.
+    pub fn estimated_ops(&self, bundle: BundleShape) -> u64 {
+        let c = self.batched_config(bundle);
+        let t = c.timesteps as u64;
+        let n = c.tokens as u64;
+        let d = c.features as u64;
+        let projections = t * n * d * (3 * d + d + 2 * (c.mlp_hidden() as u64));
+        let attention = 2 * t * n * n * d;
+        c.blocks as u64 * (projections + attention)
+    }
+}
+
+/// Groups submitted requests into compatible batches.
+///
+/// The former is deliberately timing-free: batches depend only on the
+/// submission *order*, never on arrival timing or worker count, so a given
+/// trace always forms the same batches — the property the runtime's
+/// determinism guarantee rests on.
+#[derive(Debug)]
+pub struct BatchFormer {
+    policy: BatchPolicy,
+    pending: HashMap<BatchKey, Vec<InferenceRequest>>,
+    insertion_order: Vec<BatchKey>,
+    next_batch_id: u64,
+}
+
+impl BatchFormer {
+    /// Creates an empty former with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            pending: HashMap::new(),
+            insertion_order: Vec::new(),
+            next_batch_id: 0,
+        }
+    }
+
+    /// Accepts one request; returns a batch if this request filled one.
+    pub fn push(&mut self, request: InferenceRequest) -> Option<RequestBatch> {
+        let key = BatchKey::from(&request);
+        let slot = match self.pending.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                self.insertion_order.push(key.clone());
+                entry.insert(Vec::new())
+            }
+        };
+        slot.push(request);
+        if slot.len() >= self.policy.max_batch_size {
+            let requests = std::mem::take(slot);
+            Some(self.close(requests))
+        } else {
+            None
+        }
+    }
+
+    /// Closes every partially-filled batch, in first-submission order.
+    pub fn flush(&mut self) -> Vec<RequestBatch> {
+        let mut batches = Vec::new();
+        for key in std::mem::take(&mut self.insertion_order) {
+            if let Some(requests) = self.pending.remove(&key) {
+                if !requests.is_empty() {
+                    batches.push(self.close(requests));
+                }
+            }
+        }
+        batches
+    }
+
+    fn close(&mut self, requests: Vec<InferenceRequest>) -> RequestBatch {
+        let id = self.next_batch_id;
+        self.next_batch_id += 1;
+        RequestBatch { id, requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_bundle::TrainingRegime;
+    use bishop_model::DatasetKind;
+
+    fn request(id: u64, name: &str, seed: u64, options: SimOptions) -> InferenceRequest {
+        let model = ModelConfig::new(name, DatasetKind::Cifar10, 1, 4, 16, 32, 2);
+        InferenceRequest::new(id, model, TrainingRegime::Bsa, seed).with_options(options)
+    }
+
+    #[test]
+    fn compatible_requests_coalesce_up_to_the_policy_limit() {
+        let mut former = BatchFormer::new(BatchPolicy::new(3));
+        assert!(former
+            .push(request(0, "m", 1, SimOptions::baseline()))
+            .is_none());
+        assert!(former
+            .push(request(1, "m", 2, SimOptions::baseline()))
+            .is_none());
+        let batch = former
+            .push(request(2, "m", 3, SimOptions::baseline()))
+            .expect("third compatible request closes the batch");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.id, 0);
+        let ids: Vec<u64> = batch.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn incompatible_requests_do_not_coalesce() {
+        let mut former = BatchFormer::new(BatchPolicy::new(2));
+        // Different model, different options, different regime: three keys.
+        assert!(former
+            .push(request(0, "a", 1, SimOptions::baseline()))
+            .is_none());
+        assert!(former
+            .push(request(1, "b", 1, SimOptions::baseline()))
+            .is_none());
+        assert!(former
+            .push(request(2, "a", 1, SimOptions::with_ecp(6)))
+            .is_none());
+        let mut other_regime = request(3, "a", 1, SimOptions::baseline());
+        other_regime.regime = TrainingRegime::Baseline;
+        assert!(former.push(other_regime).is_none());
+        let batches = former.flush();
+        assert_eq!(batches.len(), 4, "four incompatible singleton batches");
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn flush_preserves_first_submission_order() {
+        let mut former = BatchFormer::new(BatchPolicy::new(8));
+        former.push(request(0, "z", 1, SimOptions::baseline()));
+        former.push(request(1, "a", 1, SimOptions::baseline()));
+        former.push(request(2, "z", 2, SimOptions::baseline()));
+        let batches = former.flush();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].requests[0].model.name, "z");
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(batches[1].requests[0].model.name, "a");
+    }
+
+    #[test]
+    fn batched_config_folds_timesteps_with_bundle_padding() {
+        let mut former = BatchFormer::new(BatchPolicy::new(3));
+        former.push(request(0, "m", 1, SimOptions::baseline()));
+        former.push(request(1, "m", 2, SimOptions::baseline()));
+        let batch = former
+            .push(request(2, "m", 3, SimOptions::baseline()))
+            .unwrap();
+        // 3 requests x T=4 = 12 timesteps; BSt=8 pads to 16.
+        let config = batch.batched_config(BundleShape::new(8, 4));
+        assert_eq!(config.timesteps, 16);
+        assert_eq!(config.tokens, 16, "token axis is untouched");
+        assert!(config.name.contains("[x3]"));
+    }
+
+    #[test]
+    fn combined_seed_depends_on_members_and_order() {
+        let mut a = BatchFormer::new(BatchPolicy::new(2));
+        a.push(request(0, "m", 1, SimOptions::baseline()));
+        let ab = a.push(request(1, "m", 2, SimOptions::baseline())).unwrap();
+        let mut b = BatchFormer::new(BatchPolicy::new(2));
+        b.push(request(0, "m", 2, SimOptions::baseline()));
+        let ba = b.push(request(1, "m", 1, SimOptions::baseline())).unwrap();
+        assert_ne!(ab.combined_seed(), ba.combined_seed());
+
+        let mut c = BatchFormer::new(BatchPolicy::new(2));
+        c.push(request(5, "m", 1, SimOptions::baseline()));
+        let cab = c.push(request(9, "m", 2, SimOptions::baseline())).unwrap();
+        assert_eq!(
+            ab.combined_seed(),
+            cab.combined_seed(),
+            "seed folds member seeds, not request ids"
+        );
+    }
+
+    #[test]
+    fn estimated_ops_grow_with_batch_size() {
+        let mut former = BatchFormer::new(BatchPolicy::new(4));
+        former.push(request(0, "m", 1, SimOptions::baseline()));
+        let singles = former.flush();
+        let single_ops = singles[0].estimated_ops(BundleShape::default());
+
+        let mut former = BatchFormer::new(BatchPolicy::new(4));
+        let mut closed = None;
+        for i in 0..4 {
+            closed = former.push(request(i, "m", i, SimOptions::baseline()));
+        }
+        let batch = closed.expect("fourth push fills the batch");
+        assert!(batch.estimated_ops(BundleShape::default()) >= 4 * single_ops);
+    }
+}

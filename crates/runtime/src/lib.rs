@@ -1,0 +1,52 @@
+//! # bishop-runtime
+//!
+//! A batched, multi-core inference **serving runtime** in front of the
+//! Bishop accelerator simulator — the first subsystem above single-shot
+//! simulation, exercising the paper's core premise that Token-Time Bundling
+//! turns many small spiking workloads into dense, schedulable batches
+//! across heterogeneous cores.
+//!
+//! The pipeline is: clients submit [`InferenceRequest`]s through a *bounded
+//! queue* (backpressure); the [`BatchFormer`] coalesces compatible requests
+//! — same model, training regime and simulation options — into
+//! [`RequestBatch`]es by folding the batch dimension into the *timestep*
+//! axis of the Token-Time-Bundle stream (spiking attention is per-timestep,
+//! so the fold is cost-exact while weight streaming and pipeline overhead
+//! are paid once per batch); a least-loaded dispatcher shards batches
+//! across a pool of worker threads, each owning one cloned
+//! [`BishopSimulator`](bishop_core::BishopSimulator) chip instance; workload
+//! synthesis is memoized in a shared [`CalibrationCache`] keyed on
+//! `(ModelConfig, TrainingRegime, seed)`; and every run emits a
+//! [`ThroughputReport`] with simulated p50/p95/p99 latency, requests/s and
+//! the per-group core-utilization breakdown.
+//!
+//! Determinism guarantee: [`ServingAggregates`] depend only on the traffic
+//! trace (submission order and contents) — never on worker count, machine
+//! speed or scheduling jitter. Only [`WallClockStats`] varies between runs.
+//!
+//! ```
+//! use bishop_runtime::{mixed_trace, default_mixed_models, BatchPolicy, BishopServer, RuntimeConfig};
+//!
+//! let trace = mixed_trace(&default_mixed_models(), 8, 2, 42);
+//! let server = BishopServer::new(RuntimeConfig::new(2, BatchPolicy::new(4)));
+//! let outcome = server.serve(trace);
+//! assert_eq!(outcome.responses.len(), 8);
+//! println!("{}", outcome.report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod report;
+pub mod request;
+pub mod server;
+
+pub use batch::{BatchFormer, BatchKey, BatchPolicy, RequestBatch};
+pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
+pub use report::{
+    CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,
+};
+pub use request::{default_mixed_models, mixed_trace, InferenceRequest, InferenceResponse};
+pub use server::{BishopServer, RuntimeConfig, ServingOutcome};

@@ -1,0 +1,411 @@
+//! The serving loop: bounded submission queue → batch former → worker pool.
+//!
+//! ```text
+//!  clients ──► sync_channel(queue_capacity) ──► BatchFormer ──► least-loaded
+//!                    (backpressure)             (timing-free)    dispatch
+//!                                                                   │
+//!                              ┌────────────────────┬───────────────┤
+//!                              ▼                    ▼               ▼
+//!                         worker 0             worker 1  …     worker N-1
+//!                     (BishopSimulator)    (BishopSimulator)  (one chip each)
+//!                              └──────────┬─────────┴───────────────┘
+//!                                         ▼
+//!                                  ThroughputReport
+//! ```
+//!
+//! Determinism: batch formation depends only on submission order, worker
+//! assignment only on deterministic cost estimates, and each batch's
+//! simulation only on its members — so the report's [`ServingAggregates`]
+//! are identical for any worker count. Only [`WallClockStats`] varies.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bishop_core::{BishopConfig, BishopSimulator, RunMetrics};
+
+use crate::batch::{BatchFormer, BatchPolicy, RequestBatch};
+use crate::cache::{CalibrationCache, ResultCache, ResultKey, WorkloadKey};
+use crate::report::{
+    CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,
+};
+use crate::request::{InferenceRequest, InferenceResponse};
+
+/// Configuration of a [`BishopServer`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads; each models one Bishop chip instance.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue (submitters block when it
+    /// is full — backpressure instead of unbounded memory growth).
+    pub queue_capacity: usize,
+    /// Batch-former policy.
+    pub batching: BatchPolicy,
+    /// Hardware configuration shared by every chip instance.
+    pub hardware: BishopConfig,
+}
+
+impl RuntimeConfig {
+    /// A batched multi-worker configuration.
+    pub fn new(workers: usize, batching: BatchPolicy) -> Self {
+        Self {
+            workers: workers.max(1),
+            queue_capacity: 256,
+            batching,
+            hardware: BishopConfig::default(),
+        }
+    }
+
+    /// The sequential baseline: one worker, no batching. This is what a
+    /// single-shot simulation loop over the trace would do.
+    pub fn sequential() -> Self {
+        Self::new(1, BatchPolicy::sequential())
+    }
+
+    /// Overrides the submission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the hardware configuration.
+    pub fn with_hardware(mut self, hardware: BishopConfig) -> Self {
+        self.hardware = hardware;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::new(4, BatchPolicy::default())
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServingOutcome {
+    /// One response per request, sorted by request id.
+    pub responses: Vec<InferenceResponse>,
+    /// The run's throughput report.
+    pub report: ThroughputReport,
+}
+
+/// One executed batch travelling from a worker back to the collector.
+struct ExecutedBatch {
+    worker: usize,
+    batch: RequestBatch,
+    metrics: Arc<RunMetrics>,
+}
+
+/// The batched multi-core inference server.
+#[derive(Debug)]
+pub struct BishopServer {
+    config: RuntimeConfig,
+    simulator: BishopSimulator,
+    cache: Arc<CalibrationCache>,
+    results: Arc<ResultCache>,
+}
+
+impl BishopServer {
+    /// Creates a server with fresh caches.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_cache(config, Arc::new(CalibrationCache::new()))
+    }
+
+    /// Creates a server sharing an existing calibration cache (e.g. warmed
+    /// by a previous run or shared between servers).
+    pub fn with_cache(config: RuntimeConfig, cache: Arc<CalibrationCache>) -> Self {
+        let simulator = BishopSimulator::new(config.hardware.clone());
+        Self {
+            config,
+            simulator,
+            cache,
+            results: Arc::new(ResultCache::new()),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The calibration (workload synthesis) cache backing this server.
+    pub fn cache(&self) -> &Arc<CalibrationCache> {
+        &self.cache
+    }
+
+    /// The batch result cache backing this server.
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.results
+    }
+
+    /// Serves a traffic trace end to end and reports per-request responses
+    /// plus the run's [`ThroughputReport`].
+    ///
+    /// The trace is pushed through the bounded submission queue by a
+    /// dedicated submitter thread (exercising backpressure), formed into
+    /// batches in submission order, dispatched least-loaded across the
+    /// worker pool, and collected back into responses sorted by request id.
+    pub fn serve(&self, trace: Vec<InferenceRequest>) -> ServingOutcome {
+        let start = Instant::now();
+        let cache_before = self.cache.stats();
+        let results_before = self.results.stats();
+        let workers = self.config.workers;
+        let bundle = self.config.hardware.bundle;
+
+        let (submit_tx, submit_rx) =
+            mpsc::sync_channel::<InferenceRequest>(self.config.queue_capacity);
+        let (result_tx, result_rx) = mpsc::channel::<ExecutedBatch>();
+        let mut batch_txs = Vec::with_capacity(workers);
+        let mut batch_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<RequestBatch>();
+            batch_txs.push(tx);
+            batch_rxs.push(rx);
+        }
+
+        let executed = std::thread::scope(|scope| {
+            // Submitter: pushes the trace through the bounded queue.
+            scope.spawn(move || {
+                for request in trace {
+                    if submit_tx.send(request).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Workers: one simulated chip instance each.
+            for (index, batch_rx) in batch_rxs.into_iter().enumerate() {
+                let result_tx = result_tx.clone();
+                let simulator = self.simulator.clone();
+                let cache = Arc::clone(&self.cache);
+                let results = Arc::clone(&self.results);
+                scope.spawn(move || {
+                    for batch in batch_rx {
+                        let options = batch.options();
+                        let config = batch.batched_config(bundle);
+                        let regime = batch.requests[0].regime;
+                        let workload_key = WorkloadKey::new(&config, regime, batch.combined_seed());
+                        let result_key = ResultKey {
+                            workload: workload_key,
+                            options,
+                        };
+                        // Two memoization levels: identical batches reuse the
+                        // whole simulated result; batches sharing a workload
+                        // but not options reuse the synthesized trace.
+                        let metrics = results.get_or_simulate(result_key, || {
+                            let workload =
+                                cache.get_or_build(&config, regime, batch.combined_seed());
+                            simulator.simulate_named(&workload, &options, config.name.clone())
+                        });
+                        let sent = result_tx.send(ExecutedBatch {
+                            worker: index,
+                            batch,
+                            metrics,
+                        });
+                        if sent.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+
+            // Batch former + least-loaded dispatcher (this thread).
+            let mut former = BatchFormer::new(self.config.batching);
+            let mut load = vec![0u64; workers];
+            let dispatch = |batch: RequestBatch, load: &mut [u64]| {
+                let target = (0..workers)
+                    .min_by_key(|&w| (load[w], w))
+                    .expect("at least one worker");
+                load[target] += batch.estimated_ops(bundle);
+                batch_txs[target].send(batch).expect("worker alive");
+            };
+            for request in submit_rx {
+                if let Some(batch) = former.push(request) {
+                    dispatch(batch, &mut load);
+                }
+            }
+            for batch in former.flush() {
+                dispatch(batch, &mut load);
+            }
+            drop(batch_txs);
+
+            // Collector: drains until every worker hung up.
+            let mut executed: Vec<ExecutedBatch> = result_rx.iter().collect();
+            executed.sort_by_key(|e| e.batch.id);
+            executed
+        });
+
+        let elapsed = start.elapsed().as_secs_f64();
+        self.assemble(executed, elapsed, cache_before, results_before)
+    }
+
+    fn assemble(
+        &self,
+        executed: Vec<ExecutedBatch>,
+        elapsed_seconds: f64,
+        cache_before: crate::cache::CacheStats,
+        results_before: crate::cache::CacheStats,
+    ) -> ServingOutcome {
+        let mut responses = Vec::new();
+        let mut latencies = Vec::new();
+        for e in &executed {
+            let latency = e.metrics.total_latency_seconds();
+            for request in &e.batch.requests {
+                latencies.push(latency);
+                responses.push(InferenceResponse {
+                    request_id: request.id,
+                    batch_id: e.batch.id,
+                    batch_size: e.batch.len(),
+                    worker: e.worker,
+                    latency_seconds: latency,
+                    batch_metrics: Arc::clone(&e.metrics),
+                });
+            }
+        }
+        responses.sort_by_key(|r| r.request_id);
+
+        let requests = responses.len() as u64;
+        let batches = executed.len() as u64;
+        let total_simulated_cycles: u64 = executed.iter().map(|e| e.metrics.total_cycles()).sum();
+        let total_energy_mj: f64 = executed.iter().map(|e| e.metrics.total_energy_mj()).sum();
+        let busy_seconds = total_simulated_cycles as f64 / self.config.hardware.clock_hz;
+        let aggregates = ServingAggregates {
+            requests,
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                requests as f64 / batches as f64
+            },
+            latency: LatencyPercentiles::from_latencies(&latencies),
+            total_simulated_cycles,
+            simulated_requests_per_chip_second: if busy_seconds == 0.0 {
+                0.0
+            } else {
+                requests as f64 / busy_seconds
+            },
+            total_energy_mj,
+            utilization: CoreUtilization::from_runs(executed.iter().map(|e| e.metrics.as_ref())),
+            cache: self.cache.stats().since(&cache_before),
+            result_cache: self.results.stats().since(&results_before),
+        };
+        let wall = WallClockStats {
+            elapsed_seconds,
+            requests_per_second: if elapsed_seconds == 0.0 {
+                0.0
+            } else {
+                requests as f64 / elapsed_seconds
+            },
+            workers: self.config.workers,
+        };
+        ServingOutcome {
+            responses,
+            report: ThroughputReport { aggregates, wall },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{default_mixed_models, mixed_trace};
+
+    fn trace(count: usize) -> Vec<InferenceRequest> {
+        mixed_trace(&default_mixed_models(), count, 4, 1000)
+    }
+
+    #[test]
+    fn serve_answers_every_request_exactly_once() {
+        let server = BishopServer::new(RuntimeConfig::new(2, BatchPolicy::new(4)));
+        let outcome = server.serve(trace(10));
+        assert_eq!(outcome.responses.len(), 10);
+        for (i, response) in outcome.responses.iter().enumerate() {
+            assert_eq!(response.request_id, i as u64);
+            assert!(response.latency_seconds > 0.0);
+            assert!(response.worker < 2);
+            assert!(response.energy_share_mj() > 0.0);
+        }
+        assert_eq!(outcome.report.aggregates.requests, 10);
+        assert!(outcome.report.wall.requests_per_second > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let server = BishopServer::new(RuntimeConfig::default());
+        let outcome = server.serve(Vec::new());
+        assert!(outcome.responses.is_empty());
+        assert_eq!(outcome.report.aggregates, ServingAggregates::default());
+    }
+
+    #[test]
+    fn batching_amortizes_simulated_cost_per_request() {
+        // The same trace served sequentially (batch=1) and batched (batch=8):
+        // batching folds requests into the timestep axis, paying weight
+        // streaming and pipeline overhead once per batch, so the total
+        // simulated cycles must strictly drop.
+        let requests = trace(16);
+        let sequential = BishopServer::new(RuntimeConfig::sequential()).serve(requests.clone());
+        let batched = BishopServer::new(RuntimeConfig::new(1, BatchPolicy::new(8))).serve(requests);
+        assert!(
+            batched.report.aggregates.total_simulated_cycles
+                < sequential.report.aggregates.total_simulated_cycles,
+            "batched {} cycles vs sequential {} cycles",
+            batched.report.aggregates.total_simulated_cycles,
+            sequential.report.aggregates.total_simulated_cycles,
+        );
+        assert!(
+            batched.report.aggregates.simulated_requests_per_chip_second
+                > sequential
+                    .report
+                    .aggregates
+                    .simulated_requests_per_chip_second
+        );
+        assert!(batched.report.aggregates.mean_batch_size > 1.0);
+    }
+
+    #[test]
+    fn repeated_traffic_hits_the_caches() {
+        let server = BishopServer::new(RuntimeConfig::new(2, BatchPolicy::new(4)));
+        let first = server.serve(trace(8));
+        assert_eq!(first.report.aggregates.cache.hits, 0);
+        assert!(first.report.aggregates.cache.misses > 0);
+        assert!(first.report.aggregates.result_cache.misses > 0);
+        // The identical trace again: every batch result is already memoized,
+        // so neither simulation nor workload synthesis runs at all.
+        let second = server.serve(trace(8));
+        assert_eq!(second.report.aggregates.result_cache.misses, 0);
+        assert_eq!(
+            second.report.aggregates.result_cache.hits,
+            first.report.aggregates.result_cache.misses
+        );
+        assert_eq!(
+            second.report.aggregates.cache,
+            crate::cache::CacheStats::default(),
+            "result hits short-circuit workload synthesis entirely"
+        );
+        // And the simulated aggregates are unchanged.
+        assert_eq!(first.report.aggregates, {
+            let mut a = second.report.aggregates.clone();
+            a.cache = first.report.aggregates.cache;
+            a.result_cache = first.report.aggregates.result_cache;
+            a
+        });
+    }
+
+    #[test]
+    fn tiny_queue_capacity_still_serves_all_requests() {
+        let config = RuntimeConfig::new(2, BatchPolicy::new(4)).with_queue_capacity(1);
+        let outcome = BishopServer::new(config).serve(trace(12));
+        assert_eq!(outcome.responses.len(), 12);
+    }
+
+    #[test]
+    fn utilization_shares_sum_to_one() {
+        let outcome = BishopServer::new(RuntimeConfig::default()).serve(trace(6));
+        let u = outcome.report.aggregates.utilization;
+        let sum = u.p1 + u.atn + u.p2 + u.mlp;
+        assert!((sum - 1.0).abs() < 1e-9, "group shares sum to {sum}");
+    }
+}

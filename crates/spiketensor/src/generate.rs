@@ -277,12 +277,9 @@ mod tests {
     #[test]
     fn clustering_concentrates_spikes_into_blocks() {
         let shape = TensorShape::new(8, 32, 32);
-        let clustered = SpikeTraceGenerator::new(
-            TraceProfile::new(0.1).with_clustering(4, 8, 4.0),
-        )
-        .generate(shape, &mut rng());
-        let uniform =
-            SpikeTraceGenerator::new(TraceProfile::new(0.1)).generate(shape, &mut rng());
+        let clustered = SpikeTraceGenerator::new(TraceProfile::new(0.1).with_clustering(4, 8, 4.0))
+            .generate(shape, &mut rng());
+        let uniform = SpikeTraceGenerator::new(TraceProfile::new(0.1)).generate(shape, &mut rng());
 
         // Count how many 4x8 blocks (per feature) are completely empty; the
         // clustered trace should have clearly more empty blocks.
@@ -291,8 +288,7 @@ mod tests {
             for d in 0..shape.features {
                 for bt in 0..shape.timesteps / 4 {
                     for bn in 0..shape.tokens / 8 {
-                        if trace.count_in_region((bt * 4, bt * 4 + 4), (bn * 8, bn * 8 + 8), d)
-                            == 0
+                        if trace.count_in_region((bt * 4, bt * 4 + 4), (bn * 8, bn * 8 + 8), d) == 0
                         {
                             empty += 1;
                         }
@@ -311,11 +307,8 @@ mod tests {
     fn explicit_feature_densities_are_respected() {
         let shape = TensorShape::new(10, 50, 4);
         let generator = SpikeTraceGenerator::new(TraceProfile::new(0.5));
-        let trace = generator.generate_with_feature_densities(
-            shape,
-            &[0.0, 0.1, 0.5, 0.9],
-            &mut rng(),
-        );
+        let trace =
+            generator.generate_with_feature_densities(shape, &[0.0, 0.1, 0.5, 0.9], &mut rng());
         assert_eq!(trace.feature_count(0), 0);
         assert!(trace.feature_density(3) > trace.feature_density(1));
     }
@@ -323,8 +316,7 @@ mod tests {
     #[test]
     fn generation_is_deterministic_for_a_seed() {
         let shape = TensorShape::new(4, 16, 16);
-        let generator =
-            SpikeTraceGenerator::new(TraceProfile::new(0.3).with_feature_spread(1.0));
+        let generator = SpikeTraceGenerator::new(TraceProfile::new(0.3).with_feature_spread(1.0));
         let a = generator.generate(shape, &mut StdRng::seed_from_u64(1));
         let b = generator.generate(shape, &mut StdRng::seed_from_u64(1));
         assert_eq!(a, b);

@@ -133,7 +133,9 @@ impl SpikeTensor {
     /// Number of active spikes for token `n` at timestep `t` across all
     /// features (the length of the token's active feature vector).
     pub fn token_count(&self, t: usize, n: usize) -> usize {
-        (0..self.shape.features).filter(|&d| self.get(t, n, d)).count()
+        (0..self.shape.features)
+            .filter(|&d| self.get(t, n, d))
+            .count()
     }
 
     /// Counts active spikes inside the axis-aligned region

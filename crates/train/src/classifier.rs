@@ -33,7 +33,11 @@ impl ForwardTrace {
 
     /// Softmax probabilities of the logits.
     pub fn probabilities(&self) -> Vec<f32> {
-        let max = self.logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = self
+            .logits
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let exp: Vec<f32> = self.logits.iter().map(|l| (l - max).exp()).collect();
         let sum: f32 = exp.iter().sum();
         exp.into_iter().map(|e| e / sum).collect()
@@ -180,8 +184,8 @@ impl SpikingClassifier {
         let mut logits = vec![0.0f32; self.classes()];
         for (_, n, h) in readout_spikes.iter_active() {
             let _ = n;
-            for c in 0..self.classes() {
-                logits[c] += self.w2.get(h, c);
+            for (c, logit) in logits.iter_mut().enumerate() {
+                *logit += self.w2.get(h, c);
             }
         }
         let norm = (shape.timesteps * shape.tokens) as f32;
@@ -198,7 +202,8 @@ impl SpikingClassifier {
 
     /// Predicted class of one input.
     pub fn predict(&self, input: &SpikeTensor) -> usize {
-        self.forward(input, None, BundleShape::default()).prediction()
+        self.forward(input, None, BundleShape::default())
+            .prediction()
     }
 
     /// Classification accuracy over a set of samples, optionally with ECP
@@ -214,9 +219,7 @@ impl SpikingClassifier {
         }
         let correct = samples
             .iter()
-            .filter(|s| {
-                self.forward(&s.spikes, ecp_threshold, bundle).prediction() == s.label
-            })
+            .filter(|s| self.forward(&s.spikes, ecp_threshold, bundle).prediction() == s.label)
             .count();
         correct as f64 / samples.len() as f64
     }
@@ -225,11 +228,7 @@ impl SpikingClassifier {
 /// Prunes the bundle rows of a spike tensor whose active-bundle count across
 /// features is below `threshold` — the same criterion ECP applies to spiking
 /// queries/keys, here applied to a hidden activation tensor.
-pub fn prune_bundle_rows(
-    tensor: &SpikeTensor,
-    threshold: u32,
-    bundle: BundleShape,
-) -> SpikeTensor {
+pub fn prune_bundle_rows(tensor: &SpikeTensor, threshold: u32, bundle: BundleShape) -> SpikeTensor {
     let tags = TtbTags::from_tensor(tensor, bundle);
     let grid = tags.grid();
     SpikeTensor::from_fn(tensor.shape(), |t, n, d| {

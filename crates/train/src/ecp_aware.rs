@@ -81,8 +81,7 @@ mod tests {
     #[test]
     fn zero_threshold_matches_baseline_accuracy() {
         let (model, dataset) = trained();
-        let points =
-            accuracy_under_pruning(&model, &dataset.test, &[0], BundleShape::default());
+        let points = accuracy_under_pruning(&model, &dataset.test, &[0], BundleShape::default());
         assert!((points[0].accuracy - points[0].baseline_accuracy).abs() < 1e-9);
         assert!(points[0].accuracy_delta().abs() < 1e-9);
     }
@@ -90,12 +89,8 @@ mod tests {
     #[test]
     fn moderate_thresholds_keep_accuracy_extreme_thresholds_destroy_it() {
         let (model, dataset) = trained();
-        let points = accuracy_under_pruning(
-            &model,
-            &dataset.test,
-            &[0, 2, 1000],
-            BundleShape::default(),
-        );
+        let points =
+            accuracy_under_pruning(&model, &dataset.test, &[0, 2, 1000], BundleShape::default());
         let baseline = points[0].accuracy;
         let moderate = points[1].accuracy;
         let extreme = points[2].accuracy;

@@ -140,8 +140,8 @@ impl Trainer {
         // Readout gradient: dL/dW2[h, c] = Σ_{t,n} S[t,n,h] / norm * dlogits[c].
         let mut dw2 = DenseMatrix::zeros(hidden, classes);
         for (_, _, h) in trace.hidden_spikes.iter_active() {
-            for c in 0..classes {
-                dw2.add_assign(h, c, dlogits[c] / norm);
+            for (c, &dlogit) in dlogits.iter().enumerate() {
+                dw2.add_assign(h, c, dlogit / norm);
             }
         }
 
@@ -150,8 +150,8 @@ impl Trainer {
         let mut dspike_readout = vec![0.0f32; hidden];
         for (h, value) in dspike_readout.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for c in 0..classes {
-                acc += model.w2().get(h, c) * dlogits[c];
+            for (c, &dlogit) in dlogits.iter().enumerate() {
+                acc += model.w2().get(h, c) * dlogit;
             }
             *value = acc / norm;
         }
@@ -177,12 +177,12 @@ impl Trainer {
                 if active_inputs.is_empty() {
                     continue;
                 }
-                for h in 0..hidden {
+                for (h, &readout_grad) in dspike_readout.iter().enumerate() {
                     let surrogate = model.surrogate_derivative(membrane.get(n, h));
                     if surrogate == 0.0 {
                         continue;
                     }
-                    let mut upstream = dspike_readout[h];
+                    let mut upstream = readout_grad;
                     // The BSA penalty only pushes on positions that actually
                     // fired: existing spikes in weakly active bundles receive
                     // the strongest suppression, so those bundles empty out

@@ -18,7 +18,10 @@ fn main() {
     );
     let ptb = PtbSimulator::new(PtbConfig::default()).simulate(&workload);
 
-    println!("=== Stratification strategy (Fig. 15) — {} ===", config.name);
+    println!(
+        "=== Stratification strategy (Fig. 15) — {} ===",
+        config.name
+    );
     println!(
         "{:<28} {:>11} {:>11} {:>12} {:>12}",
         "strategy", "latency", "energy", "EDP (J*s)", "EDP vs PTB"
@@ -50,7 +53,16 @@ fn main() {
         "{:<12} {:>8} {:>11} {:>11}",
         "(BSt, BSn)", "volume", "latency", "energy"
     );
-    for (bst, bsn) in [(1, 2), (2, 2), (2, 4), (4, 2), (2, 8), (4, 4), (4, 8), (4, 14)] {
+    for (bst, bsn) in [
+        (1, 2),
+        (2, 2),
+        (2, 4),
+        (4, 2),
+        (2, 8),
+        (4, 4),
+        (4, 8),
+        (4, 14),
+    ] {
         let bundle = BundleShape::new(bst, bsn);
         let run = BishopSimulator::new(BishopConfig::default().with_bundle(bundle))
             .simulate(&workload, &SimOptions::baseline());

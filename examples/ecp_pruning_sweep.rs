@@ -55,12 +55,9 @@ fn main() {
     })
     .train(&mut model, &dataset, &mut data_rng);
     println!("\naccuracy proxy (synthetic spike-pattern task):");
-    for point in bishop::train::accuracy_under_pruning(
-        &model,
-        &dataset.test,
-        &[0, 2, 4, 8, 16, 64],
-        bundle,
-    ) {
+    for point in
+        bishop::train::accuracy_under_pruning(&model, &dataset.test, &[0, 2, 4, 8, 16, 64], bundle)
+    {
         println!(
             "  θp = {:>3}: accuracy {:>5.1}% ({:+.1} pp vs unpruned)",
             point.threshold,

@@ -24,7 +24,8 @@ fn main() {
         4,
     );
     let model = SpikingTransformer::random(&functional_config, 3 * 16 * 16, 100, &mut rng);
-    let patches = DenseMatrix::random_uniform(functional_config.tokens, 3 * 16 * 16, 0.05, &mut rng);
+    let patches =
+        DenseMatrix::random_uniform(functional_config.tokens, 3 * 16 * 16, 0.05, &mut rng);
     let result = model.infer(&patches);
     println!(
         "functional inference: predicted class {} of {}, captured {} layer workloads",
@@ -70,7 +71,11 @@ fn main() {
     };
     row("edge GPU", gpu.latency_seconds, gpu.energy_mj);
     row("PTB", ptb.total_latency_seconds(), ptb.total_energy_mj());
-    row("Bishop", bishop.total_latency_seconds(), bishop.total_energy_mj());
+    row(
+        "Bishop",
+        bishop.total_latency_seconds(),
+        bishop.total_energy_mj(),
+    );
     row(
         "Bishop+BSA",
         bishop_bsa.total_latency_seconds(),
@@ -83,10 +88,9 @@ fn main() {
     );
 
     // --- Heterogeneity ablation (§6.4) --------------------------------------
-    let all_dense = BishopSimulator::new(
-        BishopConfig::default().with_stratify(StratifyPolicy::AllDense),
-    )
-    .simulate(&baseline_workload, &SimOptions::baseline());
+    let all_dense =
+        BishopSimulator::new(BishopConfig::default().with_stratify(StratifyPolicy::AllDense))
+            .simulate(&baseline_workload, &SimOptions::baseline());
     println!(
         "\nheterogeneity: balanced split is {:.2}x faster and {:.2}x more energy efficient \
          than processing everything on the dense core (paper: 1.39x / 1.57x)",

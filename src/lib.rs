@@ -19,6 +19,10 @@
 //! * [`baseline`] — the PTB accelerator and edge-GPU baselines;
 //! * [`train`] — surrogate-gradient training with the BSA loss and ECP-aware
 //!   evaluation;
+//! * [`runtime`] — the batched multi-core inference serving runtime: bounded
+//!   submission queue, Token-Time-Bundle-aligned dynamic batching, a worker
+//!   pool of simulated chip instances, a memoizing calibration cache, and
+//!   per-run throughput reports;
 //! * [`experiments`] — the harness regenerating every table and figure of the
 //!   paper's evaluation.
 //!
@@ -46,6 +50,7 @@ pub use bishop_experiments as experiments;
 pub use bishop_memsys as memsys;
 pub use bishop_model as model;
 pub use bishop_neuron as neuron;
+pub use bishop_runtime as runtime;
 pub use bishop_spiketensor as spiketensor;
 pub use bishop_train as train;
 
@@ -56,17 +61,17 @@ pub mod prelude {
         ecp, BsaEffect, BundleShape, BundleSparsityStats, DatasetCalibration, EcpConfig,
         StratifiedWorkload, Stratifier, TrainingRegime, TtbTags,
     };
-    pub use bishop_core::{
-        BishopConfig, BishopSimulator, RunMetrics, SimOptions, StratifyPolicy,
-    };
+    pub use bishop_core::{BishopConfig, BishopSimulator, RunMetrics, SimOptions, StratifyPolicy};
     pub use bishop_memsys::{AreaPowerBreakdown, DramModel, EnergyModel, MemoryHierarchy};
     pub use bishop_model::workload::SyntheticTraceSpec;
     pub use bishop_model::{
         DatasetKind, LayerWorkload, ModelConfig, ModelWorkload, SpikingTransformer,
     };
     pub use bishop_neuron::{LifConfig, LifNeuron};
-    pub use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
-    pub use bishop_train::{
-        SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig,
+    pub use bishop_runtime::{
+        BatchPolicy, BishopServer, CalibrationCache, InferenceRequest, InferenceResponse,
+        RuntimeConfig, ServingOutcome, ThroughputReport,
     };
+    pub use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
+    pub use bishop_train::{SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig};
 }

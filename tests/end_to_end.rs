@@ -103,10 +103,9 @@ fn bundle_shape_choice_affects_but_does_not_break_simulation() {
     let config = quick_model();
     let workload = calibrated_workload(&config, TrainingRegime::Baseline, 33);
     for (bst, bsn) in [(1, 1), (2, 4), (4, 8)] {
-        let run = BishopSimulator::new(
-            BishopConfig::default().with_bundle(BundleShape::new(bst, bsn)),
-        )
-        .simulate(&workload, &SimOptions::baseline());
+        let run =
+            BishopSimulator::new(BishopConfig::default().with_bundle(BundleShape::new(bst, bsn)))
+                .simulate(&workload, &SimOptions::baseline());
         assert!(run.total_latency_seconds() > 0.0);
         assert!(run.total_energy_mj() > 0.0);
     }

@@ -1,0 +1,288 @@
+//! Vendored, dependency-free reimplementation of the subset of the
+//! `criterion` benchmarking API used by this workspace.
+//!
+//! The build environment has no access to a crates registry, so this crate
+//! stands in for upstream criterion as a path dependency. It keeps the same
+//! source-level API (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `black_box`) and implements a compact
+//! measurement loop: per benchmark it warms up, picks an iteration count that
+//! fits the configured measurement time, collects timing samples, and prints
+//! `time: [min median max]` per-iteration estimates in criterion's familiar
+//! output shape. Statistical analysis, plotting and baseline comparison are
+//! intentionally out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement backends (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement — the default and only backend.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (only a substring benchmark filter is
+    /// honoured; harness flags like `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--profile-time" => {
+                    if arg == "--profile-time" {
+                        args.next();
+                    }
+                }
+                _ if arg.starts_with("--") => {
+                    // Unknown harness flag; skip a value if one follows.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                }
+                _ => self.filter = Some(arg),
+            }
+        }
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+            _measurement: measurement::WallTime,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = GroupConfig::default();
+        let skip = self
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !id.contains(needle));
+        if !skip {
+            run_benchmark(id, &config, f);
+        }
+        self
+    }
+}
+
+/// A set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.sample_size = samples.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.config.warm_up_time = time;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let skip = self
+            .criterion
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !full_id.contains(needle));
+        if !skip {
+            run_benchmark(&full_id, &self.config, f);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, config: &GroupConfig, mut f: F) {
+    // Warm-up: repeatedly run single iterations until the warm-up budget is
+    // spent, measuring a rough per-iteration cost along the way.
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warmup_start.elapsed() < config.warm_up_time || warmup_iters == 0 {
+        f(&mut bencher);
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+    // Pick an iteration count per sample so all samples together roughly fill
+    // the measurement time.
+    let budget = config.measurement_time.as_secs_f64();
+    let iters_per_sample = ((budget / config.sample_size as f64) / per_iter.max(1e-9))
+        .ceil()
+        .clamp(1.0, 1e9) as u64;
+
+    let mut samples = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = iters_per_sample;
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 25,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 25);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn groups_run_benchmarks_fast() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-6).ends_with("us"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with('s'));
+    }
+}

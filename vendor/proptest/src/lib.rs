@@ -1,0 +1,293 @@
+//! Vendored, dependency-free reimplementation of the subset of the
+//! `proptest` API used by this workspace.
+//!
+//! The build environment has no access to a crates registry, so this crate
+//! stands in for upstream proptest as a path dependency. It keeps the same
+//! source-level API (`proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! [`Strategy`] with `prop_map`, `any::<T>()`, numeric-range strategies,
+//! [`ProptestConfig`]) and runs each property for the configured number of
+//! deterministic pseudo-random cases. Failing cases are reported with their
+//! case index and generator seed; input *shrinking* is intentionally not
+//! implemented — the seed in the failure message reproduces the case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases executed per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of pseudo-random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the produced values through `map`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.map)(self.strategy.sample(rng))
+    }
+}
+
+impl<T: SampleUniform + Debug> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1.0e9..1.0e9)
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Drives one property for `config.cases` cases. Called by the `proptest!`
+/// macro; not intended for direct use.
+pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategy: S, property: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    use rand::SeedableRng;
+    for case in 0..config.cases {
+        // Deterministic per-case seed: reproducible without a seed file.
+        let seed =
+            0x9E3779B97F4A7C15u64.wrapping_mul(u64::from(case).wrapping_add(1)) ^ name.len() as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = strategy.sample(&mut rng);
+        if let Err(message) = property(input) {
+            panic!("property '{name}' failed at case {case} (seed {seed:#x}): {message}");
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right),
+            ));
+        }
+    }};
+}
+
+/// Declares `#[test]` functions that run a property over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(
+                    stringify!($name),
+                    config,
+                    ($($strategy,)+),
+                    |($($arg,)+)| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name( $($arg in $strategy),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in 1.0f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((1.0..2.0).contains(&y), "y out of range: {y}");
+        }
+
+        #[test]
+        fn prop_map_transforms(doubled in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn any_produces_values(seed in any::<u64>(), flag in any::<bool>()) {
+            // Consume both to prove the strategies compose in tuples.
+            let encoded = if flag { seed | 1 } else { seed & !1 };
+            prop_assert_eq!(encoded & 1 == 1, flag);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        crate::run_property(
+            "always_fails",
+            ProptestConfig::with_cases(3),
+            (0u32..10,),
+            |(_x,)| Err("boom".to_string()),
+        );
+    }
+}
