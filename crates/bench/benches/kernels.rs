@@ -1,7 +1,11 @@
 //! Micro-benchmarks of the kernels underneath the simulators: bundle
-//! tagging, stratification, ECP pruning, and the per-core cost models.
+//! tagging, stratification, ECP pruning, the per-core cost models, and
+//! before/after pairs (scalar reference vs word-parallel) for the spiking
+//! hot-path kernels. The `perf_ratios` group re-measures each pair outside
+//! criterion and writes the speedups to `BENCH_kernels.json` at the
+//! workspace root so the perf trajectory is tracked across PRs.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -10,13 +14,187 @@ use bishop_bundle::{ecp, BundleShape, EcpConfig, Stratifier, TtbTags};
 use bishop_core::{AttentionCoreModel, BishopConfig, BishopSimulator, SimOptions};
 use bishop_memsys::EnergyModel;
 use bishop_model::workload::SyntheticTraceSpec;
-use bishop_model::{DatasetKind, ModelConfig, ModelWorkload};
-use bishop_spiketensor::{SpikeTraceGenerator, TensorShape, TraceProfile};
+use bishop_model::{
+    spike_matmul, spike_matmul_reference, DatasetKind, ModelConfig, ModelWorkload,
+    SpikingSelfAttention,
+};
+use bishop_spiketensor::{DenseMatrix, SpikeTraceGenerator, TensorShape, TraceProfile};
 
 fn trace(density: f64, shape: TensorShape, seed: u64) -> bishop_spiketensor::SpikeTensor {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     SpikeTraceGenerator::new(TraceProfile::new(density).with_feature_spread(1.5))
         .generate(shape, &mut rng)
+}
+
+/// Shapes of the before/after pairs (Model-3-like attention layer).
+fn pair_shapes() -> (TensorShape, BundleShape) {
+    (TensorShape::new(4, 196, 128), BundleShape::default())
+}
+
+fn bench_attention_scores_pair(c: &mut Criterion) {
+    let (shape, _) = pair_shapes();
+    let q = trace(0.12, shape, 31);
+    let k = trace(0.08, shape, 32);
+    let mut group = c.benchmark_group("kernel_attention_scores");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| SpikingSelfAttention::attention_scores_reference(black_box(&q), black_box(&k), 0))
+    });
+    group.bench_function("word_parallel", |b| {
+        b.iter(|| SpikingSelfAttention::attention_scores(black_box(&q), black_box(&k), 0))
+    });
+    group.finish();
+}
+
+fn bench_spike_matmul_pair(c: &mut Criterion) {
+    let (shape, _) = pair_shapes();
+    let spikes = trace(0.12, shape, 33);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+    let weight = DenseMatrix::random_uniform(shape.features, shape.features, 0.2, &mut rng);
+    let mut group = c.benchmark_group("kernel_spike_matmul");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| spike_matmul_reference(black_box(&spikes), 0, black_box(&weight)))
+    });
+    group.bench_function("word_parallel", |b| {
+        b.iter(|| spike_matmul(black_box(&spikes), 0, black_box(&weight)))
+    });
+    group.finish();
+}
+
+fn bench_ttb_tags_pair(c: &mut Criterion) {
+    let (shape, bundle) = pair_shapes();
+    let tensor = trace(0.15, shape, 35);
+    let mut group = c.benchmark_group("kernel_ttb_tags");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| TtbTags::from_tensor_reference(black_box(&tensor), bundle))
+    });
+    group.bench_function("word_parallel", |b| {
+        b.iter(|| TtbTags::from_tensor(black_box(&tensor), bundle))
+    });
+    group.finish();
+}
+
+/// Medians a routine's wall time over `samples` timed runs of `iters`
+/// iterations each.
+fn median_secs<O>(samples: usize, iters: usize, mut routine: impl FnMut() -> O) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    times[times.len() / 2]
+}
+
+/// Re-measures the scalar/word kernel pairs and writes the speedup ratios to
+/// `BENCH_kernels.json` at the workspace root. Runs as the last "benchmark"
+/// so an unfiltered `cargo bench -p bishop-bench --bench kernels` always
+/// refreshes the tracked numbers; a command-line filter naming another
+/// benchmark skips the re-measurement (and leaves the JSON untouched), like
+/// any criterion benchmark would be skipped.
+fn bench_perf_ratios(_c: &mut Criterion) {
+    // The vendored Criterion applies its substring filter inside
+    // bench_function only, so honour the same convention here (same arg
+    // parsing as Criterion::configure_from_args): skip the re-measurement
+    // unless the filter matches this group's "perf_ratio" prefix.
+    let mut filter = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" | "--test" => {}
+            "--profile-time" => {
+                args.next();
+            }
+            _ if arg.starts_with("--") => {
+                if let Some(next) = args.peek() {
+                    if !next.starts_with("--") {
+                        args.next();
+                    }
+                }
+            }
+            _ => filter = Some(arg),
+        }
+    }
+    if let Some(needle) = filter {
+        if !"perf_ratio".contains(needle.as_str()) {
+            return;
+        }
+    }
+    let (shape, bundle) = pair_shapes();
+    let q = trace(0.12, shape, 31);
+    let k = trace(0.08, shape, 32);
+    let spikes = trace(0.12, shape, 33);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+    let weight = DenseMatrix::random_uniform(shape.features, shape.features, 0.2, &mut rng);
+    let tagged = trace(0.15, shape, 35);
+
+    let mut entries = Vec::new();
+    let mut measure =
+        |name: &str, iters: usize, scalar: &mut dyn FnMut(), word: &mut dyn FnMut()| {
+            let scalar_s = median_secs(5, iters, &mut *scalar);
+            let word_s = median_secs(5, iters * 8, &mut *word);
+            let speedup = scalar_s / word_s.max(1e-12);
+            println!(
+                "perf_ratio/{name:<30} scalar {:.3} ms  word {:.3} ms  speedup {speedup:.1}x",
+                scalar_s * 1e3,
+                word_s * 1e3
+            );
+            entries.push(format!(
+            "  \"{name}\": {{\"scalar_ns\": {:.0}, \"word_ns\": {:.0}, \"speedup\": {speedup:.2}}}",
+            scalar_s * 1e9,
+            word_s * 1e9
+        ));
+        };
+
+    measure(
+        "attention_scores",
+        3,
+        &mut || {
+            black_box(SpikingSelfAttention::attention_scores_reference(&q, &k, 0));
+        },
+        &mut || {
+            black_box(SpikingSelfAttention::attention_scores(&q, &k, 0));
+        },
+    );
+    measure(
+        "spike_matmul",
+        3,
+        &mut || {
+            black_box(spike_matmul_reference(&spikes, 0, &weight));
+        },
+        &mut || {
+            black_box(spike_matmul(&spikes, 0, &weight));
+        },
+    );
+    measure(
+        "ttb_tags",
+        10,
+        &mut || {
+            black_box(TtbTags::from_tensor_reference(&tagged, bundle));
+        },
+        &mut || {
+            black_box(TtbTags::from_tensor(&tagged, bundle));
+        },
+    );
+
+    let json = format!(
+        "{{\n  \"shape\": \"{shape}\",\n{}\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }
 
 fn bench_bundle_tagging(c: &mut Criterion) {
@@ -94,10 +272,14 @@ fn bench_full_simulation(c: &mut Criterion) {
 
 criterion_group!(
     kernels,
+    bench_attention_scores_pair,
+    bench_spike_matmul_pair,
+    bench_ttb_tags_pair,
     bench_bundle_tagging,
     bench_stratifier,
     bench_ecp,
     bench_attention_core_model,
     bench_full_simulation,
+    bench_perf_ratios,
 );
 criterion_main!(kernels);

@@ -29,10 +29,24 @@ use crate::ttb::{BundleShape, TtbTags};
 /// total spike count — but expressed per bundle it is the quantity whose
 /// gradient (through the surrogate-gradient relaxation in `bishop-train`)
 /// concentrates firing into fewer bundles.
-pub fn bundle_sparsity_loss(tensors: &[&SpikeTensor], bundle: BundleShape) -> u64 {
+///
+/// Word-parallel: every spike lands in exactly one bundle, so the sum of all
+/// tags is exactly the popcount of the packed words — one `count_ones` per
+/// word instead of materialising the tag array. The bundle shape only
+/// affects how the count is partitioned, never its total; the differential
+/// property test `sparsity_loss_matches_reference` checks this equivalence
+/// against [`bundle_sparsity_loss_reference`] on random shapes.
+pub fn bundle_sparsity_loss(tensors: &[&SpikeTensor], _bundle: BundleShape) -> u64 {
+    tensors.iter().map(|t| t.count_ones() as u64).sum()
+}
+
+/// Scalar reference implementation of [`bundle_sparsity_loss`]: materialises
+/// every tensor's Token-Time-Bundle tags and sums them. Kept for
+/// differential testing of the word-parallel shortcut.
+pub fn bundle_sparsity_loss_reference(tensors: &[&SpikeTensor], bundle: BundleShape) -> u64 {
     tensors
         .iter()
-        .map(|t| TtbTags::from_tensor(t, bundle).tag_sum())
+        .map(|t| TtbTags::from_tensor_reference(t, bundle).tag_sum())
         .sum()
 }
 
@@ -101,18 +115,26 @@ impl BsaEffect {
         let keep_count = (self.ttb_keep_fraction * active.len() as f64).round() as usize;
         let kept = &active[..keep_count.min(active.len())];
 
-        let mut keep_mask = vec![false; grid.bundles_per_feature() * features];
+        // Per-bundle-row logical feature masks (D bits each): every feature
+        // row inside bundle row (bt, bn) is ANDed against the same mask, so
+        // the concentration stage runs word-wise over the packed rows.
+        let row_words = features.div_ceil(64);
+        let mut keep_masks = vec![0u64; grid.bundles_per_feature() * row_words];
         for &(_, bt, bn, d) in kept {
-            keep_mask[(bt * grid.token_bundles() + bn) * features + d] = true;
+            let row = bt * grid.token_bundles() + bn;
+            keep_masks[row * row_words + d / 64] |= 1 << (d % 64);
         }
 
-        let concentrated = SpikeTensor::from_fn(tensor.shape(), |t, n, d| {
-            if !tensor.get(t, n, d) {
-                return false;
+        let shape = tensor.shape();
+        let mut concentrated = SpikeTensor::zeros(shape);
+        for t in 0..shape.timesteps {
+            for n in 0..shape.tokens {
+                let (bt, bn) = grid.bundle_of(t, n);
+                let mask = &keep_masks[(bt * grid.token_bundles() + bn) * row_words..][..row_words];
+                let row = tensor.row_words(t, n);
+                concentrated.set_row_words(t, n, |i| row.word(i) & mask[i]);
             }
-            let (bt, bn) = grid.bundle_of(t, n);
-            keep_mask[(bt * grid.token_bundles() + bn) * features + d]
-        });
+        }
 
         // Stage 2: thin spikes inside surviving bundles down to the target
         // overall spike count, keeping at least one spike per surviving
@@ -131,19 +153,31 @@ impl BsaEffect {
         }
         let drop_probability = to_remove as f64 / removable.max(1) as f64;
 
-        // Track per-bundle remaining counts so we never empty a bundle.
+        // Track per-bundle remaining counts so we never empty a bundle;
+        // these are exactly the concentrated tensor's bundle tags, computed
+        // row-wise with the set-bit iterator.
         let mut remaining = vec![0u32; grid.bundles_per_feature() * features];
-        for (t, n, d) in concentrated.iter_active() {
-            let (bt, bn) = grid.bundle_of(t, n);
-            remaining[(bt * grid.token_bundles() + bn) * features + d] += 1;
+        for t in 0..shape.timesteps {
+            for n in 0..shape.tokens {
+                let (bt, bn) = grid.bundle_of(t, n);
+                let base = (bt * grid.token_bundles() + bn) * features;
+                for d in concentrated.row_words(t, n).iter_set_bits() {
+                    remaining[base + d] += 1;
+                }
+            }
         }
         let mut result = concentrated.clone();
-        for (t, n, d) in concentrated.iter_active() {
-            let (bt, bn) = grid.bundle_of(t, n);
-            let idx = (bt * grid.token_bundles() + bn) * features + d;
-            if remaining[idx] > 1 && rng.gen_bool(drop_probability.clamp(0.0, 1.0)) {
-                result.set(t, n, d, false);
-                remaining[idx] -= 1;
+        for t in 0..shape.timesteps {
+            for n in 0..shape.tokens {
+                let (bt, bn) = grid.bundle_of(t, n);
+                let base = (bt * grid.token_bundles() + bn) * features;
+                for d in concentrated.row_words(t, n).iter_set_bits() {
+                    let idx = base + d;
+                    if remaining[idx] > 1 && rng.gen_bool(drop_probability.clamp(0.0, 1.0)) {
+                        result.set(t, n, d, false);
+                        remaining[idx] -= 1;
+                    }
+                }
             }
         }
         result

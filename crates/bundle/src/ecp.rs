@@ -152,11 +152,20 @@ pub fn apply(q: &SpikeTensor, k: &SpikeTensor, v: &SpikeTensor, config: EcpConfi
     let q_mask = keep_mask(&q_kept_rows);
     let k_mask = keep_mask(&k_kept_rows);
 
+    // Pruning drops whole feature rows, so the filter clears the packed row
+    // words of every (t, n) in a pruned bundle row and copies nothing else.
+    let shape = q.shape();
     let filter = |tensor: &SpikeTensor, mask: &[bool]| {
-        SpikeTensor::from_fn(tensor.shape(), |t, n, d| {
-            let (bt, bn) = grid.bundle_of(t, n);
-            mask[bt * grid.token_bundles() + bn] && tensor.get(t, n, d)
-        })
+        let mut pruned = tensor.clone();
+        for t in 0..shape.timesteps {
+            for n in 0..shape.tokens {
+                let (bt, bn) = grid.bundle_of(t, n);
+                if !mask[bt * grid.token_bundles() + bn] {
+                    pruned.clear_row(t, n);
+                }
+            }
+        }
+        pruned
     };
 
     let pruned_q = filter(q, &q_mask);
@@ -180,7 +189,39 @@ pub fn apply(q: &SpikeTensor, k: &SpikeTensor, v: &SpikeTensor, config: EcpConfi
 /// introduced into any attention-score entry: `max |Q·Kᵀ − Q'·K'ᵀ|` over all
 /// timesteps and token pairs (full feature dimension). Used by tests and the
 /// experiment harness to verify the ECP error bound empirically.
+///
+/// Word-parallel: both the full and the pruned score of a token pair are
+/// AND+popcount [`RowBits`](bishop_spiketensor::RowBits) dots over the
+/// packed feature rows, instead of four scalar `get` calls per
+/// `(t, i, j, d)`. Bit-for-bit identical to [`max_score_error_reference`].
 pub fn max_score_error(
+    q: &SpikeTensor,
+    k: &SpikeTensor,
+    pruned_q: &SpikeTensor,
+    pruned_k: &SpikeTensor,
+) -> u32 {
+    assert_eq!(q.shape(), k.shape(), "Q and K must share a shape");
+    assert_eq!(q.shape(), pruned_q.shape(), "pruned Q must share Q's shape");
+    assert_eq!(k.shape(), pruned_k.shape(), "pruned K must share K's shape");
+    let shape = q.shape();
+    let mut max_err = 0u32;
+    for t in 0..shape.timesteps {
+        for i in 0..shape.tokens {
+            let q_row = q.row_words(t, i);
+            let pq_row = pruned_q.row_words(t, i);
+            for j in 0..shape.tokens {
+                let full = q_row.dot(&k.row_words(t, j));
+                let pruned = pq_row.dot(&pruned_k.row_words(t, j));
+                max_err = max_err.max(full - pruned.min(full));
+            }
+        }
+    }
+    max_err
+}
+
+/// Scalar reference implementation of [`max_score_error`], kept for
+/// differential testing of the word-parallel ECP error accounting.
+pub fn max_score_error_reference(
     q: &SpikeTensor,
     k: &SpikeTensor,
     pruned_q: &SpikeTensor,

@@ -36,7 +36,7 @@ pub mod sparsity;
 pub mod stratify;
 pub mod ttb;
 
-pub use bsa::{bundle_sparsity_loss, BsaEffect};
+pub use bsa::{bundle_sparsity_loss, bundle_sparsity_loss_reference, BsaEffect};
 pub use calibrate::{DatasetCalibration, TrainingRegime};
 pub use ecp::{EcpConfig, EcpResult};
 pub use sparsity::BundleSparsityStats;

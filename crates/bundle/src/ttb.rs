@@ -139,7 +139,33 @@ pub struct TtbTags {
 
 impl TtbTags {
     /// Computes the tags of `tensor` under bundle shape `bundle`.
+    ///
+    /// Word-parallel: walks each `(t, n)` feature row once, resolves the
+    /// row's bundle coordinates a single time, and enumerates the row's
+    /// active features with the `trailing_zeros` set-bit iterator — no
+    /// per-spike coordinate division. Bit-for-bit identical to
+    /// [`TtbTags::from_tensor_reference`].
     pub fn from_tensor(tensor: &SpikeTensor, bundle: BundleShape) -> Self {
+        let shape = tensor.shape();
+        let grid = TtbGrid::new(shape, bundle);
+        let features = shape.features;
+        let mut tags = vec![0u32; grid.bundles_per_feature() * features];
+        for t in 0..shape.timesteps {
+            for n in 0..shape.tokens {
+                let (bt, bn) = grid.bundle_of(t, n);
+                let base = (bt * grid.token_bundles() + bn) * features;
+                let row = &mut tags[base..base + features];
+                for d in tensor.row_words(t, n).iter_set_bits() {
+                    row[d] += 1;
+                }
+            }
+        }
+        Self { grid, tags }
+    }
+
+    /// Scalar reference implementation of [`TtbTags::from_tensor`], kept for
+    /// differential testing and the before/after kernel benchmarks.
+    pub fn from_tensor_reference(tensor: &SpikeTensor, bundle: BundleShape) -> Self {
         let grid = TtbGrid::new(tensor.shape(), bundle);
         let features = tensor.shape().features;
         let mut tags = vec![0u32; grid.bundles_per_feature() * features];

@@ -44,7 +44,7 @@ pub mod workload;
 pub use config::{DatasetKind, ModelConfig};
 pub use encoder::EncoderBlock;
 pub use mlp::SpikingMlp;
-pub use projection::{spike_matmul, SpikingLinear};
+pub use projection::{spike_matmul, spike_matmul_reference, SpikingLinear};
 pub use ssa::{SpikingSelfAttention, SsaOutput};
 pub use tokenizer::SpikingTokenizer;
 pub use transformer::{InferenceResult, SpikingTransformer};

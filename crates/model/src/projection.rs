@@ -12,11 +12,41 @@ use rand::Rng;
 /// spike `(n, d_in)` the weight row `W[d_in, :]` is accumulated into output
 /// row `n`.
 ///
+/// Word-parallel: each token's active input features are enumerated with the
+/// `trailing_zeros` set-bit iterator over the packed feature row, so the work
+/// is proportional to the number of spikes rather than `D_in`. Bit-for-bit
+/// identical to [`spike_matmul_reference`].
+///
 /// # Panics
 ///
 /// Panics if the weight row count differs from the spike tensor's feature
 /// count or `t` is out of range.
 pub fn spike_matmul(spikes: &SpikeTensor, t: usize, weight: &DenseMatrix) -> DenseMatrix {
+    let shape = spikes.shape();
+    assert!(t < shape.timesteps, "timestep {t} out of range");
+    assert_eq!(
+        weight.rows(),
+        shape.features,
+        "weight rows ({}) must equal input features ({})",
+        weight.rows(),
+        shape.features
+    );
+    let mut out = DenseMatrix::zeros(shape.tokens, weight.cols());
+    for n in 0..shape.tokens {
+        for d_in in spikes.row_words(t, n).iter_set_bits() {
+            let weight_row = weight.row(d_in);
+            let out_row = out.row_mut(n);
+            for (o, &w) in out_row.iter_mut().zip(weight_row) {
+                *o += w;
+            }
+        }
+    }
+    out
+}
+
+/// Scalar reference implementation of [`spike_matmul`], kept for
+/// differential testing and the before/after kernel benchmarks.
+pub fn spike_matmul_reference(spikes: &SpikeTensor, t: usize, weight: &DenseMatrix) -> DenseMatrix {
     let shape = spikes.shape();
     assert!(t < shape.timesteps, "timestep {t} out of range");
     assert_eq!(

@@ -125,7 +125,53 @@ impl SpikingSelfAttention {
 
     /// Computes the integer attention scores `S = Q·Kᵀ` for one head and one
     /// timestep from binary operands.
+    ///
+    /// Word-parallel: each score is an AND + popcount over the packed
+    /// feature-row words of the Q and K tokens (~64 feature positions per
+    /// instruction). Bit-for-bit identical to
+    /// [`SpikingSelfAttention::attention_scores_reference`].
     pub fn attention_scores(q: &SpikeTensor, k: &SpikeTensor, t: usize) -> DenseMatrix {
+        assert_eq!(q.shape(), k.shape(), "Q and K must have identical shapes");
+        let shape = q.shape();
+        Self::attention_scores_in(q, k, t, 0, shape.features)
+    }
+
+    /// Word-parallel attention scores restricted to the feature range
+    /// `d_start..d_end` (one head's features), without materialising head
+    /// slices: operand rows are zero-copy [`bishop_spiketensor::RowBits`]
+    /// sub-row views.
+    pub fn attention_scores_in(
+        q: &SpikeTensor,
+        k: &SpikeTensor,
+        t: usize,
+        d_start: usize,
+        d_end: usize,
+    ) -> DenseMatrix {
+        assert_eq!(q.shape(), k.shape(), "Q and K must have identical shapes");
+        let tokens = q.shape().tokens;
+        let q_rows: Vec<_> = (0..tokens)
+            .map(|i| q.row_feature_slice(t, i, d_start, d_end))
+            .collect();
+        let k_rows: Vec<_> = (0..tokens)
+            .map(|j| k.row_feature_slice(t, j, d_start, d_end))
+            .collect();
+        let mut s = DenseMatrix::zeros(tokens, tokens);
+        for (i, q_row) in q_rows.iter().enumerate() {
+            let out_row = s.row_mut(i);
+            for (j, k_row) in k_rows.iter().enumerate() {
+                let overlap = q_row.dot(k_row);
+                if overlap > 0 {
+                    out_row[j] = overlap as f32;
+                }
+            }
+        }
+        s
+    }
+
+    /// Scalar reference implementation of
+    /// [`SpikingSelfAttention::attention_scores`], kept for differential
+    /// testing and the before/after kernel benchmarks.
+    pub fn attention_scores_reference(q: &SpikeTensor, k: &SpikeTensor, t: usize) -> DenseMatrix {
         assert_eq!(q.shape(), k.shape(), "Q and K must have identical shapes");
         let shape = q.shape();
         let mut s = DenseMatrix::zeros(shape.tokens, shape.tokens);
@@ -161,24 +207,27 @@ impl SpikingSelfAttention {
             .collect();
 
         for h in 0..self.heads {
-            let qh = q.head_slice(h, self.heads);
-            let kh = k.head_slice(h, self.heads);
-            let vh = v.head_slice(h, self.heads);
+            let d0 = h * head_dim;
+            let d1 = d0 + head_dim;
             let mut head_scores = Vec::with_capacity(shape.timesteps);
             for (t, head_output) in head_outputs.iter_mut().enumerate() {
-                let s = Self::attention_scores(&qh, &kh, t);
+                // Q/K/V head sub-rows are zero-copy word views; no
+                // head_slice copies on the hot path.
+                let s = Self::attention_scores_in(&q, &k, t, d0, d1);
                 // Y[t] = (S · s) · V[t]  — V is binary, so this is a
-                // select-accumulate over the score rows.
-                for i in 0..shape.tokens {
-                    for j in 0..shape.tokens {
+                // select-accumulate over the set bits of each V row.
+                for j in 0..shape.tokens {
+                    let v_row = v.row_feature_slice(t, j, d0, d1);
+                    if v_row.count_ones() == 0 {
+                        continue;
+                    }
+                    for i in 0..shape.tokens {
                         let weight = s.get(i, j) * scale;
                         if weight == 0.0 {
                             continue;
                         }
-                        for d in 0..head_dim {
-                            if vh.get(t, j, d) {
-                                head_output.add_assign(i, h * head_dim + d, weight);
-                            }
+                        for d in v_row.iter_set_bits() {
+                            head_output.add_assign(i, d0 + d, weight);
                         }
                     }
                 }

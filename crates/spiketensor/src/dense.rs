@@ -127,7 +127,22 @@ impl DenseMatrix {
         self.set(row, col, v + value);
     }
 
-    /// Borrow of row `row` as a slice.
+    /// Mutable borrow of row `row` as a slice (the accumulation target of
+    /// the select-accumulate kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Borrows one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
     pub fn row(&self, row: usize) -> &[f32] {
         assert!(row < self.rows, "row out of bounds");
         &self.data[row * self.cols..(row + 1) * self.cols]

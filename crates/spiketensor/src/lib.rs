@@ -10,8 +10,13 @@
 //! by a LIF neuron layer is 0 or 1 (Eq. 2 of the paper). The accelerator
 //! evaluation only ever needs to know *which* positions fired, so the natural
 //! in-memory representation is a bitmap. [`SpikeTensor`] packs 64 positions
-//! per machine word and provides the slicing/counting primitives that the
-//! Token-Time-Bundle machinery in `bishop-bundle` builds on.
+//! per machine word (feature axis fastest-varying, each `(t, n)` feature row
+//! a contiguous bit range — see the type docs for the full layout guarantee)
+//! and provides the slicing/counting primitives that the Token-Time-Bundle
+//! machinery in `bishop-bundle` builds on. The [`words`] module exposes the
+//! word-parallel kernel layer (zero-copy [`RowBits`] row views, AND+popcount
+//! [`RowBits::dot`], `trailing_zeros`-driven set-bit iteration) that the
+//! model and accelerator hot paths run on.
 //!
 //! ```
 //! use bishop_spiketensor::{SpikeTensor, TensorShape};
@@ -32,6 +37,7 @@ pub mod generate;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod words;
 
 pub use dense::DenseMatrix;
 pub use error::ShapeError;
@@ -39,3 +45,4 @@ pub use generate::{SpikeTraceGenerator, TraceProfile};
 pub use shape::TensorShape;
 pub use stats::{DensitySummary, FeatureDensity};
 pub use tensor::SpikeTensor;
+pub use words::{RowBits, SetBits};

@@ -1,5 +1,6 @@
 //! Bit-packed binary spike tensor.
 
+use crate::words::RowBits;
 use crate::{ShapeError, TensorShape};
 
 /// A binary spiking activation tensor of shape `T × N × D`, bit-packed 64
@@ -9,6 +10,25 @@ use crate::{ShapeError, TensorShape};
 /// is `true` when token `n` fired on feature `d` at timestep `t`. All the
 /// Token-Time-Bundle machinery (`bishop-bundle`) as well as the accelerator
 /// simulators consume this type.
+///
+/// # Bit layout guarantee
+///
+/// The packing is row-major with the **feature axis fastest-varying**: bit
+/// `(t, n, d)` lives at linear bit index `((t·N) + n)·D + d`, packed
+/// little-endian into `u64` words (bit `i` is bit `i % 64` of word
+/// `i / 64`). Two consequences every consumer may rely on:
+///
+/// * the feature vector of one `(t, n)` position — a *feature row* — is a
+///   contiguous range of `D` bits, exposed zero-copy via
+///   [`SpikeTensor::row_words`] and the word-parallel kernels of
+///   [`crate::words`];
+/// * bits at linear indices `>= len()` in the final word are always zero
+///   (the *tail invariant*), so bulk word operations (`popcount`, AND, OR)
+///   over [`SpikeTensor::words`] are exact without masking.
+///
+/// Rows are **not** padded to word boundaries: when `D % 64 != 0`,
+/// consecutive rows straddle words at varying bit offsets, which
+/// [`RowBits`] handles by assembling aligned logical words on the fly.
 ///
 /// ```
 /// use bishop_spiketensor::{SpikeTensor, TensorShape};
@@ -54,13 +74,32 @@ impl SpikeTensor {
     where
         F: FnMut(usize, usize, usize) -> bool,
     {
-        let mut tensor = Self::zeros(shape);
-        for (t, n, d) in shape.iter_coordinates() {
-            if f(t, n, d) {
-                tensor.set(t, n, d, true);
+        // Assemble each word locally instead of calling `set` per coordinate:
+        // the coordinates are visited in layout order, so bits stream into
+        // one register-resident word at a time (no per-bit index math or
+        // read-modify-write of the words vector).
+        let mut words = Vec::with_capacity(shape.len().div_ceil(64));
+        let mut word = 0u64;
+        let mut filled = 0u32;
+        for t in 0..shape.timesteps {
+            for n in 0..shape.tokens {
+                for d in 0..shape.features {
+                    if f(t, n, d) {
+                        word |= 1 << filled;
+                    }
+                    filled += 1;
+                    if filled == 64 {
+                        words.push(word);
+                        word = 0;
+                        filled = 0;
+                    }
+                }
             }
         }
-        tensor
+        if filled > 0 {
+            words.push(word);
+        }
+        Self { shape, words }
     }
 
     /// The tensor's shape.
@@ -93,6 +132,48 @@ impl SpikeTensor {
         } else {
             *word &= !(1 << (idx % 64));
         }
+    }
+
+    /// The packed word storage. Bits beyond `shape().len()` in the final
+    /// word are guaranteed zero (the tail invariant), so bulk word
+    /// operations over this slice are exact.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Zero-copy word view of the feature row of `(t, n)`: the `D`
+    /// contiguous bits holding that position's feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `n` is out of bounds.
+    #[inline]
+    pub fn row_words(&self, t: usize, n: usize) -> RowBits<'_> {
+        assert!(
+            t < self.shape.timesteps && n < self.shape.tokens,
+            "row ({t}, {n}) out of bounds for shape {}",
+            self.shape
+        );
+        let start = (t * self.shape.tokens + n) * self.shape.features;
+        RowBits::new(&self.words, start, self.shape.features)
+    }
+
+    /// Zero-copy view of features `d_start..d_end` of the feature row of
+    /// `(t, n)` — e.g. one attention head's sub-row. Replaces the copying
+    /// [`SpikeTensor::head_slice`] in hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates or feature range are out of bounds.
+    #[inline]
+    pub fn row_feature_slice(
+        &self,
+        t: usize,
+        n: usize,
+        d_start: usize,
+        d_end: usize,
+    ) -> RowBits<'_> {
+        self.row_words(t, n).slice(d_start, d_end)
     }
 
     /// Number of active spikes in the whole tensor.
@@ -133,9 +214,7 @@ impl SpikeTensor {
     /// Number of active spikes for token `n` at timestep `t` across all
     /// features (the length of the token's active feature vector).
     pub fn token_count(&self, t: usize, n: usize) -> usize {
-        (0..self.shape.features)
-            .filter(|&d| self.get(t, n, d))
-            .count()
+        self.row_words(t, n).count_ones()
     }
 
     /// Counts active spikes inside the axis-aligned region
@@ -162,22 +241,73 @@ impl SpikeTensor {
         count
     }
 
-    /// Iterates over the coordinates of all active spikes in layout order.
-    pub fn iter_active(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
-        let shape = self.shape;
-        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
-            let mut bits = word;
-            let mut out = Vec::new();
-            while bits != 0 {
-                let bit = bits.trailing_zeros() as usize;
-                let linear = wi * 64 + bit;
-                if linear < shape.len() {
-                    out.push(shape.coordinates(linear));
-                }
-                bits &= bits - 1;
+    /// Counts active spikes inside the three-dimensional region
+    /// `[t0, t1) × [n0, n1) × [d0, d1)`, word-wise along the feature axis
+    /// (partial tail words of each row slice are masked exactly). Ranges are
+    /// clamped to the tensor bounds.
+    ///
+    /// This is the bundle-region popcount underneath Token-Time-Bundle
+    /// activity accounting: the tag of bundle `(bt, bn, d)` is this count
+    /// with a single-feature `d` range, and a bundle row's total activity is
+    /// this count over the full feature range.
+    pub fn count_in_region_features(
+        &self,
+        t_range: (usize, usize),
+        n_range: (usize, usize),
+        d_range: (usize, usize),
+    ) -> usize {
+        let (t0, t1) = (t_range.0, t_range.1.min(self.shape.timesteps));
+        let (n0, n1) = (n_range.0, n_range.1.min(self.shape.tokens));
+        let (d0, d1) = (d_range.0, d_range.1.min(self.shape.features));
+        if t0 >= t1 || n0 >= n1 || d0 >= d1 {
+            return 0;
+        }
+        let mut count = 0;
+        for t in t0..t1 {
+            for n in n0..n1 {
+                count += self.row_feature_slice(t, n, d0, d1).count_ones();
             }
-            out
-        })
+        }
+        count
+    }
+
+    /// Scalar reference implementation of
+    /// [`SpikeTensor::count_in_region_features`], kept for differential
+    /// testing of the word-parallel region popcount.
+    pub fn count_in_region_features_reference(
+        &self,
+        t_range: (usize, usize),
+        n_range: (usize, usize),
+        d_range: (usize, usize),
+    ) -> usize {
+        let (t0, t1) = (t_range.0, t_range.1.min(self.shape.timesteps));
+        let (n0, n1) = (n_range.0, n_range.1.min(self.shape.tokens));
+        let (d0, d1) = (d_range.0, d_range.1.min(self.shape.features));
+        let mut count = 0;
+        for t in t0..t1 {
+            for n in n0..n1 {
+                for d in d0..d1 {
+                    if self.get(t, n, d) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Iterates over the coordinates of all active spikes in layout order.
+    ///
+    /// Driven by `trailing_zeros` over the packed words; allocation-free and
+    /// proportional to the number of spikes (plus one load per word).
+    pub fn iter_active(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        ActiveBits {
+            shape: self.shape,
+            words: &self.words,
+            next_word: 0,
+            current: 0,
+            base: 0,
+        }
     }
 
     /// Elementwise logical AND of two tensors of identical shape.
@@ -227,12 +357,25 @@ impl SpikeTensor {
     /// dense-routed and sparse-routed halves while keeping the original
     /// feature indexing.
     pub fn masked_by_features(&self, features: &[usize]) -> SpikeTensor {
-        let mut keep = vec![false; self.shape.features];
+        // Build the feature-keep mask once as a logical row of D bits, then
+        // AND every feature row against it word-wise.
+        let row_words = self.shape.features.div_ceil(64);
+        let mut mask = vec![0u64; row_words];
         for &d in features {
             assert!(d < self.shape.features, "feature {d} out of bounds");
-            keep[d] = true;
+            mask[d / 64] |= 1 << (d % 64);
         }
-        SpikeTensor::from_fn(self.shape, |t, n, d| keep[d] && self.get(t, n, d))
+        let mut result = SpikeTensor::zeros(self.shape);
+        for t in 0..self.shape.timesteps {
+            for n in 0..self.shape.tokens {
+                let row = self.row_words(t, n);
+                let start = (t * self.shape.tokens + n) * self.shape.features;
+                deposit_row(&mut result.words, start, self.shape.features, |i| {
+                    row.word(i) & mask[i]
+                });
+            }
+        }
+        result
     }
 
     /// Extracts the feature sub-tensor for attention head `head` out of
@@ -242,28 +385,44 @@ impl SpikeTensor {
     /// # Panics
     ///
     /// Panics if `heads` does not divide `D` or `head >= heads`.
+    /// For hot paths prefer [`SpikeTensor::row_feature_slice`], which views
+    /// the same head sub-rows zero-copy instead of materialising them.
     pub fn head_slice(&self, head: usize, heads: usize) -> SpikeTensor {
         let head_shape = self.shape.per_head(heads);
         assert!(head < heads, "head index {head} out of range 0..{heads}");
         let offset = head * head_shape.features;
-        SpikeTensor::from_fn(head_shape, |t, n, d| self.get(t, n, offset + d))
+        let mut result = SpikeTensor::zeros(head_shape);
+        for t in 0..head_shape.timesteps {
+            for n in 0..head_shape.tokens {
+                let sub = self.row_feature_slice(t, n, offset, offset + head_shape.features);
+                let start = (t * head_shape.tokens + n) * head_shape.features;
+                deposit_row(&mut result.words, start, head_shape.features, |i| {
+                    sub.word(i)
+                });
+            }
+        }
+        result
     }
 
     /// Per-timestep view: number of spikes at each timestep.
     pub fn per_timestep_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.shape.timesteps];
-        for (t, _, _) in self.iter_active() {
-            counts[t] += 1;
-        }
-        counts
+        (0..self.shape.timesteps)
+            .map(|t| {
+                (0..self.shape.tokens)
+                    .map(|n| self.row_words(t, n).count_ones())
+                    .sum()
+            })
+            .collect()
     }
 
     /// Per-token firing count of the token's features summed over time; a
     /// proxy for "how busy" a token is, used by ECP statistics.
     pub fn per_token_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.shape.tokens];
-        for (_, n, _) in self.iter_active() {
-            counts[n] += 1;
+        for t in 0..self.shape.timesteps {
+            for (n, count) in counts.iter_mut().enumerate() {
+                *count += self.row_words(t, n).count_ones();
+            }
         }
         counts
     }
@@ -271,10 +430,68 @@ impl SpikeTensor {
     /// Per-feature firing counts across all timesteps and tokens.
     pub fn per_feature_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.shape.features];
-        for (_, _, d) in self.iter_active() {
-            counts[d] += 1;
+        for t in 0..self.shape.timesteps {
+            for n in 0..self.shape.tokens {
+                for d in self.row_words(t, n).iter_set_bits() {
+                    counts[d] += 1;
+                }
+            }
         }
         counts
+    }
+
+    /// Clears the entire feature row of `(t, n)` word-wise (all `D` bits at
+    /// once). Used by the pruning paths that drop whole bundle rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `n` is out of bounds.
+    pub fn clear_row(&mut self, t: usize, n: usize) {
+        assert!(
+            t < self.shape.timesteps && n < self.shape.tokens,
+            "row ({t}, {n}) out of bounds for shape {}",
+            self.shape
+        );
+        let start = (t * self.shape.tokens + n) * self.shape.features;
+        let end = start + self.shape.features;
+        for w in start / 64..end.div_ceil(64) {
+            let lo = (w * 64).max(start) - w * 64;
+            let hi = ((w + 1) * 64).min(end) - w * 64;
+            // Mask covering row bits [lo, hi) of this word.
+            let mask = if hi - lo == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << (hi - lo)) - 1) << lo
+            };
+            self.words[w] &= !mask;
+        }
+    }
+
+    /// Overwrites the feature row of `(t, n)` from logical 64-bit source
+    /// words: bit `d` of the row becomes bit `d % 64` of `source(d / 64)`.
+    /// Source bits at or beyond `D` in the final logical word are ignored,
+    /// so the tail invariant is preserved unconditionally.
+    ///
+    /// This is the word-wise dual of [`SpikeTensor::row_words`]; the pruning
+    /// and masking paths use it to write a whole transformed row per
+    /// iteration instead of one bit at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `n` is out of bounds.
+    pub fn set_row_words(&mut self, t: usize, n: usize, mut source: impl FnMut(usize) -> u64) {
+        self.clear_row(t, n);
+        let features = self.shape.features;
+        let start = (t * self.shape.tokens + n) * features;
+        deposit_row(&mut self.words, start, features, |i| {
+            let value = source(i);
+            let remaining = features - i * 64;
+            if remaining >= 64 {
+                value
+            } else {
+                value & ((1u64 << remaining) - 1)
+            }
+        });
     }
 
     /// Size in bytes of the packed representation (what the accelerator would
@@ -293,6 +510,56 @@ impl SpikeTensor {
                 *last &= (1u64 << last_bits) - 1;
             }
         }
+    }
+}
+
+/// Writes a row of `len` bits into `words` starting at absolute bit `start`,
+/// taking logical 64-bit source words from `source(i)`. The target bits must
+/// currently be zero (rows are written at most once), so an OR deposit
+/// suffices; source words must have bits `>= len - 64·i` cleared, which
+/// [`RowBits::word`] guarantees.
+fn deposit_row(words: &mut [u64], start: usize, len: usize, mut source: impl FnMut(usize) -> u64) {
+    let offset = (start % 64) as u32;
+    let first = start / 64;
+    for i in 0..len.div_ceil(64) {
+        let value = source(i);
+        let w = first + i;
+        words[w] |= value << offset;
+        let bits_here = 64.min(len - i * 64);
+        if offset > 0 && offset as usize + bits_here > 64 {
+            words[w + 1] |= value >> (64 - offset);
+        }
+    }
+}
+
+/// Allocation-free iterator over active spike coordinates, in layout order.
+struct ActiveBits<'a> {
+    shape: TensorShape,
+    words: &'a [u64],
+    next_word: usize,
+    current: u64,
+    base: usize,
+}
+
+impl Iterator for ActiveBits<'_> {
+    type Item = (usize, usize, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, usize, usize)> {
+        while self.current == 0 {
+            if self.next_word >= self.words.len() {
+                return None;
+            }
+            self.base = self.next_word * 64;
+            self.current = self.words[self.next_word];
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        let linear = self.base + bit;
+        // The tail invariant guarantees no bits at or beyond len().
+        debug_assert!(linear < self.shape.len());
+        Some(self.shape.coordinates(linear))
     }
 }
 

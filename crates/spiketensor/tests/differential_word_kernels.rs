@@ -1,0 +1,223 @@
+//! Differential property tests: every word-parallel kernel in
+//! `bishop-spiketensor` must be bit-for-bit identical to its scalar
+//! `*_reference` twin on random shapes — including tensors whose total
+//! length is not a multiple of 64 (partial tail words) and feature widths
+//! that are not a multiple of 64 (rows straddling word boundaries at
+//! varying offsets).
+
+use bishop_spiketensor::{SpikeTensor, TensorShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random shape whose feature axis deliberately covers unaligned widths
+/// (1, 63, 65, 100 …) as well as aligned ones (64, 128).
+fn shape_from(t: usize, n: usize, d_index: usize) -> TensorShape {
+    const FEATURES: [usize; 8] = [1, 3, 63, 64, 65, 100, 128, 130];
+    TensorShape::new(t, n, FEATURES[d_index % FEATURES.len()])
+}
+
+fn random_tensor(shape: TensorShape, density: f64, seed: u64) -> SpikeTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SpikeTensor::from_fn(shape, |_, _, _| rng.gen_bool(density))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_matches_reference(
+        t in 1usize..4,
+        n in 1usize..6,
+        d_index in 0usize..8,
+        density in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let shape = shape_from(t, n, d_index);
+        let a = random_tensor(shape, density, seed);
+        let b = random_tensor(shape, 1.0 - density * 0.5, seed ^ 0xABCD);
+        for ti in 0..shape.timesteps {
+            for i in 0..shape.tokens {
+                for j in 0..shape.tokens {
+                    let x = a.row_words(ti, i);
+                    let y = b.row_words(ti, j);
+                    prop_assert_eq!(x.dot(&y), x.dot_reference(&y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_subrow_dot_matches_reference(
+        n in 1usize..6,
+        d_index in 0usize..8,
+        density in 0.05f64..0.7,
+        split in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // Sub-row views at arbitrary (start, end) boundaries — the masked
+        // per-head slices — must agree with the scalar path too.
+        let shape = shape_from(2, n, d_index);
+        let a = random_tensor(shape, density, seed);
+        let b = random_tensor(shape, density, seed ^ 0x1234);
+        let d0 = (shape.features as f64 * split * 0.5) as usize;
+        let d1 = d0 + ((shape.features - d0) as f64 * split) as usize;
+        for i in 0..shape.tokens {
+            let x = a.row_feature_slice(1, i, d0, d1);
+            let y = b.row_feature_slice(1, i, d0, d1);
+            prop_assert_eq!(x.dot(&y), x.dot_reference(&y));
+            prop_assert_eq!(x.len(), d1 - d0);
+        }
+    }
+
+    #[test]
+    fn set_bit_iteration_matches_scalar_scan(
+        t in 1usize..4,
+        n in 1usize..6,
+        d_index in 0usize..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let shape = shape_from(t, n, d_index);
+        let tensor = random_tensor(shape, density, seed);
+        for ti in 0..shape.timesteps {
+            for ni in 0..shape.tokens {
+                let row = tensor.row_words(ti, ni);
+                let word_parallel: Vec<usize> = row.iter_set_bits().collect();
+                let scalar: Vec<usize> = (0..shape.features)
+                    .filter(|&d| tensor.get(ti, ni, d))
+                    .collect();
+                prop_assert_eq!(&word_parallel, &scalar);
+                prop_assert_eq!(row.count_ones(), scalar.len());
+            }
+        }
+    }
+
+    #[test]
+    fn region_popcount_matches_reference(
+        t in 1usize..5,
+        n in 1usize..8,
+        d_index in 0usize..8,
+        density in 0.0f64..0.8,
+        seed in any::<u64>(),
+        t0 in 0usize..4,
+        n0 in 0usize..6,
+        d_frac in 0.0f64..1.0,
+    ) {
+        let shape = shape_from(t, n, d_index);
+        let tensor = random_tensor(shape, density, seed);
+        let d0 = (shape.features as f64 * d_frac * 0.7) as usize;
+        // Deliberately over-shoot upper bounds: both paths must clamp.
+        let region_t = (t0, t0 + 3);
+        let region_n = (n0, n0 + 5);
+        let region_d = (d0, d0 + shape.features);
+        prop_assert_eq!(
+            tensor.count_in_region_features(region_t, region_n, region_d),
+            tensor.count_in_region_features_reference(region_t, region_n, region_d)
+        );
+    }
+
+    #[test]
+    fn from_fn_matches_per_bit_set_construction(
+        t in 1usize..4,
+        n in 1usize..6,
+        d_index in 0usize..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let shape = shape_from(t, n, d_index);
+        let word_local = random_tensor(shape, density, seed);
+        // Reference: the old construction path, one `set` per coordinate.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut per_bit = SpikeTensor::zeros(shape);
+        for ti in 0..shape.timesteps {
+            for ni in 0..shape.tokens {
+                for d in 0..shape.features {
+                    if rng.gen_bool(density) {
+                        per_bit.set(ti, ni, d, true);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(word_local, per_bit);
+    }
+
+    #[test]
+    fn row_round_trips_through_set_row_words(
+        t in 1usize..4,
+        n in 1usize..6,
+        d_index in 0usize..8,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let shape = shape_from(t, n, d_index);
+        let tensor = random_tensor(shape, density, seed);
+        let mut copy = SpikeTensor::zeros(shape);
+        for ti in 0..shape.timesteps {
+            for ni in 0..shape.tokens {
+                let row = tensor.row_words(ti, ni);
+                copy.set_row_words(ti, ni, |i| row.word(i));
+            }
+        }
+        prop_assert_eq!(&copy, &tensor);
+        // Garbage bits beyond the row width must be ignored, so a writer
+        // passing all-ones tails reproduces the tensor exactly and keeps the
+        // tail invariant intact.
+        let mut noisy = SpikeTensor::zeros(shape);
+        for ti in 0..shape.timesteps {
+            for ni in 0..shape.tokens {
+                let row = tensor.row_words(ti, ni);
+                noisy.set_row_words(ti, ni, |i| {
+                    let remaining = shape.features - i * 64;
+                    let garbage = if remaining >= 64 { 0 } else { u64::MAX << remaining };
+                    row.word(i) | garbage
+                });
+            }
+        }
+        prop_assert_eq!(&noisy, &tensor);
+    }
+
+    #[test]
+    fn counts_and_slices_match_scalar_paths(
+        t in 1usize..4,
+        n in 1usize..6,
+        d_index in 0usize..8,
+        density in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let shape = shape_from(t, n, d_index);
+        let tensor = random_tensor(shape, density, seed);
+        // token_count / per-axis counts versus brute-force get() scans.
+        for ti in 0..shape.timesteps {
+            for ni in 0..shape.tokens {
+                let scalar = (0..shape.features).filter(|&d| tensor.get(ti, ni, d)).count();
+                prop_assert_eq!(tensor.token_count(ti, ni), scalar);
+            }
+        }
+        let mut per_feature = vec![0usize; shape.features];
+        let mut per_token = vec![0usize; shape.tokens];
+        let mut per_timestep = vec![0usize; shape.timesteps];
+        for (ti, ni, d) in tensor.iter_active() {
+            per_feature[d] += 1;
+            per_token[ni] += 1;
+            per_timestep[ti] += 1;
+        }
+        prop_assert_eq!(tensor.per_feature_counts(), per_feature);
+        prop_assert_eq!(tensor.per_token_counts(), per_token);
+        prop_assert_eq!(tensor.per_timestep_counts(), per_timestep);
+        // head_slice versus the scalar gather it replaced.
+        for heads in [1usize, 2, 4] {
+            if !shape.features.is_multiple_of(heads) {
+                continue;
+            }
+            for h in 0..heads {
+                let sliced = tensor.head_slice(h, heads);
+                let head_dim = shape.features / heads;
+                let expected = SpikeTensor::from_fn(shape.per_head(heads), |ti, ni, d| {
+                    tensor.get(ti, ni, h * head_dim + d)
+                });
+                prop_assert_eq!(&sliced, &expected);
+            }
+        }
+    }
+}
