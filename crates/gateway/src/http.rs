@@ -1,0 +1,465 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer on plain
+//! `std::io` streams — no external dependencies.
+//!
+//! The parser is *incremental*: it reads from the socket into an internal
+//! buffer until a full head (`\r\n\r\n`) and declared body are available,
+//! enforcing size limits while bytes arrive (an oversized request is
+//! rejected before it is ever buffered whole). Leftover bytes stay in the
+//! buffer, so pipelined or keep-alive requests on one connection parse
+//! naturally. Socket read timeouts surface as [`ParseError::Timeout`] —
+//! that is the slow-loris defence: a client trickling a request slower
+//! than the configured timeout gets `408` and the connection closed.
+
+use std::io::{self, Read, Write};
+
+/// Size limits enforced while a request streams in.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of declared body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header name/value pairs in arrival order; names kept as sent.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path portion of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(value) if value.eq_ignore_ascii_case("close") => false,
+            Some(value) if value.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed. Each maps to one HTTP status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Syntactically invalid request (`400`).
+    BadRequest(String),
+    /// Request line + headers exceeded `max_head_bytes` (`431`).
+    HeadTooLarge,
+    /// Declared body exceeds `max_body_bytes` (`413`).
+    BodyTooLarge,
+    /// A feature this server does not implement (`501`), e.g. chunked
+    /// request bodies.
+    Unsupported(String),
+    /// An HTTP version other than 1.0/1.1 (`505`).
+    BadVersion,
+    /// The socket read timed out. `mid_request` distinguishes a slow-loris
+    /// stall inside a request (`408`) from an idle keep-alive connection
+    /// timing out between requests (quiet close).
+    Timeout {
+        /// Whether any bytes of the next request had already arrived.
+        mid_request: bool,
+    },
+    /// The peer closed the connection mid-request.
+    UnexpectedEof,
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl ParseError {
+    /// The HTTP status code this error maps to, if a response is owed.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ParseError::BadRequest(_) => Some(400),
+            ParseError::HeadTooLarge => Some(431),
+            ParseError::BodyTooLarge => Some(413),
+            ParseError::Unsupported(_) => Some(501),
+            ParseError::BadVersion => Some(505),
+            ParseError::Timeout { mid_request: true } => Some(408),
+            ParseError::Timeout { mid_request: false } => None,
+            ParseError::UnexpectedEof | ParseError::Io(_) => None,
+        }
+    }
+}
+
+/// Incremental request reader over one connection.
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    stream: R,
+    buffer: Vec<u8>,
+    limits: Limits,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wraps a readable stream.
+    pub fn new(stream: R, limits: Limits) -> Self {
+        Self {
+            stream,
+            buffer: Vec::new(),
+            limits,
+        }
+    }
+
+    /// Reads the next request off the connection. `Ok(None)` means the peer
+    /// closed cleanly between requests.
+    pub fn read_request(&mut self) -> Result<Option<Request>, ParseError> {
+        // Phase 1: accumulate the head.
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buffer) {
+                break end;
+            }
+            if self.buffer.len() > self.limits.max_head_bytes {
+                return Err(ParseError::HeadTooLarge);
+            }
+            match self.fill()? {
+                0 if self.buffer.is_empty() => return Ok(None),
+                0 => return Err(ParseError::UnexpectedEof),
+                _ => {}
+            }
+        };
+
+        let head = std::str::from_utf8(&self.buffer[..head_end])
+            .map_err(|_| ParseError::BadRequest("non-UTF-8 request head".into()))?;
+        if head.len() > self.limits.max_head_bytes {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let (method, target, http11, headers) = parse_head(head)?;
+
+        // Phase 2: the declared body.
+        let content_length = match header_value(&headers, "content-length") {
+            Some(text) => text
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| ParseError::BadRequest("invalid Content-Length".into()))?,
+            None => 0,
+        };
+        if header_value(&headers, "transfer-encoding").is_some() {
+            return Err(ParseError::Unsupported("chunked request bodies".into()));
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(ParseError::BodyTooLarge);
+        }
+        let body_start = head_end + 4;
+        while self.buffer.len() < body_start + content_length {
+            if self.fill()? == 0 {
+                return Err(ParseError::UnexpectedEof);
+            }
+        }
+        let body = self.buffer[body_start..body_start + content_length].to_vec();
+        // Keep any pipelined bytes for the next call.
+        self.buffer.drain(..body_start + content_length);
+
+        Ok(Some(Request {
+            method,
+            target,
+            http11,
+            headers,
+            body,
+        }))
+    }
+
+    fn fill(&mut self) -> Result<usize, ParseError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(n) => {
+                self.buffer.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(self.fill()?),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Err(ParseError::Timeout {
+                    mid_request: !self.buffer.is_empty(),
+                })
+            }
+            Err(e) => Err(ParseError::Io(e)),
+        }
+    }
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+type Head = (String, String, bool, Vec<(String, String)>);
+
+fn parse_head(head: &str) -> Result<Head, ParseError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ParseError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| ParseError::BadRequest("invalid method".into()))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/') || *t == "*")
+        .ok_or_else(|| ParseError::BadRequest("invalid request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::BadRequest("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadRequest("malformed request line".into()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(ParseError::BadVersion),
+        _ => return Err(ParseError::BadRequest("invalid HTTP version".into())),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::BadRequest("malformed header line".into()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadRequest("malformed header name".into()));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), target.to_string(), http11, headers))
+}
+
+/// An outgoing HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are added on write).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A response carrying a JSON body.
+    pub fn json(status: u16, body: &crate::json::Json) -> Self {
+        Self::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.encode().into_bytes())
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self::new(status)
+            .with_header("Content-Type", content_type)
+            .with_body(body.into())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serializes the response to the wire, stamping `Content-Length` and
+    /// `Connection` from `keep_alive`.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_one(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        RequestReader::new(raw, Limits::default()).read_request()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let request = read_one(raw).unwrap().unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.target, "/v1/infer");
+        assert_eq!(request.body, b"abcd");
+        assert!(request.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(request.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn strips_query_from_path_and_honours_connection_close() {
+        let raw = b"GET /metrics?x=1 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let request = read_one(raw).unwrap().unwrap();
+        assert_eq!(request.path(), "/metrics");
+        assert!(!request.keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let mut reader = RequestReader::new(&raw[..], Limits::default());
+        assert_eq!(reader.read_request().unwrap().unwrap().target, "/a");
+        assert_eq!(reader.read_request().unwrap().unwrap().target, "/b");
+        assert!(reader.read_request().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(matches!(
+            read_one(b"NOT A REQUEST\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read_one(b"get /lower HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read_one(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(ParseError::BadVersion)
+        ));
+        assert!(matches!(
+            read_one(b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_head_and_body_limits() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let huge_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(200));
+        assert!(matches!(
+            RequestReader::new(huge_head.as_bytes(), limits).read_request(),
+            Err(ParseError::HeadTooLarge)
+        ));
+        let big_body = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert!(matches!(
+            RequestReader::new(&big_body[..], limits).read_request(),
+            Err(ParseError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn truncated_requests_are_unexpected_eof() {
+        assert!(matches!(
+            read_one(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ParseError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            read_one(b"GET /x HT"),
+            Err(ParseError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn chunked_bodies_are_unsupported() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(read_one(raw), Err(ParseError::Unsupported(_))));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(
+            200,
+            &crate::json::Json::object(vec![("ok", crate::json::Json::Bool(true))]),
+        )
+        .write_to(&mut out, true)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

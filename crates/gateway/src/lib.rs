@@ -1,0 +1,65 @@
+//! # bishop-gateway
+//!
+//! A **zero-external-dependency HTTP/1.1 + JSON serving gateway** in front
+//! of the Bishop online runtime — the layer that turns the accelerator
+//! reproduction from offline trace replay into an always-on network
+//! service.
+//!
+//! Everything is hand-rolled on `std`: a [`http`] request parser with
+//! incremental reads, size limits, keep-alive and slow-loris timeouts; a
+//! [`json`] encoder/decoder; a thread-per-connection acceptor with a
+//! concurrency cap and graceful shutdown ([`server`]); the inference API
+//! codec and model catalog ([`api`]); and Prometheus text-format
+//! observability ([`metrics`]).
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/infer` — submit one inference request; the connection thread
+//!   parks on the runtime [`Ticket`](bishop_runtime::Ticket) until the
+//!   Token-Time-Bundle-aligned batch it rode in is simulated. Overload is
+//!   shed with `429` (queue full / deadline unmeetable), never a hang.
+//! * `GET /v1/models` — the servable model catalog.
+//! * `GET /metrics` — gateway + runtime counters, Prometheus text format.
+//! * `GET /healthz` — liveness (`503` once draining).
+//!
+//! ```
+//! use bishop_gateway::{Gateway, GatewayConfig};
+//! use bishop_runtime::{OnlineConfig, OnlineServer};
+//! use std::io::{Read, Write};
+//!
+//! let runtime = OnlineServer::start(OnlineConfig::default());
+//! let gateway = Gateway::start(GatewayConfig::default(), runtime.handle()).unwrap();
+//!
+//! // Any HTTP client works; here, a raw socket.
+//! let mut stream = std::net::TcpStream::connect(gateway.local_addr()).unwrap();
+//! let body = r#"{"model": "cifar10-serve", "seed": 1}"#;
+//! write!(
+//!     stream,
+//!     "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut reply = String::new();
+//! stream.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.contains("\"latency_seconds\""));
+//!
+//! gateway.shutdown();
+//! runtime.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use api::{CatalogEntry, InferSubmission, ModelCatalog};
+pub use http::{Limits, Request, RequestReader, Response};
+pub use json::{Json, JsonError};
+pub use metrics::GatewayMetrics;
+pub use server::{Gateway, GatewayConfig};

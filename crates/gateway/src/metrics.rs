@@ -1,0 +1,240 @@
+//! Live observability: gateway-side counters plus a Prometheus text-format
+//! (version 0.0.4) renderer combining them with the runtime's counters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bishop_runtime::OnlineStats;
+
+/// HTTP- and connection-level counters maintained by the gateway itself.
+/// Runtime-level counters (queue depth, shed totals, simulated work) come
+/// from [`OnlineStats`] at render time.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Connections the acceptor admitted.
+    connections_accepted: AtomicU64,
+    /// Connections turned away at the concurrency cap.
+    connections_rejected: AtomicU64,
+    /// Connections currently open.
+    connections_active: AtomicU64,
+    /// Responses sent, by HTTP status code.
+    responses_by_status: Mutex<BTreeMap<u16, u64>>,
+    /// Requests that failed to parse (a subset also got an error response).
+    parse_errors: AtomicU64,
+}
+
+impl GatewayMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted connection; pair with [`Self::connection_closed`].
+    pub fn connection_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection turned away at the concurrency cap.
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Records one response by status code.
+    pub fn response(&self, status: u16) {
+        *self
+            .responses_by_status
+            .lock()
+            .expect("status map lock")
+            .entry(status)
+            .or_insert(0) += 1;
+    }
+
+    /// Responses sent with the given status so far.
+    pub fn responses_with_status(&self, status: u16) -> u64 {
+        self.responses_by_status
+            .lock()
+            .expect("status map lock")
+            .get(&status)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records a request that failed to parse.
+    pub fn parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the combined gateway + runtime state in Prometheus text
+    /// format.
+    pub fn render_prometheus(&self, runtime: &OnlineStats) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: f64| {
+            render_metric(&mut out, name, help, "counter", None, value);
+        };
+        counter(
+            "bishop_gateway_connections_accepted_total",
+            "Connections admitted by the acceptor.",
+            self.connections_accepted.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            "bishop_gateway_connections_rejected_total",
+            "Connections turned away at the concurrency cap.",
+            self.connections_rejected.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            "bishop_gateway_parse_errors_total",
+            "Requests that failed HTTP parsing or violated size limits.",
+            self.parse_errors.load(Ordering::Relaxed) as f64,
+        );
+
+        {
+            let statuses = self.responses_by_status.lock().expect("status map lock");
+            out.push_str(
+                "# HELP bishop_gateway_http_responses_total Responses sent, by status code.\n\
+                 # TYPE bishop_gateway_http_responses_total counter\n",
+            );
+            for (status, count) in statuses.iter() {
+                out.push_str(&format!(
+                    "bishop_gateway_http_responses_total{{status=\"{status}\"}} {count}\n"
+                ));
+            }
+        }
+
+        render_metric(
+            &mut out,
+            "bishop_gateway_connections_active",
+            "Connections currently open.",
+            "gauge",
+            None,
+            self.connections_active.load(Ordering::Relaxed) as f64,
+        );
+
+        let mut runtime_counter = |name: &str, help: &str, value: f64| {
+            render_metric(&mut out, name, help, "counter", None, value);
+        };
+        runtime_counter(
+            "bishop_runtime_requests_submitted_total",
+            "Requests offered to admission control.",
+            runtime.submitted as f64,
+        );
+        runtime_counter(
+            "bishop_runtime_requests_admitted_total",
+            "Requests admitted into the submission queue.",
+            runtime.admitted as f64,
+        );
+        runtime_counter(
+            "bishop_runtime_requests_completed_total",
+            "Requests whose batch finished simulating.",
+            runtime.completed as f64,
+        );
+        runtime_counter(
+            "bishop_runtime_batches_executed_total",
+            "Batches executed by the worker pool.",
+            runtime.batches_executed as f64,
+        );
+        runtime_counter(
+            "bishop_runtime_simulated_cycles_total",
+            "Total simulated chip-busy cycles.",
+            runtime.total_simulated_cycles as f64,
+        );
+        runtime_counter(
+            "bishop_runtime_simulated_energy_millijoules_total",
+            "Total simulated energy in millijoules.",
+            runtime.total_energy_mj,
+        );
+
+        out.push_str(
+            "# HELP bishop_runtime_requests_shed_total Requests shed by admission control, by reason.\n\
+             # TYPE bishop_runtime_requests_shed_total counter\n",
+        );
+        for (reason, value) in [
+            ("queue_full", runtime.admission.queue_full),
+            ("deadline", runtime.admission.deadline),
+            ("shutdown", runtime.admission.shutdown),
+        ] {
+            out.push_str(&format!(
+                "bishop_runtime_requests_shed_total{{reason=\"{reason}\"}} {value}\n"
+            ));
+        }
+
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            render_metric(&mut out, name, help, "gauge", None, value);
+        };
+        gauge(
+            "bishop_runtime_queue_depth",
+            "Requests admitted but not yet completed.",
+            runtime.queue_depth as f64,
+        );
+        gauge(
+            "bishop_runtime_backlog_ops",
+            "Estimated dense ops of the admitted backlog.",
+            runtime.backlog_ops as f64,
+        );
+        gauge(
+            "bishop_runtime_mean_latency_seconds",
+            "Mean simulated per-request latency.",
+            runtime.mean_latency_seconds,
+        );
+        gauge(
+            "bishop_runtime_max_latency_seconds",
+            "Worst simulated per-request latency.",
+            runtime.max_latency_seconds,
+        );
+        out
+    }
+}
+
+fn render_metric(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    label: Option<(&str, &str)>,
+    value: f64,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    match label {
+        Some((key, val)) => out.push_str(&format!("{name}{{{key}=\"{val}\"}} {value}\n")),
+        None => out.push_str(&format!("{name} {value}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_prometheus_text() {
+        let metrics = GatewayMetrics::new();
+        metrics.connection_opened();
+        metrics.response(200);
+        metrics.response(200);
+        metrics.response(429);
+        let runtime = OnlineStats {
+            submitted: 3,
+            admitted: 2,
+            completed: 2,
+            queue_depth: 0,
+            ..OnlineStats::default()
+        };
+        let text = metrics.render_prometheus(&runtime);
+        assert!(text.contains("# TYPE bishop_gateway_http_responses_total counter"));
+        assert!(text.contains("bishop_gateway_http_responses_total{status=\"200\"} 2"));
+        assert!(text.contains("bishop_gateway_http_responses_total{status=\"429\"} 1"));
+        assert!(text.contains("bishop_runtime_requests_submitted_total 3"));
+        assert!(text.contains("bishop_runtime_requests_shed_total{reason=\"queue_full\"} 0"));
+        assert!(text.contains("bishop_gateway_connections_active 1"));
+    }
+}

@@ -1,0 +1,334 @@
+//! The gateway server: TCP acceptor, thread-per-connection handlers,
+//! routing, and graceful shutdown.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bishop_runtime::{Rejection, ServerHandle};
+
+use crate::api::{decode_infer, encode_response, error_body, ModelCatalog};
+use crate::http::{Limits, ParseError, Request, RequestReader, Response};
+use crate::json::Json;
+use crate::metrics::GatewayMetrics;
+
+/// Configuration of a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Maximum concurrently open connections; excess connections get `503`.
+    pub max_connections: u64,
+    /// Socket read timeout: a connection stalling mid-request longer than
+    /// this gets `408` and is closed (slow-loris defence).
+    pub read_timeout: Duration,
+    /// HTTP parser size limits.
+    pub limits: Limits,
+    /// The models this gateway serves.
+    pub catalog: ModelCatalog,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+            catalog: ModelCatalog::serving_default(),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Overrides the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Overrides the read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides the connection cap.
+    pub fn with_max_connections(mut self, max: u64) -> Self {
+        self.max_connections = max;
+        self
+    }
+
+    /// Overrides the parser limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Overrides the model catalog.
+    pub fn with_catalog(mut self, catalog: ModelCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+}
+
+/// State shared between the acceptor and every connection thread.
+#[derive(Debug)]
+struct Shared {
+    runtime: ServerHandle,
+    catalog: ModelCatalog,
+    metrics: GatewayMetrics,
+    limits: Limits,
+    read_timeout: Duration,
+    shutting_down: AtomicBool,
+    next_request_id: AtomicU64,
+}
+
+/// A running HTTP gateway in front of a Bishop online runtime.
+///
+/// Serves `POST /v1/infer`, `GET /v1/models`, `GET /metrics` (Prometheus
+/// text format) and `GET /healthz` until [`Gateway::shutdown`].
+#[derive(Debug)]
+pub struct Gateway {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds the listener and starts accepting connections. The runtime
+    /// handle is where admitted inference requests go.
+    pub fn start(config: GatewayConfig, runtime: ServerHandle) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runtime,
+            catalog: config.catalog,
+            metrics: GatewayMetrics::new(),
+            limits: config.limits,
+            read_timeout: config.read_timeout,
+            shutting_down: AtomicBool::new(false),
+            next_request_id: AtomicU64::new(0),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let max_connections = config.max_connections;
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if shared.metrics.active_connections() >= max_connections {
+                        shared.metrics.connection_rejected();
+                        reject_connection(stream, &shared.metrics);
+                        continue;
+                    }
+                    shared.metrics.connection_opened();
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        handle_connection(stream, &shared);
+                        shared.metrics.connection_closed();
+                    });
+                }
+            })
+        };
+
+        Ok(Gateway {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Gateway-side metrics (HTTP counters). Runtime counters live on the
+    /// [`ServerHandle`] passed to [`Gateway::start`].
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight connections finish
+    /// their current request (keep-alive connections are told to close),
+    /// and join the acceptor.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        // Wake the blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connection threads exit on their own: the next request either
+        // completes (with `Connection: close`) or times out. Wait bounded
+        // by the read timeout plus slack.
+        let deadline =
+            std::time::Instant::now() + self.shared.read_timeout + Duration::from_secs(2);
+        while self.shared.metrics.active_connections() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Turns away a connection over the concurrency cap with `503`.
+fn reject_connection(mut stream: TcpStream, metrics: &GatewayMetrics) {
+    let response = Response::json(503, &error_body("connection limit reached"))
+        .with_header("Retry-After", "1");
+    metrics.response(503);
+    if response.write_to(&mut stream, false).is_ok() {
+        drain_before_close(&stream);
+    }
+}
+
+/// Lingering close: the peer may still have request bytes in flight that we
+/// never read (a rejected upload, a connection-cap 503). Closing with
+/// unread data in the receive queue makes the kernel send RST, which can
+/// destroy the error response before the client reads it — so shut down our
+/// write side and briefly drain the read side first.
+fn drain_before_close(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut read_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    // Bounded drain: up to 256 KiB or until EOF/timeout, whichever first.
+    for _ in 0..64 {
+        match std::io::Read::read(&mut read_half, &mut sink) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serves one connection until close, error, timeout or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = RequestReader::new(read_half, shared.limits);
+
+    loop {
+        match reader.read_request() {
+            Ok(Some(request)) => {
+                // During shutdown finish this request but close after it.
+                let keep_alive =
+                    request.keep_alive() && !shared.shutting_down.load(Ordering::Acquire);
+                let response = route(&request, shared);
+                shared.metrics.response(response.status);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) => return, // peer closed cleanly between requests
+            Err(error) => {
+                // Only errors that owe the client a status are parse/limit
+                // failures; idle keep-alive expiry and client aborts are
+                // routine and must not inflate the error counter.
+                if let Some(status) = error.status() {
+                    shared.metrics.parse_error();
+                    let message = match &error {
+                        ParseError::BadRequest(m) => m.as_str(),
+                        ParseError::HeadTooLarge => "request head too large",
+                        ParseError::BodyTooLarge => "request body too large",
+                        ParseError::Unsupported(m) => m.as_str(),
+                        ParseError::BadVersion => "unsupported HTTP version",
+                        ParseError::Timeout { .. } => "timed out reading request",
+                        _ => "request aborted",
+                    };
+                    let response = Response::json(status, &error_body(message));
+                    shared.metrics.response(status);
+                    if response.write_to(&mut writer, false).is_ok() {
+                        // The failed request's remaining bytes were never
+                        // read; drain them so closing doesn't RST the
+                        // response out from under the client.
+                        drain_before_close(&writer);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint.
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/v1/infer") => infer(request, shared),
+        ("GET", "/v1/models") => Response::json(200, &shared.catalog.to_json()),
+        ("GET", "/metrics") => Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            shared.metrics.render_prometheus(&shared.runtime.stats()),
+        ),
+        ("GET", "/healthz") => {
+            let draining = shared.shutting_down.load(Ordering::Acquire);
+            Response::json(
+                if draining { 503 } else { 200 },
+                &Json::object(vec![
+                    (
+                        "status",
+                        Json::string(if draining { "draining" } else { "ok" }),
+                    ),
+                    (
+                        "queue_depth",
+                        Json::from_u64(shared.runtime.stats().queue_depth as u64),
+                    ),
+                ]),
+            )
+        }
+        (_, "/v1/infer") => method_not_allowed("POST"),
+        (_, "/v1/models" | "/metrics" | "/healthz") => method_not_allowed("GET"),
+        _ => Response::json(404, &error_body("no such endpoint")),
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::json(405, &error_body("method not allowed")).with_header("Allow", allow)
+}
+
+/// `POST /v1/infer`: decode, admit, wait for the ticket, encode.
+fn infer(request: &Request, shared: &Shared) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::json(400, &error_body("body is not UTF-8")),
+    };
+    let json = match Json::parse(body) {
+        Ok(json) => json,
+        Err(error) => return Response::json(400, &error_body(&error.to_string())),
+    };
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let submission = match decode_infer(&json, &shared.catalog, request_id) {
+        Ok(submission) => submission,
+        Err(message) => return Response::json(400, &error_body(&message)),
+    };
+
+    let admitted = match submission.deadline {
+        Some(deadline) => shared
+            .runtime
+            .try_submit_with_deadline(submission.request, deadline),
+        None => shared.runtime.try_submit(submission.request),
+    };
+    match admitted {
+        Ok(ticket) => match ticket.wait() {
+            Some(response) => Response::json(200, &encode_response(&response)),
+            None => Response::json(503, &error_body("server shut down mid-request")),
+        },
+        Err(rejection @ (Rejection::QueueFull | Rejection::DeadlineUnmeetable)) => {
+            Response::json(429, &error_body(&rejection.to_string())).with_header("Retry-After", "1")
+        }
+        Err(rejection) => Response::json(503, &error_body(&rejection.to_string())),
+    }
+}

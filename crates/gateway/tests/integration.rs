@@ -1,0 +1,366 @@
+//! End-to-end gateway integration: boot the full runtime + gateway stack on
+//! an ephemeral port and drive it with raw-socket clients — well-formed,
+//! malformed, oversized, overloading and slow-loris — asserting status
+//! codes, keep-alive behaviour and a clean shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bishop_gateway::{Gateway, GatewayConfig, Limits};
+use bishop_runtime::{BatchPolicy, OnlineConfig, OnlineServer, RuntimeConfig};
+
+/// The running stack under test.
+struct Stack {
+    runtime: OnlineServer,
+    gateway: Gateway,
+}
+
+impl Stack {
+    fn boot(online: OnlineConfig, gateway: GatewayConfig) -> Stack {
+        let runtime = OnlineServer::start(online);
+        let gateway = Gateway::start(gateway, runtime.handle()).expect("bind ephemeral port");
+        Stack { runtime, gateway }
+    }
+
+    fn default() -> Stack {
+        // A 10 ms batching window: long enough that concurrently-submitted
+        // compatible requests reliably coalesce even on a loaded CI box,
+        // short enough to keep the suite quick.
+        Self::boot(
+            OnlineConfig::new(RuntimeConfig::new(2, BatchPolicy::new(4)))
+                .with_batch_timeout(Some(Duration::from_millis(10))),
+            GatewayConfig::default(),
+        )
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.gateway.local_addr()
+    }
+
+    fn finish(self) -> bishop_runtime::OnlineStats {
+        self.gateway.shutdown();
+        self.runtime.shutdown()
+    }
+}
+
+/// Sends raw bytes, reads until EOF, returns (status, full response text).
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    (parse_status(&reply), reply)
+}
+
+fn parse_status(reply: &str) -> u16 {
+    reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {reply:?}"))
+}
+
+fn infer_bytes(model: &str, seed: u64, close: bool) -> Vec<u8> {
+    let body = format!("{{\"model\": \"{model}\", \"seed\": {seed}}}");
+    format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\n{}\r\n{}",
+        body.len(),
+        if close { "Connection: close\r\n" } else { "" },
+        body
+    )
+    .into_bytes()
+}
+
+/// Reads exactly one keep-alive response (head + declared body) off a stream.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let (head_end, body_len) = loop {
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "peer closed before a full response");
+        buffer.extend_from_slice(&chunk[..n]);
+        if let Some(end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buffer[..end]).expect("UTF-8 head");
+            let body_len = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .map(|v| v.parse::<usize>().unwrap())
+                .unwrap_or(0);
+            break (end, body_len);
+        }
+    };
+    while buffer.len() < head_end + 4 + body_len {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "peer closed mid-body");
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8(buffer[..head_end + 4 + body_len].to_vec()).unwrap();
+    let status = parse_status(&text);
+    (status, text)
+}
+
+#[test]
+fn well_formed_infer_round_trips() {
+    let stack = Stack::default();
+    let (status, reply) = raw_roundtrip(stack.addr(), &infer_bytes("cifar10-serve", 3, true));
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"request_id\""));
+    assert!(reply.contains("\"latency_seconds\""));
+    assert!(reply.contains("\"batch_size\""));
+    let stats = stack.finish();
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn concurrent_keep_alive_clients_all_get_responses() {
+    let stack = Stack::default();
+    let addr = stack.addr();
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 4;
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                for i in 0..PER_CLIENT {
+                    let model = if client % 2 == 0 {
+                        "cifar10-serve"
+                    } else {
+                        "imagenet100-serve"
+                    };
+                    stream
+                        .write_all(&infer_bytes(
+                            model,
+                            (client * PER_CLIENT + i) as u64 % 3,
+                            false,
+                        ))
+                        .expect("send");
+                    let (status, reply) = read_one_response(&mut stream);
+                    assert_eq!(status, 200, "{reply}");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    let stats = stack.finish();
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.admission.total(), 0, "no shedding at this load");
+    assert!(
+        stats.batches_executed < stats.completed,
+        "concurrent compatible requests must coalesce into shared batches \
+         ({} batches for {} requests)",
+        stats.batches_executed,
+        stats.completed,
+    );
+}
+
+#[test]
+fn malformed_requests_get_400_and_correct_statuses() {
+    let stack = Stack::default();
+    let addr = stack.addr();
+
+    // Garbage request line.
+    let (status, _) = raw_roundtrip(addr, b"THIS IS NOT HTTP\r\n\r\n");
+    assert_eq!(status, 400);
+    // Unparsable JSON body.
+    let bad = b"POST /v1/infer HTTP/1.1\r\nContent-Length: 9\r\nConnection: close\r\n\r\nnot json!";
+    assert_eq!(raw_roundtrip(addr, bad).0, 400);
+    // Unknown model.
+    let (status, reply) = raw_roundtrip(addr, &infer_bytes("no-such-model", 0, true));
+    assert_eq!(status, 400);
+    assert!(reply.contains("unknown model"));
+    // Unknown path and wrong method.
+    assert_eq!(
+        raw_roundtrip(addr, b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n").0,
+        404
+    );
+    assert_eq!(
+        raw_roundtrip(addr, b"GET /v1/infer HTTP/1.1\r\nConnection: close\r\n\r\n").0,
+        405
+    );
+    // Unsupported HTTP version.
+    assert_eq!(raw_roundtrip(addr, b"GET /healthz HTTP/3.0\r\n\r\n").0, 505);
+
+    stack.finish();
+}
+
+#[test]
+fn oversized_requests_are_rejected_before_buffering() {
+    let stack = Stack::boot(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2))),
+        GatewayConfig::default().with_limits(Limits {
+            max_head_bytes: 512,
+            max_body_bytes: 256,
+        }),
+    );
+    let addr = stack.addr();
+
+    // Declared body over the limit: rejected from the Content-Length alone.
+    let huge = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: 100000\r\n\r\n{}",
+        "x".repeat(512)
+    );
+    assert_eq!(raw_roundtrip(addr, huge.as_bytes()).0, 413);
+
+    // Head over the limit.
+    let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "y".repeat(2048));
+    assert_eq!(raw_roundtrip(addr, long_target.as_bytes()).0, 431);
+
+    stack.finish();
+}
+
+#[test]
+fn slow_loris_connections_time_out_with_408() {
+    let stack = Stack::boot(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2))),
+        GatewayConfig::default().with_read_timeout(Duration::from_millis(150)),
+    );
+    let mut stream = TcpStream::connect(stack.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Trickle half a request head, then stall past the read timeout.
+    stream
+        .write_all(b"POST /v1/infer HTTP/1.1\r\nConte")
+        .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("server response");
+    assert_eq!(parse_status(&reply), 408, "{reply}");
+    stack.finish();
+}
+
+#[test]
+fn overload_sheds_with_429_instead_of_hanging() {
+    // max_pending 0: admission sheds every inference immediately.
+    let stack = Stack::boot(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2))).with_max_pending(0),
+        GatewayConfig::default(),
+    );
+    let addr = stack.addr();
+    for seed in 0..4 {
+        let (status, reply) = raw_roundtrip(addr, &infer_bytes("cifar10-serve", seed, true));
+        assert_eq!(status, 429, "{reply}");
+        assert!(reply.contains("Retry-After"));
+    }
+    // Health and metrics still answer under overload.
+    let (status, _) = raw_roundtrip(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    let (status, metrics) =
+        raw_roundtrip(addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("bishop_runtime_requests_shed_total{reason=\"queue_full\"} 4"));
+    assert!(metrics.contains("bishop_gateway_http_responses_total{status=\"429\"} 4"));
+
+    let stats = stack.finish();
+    assert_eq!(stats.admission.queue_full, 4);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let stack = Stack::default();
+    let mut stream = TcpStream::connect(stack.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for seed in 0..3 {
+        stream
+            .write_all(&infer_bytes("cifar10-serve", seed, false))
+            .unwrap();
+        let (status, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+    }
+    // A GET on the same connection still works.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let (status, reply) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"status\":\"ok\""));
+
+    let stats = stack.finish();
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn deadline_requests_shed_when_backlog_outlasts_them() {
+    // A crawling drain estimate: the first admitted request makes every
+    // later deadline submission unmeetable until it completes.
+    let stack = Stack::boot(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(8)))
+            .with_batch_timeout(Some(Duration::from_millis(100)))
+            .with_drain_rate(1.0),
+        GatewayConfig::default(),
+    );
+    let addr = stack.addr();
+
+    let background = std::thread::spawn(move || {
+        let body = r#"{"model": "cifar10-serve", "seed": 1}"#;
+        let raw = format!(
+            "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        raw_roundtrip(addr, raw.as_bytes())
+    });
+    // Wait until the background request is admitted (visible as queue depth).
+    for _ in 0..200 {
+        let (_, metrics) =
+            raw_roundtrip(addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        if metrics.contains("bishop_runtime_queue_depth 1") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let body = r#"{"model": "cifar10-serve", "seed": 2, "deadline_ms": 1}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 429, "{reply}");
+    assert!(reply.contains("deadline"));
+
+    assert_eq!(background.join().unwrap().0, 200);
+    stack.finish();
+}
+
+#[test]
+fn graceful_shutdown_closes_cleanly() {
+    let stack = Stack::default();
+    let addr = stack.addr();
+    // Prove the stack served traffic before shutting down.
+    assert_eq!(
+        raw_roundtrip(addr, &infer_bytes("cifar10-serve", 1, true)).0,
+        200
+    );
+
+    let stats = stack.finish();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.queue_depth, 0);
+
+    // The listener is gone: connecting now fails, or an accepted-but-orphaned
+    // connection yields no response.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buffer = [0u8; 64];
+            assert!(
+                matches!(stream.read(&mut buffer), Ok(0) | Err(_)),
+                "no handler should answer after shutdown"
+            );
+        }
+    }
+}

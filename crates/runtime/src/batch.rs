@@ -39,6 +39,21 @@ impl From<&InferenceRequest> for BatchKey {
     }
 }
 
+/// Items the [`BatchFormer`] can coalesce: anything wrapping (or being) an
+/// [`InferenceRequest`]. The online submission path batches requests
+/// *together with* their per-ticket completion channels, so the former is
+/// generic over the carried item instead of hard-coding `InferenceRequest`.
+pub trait Batchable {
+    /// The underlying request driving compatibility and cost decisions.
+    fn request(&self) -> &InferenceRequest;
+}
+
+impl Batchable for InferenceRequest {
+    fn request(&self) -> &InferenceRequest {
+        self
+    }
+}
+
 /// Batch-former policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
@@ -71,15 +86,19 @@ impl Default for BatchPolicy {
 }
 
 /// A closed batch of compatible requests, ready for dispatch.
+///
+/// Generic over the carried item (see [`Batchable`]); plain traces use the
+/// default `T = InferenceRequest`, the online path uses items that also
+/// carry the per-ticket completion channel.
 #[derive(Debug, Clone)]
-pub struct RequestBatch {
+pub struct RequestBatch<T = InferenceRequest> {
     /// Sequential batch identifier (assignment order = formation order).
     pub id: u64,
     /// The coalesced requests, in submission order.
-    pub requests: Vec<InferenceRequest>,
+    pub requests: Vec<T>,
 }
 
-impl RequestBatch {
+impl<T: Batchable> RequestBatch<T> {
     /// Number of requests riding this batch.
     pub fn len(&self) -> usize {
         self.requests.len()
@@ -92,7 +111,7 @@ impl RequestBatch {
 
     /// Simulation options shared by every request of the batch.
     pub fn options(&self) -> SimOptions {
-        self.requests[0].options
+        self.requests[0].request().options
     }
 
     /// The model configuration describing the whole batch: the members'
@@ -100,7 +119,7 @@ impl RequestBatch {
     /// to the bundle timestep multiple `BSt` so the packed TTB stream stays
     /// aligned.
     pub fn batched_config(&self, bundle: BundleShape) -> ModelConfig {
-        let base = &self.requests[0].model;
+        let base = &self.requests[0].request().model;
         let folded = base.timesteps * self.len();
         let padded = folded.div_ceil(bundle.timesteps) * bundle.timesteps;
         base.clone()
@@ -112,7 +131,7 @@ impl RequestBatch {
     /// member seeds in submission order.
     pub fn combined_seed(&self) -> u64 {
         self.requests.iter().fold(0x243F6A8885A308D3, |acc, r| {
-            acc.rotate_left(17) ^ r.seed.wrapping_mul(0x9E3779B97F4A7C15)
+            acc.rotate_left(17) ^ r.request().seed.wrapping_mul(0x9E3779B97F4A7C15)
         })
     }
 
@@ -121,14 +140,19 @@ impl RequestBatch {
     /// `P1 + P2 + MLP` contribute `T·N·D·(3D + D + 8·D)` accumulations and
     /// attention contributes `2·T·N²·D`.
     pub fn estimated_ops(&self, bundle: BundleShape) -> u64 {
-        let c = self.batched_config(bundle);
-        let t = c.timesteps as u64;
-        let n = c.tokens as u64;
-        let d = c.features as u64;
-        let projections = t * n * d * (3 * d + d + 2 * (c.mlp_hidden() as u64));
-        let attention = 2 * t * n * n * d;
-        c.blocks as u64 * (projections + attention)
+        config_ops(&self.batched_config(bundle))
     }
+}
+
+/// Analytic dense-operation estimate of one workload configuration; shared
+/// by batch-level dispatch and the admission controller's backlog estimate.
+pub(crate) fn config_ops(c: &ModelConfig) -> u64 {
+    let t = c.timesteps as u64;
+    let n = c.tokens as u64;
+    let d = c.features as u64;
+    let projections = t * n * d * (3 * d + d + 2 * (c.mlp_hidden() as u64));
+    let attention = 2 * t * n * n * d;
+    c.blocks as u64 * (projections + attention)
 }
 
 /// Groups submitted requests into compatible batches.
@@ -138,14 +162,14 @@ impl RequestBatch {
 /// trace always forms the same batches — the property the runtime's
 /// determinism guarantee rests on.
 #[derive(Debug)]
-pub struct BatchFormer {
+pub struct BatchFormer<T = InferenceRequest> {
     policy: BatchPolicy,
-    pending: HashMap<BatchKey, Vec<InferenceRequest>>,
+    pending: HashMap<BatchKey, Vec<T>>,
     insertion_order: Vec<BatchKey>,
     next_batch_id: u64,
 }
 
-impl BatchFormer {
+impl<T: Batchable> BatchFormer<T> {
     /// Creates an empty former with the given policy.
     pub fn new(policy: BatchPolicy) -> Self {
         Self {
@@ -157,8 +181,13 @@ impl BatchFormer {
     }
 
     /// Accepts one request; returns a batch if this request filled one.
-    pub fn push(&mut self, request: InferenceRequest) -> Option<RequestBatch> {
-        let key = BatchKey::from(&request);
+    ///
+    /// Closed keys are removed entirely — the former's footprint is bounded
+    /// by the *open* (partially-filled) batches, never by how many distinct
+    /// keys it has ever seen. That matters for the long-lived online
+    /// batcher, where the key space (model × options) is client-controlled.
+    pub fn push(&mut self, request: T) -> Option<RequestBatch<T>> {
+        let key = BatchKey::from(request.request());
         let slot = match self.pending.entry(key.clone()) {
             std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
             std::collections::hash_map::Entry::Vacant(entry) => {
@@ -168,15 +197,43 @@ impl BatchFormer {
         };
         slot.push(request);
         if slot.len() >= self.policy.max_batch_size {
-            let requests = std::mem::take(slot);
-            Some(self.close(requests))
+            self.close_key(&key)
         } else {
             None
         }
     }
 
+    /// Number of requests currently pending under `key`.
+    pub fn pending_count(&self, key: &BatchKey) -> usize {
+        self.pending.get(key).map_or(0, Vec::len)
+    }
+
+    /// Total number of requests waiting in partially-filled batches.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Number of currently open (partially-filled) batches.
+    pub fn open_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Closes the partially-filled batch pending under `key`, if any, and
+    /// forgets the key. Used by the online batcher's size-*or-timeout*
+    /// policy: a batch whose oldest member has waited past the timeout is
+    /// closed early.
+    pub fn close_key(&mut self, key: &BatchKey) -> Option<RequestBatch<T>> {
+        let requests = self.pending.remove(key)?;
+        self.insertion_order.retain(|k| k != key);
+        if requests.is_empty() {
+            None
+        } else {
+            Some(self.close(requests))
+        }
+    }
+
     /// Closes every partially-filled batch, in first-submission order.
-    pub fn flush(&mut self) -> Vec<RequestBatch> {
+    pub fn flush(&mut self) -> Vec<RequestBatch<T>> {
         let mut batches = Vec::new();
         for key in std::mem::take(&mut self.insertion_order) {
             if let Some(requests) = self.pending.remove(&key) {
@@ -188,7 +245,7 @@ impl BatchFormer {
         batches
     }
 
-    fn close(&mut self, requests: Vec<InferenceRequest>) -> RequestBatch {
+    fn close(&mut self, requests: Vec<T>) -> RequestBatch<T> {
         let id = self.next_batch_id;
         self.next_batch_id += 1;
         RequestBatch { id, requests }
@@ -291,6 +348,29 @@ mod tests {
             cab.combined_seed(),
             "seed folds member seeds, not request ids"
         );
+    }
+
+    #[test]
+    fn closed_keys_are_forgotten_entirely() {
+        // Regression: closing a batch used to leave an empty slot (and an
+        // insertion-order entry) behind per distinct key — unbounded growth
+        // in a long-lived batcher whose key space clients control.
+        let mut former = BatchFormer::new(BatchPolicy::new(2));
+        for i in 0..100u64 {
+            // 100 distinct keys via distinct ECP thresholds, two pushes each.
+            former.push(request(2 * i, "m", 1, SimOptions::with_ecp(i as u32)));
+            let closed = former.push(request(2 * i + 1, "m", 2, SimOptions::with_ecp(i as u32)));
+            assert!(closed.is_some(), "second compatible push closes the batch");
+        }
+        assert_eq!(former.open_batches(), 0);
+        assert_eq!(former.pending_requests(), 0);
+        assert!(former.flush().is_empty());
+
+        // Same via the explicit close path.
+        former.push(request(200, "m", 1, SimOptions::baseline()));
+        let key = BatchKey::from(&request(201, "m", 1, SimOptions::baseline()));
+        assert!(former.close_key(&key).is_some());
+        assert_eq!(former.open_batches(), 0);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! trace (submission order and contents) — never on worker count, machine
 //! speed or scheduling jitter. Only [`WallClockStats`] varies between runs.
 //!
+//! Beyond offline trace replay, the [`online`] module keeps the same stack
+//! *running*: [`ServerHandle::try_submit`] hands back a [`Ticket`] per
+//! request, admission control sheds load with explicit [`Rejection`]s
+//! (queue-depth and deadline based) instead of blocking, and a background
+//! batcher closes Token-Time-Bundle-aligned batches on a size-or-timeout
+//! policy. `BishopServer::serve` is now a deterministic client of that
+//! online path (timeout disabled, blocking backpressure).
+//!
 //! ```
 //! use bishop_runtime::{mixed_trace, default_mixed_models, BatchPolicy, BishopServer, RuntimeConfig};
 //!
@@ -39,12 +47,16 @@
 
 pub mod batch;
 pub mod cache;
+pub mod online;
 pub mod report;
 pub mod request;
 pub mod server;
 
-pub use batch::{BatchFormer, BatchKey, BatchPolicy, RequestBatch};
+pub use batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
+pub use online::{
+    AdmissionStats, OnlineConfig, OnlineServer, OnlineStats, Rejection, ServerHandle, Ticket,
+};
 pub use report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,
 };

@@ -1,0 +1,786 @@
+//! Online submission: the always-on serving path.
+//!
+//! Where [`BishopServer::serve`](crate::BishopServer::serve) replays a closed
+//! trace, this module keeps a server *running*: clients call
+//! [`ServerHandle::try_submit`] at any time and get back a [`Ticket`] that
+//! resolves to the request's [`InferenceResponse`] once the batch it rode in
+//! has been simulated.
+//!
+//! ```text
+//!  clients ──► admission ──► sync_channel(queue) ──► batcher thread ──► workers
+//!              control         (bounded)             size-or-timeout     (chips)
+//!              shed: queue     try_send: shed         TTB-aligned          │
+//!              depth/deadline  on full                batches              ▼
+//!                                                                    per-ticket
+//!                                                                    completion
+//! ```
+//!
+//! **Admission control** sheds load with explicit [`Rejection`]s instead of
+//! blocking: a request is rejected when the pending count reaches
+//! `max_pending` (queue-depth shedding), when the bounded submission channel
+//! is full, or when its deadline cannot be met given the admitted backlog
+//! (estimated as `backlog_ops / drain_ops_per_second`). A shed request costs
+//! the caller one atomic read — it never touches the batcher.
+//!
+//! **Batching** follows a size-*or-timeout* policy: a batch closes as soon
+//! as `max_batch_size` compatible requests arrived, or when its oldest
+//! member has waited `batch_timeout`. With `batch_timeout: None` batches
+//! close only on size or an explicit [`ServerHandle::flush`] — the
+//! timing-free mode the deterministic offline `serve` path is built on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bishop_core::{BishopSimulator, RunMetrics};
+
+use crate::batch::{config_ops, BatchFormer, BatchKey, Batchable, RequestBatch};
+use crate::cache::{CalibrationCache, ResultCache, ResultKey, WorkloadKey};
+use crate::request::{InferenceRequest, InferenceResponse};
+use crate::server::RuntimeConfig;
+
+/// Configuration of an [`OnlineServer`], wrapping the batch/worker
+/// [`RuntimeConfig`] with the online-only knobs.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Worker pool, queue capacity, batching policy and hardware model.
+    pub runtime: RuntimeConfig,
+    /// Close a partially-filled batch once its oldest member has waited
+    /// this long. `None` disables the timeout: batches close only on size
+    /// or an explicit flush (the deterministic trace-replay mode).
+    pub batch_timeout: Option<Duration>,
+    /// Queue-depth admission cap: [`ServerHandle::try_submit`] sheds when
+    /// this many requests are already admitted but not yet completed. `0`
+    /// sheds everything (useful for overload tests).
+    pub max_pending: usize,
+    /// Calibrated drain rate (estimated dense ops the pool retires per
+    /// wall-clock second) used by deadline admission to predict how long the
+    /// admitted backlog will take to clear.
+    pub drain_ops_per_second: f64,
+    /// Record every executed batch for post-run report assembly. Leave off
+    /// for long-running servers (the record grows without bound).
+    pub record_batches: bool,
+}
+
+impl OnlineConfig {
+    /// Online defaults on top of the given runtime configuration: 2 ms
+    /// batch timeout, 1024 pending requests, no batch recording.
+    pub fn new(runtime: RuntimeConfig) -> Self {
+        Self {
+            runtime,
+            batch_timeout: Some(Duration::from_millis(2)),
+            max_pending: 1024,
+            drain_ops_per_second: 5e9,
+            record_batches: false,
+        }
+    }
+
+    /// Overrides the batch timeout (`None` = close on size/flush only).
+    pub fn with_batch_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.batch_timeout = timeout;
+        self
+    }
+
+    /// Overrides the queue-depth admission cap.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
+    }
+
+    /// Overrides the calibrated drain rate used by deadline admission.
+    pub fn with_drain_rate(mut self, ops_per_second: f64) -> Self {
+        self.drain_ops_per_second = ops_per_second.max(1.0);
+        self
+    }
+
+    /// Enables or disables executed-batch recording.
+    pub fn with_record_batches(mut self, record: bool) -> Self {
+        self.record_batches = record;
+        self
+    }
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self::new(RuntimeConfig::default())
+    }
+}
+
+/// Why a submission was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The admitted-but-uncompleted count reached `max_pending`, or the
+    /// bounded submission channel was full.
+    QueueFull,
+    /// The admitted backlog is predicted to outlast the request's deadline.
+    DeadlineUnmeetable,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull => f.write_str("submission queue full"),
+            Rejection::DeadlineUnmeetable => f.write_str("deadline unmeetable under current load"),
+            Rejection::ShuttingDown => f.write_str("server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Per-reason shed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests shed because the queue (or pending cap) was full.
+    pub queue_full: u64,
+    /// Requests shed because their deadline was unmeetable.
+    pub deadline: u64,
+    /// Requests shed because the server was shutting down.
+    pub shutdown: u64,
+}
+
+impl AdmissionStats {
+    /// Total shed requests across all reasons.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.deadline + self.shutdown
+    }
+}
+
+/// A point-in-time snapshot of an online server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    /// Requests offered to admission control (admitted + shed).
+    pub submitted: u64,
+    /// Requests admitted into the submission queue.
+    pub admitted: u64,
+    /// Requests whose batch finished simulating.
+    pub completed: u64,
+    /// Shed counters, by reason.
+    pub admission: AdmissionStats,
+    /// Batches executed by the worker pool.
+    pub batches_executed: u64,
+    /// Requests admitted but not yet completed.
+    pub queue_depth: usize,
+    /// Estimated dense ops of the admitted-but-uncompleted backlog.
+    pub backlog_ops: u64,
+    /// Total simulated chip-busy cycles.
+    pub total_simulated_cycles: u64,
+    /// Total simulated energy in millijoules.
+    pub total_energy_mj: f64,
+    /// Mean simulated per-request latency in seconds.
+    pub mean_latency_seconds: f64,
+    /// Worst simulated per-request latency in seconds.
+    pub max_latency_seconds: f64,
+}
+
+/// Shared atomic counters behind every [`ServerHandle`] clone.
+#[derive(Debug, Default)]
+struct StatsCells {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    batches_executed: AtomicU64,
+    pending: AtomicUsize,
+    backlog_ops: AtomicU64,
+    total_cycles: AtomicU64,
+    energy_mj_bits: AtomicU64,
+    latency_sum_bits: AtomicU64,
+    latency_max_bits: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// Lock-free `f64 += delta` on an `AtomicU64` holding the value's bits.
+fn add_f64(cell: &AtomicU64, delta: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// Lock-free `f64 = max(f64, value)` on an `AtomicU64` holding the bits.
+fn max_f64(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value > f64::from_bits(current) {
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// A pending claim on one submitted request's response.
+#[derive(Debug)]
+pub struct Ticket {
+    request_id: u64,
+    rx: mpsc::Receiver<InferenceResponse>,
+}
+
+impl Ticket {
+    /// The id of the request this ticket tracks.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Blocks until the response is ready. Returns `None` only if the
+    /// server dropped the request (shutdown mid-flight).
+    pub fn wait(self) -> Option<InferenceResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// Waits up to `timeout` for the response.
+    pub fn wait_for(&self, timeout: Duration) -> Option<InferenceResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Returns the response if it is already available.
+    pub fn try_wait(&self) -> Option<InferenceResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One admitted request travelling through the batcher: the request plus
+/// its completion channel and cached cost estimate.
+#[derive(Debug)]
+struct PendingRequest {
+    request: InferenceRequest,
+    completion: mpsc::Sender<InferenceResponse>,
+    estimated_ops: u64,
+}
+
+impl Batchable for PendingRequest {
+    fn request(&self) -> &InferenceRequest {
+        &self.request
+    }
+}
+
+/// Messages flowing from handles into the batcher thread.
+enum Submission {
+    Request(Box<PendingRequest>),
+    Flush(mpsc::Sender<()>),
+    Shutdown,
+}
+
+/// One executed batch, recorded for post-run report assembly. (Per-request
+/// worker attribution lives on the ticket responses, not here.)
+#[derive(Debug)]
+pub(crate) struct ExecutedBatch {
+    pub(crate) batch: RequestBatch<InferenceRequest>,
+    pub(crate) metrics: Arc<RunMetrics>,
+}
+
+/// A cloneable, thread-safe submission endpoint of an [`OnlineServer`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    tx: mpsc::SyncSender<Submission>,
+    cells: Arc<StatsCells>,
+    max_pending: usize,
+    drain_ops_per_second: f64,
+}
+
+impl ServerHandle {
+    /// Submits a request without a deadline; sheds (never blocks) when the
+    /// queue-depth cap or the bounded channel is full.
+    pub fn try_submit(&self, request: InferenceRequest) -> Result<Ticket, Rejection> {
+        self.submit_inner(request, None, false)
+    }
+
+    /// Submits a request that is only worth serving if it can *start*
+    /// within `deadline`: admission predicts the backlog drain time and
+    /// sheds the request up front when the deadline is unmeetable.
+    pub fn try_submit_with_deadline(
+        &self,
+        request: InferenceRequest,
+        deadline: Duration,
+    ) -> Result<Ticket, Rejection> {
+        self.submit_inner(request, Some(deadline), false)
+    }
+
+    /// Submits a request, *blocking* on a full queue instead of shedding —
+    /// the backpressure mode trace replay (`BishopServer::serve`) uses.
+    /// Queue-depth and deadline admission do not apply; the only possible
+    /// rejection is [`Rejection::ShuttingDown`].
+    pub fn submit_blocking(&self, request: InferenceRequest) -> Result<Ticket, Rejection> {
+        self.submit_inner(request, None, true)
+    }
+
+    fn submit_inner(
+        &self,
+        request: InferenceRequest,
+        deadline: Option<Duration>,
+        block: bool,
+    ) -> Result<Ticket, Rejection> {
+        let cells = &self.cells;
+        cells.submitted.fetch_add(1, Ordering::Relaxed);
+        if cells.shutting_down.load(Ordering::Acquire) {
+            cells.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::ShuttingDown);
+        }
+        if !block {
+            if cells.pending.load(Ordering::Acquire) >= self.max_pending {
+                cells.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::QueueFull);
+            }
+            if let Some(deadline) = deadline {
+                let backlog = cells.backlog_ops.load(Ordering::Acquire) as f64;
+                if backlog / self.drain_ops_per_second > deadline.as_secs_f64() {
+                    cells.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejection::DeadlineUnmeetable);
+                }
+            }
+        }
+
+        let estimated_ops = config_ops(&request.model);
+        let request_id = request.id;
+        let (completion, rx) = mpsc::channel();
+        cells.pending.fetch_add(1, Ordering::AcqRel);
+        cells.backlog_ops.fetch_add(estimated_ops, Ordering::AcqRel);
+        let submission = Submission::Request(Box::new(PendingRequest {
+            request,
+            completion,
+            estimated_ops,
+        }));
+        let outcome = if block {
+            self.tx
+                .send(submission)
+                .map_err(|_| Rejection::ShuttingDown)
+        } else {
+            self.tx.try_send(submission).map_err(|error| match error {
+                mpsc::TrySendError::Full(_) => Rejection::QueueFull,
+                mpsc::TrySendError::Disconnected(_) => Rejection::ShuttingDown,
+            })
+        };
+        match outcome {
+            Ok(()) => {
+                cells.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { request_id, rx })
+            }
+            Err(rejection) => {
+                cells.pending.fetch_sub(1, Ordering::AcqRel);
+                cells.backlog_ops.fetch_sub(estimated_ops, Ordering::AcqRel);
+                match rejection {
+                    Rejection::QueueFull => {
+                        cells.rejected_queue_full.fetch_add(1, Ordering::Relaxed)
+                    }
+                    _ => cells.rejected_shutdown.fetch_add(1, Ordering::Relaxed),
+                };
+                Err(rejection)
+            }
+        }
+    }
+
+    /// Closes every partially-filled batch and waits until the batcher has
+    /// dispatched them. Does not wait for execution — use the tickets.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(Submission::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> OnlineStats {
+        let c = &self.cells;
+        let completed = c.completed.load(Ordering::Acquire);
+        let latency_sum = f64::from_bits(c.latency_sum_bits.load(Ordering::Acquire));
+        OnlineStats {
+            submitted: c.submitted.load(Ordering::Acquire),
+            admitted: c.admitted.load(Ordering::Acquire),
+            completed,
+            admission: AdmissionStats {
+                queue_full: c.rejected_queue_full.load(Ordering::Acquire),
+                deadline: c.rejected_deadline.load(Ordering::Acquire),
+                shutdown: c.rejected_shutdown.load(Ordering::Acquire),
+            },
+            batches_executed: c.batches_executed.load(Ordering::Acquire),
+            queue_depth: c.pending.load(Ordering::Acquire),
+            backlog_ops: c.backlog_ops.load(Ordering::Acquire),
+            total_simulated_cycles: c.total_cycles.load(Ordering::Acquire),
+            total_energy_mj: f64::from_bits(c.energy_mj_bits.load(Ordering::Acquire)),
+            mean_latency_seconds: if completed == 0 {
+                0.0
+            } else {
+                latency_sum / completed as f64
+            },
+            max_latency_seconds: f64::from_bits(c.latency_max_bits.load(Ordering::Acquire)),
+        }
+    }
+}
+
+/// The always-on serving stack: batcher thread + worker pool, fed through
+/// cloneable [`ServerHandle`]s.
+#[derive(Debug)]
+pub struct OnlineServer {
+    handle: ServerHandle,
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    executed: Arc<Mutex<Vec<ExecutedBatch>>>,
+}
+
+impl OnlineServer {
+    /// Starts a server with fresh caches.
+    pub fn start(config: OnlineConfig) -> Self {
+        Self::with_caches(
+            config,
+            Arc::new(CalibrationCache::new()),
+            Arc::new(ResultCache::new()),
+        )
+    }
+
+    /// Starts a server sharing existing calibration/result caches.
+    pub fn with_caches(
+        config: OnlineConfig,
+        cache: Arc<CalibrationCache>,
+        results: Arc<ResultCache>,
+    ) -> Self {
+        let workers = config.runtime.workers;
+        let bundle = config.runtime.hardware.bundle;
+        let simulator = BishopSimulator::new(config.runtime.hardware.clone());
+        let cells = Arc::new(StatsCells::default());
+        let executed = Arc::new(Mutex::new(Vec::new()));
+
+        let (submit_tx, submit_rx) =
+            mpsc::sync_channel::<Submission>(config.runtime.queue_capacity);
+        let mut batch_txs = Vec::with_capacity(workers);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (tx, rx) = mpsc::channel::<RequestBatch<PendingRequest>>();
+            batch_txs.push(tx);
+            worker_handles.push(spawn_worker(
+                index,
+                rx,
+                simulator.clone(),
+                Arc::clone(&cache),
+                Arc::clone(&results),
+                Arc::clone(&cells),
+                config.record_batches.then(|| Arc::clone(&executed)),
+                bundle,
+            ));
+        }
+
+        let batcher = spawn_batcher(
+            submit_rx,
+            batch_txs,
+            config.runtime.batching,
+            config.batch_timeout,
+            bundle,
+        );
+
+        let handle = ServerHandle {
+            tx: submit_tx,
+            cells,
+            max_pending: config.max_pending,
+            drain_ops_per_second: config.drain_ops_per_second.max(1.0),
+        };
+        Self {
+            handle,
+            batcher,
+            workers: worker_handles,
+            executed,
+        }
+    }
+
+    /// A new submission handle; clone freely across threads.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> OnlineStats {
+        self.handle.stats()
+    }
+
+    /// Graceful shutdown: stop admitting, drain already-admitted requests,
+    /// execute their batches, join every thread, and report final stats.
+    pub fn shutdown(self) -> OnlineStats {
+        self.shutdown_with_batches().0
+    }
+
+    /// Shutdown that also returns the recorded executed batches (empty
+    /// unless `record_batches` was set).
+    pub(crate) fn shutdown_with_batches(self) -> (OnlineStats, Vec<ExecutedBatch>) {
+        self.handle
+            .cells
+            .shutting_down
+            .store(true, Ordering::Release);
+        let _ = self.handle.tx.send(Submission::Shutdown);
+        let _ = self.batcher.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let stats = self.handle.stats();
+        let executed = std::mem::take(&mut *self.executed.lock().expect("executed lock"));
+        (stats, executed)
+    }
+}
+
+/// Spawns the batcher thread: drains the submission channel, forms
+/// size-or-timeout batches, and dispatches them least-loaded.
+fn spawn_batcher(
+    submit_rx: mpsc::Receiver<Submission>,
+    batch_txs: Vec<mpsc::Sender<RequestBatch<PendingRequest>>>,
+    policy: crate::batch::BatchPolicy,
+    batch_timeout: Option<Duration>,
+    bundle: bishop_bundle::BundleShape,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let workers = batch_txs.len();
+        let mut former = BatchFormer::<PendingRequest>::new(policy);
+        // Open keys in arrival order of their oldest member, for the
+        // timeout policy. Entries leave when their batch closes.
+        let mut ages: Vec<(Instant, BatchKey)> = Vec::new();
+        let mut load = vec![0u64; workers];
+        let dispatch = |batch: RequestBatch<PendingRequest>, load: &mut [u64]| {
+            let target = (0..workers)
+                .min_by_key(|&w| (load[w], w))
+                .expect("at least one worker");
+            load[target] += batch.estimated_ops(bundle);
+            // A worker hanging up mid-shutdown drops the batch; its tickets
+            // resolve to `None` rather than deadlocking.
+            let _ = batch_txs[target].send(batch);
+        };
+
+        'run: loop {
+            // Wait for the next message, or — with a timeout policy and an
+            // open batch — until the oldest open batch comes due.
+            let message = match (batch_timeout, ages.first()) {
+                (Some(timeout), Some((opened, _))) => {
+                    let due = *opened + timeout;
+                    match due.checked_duration_since(Instant::now()) {
+                        None => None, // already due: close aged batches below
+                        Some(wait) => match submit_rx.recv_timeout(wait) {
+                            Ok(message) => Some(message),
+                            Err(mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break 'run,
+                        },
+                    }
+                }
+                _ => match submit_rx.recv() {
+                    Ok(message) => Some(message),
+                    Err(_) => break 'run,
+                },
+            };
+
+            match message {
+                Some(Submission::Request(pending)) => {
+                    let key = BatchKey::from(pending.request());
+                    let newly_opened = former.pending_count(&key) == 0;
+                    match former.push(*pending) {
+                        Some(batch) => {
+                            ages.retain(|(_, k)| *k != key);
+                            dispatch(batch, &mut load);
+                        }
+                        None if newly_opened => ages.push((Instant::now(), key)),
+                        None => {}
+                    }
+                }
+                Some(Submission::Flush(ack)) => {
+                    for batch in former.flush() {
+                        dispatch(batch, &mut load);
+                    }
+                    ages.clear();
+                    let _ = ack.send(());
+                }
+                Some(Submission::Shutdown) => {
+                    // Drain whatever raced in behind the shutdown marker so
+                    // already-admitted requests still get served.
+                    while let Ok(message) = submit_rx.try_recv() {
+                        match message {
+                            Submission::Request(pending) => {
+                                if let Some(batch) = former.push(*pending) {
+                                    dispatch(batch, &mut load);
+                                }
+                            }
+                            Submission::Flush(ack) => {
+                                let _ = ack.send(());
+                            }
+                            Submission::Shutdown => {}
+                        }
+                    }
+                    break 'run;
+                }
+                None => {
+                    // Timeout tick: close every batch whose oldest member
+                    // has waited past the policy timeout.
+                    let timeout = batch_timeout.expect("timeout tick implies a timeout policy");
+                    let now = Instant::now();
+                    while let Some((opened, _)) = ages.first() {
+                        if *opened + timeout > now {
+                            break;
+                        }
+                        let (_, key) = ages.remove(0);
+                        if let Some(batch) = former.close_key(&key) {
+                            dispatch(batch, &mut load);
+                        }
+                    }
+                }
+            }
+        }
+
+        for batch in former.flush() {
+            dispatch(batch, &mut load);
+        }
+        // Dropping the senders lets every worker drain its queue and exit.
+    })
+}
+
+/// Spawns one worker: a simulated Bishop chip instance executing batches.
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    index: usize,
+    batch_rx: mpsc::Receiver<RequestBatch<PendingRequest>>,
+    simulator: BishopSimulator,
+    cache: Arc<CalibrationCache>,
+    results: Arc<ResultCache>,
+    cells: Arc<StatsCells>,
+    record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
+    bundle: bishop_bundle::BundleShape,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for batch in batch_rx {
+            let options = batch.options();
+            let config = batch.batched_config(bundle);
+            let regime = batch.requests[0].request().regime;
+            let workload_key = WorkloadKey::new(&config, regime, batch.combined_seed());
+            let result_key = ResultKey {
+                workload: workload_key,
+                options,
+            };
+            // Two memoization levels: identical batches reuse the whole
+            // simulated result; batches sharing a workload but not options
+            // reuse the synthesized trace.
+            let metrics = results.get_or_simulate(result_key, || {
+                let workload = cache.get_or_build(&config, regime, batch.combined_seed());
+                simulator.simulate_named(&workload, &options, config.name.clone())
+            });
+            let latency = metrics.total_latency_seconds();
+            let batch_size = batch.len();
+
+            cells.batches_executed.fetch_add(1, Ordering::AcqRel);
+            cells
+                .total_cycles
+                .fetch_add(metrics.total_cycles(), Ordering::AcqRel);
+            add_f64(&cells.energy_mj_bits, metrics.total_energy_mj());
+            add_f64(&cells.latency_sum_bits, latency * batch_size as f64);
+            max_f64(&cells.latency_max_bits, latency);
+
+            if let Some(record) = &record {
+                record.lock().expect("executed lock").push(ExecutedBatch {
+                    batch: RequestBatch {
+                        id: batch.id,
+                        requests: batch.requests.iter().map(|p| p.request.clone()).collect(),
+                    },
+                    metrics: Arc::clone(&metrics),
+                });
+            }
+
+            for pending in batch.requests {
+                let response = InferenceResponse {
+                    request_id: pending.request.id,
+                    batch_id: batch.id,
+                    batch_size,
+                    worker: index,
+                    latency_seconds: latency,
+                    batch_metrics: Arc::clone(&metrics),
+                };
+                cells
+                    .backlog_ops
+                    .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                cells.pending.fetch_sub(1, Ordering::AcqRel);
+                cells.completed.fetch_add(1, Ordering::AcqRel);
+                let _ = pending.completion.send(response);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchPolicy;
+    use crate::request::{default_mixed_models, mixed_trace};
+
+    fn online(policy: BatchPolicy, timeout: Option<Duration>) -> OnlineServer {
+        OnlineServer::start(
+            OnlineConfig::new(RuntimeConfig::new(2, policy)).with_batch_timeout(timeout),
+        )
+    }
+
+    #[test]
+    fn ticket_resolves_with_the_request_id() {
+        let server = online(BatchPolicy::new(4), None);
+        let handle = server.handle();
+        let trace = mixed_trace(&default_mixed_models(), 4, 2, 9);
+        let tickets: Vec<Ticket> = trace
+            .into_iter()
+            .map(|r| handle.try_submit(r).expect("admitted"))
+            .collect();
+        handle.flush();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.request_id(), i as u64);
+            let response = ticket.wait().expect("response delivered");
+            assert_eq!(response.request_id, i as u64);
+            assert!(response.latency_seconds > 0.0);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.admission, AdmissionStats::default());
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.backlog_ops, 0);
+    }
+
+    #[test]
+    fn timeout_closes_partial_batches_without_flush() {
+        let server = online(BatchPolicy::new(64), Some(Duration::from_millis(2)));
+        let handle = server.handle();
+        let trace = mixed_trace(&default_mixed_models(), 2, 1, 3);
+        let tickets: Vec<Ticket> = trace
+            .into_iter()
+            .map(|r| handle.try_submit(r).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait().expect("timeout closed the batch");
+            assert!(response.batch_size < 64);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let server = online(BatchPolicy::new(4), None);
+        let handle = server.handle();
+        server.shutdown();
+        let request = mixed_trace(&default_mixed_models(), 1, 1, 5).pop().unwrap();
+        assert_eq!(
+            handle.try_submit(request).err(),
+            Some(Rejection::ShuttingDown)
+        );
+        assert_eq!(handle.stats().admission.shutdown, 1);
+    }
+
+    #[test]
+    fn f64_cells_accumulate_and_max() {
+        let cell = AtomicU64::new(0);
+        add_f64(&cell, 1.5);
+        add_f64(&cell, 2.25);
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 3.75);
+        let max_cell = AtomicU64::new(0);
+        max_f64(&max_cell, 2.0);
+        max_f64(&max_cell, 1.0);
+        assert_eq!(f64::from_bits(max_cell.load(Ordering::Relaxed)), 2.0);
+    }
+}

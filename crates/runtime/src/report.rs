@@ -20,23 +20,27 @@ pub struct LatencyPercentiles {
 }
 
 impl LatencyPercentiles {
-    /// Computes percentiles from unsorted per-request latencies.
+    /// Computes percentiles from unsorted per-request latencies. An empty
+    /// slice yields the zeroed default report.
     pub fn from_latencies(latencies: &[f64]) -> Self {
-        if latencies.is_empty() {
-            return Self::default();
-        }
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latency"));
+        let Some(&max) = sorted.last() else {
+            return Self::default();
+        };
+        // `max(1)` before `min(len)` instead of `clamp(1, len)`: clamp
+        // panics when `len == 0`, and this helper must stay total even if
+        // the empty guard above is ever bypassed.
         let at = |q: f64| {
             let rank = (q * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
+            sorted[rank.max(1).min(sorted.len()) - 1]
         };
         Self {
             p50: at(0.50),
             p95: at(0.95),
             p99: at(0.99),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            max: sorted[sorted.len() - 1],
+            max,
         }
     }
 }
@@ -189,10 +193,17 @@ mod tests {
         let p = LatencyPercentiles::from_latencies(&[2.0]);
         assert_eq!(p.p50, 2.0);
         assert_eq!(p.p99, 2.0);
-        assert_eq!(
-            LatencyPercentiles::from_latencies(&[]),
-            LatencyPercentiles::default()
-        );
+    }
+
+    #[test]
+    fn empty_latencies_yield_a_zeroed_report_without_panicking() {
+        // Regression: the percentile rank was clamped with
+        // `rank.clamp(1, sorted.len())`, which panics (`min > max`) on an
+        // empty latency set — e.g. a serving run that shed every request.
+        let p = LatencyPercentiles::from_latencies(&[]);
+        assert_eq!(p, LatencyPercentiles::default());
+        assert_eq!(p.p50, 0.0);
+        assert_eq!(p.max, 0.0);
     }
 
     #[test]

@@ -1,31 +1,32 @@
-//! The serving loop: bounded submission queue → batch former → worker pool.
+//! Trace replay on the online serving path.
 //!
 //! ```text
-//!  clients ──► sync_channel(queue_capacity) ──► BatchFormer ──► least-loaded
-//!                    (backpressure)             (timing-free)    dispatch
-//!                                                                   │
-//!                              ┌────────────────────┬───────────────┤
-//!                              ▼                    ▼               ▼
-//!                         worker 0             worker 1  …     worker N-1
-//!                     (BishopSimulator)    (BishopSimulator)  (one chip each)
-//!                              └──────────┬─────────┴───────────────┘
-//!                                         ▼
-//!                                  ThroughputReport
+//!  trace ──► submit_blocking ──► OnlineServer ──► tickets ──► ThroughputReport
+//!            (backpressure)      (batcher +         │
+//!                                 worker pool)      ▼
+//!                                             InferenceResponse
 //! ```
+//!
+//! [`BishopServer::serve`] is a thin deterministic client of the
+//! [`OnlineServer`](crate::online::OnlineServer): it pushes the whole trace
+//! through the bounded submission queue (blocking for backpressure instead
+//! of shedding), disables the batch timeout so batches close purely on
+//! size-or-flush (timing-free), waits on every ticket and assembles the
+//! per-run [`ThroughputReport`].
 //!
 //! Determinism: batch formation depends only on submission order, worker
 //! assignment only on deterministic cost estimates, and each batch's
 //! simulation only on its members — so the report's [`ServingAggregates`]
 //! are identical for any worker count. Only [`WallClockStats`] varies.
 
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bishop_core::{BishopConfig, BishopSimulator, RunMetrics};
+use bishop_core::BishopConfig;
 
-use crate::batch::{BatchFormer, BatchPolicy, RequestBatch};
-use crate::cache::{CalibrationCache, ResultCache, ResultKey, WorkloadKey};
+use crate::batch::BatchPolicy;
+use crate::cache::{CalibrationCache, ResultCache};
+use crate::online::{AdmissionStats, ExecutedBatch, OnlineConfig, OnlineServer, Ticket};
 use crate::report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,
 };
@@ -88,20 +89,16 @@ pub struct ServingOutcome {
     pub responses: Vec<InferenceResponse>,
     /// The run's throughput report.
     pub report: ThroughputReport,
-}
-
-/// One executed batch travelling from a worker back to the collector.
-struct ExecutedBatch {
-    worker: usize,
-    batch: RequestBatch,
-    metrics: Arc<RunMetrics>,
+    /// Requests shed by admission control during the run. Always zero for
+    /// blocking trace replay; the field exists so outcomes assembled from
+    /// online serving account for every submitted request.
+    pub admission: AdmissionStats,
 }
 
 /// The batched multi-core inference server.
 #[derive(Debug)]
 pub struct BishopServer {
     config: RuntimeConfig,
-    simulator: BishopSimulator,
     cache: Arc<CalibrationCache>,
     results: Arc<ResultCache>,
 }
@@ -115,10 +112,8 @@ impl BishopServer {
     /// Creates a server sharing an existing calibration cache (e.g. warmed
     /// by a previous run or shared between servers).
     pub fn with_cache(config: RuntimeConfig, cache: Arc<CalibrationCache>) -> Self {
-        let simulator = BishopSimulator::new(config.hardware.clone());
         Self {
             config,
-            simulator,
             cache,
             results: Arc::new(ResultCache::new()),
         }
@@ -142,129 +137,65 @@ impl BishopServer {
     /// Serves a traffic trace end to end and reports per-request responses
     /// plus the run's [`ThroughputReport`].
     ///
-    /// The trace is pushed through the bounded submission queue by a
-    /// dedicated submitter thread (exercising backpressure), formed into
-    /// batches in submission order, dispatched least-loaded across the
-    /// worker pool, and collected back into responses sorted by request id.
+    /// Implemented on the online submission path: the trace is pushed
+    /// through the bounded submission queue with *blocking* backpressure
+    /// (replay never sheds), batches close purely on size-or-flush (no
+    /// timeout — timing-free, hence deterministic), and the per-ticket
+    /// responses are collected back sorted by request id.
     pub fn serve(&self, trace: Vec<InferenceRequest>) -> ServingOutcome {
         let start = Instant::now();
         let cache_before = self.cache.stats();
         let results_before = self.results.stats();
-        let workers = self.config.workers;
-        let bundle = self.config.hardware.bundle;
 
-        let (submit_tx, submit_rx) =
-            mpsc::sync_channel::<InferenceRequest>(self.config.queue_capacity);
-        let (result_tx, result_rx) = mpsc::channel::<ExecutedBatch>();
-        let mut batch_txs = Vec::with_capacity(workers);
-        let mut batch_rxs = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<RequestBatch>();
-            batch_txs.push(tx);
-            batch_rxs.push(rx);
-        }
-
-        let executed = std::thread::scope(|scope| {
-            // Submitter: pushes the trace through the bounded queue.
-            scope.spawn(move || {
-                for request in trace {
-                    if submit_tx.send(request).is_err() {
-                        break;
-                    }
-                }
-            });
-
-            // Workers: one simulated chip instance each.
-            for (index, batch_rx) in batch_rxs.into_iter().enumerate() {
-                let result_tx = result_tx.clone();
-                let simulator = self.simulator.clone();
-                let cache = Arc::clone(&self.cache);
-                let results = Arc::clone(&self.results);
-                scope.spawn(move || {
-                    for batch in batch_rx {
-                        let options = batch.options();
-                        let config = batch.batched_config(bundle);
-                        let regime = batch.requests[0].regime;
-                        let workload_key = WorkloadKey::new(&config, regime, batch.combined_seed());
-                        let result_key = ResultKey {
-                            workload: workload_key,
-                            options,
-                        };
-                        // Two memoization levels: identical batches reuse the
-                        // whole simulated result; batches sharing a workload
-                        // but not options reuse the synthesized trace.
-                        let metrics = results.get_or_simulate(result_key, || {
-                            let workload =
-                                cache.get_or_build(&config, regime, batch.combined_seed());
-                            simulator.simulate_named(&workload, &options, config.name.clone())
-                        });
-                        let sent = result_tx.send(ExecutedBatch {
-                            worker: index,
-                            batch,
-                            metrics,
-                        });
-                        if sent.is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(result_tx);
-
-            // Batch former + least-loaded dispatcher (this thread).
-            let mut former = BatchFormer::new(self.config.batching);
-            let mut load = vec![0u64; workers];
-            let dispatch = |batch: RequestBatch, load: &mut [u64]| {
-                let target = (0..workers)
-                    .min_by_key(|&w| (load[w], w))
-                    .expect("at least one worker");
-                load[target] += batch.estimated_ops(bundle);
-                batch_txs[target].send(batch).expect("worker alive");
-            };
-            for request in submit_rx {
-                if let Some(batch) = former.push(request) {
-                    dispatch(batch, &mut load);
-                }
-            }
-            for batch in former.flush() {
-                dispatch(batch, &mut load);
-            }
-            drop(batch_txs);
-
-            // Collector: drains until every worker hung up.
-            let mut executed: Vec<ExecutedBatch> = result_rx.iter().collect();
-            executed.sort_by_key(|e| e.batch.id);
-            executed
-        });
+        let online = OnlineServer::with_caches(
+            OnlineConfig::new(self.config.clone())
+                .with_batch_timeout(None)
+                .with_record_batches(true),
+            Arc::clone(&self.cache),
+            Arc::clone(&self.results),
+        );
+        let handle = online.handle();
+        let tickets: Vec<Ticket> = trace
+            .into_iter()
+            .map(|request| {
+                handle
+                    .submit_blocking(request)
+                    .expect("replay server admits until shutdown")
+            })
+            .collect();
+        handle.flush();
+        let responses: Vec<InferenceResponse> = tickets
+            .into_iter()
+            .map(|ticket| ticket.wait().expect("replay server answers every ticket"))
+            .collect();
+        let (stats, mut executed) = online.shutdown_with_batches();
+        // Executed batches arrive in completion order (worker-timing
+        // dependent); sort by formation order so floating-point sums below
+        // are deterministic.
+        executed.sort_by_key(|e| e.batch.id);
 
         let elapsed = start.elapsed().as_secs_f64();
-        self.assemble(executed, elapsed, cache_before, results_before)
+        self.assemble(
+            executed,
+            responses,
+            stats.admission,
+            elapsed,
+            cache_before,
+            results_before,
+        )
     }
 
     fn assemble(
         &self,
         executed: Vec<ExecutedBatch>,
+        mut responses: Vec<InferenceResponse>,
+        admission: AdmissionStats,
         elapsed_seconds: f64,
         cache_before: crate::cache::CacheStats,
         results_before: crate::cache::CacheStats,
     ) -> ServingOutcome {
-        let mut responses = Vec::new();
-        let mut latencies = Vec::new();
-        for e in &executed {
-            let latency = e.metrics.total_latency_seconds();
-            for request in &e.batch.requests {
-                latencies.push(latency);
-                responses.push(InferenceResponse {
-                    request_id: request.id,
-                    batch_id: e.batch.id,
-                    batch_size: e.batch.len(),
-                    worker: e.worker,
-                    latency_seconds: latency,
-                    batch_metrics: Arc::clone(&e.metrics),
-                });
-            }
-        }
         responses.sort_by_key(|r| r.request_id);
+        let latencies: Vec<f64> = responses.iter().map(|r| r.latency_seconds).collect();
 
         let requests = responses.len() as u64;
         let batches = executed.len() as u64;
@@ -303,6 +234,7 @@ impl BishopServer {
         ServingOutcome {
             responses,
             report: ThroughputReport { aggregates, wall },
+            admission,
         }
     }
 }
@@ -329,6 +261,7 @@ mod tests {
         }
         assert_eq!(outcome.report.aggregates.requests, 10);
         assert!(outcome.report.wall.requests_per_second > 0.0);
+        assert_eq!(outcome.admission.total(), 0, "blocking replay never sheds");
     }
 
     #[test]

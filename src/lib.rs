@@ -21,8 +21,12 @@
 //!   evaluation;
 //! * [`runtime`] — the batched multi-core inference serving runtime: bounded
 //!   submission queue, Token-Time-Bundle-aligned dynamic batching, a worker
-//!   pool of simulated chip instances, a memoizing calibration cache, and
-//!   per-run throughput reports;
+//!   pool of simulated chip instances, a memoizing calibration cache, online
+//!   submission with tickets + admission control, and per-run throughput
+//!   reports;
+//! * [`gateway`] — a zero-dependency HTTP/1.1 + JSON gateway over the online
+//!   runtime: `POST /v1/infer`, Prometheus `/metrics`, `/healthz`, load
+//!   shedding with explicit 429/503;
 //! * [`experiments`] — the harness regenerating every table and figure of the
 //!   paper's evaluation.
 //!
@@ -47,6 +51,7 @@ pub use bishop_baseline as baseline;
 pub use bishop_bundle as bundle;
 pub use bishop_core as core;
 pub use bishop_experiments as experiments;
+pub use bishop_gateway as gateway;
 pub use bishop_memsys as memsys;
 pub use bishop_model as model;
 pub use bishop_neuron as neuron;
@@ -62,6 +67,7 @@ pub mod prelude {
         StratifiedWorkload, Stratifier, TrainingRegime, TtbTags,
     };
     pub use bishop_core::{BishopConfig, BishopSimulator, RunMetrics, SimOptions, StratifyPolicy};
+    pub use bishop_gateway::{Gateway, GatewayConfig, ModelCatalog};
     pub use bishop_memsys::{AreaPowerBreakdown, DramModel, EnergyModel, MemoryHierarchy};
     pub use bishop_model::workload::SyntheticTraceSpec;
     pub use bishop_model::{
@@ -70,7 +76,8 @@ pub mod prelude {
     pub use bishop_neuron::{LifConfig, LifNeuron};
     pub use bishop_runtime::{
         BatchPolicy, BishopServer, CalibrationCache, InferenceRequest, InferenceResponse,
-        RuntimeConfig, ServingOutcome, ThroughputReport,
+        OnlineConfig, OnlineServer, RuntimeConfig, ServerHandle, ServingOutcome, ThroughputReport,
+        Ticket,
     };
     pub use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
     pub use bishop_train::{SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig};
