@@ -35,14 +35,16 @@ fn boot(online: OnlineConfig) -> (OnlineServer, Gateway) {
 }
 
 // Replay traffic: every request asks for the same trace seed, the way
-// retried or replayed production requests do. Batches then repeat earlier
-// compositions and the runtime's two memoization levels absorb them, so the
-// loadgen measures the sustainable ceiling of the HTTP + admission +
-// batching path itself rather than cold per-batch simulation cost (the
-// serving bench covers that axis).
-fn infer_bytes(seed: u64) -> Vec<u8> {
+// retried or replayed production requests do. On the simulator engine,
+// batches then repeat earlier compositions and the runtime's two
+// memoization levels absorb them, so the loadgen measures the sustainable
+// ceiling of the HTTP + admission + batching path itself rather than cold
+// per-batch simulation cost (the serving bench covers that axis). On the
+// native engine every batch is a real CPU forward pass — the same wire
+// traffic A/B-measures an execution substrate instead.
+fn infer_bytes_on(engine: &str, seed: u64) -> Vec<u8> {
     let _ = seed;
-    let body = "{\"model\": \"cifar10-serve\", \"seed\": 0}";
+    let body = format!("{{\"model\": \"cifar10-serve\", \"seed\": 0, \"engine\": \"{engine}\"}}");
     format!(
         "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
@@ -82,7 +84,7 @@ fn read_response(stream: &mut TcpStream, buffer: &mut Vec<u8>) -> u16 {
 }
 
 /// One keep-alive client issuing `count` requests; returns (ok, shed).
-fn run_client(addr: SocketAddr, count: usize, base_seed: u64) -> (u64, u64) {
+fn run_client(addr: SocketAddr, engine: &str, count: usize, base_seed: u64) -> (u64, u64) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
@@ -91,7 +93,7 @@ fn run_client(addr: SocketAddr, count: usize, base_seed: u64) -> (u64, u64) {
     let (mut ok, mut shed) = (0u64, 0u64);
     for i in 0..count {
         stream
-            .write_all(&infer_bytes(base_seed + i as u64))
+            .write_all(&infer_bytes_on(engine, base_seed + i as u64))
             .expect("send");
         match read_response(&mut stream, &mut buffer) {
             200 => ok += 1,
@@ -104,11 +106,11 @@ fn run_client(addr: SocketAddr, count: usize, base_seed: u64) -> (u64, u64) {
 
 /// Fans `CLIENTS` keep-alive connections at the gateway; returns
 /// (req/s, ok, shed).
-fn loadgen(addr: SocketAddr) -> (f64, u64, u64) {
+fn loadgen(addr: SocketAddr, engine: &'static str) -> (f64, u64, u64) {
     let start = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
         .map(|client| {
-            std::thread::spawn(move || run_client(addr, REQUESTS_PER_CLIENT, client as u64))
+            std::thread::spawn(move || run_client(addr, engine, REQUESTS_PER_CLIENT, client as u64))
         })
         .collect();
     let (mut ok, mut shed) = (0u64, 0u64);
@@ -143,7 +145,9 @@ fn bench_gateway(c: &mut Criterion) {
     let mut seed = 0u64;
     group.bench_function("http_infer_roundtrip", |b| {
         b.iter(|| {
-            stream.write_all(&infer_bytes(seed)).expect("send");
+            stream
+                .write_all(&infer_bytes_on("simulator", seed))
+                .expect("send");
             seed += 1;
             assert_eq!(read_response(&mut stream, &mut buffer), 200);
         })
@@ -151,20 +155,39 @@ fn bench_gateway(c: &mut Criterion) {
     drop(stream);
     group.finish();
 
-    // Capacity scenario: the acceptance bar is ≥ 1000 req/s, nothing shed.
+    // Capacity scenario on the simulator engine: the acceptance bar is
+    // ≥ 1000 req/s, nothing shed.
     let batches_before = runtime.stats().batches_executed;
-    let (rps, ok, shed) = loadgen(addr);
+    let (sim_rps, ok, shed) = loadgen(addr, "simulator");
     let batches = runtime.stats().batches_executed - batches_before;
     println!(
-        "gateway capacity : {rps:.0} req/s over {CLIENTS} connections \
+        "gateway capacity [engine=simulator] : {sim_rps:.0} req/s over {CLIENTS} connections \
          ({ok} ok, {shed} shed, {batches} batches, mean batch {:.2})",
         ok as f64 / batches.max(1) as f64,
     );
     assert!(
-        rps >= 1000.0,
-        "gateway must sustain >= 1000 req/s end to end, measured {rps:.0}"
+        sim_rps >= 1000.0,
+        "gateway must sustain >= 1000 req/s end to end, measured {sim_rps:.0}"
     );
     assert_eq!(shed, 0, "capacity run must not shed");
+
+    // The same wire traffic on the native engine: every batch is a real
+    // word-parallel CPU forward pass (no result memoization), so this is
+    // the measured execution-substrate A/B the engine API exists for.
+    let batches_before = runtime.stats().batches_executed;
+    let (native_rps, ok, shed) = loadgen(addr, "native");
+    let batches = runtime.stats().batches_executed - batches_before;
+    println!(
+        "gateway capacity [engine=native]    : {native_rps:.0} req/s over {CLIENTS} connections \
+         ({ok} ok, {shed} shed, {batches} batches, mean batch {:.2})",
+        ok as f64 / batches.max(1) as f64,
+    );
+    assert_eq!(shed, 0, "native capacity run must not shed");
+    println!(
+        "gateway engine A/B  : simulator {sim_rps:.0} req/s vs native {native_rps:.0} req/s \
+         ({:.2}x)",
+        sim_rps / native_rps.max(1e-9),
+    );
     gateway.shutdown();
     runtime.shutdown();
 
@@ -175,7 +198,7 @@ fn bench_gateway(c: &mut Criterion) {
             .with_batch_timeout(Some(Duration::from_millis(1)))
             .with_max_pending(2),
     );
-    let (rps, ok, shed) = loadgen(gateway.local_addr());
+    let (rps, ok, shed) = loadgen(gateway.local_addr(), "simulator");
     let total = ok + shed;
     let shed_rate = shed as f64 / total as f64;
     println!(

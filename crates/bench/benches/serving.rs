@@ -32,7 +32,7 @@ fn serve_sequentially(requests: &[InferenceRequest]) -> f64 {
     let simulator = BishopSimulator::new(BishopConfig::default());
     let mut total_latency = 0.0;
     for request in requests {
-        let workload = synthesize(&request.model, request.regime, request.seed);
+        let workload = synthesize(request.model(), request.regime, request.seed);
         let run = simulator.simulate(&workload, &request.options);
         total_latency += run.total_latency_seconds();
     }

@@ -1,0 +1,150 @@
+//! Baseline backends: the paper's comparison accelerators behind the same
+//! [`InferenceEngine`] API, so the serving stack can A/B Bishop against them
+//! on live traffic (the Fig. 12–13 end-to-end comparison, as a service).
+
+use std::sync::Arc;
+
+use bishop_baseline::{EdgeGpuModel, PtbSimulator};
+
+use crate::api::{EngineBatch, EngineDescriptor, EngineOutput, EngineSubstrate, InferenceEngine};
+use crate::cache::CalibrationCache;
+use crate::error::EngineError;
+use crate::{GPU_ENGINE, PTB_ENGINE};
+
+/// Which baseline model backs the engine.
+#[derive(Debug)]
+enum Backend {
+    /// Parallel Time Batching accelerator (HPCA'22), simulated layer by
+    /// layer over the same synthesized workloads Bishop consumes. Boxed:
+    /// the simulator's energy/memory tables dwarf the roofline variant.
+    Ptb(Box<PtbSimulator>, Arc<CalibrationCache>),
+    /// Jetson-Nano-class edge GPU, closed-form roofline over the model
+    /// configuration (no trace needed).
+    EdgeGpu(EdgeGpuModel),
+}
+
+/// [`InferenceEngine`] over one of the `crates/baseline` comparison models.
+///
+/// Neither baseline has an Error-Constrained-TTB-Pruning path (ECP is
+/// Bishop's co-design), so batches requesting ECP fail with the typed
+/// [`EngineError::EcpUnsupported`].
+#[derive(Debug)]
+pub struct BaselineEngine {
+    backend: Backend,
+}
+
+impl BaselineEngine {
+    /// The PTB accelerator baseline, sharing the given workload-synthesis
+    /// cache (PTB consumes the same traces the Bishop simulator does).
+    pub fn ptb(simulator: PtbSimulator, cache: Arc<CalibrationCache>) -> Self {
+        Self {
+            backend: Backend::Ptb(Box::new(simulator), cache),
+        }
+    }
+
+    /// The edge-GPU roofline baseline.
+    pub fn edge_gpu(model: EdgeGpuModel) -> Self {
+        Self {
+            backend: Backend::EdgeGpu(model),
+        }
+    }
+}
+
+impl InferenceEngine for BaselineEngine {
+    fn descriptor(&self) -> EngineDescriptor {
+        match &self.backend {
+            Backend::Ptb(..) => EngineDescriptor {
+                name: PTB_ENGINE,
+                substrate: EngineSubstrate::SimulatedAccelerator,
+                supports_ecp: false,
+                deterministic: true,
+                measures_wall_clock: false,
+                max_folded_timesteps: None,
+                description: "Parallel Time Batching (HPCA'22) homogeneous systolic-array \
+                              baseline over the same synthesized workloads",
+            },
+            Backend::EdgeGpu(_) => EngineDescriptor {
+                name: GPU_ENGINE,
+                substrate: EngineSubstrate::AnalyticModel,
+                supports_ecp: false,
+                deterministic: true,
+                measures_wall_clock: false,
+                max_folded_timesteps: None,
+                description: "Jetson-Nano-class edge-GPU roofline baseline (dense FP16, \
+                              per-timestep launch overhead)",
+            },
+        }
+    }
+
+    fn execute(&self, batch: &EngineBatch) -> Result<EngineOutput, EngineError> {
+        self.descriptor().check(batch)?;
+        match &self.backend {
+            Backend::Ptb(simulator, cache) => {
+                let workload = cache.get_or_build(&batch.config, batch.regime, batch.seed);
+                let metrics = Arc::new(simulator.simulate(&workload));
+                Ok(EngineOutput::from_metrics(PTB_ENGINE, metrics))
+            }
+            Backend::EdgeGpu(model) => {
+                let run = model.simulate(&batch.config);
+                Ok(EngineOutput {
+                    engine: GPU_ENGINE,
+                    latency_seconds: run.latency_seconds,
+                    energy_mj: run.energy_mj,
+                    // The roofline has no cycle notion; express its busy
+                    // time on the nominal GPU clock for cross-engine parity.
+                    cycles: (run.latency_seconds * 921.6e6) as u64,
+                    metrics: None,
+                    wall_seconds: None,
+                    prediction: None,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_baseline::PtbConfig;
+    use bishop_bundle::TrainingRegime;
+    use bishop_core::SimOptions;
+    use bishop_model::{DatasetKind, ModelConfig};
+
+    fn batch(options: SimOptions) -> EngineBatch {
+        EngineBatch {
+            config: ModelConfig::new("baseline-engine", DatasetKind::Cifar10, 1, 4, 16, 32, 2),
+            regime: TrainingRegime::Bsa,
+            seed: 5,
+            options,
+            batch_size: 1,
+        }
+    }
+
+    #[test]
+    fn ptb_executes_and_reports_layer_metrics() {
+        let engine = BaselineEngine::ptb(
+            PtbSimulator::new(PtbConfig::default()),
+            Arc::new(CalibrationCache::new()),
+        );
+        let output = engine.execute(&batch(SimOptions::baseline())).unwrap();
+        assert_eq!(output.engine, "ptb");
+        assert!(output.latency_seconds > 0.0);
+        assert!(output.metrics.is_some());
+        assert_eq!(
+            engine.execute(&batch(SimOptions::with_ecp(4))),
+            Err(EngineError::EcpUnsupported { engine: "ptb" })
+        );
+    }
+
+    #[test]
+    fn gpu_roofline_is_deterministic_without_metrics() {
+        let engine = BaselineEngine::edge_gpu(EdgeGpuModel::jetson_nano());
+        let a = engine.execute(&batch(SimOptions::baseline())).unwrap();
+        let b = engine.execute(&batch(SimOptions::baseline())).unwrap();
+        assert_eq!(a, b);
+        assert!(a.latency_seconds > 0.0);
+        assert!(a.energy_mj > 0.0);
+        assert!(a.cycles > 0);
+        assert!(a.metrics.is_none());
+    }
+}

@@ -125,15 +125,18 @@ struct OnceMapState<K, V> {
 /// lookups of a key under construction block until it is ready and count as
 /// hits. When the number of completed entries exceeds `capacity`, the oldest
 /// completed entry is evicted (in-flight builds are never evicted).
+///
+/// Crate-visible so other engines (e.g. the native backend's weight cache)
+/// can reuse the build-once semantics without re-deriving them.
 #[derive(Debug)]
-struct OnceMap<K, V> {
+pub(crate) struct OnceMap<K, V> {
     state: Mutex<OnceMapState<K, V>>,
     ready: Condvar,
     capacity: usize,
 }
 
 impl<K: Eq + Hash + Clone, V> OnceMap<K, V> {
-    fn with_capacity(capacity: usize) -> Self {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
         Self {
             state: Mutex::new(OnceMapState {
                 entries: HashMap::new(),
@@ -146,7 +149,7 @@ impl<K: Eq + Hash + Clone, V> OnceMap<K, V> {
         }
     }
 
-    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+    pub(crate) fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
         {
             let mut state = self.state.lock().expect("cache lock");
             loop {
@@ -192,7 +195,7 @@ impl<K: Eq + Hash + Clone, V> OnceMap<K, V> {
         value
     }
 
-    fn stats(&self) -> CacheStats {
+    pub(crate) fn stats(&self) -> CacheStats {
         let state = self.state.lock().expect("cache lock");
         CacheStats {
             hits: state.hits,

@@ -1,0 +1,147 @@
+//! The servable-model catalog.
+//!
+//! A [`CatalogEntry`] is the unit the whole request path shares: the gateway
+//! resolves the client's `"model"` string to one, the runtime's
+//! `InferenceRequest` carries it as an `Arc` (one allocation per entry for
+//! the lifetime of the catalog — never a per-request `ModelConfig` clone),
+//! and batch keys compare entries by content so identical models coalesce.
+
+use std::sync::Arc;
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::SimOptions;
+use bishop_model::{DatasetKind, ModelConfig};
+
+/// One servable model: the name clients submit plus the defaults requests
+/// inherit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CatalogEntry {
+    /// The name clients reference in `"model"`.
+    pub name: String,
+    /// Full architecture configuration.
+    pub config: ModelConfig,
+    /// Default calibrated training regime.
+    pub regime: TrainingRegime,
+    /// Default simulation options.
+    pub options: SimOptions,
+}
+
+impl CatalogEntry {
+    /// Builds an entry named after its configuration.
+    pub fn new(config: ModelConfig, regime: TrainingRegime, options: SimOptions) -> Arc<Self> {
+        Arc::new(Self {
+            name: config.name.clone(),
+            config,
+            regime,
+            options,
+        })
+    }
+}
+
+/// The set of models a serving stack offers.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCatalog {
+    entries: Vec<Arc<CatalogEntry>>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default serving catalog: the paper's two headline image models at
+    /// serving scale — CIFAR-10 under BSA without pruning, ImageNet-100
+    /// under BSA with ECP (θp = 6).
+    pub fn serving_default() -> Self {
+        let cifar = ModelConfig::new("cifar10-serve", DatasetKind::Cifar10, 2, 4, 64, 128, 4);
+        let imagenet = ModelConfig::new(
+            "imagenet100-serve",
+            DatasetKind::ImageNet100,
+            2,
+            4,
+            64,
+            128,
+            4,
+        );
+        Self::new()
+            .with_entry(CatalogEntry::new(
+                cifar,
+                TrainingRegime::Bsa,
+                SimOptions::baseline(),
+            ))
+            .with_entry(CatalogEntry::new(
+                imagenet,
+                TrainingRegime::Bsa,
+                SimOptions::with_ecp(6),
+            ))
+    }
+
+    /// Adds (or replaces, by name) an entry.
+    pub fn with_entry(mut self, entry: Arc<CatalogEntry>) -> Self {
+        self.entries.retain(|e| e.name != entry.name);
+        self.entries.push(entry);
+        self
+    }
+
+    /// Adds (or replaces) a model built from its parts.
+    pub fn with_model(
+        self,
+        name: impl Into<String>,
+        config: ModelConfig,
+        regime: TrainingRegime,
+        options: SimOptions,
+    ) -> Self {
+        self.with_entry(Arc::new(CatalogEntry {
+            name: name.into(),
+            config,
+            regime,
+            options,
+        }))
+    }
+
+    /// Looks up a model by name; the returned `Arc` is what requests carry.
+    pub fn get(&self, name: &str) -> Option<&Arc<CatalogEntry>> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The catalogued entries, in registration order.
+    pub fn entries(&self) -> &[Arc<CatalogEntry>] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_default_lists_both_image_models() {
+        let catalog = ModelCatalog::serving_default();
+        assert_eq!(catalog.entries().len(), 2);
+        let imagenet = catalog.get("imagenet100-serve").expect("catalogued");
+        assert_eq!(imagenet.options, SimOptions::with_ecp(6));
+        assert_eq!(imagenet.config.dataset, DatasetKind::ImageNet100);
+        assert!(catalog.get("nope").is_none());
+    }
+
+    #[test]
+    fn with_entry_replaces_by_name() {
+        let catalog = ModelCatalog::serving_default().with_model(
+            "cifar10-serve",
+            ModelConfig::new("cifar10-serve", DatasetKind::Cifar10, 1, 2, 8, 16, 2),
+            TrainingRegime::Baseline,
+            SimOptions::baseline(),
+        );
+        assert_eq!(catalog.entries().len(), 2);
+        assert_eq!(catalog.get("cifar10-serve").unwrap().config.blocks, 1);
+    }
+
+    #[test]
+    fn lookups_share_the_entry_allocation() {
+        let catalog = ModelCatalog::serving_default();
+        let a = Arc::clone(catalog.get("cifar10-serve").unwrap());
+        let b = Arc::clone(catalog.get("cifar10-serve").unwrap());
+        assert!(Arc::ptr_eq(&a, &b), "no per-lookup cloning");
+    }
+}

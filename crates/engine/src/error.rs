@@ -1,0 +1,88 @@
+//! Typed execution errors.
+//!
+//! Engines fail with a closed enum instead of ad-hoc strings so callers can
+//! branch on the cause and the gateway can publish stable machine-readable
+//! error codes ([`EngineError::code`]).
+
+use std::fmt;
+
+/// Why an engine refused (or failed) to execute a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The engine has no Error-Constrained-TTB-Pruning path, but the batch
+    /// options request ECP.
+    EcpUnsupported {
+        /// The refusing engine.
+        engine: &'static str,
+    },
+    /// The batch's folded timestep axis exceeds the engine's capacity.
+    BatchTooLarge {
+        /// The refusing engine.
+        engine: &'static str,
+        /// Folded timesteps of the offending batch.
+        folded_timesteps: usize,
+        /// The engine's declared limit.
+        limit: usize,
+    },
+}
+
+impl EngineError {
+    /// The engine the error originated from.
+    pub fn engine(&self) -> &'static str {
+        match self {
+            EngineError::EcpUnsupported { engine } | EngineError::BatchTooLarge { engine, .. } => {
+                engine
+            }
+        }
+    }
+
+    /// A stable machine-readable code for wire protocols. These strings are
+    /// API: clients branch on them, so variants keep their code forever.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::EcpUnsupported { .. } => "ecp_unsupported",
+            EngineError::BatchTooLarge { .. } => "batch_too_large",
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EcpUnsupported { engine } => {
+                write!(f, "engine \"{engine}\" does not support ECP pruning options")
+            }
+            EngineError::BatchTooLarge {
+                engine,
+                folded_timesteps,
+                limit,
+            } => write!(
+                f,
+                "engine \"{engine}\" caps batches at {limit} folded timesteps, got {folded_timesteps}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_accessors_are_stable() {
+        let ecp = EngineError::EcpUnsupported { engine: "native" };
+        assert_eq!(ecp.code(), "ecp_unsupported");
+        assert_eq!(ecp.engine(), "native");
+        assert!(ecp.to_string().contains("native"));
+
+        let big = EngineError::BatchTooLarge {
+            engine: "native",
+            folded_timesteps: 99,
+            limit: 8,
+        };
+        assert_eq!(big.code(), "batch_too_large");
+        assert!(big.to_string().contains("99"));
+    }
+}

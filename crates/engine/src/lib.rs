@@ -1,0 +1,83 @@
+//! # bishop-engine
+//!
+//! The **pluggable inference-engine layer** of the Bishop serving stack: one
+//! [`InferenceEngine`] trait between the batching runtime above and the
+//! execution substrates below, so the same spiking-transformer traffic can
+//! be mapped onto heterogeneous backends — the paper's core premise, turned
+//! into an API.
+//!
+//! Backends shipped here:
+//!
+//! * [`SimulatorEngine`] (`"simulator"`, the default) — the cycle-level
+//!   Bishop accelerator simulator with two-level result/workload
+//!   memoization; deterministic, ECP-capable.
+//! * [`NativeEngine`] (`"native"`) — the functional spiking transformer
+//!   executed **for real** on the host CPU via the word-parallel popcount
+//!   kernels, reporting measured wall-clock and a real class prediction.
+//! * [`BaselineEngine`] (`"ptb"`, `"gpu"`) — the paper's comparison models
+//!   (the PTB accelerator and a Jetson-class edge-GPU roofline) for A/B
+//!   serving against Bishop.
+//!
+//! Engines advertise capabilities through an [`EngineDescriptor`] and fail
+//! with the typed [`EngineError`] enum (stable machine-readable codes via
+//! [`EngineError::code`]); an [`EngineRegistry`] resolves the [`EngineName`]
+//! a request carries to a backend. The [`ModelCatalog`] of servable
+//! [`CatalogEntry`]s lives here too, so requests throughout the stack share
+//! `Arc<CatalogEntry>` handles instead of cloning model configurations.
+//!
+//! ```
+//! use bishop_engine::{EngineBatch, EngineRegistry, CalibrationCache, ResultCache};
+//! use bishop_core::{BishopConfig, SimOptions};
+//! use bishop_bundle::TrainingRegime;
+//! use bishop_model::{DatasetKind, ModelConfig};
+//! use std::sync::Arc;
+//!
+//! let registry = EngineRegistry::serving_default(
+//!     &BishopConfig::default(),
+//!     Arc::new(CalibrationCache::new()),
+//!     Arc::new(ResultCache::new()),
+//! );
+//! let batch = EngineBatch {
+//!     config: ModelConfig::new("demo", DatasetKind::Cifar10, 1, 4, 16, 32, 2),
+//!     regime: TrainingRegime::Bsa,
+//!     seed: 7,
+//!     options: SimOptions::baseline(),
+//!     batch_size: 1,
+//! };
+//! for engine in registry.engines() {
+//!     let output = engine.execute(&batch).expect("baseline options run everywhere");
+//!     assert!(output.latency_seconds > 0.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod baseline;
+pub mod cache;
+pub mod catalog;
+pub mod error;
+pub mod native;
+pub mod registry;
+pub mod simulator;
+
+pub use api::{
+    EngineBatch, EngineDescriptor, EngineName, EngineOutput, EngineSubstrate, InferenceEngine,
+};
+pub use baseline::BaselineEngine;
+pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
+pub use catalog::{CatalogEntry, ModelCatalog};
+pub use error::EngineError;
+pub use native::{NativeEngine, NativeEngineConfig};
+pub use registry::EngineRegistry;
+pub use simulator::SimulatorEngine;
+
+/// Name of the default cycle-level Bishop simulator backend.
+pub const SIMULATOR_ENGINE: &str = "simulator";
+/// Name of the host-CPU functional-execution backend.
+pub const NATIVE_ENGINE: &str = "native";
+/// Name of the PTB baseline-accelerator backend.
+pub const PTB_ENGINE: &str = "ptb";
+/// Name of the edge-GPU roofline backend.
+pub const GPU_ENGINE: &str = "gpu";

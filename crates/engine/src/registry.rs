@@ -1,0 +1,134 @@
+//! The engine registry: the set of backends a serving stack exposes.
+
+use std::sync::Arc;
+
+use bishop_baseline::{EdgeGpuModel, PtbConfig, PtbSimulator};
+use bishop_core::{BishopConfig, BishopSimulator};
+
+use crate::api::{EngineDescriptor, InferenceEngine};
+use crate::baseline::BaselineEngine;
+use crate::cache::{CalibrationCache, ResultCache};
+use crate::native::NativeEngine;
+use crate::simulator::SimulatorEngine;
+
+/// An ordered, name-addressed set of [`InferenceEngine`]s.
+///
+/// The first registered engine is the default (what requests that name no
+/// engine run on). Registration replaces by name, so stacks can override a
+/// stock backend with a custom one.
+#[derive(Debug, Clone, Default)]
+pub struct EngineRegistry {
+    engines: Vec<Arc<dyn InferenceEngine>>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full serving set over shared caches: `simulator` (default),
+    /// `native`, `ptb` and `gpu`.
+    pub fn serving_default(
+        hardware: &BishopConfig,
+        cache: Arc<CalibrationCache>,
+        results: Arc<ResultCache>,
+    ) -> Self {
+        Self::new()
+            .with_engine(Arc::new(SimulatorEngine::with_caches(
+                BishopSimulator::new(hardware.clone()),
+                Arc::clone(&cache),
+                results,
+            )))
+            .with_engine(Arc::new(NativeEngine::new()))
+            .with_engine(Arc::new(BaselineEngine::ptb(
+                PtbSimulator::new(PtbConfig::default()),
+                cache,
+            )))
+            .with_engine(Arc::new(BaselineEngine::edge_gpu(
+                EdgeGpuModel::jetson_nano(),
+            )))
+    }
+
+    /// Adds (or replaces, by descriptor name) an engine. Replacement is
+    /// in-place: overriding a stock backend keeps its position — in
+    /// particular, overriding the first-registered engine keeps it the
+    /// default.
+    pub fn with_engine(mut self, engine: Arc<dyn InferenceEngine>) -> Self {
+        let name = engine.descriptor().name;
+        match self
+            .engines
+            .iter()
+            .position(|e| e.descriptor().name == name)
+        {
+            Some(slot) => self.engines[slot] = engine,
+            None => self.engines.push(engine),
+        }
+        self
+    }
+
+    /// Resolves an engine by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn InferenceEngine>> {
+        self.engines.iter().find(|e| e.descriptor().name == name)
+    }
+
+    /// The default engine (first registered), if any.
+    pub fn default_engine(&self) -> Option<&Arc<dyn InferenceEngine>> {
+        self.engines.first()
+    }
+
+    /// The registered engines, in registration order.
+    pub fn engines(&self) -> &[Arc<dyn InferenceEngine>] {
+        &self.engines
+    }
+
+    /// Capability metadata of every registered engine, in order.
+    pub fn descriptors(&self) -> Vec<EngineDescriptor> {
+        self.engines.iter().map(|e| e.descriptor()).collect()
+    }
+
+    /// The registered engine names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.descriptor().name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> EngineRegistry {
+        EngineRegistry::serving_default(
+            &BishopConfig::default(),
+            Arc::new(CalibrationCache::new()),
+            Arc::new(ResultCache::new()),
+        )
+    }
+
+    #[test]
+    fn serving_default_registers_all_backends() {
+        let registry = registry();
+        assert_eq!(registry.names(), vec!["simulator", "native", "ptb", "gpu"]);
+        assert_eq!(
+            registry.default_engine().unwrap().descriptor().name,
+            "simulator"
+        );
+        assert!(registry.get("native").is_some());
+        assert!(registry.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn with_engine_replaces_in_place() {
+        let registry = registry();
+        let replacement = Arc::new(NativeEngine::new());
+        let registry = registry.with_engine(replacement);
+        assert_eq!(registry.engines().len(), 4);
+        // Replacement keeps the slot: order (and therefore the default
+        // engine) is unchanged when overriding a stock backend.
+        assert_eq!(registry.names(), vec!["simulator", "native", "ptb", "gpu"]);
+        assert_eq!(
+            registry.default_engine().unwrap().descriptor().name,
+            "simulator"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Engine-conformance suite: one shared set of backend-contract checks,
+//! executed against **every** engine the default registry registers
+//! (`simulator`, `native`, `ptb`, `gpu`). A new backend added to the
+//! registry is automatically held to the same contract.
+//!
+//! The contract under test is the one `InferenceEngine`'s rustdoc states:
+//! descriptor/`check` agreement with `execute`, finite non-negative
+//! headline scalars, determinism for engines declaring it, thread safety,
+//! and typed (never stringly, never panicking) refusals.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::{BishopConfig, SimOptions};
+use bishop_engine::{
+    CalibrationCache, EngineBatch, EngineError, EngineRegistry, InferenceEngine, ResultCache,
+};
+use bishop_model::{DatasetKind, ModelConfig};
+
+fn registry() -> EngineRegistry {
+    EngineRegistry::serving_default(
+        &BishopConfig::default(),
+        Arc::new(CalibrationCache::new()),
+        Arc::new(ResultCache::new()),
+    )
+}
+
+fn batch(seed: u64, options: SimOptions) -> EngineBatch {
+    EngineBatch {
+        config: ModelConfig::new("conformance", DatasetKind::Cifar10, 1, 8, 16, 32, 2),
+        regime: TrainingRegime::Bsa,
+        seed,
+        options,
+        batch_size: 2,
+    }
+}
+
+/// Runs `check` once per registered engine, labelling failures by name.
+fn for_each_engine(check: impl Fn(&str, &Arc<dyn InferenceEngine>)) {
+    let registry = registry();
+    assert!(
+        registry.engines().len() >= 3,
+        "the default registry must ship at least the three tentpole backends"
+    );
+    for engine in registry.engines() {
+        check(engine.descriptor().name, engine);
+    }
+}
+
+#[test]
+fn descriptors_are_unique_and_self_consistent() {
+    let registry = registry();
+    let mut names = HashSet::new();
+    for engine in registry.engines() {
+        let d = engine.descriptor();
+        assert!(names.insert(d.name), "duplicate engine name {}", d.name);
+        assert!(!d.description.is_empty());
+        // The descriptor is constant across calls.
+        assert_eq!(engine.descriptor(), d);
+        // The registry resolves the name back to this engine.
+        assert!(registry.get(d.name).is_some());
+    }
+}
+
+#[test]
+fn baseline_options_execute_everywhere_with_finite_outputs() {
+    for_each_engine(|name, engine| {
+        let output = engine
+            .execute(&batch(11, SimOptions::baseline()))
+            .unwrap_or_else(|e| panic!("{name}: baseline batch must execute, got {e}"));
+        assert_eq!(output.engine, name, "{name}: output names its engine");
+        assert!(
+            output.latency_seconds.is_finite() && output.latency_seconds > 0.0,
+            "{name}: latency {}",
+            output.latency_seconds
+        );
+        assert!(
+            output.energy_mj.is_finite() && output.energy_mj > 0.0,
+            "{name}: energy {}",
+            output.energy_mj
+        );
+        assert!(output.cycles > 0, "{name}: cycles");
+        if engine.descriptor().measures_wall_clock {
+            assert!(output.wall_seconds.is_some(), "{name}: wall clock promised");
+        }
+    });
+}
+
+#[test]
+fn execute_agrees_with_descriptor_check() {
+    // For every engine and every probe batch: `check` Ok ⇒ `execute` Ok,
+    // and `check` Err(e) ⇒ `execute` fails with exactly `e`.
+    let probes = [
+        batch(1, SimOptions::baseline()),
+        batch(1, SimOptions::with_ecp(6)),
+        EngineBatch {
+            config: ModelConfig::new("fold-heavy", DatasetKind::Cifar10, 1, 2048, 8, 16, 2),
+            regime: TrainingRegime::Bsa,
+            seed: 1,
+            options: SimOptions::baseline(),
+            batch_size: 256,
+        },
+    ];
+    for_each_engine(|name, engine| {
+        for probe in &probes {
+            match engine.descriptor().check(probe) {
+                Ok(()) => {
+                    assert!(
+                        engine.execute(probe).is_ok(),
+                        "{name}: check passed but execute refused"
+                    );
+                }
+                Err(expected) => {
+                    let got = engine
+                        .execute(probe)
+                        .expect_err("check predicted a refusal");
+                    assert_eq!(got, expected, "{name}: refusal mismatch");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn deterministic_engines_reproduce_headline_scalars() {
+    for_each_engine(|name, engine| {
+        if !engine.descriptor().deterministic {
+            return;
+        }
+        let a = engine.execute(&batch(23, SimOptions::baseline())).unwrap();
+        let b = engine.execute(&batch(23, SimOptions::baseline())).unwrap();
+        assert_eq!(a.latency_seconds, b.latency_seconds, "{name}");
+        assert_eq!(a.energy_mj, b.energy_mj, "{name}");
+        assert_eq!(a.cycles, b.cycles, "{name}");
+        // A different seed must not be trivially identical for engines that
+        // consume the trace (the GPU roofline is config-only and exempt).
+        if engine.descriptor().name != "gpu" {
+            let c = engine.execute(&batch(24, SimOptions::baseline())).unwrap();
+            assert_ne!(a.cycles, c.cycles, "{name}: seed-insensitive output");
+        }
+    });
+}
+
+#[test]
+fn refusals_are_typed_with_stable_codes() {
+    for_each_engine(|name, engine| {
+        let d = engine.descriptor();
+        if d.supports_ecp {
+            return;
+        }
+        let error = engine
+            .execute(&batch(1, SimOptions::with_ecp(6)))
+            .expect_err("ECP-incapable engine must refuse");
+        assert_eq!(
+            error,
+            EngineError::EcpUnsupported { engine: d.name },
+            "{name}"
+        );
+        assert_eq!(error.code(), "ecp_unsupported", "{name}");
+        assert_eq!(error.engine(), d.name, "{name}");
+    });
+}
+
+#[test]
+fn concurrent_execution_is_safe_and_consistent() {
+    for_each_engine(|name, engine| {
+        let outputs: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let engine = Arc::clone(engine);
+                    scope.spawn(move || engine.execute(&batch(31, SimOptions::baseline())))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread").expect("executes"))
+                .collect()
+        });
+        if engine.descriptor().deterministic {
+            for pair in outputs.windows(2) {
+                assert_eq!(pair[0], pair[1], "{name}: racy output");
+            }
+        }
+    });
+}

@@ -1,122 +1,66 @@
-//! The inference API: model catalog, request decoding and response encoding.
+//! The inference API: model catalog, engine listing, request decoding and
+//! response encoding.
 //!
-//! `POST /v1/infer` accepts a JSON document naming a catalogued model:
+//! `POST /v1/infer` accepts a JSON document naming a catalogued model and,
+//! optionally, an execution engine:
 //!
 //! ```json
-//! {"model": "cifar10-serve", "seed": 7, "regime": "bsa",
-//!  "ecp_threshold": 6, "deadline_ms": 50}
+//! {"model": "cifar10-serve", "engine": "native", "seed": 7,
+//!  "regime": "bsa", "ecp_threshold": null, "deadline_ms": 50}
 //! ```
 //!
-//! Only `model` is required. `regime` and `ecp_threshold` override the
-//! catalog entry's defaults; `deadline_ms` opts the request into deadline
-//! admission (shed up front when the backlog would outlast the deadline).
+//! Only `model` is required. `engine` selects the execution backend (see
+//! `GET /v1/engines`; default `simulator`); `regime` and `ecp_threshold`
+//! override the catalog entry's defaults; `deadline_ms` opts the request
+//! into deadline admission (shed up front when the backlog would outlast
+//! the deadline).
+//!
+//! Errors are machine-readable: every non-2xx body is
+//! `{"error": {"code": "<stable_code>", "message": "<human text>"}}`.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use bishop_bundle::TrainingRegime;
 use bishop_core::SimOptions;
-use bishop_model::ModelConfig;
-use bishop_runtime::{default_mixed_models, InferenceRequest, InferenceResponse};
+use bishop_engine::{EngineName, EngineRegistry};
+use bishop_runtime::{InferenceRequest, InferenceResponse};
 
 use crate::json::Json;
 
-/// One servable model: a name clients submit, plus the defaults requests
-/// inherit.
-#[derive(Debug, Clone)]
-pub struct CatalogEntry {
-    /// The name clients reference in `"model"`.
-    pub name: String,
-    /// Full architecture configuration.
-    pub config: ModelConfig,
-    /// Default calibrated training regime.
-    pub regime: TrainingRegime,
-    /// Default simulation options.
-    pub options: SimOptions,
+pub use bishop_engine::{CatalogEntry, ModelCatalog};
+
+/// A wire-level request failure: a stable machine-readable `code` plus a
+/// human-readable message safe to echo back to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Stable error code (API: clients branch on it).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// HTTP status the error maps to (`400` for malformed/unknown inputs,
+    /// `422` for well-formed requests the chosen engine cannot execute).
+    pub status: u16,
 }
 
-/// The set of models the gateway serves.
-#[derive(Debug, Clone, Default)]
-pub struct ModelCatalog {
-    entries: Vec<CatalogEntry>,
-}
-
-impl ModelCatalog {
-    /// An empty catalog.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// The default serving catalog: the runtime's mixed CIFAR-10 /
-    /// ImageNet-100 serving models.
-    pub fn serving_default() -> Self {
-        let mut catalog = Self::new();
-        for (config, regime, options) in default_mixed_models() {
-            catalog = catalog.with_entry(config.name.clone(), config, regime, options);
+impl ApiError {
+    /// Builds a `400 Bad Request` error.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            status: 400,
         }
-        catalog
     }
 
-    /// Adds (or replaces) a model under `name`.
-    pub fn with_entry(
-        mut self,
-        name: impl Into<String>,
-        config: ModelConfig,
-        regime: TrainingRegime,
-        options: SimOptions,
-    ) -> Self {
-        let name = name.into();
-        self.entries.retain(|e| e.name != name);
-        self.entries.push(CatalogEntry {
-            name,
-            config,
-            regime,
-            options,
-        });
-        self
-    }
-
-    /// Looks up a model by name.
-    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
-        self.entries.iter().find(|e| e.name == name)
-    }
-
-    /// The catalogued entries, in registration order.
-    pub fn entries(&self) -> &[CatalogEntry] {
-        &self.entries
-    }
-
-    /// Encodes the catalog for `GET /v1/models`.
-    pub fn to_json(&self) -> Json {
-        Json::Array(
-            self.entries
-                .iter()
-                .map(|e| {
-                    Json::object(vec![
-                        ("name", Json::string(&e.name)),
-                        ("dataset", Json::string(format!("{}", e.config.dataset))),
-                        ("blocks", Json::from_u64(e.config.blocks as u64)),
-                        ("timesteps", Json::from_u64(e.config.timesteps as u64)),
-                        ("tokens", Json::from_u64(e.config.tokens as u64)),
-                        ("features", Json::from_u64(e.config.features as u64)),
-                        ("regime", Json::string(regime_name(e.regime))),
-                        (
-                            "ecp_threshold",
-                            match e.options.ecp_threshold {
-                                Some(t) => Json::from_u64(t as u64),
-                                None => Json::Null,
-                            },
-                        ),
-                    ])
-                })
-                .collect(),
-        )
-    }
-}
-
-fn regime_name(regime: TrainingRegime) -> &'static str {
-    match regime {
-        TrainingRegime::Baseline => "baseline",
-        TrainingRegime::Bsa => "bsa",
+    /// Builds a `422 Unprocessable` error: syntactically valid, but the
+    /// requested engine cannot execute the resolved request profile.
+    pub fn unprocessable(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            status: 422,
+        }
     }
 }
 
@@ -130,34 +74,71 @@ pub struct InferSubmission {
     pub deadline: Option<Duration>,
 }
 
-/// Decodes a `/v1/infer` JSON body into a runtime request. The error string
-/// is safe to echo back in a `400` response.
+/// Decodes a `/v1/infer` JSON body into a runtime request, resolving the
+/// model against `catalog` and the (optional) engine against `engines`.
 pub fn decode_infer(
     body: &Json,
     catalog: &ModelCatalog,
+    engines: &EngineRegistry,
     request_id: u64,
-) -> Result<InferSubmission, String> {
+) -> Result<InferSubmission, ApiError> {
     let model_name = body
         .get("model")
         .and_then(Json::as_str)
-        .ok_or_else(|| "missing required string field \"model\"".to_string())?;
+        .ok_or_else(|| ApiError::new("bad_request", "missing required string field \"model\""))?;
     let entry = catalog.get(model_name).ok_or_else(|| {
         let known: Vec<&str> = catalog.entries().iter().map(|e| e.name.as_str()).collect();
-        format!("unknown model \"{model_name}\" (catalog: {known:?})")
+        ApiError::new(
+            "unknown_model",
+            format!("unknown model \"{model_name}\" (catalog: {known:?})"),
+        )
     })?;
+
+    let descriptor = match body.get("engine") {
+        // Engine-less requests run on the registry's default (the first
+        // registered engine), not a hardcoded name — a custom registry
+        // without a "simulator" entry still serves them.
+        None => engines
+            .default_engine()
+            .ok_or_else(|| ApiError::new("no_engines", "no execution engines are registered"))?
+            .descriptor(),
+        Some(value) => {
+            let name = value
+                .as_str()
+                .ok_or_else(|| ApiError::new("bad_request", "\"engine\" must be a string"))?;
+            engines
+                .get(name)
+                .ok_or_else(|| {
+                    ApiError::new(
+                        "unknown_engine",
+                        format!(
+                            "unknown engine \"{name}\" (registered: {:?})",
+                            engines.names()
+                        ),
+                    )
+                })?
+                .descriptor()
+        }
+    };
+    let engine = EngineName::new(descriptor.name);
 
     let seed = match body.get("seed") {
         None => 0,
-        Some(value) => value
-            .as_u64()
-            .ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?,
+        Some(value) => value.as_u64().ok_or_else(|| {
+            ApiError::new("bad_request", "\"seed\" must be a non-negative integer")
+        })?,
     };
 
     let regime = match body.get("regime").map(|v| (v, v.as_str())) {
         None => entry.regime,
         Some((_, Some("baseline"))) => TrainingRegime::Baseline,
         Some((_, Some("bsa"))) => TrainingRegime::Bsa,
-        Some(_) => return Err("\"regime\" must be \"baseline\" or \"bsa\"".to_string()),
+        Some(_) => {
+            return Err(ApiError::new(
+                "bad_request",
+                "\"regime\" must be \"baseline\" or \"bsa\"",
+            ))
+        }
     };
 
     let options = match body.get("ecp_threshold") {
@@ -167,7 +148,12 @@ pub fn decode_infer(
             let threshold = value
                 .as_u64()
                 .filter(|&t| t <= u32::MAX as u64)
-                .ok_or_else(|| "\"ecp_threshold\" must be a non-negative integer".to_string())?;
+                .ok_or_else(|| {
+                    ApiError::new(
+                        "bad_request",
+                        "\"ecp_threshold\" must be a non-negative integer",
+                    )
+                })?;
             SimOptions::with_ecp(threshold as u32)
         }
     };
@@ -175,94 +161,308 @@ pub fn decode_infer(
     let deadline = match body.get("deadline_ms") {
         None => None,
         Some(value) => Some(Duration::from_millis(value.as_u64().ok_or_else(|| {
-            "\"deadline_ms\" must be a non-negative integer".to_string()
+            ApiError::new(
+                "bad_request",
+                "\"deadline_ms\" must be a non-negative integer",
+            )
         })?)),
     };
 
-    let request =
-        InferenceRequest::new(request_id, entry.config.clone(), regime, seed).with_options(options);
+    // Capability preflight: any refusal knowable from the request profile
+    // alone — ECP on a non-ECP engine, or a model whose own timestep count
+    // already exceeds the engine's fold limit — is rejected here, before
+    // the request consumes a queue slot, a batcher pass and a worker
+    // dispatch. (The batcher caps coalescing at the fold limit, so the
+    // only worker-side refusals left are bundle-padding edge cases.)
+    if !descriptor.supports_options(&options) {
+        return Err(ApiError::unprocessable(
+            "ecp_unsupported",
+            format!(
+                "engine \"{}\" does not support ECP pruning options \
+                 (set \"ecp_threshold\": null or pick an engine from /v1/models)",
+                descriptor.name
+            ),
+        ));
+    }
+    if let Some(limit) = descriptor.max_folded_timesteps {
+        if entry.config.timesteps > limit {
+            return Err(ApiError::unprocessable(
+                "batch_too_large",
+                format!(
+                    "model \"{}\" spans {} timesteps, above engine \"{}\"'s \
+                     {limit}-folded-timestep capacity",
+                    entry.name, entry.config.timesteps, descriptor.name
+                ),
+            ));
+        }
+    }
+
+    let request = InferenceRequest::new(request_id, Arc::clone(entry), seed)
+        .with_regime(regime)
+        .with_options(options)
+        .with_engine(engine);
     Ok(InferSubmission { request, deadline })
 }
 
 /// Encodes a runtime response for the `/v1/infer` reply body.
 pub fn encode_response(response: &InferenceResponse) -> Json {
-    Json::object(vec![
+    let mut fields = vec![
         ("request_id", Json::from_u64(response.request_id)),
+        ("engine", Json::string(response.engine())),
         ("batch_id", Json::from_u64(response.batch_id)),
         ("batch_size", Json::from_u64(response.batch_size as u64)),
         ("worker", Json::from_u64(response.worker as u64)),
         ("latency_seconds", Json::Number(response.latency_seconds)),
         ("energy_mj", Json::Number(response.energy_share_mj())),
-        (
-            "simulated_cycles",
-            Json::from_u64(response.batch_metrics.total_cycles()),
-        ),
-    ])
+        ("cycles", Json::from_u64(response.output.cycles)),
+    ];
+    if let Some(wall) = response.output.wall_seconds {
+        fields.push(("wall_seconds", Json::Number(wall)));
+    }
+    // Named for what it is: the forward pass ran once for the whole batch
+    // (folded config, combined seed), so the prediction describes the batch
+    // the request rode in, not the request alone.
+    if let Some(prediction) = response.output.prediction {
+        fields.push(("batch_prediction", Json::from_u64(prediction as u64)));
+    }
+    Json::object(fields)
 }
 
-/// Encodes an error body: `{"error": "..."}`.
-pub fn error_body(message: &str) -> Json {
-    Json::object(vec![("error", Json::string(message))])
+/// Encodes the catalog for `GET /v1/models`, including which registered
+/// engines support each entry's default options.
+pub fn models_json(catalog: &ModelCatalog, engines: &EngineRegistry) -> Json {
+    Json::Array(
+        catalog
+            .entries()
+            .iter()
+            .map(|e| {
+                let supported: Vec<Json> = engines
+                    .descriptors()
+                    .iter()
+                    .filter(|d| d.supports_model(&e.config, &e.options))
+                    .map(|d| Json::string(d.name))
+                    .collect();
+                Json::object(vec![
+                    ("name", Json::string(&e.name)),
+                    ("dataset", Json::string(format!("{}", e.config.dataset))),
+                    ("blocks", Json::from_u64(e.config.blocks as u64)),
+                    ("timesteps", Json::from_u64(e.config.timesteps as u64)),
+                    ("tokens", Json::from_u64(e.config.tokens as u64)),
+                    ("features", Json::from_u64(e.config.features as u64)),
+                    ("regime", Json::string(regime_name(e.regime))),
+                    (
+                        "ecp_threshold",
+                        match e.options.ecp_threshold {
+                            Some(t) => Json::from_u64(t as u64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("engines", Json::Array(supported)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encodes the engine registry for `GET /v1/engines`: each backend's name
+/// and capability descriptor, in registration (default-first) order.
+pub fn engines_json(engines: &EngineRegistry) -> Json {
+    Json::Array(
+        engines
+            .descriptors()
+            .iter()
+            .map(|d| {
+                Json::object(vec![
+                    ("name", Json::string(d.name)),
+                    ("substrate", Json::string(d.substrate.label())),
+                    ("supports_ecp", Json::Bool(d.supports_ecp)),
+                    ("deterministic", Json::Bool(d.deterministic)),
+                    ("measures_wall_clock", Json::Bool(d.measures_wall_clock)),
+                    (
+                        "max_folded_timesteps",
+                        match d.max_folded_timesteps {
+                            Some(t) => Json::from_u64(t as u64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("description", Json::string(d.description)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn regime_name(regime: TrainingRegime) -> &'static str {
+    match regime {
+        TrainingRegime::Baseline => "baseline",
+        TrainingRegime::Bsa => "bsa",
+    }
+}
+
+/// Encodes an error body: `{"error": {"code": ..., "message": ...}}`.
+pub fn error_body(code: &str, message: &str) -> Json {
+    Json::object(vec![(
+        "error",
+        Json::object(vec![
+            ("code", Json::string(code)),
+            ("message", Json::string(message)),
+        ]),
+    )])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bishop_core::BishopConfig;
+    use bishop_engine::{CalibrationCache, ResultCache};
+
+    fn registry() -> EngineRegistry {
+        EngineRegistry::serving_default(
+            &BishopConfig::default(),
+            Arc::new(CalibrationCache::new()),
+            Arc::new(ResultCache::new()),
+        )
+    }
 
     #[test]
     fn decodes_a_minimal_submission_with_catalog_defaults() {
         let catalog = ModelCatalog::serving_default();
         let body = Json::parse(r#"{"model": "imagenet100-serve"}"#).unwrap();
-        let submission = decode_infer(&body, &catalog, 41).unwrap();
+        let submission = decode_infer(&body, &catalog, &registry(), 41).unwrap();
         assert_eq!(submission.request.id, 41);
         assert_eq!(submission.request.seed, 0);
         assert_eq!(submission.request.regime, TrainingRegime::Bsa);
         assert_eq!(submission.request.options, SimOptions::with_ecp(6));
+        assert_eq!(submission.request.engine, EngineName::simulator());
         assert!(submission.deadline.is_none());
+        // The request shares the catalog's entry allocation.
+        let catalogued = catalog.get("imagenet100-serve").unwrap();
+        assert!(Arc::ptr_eq(&submission.request.entry, catalogued));
     }
 
     #[test]
-    fn decodes_overrides_and_deadline() {
+    fn decodes_overrides_engine_and_deadline() {
         let catalog = ModelCatalog::serving_default();
         let body = Json::parse(
-            r#"{"model": "cifar10-serve", "seed": 9, "regime": "baseline",
-                "ecp_threshold": 4, "deadline_ms": 25}"#,
+            r#"{"model": "cifar10-serve", "engine": "native", "seed": 9,
+                "regime": "baseline", "ecp_threshold": null, "deadline_ms": 25}"#,
         )
         .unwrap();
-        let submission = decode_infer(&body, &catalog, 1).unwrap();
+        let submission = decode_infer(&body, &catalog, &registry(), 1).unwrap();
         assert_eq!(submission.request.seed, 9);
         assert_eq!(submission.request.regime, TrainingRegime::Baseline);
-        assert_eq!(submission.request.options, SimOptions::with_ecp(4));
+        assert_eq!(submission.request.options, SimOptions::baseline());
+        assert_eq!(submission.request.engine, EngineName::native());
         assert_eq!(submission.deadline, Some(Duration::from_millis(25)));
     }
 
     #[test]
-    fn rejects_unknown_models_and_bad_fields() {
+    fn rejects_unknown_models_engines_and_bad_fields() {
         let catalog = ModelCatalog::serving_default();
-        for (body, needle) in [
-            (r#"{}"#, "missing required"),
-            (r#"{"model": "nope"}"#, "unknown model"),
-            (r#"{"model": 3}"#, "missing required"),
-            (r#"{"model": "cifar10-serve", "seed": -1}"#, "seed"),
-            (r#"{"model": "cifar10-serve", "regime": "x"}"#, "regime"),
+        let engines = registry();
+        for (body, code, needle) in [
+            (r#"{}"#, "bad_request", "missing required"),
+            (r#"{"model": "nope"}"#, "unknown_model", "unknown model"),
+            (r#"{"model": 3}"#, "bad_request", "missing required"),
+            (
+                r#"{"model": "cifar10-serve", "engine": "tpu"}"#,
+                "unknown_engine",
+                "unknown engine",
+            ),
+            (
+                r#"{"model": "cifar10-serve", "engine": 4}"#,
+                "bad_request",
+                "engine",
+            ),
+            (
+                r#"{"model": "cifar10-serve", "seed": -1}"#,
+                "bad_request",
+                "seed",
+            ),
+            (
+                r#"{"model": "cifar10-serve", "regime": "x"}"#,
+                "bad_request",
+                "regime",
+            ),
             (
                 r#"{"model": "cifar10-serve", "ecp_threshold": 1.5}"#,
+                "bad_request",
                 "ecp_threshold",
             ),
             (
                 r#"{"model": "cifar10-serve", "deadline_ms": "soon"}"#,
+                "bad_request",
                 "deadline_ms",
             ),
         ] {
             let json = Json::parse(body).unwrap();
-            let error = decode_infer(&json, &catalog, 0).unwrap_err();
-            assert!(error.contains(needle), "{body} -> {error}");
+            let error = decode_infer(&json, &catalog, &engines, 0).unwrap_err();
+            assert_eq!(error.code, code, "{body}");
+            assert!(error.message.contains(needle), "{body} -> {error:?}");
         }
     }
 
     #[test]
-    fn catalog_json_lists_models() {
-        let json = ModelCatalog::serving_default().to_json();
+    fn capability_preflight_rejects_unexecutable_profiles_at_decode() {
+        let catalog = ModelCatalog::serving_default();
+        let engines = registry();
+        // ECP-default model on a non-ECP engine: refused at decode (422,
+        // stable code) instead of after admission and worker dispatch.
+        let body = Json::parse(r#"{"model": "imagenet100-serve", "engine": "native"}"#).unwrap();
+        let error = decode_infer(&body, &catalog, &engines, 0).unwrap_err();
+        assert_eq!(error.code, "ecp_unsupported");
+        assert_eq!(error.status, 422);
+        // Disabling ECP makes the same profile executable.
+        let body = Json::parse(
+            r#"{"model": "imagenet100-serve", "engine": "native", "ecp_threshold": null}"#,
+        )
+        .unwrap();
+        assert!(decode_infer(&body, &catalog, &engines, 0).is_ok());
+
+        // A model whose own timestep count exceeds the engine's fold limit
+        // can never execute there, batched or alone: refused at decode.
+        let catalog = catalog.with_model(
+            "marathon",
+            bishop_model::ModelConfig::new(
+                "marathon",
+                bishop_model::DatasetKind::Cifar10,
+                1,
+                2048,
+                4,
+                16,
+                2,
+            ),
+            TrainingRegime::Bsa,
+            SimOptions::baseline(),
+        );
+        let body = Json::parse(r#"{"model": "marathon", "engine": "native"}"#).unwrap();
+        let error = decode_infer(&body, &catalog, &engines, 0).unwrap_err();
+        assert_eq!(error.code, "batch_too_large");
+        assert_eq!(error.status, 422);
+        // The unbounded simulator still takes it.
+        let body = Json::parse(r#"{"model": "marathon"}"#).unwrap();
+        assert!(decode_infer(&body, &catalog, &engines, 0).is_ok());
+    }
+
+    #[test]
+    fn engineless_requests_resolve_the_registry_default() {
+        let catalog = ModelCatalog::serving_default();
+        // A custom registry whose default (first registered) engine is not
+        // "simulator": engine-less requests must land on it, not on a
+        // hardcoded name the registry does not hold.
+        let engines = EngineRegistry::new()
+            .with_engine(std::sync::Arc::new(bishop_engine::NativeEngine::new()));
+        let body = Json::parse(r#"{"model": "cifar10-serve"}"#).unwrap();
+        let submission = decode_infer(&body, &catalog, &engines, 0).unwrap();
+        assert_eq!(submission.request.engine.as_str(), "native");
+        // An empty registry is a typed failure, not a panic.
+        let error = decode_infer(&body, &catalog, &EngineRegistry::new(), 0).unwrap_err();
+        assert_eq!(error.code, "no_engines");
+    }
+
+    #[test]
+    fn catalog_json_lists_models_with_engine_support() {
+        let json = models_json(&ModelCatalog::serving_default(), &registry());
         let Json::Array(models) = &json else {
             panic!("expected array")
         };
@@ -270,6 +470,82 @@ mod tests {
         assert_eq!(
             models[0].get("name").and_then(Json::as_str),
             Some("cifar10-serve")
+        );
+        // The non-ECP entry is supported everywhere; the ECP entry only by
+        // the Bishop simulator.
+        let engines_of = |m: &Json| match m.get("engines") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect::<Vec<_>>(),
+            _ => panic!("expected engines array"),
+        };
+        assert_eq!(
+            engines_of(&models[0]),
+            ["simulator", "native", "ptb", "gpu"]
+        );
+        assert_eq!(engines_of(&models[1]), ["simulator"]);
+
+        // A model over the native fold limit drops out of native's support
+        // list — /v1/models never advertises an engine the preflight would
+        // then refuse.
+        let catalog = ModelCatalog::serving_default().with_model(
+            "marathon",
+            bishop_model::ModelConfig::new(
+                "marathon",
+                bishop_model::DatasetKind::Cifar10,
+                1,
+                2048,
+                4,
+                16,
+                2,
+            ),
+            TrainingRegime::Bsa,
+            SimOptions::baseline(),
+        );
+        let json = models_json(&catalog, &registry());
+        let Json::Array(models) = &json else {
+            panic!("expected array")
+        };
+        assert_eq!(engines_of(&models[2]), ["simulator", "ptb", "gpu"]);
+    }
+
+    #[test]
+    fn engines_json_publishes_descriptors() {
+        let json = engines_json(&registry());
+        let Json::Array(engines) = &json else {
+            panic!("expected array")
+        };
+        assert_eq!(engines.len(), 4);
+        assert_eq!(
+            engines[0].get("name").and_then(Json::as_str),
+            Some("simulator")
+        );
+        assert_eq!(
+            engines[0].get("supports_ecp").and_then(Json::as_bool),
+            Some(true)
+        );
+        let native = &engines[1];
+        assert_eq!(native.get("name").and_then(Json::as_str), Some("native"));
+        assert_eq!(
+            native.get("measures_wall_clock").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            native.get("substrate").and_then(Json::as_str),
+            Some("host_cpu")
+        );
+    }
+
+    #[test]
+    fn error_body_nests_code_and_message() {
+        let body = error_body("queue_full", "submission queue full");
+        let error = body.get("error").expect("error object");
+        assert_eq!(error.get("code").and_then(Json::as_str), Some("queue_full"));
+        assert_eq!(
+            error.get("message").and_then(Json::as_str),
+            Some("submission queue full")
         );
     }
 }

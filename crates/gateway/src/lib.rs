@@ -14,13 +14,21 @@
 //!
 //! Endpoints:
 //!
-//! * `POST /v1/infer` — submit one inference request; the connection thread
-//!   parks on the runtime [`Ticket`](bishop_runtime::Ticket) until the
-//!   Token-Time-Bundle-aligned batch it rode in is simulated. Overload is
-//!   shed with `429` (queue full / deadline unmeetable), never a hang.
-//! * `GET /v1/models` — the servable model catalog.
+//! * `POST /v1/infer` — submit one inference request, optionally naming the
+//!   execution `"engine"`; the connection thread parks on the runtime
+//!   [`Ticket`](bishop_runtime::Ticket) until the Token-Time-Bundle-aligned
+//!   batch it rode in is executed. Overload is shed with `429` (queue full /
+//!   deadline unmeetable), never a hang; engine refusals are `422` with the
+//!   engine's stable error code.
+//! * `GET /v1/models` — the servable model catalog, with per-entry engine
+//!   support.
+//! * `GET /v1/engines` — the registered execution backends and their
+//!   capability descriptors.
 //! * `GET /metrics` — gateway + runtime counters, Prometheus text format.
 //! * `GET /healthz` — liveness (`503` once draining).
+//!
+//! Every non-2xx body is machine-readable:
+//! `{"error": {"code": "<stable_code>", "message": "..."}}`.
 //!
 //! ```
 //! use bishop_gateway::{Gateway, GatewayConfig};
@@ -58,7 +66,7 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 
-pub use api::{CatalogEntry, InferSubmission, ModelCatalog};
+pub use api::{ApiError, CatalogEntry, InferSubmission, ModelCatalog};
 pub use http::{Limits, Request, RequestReader, Response};
 pub use json::{Json, JsonError};
 pub use metrics::GatewayMetrics;

@@ -136,8 +136,13 @@ impl GatewayMetrics {
         );
         runtime_counter(
             "bishop_runtime_requests_completed_total",
-            "Requests whose batch finished simulating.",
+            "Requests whose batch executed successfully.",
             runtime.completed as f64,
+        );
+        runtime_counter(
+            "bishop_runtime_requests_failed_total",
+            "Requests whose engine refused the batch (typed ServeError).",
+            runtime.failed as f64,
         );
         runtime_counter(
             "bishop_runtime_batches_executed_total",

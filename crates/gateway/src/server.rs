@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use bishop_runtime::{Rejection, ServerHandle};
 
-use crate::api::{decode_infer, encode_response, error_body, ModelCatalog};
+use crate::api::{
+    decode_infer, encode_response, engines_json, error_body, models_json, ModelCatalog,
+};
 use crate::http::{Limits, ParseError, Request, RequestReader, Response};
 use crate::json::Json;
 use crate::metrics::GatewayMetrics;
@@ -178,8 +180,11 @@ impl Gateway {
 
 /// Turns away a connection over the concurrency cap with `503`.
 fn reject_connection(mut stream: TcpStream, metrics: &GatewayMetrics) {
-    let response = Response::json(503, &error_body("connection limit reached"))
-        .with_header("Retry-After", "1");
+    let response = Response::json(
+        503,
+        &error_body("connection_limit", "connection limit reached"),
+    )
+    .with_header("Retry-After", "1");
     metrics.response(503);
     if response.write_to(&mut stream, false).is_ok() {
         drain_before_close(&stream);
@@ -239,16 +244,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 // routine and must not inflate the error counter.
                 if let Some(status) = error.status() {
                     shared.metrics.parse_error();
-                    let message = match &error {
-                        ParseError::BadRequest(m) => m.as_str(),
-                        ParseError::HeadTooLarge => "request head too large",
-                        ParseError::BodyTooLarge => "request body too large",
-                        ParseError::Unsupported(m) => m.as_str(),
-                        ParseError::BadVersion => "unsupported HTTP version",
-                        ParseError::Timeout { .. } => "timed out reading request",
-                        _ => "request aborted",
+                    let (code, message) = match &error {
+                        ParseError::BadRequest(m) => ("bad_request", m.as_str()),
+                        ParseError::HeadTooLarge => ("head_too_large", "request head too large"),
+                        ParseError::BodyTooLarge => ("body_too_large", "request body too large"),
+                        ParseError::Unsupported(m) => ("unsupported", m.as_str()),
+                        ParseError::BadVersion => ("http_version", "unsupported HTTP version"),
+                        ParseError::Timeout { .. } => ("timeout", "timed out reading request"),
+                        _ => ("aborted", "request aborted"),
                     };
-                    let response = Response::json(status, &error_body(message));
+                    let response = Response::json(status, &error_body(code, message));
                     shared.metrics.response(status);
                     if response.write_to(&mut writer, false).is_ok() {
                         // The failed request's remaining bytes were never
@@ -267,7 +272,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path()) {
         ("POST", "/v1/infer") => infer(request, shared),
-        ("GET", "/v1/models") => Response::json(200, &shared.catalog.to_json()),
+        ("GET", "/v1/models") => {
+            Response::json(200, &models_json(&shared.catalog, shared.runtime.engines()))
+        }
+        ("GET", "/v1/engines") => Response::json(200, &engines_json(shared.runtime.engines())),
         ("GET", "/metrics") => Response::text(
             200,
             "text/plain; version=0.0.4",
@@ -290,30 +298,34 @@ fn route(request: &Request, shared: &Shared) -> Response {
             )
         }
         (_, "/v1/infer") => method_not_allowed("POST"),
-        (_, "/v1/models" | "/metrics" | "/healthz") => method_not_allowed("GET"),
-        _ => Response::json(404, &error_body("no such endpoint")),
+        (_, "/v1/models" | "/v1/engines" | "/metrics" | "/healthz") => method_not_allowed("GET"),
+        _ => Response::json(404, &error_body("not_found", "no such endpoint")),
     }
 }
 
 fn method_not_allowed(allow: &str) -> Response {
-    Response::json(405, &error_body("method not allowed")).with_header("Allow", allow)
+    Response::json(405, &error_body("method_not_allowed", "method not allowed"))
+        .with_header("Allow", allow)
 }
 
 /// `POST /v1/infer`: decode, admit, wait for the ticket, encode.
 fn infer(request: &Request, shared: &Shared) -> Response {
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return Response::json(400, &error_body("body is not UTF-8")),
+        Err(_) => return Response::json(400, &error_body("bad_request", "body is not UTF-8")),
     };
     let json = match Json::parse(body) {
         Ok(json) => json,
-        Err(error) => return Response::json(400, &error_body(&error.to_string())),
+        Err(error) => return Response::json(400, &error_body("bad_request", &error.to_string())),
     };
     let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
-    let submission = match decode_infer(&json, &shared.catalog, request_id) {
-        Ok(submission) => submission,
-        Err(message) => return Response::json(400, &error_body(&message)),
-    };
+    let submission =
+        match decode_infer(&json, &shared.catalog, shared.runtime.engines(), request_id) {
+            Ok(submission) => submission,
+            Err(error) => {
+                return Response::json(error.status, &error_body(error.code, &error.message))
+            }
+        };
 
     let admitted = match submission.deadline {
         Some(deadline) => shared
@@ -323,12 +335,21 @@ fn infer(request: &Request, shared: &Shared) -> Response {
     };
     match admitted {
         Ok(ticket) => match ticket.wait() {
-            Some(response) => Response::json(200, &encode_response(&response)),
-            None => Response::json(503, &error_body("server shut down mid-request")),
+            Some(Ok(response)) => Response::json(200, &encode_response(&response)),
+            // An engine refusal is the client's request profile, not server
+            // load: 422 with the engine's stable code.
+            Some(Err(error)) => Response::json(422, &error_body(error.code(), &error.to_string())),
+            None => Response::json(
+                503,
+                &error_body("shutting_down", "server shut down mid-request"),
+            ),
         },
         Err(rejection @ (Rejection::QueueFull | Rejection::DeadlineUnmeetable)) => {
-            Response::json(429, &error_body(&rejection.to_string())).with_header("Retry-After", "1")
+            Response::json(429, &error_body(rejection.code(), &rejection.to_string()))
+                .with_header("Retry-After", "1")
         }
-        Err(rejection) => Response::json(503, &error_body(&rejection.to_string())),
+        Err(rejection) => {
+            Response::json(503, &error_body(rejection.code(), &rejection.to_string()))
+        }
     }
 }

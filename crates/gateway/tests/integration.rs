@@ -165,6 +165,130 @@ fn concurrent_keep_alive_clients_all_get_responses() {
 }
 
 #[test]
+fn engines_endpoint_lists_backends_and_requests_select_them() {
+    let stack = Stack::default();
+    let addr = stack.addr();
+
+    // GET /v1/engines publishes every registered backend's descriptor.
+    let (status, reply) = raw_roundtrip(
+        addr,
+        b"GET /v1/engines HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{reply}");
+    for needle in [
+        "\"simulator\"",
+        "\"native\"",
+        "\"ptb\"",
+        "\"gpu\"",
+        "\"supports_ecp\"",
+        "\"deterministic\"",
+        "\"measures_wall_clock\"",
+        "\"host_cpu\"",
+    ] {
+        assert!(reply.contains(needle), "missing {needle} in {reply}");
+    }
+
+    // /v1/models reports per-entry engine support: the ECP-default entry is
+    // simulator-only, the baseline-options entry runs everywhere.
+    let (status, models) = raw_roundtrip(
+        addr,
+        b"GET /v1/models HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(models.contains("\"engines\":[\"simulator\",\"native\",\"ptb\",\"gpu\"]"));
+    assert!(models.contains("\"engines\":[\"simulator\"]"));
+
+    // An inference naming the native engine really executes on the CPU:
+    // the response carries the engine name, a measured wall-clock and a
+    // real prediction.
+    let body = r#"{"model": "cifar10-serve", "seed": 3, "engine": "native"}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"engine\":\"native\""), "{reply}");
+    assert!(reply.contains("\"wall_seconds\""), "{reply}");
+    assert!(reply.contains("\"batch_prediction\""), "{reply}");
+
+    // The same model on the baseline engines answers too (A/B serving).
+    for engine in ["ptb", "gpu"] {
+        let body =
+            format!("{{\"model\": \"cifar10-serve\", \"seed\": 3, \"engine\": \"{engine}\"}}");
+        let raw = format!(
+            "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+        assert_eq!(status, 200, "{reply}");
+        assert!(
+            reply.contains(&format!("\"engine\":\"{engine}\"")),
+            "{reply}"
+        );
+    }
+
+    let stats = stack.finish();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn engine_refusals_and_unknown_engines_get_machine_readable_codes() {
+    let stack = Stack::default();
+    let addr = stack.addr();
+
+    // Unknown engine: rejected at decode with a stable code, 400.
+    let body = r#"{"model": "cifar10-serve", "engine": "tpu"}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 400, "{reply}");
+    assert!(reply.contains("\"code\":\"unknown_engine\""), "{reply}");
+
+    // The ImageNet entry defaults to ECP; the native engine has no ECP
+    // path. The capability preflight rejects the request at decode time —
+    // 422 with the engine's stable code, before it ever consumes a queue
+    // slot or a worker dispatch.
+    let body = r#"{"model": "imagenet100-serve", "engine": "native"}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 422, "{reply}");
+    assert!(reply.contains("\"code\":\"ecp_unsupported\""), "{reply}");
+
+    // Overriding ECP off routes the same model through natively.
+    let body = r#"{"model": "imagenet100-serve", "engine": "native", "ecp_threshold": null}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 200, "{reply}");
+
+    // Every error body is the nested machine-readable shape.
+    let (status, reply) = raw_roundtrip(addr, b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 404);
+    assert!(
+        reply.contains("\"error\":{\"code\":\"not_found\""),
+        "{reply}"
+    );
+
+    let stats = stack.finish();
+    // The preflighted refusal never reached the runtime: only the
+    // ECP-disabled retry was admitted and served. (Batch-dependent
+    // refusals that must pass the worker are covered by the runtime's
+    // engine-error tests.)
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
 fn malformed_requests_get_400_and_correct_statuses() {
     let stack = Stack::default();
     let addr = stack.addr();

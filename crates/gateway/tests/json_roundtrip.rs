@@ -1,0 +1,199 @@
+//! Property tests for the gateway's hand-rolled JSON codec: randomized
+//! encode→decode round-trips over the full value space, plus directed
+//! depth-limit and surrogate-pair edge cases.
+
+use bishop_gateway::Json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one arbitrary JSON value. `depth` bounds recursion; `size`
+/// bounds container fan-out so cases stay fast.
+fn arbitrary_json(rng: &mut StdRng, depth: usize) -> Json {
+    let choice = if depth == 0 {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..6)
+    };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => {
+            // Mix integers (exact) and dyadic fractions (exact in both f64
+            // and decimal) so equality after re-parsing is well-defined.
+            if rng.gen_bool(0.5) {
+                Json::Number(rng.gen_range(-1_000_000i64..1_000_000) as f64)
+            } else {
+                Json::Number(rng.gen_range(-1_000_000i64..1_000_000) as f64 / 64.0)
+            }
+        }
+        3 => Json::String(arbitrary_string(rng)),
+        4 => Json::Array(
+            (0..rng.gen_range(0..5))
+                .map(|_| arbitrary_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Object(
+            (0..rng.gen_range(0..5))
+                .map(|i| {
+                    (
+                        format!("{}{i}", arbitrary_string(rng)),
+                        arbitrary_json(rng, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Strings exercising escapes, control characters, non-ASCII and astral
+/// (surrogate-pair-encoded) scalars.
+fn arbitrary_string(rng: &mut StdRng) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{8}',
+        '\u{c}',
+        '\u{1}',
+        '\u{1f}',
+        'é',
+        'ß',
+        '“',
+        '€',
+        '美',
+        '\u{10000}',
+        '😀',
+        '𝔘',
+        '\u{10FFFF}',
+    ];
+    (0..rng.gen_range(0..12))
+        .map(|_| POOL[rng.gen_range(0..POOL.len())])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_then_parse_round_trips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = arbitrary_json(&mut rng, 4);
+        let encoded = value.encode();
+        let reparsed = Json::parse(&encoded)
+            .unwrap_or_else(|e| panic!("own encoding must parse: {e} in {encoded:?}"));
+        prop_assert_eq!(&reparsed, &value);
+        // And the encoder is deterministic: a second trip is a fixpoint.
+        prop_assert_eq!(reparsed.encode(), encoded);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_documents(seed in any::<u64>(), cut in 0usize..64) {
+        // Valid documents with a byte chopped out / truncated: must return
+        // Ok or Err, never panic, and trailing garbage must be rejected.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoded = arbitrary_json(&mut rng, 3).encode();
+        let bytes = encoded.as_bytes();
+        let cut = cut % encoded.len().max(1);
+        let truncated = String::from_utf8_lossy(&bytes[..cut]).into_owned();
+        let _ = Json::parse(&truncated);
+        let with_garbage = format!("{encoded} x");
+        prop_assert!(Json::parse(&with_garbage).is_err(), "trailing garbage accepted");
+    }
+
+    #[test]
+    fn astral_strings_survive_escaped_and_raw(units in (0u32..0x10FFFF, 0u32..0x10FFFF)) {
+        // Any two scalar values (surrogate range remapped) round-trip both
+        // raw and through \uXXXX\uYYYY surrogate-pair escapes.
+        let fix = |u: u32| char::from_u32(u).unwrap_or('\u{FFFD}');
+        let text: String = [fix(units.0), fix(units.1)].iter().collect();
+        let value = Json::String(text.clone());
+        let raw = Json::parse(&value.encode()).unwrap();
+        prop_assert_eq!(raw.as_str(), Some(text.as_str()));
+
+        // Escaped form: encode each char as UTF-16 units.
+        let mut escaped = String::from("\"");
+        for c in text.chars() {
+            let mut units = [0u16; 2];
+            for unit in c.encode_utf16(&mut units) {
+                escaped.push_str(&format!("\\u{:04x}", unit));
+            }
+        }
+        escaped.push('"');
+        let unescaped = Json::parse(&escaped).unwrap();
+        prop_assert_eq!(unescaped.as_str(), Some(text.as_str()));
+    }
+}
+
+#[test]
+fn depth_limit_is_exact_on_both_sides() {
+    // MAX_DEPTH is 32: a document nested exactly that deep parses, one
+    // level deeper is rejected — for arrays, objects and mixed nesting.
+    let nested_arrays = |n: usize| "[".repeat(n) + "1" + &"]".repeat(n);
+    assert!(Json::parse(&nested_arrays(32)).is_ok());
+    assert!(Json::parse(&nested_arrays(33)).is_err());
+
+    let nested_objects = |n: usize| {
+        let mut doc = String::new();
+        for _ in 0..n {
+            doc.push_str("{\"k\":");
+        }
+        doc.push('1');
+        doc.push_str(&"}".repeat(n));
+        doc
+    };
+    assert!(Json::parse(&nested_objects(32)).is_ok());
+    assert!(Json::parse(&nested_objects(33)).is_err());
+
+    let mixed = "[{\"k\":".repeat(17) + "null" + &"}]".repeat(17);
+    assert!(Json::parse(&mixed).is_err(), "34 levels of mixed nesting");
+}
+
+#[test]
+fn surrogate_pair_edge_cases() {
+    // The exact boundaries of the surrogate-pair algebra.
+    for (doc, expect) in [
+        (r#""𐀀""#, Some('\u{10000}')),  // lowest astral scalar
+        (r#""􏿿""#, Some('\u{10FFFF}')), // highest scalar
+        (r#""😀""#, Some('😀')),        // everyday emoji
+        (r#""\ud800""#, None),          // lone high surrogate
+        (r#""\udc00""#, None),          // lone low surrogate
+        (r#""\ud800A""#, None),         // high followed by BMP
+        (r#""\ud800\ud800""#, None),    // high followed by high
+        (r#""\udfff\udfff""#, None),    // low first
+        (r#""\ud800\udc""#, None),      // truncated low escape
+        (r#""\ud800x""#, None),         // high then raw char
+    ] {
+        match expect {
+            Some(c) => {
+                let parsed = Json::parse(doc).unwrap_or_else(|e| panic!("{doc} must parse: {e}"));
+                assert_eq!(parsed.as_str(), Some(c.to_string().as_str()), "{doc}");
+            }
+            None => assert!(Json::parse(doc).is_err(), "{doc} must be rejected"),
+        }
+    }
+    // BMP escapes that are *not* surrogates parse alone.
+    assert_eq!(
+        Json::parse(r#""퟿""#).unwrap().as_str(),
+        Some("\u{D7FF}\u{E000}")
+    );
+}
+
+#[test]
+fn encoder_escapes_control_characters_round_trip() {
+    let value = Json::String("\u{0}\u{1}\u{1f}\"\\\n\r\t".to_string());
+    let encoded = value.encode();
+    // No raw control bytes may appear in the encoding.
+    assert!(
+        encoded.chars().all(|c| c >= ' '),
+        "raw control in {encoded:?}"
+    );
+    assert_eq!(Json::parse(&encoded).unwrap(), value);
+}

@@ -1,40 +1,46 @@
 //! Dynamic batch formation.
 //!
-//! Requests are compatible when they ask for the same model, regime and
-//! simulation options — then their activation traces can ride one
-//! Token-Time-Bundle stream. The batch dimension folds into the *timestep*
-//! axis: spiking self-attention is computed independently per timestep, so
-//! `B` requests of `T` timesteps are exactly one workload of `B·T` timesteps
-//! (rounded up to the bundle timestep multiple `BSt`), and per-layer weight
-//! streaming plus pipeline fill/drain are paid once per batch instead of
-//! once per request.
+//! Requests are compatible when they ask for the same model, regime,
+//! simulation options *and execution engine* — then their activation traces
+//! can ride one Token-Time-Bundle stream on one substrate. The batch
+//! dimension folds into the *timestep* axis: spiking self-attention is
+//! computed independently per timestep, so `B` requests of `T` timesteps are
+//! exactly one workload of `B·T` timesteps (rounded up to the bundle
+//! timestep multiple `BSt`), and per-layer weight streaming plus pipeline
+//! fill/drain are paid once per batch instead of once per request.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bishop_bundle::BundleShape;
 use bishop_core::SimOptions;
+use bishop_engine::{CatalogEntry, EngineBatch, EngineName};
 use bishop_model::ModelConfig;
 
 use crate::request::InferenceRequest;
 
 /// Compatibility key: requests with equal keys may share a batch.
 ///
-/// Keys embed the full `ModelConfig` and `SimOptions` (both `Eq + Hash`)
-/// rather than mirrored field subsets, so new fields on either struct can
-/// never silently coalesce incompatible requests.
+/// Keys embed the `Arc`-shared [`CatalogEntry`] (compared by content, so
+/// separately-built but identical entries still coalesce — at the cost of
+/// one refcount bump, not a `ModelConfig` clone) plus the full `SimOptions`
+/// and the engine name, so new fields on any of them can never silently
+/// coalesce incompatible requests.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BatchKey {
-    config: ModelConfig,
+    entry: Arc<CatalogEntry>,
     regime: bishop_bundle::TrainingRegime,
     options: SimOptions,
+    engine: EngineName,
 }
 
 impl From<&InferenceRequest> for BatchKey {
     fn from(request: &InferenceRequest) -> Self {
         Self {
-            config: request.model.clone(),
+            entry: Arc::clone(&request.entry),
             regime: request.regime,
             options: request.options,
+            engine: request.engine.clone(),
         }
     }
 }
@@ -114,17 +120,34 @@ impl<T: Batchable> RequestBatch<T> {
         self.requests[0].request().options
     }
 
+    /// Engine name shared by every request of the batch.
+    pub fn engine(&self) -> &EngineName {
+        &self.requests[0].request().engine
+    }
+
     /// The model configuration describing the whole batch: the members'
     /// configuration with the batch folded into the timestep axis, padded up
     /// to the bundle timestep multiple `BSt` so the packed TTB stream stays
     /// aligned.
     pub fn batched_config(&self, bundle: BundleShape) -> ModelConfig {
-        let base = &self.requests[0].request().model;
+        let base = &self.requests[0].request().entry.config;
         let folded = base.timesteps * self.len();
         let padded = folded.div_ceil(bundle.timesteps) * bundle.timesteps;
         base.clone()
             .with_name(format!("{}[x{}]", base.name, self.len()))
             .with_timesteps(padded)
+    }
+
+    /// The substrate-neutral description of this batch handed to an
+    /// [`InferenceEngine`](bishop_engine::InferenceEngine).
+    pub fn engine_batch(&self, bundle: BundleShape) -> EngineBatch {
+        EngineBatch {
+            config: self.batched_config(bundle),
+            regime: self.requests[0].request().regime,
+            seed: self.combined_seed(),
+            options: self.options(),
+            batch_size: self.len(),
+        }
     }
 
     /// Deterministic seed of the batch's combined trace, folded from the
@@ -185,8 +208,19 @@ impl<T: Batchable> BatchFormer<T> {
     /// Closed keys are removed entirely — the former's footprint is bounded
     /// by the *open* (partially-filled) batches, never by how many distinct
     /// keys it has ever seen. That matters for the long-lived online
-    /// batcher, where the key space (model × options) is client-controlled.
+    /// batcher, where the key space (model × options × engine) is
+    /// client-controlled.
     pub fn push(&mut self, request: T) -> Option<RequestBatch<T>> {
+        self.push_capped(request, usize::MAX)
+    }
+
+    /// Like [`push`](Self::push), but closes the batch at
+    /// `min(policy.max_batch_size, max_batch_size)` requests. The online
+    /// batcher derives the cap from the target engine's folded-timestep
+    /// limit, so coalescing can never build a batch the engine is known to
+    /// refuse (each rider alone being executable).
+    pub fn push_capped(&mut self, request: T, max_batch_size: usize) -> Option<RequestBatch<T>> {
+        let effective = self.policy.max_batch_size.min(max_batch_size).max(1);
         let key = BatchKey::from(request.request());
         let slot = match self.pending.entry(key.clone()) {
             std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
@@ -196,7 +230,7 @@ impl<T: Batchable> BatchFormer<T> {
             }
         };
         slot.push(request);
-        if slot.len() >= self.policy.max_batch_size {
+        if slot.len() >= effective {
             self.close_key(&key)
         } else {
             None
@@ -258,9 +292,16 @@ mod tests {
     use bishop_bundle::TrainingRegime;
     use bishop_model::DatasetKind;
 
+    fn entry(name: &str) -> Arc<CatalogEntry> {
+        CatalogEntry::new(
+            ModelConfig::new(name, DatasetKind::Cifar10, 1, 4, 16, 32, 2),
+            TrainingRegime::Bsa,
+            SimOptions::baseline(),
+        )
+    }
+
     fn request(id: u64, name: &str, seed: u64, options: SimOptions) -> InferenceRequest {
-        let model = ModelConfig::new(name, DatasetKind::Cifar10, 1, 4, 16, 32, 2);
-        InferenceRequest::new(id, model, TrainingRegime::Bsa, seed).with_options(options)
+        InferenceRequest::new(id, entry(name), seed).with_options(options)
     }
 
     #[test]
@@ -284,7 +325,7 @@ mod tests {
     #[test]
     fn incompatible_requests_do_not_coalesce() {
         let mut former = BatchFormer::new(BatchPolicy::new(2));
-        // Different model, different options, different regime: three keys.
+        // Different model, options, regime, engine: five distinct keys.
         assert!(former
             .push(request(0, "a", 1, SimOptions::baseline()))
             .is_none());
@@ -294,11 +335,14 @@ mod tests {
         assert!(former
             .push(request(2, "a", 1, SimOptions::with_ecp(6)))
             .is_none());
-        let mut other_regime = request(3, "a", 1, SimOptions::baseline());
-        other_regime.regime = TrainingRegime::Baseline;
+        let other_regime =
+            request(3, "a", 1, SimOptions::baseline()).with_regime(TrainingRegime::Baseline);
         assert!(former.push(other_regime).is_none());
+        let other_engine =
+            request(4, "a", 1, SimOptions::baseline()).with_engine(EngineName::native());
+        assert!(former.push(other_engine).is_none());
         let batches = former.flush();
-        assert_eq!(batches.len(), 4, "four incompatible singleton batches");
+        assert_eq!(batches.len(), 5, "five incompatible singleton batches");
         assert!(batches.iter().all(|b| b.len() == 1));
     }
 
@@ -310,9 +354,9 @@ mod tests {
         former.push(request(2, "z", 2, SimOptions::baseline()));
         let batches = former.flush();
         assert_eq!(batches.len(), 2);
-        assert_eq!(batches[0].requests[0].model.name, "z");
+        assert_eq!(batches[0].requests[0].model().name, "z");
         assert_eq!(batches[0].len(), 2);
-        assert_eq!(batches[1].requests[0].model.name, "a");
+        assert_eq!(batches[1].requests[0].model().name, "a");
     }
 
     #[test]
@@ -328,6 +372,11 @@ mod tests {
         assert_eq!(config.timesteps, 16);
         assert_eq!(config.tokens, 16, "token axis is untouched");
         assert!(config.name.contains("[x3]"));
+        // The engine-facing description carries the same fold.
+        let engine_batch = batch.engine_batch(BundleShape::new(8, 4));
+        assert_eq!(engine_batch.config, config);
+        assert_eq!(engine_batch.batch_size, 3);
+        assert_eq!(engine_batch.seed, batch.combined_seed());
     }
 
     #[test]
@@ -371,6 +420,29 @@ mod tests {
         let key = BatchKey::from(&request(201, "m", 1, SimOptions::baseline()));
         assert!(former.close_key(&key).is_some());
         assert_eq!(former.open_batches(), 0);
+    }
+
+    #[test]
+    fn close_key_forgets_client_controlled_keys_without_filling_batches() {
+        // The timeout path closes batches via `close_key` long before they
+        // fill. A hostile (or merely diverse) client population churning
+        // through distinct keys must leave no residue behind — neither a
+        // pending slot nor an insertion-order entry per retired key.
+        let mut former = BatchFormer::new(BatchPolicy::new(64));
+        for i in 0..500u64 {
+            let singleton = request(i, "m", i, SimOptions::with_ecp(i as u32));
+            let key = BatchKey::from(&singleton);
+            assert!(former.push(singleton).is_none(), "far below the size cap");
+            let closed = former.close_key(&key).expect("one pending request");
+            assert_eq!(closed.len(), 1);
+            assert_eq!(former.pending_count(&key), 0, "key {i} was not forgotten");
+            assert_eq!(former.open_batches(), 0);
+            assert_eq!(former.pending_requests(), 0);
+        }
+        // Closing an already-forgotten key is a no-op, not a phantom batch.
+        let key = BatchKey::from(&request(0, "m", 0, SimOptions::with_ecp(0)));
+        assert!(former.close_key(&key).is_none());
+        assert!(former.flush().is_empty());
     }
 
     #[test]

@@ -6,23 +6,27 @@
 //! turns many small spiking workloads into dense, schedulable batches
 //! across heterogeneous cores.
 //!
-//! The pipeline is: clients submit [`InferenceRequest`]s through a *bounded
+//! The pipeline is: clients submit [`InferenceRequest`]s — each naming an
+//! `Arc`-shared catalog entry and an execution engine — through a *bounded
 //! queue* (backpressure); the [`BatchFormer`] coalesces compatible requests
-//! — same model, training regime and simulation options — into
+//! — same model, training regime, simulation options and engine — into
 //! [`RequestBatch`]es by folding the batch dimension into the *timestep*
 //! axis of the Token-Time-Bundle stream (spiking attention is per-timestep,
 //! so the fold is cost-exact while weight streaming and pipeline overhead
 //! are paid once per batch); a least-loaded dispatcher shards batches
-//! across a pool of worker threads, each owning one cloned
-//! [`BishopSimulator`](bishop_core::BishopSimulator) chip instance; workload
-//! synthesis is memoized in a shared [`CalibrationCache`] keyed on
-//! `(ModelConfig, TrainingRegime, seed)`; and every run emits a
-//! [`ThroughputReport`] with simulated p50/p95/p99 latency, requests/s and
-//! the per-group core-utilization breakdown.
+//! across a pool of worker threads which execute each batch on the
+//! [`InferenceEngine`](bishop_engine::InferenceEngine) backend it names
+//! (the cycle-level Bishop simulator by default, the native CPU kernels or
+//! a baseline model on request); workload synthesis is memoized in a shared
+//! [`CalibrationCache`] keyed on `(ModelConfig, TrainingRegime, seed)`; and
+//! every run emits a [`ThroughputReport`] with p50/p95/p99 latency,
+//! requests/s and the per-group core-utilization breakdown.
 //!
-//! Determinism guarantee: [`ServingAggregates`] depend only on the traffic
-//! trace (submission order and contents) — never on worker count, machine
-//! speed or scheduling jitter. Only [`WallClockStats`] varies between runs.
+//! Determinism guarantee: for traces executing on deterministic engines
+//! (the default `simulator`), [`ServingAggregates`] depend only on the
+//! traffic trace (submission order and contents) — never on worker count,
+//! machine speed or scheduling jitter. Only [`WallClockStats`] varies
+//! between runs.
 //!
 //! Beyond offline trace replay, the [`online`] module keeps the same stack
 //! *running*: [`ServerHandle::try_submit`] hands back a [`Ticket`] per
@@ -46,16 +50,21 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod cache;
 pub mod online;
 pub mod report;
 pub mod request;
 pub mod server;
 
+/// The memoizing workload/result caches, re-exported from
+/// [`bishop_engine`] (they back the simulator backend and are shared across
+/// serving stacks).
+pub use bishop_engine::cache;
+
 pub use batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 pub use online::{
-    AdmissionStats, OnlineConfig, OnlineServer, OnlineStats, Rejection, ServerHandle, Ticket,
+    AdmissionStats, OnlineConfig, OnlineServer, OnlineStats, Rejection, ServeError, ServeResult,
+    ServerHandle, Ticket,
 };
 pub use report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,

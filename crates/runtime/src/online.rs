@@ -4,15 +4,15 @@
 //! trace, this module keeps a server *running*: clients call
 //! [`ServerHandle::try_submit`] at any time and get back a [`Ticket`] that
 //! resolves to the request's [`InferenceResponse`] once the batch it rode in
-//! has been simulated.
+//! has been executed.
 //!
 //! ```text
 //!  clients ──► admission ──► sync_channel(queue) ──► batcher thread ──► workers
-//!              control         (bounded)             size-or-timeout     (chips)
-//!              shed: queue     try_send: shed         TTB-aligned          │
-//!              depth/deadline  on full                batches              ▼
-//!                                                                    per-ticket
-//!                                                                    completion
+//!              control         (bounded)             size-or-timeout     │ engine
+//!              shed: queue     try_send: shed         TTB-aligned        │ registry
+//!              depth/deadline  on full                batches            ▼
+//!                                                                  per-ticket
+//!                                                                  completion
 //! ```
 //!
 //! **Admission control** sheds load with explicit [`Rejection`]s instead of
@@ -27,18 +27,59 @@
 //! member has waited `batch_timeout`. With `batch_timeout: None` batches
 //! close only on size or an explicit [`ServerHandle::flush`] — the
 //! timing-free mode the deterministic offline `serve` path is built on.
+//!
+//! **Execution** is pluggable: each worker resolves the batch's
+//! [`EngineName`] through the server's
+//! [`EngineRegistry`] and executes it on that backend. An engine refusal is
+//! not a crash or a hang — the riders' tickets resolve to a typed
+//! [`ServeError`] and the failure is counted in [`OnlineStats::failed`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bishop_core::{BishopSimulator, RunMetrics};
+use bishop_engine::{
+    CalibrationCache, EngineError, EngineName, EngineOutput, EngineRegistry, ResultCache,
+};
 
 use crate::batch::{config_ops, BatchFormer, BatchKey, Batchable, RequestBatch};
-use crate::cache::{CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 use crate::request::{InferenceRequest, InferenceResponse};
 use crate::server::RuntimeConfig;
+
+/// Why a submitted request failed to produce a response (as opposed to being
+/// shed at admission, which is a [`Rejection`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named an engine the server's registry does not hold.
+    UnknownEngine(EngineName),
+    /// The engine refused or failed to execute the batch.
+    Engine(EngineError),
+}
+
+impl ServeError {
+    /// A stable machine-readable code (the gateway's wire error codes).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownEngine(_) => "unknown_engine",
+            ServeError::Engine(error) => error.code(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownEngine(name) => write!(f, "unknown engine \"{name}\""),
+            ServeError::Engine(error) => error.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What one submitted request ultimately resolved to.
+pub type ServeResult = Result<InferenceResponse, ServeError>;
 
 /// Configuration of an [`OnlineServer`], wrapping the batch/worker
 /// [`RuntimeConfig`] with the online-only knobs.
@@ -61,11 +102,15 @@ pub struct OnlineConfig {
     /// Record every executed batch for post-run report assembly. Leave off
     /// for long-running servers (the record grows without bound).
     pub record_batches: bool,
+    /// Execution backends. `None` builds the full default registry
+    /// (`simulator`, `native`, `ptb`, `gpu`) over the server's caches.
+    pub registry: Option<Arc<EngineRegistry>>,
 }
 
 impl OnlineConfig {
     /// Online defaults on top of the given runtime configuration: 2 ms
-    /// batch timeout, 1024 pending requests, no batch recording.
+    /// batch timeout, 1024 pending requests, no batch recording, default
+    /// engine registry.
     pub fn new(runtime: RuntimeConfig) -> Self {
         Self {
             runtime,
@@ -73,6 +118,7 @@ impl OnlineConfig {
             max_pending: 1024,
             drain_ops_per_second: 5e9,
             record_batches: false,
+            registry: None,
         }
     }
 
@@ -99,6 +145,13 @@ impl OnlineConfig {
         self.record_batches = record;
         self
     }
+
+    /// Overrides the engine registry (e.g. to serve a custom backend or to
+    /// restrict the served set).
+    pub fn with_registry(mut self, registry: Arc<EngineRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
 }
 
 impl Default for OnlineConfig {
@@ -117,6 +170,17 @@ pub enum Rejection {
     DeadlineUnmeetable,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
+}
+
+impl Rejection {
+    /// A stable machine-readable code (the gateway's wire error codes).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull => "queue_full",
+            Rejection::DeadlineUnmeetable => "deadline_unmeetable",
+            Rejection::ShuttingDown => "shutting_down",
+        }
+    }
 }
 
 impl std::fmt::Display for Rejection {
@@ -156,8 +220,11 @@ pub struct OnlineStats {
     pub submitted: u64,
     /// Requests admitted into the submission queue.
     pub admitted: u64,
-    /// Requests whose batch finished simulating.
+    /// Requests whose batch executed successfully.
     pub completed: u64,
+    /// Requests whose batch failed with a [`ServeError`] (typed refusal;
+    /// the tickets resolved, nothing hung).
+    pub failed: u64,
     /// Shed counters, by reason.
     pub admission: AdmissionStats,
     /// Batches executed by the worker pool.
@@ -166,13 +233,13 @@ pub struct OnlineStats {
     pub queue_depth: usize,
     /// Estimated dense ops of the admitted-but-uncompleted backlog.
     pub backlog_ops: u64,
-    /// Total simulated chip-busy cycles.
+    /// Total busy cycles reported by the engines.
     pub total_simulated_cycles: u64,
-    /// Total simulated energy in millijoules.
+    /// Total energy in millijoules reported by the engines.
     pub total_energy_mj: f64,
-    /// Mean simulated per-request latency in seconds.
+    /// Mean per-request latency in seconds (on the engines' clocks).
     pub mean_latency_seconds: f64,
-    /// Worst simulated per-request latency in seconds.
+    /// Worst per-request latency in seconds.
     pub max_latency_seconds: f64,
 }
 
@@ -182,6 +249,7 @@ struct StatsCells {
     submitted: AtomicU64,
     admitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_deadline: AtomicU64,
     rejected_shutdown: AtomicU64,
@@ -223,11 +291,11 @@ fn max_f64(cell: &AtomicU64, value: f64) {
     }
 }
 
-/// A pending claim on one submitted request's response.
+/// A pending claim on one submitted request's outcome.
 #[derive(Debug)]
 pub struct Ticket {
     request_id: u64,
-    rx: mpsc::Receiver<InferenceResponse>,
+    rx: mpsc::Receiver<ServeResult>,
 }
 
 impl Ticket {
@@ -236,19 +304,19 @@ impl Ticket {
         self.request_id
     }
 
-    /// Blocks until the response is ready. Returns `None` only if the
+    /// Blocks until the outcome is ready. Returns `None` only if the
     /// server dropped the request (shutdown mid-flight).
-    pub fn wait(self) -> Option<InferenceResponse> {
+    pub fn wait(self) -> Option<ServeResult> {
         self.rx.recv().ok()
     }
 
-    /// Waits up to `timeout` for the response.
-    pub fn wait_for(&self, timeout: Duration) -> Option<InferenceResponse> {
+    /// Waits up to `timeout` for the outcome.
+    pub fn wait_for(&self, timeout: Duration) -> Option<ServeResult> {
         self.rx.recv_timeout(timeout).ok()
     }
 
-    /// Returns the response if it is already available.
-    pub fn try_wait(&self) -> Option<InferenceResponse> {
+    /// Returns the outcome if it is already available.
+    pub fn try_wait(&self) -> Option<ServeResult> {
         self.rx.try_recv().ok()
     }
 }
@@ -258,7 +326,7 @@ impl Ticket {
 #[derive(Debug)]
 struct PendingRequest {
     request: InferenceRequest,
-    completion: mpsc::Sender<InferenceResponse>,
+    completion: mpsc::Sender<ServeResult>,
     estimated_ops: u64,
 }
 
@@ -280,7 +348,7 @@ enum Submission {
 #[derive(Debug)]
 pub(crate) struct ExecutedBatch {
     pub(crate) batch: RequestBatch<InferenceRequest>,
-    pub(crate) metrics: Arc<RunMetrics>,
+    pub(crate) output: Arc<EngineOutput>,
 }
 
 /// A cloneable, thread-safe submission endpoint of an [`OnlineServer`].
@@ -288,6 +356,7 @@ pub(crate) struct ExecutedBatch {
 pub struct ServerHandle {
     tx: mpsc::SyncSender<Submission>,
     cells: Arc<StatsCells>,
+    registry: Arc<EngineRegistry>,
     max_pending: usize,
     drain_ops_per_second: f64,
 }
@@ -344,7 +413,7 @@ impl ServerHandle {
             }
         }
 
-        let estimated_ops = config_ops(&request.model);
+        let estimated_ops = config_ops(request.model());
         let request_id = request.id;
         let (completion, rx) = mpsc::channel();
         cells.pending.fetch_add(1, Ordering::AcqRel);
@@ -392,6 +461,12 @@ impl ServerHandle {
         }
     }
 
+    /// The engine registry this server executes on (what `GET /v1/engines`
+    /// publishes).
+    pub fn engines(&self) -> &Arc<EngineRegistry> {
+        &self.registry
+    }
+
     /// A point-in-time snapshot of the server's counters.
     pub fn stats(&self) -> OnlineStats {
         let c = &self.cells;
@@ -401,6 +476,7 @@ impl ServerHandle {
             submitted: c.submitted.load(Ordering::Acquire),
             admitted: c.admitted.load(Ordering::Acquire),
             completed,
+            failed: c.failed.load(Ordering::Acquire),
             admission: AdmissionStats {
                 queue_full: c.rejected_queue_full.load(Ordering::Acquire),
                 deadline: c.rejected_deadline.load(Ordering::Acquire),
@@ -421,8 +497,8 @@ impl ServerHandle {
     }
 }
 
-/// The always-on serving stack: batcher thread + worker pool, fed through
-/// cloneable [`ServerHandle`]s.
+/// The always-on serving stack: batcher thread + worker pool over a
+/// pluggable engine registry, fed through cloneable [`ServerHandle`]s.
 #[derive(Debug)]
 pub struct OnlineServer {
     handle: ServerHandle,
@@ -432,7 +508,8 @@ pub struct OnlineServer {
 }
 
 impl OnlineServer {
-    /// Starts a server with fresh caches.
+    /// Starts a server with fresh caches (and, unless the config overrides
+    /// it, the default engine registry over those caches).
     pub fn start(config: OnlineConfig) -> Self {
         Self::with_caches(
             config,
@@ -447,9 +524,15 @@ impl OnlineServer {
         cache: Arc<CalibrationCache>,
         results: Arc<ResultCache>,
     ) -> Self {
+        let registry = config.registry.clone().unwrap_or_else(|| {
+            Arc::new(EngineRegistry::serving_default(
+                &config.runtime.hardware,
+                cache,
+                results,
+            ))
+        });
         let workers = config.runtime.workers;
         let bundle = config.runtime.hardware.bundle;
-        let simulator = BishopSimulator::new(config.runtime.hardware.clone());
         let cells = Arc::new(StatsCells::default());
         let executed = Arc::new(Mutex::new(Vec::new()));
 
@@ -463,9 +546,7 @@ impl OnlineServer {
             worker_handles.push(spawn_worker(
                 index,
                 rx,
-                simulator.clone(),
-                Arc::clone(&cache),
-                Arc::clone(&results),
+                Arc::clone(&registry),
                 Arc::clone(&cells),
                 config.record_batches.then(|| Arc::clone(&executed)),
                 bundle,
@@ -475,6 +556,7 @@ impl OnlineServer {
         let batcher = spawn_batcher(
             submit_rx,
             batch_txs,
+            Arc::clone(&registry),
             config.runtime.batching,
             config.batch_timeout,
             bundle,
@@ -483,6 +565,7 @@ impl OnlineServer {
         let handle = ServerHandle {
             tx: submit_tx,
             cells,
+            registry,
             max_pending: config.max_pending,
             drain_ops_per_second: config.drain_ops_per_second.max(1.0),
         };
@@ -497,6 +580,11 @@ impl OnlineServer {
     /// A new submission handle; clone freely across threads.
     pub fn handle(&self) -> ServerHandle {
         self.handle.clone()
+    }
+
+    /// The engine registry this server executes on.
+    pub fn engines(&self) -> &Arc<EngineRegistry> {
+        &self.handle.registry
     }
 
     /// A point-in-time snapshot of the server's counters.
@@ -528,11 +616,36 @@ impl OnlineServer {
     }
 }
 
+/// Most riders one batch may hold for `request`'s engine: the largest count
+/// whose *padded* fold (batched timesteps rounded up to the bundle multiple
+/// `BSt`) stays within the engine's folded-timestep limit, so coalescing
+/// never builds a batch the engine is known to refuse while each rider
+/// alone would execute. (A model whose singleton fold already pads past the
+/// limit caps at 1 and surfaces the engine's typed refusal.)
+fn engine_batch_cap(
+    registry: &EngineRegistry,
+    request: &InferenceRequest,
+    bundle: bishop_bundle::BundleShape,
+) -> usize {
+    registry
+        .get(request.engine.as_str())
+        .and_then(|engine| engine.descriptor().max_folded_timesteps)
+        .map(|limit| {
+            // Padding rounds folds up to a multiple of BSt, so the usable
+            // budget is the largest such multiple at or below the limit.
+            let usable = (limit / bundle.timesteps.max(1)) * bundle.timesteps.max(1);
+            (usable / request.model().timesteps.max(1)).max(1)
+        })
+        .unwrap_or(usize::MAX)
+}
+
 /// Spawns the batcher thread: drains the submission channel, forms
-/// size-or-timeout batches, and dispatches them least-loaded.
+/// size-or-timeout batches (capped at the target engine's fold limit), and
+/// dispatches them least-loaded.
 fn spawn_batcher(
     submit_rx: mpsc::Receiver<Submission>,
     batch_txs: Vec<mpsc::Sender<RequestBatch<PendingRequest>>>,
+    registry: Arc<EngineRegistry>,
     policy: crate::batch::BatchPolicy,
     batch_timeout: Option<Duration>,
     bundle: bishop_bundle::BundleShape,
@@ -578,8 +691,9 @@ fn spawn_batcher(
             match message {
                 Some(Submission::Request(pending)) => {
                     let key = BatchKey::from(pending.request());
+                    let cap = engine_batch_cap(&registry, pending.request(), bundle);
                     let newly_opened = former.pending_count(&key) == 0;
-                    match former.push(*pending) {
+                    match former.push_capped(*pending, cap) {
                         Some(batch) => {
                             ages.retain(|(_, k)| *k != key);
                             dispatch(batch, &mut load);
@@ -601,7 +715,8 @@ fn spawn_batcher(
                     while let Ok(message) = submit_rx.try_recv() {
                         match message {
                             Submission::Request(pending) => {
-                                if let Some(batch) = former.push(*pending) {
+                                let cap = engine_batch_cap(&registry, pending.request(), bundle);
+                                if let Some(batch) = former.push_capped(*pending, cap) {
                                     dispatch(batch, &mut load);
                                 }
                             }
@@ -638,71 +753,78 @@ fn spawn_batcher(
     })
 }
 
-/// Spawns one worker: a simulated Bishop chip instance executing batches.
-#[allow(clippy::too_many_arguments)]
+/// Spawns one worker: executes batches on whichever engine each batch names.
 fn spawn_worker(
     index: usize,
     batch_rx: mpsc::Receiver<RequestBatch<PendingRequest>>,
-    simulator: BishopSimulator,
-    cache: Arc<CalibrationCache>,
-    results: Arc<ResultCache>,
+    registry: Arc<EngineRegistry>,
     cells: Arc<StatsCells>,
     record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
     bundle: bishop_bundle::BundleShape,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         for batch in batch_rx {
-            let options = batch.options();
-            let config = batch.batched_config(bundle);
-            let regime = batch.requests[0].request().regime;
-            let workload_key = WorkloadKey::new(&config, regime, batch.combined_seed());
-            let result_key = ResultKey {
-                workload: workload_key,
-                options,
+            let outcome = match registry.get(batch.engine().as_str()) {
+                None => Err(ServeError::UnknownEngine(batch.engine().clone())),
+                Some(engine) => engine
+                    .execute(&batch.engine_batch(bundle))
+                    .map_err(ServeError::Engine),
             };
-            // Two memoization levels: identical batches reuse the whole
-            // simulated result; batches sharing a workload but not options
-            // reuse the synthesized trace.
-            let metrics = results.get_or_simulate(result_key, || {
-                let workload = cache.get_or_build(&config, regime, batch.combined_seed());
-                simulator.simulate_named(&workload, &options, config.name.clone())
-            });
-            let latency = metrics.total_latency_seconds();
             let batch_size = batch.len();
 
-            cells.batches_executed.fetch_add(1, Ordering::AcqRel);
-            cells
-                .total_cycles
-                .fetch_add(metrics.total_cycles(), Ordering::AcqRel);
-            add_f64(&cells.energy_mj_bits, metrics.total_energy_mj());
-            add_f64(&cells.latency_sum_bits, latency * batch_size as f64);
-            max_f64(&cells.latency_max_bits, latency);
+            match outcome {
+                Ok(output) => {
+                    let output = Arc::new(output);
+                    let latency = output.latency_seconds;
+                    cells.batches_executed.fetch_add(1, Ordering::AcqRel);
+                    cells
+                        .total_cycles
+                        .fetch_add(output.cycles, Ordering::AcqRel);
+                    add_f64(&cells.energy_mj_bits, output.energy_mj);
+                    add_f64(&cells.latency_sum_bits, latency * batch_size as f64);
+                    max_f64(&cells.latency_max_bits, latency);
 
-            if let Some(record) = &record {
-                record.lock().expect("executed lock").push(ExecutedBatch {
-                    batch: RequestBatch {
-                        id: batch.id,
-                        requests: batch.requests.iter().map(|p| p.request.clone()).collect(),
-                    },
-                    metrics: Arc::clone(&metrics),
-                });
-            }
+                    if let Some(record) = &record {
+                        record.lock().expect("executed lock").push(ExecutedBatch {
+                            batch: RequestBatch {
+                                id: batch.id,
+                                requests: batch
+                                    .requests
+                                    .iter()
+                                    .map(|p| p.request.clone())
+                                    .collect(),
+                            },
+                            output: Arc::clone(&output),
+                        });
+                    }
 
-            for pending in batch.requests {
-                let response = InferenceResponse {
-                    request_id: pending.request.id,
-                    batch_id: batch.id,
-                    batch_size,
-                    worker: index,
-                    latency_seconds: latency,
-                    batch_metrics: Arc::clone(&metrics),
-                };
-                cells
-                    .backlog_ops
-                    .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
-                cells.pending.fetch_sub(1, Ordering::AcqRel);
-                cells.completed.fetch_add(1, Ordering::AcqRel);
-                let _ = pending.completion.send(response);
+                    for pending in batch.requests {
+                        let response = InferenceResponse {
+                            request_id: pending.request.id,
+                            batch_id: batch.id,
+                            batch_size,
+                            worker: index,
+                            latency_seconds: latency,
+                            output: Arc::clone(&output),
+                        };
+                        cells
+                            .backlog_ops
+                            .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                        cells.pending.fetch_sub(1, Ordering::AcqRel);
+                        cells.completed.fetch_add(1, Ordering::AcqRel);
+                        let _ = pending.completion.send(Ok(response));
+                    }
+                }
+                Err(error) => {
+                    for pending in batch.requests {
+                        cells
+                            .backlog_ops
+                            .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                        cells.pending.fetch_sub(1, Ordering::AcqRel);
+                        cells.failed.fetch_add(1, Ordering::AcqRel);
+                        let _ = pending.completion.send(Err(error.clone()));
+                    }
+                }
             }
         }
     })
@@ -713,6 +835,7 @@ mod tests {
     use super::*;
     use crate::batch::BatchPolicy;
     use crate::request::{default_mixed_models, mixed_trace};
+    use bishop_core::SimOptions;
 
     fn online(policy: BatchPolicy, timeout: Option<Duration>) -> OnlineServer {
         OnlineServer::start(
@@ -732,12 +855,17 @@ mod tests {
         handle.flush();
         for (i, ticket) in tickets.into_iter().enumerate() {
             assert_eq!(ticket.request_id(), i as u64);
-            let response = ticket.wait().expect("response delivered");
+            let response = ticket
+                .wait()
+                .expect("response delivered")
+                .expect("simulator engine never fails");
             assert_eq!(response.request_id, i as u64);
             assert!(response.latency_seconds > 0.0);
+            assert_eq!(response.engine(), "simulator");
         }
         let stats = server.shutdown();
         assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 0);
         assert_eq!(stats.admission, AdmissionStats::default());
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.backlog_ops, 0);
@@ -753,7 +881,10 @@ mod tests {
             .map(|r| handle.try_submit(r).expect("admitted"))
             .collect();
         for ticket in tickets {
-            let response = ticket.wait().expect("timeout closed the batch");
+            let response = ticket
+                .wait()
+                .expect("timeout closed the batch")
+                .expect("executed");
             assert!(response.batch_size < 64);
         }
         server.shutdown();
@@ -770,6 +901,89 @@ mod tests {
             Some(Rejection::ShuttingDown)
         );
         assert_eq!(handle.stats().admission.shutdown, 1);
+    }
+
+    #[test]
+    fn unknown_engine_resolves_tickets_with_a_typed_error() {
+        let server = online(BatchPolicy::new(1), None);
+        let handle = server.handle();
+        let request = mixed_trace(&default_mixed_models(), 1, 1, 5)
+            .pop()
+            .unwrap()
+            .with_engine(EngineName::from("tpu"));
+        let ticket = handle
+            .try_submit(request)
+            .expect("admission is engine-agnostic");
+        handle.flush();
+        let outcome = ticket.wait().expect("ticket resolves");
+        assert_eq!(
+            outcome,
+            Err(ServeError::UnknownEngine(EngineName::from("tpu")))
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_depth, 0, "failures drain the queue");
+        assert_eq!(stats.backlog_ops, 0);
+    }
+
+    #[test]
+    fn engine_refusals_resolve_tickets_with_the_engine_error() {
+        // The native engine has no ECP path: requests routing an ECP model
+        // there fail typed, not silently and not hanging.
+        let server = online(BatchPolicy::new(1), None);
+        let handle = server.handle();
+        let entry = default_mixed_models()
+            .into_iter()
+            .find(|e| e.options == SimOptions::with_ecp(6))
+            .expect("imagenet entry defaults to ECP");
+        let request = InferenceRequest::new(0, entry, 1).with_engine(EngineName::native());
+        let ticket = handle.try_submit(request).expect("admitted");
+        handle.flush();
+        let outcome = ticket.wait().expect("ticket resolves");
+        let error = outcome.expect_err("native must refuse ECP");
+        assert_eq!(error.code(), "ecp_unsupported");
+        assert_eq!(server.shutdown().failed, 1);
+    }
+
+    #[test]
+    fn batcher_caps_coalescing_at_the_engine_fold_limit() {
+        // The native engine caps batches at 1024 folded timesteps. A model
+        // spanning 300 timesteps may share a batch with at most 3 peers
+        // (3 × 300 ≤ 1024 < 4 × 300) even under a much larger batch policy
+        // — no request may fail `batch_too_large` because of coalescing.
+        use bishop_engine::CatalogEntry;
+        use bishop_model::{DatasetKind, ModelConfig};
+
+        let server = online(BatchPolicy::new(8), None);
+        let handle = server.handle();
+        let entry = CatalogEntry::new(
+            ModelConfig::new("fold-cap", DatasetKind::Cifar10, 1, 300, 4, 16, 2),
+            bishop_bundle::TrainingRegime::Bsa,
+            SimOptions::baseline(),
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                let request = InferenceRequest::new(i, Arc::clone(&entry), i)
+                    .with_engine(EngineName::native());
+                handle.try_submit(request).expect("admitted")
+            })
+            .collect();
+        handle.flush();
+        for ticket in tickets {
+            let response = ticket
+                .wait()
+                .expect("ticket resolves")
+                .expect("capped batches stay within the engine's fold limit");
+            assert!(
+                response.batch_size <= 3,
+                "batch of {} exceeds the fold cap",
+                response.batch_size
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
     }
 
     #[test]

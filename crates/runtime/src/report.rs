@@ -92,7 +92,10 @@ pub struct ServingAggregates {
     pub mean_batch_size: f64,
     /// Simulated per-request latency percentiles.
     pub latency: LatencyPercentiles,
-    /// Total simulated chip-busy cycles across all batches.
+    /// Total busy cycles reported by the engines across all batches. Each
+    /// engine counts on its own clock, so the sum is only commensurable for
+    /// single-engine traces (throughput below is derived from per-batch
+    /// latencies instead, which are clock-safe).
     pub total_simulated_cycles: u64,
     /// Simulated throughput of one chip instance: requests per
     /// chip-busy-second. Multiply by the worker count for fleet throughput.

@@ -3,51 +3,76 @@
 use std::sync::Arc;
 
 use bishop_bundle::TrainingRegime;
-use bishop_core::{RunMetrics, SimOptions};
-use bishop_model::{DatasetKind, ModelConfig};
+use bishop_core::SimOptions;
+use bishop_engine::{CatalogEntry, EngineName, EngineOutput, ModelCatalog};
+use bishop_model::ModelConfig;
 
 /// One inference request submitted to the runtime.
 ///
-/// A request names the model it wants served (by full [`ModelConfig`]), the
+/// A request names the model it wants served by an `Arc`-shared
+/// [`CatalogEntry`] — one allocation per catalogued model for the lifetime
+/// of the catalog, never a per-request `ModelConfig` clone — plus the
+/// execution [`EngineName`] (which backend substrate runs the batch), the
 /// training regime whose calibrated trace statistics drive the synthetic
 /// workload, a trace seed (two requests with the same seed carry identical
 /// activations — e.g. retries or replayed traffic), and the per-request
-/// simulation options.
+/// simulation options. Regime and options default to the catalog entry's.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceRequest {
     /// Caller-chosen request identifier; echoed in the response.
     pub id: u64,
-    /// The model to run.
-    pub model: ModelConfig,
+    /// The catalogued model to run (shared, not cloned, along the path).
+    pub entry: Arc<CatalogEntry>,
     /// Which calibrated trace statistics to use.
     pub regime: TrainingRegime,
     /// Seed of the request's activation trace.
     pub seed: u64,
     /// Per-request simulation options (e.g. ECP threshold).
     pub options: SimOptions,
+    /// Which execution backend serves the request.
+    pub engine: EngineName,
 }
 
 impl InferenceRequest {
-    /// Creates a request with baseline options.
-    pub fn new(id: u64, model: ModelConfig, regime: TrainingRegime, seed: u64) -> Self {
+    /// Creates a request inheriting the entry's default regime and options,
+    /// on the default (`simulator`) engine.
+    pub fn new(id: u64, entry: Arc<CatalogEntry>, seed: u64) -> Self {
         Self {
             id,
-            model,
-            regime,
+            regime: entry.regime,
+            options: entry.options,
+            entry,
             seed,
-            options: SimOptions::baseline(),
+            engine: EngineName::simulator(),
         }
     }
 
-    /// Sets the simulation options.
+    /// Overrides the training regime.
+    pub fn with_regime(mut self, regime: TrainingRegime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    /// Overrides the simulation options.
     pub fn with_options(mut self, options: SimOptions) -> Self {
         self.options = options;
         self
     }
+
+    /// Overrides the execution engine.
+    pub fn with_engine(mut self, engine: EngineName) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The model configuration behind the catalog entry.
+    pub fn model(&self) -> &ModelConfig {
+        &self.entry.config
+    }
 }
 
 /// The runtime's answer to one [`InferenceRequest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceResponse {
     /// The request this responds to.
     pub request_id: u64,
@@ -55,76 +80,74 @@ pub struct InferenceResponse {
     pub batch_id: u64,
     /// How many requests shared the batch.
     pub batch_size: usize,
-    /// Index of the simulated chip instance that executed the batch.
+    /// Index of the worker (chip/substrate instance) that executed the
+    /// batch.
     pub worker: usize,
-    /// Simulated end-to-end latency of the request in seconds (the latency
-    /// of the batch it rode in).
+    /// End-to-end latency of the request in seconds on the engine's clock
+    /// (the latency of the batch it rode in; measured wall-clock for
+    /// wall-clock engines, simulated otherwise).
     pub latency_seconds: f64,
-    /// Full per-layer metrics of the batch run, shared between all requests
-    /// of the batch.
-    pub batch_metrics: Arc<RunMetrics>,
+    /// Full engine output of the batch run, shared between all requests of
+    /// the batch.
+    pub output: Arc<EngineOutput>,
 }
 
 impl InferenceResponse {
-    /// Simulated energy attributed to this request: an even share of the
-    /// batch's total energy.
+    /// Energy attributed to this request: an even share of the batch's
+    /// total energy.
     pub fn energy_share_mj(&self) -> f64 {
-        self.batch_metrics.total_energy_mj() / self.batch_size as f64
+        self.output.energy_mj / self.batch_size as f64
+    }
+
+    /// Name of the engine that executed the batch.
+    pub fn engine(&self) -> &'static str {
+        self.output.engine
     }
 }
 
 /// Builds a deterministic mixed traffic trace: `count` requests cycling
-/// through `models` round-robin, with seeds drawn from a pool of
-/// `seed_pool_size` distinct values so that traffic contains repeats (the
-/// realistic case the calibration cache exists for).
+/// through the catalog `entries` round-robin, with seeds drawn from a pool
+/// of `seed_pool_size` distinct values so that traffic contains repeats
+/// (the realistic case the calibration cache exists for).
 ///
 /// # Panics
 ///
-/// Panics if `models` is empty or `seed_pool_size` is zero.
+/// Panics if `entries` is empty or `seed_pool_size` is zero.
 pub fn mixed_trace(
-    models: &[(ModelConfig, TrainingRegime, SimOptions)],
+    entries: &[Arc<CatalogEntry>],
     count: usize,
     seed_pool_size: u64,
     base_seed: u64,
 ) -> Vec<InferenceRequest> {
-    assert!(!models.is_empty(), "traffic trace needs at least one model");
+    assert!(
+        !entries.is_empty(),
+        "traffic trace needs at least one model"
+    );
     assert!(seed_pool_size > 0, "seed pool must be non-empty");
     (0..count)
         .map(|i| {
-            let (model, regime, options) = &models[i % models.len()];
+            let entry = &entries[i % entries.len()];
             InferenceRequest::new(
                 i as u64,
-                model.clone(),
-                *regime,
-                base_seed + (i as u64 / models.len() as u64) % seed_pool_size,
+                Arc::clone(entry),
+                base_seed + (i as u64 / entries.len() as u64) % seed_pool_size,
             )
-            .with_options(*options)
         })
         .collect()
 }
 
-/// The default mixed CIFAR-10 / ImageNet-100 trace used by the serving demo,
-/// tests and benches: the paper's two headline image models at quick scale.
-pub fn default_mixed_models() -> Vec<(ModelConfig, TrainingRegime, SimOptions)> {
-    let cifar = ModelConfig::new("cifar10-serve", DatasetKind::Cifar10, 2, 4, 64, 128, 4);
-    let imagenet = ModelConfig::new(
-        "imagenet100-serve",
-        DatasetKind::ImageNet100,
-        2,
-        4,
-        64,
-        128,
-        4,
-    );
-    vec![
-        (cifar, TrainingRegime::Bsa, SimOptions::baseline()),
-        (imagenet, TrainingRegime::Bsa, SimOptions::with_ecp(6)),
-    ]
+/// The default mixed CIFAR-10 / ImageNet-100 catalog used by the serving
+/// demo, tests and benches: the paper's two headline image models at quick
+/// scale (the entries of
+/// [`ModelCatalog::serving_default`]).
+pub fn default_mixed_models() -> Vec<Arc<CatalogEntry>> {
+    ModelCatalog::serving_default().entries().to_vec()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bishop_model::DatasetKind;
 
     #[test]
     fn mixed_trace_cycles_models_and_repeats_seeds() {
@@ -132,22 +155,31 @@ mod tests {
         let trace = mixed_trace(&models, 8, 2, 100);
         assert_eq!(trace.len(), 8);
         // Round-robin over the two models.
-        assert_eq!(trace[0].model.dataset, DatasetKind::Cifar10);
-        assert_eq!(trace[1].model.dataset, DatasetKind::ImageNet100);
-        assert_eq!(trace[2].model.dataset, DatasetKind::Cifar10);
+        assert_eq!(trace[0].model().dataset, DatasetKind::Cifar10);
+        assert_eq!(trace[1].model().dataset, DatasetKind::ImageNet100);
+        assert_eq!(trace[2].model().dataset, DatasetKind::Cifar10);
+        // Requests share the catalog allocation instead of cloning configs.
+        assert!(Arc::ptr_eq(&trace[0].entry, &trace[2].entry));
+        // Entry defaults are inherited: ImageNet-100 serves with ECP.
+        assert_eq!(trace[1].options, SimOptions::with_ecp(6));
         // Seed pool of 2: request 0 and request 4 repeat the same trace.
         assert_eq!(trace[0].seed, trace[4].seed);
         assert_ne!(trace[0].seed, trace[2].seed);
-        // Ids are sequential.
+        // Ids are sequential; everything runs on the default engine.
         assert_eq!(trace[7].id, 7);
+        assert_eq!(trace[7].engine, EngineName::simulator());
     }
 
     #[test]
-    fn request_builder_sets_options() {
-        let model = ModelConfig::new("m", DatasetKind::Cifar10, 1, 2, 8, 16, 2);
-        let request = InferenceRequest::new(1, model, TrainingRegime::Baseline, 9)
-            .with_options(SimOptions::with_ecp(6));
+    fn request_builders_override_entry_defaults() {
+        let entry = Arc::clone(&default_mixed_models()[0]);
+        let request = InferenceRequest::new(1, entry, 9)
+            .with_options(SimOptions::with_ecp(6))
+            .with_regime(TrainingRegime::Baseline)
+            .with_engine(EngineName::native());
         assert_eq!(request.options, SimOptions::with_ecp(6));
+        assert_eq!(request.regime, TrainingRegime::Baseline);
+        assert_eq!(request.engine.as_str(), "native");
         assert_eq!(request.seed, 9);
     }
 }

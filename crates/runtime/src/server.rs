@@ -3,12 +3,12 @@
 //! ```text
 //!  trace ──► submit_blocking ──► OnlineServer ──► tickets ──► ThroughputReport
 //!            (backpressure)      (batcher +         │
-//!                                 worker pool)      ▼
+//!                                 engine workers)   ▼
 //!                                             InferenceResponse
 //! ```
 //!
 //! [`BishopServer::serve`] is a thin deterministic client of the
-//! [`OnlineServer`](crate::online::OnlineServer): it pushes the whole trace
+//! [`OnlineServer`]: it pushes the whole trace
 //! through the bounded submission queue (blocking for backpressure instead
 //! of shedding), disables the batch timeout so batches close purely on
 //! size-or-flush (timing-free), waits on every ticket and assembles the
@@ -16,17 +16,20 @@
 //!
 //! Determinism: batch formation depends only on submission order, worker
 //! assignment only on deterministic cost estimates, and each batch's
-//! simulation only on its members — so the report's [`ServingAggregates`]
+//! execution only on its members — so, for traces running on deterministic
+//! engines (the default `simulator`), the report's [`ServingAggregates`]
 //! are identical for any worker count. Only [`WallClockStats`] varies.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use bishop_core::BishopConfig;
+use bishop_engine::{CalibrationCache, ResultCache};
 
 use crate::batch::BatchPolicy;
-use crate::cache::{CalibrationCache, ResultCache};
-use crate::online::{AdmissionStats, ExecutedBatch, OnlineConfig, OnlineServer, Ticket};
+use crate::online::{
+    AdmissionStats, ExecutedBatch, OnlineConfig, OnlineServer, ServeError, Ticket,
+};
 use crate::report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,
 };
@@ -35,14 +38,16 @@ use crate::request::{InferenceRequest, InferenceResponse};
 /// Configuration of a [`BishopServer`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Number of worker threads; each models one Bishop chip instance.
+    /// Number of worker threads; each models one execution-substrate
+    /// instance.
     pub workers: usize,
     /// Capacity of the bounded submission queue (submitters block when it
     /// is full — backpressure instead of unbounded memory growth).
     pub queue_capacity: usize,
     /// Batch-former policy.
     pub batching: BatchPolicy,
-    /// Hardware configuration shared by every chip instance.
+    /// Hardware configuration shared by every simulated chip instance (and
+    /// source of the Token-Time-Bundle shape batches are padded to).
     pub hardware: BishopConfig,
 }
 
@@ -85,8 +90,11 @@ impl Default for RuntimeConfig {
 /// Everything a serving run produces.
 #[derive(Debug, Clone)]
 pub struct ServingOutcome {
-    /// One response per request, sorted by request id.
+    /// One response per successfully served request, sorted by request id.
     pub responses: Vec<InferenceResponse>,
+    /// Requests whose engine refused the batch, as `(request_id, error)`
+    /// pairs sorted by request id. Empty for simulator-only traces.
+    pub failures: Vec<(u64, ServeError)>,
     /// The run's throughput report.
     pub report: ThroughputReport,
     /// Requests shed by admission control during the run. Always zero for
@@ -141,7 +149,9 @@ impl BishopServer {
     /// through the bounded submission queue with *blocking* backpressure
     /// (replay never sheds), batches close purely on size-or-flush (no
     /// timeout — timing-free, hence deterministic), and the per-ticket
-    /// responses are collected back sorted by request id.
+    /// outcomes are collected back sorted by request id. Requests whose
+    /// engine refuses the batch land in [`ServingOutcome::failures`] instead
+    /// of aborting the replay.
     pub fn serve(&self, trace: Vec<InferenceRequest>) -> ServingOutcome {
         let start = Instant::now();
         let cache_before = self.cache.stats();
@@ -164,10 +174,15 @@ impl BishopServer {
             })
             .collect();
         handle.flush();
-        let responses: Vec<InferenceResponse> = tickets
-            .into_iter()
-            .map(|ticket| ticket.wait().expect("replay server answers every ticket"))
-            .collect();
+        let mut responses = Vec::new();
+        let mut failures = Vec::new();
+        for ticket in tickets {
+            let id = ticket.request_id();
+            match ticket.wait().expect("replay server answers every ticket") {
+                Ok(response) => responses.push(response),
+                Err(error) => failures.push((id, error)),
+            }
+        }
         let (stats, mut executed) = online.shutdown_with_batches();
         // Executed batches arrive in completion order (worker-timing
         // dependent); sort by formation order so floating-point sums below
@@ -178,6 +193,7 @@ impl BishopServer {
         self.assemble(
             executed,
             responses,
+            failures,
             stats.admission,
             elapsed,
             cache_before,
@@ -185,23 +201,30 @@ impl BishopServer {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         executed: Vec<ExecutedBatch>,
         mut responses: Vec<InferenceResponse>,
+        mut failures: Vec<(u64, ServeError)>,
         admission: AdmissionStats,
         elapsed_seconds: f64,
-        cache_before: crate::cache::CacheStats,
-        results_before: crate::cache::CacheStats,
+        cache_before: bishop_engine::CacheStats,
+        results_before: bishop_engine::CacheStats,
     ) -> ServingOutcome {
         responses.sort_by_key(|r| r.request_id);
+        failures.sort_by_key(|(id, _)| *id);
         let latencies: Vec<f64> = responses.iter().map(|r| r.latency_seconds).collect();
 
         let requests = responses.len() as u64;
         let batches = executed.len() as u64;
-        let total_simulated_cycles: u64 = executed.iter().map(|e| e.metrics.total_cycles()).sum();
-        let total_energy_mj: f64 = executed.iter().map(|e| e.metrics.total_energy_mj()).sum();
-        let busy_seconds = total_simulated_cycles as f64 / self.config.hardware.clock_hz;
+        let total_simulated_cycles: u64 = executed.iter().map(|e| e.output.cycles).sum();
+        let total_energy_mj: f64 = executed.iter().map(|e| e.output.energy_mj).sum();
+        // Busy time sums each batch's latency on its *own* engine's clock.
+        // Dividing the cycle sum by the Bishop clock would misreport any
+        // trace touching other substrates (native CPU cycles at 2.5 GHz,
+        // the GPU roofline at 921.6 MHz).
+        let busy_seconds: f64 = executed.iter().map(|e| e.output.latency_seconds).sum();
         let aggregates = ServingAggregates {
             requests,
             batches,
@@ -218,7 +241,9 @@ impl BishopServer {
                 requests as f64 / busy_seconds
             },
             total_energy_mj,
-            utilization: CoreUtilization::from_runs(executed.iter().map(|e| e.metrics.as_ref())),
+            utilization: CoreUtilization::from_runs(
+                executed.iter().filter_map(|e| e.output.metrics.as_deref()),
+            ),
             cache: self.cache.stats().since(&cache_before),
             result_cache: self.results.stats().since(&results_before),
         };
@@ -233,6 +258,7 @@ impl BishopServer {
         };
         ServingOutcome {
             responses,
+            failures,
             report: ThroughputReport { aggregates, wall },
             admission,
         }
@@ -243,6 +269,7 @@ impl BishopServer {
 mod tests {
     use super::*;
     use crate::request::{default_mixed_models, mixed_trace};
+    use bishop_engine::EngineName;
 
     fn trace(count: usize) -> Vec<InferenceRequest> {
         mixed_trace(&default_mixed_models(), count, 4, 1000)
@@ -253,11 +280,13 @@ mod tests {
         let server = BishopServer::new(RuntimeConfig::new(2, BatchPolicy::new(4)));
         let outcome = server.serve(trace(10));
         assert_eq!(outcome.responses.len(), 10);
+        assert!(outcome.failures.is_empty());
         for (i, response) in outcome.responses.iter().enumerate() {
             assert_eq!(response.request_id, i as u64);
             assert!(response.latency_seconds > 0.0);
             assert!(response.worker < 2);
             assert!(response.energy_share_mj() > 0.0);
+            assert_eq!(response.engine(), "simulator");
         }
         assert_eq!(outcome.report.aggregates.requests, 10);
         assert!(outcome.report.wall.requests_per_second > 0.0);
@@ -315,7 +344,7 @@ mod tests {
         );
         assert_eq!(
             second.report.aggregates.cache,
-            crate::cache::CacheStats::default(),
+            bishop_engine::CacheStats::default(),
             "result hits short-circuit workload synthesis entirely"
         );
         // And the simulated aggregates are unchanged.
@@ -340,5 +369,41 @@ mod tests {
         let u = outcome.report.aggregates.utilization;
         let sum = u.p1 + u.atn + u.p2 + u.mlp;
         assert!((sum - 1.0).abs() < 1e-9, "group shares sum to {sum}");
+    }
+
+    #[test]
+    fn native_engine_trace_serves_with_real_execution() {
+        // Route the non-ECP model to the native CPU backend: every request
+        // gets a measured-wall-clock response with a real prediction.
+        let requests: Vec<InferenceRequest> = trace(8)
+            .into_iter()
+            .filter(|r| r.options.ecp_threshold.is_none())
+            .map(|r| r.with_engine(EngineName::native()))
+            .collect();
+        let count = requests.len();
+        let outcome = BishopServer::new(RuntimeConfig::new(2, BatchPolicy::new(4))).serve(requests);
+        assert_eq!(outcome.responses.len(), count);
+        assert!(outcome.failures.is_empty());
+        for response in &outcome.responses {
+            assert_eq!(response.engine(), "native");
+            assert!(response.output.wall_seconds.expect("measured") > 0.0);
+            assert!(response.output.prediction.is_some());
+        }
+    }
+
+    #[test]
+    fn mixed_engine_traces_report_failures_without_aborting() {
+        // The ImageNet entry defaults to ECP; forcing the whole trace onto
+        // the native engine fails those requests typed while the rest serve.
+        let requests: Vec<InferenceRequest> = trace(8)
+            .into_iter()
+            .map(|r| r.with_engine(EngineName::native()))
+            .collect();
+        let outcome = BishopServer::new(RuntimeConfig::new(2, BatchPolicy::new(4))).serve(requests);
+        assert_eq!(outcome.responses.len() + outcome.failures.len(), 8);
+        assert!(!outcome.failures.is_empty());
+        for (_, error) in &outcome.failures {
+            assert_eq!(error.code(), "ecp_unsupported");
+        }
     }
 }

@@ -37,7 +37,10 @@ fn full_queue_rejects_instead_of_deadlocking() {
     // Every admitted request still completes: no deadlock, no lost ticket.
     let admitted = tickets.len() as u64;
     for ticket in tickets {
-        ticket.wait().expect("admitted requests complete");
+        ticket
+            .wait()
+            .expect("admitted requests complete")
+            .expect("simulator engine executes every batch");
     }
     let stats = server.shutdown();
     assert_eq!(stats.submitted, 64);
@@ -89,7 +92,10 @@ fn deadline_admission_sheds_when_backlog_outlasts_the_deadline() {
     );
 
     handle.flush();
-    ticket.wait().expect("admitted request completes");
+    ticket
+        .wait()
+        .expect("admitted request completes")
+        .expect("simulator engine executes the batch");
     let stats = server.shutdown();
     assert_eq!(stats.admission.deadline, 1);
     assert_eq!(stats.completed, 1);
@@ -111,7 +117,10 @@ fn flush_closes_partial_batches() {
         .collect();
     handle.flush();
     for ticket in tickets {
-        let response = ticket.wait().expect("flush closed the batch");
+        let response = ticket
+            .wait()
+            .expect("flush closed the batch")
+            .expect("simulator engine executes the batch");
         assert_eq!(response.batch_size, 3);
     }
     server.shutdown();

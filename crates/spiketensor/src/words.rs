@@ -24,9 +24,9 @@
 //! including rows that straddle word boundaries and tensors whose total
 //! length is not a multiple of 64.
 
-/// A zero-copy view of a contiguous bit range of a [`SpikeTensor`]'s packed
-/// words — typically the feature row of one `(t, n)` position, or a per-head
-/// sub-range of it.
+/// A zero-copy view of a contiguous bit range of a
+/// [`SpikeTensor`](crate::SpikeTensor)'s packed words — typically the
+/// feature row of one `(t, n)` position, or a per-head sub-range of it.
 ///
 /// Logical bit `i` of the view is physical bit `offset + i` of `words[0]`'s
 /// bit address space. Logical *word* `i` (bits `64·i .. 64·i+64` of the

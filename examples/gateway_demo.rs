@@ -59,9 +59,12 @@ fn main() {
     );
     println!("  curl -s http://{addr}/metrics");
 
-    // 3. The model catalog.
+    // 3. The model catalog (with per-entry engine support) and the
+    //    registered execution backends.
     println!("\n=== GET /v1/models ===");
     println!("{}", get(addr, "/v1/models"));
+    println!("=== GET /v1/engines ===");
+    println!("{}", get(addr, "/v1/engines"));
 
     // 4. A few inference requests — the last two share a batch window.
     println!("=== POST /v1/infer ===");
@@ -72,6 +75,20 @@ fn main() {
         );
         let body = reply.split("\r\n\r\n").nth(1).unwrap_or(&reply);
         println!("seed {seed}: {body}");
+    }
+
+    // 4b. The same model on different execution substrates: the native
+    //     engine really runs the forward pass on the CPU (measured
+    //     wall-clock + a class prediction), the baselines A/B Bishop
+    //     against the paper's comparison accelerators.
+    println!("\n=== POST /v1/infer with \"engine\" ===");
+    for engine in ["native", "ptb", "gpu"] {
+        let reply = post_infer(
+            addr,
+            &format!("{{\"model\": \"cifar10-serve\", \"seed\": 7, \"engine\": \"{engine}\"}}"),
+        );
+        let body = reply.split("\r\n\r\n").nth(1).unwrap_or(&reply);
+        println!("engine {engine}: {body}");
     }
 
     // 5. A request with an unmeetable deadline under a tiny drain estimate

@@ -21,8 +21,11 @@ fn main() {
         trace.len(),
         models.len()
     );
-    for (model, regime, options) in &models {
-        println!("  - {model} ({regime:?}, ecp={:?})", options.ecp_threshold);
+    for entry in &models {
+        println!(
+            "  - {} ({:?}, ecp={:?})",
+            entry.config, entry.regime, entry.options.ecp_threshold
+        );
     }
 
     // 2. The pre-runtime status quo: one workload synthesis and one
@@ -31,7 +34,7 @@ fn main() {
     let start = Instant::now();
     let mut sequential_latency = 0.0;
     for request in &trace {
-        let workload = synthesize(&request.model, request.regime, request.seed);
+        let workload = synthesize(request.model(), request.regime, request.seed);
         let run = simulator.simulate(&workload, &request.options);
         sequential_latency += run.total_latency_seconds();
     }

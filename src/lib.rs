@@ -17,13 +17,16 @@
 //! * [`memsys`] — DRAM/SRAM/energy/area models (28 nm, CACTI-style);
 //! * [`core`] — the Bishop heterogeneous accelerator simulator;
 //! * [`baseline`] — the PTB accelerator and edge-GPU baselines;
+//! * [`engine`] — the pluggable [`InferenceEngine`](bishop_engine::InferenceEngine)
+//!   layer: the simulator, native-CPU and baseline execution backends behind
+//!   one trait, the engine registry, the model catalog and the memoizing
+//!   caches;
 //! * [`train`] — surrogate-gradient training with the BSA loss and ECP-aware
 //!   evaluation;
 //! * [`runtime`] — the batched multi-core inference serving runtime: bounded
 //!   submission queue, Token-Time-Bundle-aligned dynamic batching, a worker
-//!   pool of simulated chip instances, a memoizing calibration cache, online
-//!   submission with tickets + admission control, and per-run throughput
-//!   reports;
+//!   pool executing batches on pluggable engines, online submission with
+//!   tickets + admission control, and per-run throughput reports;
 //! * [`gateway`] — a zero-dependency HTTP/1.1 + JSON gateway over the online
 //!   runtime: `POST /v1/infer`, Prometheus `/metrics`, `/healthz`, load
 //!   shedding with explicit 429/503;
@@ -50,6 +53,7 @@
 pub use bishop_baseline as baseline;
 pub use bishop_bundle as bundle;
 pub use bishop_core as core;
+pub use bishop_engine as engine;
 pub use bishop_experiments as experiments;
 pub use bishop_gateway as gateway;
 pub use bishop_memsys as memsys;
@@ -67,6 +71,10 @@ pub mod prelude {
         StratifiedWorkload, Stratifier, TrainingRegime, TtbTags,
     };
     pub use bishop_core::{BishopConfig, BishopSimulator, RunMetrics, SimOptions, StratifyPolicy};
+    pub use bishop_engine::{
+        BaselineEngine, CatalogEntry, EngineBatch, EngineDescriptor, EngineError, EngineName,
+        EngineOutput, EngineRegistry, InferenceEngine, NativeEngine, SimulatorEngine,
+    };
     pub use bishop_gateway::{Gateway, GatewayConfig, ModelCatalog};
     pub use bishop_memsys::{AreaPowerBreakdown, DramModel, EnergyModel, MemoryHierarchy};
     pub use bishop_model::workload::SyntheticTraceSpec;
@@ -76,8 +84,8 @@ pub mod prelude {
     pub use bishop_neuron::{LifConfig, LifNeuron};
     pub use bishop_runtime::{
         BatchPolicy, BishopServer, CalibrationCache, InferenceRequest, InferenceResponse,
-        OnlineConfig, OnlineServer, RuntimeConfig, ServerHandle, ServingOutcome, ThroughputReport,
-        Ticket,
+        OnlineConfig, OnlineServer, RuntimeConfig, ServeError, ServerHandle, ServingOutcome,
+        ThroughputReport, Ticket,
     };
     pub use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
     pub use bishop_train::{SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig};
