@@ -45,6 +45,18 @@ impl EngineName {
     pub fn native() -> Self {
         Self::new(crate::NATIVE_ENGINE)
     }
+
+    /// The autoselection pseudo-engine: the serving runtime's dispatcher
+    /// resolves it to a concrete engine whose predicted completion meets
+    /// the request's deadline. No backend registers under this name.
+    pub fn auto() -> Self {
+        Self::new(crate::AUTO_ENGINE)
+    }
+
+    /// Whether this is the autoselection pseudo-engine name.
+    pub fn is_auto(&self) -> bool {
+        self.as_str() == crate::AUTO_ENGINE
+    }
 }
 
 impl Default for EngineName {
@@ -109,6 +121,12 @@ pub struct EngineDescriptor {
     /// Upper bound on the folded timestep axis of one batch, if the engine
     /// has one (`None` = unbounded).
     pub max_folded_timesteps: Option<usize>,
+    /// A priori estimate of the dense operations per second this engine
+    /// retires, used to *seed* the serving runtime's per-engine drain-rate
+    /// calibration before any batch has completed. The runtime's online
+    /// EWMA of observed throughput replaces the seed as traffic flows; the
+    /// seed only has to be the right order of magnitude.
+    pub seed_drain_ops_per_second: f64,
     /// One-line human description.
     pub description: &'static str,
 }
@@ -268,6 +286,7 @@ mod tests {
             deterministic: true,
             measures_wall_clock: false,
             max_folded_timesteps: Some(16),
+            seed_drain_ops_per_second: 1e9,
             description: "test engine",
         }
     }
@@ -305,5 +324,8 @@ mod tests {
         assert_ne!(EngineName::native(), EngineName::simulator());
         assert_eq!(EngineName::from("gpu").as_str(), "gpu");
         assert_eq!(format!("{}", EngineName::native()), "native");
+        assert!(EngineName::auto().is_auto());
+        assert!(!EngineName::simulator().is_auto());
+        assert_eq!(EngineName::auto().as_str(), "auto");
     }
 }

@@ -81,3 +81,7 @@ pub const NATIVE_ENGINE: &str = "native";
 pub const PTB_ENGINE: &str = "ptb";
 /// Name of the edge-GPU roofline backend.
 pub const GPU_ENGINE: &str = "gpu";
+/// The pseudo-engine name requesting deadline-aware autoselection: no
+/// backend registers under this name; the serving runtime's dispatcher
+/// resolves it to a concrete engine at admission time.
+pub const AUTO_ENGINE: &str = "auto";

@@ -126,6 +126,10 @@ impl InferenceEngine for NativeEngine {
             deterministic: false,
             measures_wall_clock: true,
             max_folded_timesteps: Some(self.config.max_folded_timesteps),
+            // Real CPU execution is orders of magnitude slower than the
+            // memoized simulator; seed conservatively and let the EWMA of
+            // measured batch wall-clocks take over.
+            seed_drain_ops_per_second: 2e9,
             description: "Functional spiking-transformer forward pass on the host CPU \
                           (word-parallel popcount kernels, measured wall-clock)",
         }

@@ -91,6 +91,25 @@ impl EngineRegistry {
     pub fn names(&self) -> Vec<&'static str> {
         self.engines.iter().map(|e| e.descriptor().name).collect()
     }
+
+    /// The default preference order `"auto"` requests resolve against:
+    /// `native` first (real execution, highest fidelity), then the analytic
+    /// `simulator` as the degradation target under pressure. Baseline
+    /// engines (`ptb`, `gpu`) exist for explicit A/B comparison and are
+    /// never auto-selected.
+    pub fn default_auto_preference() -> [&'static str; 2] {
+        [crate::NATIVE_ENGINE, crate::SIMULATOR_ENGINE]
+    }
+
+    /// The registered engines eligible for `"auto"` resolution, in the
+    /// default preference order (most-preferred first). Engines outside the
+    /// preference list are excluded.
+    pub fn auto_candidates(&self) -> Vec<&Arc<dyn InferenceEngine>> {
+        Self::default_auto_preference()
+            .iter()
+            .filter_map(|name| self.get(name))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +134,28 @@ mod tests {
         );
         assert!(registry.get("native").is_some());
         assert!(registry.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn auto_candidates_prefer_native_then_simulator() {
+        let registry = registry();
+        let names: Vec<&str> = registry
+            .auto_candidates()
+            .iter()
+            .map(|e| e.descriptor().name)
+            .collect();
+        assert_eq!(names, vec!["native", "simulator"]);
+        // A registry without a native backend degrades to simulator-only.
+        let sim_only = EngineRegistry::new().with_engine(Arc::new(SimulatorEngine::new(
+            BishopSimulator::new(BishopConfig::default()),
+        )));
+        let names: Vec<&str> = sim_only
+            .auto_candidates()
+            .iter()
+            .map(|e| e.descriptor().name)
+            .collect();
+        assert_eq!(names, vec!["simulator"]);
+        assert!(EngineRegistry::new().auto_candidates().is_empty());
     }
 
     #[test]

@@ -73,6 +73,9 @@ impl InferenceEngine for SimulatorEngine {
             deterministic: true,
             measures_wall_clock: false,
             max_folded_timesteps: None,
+            // Memoized analytic simulation retires batches in microseconds
+            // once warm; the calibration EWMA corrects from observations.
+            seed_drain_ops_per_second: 5e9,
             description: "Cycle-level Bishop heterogeneous-core simulator with workload and \
                           result memoization",
         }

@@ -56,6 +56,20 @@ fn descriptors_are_unique_and_self_consistent() {
         let d = engine.descriptor();
         assert!(names.insert(d.name), "duplicate engine name {}", d.name);
         assert!(!d.description.is_empty());
+        // The drain-rate seed feeds the runtime's per-engine calibration:
+        // it must be a usable a-priori rate, not a degenerate value.
+        assert!(
+            d.seed_drain_ops_per_second.is_finite() && d.seed_drain_ops_per_second >= 1.0,
+            "{}: seed_drain_ops_per_second {} must be finite and ≥ 1",
+            d.name,
+            d.seed_drain_ops_per_second
+        );
+        // No backend may squat on the autoselection pseudo-engine name.
+        assert_ne!(
+            d.name,
+            bishop_engine::AUTO_ENGINE,
+            "\"auto\" is reserved for the runtime dispatcher"
+        );
         // The descriptor is constant across calls.
         assert_eq!(engine.descriptor(), d);
         // The registry resolves the name back to this engine.

@@ -10,10 +10,12 @@
 //! ```
 //!
 //! Only `model` is required. `engine` selects the execution backend (see
-//! `GET /v1/engines`; default `simulator`); `regime` and `ecp_threshold`
-//! override the catalog entry's defaults; `deadline_ms` opts the request
-//! into deadline admission (shed up front when the backlog would outlast
-//! the deadline).
+//! `GET /v1/engines`; default `simulator`) — or `"auto"`, which lets the
+//! runtime's dispatcher pick the cheapest engine whose predicted completion
+//! meets the deadline (`native` preferred, `simulator` under pressure);
+//! `regime` and `ecp_threshold` override the catalog entry's defaults;
+//! `deadline_ms` opts the request into deadline admission (shed up front
+//! when the backlog would outlast the deadline).
 //!
 //! Errors are machine-readable: every non-2xx body is
 //! `{"error": {"code": "<stable_code>", "message": "<human text>"}}`.
@@ -24,7 +26,7 @@ use std::time::Duration;
 use bishop_bundle::TrainingRegime;
 use bishop_core::SimOptions;
 use bishop_engine::{EngineName, EngineRegistry};
-use bishop_runtime::{InferenceRequest, InferenceResponse};
+use bishop_runtime::{EngineLoadStats, InferenceRequest, InferenceResponse};
 
 use crate::json::Json;
 
@@ -76,10 +78,17 @@ pub struct InferSubmission {
 
 /// Decodes a `/v1/infer` JSON body into a runtime request, resolving the
 /// model against `catalog` and the (optional) engine against `engines`.
+///
+/// `auto_candidates` is the serving runtime's *configured* `"auto"`
+/// preference order (see
+/// [`ServerHandle::auto_candidates`](bishop_runtime::ServerHandle::auto_candidates))
+/// — the preflight must agree with the dispatcher that will actually route
+/// the request, not with the registry default.
 pub fn decode_infer(
     body: &Json,
     catalog: &ModelCatalog,
     engines: &EngineRegistry,
+    auto_candidates: &[EngineName],
     request_id: u64,
 ) -> Result<InferSubmission, ApiError> {
     let model_name = body
@@ -93,34 +102,6 @@ pub fn decode_infer(
             format!("unknown model \"{model_name}\" (catalog: {known:?})"),
         )
     })?;
-
-    let descriptor = match body.get("engine") {
-        // Engine-less requests run on the registry's default (the first
-        // registered engine), not a hardcoded name — a custom registry
-        // without a "simulator" entry still serves them.
-        None => engines
-            .default_engine()
-            .ok_or_else(|| ApiError::new("no_engines", "no execution engines are registered"))?
-            .descriptor(),
-        Some(value) => {
-            let name = value
-                .as_str()
-                .ok_or_else(|| ApiError::new("bad_request", "\"engine\" must be a string"))?;
-            engines
-                .get(name)
-                .ok_or_else(|| {
-                    ApiError::new(
-                        "unknown_engine",
-                        format!(
-                            "unknown engine \"{name}\" (registered: {:?})",
-                            engines.names()
-                        ),
-                    )
-                })?
-                .descriptor()
-        }
-    };
-    let engine = EngineName::new(descriptor.name);
 
     let seed = match body.get("seed") {
         None => 0,
@@ -168,32 +149,94 @@ pub fn decode_infer(
         })?)),
     };
 
+    // Engine resolution. `"auto"` defers the concrete choice to the
+    // runtime's deadline-aware dispatcher; everything else resolves (or
+    // defaults) to a registered backend here.
+    let engine = match body.get("engine") {
+        // Engine-less requests run on the registry's default (the first
+        // registered engine), not a hardcoded name — a custom registry
+        // without a "simulator" entry still serves them.
+        None => EngineName::new(
+            engines
+                .default_engine()
+                .ok_or_else(|| ApiError::new("no_engines", "no execution engines are registered"))?
+                .descriptor()
+                .name,
+        ),
+        Some(value) => {
+            let name = value
+                .as_str()
+                .ok_or_else(|| ApiError::new("bad_request", "\"engine\" must be a string"))?;
+            if name == bishop_engine::AUTO_ENGINE {
+                EngineName::auto()
+            } else {
+                EngineName::new(
+                    engines
+                        .get(name)
+                        .ok_or_else(|| {
+                            ApiError::new(
+                                "unknown_engine",
+                                format!(
+                                    "unknown engine \"{name}\" (registered: {:?}, \
+                                     or \"auto\" for deadline-aware autoselection)",
+                                    engines.names()
+                                ),
+                            )
+                        })?
+                        .descriptor()
+                        .name,
+                )
+            }
+        }
+    };
+
     // Capability preflight: any refusal knowable from the request profile
     // alone — ECP on a non-ECP engine, or a model whose own timestep count
     // already exceeds the engine's fold limit — is rejected here, before
     // the request consumes a queue slot, a batcher pass and a worker
     // dispatch. (The batcher caps coalescing at the fold limit, so the
-    // only worker-side refusals left are bundle-padding edge cases.)
-    if !descriptor.supports_options(&options) {
-        return Err(ApiError::unprocessable(
-            "ecp_unsupported",
-            format!(
-                "engine \"{}\" does not support ECP pruning options \
-                 (set \"ecp_threshold\": null or pick an engine from /v1/models)",
-                descriptor.name
-            ),
-        ));
-    }
-    if let Some(limit) = descriptor.max_folded_timesteps {
-        if entry.config.timesteps > limit {
+    // only worker-side refusals left are bundle-padding edge cases.) An
+    // "auto" request is routable as long as *some* auto-eligible engine
+    // supports the profile; the runtime dispatcher skips the rest.
+    if engine.is_auto() {
+        if !auto_candidates
+            .iter()
+            .filter_map(|name| engines.get(name.as_str()))
+            .any(|e| e.descriptor().supports_model(&entry.config, &options))
+        {
+            let names: Vec<&str> = auto_candidates.iter().map(EngineName::as_str).collect();
             return Err(ApiError::unprocessable(
-                "batch_too_large",
+                "auto_unroutable",
                 format!(
-                    "model \"{}\" spans {} timesteps, above engine \"{}\"'s \
-                     {limit}-folded-timestep capacity",
-                    entry.name, entry.config.timesteps, descriptor.name
+                    "no auto-eligible engine (preference {names:?}) can execute model \
+                     \"{}\" with the requested options",
+                    entry.name
                 ),
             ));
+        }
+    } else if let Some(backend) = engines.get(engine.as_str()) {
+        let descriptor = backend.descriptor();
+        if !descriptor.supports_options(&options) {
+            return Err(ApiError::unprocessable(
+                "ecp_unsupported",
+                format!(
+                    "engine \"{}\" does not support ECP pruning options \
+                     (set \"ecp_threshold\": null or pick an engine from /v1/models)",
+                    descriptor.name
+                ),
+            ));
+        }
+        if let Some(limit) = descriptor.max_folded_timesteps {
+            if entry.config.timesteps > limit {
+                return Err(ApiError::unprocessable(
+                    "batch_too_large",
+                    format!(
+                        "model \"{}\" spans {} timesteps, above engine \"{}\"'s \
+                         {limit}-folded-timestep capacity",
+                        entry.name, entry.config.timesteps, descriptor.name
+                    ),
+                ));
+            }
         }
     }
 
@@ -265,14 +308,17 @@ pub fn models_json(catalog: &ModelCatalog, engines: &EngineRegistry) -> Json {
 }
 
 /// Encodes the engine registry for `GET /v1/engines`: each backend's name
-/// and capability descriptor, in registration (default-first) order.
-pub fn engines_json(engines: &EngineRegistry) -> Json {
+/// and capability descriptor, in registration (default-first) order, plus
+/// — when the serving runtime provides per-engine load stats — the live
+/// scheduling-domain view: queue depth, backlog, calibrated drain rate and
+/// observed p50/p95 latency.
+pub fn engines_json(engines: &EngineRegistry, load: &[EngineLoadStats]) -> Json {
     Json::Array(
         engines
             .descriptors()
             .iter()
             .map(|d| {
-                Json::object(vec![
+                let mut fields = vec![
                     ("name", Json::string(d.name)),
                     ("substrate", Json::string(d.substrate.label())),
                     ("supports_ecp", Json::Bool(d.supports_ecp)),
@@ -285,8 +331,32 @@ pub fn engines_json(engines: &EngineRegistry) -> Json {
                             None => Json::Null,
                         },
                     ),
+                    (
+                        "seed_drain_ops_per_second",
+                        Json::Number(d.seed_drain_ops_per_second),
+                    ),
                     ("description", Json::string(d.description)),
-                ])
+                ];
+                if let Some(stats) = load.iter().find(|s| s.engine.as_str() == d.name) {
+                    fields.extend([
+                        ("queue_depth", Json::from_u64(stats.queue_depth as u64)),
+                        ("backlog_ops", Json::from_u64(stats.backlog_ops)),
+                        ("batches_executed", Json::from_u64(stats.batches_executed)),
+                        ("completed", Json::from_u64(stats.completed)),
+                        ("failed", Json::from_u64(stats.failed)),
+                        (
+                            "drain_ops_per_second",
+                            Json::Number(stats.drain_ops_per_second),
+                        ),
+                        (
+                            "drain_observations",
+                            Json::from_u64(stats.drain_observations),
+                        ),
+                        ("latency_p50_seconds", Json::Number(stats.latency.p50)),
+                        ("latency_p95_seconds", Json::Number(stats.latency.p95)),
+                    ]);
+                }
+                Json::object(fields)
             })
             .collect(),
     )
@@ -324,11 +394,31 @@ mod tests {
         )
     }
 
+    /// The registry's default auto preference as `EngineName`s — what a
+    /// stock `OnlineConfig` would hand `decode_infer`.
+    fn auto_names(engines: &EngineRegistry) -> Vec<EngineName> {
+        engines
+            .auto_candidates()
+            .iter()
+            .map(|e| EngineName::new(e.descriptor().name))
+            .collect()
+    }
+
+    /// `decode_infer` with the registry-default auto candidates.
+    fn decode(
+        body: &Json,
+        catalog: &ModelCatalog,
+        engines: &EngineRegistry,
+        request_id: u64,
+    ) -> Result<InferSubmission, ApiError> {
+        decode_infer(body, catalog, engines, &auto_names(engines), request_id)
+    }
+
     #[test]
     fn decodes_a_minimal_submission_with_catalog_defaults() {
         let catalog = ModelCatalog::serving_default();
         let body = Json::parse(r#"{"model": "imagenet100-serve"}"#).unwrap();
-        let submission = decode_infer(&body, &catalog, &registry(), 41).unwrap();
+        let submission = decode(&body, &catalog, &registry(), 41).unwrap();
         assert_eq!(submission.request.id, 41);
         assert_eq!(submission.request.seed, 0);
         assert_eq!(submission.request.regime, TrainingRegime::Bsa);
@@ -348,7 +438,7 @@ mod tests {
                 "regime": "baseline", "ecp_threshold": null, "deadline_ms": 25}"#,
         )
         .unwrap();
-        let submission = decode_infer(&body, &catalog, &registry(), 1).unwrap();
+        let submission = decode(&body, &catalog, &registry(), 1).unwrap();
         assert_eq!(submission.request.seed, 9);
         assert_eq!(submission.request.regime, TrainingRegime::Baseline);
         assert_eq!(submission.request.options, SimOptions::baseline());
@@ -396,7 +486,7 @@ mod tests {
             ),
         ] {
             let json = Json::parse(body).unwrap();
-            let error = decode_infer(&json, &catalog, &engines, 0).unwrap_err();
+            let error = decode(&json, &catalog, &engines, 0).unwrap_err();
             assert_eq!(error.code, code, "{body}");
             assert!(error.message.contains(needle), "{body} -> {error:?}");
         }
@@ -409,7 +499,7 @@ mod tests {
         // ECP-default model on a non-ECP engine: refused at decode (422,
         // stable code) instead of after admission and worker dispatch.
         let body = Json::parse(r#"{"model": "imagenet100-serve", "engine": "native"}"#).unwrap();
-        let error = decode_infer(&body, &catalog, &engines, 0).unwrap_err();
+        let error = decode(&body, &catalog, &engines, 0).unwrap_err();
         assert_eq!(error.code, "ecp_unsupported");
         assert_eq!(error.status, 422);
         // Disabling ECP makes the same profile executable.
@@ -417,7 +507,7 @@ mod tests {
             r#"{"model": "imagenet100-serve", "engine": "native", "ecp_threshold": null}"#,
         )
         .unwrap();
-        assert!(decode_infer(&body, &catalog, &engines, 0).is_ok());
+        assert!(decode(&body, &catalog, &engines, 0).is_ok());
 
         // A model whose own timestep count exceeds the engine's fold limit
         // can never execute there, batched or alone: refused at decode.
@@ -436,12 +526,12 @@ mod tests {
             SimOptions::baseline(),
         );
         let body = Json::parse(r#"{"model": "marathon", "engine": "native"}"#).unwrap();
-        let error = decode_infer(&body, &catalog, &engines, 0).unwrap_err();
+        let error = decode(&body, &catalog, &engines, 0).unwrap_err();
         assert_eq!(error.code, "batch_too_large");
         assert_eq!(error.status, 422);
         // The unbounded simulator still takes it.
         let body = Json::parse(r#"{"model": "marathon"}"#).unwrap();
-        assert!(decode_infer(&body, &catalog, &engines, 0).is_ok());
+        assert!(decode(&body, &catalog, &engines, 0).is_ok());
     }
 
     #[test]
@@ -453,10 +543,10 @@ mod tests {
         let engines = EngineRegistry::new()
             .with_engine(std::sync::Arc::new(bishop_engine::NativeEngine::new()));
         let body = Json::parse(r#"{"model": "cifar10-serve"}"#).unwrap();
-        let submission = decode_infer(&body, &catalog, &engines, 0).unwrap();
+        let submission = decode(&body, &catalog, &engines, 0).unwrap();
         assert_eq!(submission.request.engine.as_str(), "native");
         // An empty registry is a typed failure, not a panic.
-        let error = decode_infer(&body, &catalog, &EngineRegistry::new(), 0).unwrap_err();
+        let error = decode(&body, &catalog, &EngineRegistry::new(), 0).unwrap_err();
         assert_eq!(error.code, "no_engines");
     }
 
@@ -513,7 +603,7 @@ mod tests {
 
     #[test]
     fn engines_json_publishes_descriptors() {
-        let json = engines_json(&registry());
+        let json = engines_json(&registry(), &[]);
         let Json::Array(engines) = &json else {
             panic!("expected array")
         };
@@ -526,6 +616,9 @@ mod tests {
             engines[0].get("supports_ecp").and_then(Json::as_bool),
             Some(true)
         );
+        assert!(engines[0].get("seed_drain_ops_per_second").is_some());
+        // Without runtime load stats the live fields are absent.
+        assert!(engines[0].get("queue_depth").is_none());
         let native = &engines[1];
         assert_eq!(native.get("name").and_then(Json::as_str), Some("native"));
         assert_eq!(
@@ -536,6 +629,83 @@ mod tests {
             native.get("substrate").and_then(Json::as_str),
             Some("host_cpu")
         );
+    }
+
+    #[test]
+    fn engines_json_merges_live_scheduling_stats() {
+        use bishop_runtime::LatencyPercentiles;
+        let load = vec![EngineLoadStats {
+            engine: EngineName::native(),
+            queue_depth: 3,
+            backlog_ops: 99,
+            batches_executed: 7,
+            completed: 21,
+            failed: 1,
+            drain_ops_per_second: 1234.5,
+            drain_observations: 7,
+            latency: LatencyPercentiles {
+                p50: 0.001,
+                p95: 0.005,
+                p99: 0.006,
+                mean: 0.002,
+                max: 0.006,
+            },
+        }];
+        let json = engines_json(&registry(), &load);
+        let Json::Array(engines) = &json else {
+            panic!("expected array")
+        };
+        let native = engines
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("native"))
+            .expect("native entry");
+        assert_eq!(native.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(native.get("completed").and_then(Json::as_u64), Some(21));
+        assert_eq!(
+            native
+                .get("drain_ops_per_second")
+                .map(|v| matches!(v, Json::Number(n) if *n == 1234.5)),
+            Some(true)
+        );
+        assert!(native.get("latency_p50_seconds").is_some());
+        assert!(native.get("latency_p95_seconds").is_some());
+        // Engines without a load entry keep descriptor-only fields.
+        let simulator = engines
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("simulator"))
+            .expect("simulator entry");
+        assert!(simulator.get("queue_depth").is_none());
+    }
+
+    #[test]
+    fn auto_engine_decodes_and_preflights_against_candidates() {
+        let catalog = ModelCatalog::serving_default();
+        let engines = registry();
+        // "auto" survives decoding as the auto pseudo-engine: the runtime
+        // dispatcher makes the concrete choice at admission.
+        let body = Json::parse(r#"{"model": "cifar10-serve", "engine": "auto"}"#).unwrap();
+        let submission = decode(&body, &catalog, &engines, 0).unwrap();
+        assert!(submission.request.engine.is_auto());
+        // An ECP-default model is auto-routable (the simulator candidate
+        // supports it), even though native would refuse it.
+        let body = Json::parse(r#"{"model": "imagenet100-serve", "engine": "auto"}"#).unwrap();
+        assert!(decode(&body, &catalog, &engines, 0).is_ok());
+        // With only a non-ECP candidate registered, the same profile is
+        // unroutable: typed 422 at decode, before any queue slot.
+        let native_only = EngineRegistry::new()
+            .with_engine(std::sync::Arc::new(bishop_engine::NativeEngine::new()));
+        let error = decode(&body, &catalog, &native_only, 0).unwrap_err();
+        assert_eq!(error.code, "auto_unroutable");
+        assert_eq!(error.status, 422);
+
+        // The preflight honours the runtime's *configured* candidate list,
+        // not the registry default: a server whose auto preference was
+        // restricted to native rejects the ECP profile even though the
+        // full registry holds an ECP-capable simulator.
+        let restricted = [EngineName::native()];
+        let error = decode_infer(&body, &catalog, &engines, &restricted, 0).unwrap_err();
+        assert_eq!(error.code, "auto_unroutable");
+        assert!(error.message.contains("native"), "{}", error.message);
     }
 
     #[test]

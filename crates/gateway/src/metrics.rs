@@ -167,6 +167,7 @@ impl GatewayMetrics {
         for (reason, value) in [
             ("queue_full", runtime.admission.queue_full),
             ("deadline", runtime.admission.deadline),
+            ("no_engine_meets_deadline", runtime.admission.no_engine),
             ("shutdown", runtime.admission.shutdown),
         ] {
             out.push_str(&format!(
@@ -174,19 +175,98 @@ impl GatewayMetrics {
             ));
         }
 
+        // Queue depth: the global gauge plus one labeled sample per engine
+        // scheduling domain (same metric family).
+        out.push_str(
+            "# HELP bishop_runtime_queue_depth Requests admitted but not yet completed \
+             (unlabeled: all domains; engine label: one scheduling domain).\n\
+             # TYPE bishop_runtime_queue_depth gauge\n",
+        );
+        out.push_str(&format!(
+            "bishop_runtime_queue_depth {}\n",
+            runtime.queue_depth as f64
+        ));
+        for engine in &runtime.engines {
+            out.push_str(&format!(
+                "bishop_runtime_queue_depth{{engine=\"{}\"}} {}\n",
+                engine.engine, engine.queue_depth as f64
+            ));
+        }
+
+        // Per-engine scheduling-domain series.
+        let mut engine_family =
+            |name: &str,
+             help: &str,
+             kind: &str,
+             value: fn(&bishop_runtime::EngineLoadStats) -> f64| {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                for engine in &runtime.engines {
+                    out.push_str(&format!(
+                        "{name}{{engine=\"{}\"}} {}\n",
+                        engine.engine,
+                        value(engine)
+                    ));
+                }
+            };
+        engine_family(
+            "bishop_runtime_batches_total",
+            "Batches executed, by engine scheduling domain.",
+            "counter",
+            |e| e.batches_executed as f64,
+        );
+        engine_family(
+            "bishop_runtime_engine_completed_total",
+            "Requests completed, by engine.",
+            "counter",
+            |e| e.completed as f64,
+        );
+        engine_family(
+            "bishop_runtime_engine_failed_total",
+            "Requests failed with a typed engine refusal, by engine.",
+            "counter",
+            |e| e.failed as f64,
+        );
+        engine_family(
+            "bishop_runtime_drain_ops_per_second",
+            "Calibrated drain rate (EWMA of observed ops/second), by engine.",
+            "gauge",
+            |e| e.drain_ops_per_second,
+        );
+        engine_family(
+            "bishop_runtime_engine_latency_seconds_p50",
+            "Observed median per-request latency over a recent window, by engine.",
+            "gauge",
+            |e| e.latency.p50,
+        );
+        engine_family(
+            "bishop_runtime_engine_latency_seconds_p95",
+            "Observed 95th-percentile per-request latency over a recent window, by engine.",
+            "gauge",
+            |e| e.latency.p95,
+        );
+
+        // Backlog: like queue depth, the global gauge and the per-domain
+        // labeled samples share one metric family, so aggregations over
+        // either view reconcile.
+        out.push_str(
+            "# HELP bishop_runtime_backlog_ops Estimated dense ops of the admitted backlog \
+             (unlabeled: all domains; engine label: one scheduling domain).\n\
+             # TYPE bishop_runtime_backlog_ops gauge\n",
+        );
+        out.push_str(&format!(
+            "bishop_runtime_backlog_ops {}\n",
+            runtime.backlog_ops as f64
+        ));
+        for engine in &runtime.engines {
+            out.push_str(&format!(
+                "bishop_runtime_backlog_ops{{engine=\"{}\"}} {}\n",
+                engine.engine, engine.backlog_ops as f64
+            ));
+        }
+
         let mut gauge = |name: &str, help: &str, value: f64| {
             render_metric(&mut out, name, help, "gauge", None, value);
         };
-        gauge(
-            "bishop_runtime_queue_depth",
-            "Requests admitted but not yet completed.",
-            runtime.queue_depth as f64,
-        );
-        gauge(
-            "bishop_runtime_backlog_ops",
-            "Estimated dense ops of the admitted backlog.",
-            runtime.backlog_ops as f64,
-        );
         gauge(
             "bishop_runtime_mean_latency_seconds",
             "Mean simulated per-request latency.",
@@ -240,6 +320,74 @@ mod tests {
         assert!(text.contains("bishop_gateway_http_responses_total{status=\"429\"} 1"));
         assert!(text.contains("bishop_runtime_requests_submitted_total 3"));
         assert!(text.contains("bishop_runtime_requests_shed_total{reason=\"queue_full\"} 0"));
+        assert!(text
+            .contains("bishop_runtime_requests_shed_total{reason=\"no_engine_meets_deadline\"} 0"));
         assert!(text.contains("bishop_gateway_connections_active 1"));
+    }
+
+    #[test]
+    fn renders_per_engine_scheduling_series() {
+        use bishop_runtime::{EngineLoadStats, LatencyPercentiles};
+        let metrics = GatewayMetrics::new();
+        let runtime = OnlineStats {
+            queue_depth: 5,
+            engines: vec![
+                EngineLoadStats {
+                    engine: bishop_engine::EngineName::simulator(),
+                    queue_depth: 1,
+                    backlog_ops: 10,
+                    batches_executed: 4,
+                    completed: 8,
+                    failed: 0,
+                    drain_ops_per_second: 5e9,
+                    drain_observations: 4,
+                    latency: LatencyPercentiles {
+                        p50: 0.001,
+                        p95: 0.002,
+                        p99: 0.002,
+                        mean: 0.001,
+                        max: 0.002,
+                    },
+                },
+                EngineLoadStats {
+                    engine: bishop_engine::EngineName::native(),
+                    queue_depth: 4,
+                    backlog_ops: 999,
+                    batches_executed: 2,
+                    completed: 3,
+                    failed: 1,
+                    drain_ops_per_second: 2e9,
+                    drain_observations: 2,
+                    latency: LatencyPercentiles::default(),
+                },
+            ],
+            ..OnlineStats::default()
+        };
+        let text = metrics.render_prometheus(&runtime);
+        // The global gauge and the per-domain labeled samples share one
+        // metric family.
+        assert!(text.contains("bishop_runtime_queue_depth 5"));
+        assert!(text.contains("bishop_runtime_queue_depth{engine=\"simulator\"} 1"));
+        assert!(text.contains("bishop_runtime_queue_depth{engine=\"native\"} 4"));
+        assert!(text.contains("bishop_runtime_backlog_ops{engine=\"native\"} 999"));
+        assert_eq!(
+            text.matches("# TYPE bishop_runtime_backlog_ops gauge")
+                .count(),
+            1,
+            "global and per-engine backlog share one metric family"
+        );
+        assert!(text.contains("bishop_runtime_batches_total{engine=\"simulator\"} 4"));
+        assert!(text.contains("bishop_runtime_batches_total{engine=\"native\"} 2"));
+        assert!(text.contains("bishop_runtime_drain_ops_per_second{engine=\"native\"} 2000000000"));
+        assert!(text.contains("bishop_runtime_engine_failed_total{engine=\"native\"} 1"));
+        assert!(
+            text.contains("bishop_runtime_engine_latency_seconds_p95{engine=\"simulator\"} 0.002")
+        );
+        // Exactly one HELP/TYPE header per family even with many engines.
+        assert_eq!(
+            text.matches("# TYPE bishop_runtime_queue_depth gauge")
+                .count(),
+            1
+        );
     }
 }

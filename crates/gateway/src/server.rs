@@ -275,7 +275,10 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("GET", "/v1/models") => {
             Response::json(200, &models_json(&shared.catalog, shared.runtime.engines()))
         }
-        ("GET", "/v1/engines") => Response::json(200, &engines_json(shared.runtime.engines())),
+        ("GET", "/v1/engines") => Response::json(
+            200,
+            &engines_json(shared.runtime.engines(), &shared.runtime.engine_stats()),
+        ),
         ("GET", "/metrics") => Response::text(
             200,
             "text/plain; version=0.0.4",
@@ -319,13 +322,16 @@ fn infer(request: &Request, shared: &Shared) -> Response {
         Err(error) => return Response::json(400, &error_body("bad_request", &error.to_string())),
     };
     let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
-    let submission =
-        match decode_infer(&json, &shared.catalog, shared.runtime.engines(), request_id) {
-            Ok(submission) => submission,
-            Err(error) => {
-                return Response::json(error.status, &error_body(error.code, &error.message))
-            }
-        };
+    let submission = match decode_infer(
+        &json,
+        &shared.catalog,
+        shared.runtime.engines(),
+        &shared.runtime.auto_candidates(),
+        request_id,
+    ) {
+        Ok(submission) => submission,
+        Err(error) => return Response::json(error.status, &error_body(error.code, &error.message)),
+    };
 
     let admitted = match submission.deadline {
         Some(deadline) => shared
@@ -344,9 +350,20 @@ fn infer(request: &Request, shared: &Shared) -> Response {
                 &error_body("shutting_down", "server shut down mid-request"),
             ),
         },
-        Err(rejection @ (Rejection::QueueFull | Rejection::DeadlineUnmeetable)) => {
-            Response::json(429, &error_body(rejection.code(), &rejection.to_string()))
-                .with_header("Retry-After", "1")
+        // Load-transient sheds: retrying after backoff can succeed.
+        Err(
+            rejection @ (Rejection::QueueFull
+            | Rejection::DeadlineUnmeetable
+            | Rejection::NoEngineMeetsDeadline),
+        ) => Response::json(429, &error_body(rejection.code(), &rejection.to_string()))
+            .with_header("Retry-After", "1"),
+        // No auto candidate can execute this request shape at all: the
+        // client must change the request, so no Retry-After — 422 like any
+        // other capability refusal. (The decode preflight catches this for
+        // stock configurations; a runtime whose auto preference was
+        // restricted after boot still sheds here.)
+        Err(rejection @ Rejection::NoEngineSupportsRequest) => {
+            Response::json(422, &error_body(rejection.code(), &rejection.to_string()))
         }
         Err(rejection) => {
             Response::json(503, &error_body(rejection.code(), &rejection.to_string()))

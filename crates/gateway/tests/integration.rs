@@ -234,6 +234,95 @@ fn engines_endpoint_lists_backends_and_requests_select_them() {
 }
 
 #[test]
+fn auto_engine_routes_over_the_wire_and_engines_report_load() {
+    let stack = Stack::default();
+    let addr = stack.addr();
+
+    // "engine": "auto" with no deadline resolves on the preferred concrete
+    // engine (native for a profile native supports) — the response names
+    // the engine that actually executed.
+    let body = r#"{"model": "cifar10-serve", "seed": 5, "engine": "auto"}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"engine\":\"native\""), "{reply}");
+
+    // An ECP-default model on auto degrades to the simulator (native has
+    // no ECP path) instead of failing.
+    let body = r#"{"model": "imagenet100-serve", "seed": 5, "engine": "auto"}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"engine\":\"simulator\""), "{reply}");
+
+    // GET /v1/engines now reports the live per-engine scheduling view:
+    // calibrated drain rates, queue depths, observed latency percentiles.
+    let (status, engines) = raw_roundtrip(
+        addr,
+        b"GET /v1/engines HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    for needle in [
+        "\"seed_drain_ops_per_second\"",
+        "\"drain_ops_per_second\"",
+        "\"queue_depth\"",
+        "\"latency_p50_seconds\"",
+        "\"latency_p95_seconds\"",
+        "\"completed\":1",
+    ] {
+        assert!(engines.contains(needle), "missing {needle} in {engines}");
+    }
+
+    // /metrics carries the per-engine labeled series.
+    let (status, metrics) =
+        raw_roundtrip(addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    for needle in [
+        "bishop_runtime_queue_depth{engine=\"native\"}",
+        "bishop_runtime_batches_total{engine=\"simulator\"} 1",
+        "bishop_runtime_batches_total{engine=\"native\"} 1",
+        "bishop_runtime_drain_ops_per_second{engine=\"simulator\"}",
+        "bishop_runtime_engine_latency_seconds_p95{engine=\"native\"}",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in {metrics}");
+    }
+
+    let stats = stack.finish();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn auto_with_unmeetable_deadline_sheds_429_with_a_stable_code() {
+    // Both auto candidates crawl at 1 op/s: any deadline is unmeetable and
+    // the shed is an explicit, machine-readable 429 — never a hang.
+    let stack = Stack::boot(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2))).with_drain_rate(1.0),
+        GatewayConfig::default(),
+    );
+    let body = r#"{"model": "cifar10-serve", "engine": "auto", "deadline_ms": 10}"#;
+    let raw = format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, reply) = raw_roundtrip(stack.addr(), raw.as_bytes());
+    assert_eq!(status, 429, "{reply}");
+    assert!(
+        reply.contains("\"code\":\"no_engine_meets_deadline\""),
+        "{reply}"
+    );
+    assert!(reply.contains("Retry-After"));
+    let stats = stack.finish();
+    assert_eq!(stats.admission.no_engine, 1);
+}
+
+#[test]
 fn engine_refusals_and_unknown_engines_get_machine_readable_codes() {
     let stack = Stack::default();
     let addr = stack.addr();

@@ -190,16 +190,29 @@ pub struct BatchFormer<T = InferenceRequest> {
     pending: HashMap<BatchKey, Vec<T>>,
     insertion_order: Vec<BatchKey>,
     next_batch_id: u64,
+    batch_id_stride: u64,
 }
 
 impl<T: Batchable> BatchFormer<T> {
-    /// Creates an empty former with the given policy.
+    /// Creates an empty former with the given policy, assigning batch ids
+    /// `0, 1, 2, …`.
     pub fn new(policy: BatchPolicy) -> Self {
+        Self::with_ids(policy, 0, 1)
+    }
+
+    /// Creates an empty former assigning batch ids `first_id, first_id +
+    /// stride, first_id + 2·stride, …`. The per-engine scheduling domains
+    /// each run their own former with `first_id` = the domain index and
+    /// `stride` = the domain count, so batch ids stay globally unique *and*
+    /// deterministic (each domain's formation order is deterministic given
+    /// its submission order) without any cross-domain coordination.
+    pub fn with_ids(policy: BatchPolicy, first_id: u64, stride: u64) -> Self {
         Self {
             policy,
             pending: HashMap::new(),
             insertion_order: Vec::new(),
-            next_batch_id: 0,
+            next_batch_id: first_id,
+            batch_id_stride: stride.max(1),
         }
     }
 
@@ -281,7 +294,7 @@ impl<T: Batchable> BatchFormer<T> {
 
     fn close(&mut self, requests: Vec<T>) -> RequestBatch<T> {
         let id = self.next_batch_id;
-        self.next_batch_id += 1;
+        self.next_batch_id += self.batch_id_stride;
         RequestBatch { id, requests }
     }
 }
@@ -443,6 +456,30 @@ mod tests {
         let key = BatchKey::from(&request(0, "m", 0, SimOptions::with_ecp(0)));
         assert!(former.close_key(&key).is_none());
         assert!(former.flush().is_empty());
+    }
+
+    #[test]
+    fn strided_ids_interleave_across_formers() {
+        // Two domain formers over a 3-domain layout: ids never collide and
+        // each former's sequence is deterministic.
+        let mut a = BatchFormer::with_ids(BatchPolicy::new(1), 0, 3);
+        let mut b = BatchFormer::with_ids(BatchPolicy::new(1), 1, 3);
+        let a_ids: Vec<u64> = (0..3)
+            .map(|i| {
+                a.push(request(i, "m", i, SimOptions::baseline()))
+                    .expect("singleton closes")
+                    .id
+            })
+            .collect();
+        let b_ids: Vec<u64> = (0..3)
+            .map(|i| {
+                b.push(request(i, "m", i, SimOptions::baseline()))
+                    .expect("singleton closes")
+                    .id
+            })
+            .collect();
+        assert_eq!(a_ids, vec![0, 3, 6]);
+        assert_eq!(b_ids, vec![1, 4, 7]);
     }
 
     #[test]

@@ -31,10 +31,17 @@
 //! Beyond offline trace replay, the [`online`] module keeps the same stack
 //! *running*: [`ServerHandle::try_submit`] hands back a [`Ticket`] per
 //! request, admission control sheds load with explicit [`Rejection`]s
-//! (queue-depth and deadline based) instead of blocking, and a background
-//! batcher closes Token-Time-Bundle-aligned batches on a size-or-timeout
-//! policy. `BishopServer::serve` is now a deterministic client of that
-//! online path (timeout disabled, blocking backpressure).
+//! (queue-depth and deadline based) instead of blocking, and each engine
+//! runs its own **scheduling domain** — a bounded queue, a batcher closing
+//! Token-Time-Bundle-aligned batches on a size-or-timeout policy, and a
+//! dedicated worker pool — so substrates never head-of-line-block each
+//! other. Per-engine **drain-rate calibration** (an online EWMA of observed
+//! ops/second fed back from worker completions) drives both deadline
+//! admission and `"auto"` engine selection: requests naming
+//! [`EngineName::auto`](bishop_engine::EngineName::auto) route to the
+//! most-preferred engine whose predicted completion meets their deadline.
+//! `BishopServer::serve` is now a deterministic client of that online path
+//! (timeout disabled, blocking backpressure).
 //!
 //! ```
 //! use bishop_runtime::{mixed_trace, default_mixed_models, BatchPolicy, BishopServer, RuntimeConfig};
@@ -63,8 +70,8 @@ pub use bishop_engine::cache;
 pub use batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 pub use online::{
-    AdmissionStats, OnlineConfig, OnlineServer, OnlineStats, Rejection, ServeError, ServeResult,
-    ServerHandle, Ticket,
+    AdmissionStats, EngineLoadStats, OnlineConfig, OnlineServer, OnlineStats, Rejection,
+    ServeError, ServeResult, ServerHandle, Ticket, DEFAULT_DRAIN_OPS_PER_SECOND,
 };
 pub use report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,

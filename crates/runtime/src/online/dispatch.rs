@@ -1,0 +1,267 @@
+//! Deadline-aware engine autoselection.
+//!
+//! A request submitted with [`EngineName::auto`] does not name a substrate;
+//! the dispatcher resolves one at admission time from the per-engine
+//! scheduling state: it walks the auto-eligible engines in preference order
+//! (most-preferred first — `native` before `simulator` by default, so
+//! requests get real execution whenever their budget allows it), skips
+//! engines whose descriptor cannot execute the request profile at all, and
+//! picks the first whose **predicted completion** — the domain's queued
+//! backlog plus the request's own cost, divided by the engine's calibrated
+//! [`DrainRate`](super::calibration::DrainRate) — fits the request's
+//! deadline. A deadline no eligible engine can meet sheds the request with
+//! the typed [`Rejection::NoEngineMeetsDeadline`](super::Rejection), before
+//! it consumes a queue slot anywhere.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bishop_engine::{EngineDescriptor, EngineName};
+
+use crate::request::InferenceRequest;
+
+use super::calibration::EngineCells;
+use super::domain::DomainSubmitter;
+use super::Rejection;
+
+/// One resolvable engine: its identity and descriptor, the per-engine
+/// scheduling cells, and the index of the domain serving it.
+#[derive(Debug)]
+pub(crate) struct EngineEntry {
+    pub(crate) name: EngineName,
+    pub(crate) descriptor: EngineDescriptor,
+    pub(crate) cells: Arc<EngineCells>,
+    pub(crate) domain: usize,
+}
+
+/// Predicted seconds until a request submitted *now* completes on an
+/// engine: everything already queued ahead of it in the engine's domain
+/// plus its own cost, drained at the engine's calibrated rate.
+pub(crate) fn predicted_completion_seconds(
+    domain_backlog_ops: u64,
+    request_ops: u64,
+    drain_ops_per_second: f64,
+) -> f64 {
+    (domain_backlog_ops as f64 + request_ops as f64) / drain_ops_per_second.max(1.0)
+}
+
+/// Resolves an `"auto"` request to the index (into `entries`) of the
+/// most-preferred eligible engine whose predicted completion meets the
+/// deadline. Without a deadline every eligible engine qualifies, so the
+/// most-preferred one wins outright.
+pub(crate) fn select_engine(
+    entries: &[EngineEntry],
+    auto_order: &[usize],
+    domains: &[DomainSubmitter],
+    request: &InferenceRequest,
+    estimated_ops: u64,
+    deadline: Option<Duration>,
+) -> Result<usize, Rejection> {
+    let mut any_supports = false;
+    for &index in auto_order {
+        let entry = &entries[index];
+        // Never route onto an engine the descriptor says would refuse the
+        // profile (ECP on a non-ECP engine, oversized fold): a typed
+        // refusal after dispatch would waste the queue slot the request
+        // was admitted into.
+        if !entry
+            .descriptor
+            .supports_model(request.model(), &request.options)
+        {
+            continue;
+        }
+        any_supports = true;
+        match deadline {
+            None => return Ok(index),
+            Some(deadline) => {
+                let predicted = predicted_completion_seconds(
+                    domains[entry.domain].backlog_ops(),
+                    estimated_ops,
+                    entry.cells.drain.ops_per_second(),
+                );
+                if predicted <= deadline.as_secs_f64() {
+                    return Ok(index);
+                }
+            }
+        }
+    }
+    // Two distinct sheds: a profile no candidate can execute is permanent
+    // (retrying cannot help — the client must change the request), while a
+    // deadline no candidate meets is load-transient (retry-able).
+    if any_supports {
+        Err(Rejection::NoEngineMeetsDeadline)
+    } else {
+        Err(Rejection::NoEngineSupportsRequest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bishop_core::SimOptions;
+    use bishop_engine::{CatalogEntry, EngineSubstrate};
+    use bishop_model::{DatasetKind, ModelConfig};
+    use std::sync::mpsc;
+
+    fn entry(
+        name: &str,
+        domain: usize,
+        seed_rate: f64,
+        supports_ecp: bool,
+    ) -> (EngineEntry, DomainSubmitter) {
+        let cells = Arc::new(EngineCells::new(EngineName::from(name), seed_rate));
+        let descriptor = EngineDescriptor {
+            name: if name == "native" {
+                "native"
+            } else {
+                "simulator"
+            },
+            substrate: EngineSubstrate::HostCpu,
+            supports_ecp,
+            deterministic: true,
+            measures_wall_clock: false,
+            max_folded_timesteps: None,
+            seed_drain_ops_per_second: seed_rate,
+            description: "test",
+        };
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let submitter = DomainSubmitter {
+            tx,
+            engines: vec![Arc::clone(&cells)],
+        };
+        (
+            EngineEntry {
+                name: EngineName::from(name),
+                descriptor,
+                cells,
+                domain,
+            },
+            submitter,
+        )
+    }
+
+    fn request(options: SimOptions) -> InferenceRequest {
+        let entry = CatalogEntry::new(
+            ModelConfig::new("m", DatasetKind::Cifar10, 1, 4, 16, 32, 2),
+            bishop_bundle::TrainingRegime::Bsa,
+            options,
+        );
+        InferenceRequest::new(0, entry, 1).with_engine(EngineName::auto())
+    }
+
+    #[test]
+    fn prefers_the_first_engine_that_meets_the_deadline() {
+        let (slow, slow_domain) = entry("native", 0, 1e3, false);
+        let (fast, fast_domain) = entry("simulator", 1, 1e12, true);
+        let entries = [slow, fast];
+        let domains = [slow_domain, fast_domain];
+        let request = request(SimOptions::baseline());
+        let ops = 1_000_000;
+
+        // No deadline: most-preferred (first) engine wins.
+        let chosen =
+            select_engine(&entries, &[0, 1], &domains, &request, ops, None).expect("eligible");
+        assert_eq!(chosen, 0);
+        // Tight deadline: 1e6 ops at 1e3 ops/s is 1000 s — the slow engine
+        // cannot meet 1 ms, the fast one predicts 1 µs and wins.
+        let chosen = select_engine(
+            &entries,
+            &[0, 1],
+            &domains,
+            &request,
+            ops,
+            Some(Duration::from_millis(1)),
+        )
+        .expect("fast engine fits");
+        assert_eq!(chosen, 1);
+        // Loose deadline: the slow-but-preferred engine fits again.
+        let chosen = select_engine(
+            &entries,
+            &[0, 1],
+            &domains,
+            &request,
+            ops,
+            Some(Duration::from_secs(2000)),
+        )
+        .expect("slow engine fits");
+        assert_eq!(chosen, 0);
+    }
+
+    #[test]
+    fn sheds_when_no_engine_meets_the_deadline() {
+        let (slow, slow_domain) = entry("native", 0, 1.0, false);
+        let entries = [slow];
+        let domains = [slow_domain];
+        let outcome = select_engine(
+            &entries,
+            &[0],
+            &domains,
+            &request(SimOptions::baseline()),
+            1_000_000,
+            Some(Duration::from_millis(1)),
+        );
+        assert_eq!(outcome, Err(Rejection::NoEngineMeetsDeadline));
+    }
+
+    #[test]
+    fn skips_engines_that_cannot_execute_the_profile() {
+        // ECP request: the non-ECP preferred engine is ineligible even with
+        // no deadline; the ECP-capable one is chosen.
+        let (no_ecp, d0) = entry("native", 0, 1e12, false);
+        let (with_ecp, d1) = entry("simulator", 1, 1e12, true);
+        let entries = [no_ecp, with_ecp];
+        let domains = [d0, d1];
+        let chosen = select_engine(
+            &entries,
+            &[0, 1],
+            &domains,
+            &request(SimOptions::with_ecp(6)),
+            1000,
+            None,
+        )
+        .expect("ECP-capable engine eligible");
+        assert_eq!(chosen, 1);
+        // No candidate supports the profile at all: the *permanent* shed,
+        // distinct from a transient unmeetable deadline.
+        let outcome = select_engine(
+            &entries,
+            &[0],
+            &domains,
+            &request(SimOptions::with_ecp(6)),
+            1000,
+            None,
+        );
+        assert_eq!(outcome, Err(Rejection::NoEngineSupportsRequest));
+    }
+
+    #[test]
+    fn prediction_accounts_for_queued_backlog() {
+        let (engine, domain) = entry("native", 0, 1e6, false);
+        // Empty domain: 1e3 ops at 1e6 ops/s = 1 ms, meets a 10 ms deadline.
+        assert!(select_engine(
+            &[engine],
+            &[0],
+            std::slice::from_ref(&domain),
+            &request(SimOptions::baseline()),
+            1_000,
+            Some(Duration::from_millis(10)),
+        )
+        .is_ok());
+        // 1e6 ops of backlog pushes predicted completion past the deadline.
+        domain.engines[0]
+            .backlog_ops
+            .store(1_000_000, std::sync::atomic::Ordering::Release);
+        let (engine, _) = entry("native", 0, 1e6, false);
+        assert_eq!(
+            select_engine(
+                &[engine],
+                &[0],
+                std::slice::from_ref(&domain),
+                &request(SimOptions::baseline()),
+                1_000,
+                Some(Duration::from_millis(10)),
+            ),
+            Err(Rejection::NoEngineMeetsDeadline)
+        );
+    }
+}

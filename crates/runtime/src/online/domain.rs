@@ -1,0 +1,409 @@
+//! One scheduling domain: a bounded queue, a batcher and a dedicated
+//! worker pool serving a fixed set of engines.
+//!
+//! With domain isolation on (the default) every registered engine gets its
+//! own domain, so substrates can never head-of-line-block each other: a
+//! multi-millisecond `native` batch occupies only the native domain's
+//! workers while `simulator` traffic keeps flowing through its own. The
+//! pre-refactor topology — one shared queue and pool for every engine — is
+//! still constructible as a single domain serving all engines via
+//! [`OnlineConfig::with_domain_isolation`](super::OnlineConfig::with_domain_isolation),
+//! which is what the scheduler bench A/Bs against.
+
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bishop_engine::{EngineOutput, EngineRegistry};
+
+use crate::batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
+use crate::request::{InferenceRequest, InferenceResponse};
+
+use super::calibration::{add_f64, max_f64, EngineCells};
+use super::{ServeError, ServeResult, StatsCells};
+
+/// One admitted request travelling through a domain batcher: the request
+/// plus its completion channel and cached cost estimate.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    pub(crate) request: InferenceRequest,
+    pub(crate) completion: mpsc::Sender<ServeResult>,
+    pub(crate) estimated_ops: u64,
+}
+
+impl Batchable for PendingRequest {
+    fn request(&self) -> &InferenceRequest {
+        &self.request
+    }
+}
+
+/// Messages flowing from handles into a domain's batcher thread.
+pub(crate) enum Submission {
+    Request(Box<PendingRequest>),
+    Flush(mpsc::Sender<()>),
+    Shutdown,
+}
+
+/// One executed batch, recorded for post-run report assembly. (Per-request
+/// worker attribution lives on the ticket responses, not here.)
+#[derive(Debug)]
+pub(crate) struct ExecutedBatch {
+    pub(crate) batch: RequestBatch<InferenceRequest>,
+    pub(crate) output: Arc<EngineOutput>,
+}
+
+/// The submission half of a domain, held by every
+/// [`ServerHandle`](super::ServerHandle) clone: the bounded channel into
+/// the domain's batcher plus the per-engine cells of the engines the
+/// domain serves (whose backlogs together form the domain's admission
+/// backlog).
+#[derive(Debug, Clone)]
+pub(crate) struct DomainSubmitter {
+    pub(crate) tx: mpsc::SyncSender<Submission>,
+    pub(crate) engines: Vec<Arc<EngineCells>>,
+}
+
+impl DomainSubmitter {
+    /// Estimated dense ops queued ahead of a new arrival in this domain:
+    /// the sum of its engines' backlogs. With isolation on this is one
+    /// engine's backlog; in the shared layout it is the whole stack's —
+    /// which is exactly why a shared pool head-of-line-blocks.
+    pub(crate) fn backlog_ops(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|e| e.backlog_ops.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+/// The thread half of a running domain, joined at shutdown.
+#[derive(Debug)]
+pub(crate) struct DomainThreads {
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DomainThreads {
+    /// Joins the domain's batcher, then its workers (the batcher dropping
+    /// its batch senders is what lets the workers drain and exit).
+    pub(crate) fn join(self) {
+        let _ = self.batcher.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Everything needed to boot one domain.
+pub(crate) struct DomainSpec {
+    /// The engines this domain serves (per-engine layout: exactly one).
+    pub(crate) engines: Vec<Arc<EngineCells>>,
+    /// Dedicated worker threads.
+    pub(crate) workers: usize,
+    /// Capacity of the domain's bounded submission channel.
+    pub(crate) queue_capacity: usize,
+    /// First batch id this domain's former assigns.
+    pub(crate) batch_id_base: u64,
+    /// Stride between consecutive batch ids (the domain count), keeping ids
+    /// globally unique and deterministic across domains.
+    pub(crate) batch_id_stride: u64,
+    /// Batch-former policy.
+    pub(crate) policy: BatchPolicy,
+    /// Size-*or*-timeout batching window (`None` = size/flush only).
+    pub(crate) batch_timeout: Option<Duration>,
+    /// Bundle shape batches are padded to.
+    pub(crate) bundle: bishop_bundle::BundleShape,
+    /// Engine resolution for the domain's workers.
+    pub(crate) registry: Arc<EngineRegistry>,
+    /// Global server counters.
+    pub(crate) cells: Arc<StatsCells>,
+    /// Executed-batch recording sink, when enabled.
+    pub(crate) record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
+}
+
+/// Boots one domain: its bounded channel, batcher thread and worker pool.
+pub(crate) fn spawn_domain(spec: DomainSpec) -> (DomainSubmitter, DomainThreads) {
+    let (submit_tx, submit_rx) = mpsc::sync_channel::<Submission>(spec.queue_capacity);
+    let mut batch_txs = Vec::with_capacity(spec.workers);
+    let mut workers = Vec::with_capacity(spec.workers);
+    for index in 0..spec.workers {
+        let (tx, rx) = mpsc::channel::<RequestBatch<PendingRequest>>();
+        batch_txs.push(tx);
+        workers.push(spawn_worker(
+            index,
+            rx,
+            Arc::clone(&spec.registry),
+            Arc::clone(&spec.cells),
+            spec.engines.clone(),
+            spec.record.clone(),
+            spec.bundle,
+        ));
+    }
+    let batcher = spawn_batcher(
+        submit_rx,
+        batch_txs,
+        Arc::clone(&spec.registry),
+        spec.policy,
+        spec.batch_timeout,
+        spec.bundle,
+        spec.batch_id_base,
+        spec.batch_id_stride,
+    );
+    (
+        DomainSubmitter {
+            tx: submit_tx,
+            engines: spec.engines,
+        },
+        DomainThreads { batcher, workers },
+    )
+}
+
+/// Most riders one batch may hold for `request`'s engine: the largest count
+/// whose *padded* fold (batched timesteps rounded up to the bundle multiple
+/// `BSt`) stays within the engine's folded-timestep limit, so coalescing
+/// never builds a batch the engine is known to refuse while each rider
+/// alone would execute. (A model whose singleton fold already pads past the
+/// limit caps at 1 and surfaces the engine's typed refusal.)
+fn engine_batch_cap(
+    registry: &EngineRegistry,
+    request: &InferenceRequest,
+    bundle: bishop_bundle::BundleShape,
+) -> usize {
+    registry
+        .get(request.engine.as_str())
+        .and_then(|engine| engine.descriptor().max_folded_timesteps)
+        .map(|limit| {
+            // Padding rounds folds up to a multiple of BSt, so the usable
+            // budget is the largest such multiple at or below the limit.
+            let usable = (limit / bundle.timesteps.max(1)) * bundle.timesteps.max(1);
+            (usable / request.model().timesteps.max(1)).max(1)
+        })
+        .unwrap_or(usize::MAX)
+}
+
+/// Spawns a domain's batcher thread: drains the domain channel, forms
+/// size-or-timeout batches (capped at the target engine's fold limit), and
+/// dispatches them least-loaded across the domain's own workers.
+#[allow(clippy::too_many_arguments)]
+fn spawn_batcher(
+    submit_rx: mpsc::Receiver<Submission>,
+    batch_txs: Vec<mpsc::Sender<RequestBatch<PendingRequest>>>,
+    registry: Arc<EngineRegistry>,
+    policy: BatchPolicy,
+    batch_timeout: Option<Duration>,
+    bundle: bishop_bundle::BundleShape,
+    batch_id_base: u64,
+    batch_id_stride: u64,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let workers = batch_txs.len();
+        let mut former =
+            BatchFormer::<PendingRequest>::with_ids(policy, batch_id_base, batch_id_stride);
+        // Open keys in arrival order of their oldest member, for the
+        // timeout policy. Entries leave when their batch closes.
+        let mut ages: Vec<(Instant, BatchKey)> = Vec::new();
+        let mut load = vec![0u64; workers];
+        let dispatch = |batch: RequestBatch<PendingRequest>, load: &mut [u64]| {
+            let target = (0..workers)
+                .min_by_key(|&w| (load[w], w))
+                .expect("at least one worker");
+            load[target] += batch.estimated_ops(bundle);
+            // A worker hanging up mid-shutdown drops the batch; its tickets
+            // resolve to `None` rather than deadlocking.
+            let _ = batch_txs[target].send(batch);
+        };
+
+        'run: loop {
+            // Wait for the next message, or — with a timeout policy and an
+            // open batch — until the oldest open batch comes due.
+            let message = match (batch_timeout, ages.first()) {
+                (Some(timeout), Some((opened, _))) => {
+                    let due = *opened + timeout;
+                    match due.checked_duration_since(Instant::now()) {
+                        None => None, // already due: close aged batches below
+                        Some(wait) => match submit_rx.recv_timeout(wait) {
+                            Ok(message) => Some(message),
+                            Err(mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break 'run,
+                        },
+                    }
+                }
+                _ => match submit_rx.recv() {
+                    Ok(message) => Some(message),
+                    Err(_) => break 'run,
+                },
+            };
+
+            match message {
+                Some(Submission::Request(pending)) => {
+                    let key = BatchKey::from(pending.request());
+                    let cap = engine_batch_cap(&registry, pending.request(), bundle);
+                    let newly_opened = former.pending_count(&key) == 0;
+                    match former.push_capped(*pending, cap) {
+                        Some(batch) => {
+                            ages.retain(|(_, k)| *k != key);
+                            dispatch(batch, &mut load);
+                        }
+                        None if newly_opened => ages.push((Instant::now(), key)),
+                        None => {}
+                    }
+                }
+                Some(Submission::Flush(ack)) => {
+                    for batch in former.flush() {
+                        dispatch(batch, &mut load);
+                    }
+                    ages.clear();
+                    let _ = ack.send(());
+                }
+                Some(Submission::Shutdown) => {
+                    // Drain whatever raced in behind the shutdown marker so
+                    // already-admitted requests still get served.
+                    while let Ok(message) = submit_rx.try_recv() {
+                        match message {
+                            Submission::Request(pending) => {
+                                let cap = engine_batch_cap(&registry, pending.request(), bundle);
+                                if let Some(batch) = former.push_capped(*pending, cap) {
+                                    dispatch(batch, &mut load);
+                                }
+                            }
+                            Submission::Flush(ack) => {
+                                let _ = ack.send(());
+                            }
+                            Submission::Shutdown => {}
+                        }
+                    }
+                    break 'run;
+                }
+                None => {
+                    // Timeout tick: close every batch whose oldest member
+                    // has waited past the policy timeout.
+                    let timeout = batch_timeout.expect("timeout tick implies a timeout policy");
+                    let now = Instant::now();
+                    while let Some((opened, _)) = ages.first() {
+                        if *opened + timeout > now {
+                            break;
+                        }
+                        let (_, key) = ages.remove(0);
+                        if let Some(batch) = former.close_key(&key) {
+                            dispatch(batch, &mut load);
+                        }
+                    }
+                }
+            }
+        }
+
+        for batch in former.flush() {
+            dispatch(batch, &mut load);
+        }
+        // Dropping the senders lets every worker drain its queue and exit.
+    })
+}
+
+/// Spawns one domain worker: executes batches on whichever engine each
+/// batch names, resolves riders' tickets, and feeds the engine's drain-rate
+/// calibration with the measured wall-clock of every completion.
+fn spawn_worker(
+    index: usize,
+    batch_rx: mpsc::Receiver<RequestBatch<PendingRequest>>,
+    registry: Arc<EngineRegistry>,
+    cells: Arc<StatsCells>,
+    engines: Vec<Arc<EngineCells>>,
+    record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
+    bundle: bishop_bundle::BundleShape,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for batch in batch_rx {
+            let started = Instant::now();
+            let outcome = match registry.get(batch.engine().as_str()) {
+                None => Err(ServeError::UnknownEngine(batch.engine().clone())),
+                Some(engine) => engine
+                    .execute(&batch.engine_batch(bundle))
+                    .map_err(ServeError::Engine),
+            };
+            let wall_seconds = started.elapsed().as_secs_f64();
+            let batch_size = batch.len();
+            let batch_ops: u64 = batch.requests.iter().map(|p| p.estimated_ops).sum();
+            // Requests naming an unregistered engine ride the default
+            // domain and fail typed below; they have no per-engine cells.
+            let engine_cells = engines
+                .iter()
+                .find(|e| e.name == *batch.engine())
+                .map(Arc::clone);
+
+            match outcome {
+                Ok(output) => {
+                    let output = Arc::new(output);
+                    let latency = output.latency_seconds;
+                    cells.batches_executed.fetch_add(1, Ordering::AcqRel);
+                    cells
+                        .total_cycles
+                        .fetch_add(output.cycles, Ordering::AcqRel);
+                    add_f64(&cells.energy_mj_bits, output.energy_mj);
+                    add_f64(&cells.latency_sum_bits, latency * batch_size as f64);
+                    max_f64(&cells.latency_max_bits, latency);
+                    if let Some(engine) = &engine_cells {
+                        engine.batches_executed.fetch_add(1, Ordering::AcqRel);
+                        engine.drain.observe(batch_ops, wall_seconds);
+                        engine.latency.record(latency, batch_size);
+                    }
+
+                    if let Some(record) = &record {
+                        record.lock().expect("executed lock").push(ExecutedBatch {
+                            batch: RequestBatch {
+                                id: batch.id,
+                                requests: batch
+                                    .requests
+                                    .iter()
+                                    .map(|p| p.request.clone())
+                                    .collect(),
+                            },
+                            output: Arc::clone(&output),
+                        });
+                    }
+
+                    for pending in batch.requests {
+                        let response = InferenceResponse {
+                            request_id: pending.request.id,
+                            batch_id: batch.id,
+                            batch_size,
+                            worker: index,
+                            latency_seconds: latency,
+                            output: Arc::clone(&output),
+                        };
+                        cells
+                            .backlog_ops
+                            .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                        cells.pending.fetch_sub(1, Ordering::AcqRel);
+                        cells.completed.fetch_add(1, Ordering::AcqRel);
+                        if let Some(engine) = &engine_cells {
+                            engine
+                                .backlog_ops
+                                .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                            engine.pending.fetch_sub(1, Ordering::AcqRel);
+                            engine.completed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        let _ = pending.completion.send(Ok(response));
+                    }
+                }
+                Err(error) => {
+                    for pending in batch.requests {
+                        cells
+                            .backlog_ops
+                            .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                        cells.pending.fetch_sub(1, Ordering::AcqRel);
+                        cells.failed.fetch_add(1, Ordering::AcqRel);
+                        if let Some(engine) = &engine_cells {
+                            engine
+                                .backlog_ops
+                                .fetch_sub(pending.estimated_ops, Ordering::AcqRel);
+                            engine.pending.fetch_sub(1, Ordering::AcqRel);
+                            engine.failed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        let _ = pending.completion.send(Err(error.clone()));
+                    }
+                }
+            }
+        }
+    })
+}

@@ -1,0 +1,1148 @@
+//! Online submission: the always-on serving path.
+//!
+//! Where [`BishopServer::serve`](crate::BishopServer::serve) replays a closed
+//! trace, this module keeps a server *running*: clients call
+//! [`ServerHandle::try_submit`] at any time and get back a [`Ticket`] that
+//! resolves to the request's [`InferenceResponse`] once the batch it rode in
+//! has been executed.
+//!
+//! ```text
+//!                      ┌► admission ─► domain: simulator ─► batcher ─► workers
+//!  clients ─► dispatch │   control     (bounded queue)      size-or-   (dedicated)
+//!             "auto" → │   shed:        …                   timeout        │
+//!             engine   │   queue/      domain: native   ─► batcher ─► workers
+//!             by       │   deadline    (bounded queue)                    ▼
+//!             deadline └──────────────────────────────────────────► per-ticket
+//!                                                                   completion
+//! ```
+//!
+//! **Scheduling domains.** Every registered engine gets its own *domain*: a
+//! bounded queue, a batcher with its own [`BatchFormer`] (capped at that
+//! engine's padded fold limit) and a dedicated worker pool — so substrates
+//! can never head-of-line-block each other (a slow `native` batch occupies
+//! only native workers; `simulator` traffic flows on beside it). The
+//! pre-domain topology (one shared queue and pool) remains available via
+//! [`OnlineConfig::with_domain_isolation`] for A/B measurement.
+//!
+//! **Admission control** sheds load with explicit [`Rejection`]s instead of
+//! blocking: a request is rejected when the pending count reaches
+//! `max_pending` (queue-depth shedding), when its domain's bounded channel
+//! is full, or when its deadline cannot be met given the *domain's* admitted
+//! backlog drained at the engine's **calibrated rate** — an online EWMA of
+//! observed ops/second per engine, seeded from the engine descriptor and fed
+//! back from every worker completion. A shed request costs the caller a few
+//! atomic reads — it never touches a batcher.
+//!
+//! **Autoselection.** A request naming [`EngineName::auto`] is routed by the
+//! dispatcher to the most-preferred engine whose *predicted completion*
+//! (domain backlog + own cost, at the calibrated drain rate) meets its
+//! deadline — `native` when the budget allows real execution, degrading to
+//! `simulator` under pressure, shedding with
+//! [`Rejection::NoEngineMeetsDeadline`] only when nothing fits.
+//!
+//! **Batching** follows a size-*or-timeout* policy per domain: a batch
+//! closes as soon as `max_batch_size` compatible requests arrived, or when
+//! its oldest member has waited `batch_timeout`. With `batch_timeout: None`
+//! batches close only on size or an explicit [`ServerHandle::flush`] — the
+//! timing-free mode the deterministic offline `serve` path is built on.
+//! Batch ids are strided across domains (domain *i* of *n* assigns ids
+//! `i, i+n, i+2n, …`), keeping them globally unique and deterministic.
+//!
+//! **Execution** is pluggable: each domain worker resolves the batch's
+//! [`EngineName`] through the server's [`EngineRegistry`] and executes it on
+//! that backend. An engine refusal is not a crash or a hang — the riders'
+//! tickets resolve to a typed [`ServeError`] and the failure is counted in
+//! [`OnlineStats::failed`].
+
+mod calibration;
+mod dispatch;
+mod domain;
+
+pub use calibration::EngineLoadStats;
+pub(crate) use domain::ExecutedBatch;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use bishop_engine::{CalibrationCache, EngineError, EngineName, EngineRegistry, ResultCache};
+
+use crate::batch::config_ops;
+use crate::request::{InferenceRequest, InferenceResponse};
+use crate::server::RuntimeConfig;
+
+use calibration::EngineCells;
+use dispatch::EngineEntry;
+use domain::{
+    spawn_domain, DomainSpec, DomainSubmitter, DomainThreads, PendingRequest, Submission,
+};
+
+// Referenced by the module docs above.
+#[allow(unused_imports)]
+use crate::batch::BatchFormer;
+
+/// The drain rate (dense ops per second) assumed for requests naming an
+/// engine the registry does not hold (they fail typed after dispatch, but
+/// deadline admission still needs *some* rate), when the deprecated global
+/// knob is unset. This was the old single global default.
+pub const DEFAULT_DRAIN_OPS_PER_SECOND: f64 = 5e9;
+
+/// Why a submitted request failed to produce a response (as opposed to being
+/// shed at admission, which is a [`Rejection`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named an engine the server's registry does not hold.
+    UnknownEngine(EngineName),
+    /// The engine refused or failed to execute the batch.
+    Engine(EngineError),
+}
+
+impl ServeError {
+    /// A stable machine-readable code (the gateway's wire error codes).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownEngine(_) => "unknown_engine",
+            ServeError::Engine(error) => error.code(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownEngine(name) => write!(f, "unknown engine \"{name}\""),
+            ServeError::Engine(error) => error.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What one submitted request ultimately resolved to.
+pub type ServeResult = Result<InferenceResponse, ServeError>;
+
+/// Configuration of an [`OnlineServer`], wrapping the batch/worker
+/// [`RuntimeConfig`] with the online-only knobs.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Worker pool, queue capacity, batching policy and hardware model.
+    /// With domain isolation on, `runtime.workers` and
+    /// `runtime.queue_capacity` apply *per domain* (overridable per engine
+    /// via [`OnlineConfig::with_domain_workers`]).
+    pub runtime: RuntimeConfig,
+    /// Close a partially-filled batch once its oldest member has waited
+    /// this long. `None` disables the timeout: batches close only on size
+    /// or an explicit flush (the deterministic trace-replay mode).
+    pub batch_timeout: Option<Duration>,
+    /// Queue-depth admission cap: [`ServerHandle::try_submit`] sheds when
+    /// this many requests are already admitted but not yet completed
+    /// (across all domains). `0` sheds everything (useful for overload
+    /// tests).
+    pub max_pending: usize,
+    /// **Deprecated global knob**, kept as a calibration *seed*: per-engine
+    /// drain rates (an online EWMA of observed ops/second) replaced the
+    /// single global rate. `None` (the default) seeds each engine from its
+    /// own descriptor; `Some(rate)` (via [`OnlineConfig::with_drain_rate`])
+    /// seeds every engine with the given value instead — matching the old
+    /// single-rate behaviour until observations flow.
+    pub drain_ops_per_second: Option<f64>,
+    /// Record every executed batch for post-run report assembly. Leave off
+    /// for long-running servers (the record grows without bound).
+    pub record_batches: bool,
+    /// Execution backends. `None` builds the full default registry
+    /// (`simulator`, `native`, `ptb`, `gpu`) over the server's caches.
+    pub registry: Option<Arc<EngineRegistry>>,
+    /// Whether each engine gets its own scheduling domain (queue, batcher
+    /// and dedicated workers). `false` rebuilds the pre-domain topology —
+    /// one shared queue and worker pool serving every engine — for A/B
+    /// measurement of head-of-line blocking.
+    pub isolate_domains: bool,
+    /// Per-engine worker-pool size overrides (engine name → workers);
+    /// engines not listed use `runtime.workers`. Ignored without domain
+    /// isolation.
+    pub domain_workers: Vec<(EngineName, usize)>,
+    /// Per-engine drain-rate seed overrides (engine name → ops/second);
+    /// takes precedence over both the global knob and the descriptor seed.
+    pub engine_drain_seeds: Vec<(EngineName, f64)>,
+    /// Preference order `"auto"` requests resolve against (most-preferred
+    /// first); names not registered are skipped. Defaults to
+    /// [`EngineRegistry::default_auto_preference`].
+    pub auto_preference: Vec<EngineName>,
+}
+
+impl OnlineConfig {
+    /// Online defaults on top of the given runtime configuration: 2 ms
+    /// batch timeout, 1024 pending requests, no batch recording, default
+    /// engine registry, per-engine scheduling domains.
+    pub fn new(runtime: RuntimeConfig) -> Self {
+        Self {
+            runtime,
+            batch_timeout: Some(Duration::from_millis(2)),
+            max_pending: 1024,
+            drain_ops_per_second: None,
+            record_batches: false,
+            registry: None,
+            isolate_domains: true,
+            domain_workers: Vec::new(),
+            engine_drain_seeds: Vec::new(),
+            auto_preference: EngineRegistry::default_auto_preference()
+                .into_iter()
+                .map(EngineName::new)
+                .collect(),
+        }
+    }
+
+    /// Overrides the batch timeout (`None` = close on size/flush only).
+    pub fn with_batch_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.batch_timeout = timeout;
+        self
+    }
+
+    /// Overrides the queue-depth admission cap.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
+    }
+
+    /// **Deprecated** in favour of per-engine calibration (see
+    /// [`OnlineConfig::drain_ops_per_second`]): sets the drain-rate *seed*
+    /// every engine's calibration starts from. Values below 1 op/s are
+    /// clamped to 1.0 — with a diagnostic on stderr in debug builds —
+    /// because a zero or negative rate would make every backlog prediction
+    /// infinite.
+    pub fn with_drain_rate(mut self, ops_per_second: f64) -> Self {
+        if ops_per_second < 1.0 {
+            #[cfg(debug_assertions)]
+            eprintln!(
+                "bishop-runtime: OnlineConfig::with_drain_rate({ops_per_second}) \
+                 clamped to 1.0 ops/s"
+            );
+        }
+        self.drain_ops_per_second = Some(ops_per_second.max(1.0));
+        self
+    }
+
+    /// Enables or disables executed-batch recording.
+    pub fn with_record_batches(mut self, record: bool) -> Self {
+        self.record_batches = record;
+        self
+    }
+
+    /// Overrides the engine registry (e.g. to serve a custom backend or to
+    /// restrict the served set).
+    pub fn with_registry(mut self, registry: Arc<EngineRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Enables or disables per-engine scheduling domains (`false` = the
+    /// pre-domain shared queue + pool, for A/B measurement).
+    pub fn with_domain_isolation(mut self, isolate: bool) -> Self {
+        self.isolate_domains = isolate;
+        self
+    }
+
+    /// Overrides the worker-pool size of one engine's domain.
+    pub fn with_domain_workers(mut self, engine: EngineName, workers: usize) -> Self {
+        self.domain_workers.retain(|(name, _)| *name != engine);
+        self.domain_workers.push((engine, workers.max(1)));
+        self
+    }
+
+    /// Overrides the drain-rate calibration seed of one engine (clamped to
+    /// ≥ 1 op/s).
+    pub fn with_engine_drain_seed(mut self, engine: EngineName, ops_per_second: f64) -> Self {
+        self.engine_drain_seeds.retain(|(name, _)| *name != engine);
+        self.engine_drain_seeds
+            .push((engine, ops_per_second.max(1.0)));
+        self
+    }
+
+    /// Overrides the `"auto"` resolution preference order (most-preferred
+    /// first).
+    pub fn with_auto_preference(mut self, preference: Vec<EngineName>) -> Self {
+        self.auto_preference = preference;
+        self
+    }
+
+    /// The drain-rate seed for one engine: an explicit per-engine override
+    /// wins, then an explicitly-set global knob, then the descriptor seed.
+    fn drain_seed(&self, name: &str, descriptor_seed: f64) -> f64 {
+        if let Some((_, rate)) = self
+            .engine_drain_seeds
+            .iter()
+            .find(|(engine, _)| engine.as_str() == name)
+        {
+            return rate.max(1.0);
+        }
+        if let Some(rate) = self.drain_ops_per_second {
+            return rate.max(1.0);
+        }
+        descriptor_seed.max(1.0)
+    }
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self::new(RuntimeConfig::default())
+    }
+}
+
+/// Why a submission was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The admitted-but-uncompleted count reached `max_pending`, or the
+    /// target domain's bounded submission channel was full.
+    QueueFull,
+    /// The admitted backlog of the named engine's domain is predicted to
+    /// outlast the request's deadline.
+    DeadlineUnmeetable,
+    /// The request asked for `"auto"` and at least one eligible engine
+    /// could execute the profile, but none's predicted completion meets
+    /// the deadline. Load-transient: the same request may succeed once
+    /// backlogs drain.
+    NoEngineMeetsDeadline,
+    /// The request asked for `"auto"` and no eligible engine can execute
+    /// the request profile at all (unsupported options, oversized model,
+    /// or an empty candidate set). Permanent for this request shape —
+    /// retrying cannot help.
+    NoEngineSupportsRequest,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl Rejection {
+    /// A stable machine-readable code (the gateway's wire error codes).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull => "queue_full",
+            Rejection::DeadlineUnmeetable => "deadline_unmeetable",
+            Rejection::NoEngineMeetsDeadline => "no_engine_meets_deadline",
+            Rejection::NoEngineSupportsRequest => "auto_unroutable",
+            Rejection::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull => f.write_str("submission queue full"),
+            Rejection::DeadlineUnmeetable => f.write_str("deadline unmeetable under current load"),
+            Rejection::NoEngineMeetsDeadline => {
+                f.write_str("no eligible engine's predicted completion meets the deadline")
+            }
+            Rejection::NoEngineSupportsRequest => {
+                f.write_str("no auto-eligible engine can execute the request profile")
+            }
+            Rejection::ShuttingDown => f.write_str("server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Per-reason shed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests shed because the queue (or pending cap) was full.
+    pub queue_full: u64,
+    /// Requests shed because their deadline was unmeetable on the engine
+    /// they named.
+    pub deadline: u64,
+    /// `"auto"` requests shed because no eligible engine met the deadline
+    /// ([`Rejection::NoEngineMeetsDeadline`]) or could execute the profile
+    /// at all ([`Rejection::NoEngineSupportsRequest`]).
+    pub no_engine: u64,
+    /// Requests shed because the server was shutting down.
+    pub shutdown: u64,
+}
+
+impl AdmissionStats {
+    /// Total shed requests across all reasons.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.deadline + self.no_engine + self.shutdown
+    }
+}
+
+/// A point-in-time snapshot of an online server's counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OnlineStats {
+    /// Requests offered to admission control (admitted + shed).
+    pub submitted: u64,
+    /// Requests admitted into a domain queue.
+    pub admitted: u64,
+    /// Requests whose batch executed successfully.
+    pub completed: u64,
+    /// Requests whose batch failed with a [`ServeError`] (typed refusal;
+    /// the tickets resolved, nothing hung).
+    pub failed: u64,
+    /// Shed counters, by reason.
+    pub admission: AdmissionStats,
+    /// Batches executed across every domain's worker pool.
+    pub batches_executed: u64,
+    /// Requests admitted but not yet completed, across all domains.
+    pub queue_depth: usize,
+    /// Estimated dense ops of the admitted-but-uncompleted backlog, across
+    /// all domains.
+    pub backlog_ops: u64,
+    /// Total busy cycles reported by the engines.
+    pub total_simulated_cycles: u64,
+    /// Total energy in millijoules reported by the engines.
+    pub total_energy_mj: f64,
+    /// Mean per-request latency in seconds (on the engines' clocks).
+    pub mean_latency_seconds: f64,
+    /// Worst per-request latency in seconds.
+    pub max_latency_seconds: f64,
+    /// Per-engine scheduling-domain snapshots (queue depth, backlog,
+    /// calibrated drain rate, observed latency percentiles), in registry
+    /// order.
+    pub engines: Vec<EngineLoadStats>,
+}
+
+/// Shared atomic counters behind every [`ServerHandle`] clone.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_deadline: AtomicU64,
+    pub(crate) rejected_no_engine: AtomicU64,
+    pub(crate) rejected_shutdown: AtomicU64,
+    pub(crate) batches_executed: AtomicU64,
+    pub(crate) pending: AtomicUsize,
+    pub(crate) backlog_ops: AtomicU64,
+    pub(crate) total_cycles: AtomicU64,
+    pub(crate) energy_mj_bits: AtomicU64,
+    pub(crate) latency_sum_bits: AtomicU64,
+    pub(crate) latency_max_bits: AtomicU64,
+    pub(crate) shutting_down: AtomicBool,
+}
+
+/// A pending claim on one submitted request's outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    request_id: u64,
+    rx: mpsc::Receiver<ServeResult>,
+}
+
+impl Ticket {
+    /// The id of the request this ticket tracks.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Blocks until the outcome is ready. Returns `None` only if the
+    /// server dropped the request (shutdown mid-flight).
+    pub fn wait(self) -> Option<ServeResult> {
+        self.rx.recv().ok()
+    }
+
+    /// Waits up to `timeout` for the outcome.
+    pub fn wait_for(&self, timeout: Duration) -> Option<ServeResult> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Returns the outcome if it is already available.
+    pub fn try_wait(&self) -> Option<ServeResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A cloneable, thread-safe submission endpoint of an [`OnlineServer`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    domains: Arc<Vec<DomainSubmitter>>,
+    engines_index: Arc<Vec<EngineEntry>>,
+    /// Indices into `engines_index`, most-preferred first, that `"auto"`
+    /// requests resolve against.
+    auto_order: Arc<Vec<usize>>,
+    cells: Arc<StatsCells>,
+    registry: Arc<EngineRegistry>,
+    max_pending: usize,
+    /// Drain rate used for deadline admission of requests naming an engine
+    /// the registry does not hold (they fail typed after dispatch).
+    fallback_drain: f64,
+}
+
+impl ServerHandle {
+    /// Submits a request without a deadline; sheds (never blocks) when the
+    /// queue-depth cap or the target domain's bounded channel is full.
+    pub fn try_submit(&self, request: InferenceRequest) -> Result<Ticket, Rejection> {
+        self.submit_inner(request, None, false)
+    }
+
+    /// Submits a request that is only worth serving if it can *start*
+    /// within `deadline`: admission predicts the target domain's backlog
+    /// drain time (at the engine's calibrated rate) and sheds the request
+    /// up front when the deadline is unmeetable. `"auto"` requests are
+    /// instead routed to the most-preferred engine whose predicted
+    /// *completion* meets the deadline.
+    pub fn try_submit_with_deadline(
+        &self,
+        request: InferenceRequest,
+        deadline: Duration,
+    ) -> Result<Ticket, Rejection> {
+        self.submit_inner(request, Some(deadline), false)
+    }
+
+    /// Submits a request, *blocking* on a full queue instead of shedding —
+    /// the backpressure mode trace replay (`BishopServer::serve`) uses.
+    /// Queue-depth and deadline admission do not apply; the only possible
+    /// rejections are [`Rejection::ShuttingDown`] and — for `"auto"`
+    /// requests no registered engine can execute —
+    /// [`Rejection::NoEngineSupportsRequest`].
+    pub fn submit_blocking(&self, request: InferenceRequest) -> Result<Ticket, Rejection> {
+        self.submit_inner(request, None, true)
+    }
+
+    fn submit_inner(
+        &self,
+        mut request: InferenceRequest,
+        deadline: Option<Duration>,
+        block: bool,
+    ) -> Result<Ticket, Rejection> {
+        let cells = &self.cells;
+        cells.submitted.fetch_add(1, Ordering::Relaxed);
+        if cells.shutting_down.load(Ordering::Acquire) {
+            cells.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::ShuttingDown);
+        }
+        if !block && cells.pending.load(Ordering::Acquire) >= self.max_pending {
+            cells.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::QueueFull);
+        }
+
+        let estimated_ops = config_ops(request.model());
+
+        // Resolve "auto" to a concrete engine before any bookkeeping: the
+        // dispatcher picks the most-preferred engine whose predicted
+        // completion meets the deadline, or sheds typed.
+        let entry_index = if request.engine.is_auto() {
+            match dispatch::select_engine(
+                &self.engines_index,
+                &self.auto_order,
+                &self.domains,
+                &request,
+                estimated_ops,
+                deadline,
+            ) {
+                Ok(index) => {
+                    request.engine = self.engines_index[index].name.clone();
+                    Some(index)
+                }
+                Err(rejection) => {
+                    cells.rejected_no_engine.fetch_add(1, Ordering::Relaxed);
+                    return Err(rejection);
+                }
+            }
+        } else {
+            self.engines_index
+                .iter()
+                .position(|entry| entry.name == request.engine)
+        };
+
+        if !block {
+            if let Some(deadline) = deadline {
+                // Can the request *start* before its deadline? Predict how
+                // long the target domain's admitted backlog takes to drain
+                // at the engine's calibrated rate. (For auto requests the
+                // stronger completion check above already passed.)
+                let (backlog, drain) = match entry_index {
+                    Some(index) => {
+                        let entry = &self.engines_index[index];
+                        (
+                            self.domains[entry.domain].backlog_ops(),
+                            entry.cells.drain.ops_per_second(),
+                        )
+                    }
+                    // Unknown engine: it will fail typed after dispatch;
+                    // admission falls back to the global backlog and seed.
+                    None => (
+                        cells.backlog_ops.load(Ordering::Acquire),
+                        self.fallback_drain,
+                    ),
+                };
+                if backlog as f64 / drain.max(1.0) > deadline.as_secs_f64() {
+                    cells.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejection::DeadlineUnmeetable);
+                }
+            }
+        }
+
+        let domain_index = entry_index.map_or(0, |index| self.engines_index[index].domain);
+        let engine_cells = entry_index.map(|index| Arc::clone(&self.engines_index[index].cells));
+        let request_id = request.id;
+        let (completion, rx) = mpsc::channel();
+        cells.pending.fetch_add(1, Ordering::AcqRel);
+        cells.backlog_ops.fetch_add(estimated_ops, Ordering::AcqRel);
+        if let Some(engine) = &engine_cells {
+            engine.pending.fetch_add(1, Ordering::AcqRel);
+            engine
+                .backlog_ops
+                .fetch_add(estimated_ops, Ordering::AcqRel);
+        }
+        let submission = Submission::Request(Box::new(PendingRequest {
+            request,
+            completion,
+            estimated_ops,
+        }));
+        let tx = &self.domains[domain_index].tx;
+        let outcome = if block {
+            tx.send(submission).map_err(|_| Rejection::ShuttingDown)
+        } else {
+            tx.try_send(submission).map_err(|error| match error {
+                mpsc::TrySendError::Full(_) => Rejection::QueueFull,
+                mpsc::TrySendError::Disconnected(_) => Rejection::ShuttingDown,
+            })
+        };
+        match outcome {
+            Ok(()) => {
+                cells.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { request_id, rx })
+            }
+            Err(rejection) => {
+                cells.pending.fetch_sub(1, Ordering::AcqRel);
+                cells.backlog_ops.fetch_sub(estimated_ops, Ordering::AcqRel);
+                if let Some(engine) = &engine_cells {
+                    engine.pending.fetch_sub(1, Ordering::AcqRel);
+                    engine
+                        .backlog_ops
+                        .fetch_sub(estimated_ops, Ordering::AcqRel);
+                }
+                match rejection {
+                    Rejection::QueueFull => {
+                        cells.rejected_queue_full.fetch_add(1, Ordering::Relaxed)
+                    }
+                    _ => cells.rejected_shutdown.fetch_add(1, Ordering::Relaxed),
+                };
+                Err(rejection)
+            }
+        }
+    }
+
+    /// Closes every partially-filled batch in every domain and waits until
+    /// the batchers have dispatched them. Does not wait for execution — use
+    /// the tickets.
+    pub fn flush(&self) {
+        let acks: Vec<mpsc::Receiver<()>> = self
+            .domains
+            .iter()
+            .filter_map(|domain| {
+                let (ack_tx, ack_rx) = mpsc::channel();
+                domain
+                    .tx
+                    .send(Submission::Flush(ack_tx))
+                    .ok()
+                    .map(|()| ack_rx)
+            })
+            .collect();
+        for ack in acks {
+            let _ = ack.recv();
+        }
+    }
+
+    /// The engine registry this server executes on (what `GET /v1/engines`
+    /// publishes).
+    pub fn engines(&self) -> &Arc<EngineRegistry> {
+        &self.registry
+    }
+
+    /// The engines `"auto"` requests resolve against on *this* server, in
+    /// its configured preference order (most-preferred first). Front-ends
+    /// preflighting auto routability must consult this — not the registry
+    /// default — so their view matches the dispatcher's.
+    pub fn auto_candidates(&self) -> Vec<EngineName> {
+        self.auto_order
+            .iter()
+            .map(|&index| self.engines_index[index].name.clone())
+            .collect()
+    }
+
+    /// Per-engine scheduling-domain snapshots, in registry order (a cheaper
+    /// call than [`ServerHandle::stats`] when only the per-engine view is
+    /// needed).
+    pub fn engine_stats(&self) -> Vec<EngineLoadStats> {
+        self.engines_index
+            .iter()
+            .map(|entry| entry.cells.snapshot())
+            .collect()
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> OnlineStats {
+        let c = &self.cells;
+        let completed = c.completed.load(Ordering::Acquire);
+        let latency_sum = f64::from_bits(c.latency_sum_bits.load(Ordering::Acquire));
+        OnlineStats {
+            submitted: c.submitted.load(Ordering::Acquire),
+            admitted: c.admitted.load(Ordering::Acquire),
+            completed,
+            failed: c.failed.load(Ordering::Acquire),
+            admission: AdmissionStats {
+                queue_full: c.rejected_queue_full.load(Ordering::Acquire),
+                deadline: c.rejected_deadline.load(Ordering::Acquire),
+                no_engine: c.rejected_no_engine.load(Ordering::Acquire),
+                shutdown: c.rejected_shutdown.load(Ordering::Acquire),
+            },
+            batches_executed: c.batches_executed.load(Ordering::Acquire),
+            queue_depth: c.pending.load(Ordering::Acquire),
+            backlog_ops: c.backlog_ops.load(Ordering::Acquire),
+            total_simulated_cycles: c.total_cycles.load(Ordering::Acquire),
+            total_energy_mj: f64::from_bits(c.energy_mj_bits.load(Ordering::Acquire)),
+            mean_latency_seconds: if completed == 0 {
+                0.0
+            } else {
+                latency_sum / completed as f64
+            },
+            max_latency_seconds: f64::from_bits(c.latency_max_bits.load(Ordering::Acquire)),
+            engines: self.engine_stats(),
+        }
+    }
+}
+
+/// The always-on serving stack: per-engine scheduling domains (bounded
+/// queue + batcher + dedicated workers each) over a pluggable engine
+/// registry, fed through cloneable [`ServerHandle`]s with deadline-aware
+/// `"auto"` dispatch.
+#[derive(Debug)]
+pub struct OnlineServer {
+    handle: ServerHandle,
+    domains: Vec<DomainThreads>,
+    executed: Arc<Mutex<Vec<ExecutedBatch>>>,
+}
+
+impl OnlineServer {
+    /// Starts a server with fresh caches (and, unless the config overrides
+    /// it, the default engine registry over those caches).
+    pub fn start(config: OnlineConfig) -> Self {
+        Self::with_caches(
+            config,
+            Arc::new(CalibrationCache::new()),
+            Arc::new(ResultCache::new()),
+        )
+    }
+
+    /// Starts a server sharing existing calibration/result caches.
+    pub fn with_caches(
+        config: OnlineConfig,
+        cache: Arc<CalibrationCache>,
+        results: Arc<ResultCache>,
+    ) -> Self {
+        let registry = config.registry.clone().unwrap_or_else(|| {
+            Arc::new(EngineRegistry::serving_default(
+                &config.runtime.hardware,
+                cache,
+                results,
+            ))
+        });
+        let bundle = config.runtime.hardware.bundle;
+        let cells = Arc::new(StatsCells::default());
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let record = config.record_batches.then(|| Arc::clone(&executed));
+
+        // Lay engines out into domains: one per engine under isolation,
+        // one shared domain otherwise. An empty registry still gets one
+        // (engine-less) domain so unknown-engine requests can ride to a
+        // worker and fail typed.
+        let descriptors = registry.descriptors();
+        let layout: Vec<Vec<usize>> = if descriptors.is_empty() {
+            vec![Vec::new()]
+        } else if config.isolate_domains {
+            (0..descriptors.len()).map(|index| vec![index]).collect()
+        } else {
+            vec![(0..descriptors.len()).collect()]
+        };
+
+        let engine_cells: Vec<Arc<EngineCells>> = descriptors
+            .iter()
+            .map(|descriptor| {
+                Arc::new(EngineCells::new(
+                    EngineName::new(descriptor.name),
+                    config.drain_seed(descriptor.name, descriptor.seed_drain_ops_per_second),
+                ))
+            })
+            .collect();
+        let mut engines_index = Vec::with_capacity(descriptors.len());
+        for (domain, members) in layout.iter().enumerate() {
+            for &index in members {
+                engines_index.push(EngineEntry {
+                    name: EngineName::new(descriptors[index].name),
+                    descriptor: descriptors[index].clone(),
+                    cells: Arc::clone(&engine_cells[index]),
+                    domain,
+                });
+            }
+        }
+        let auto_order: Vec<usize> = config
+            .auto_preference
+            .iter()
+            .filter_map(|preferred| {
+                engines_index
+                    .iter()
+                    .position(|entry| entry.name == *preferred)
+            })
+            .collect();
+
+        let stride = layout.len() as u64;
+        let mut submitters = Vec::with_capacity(layout.len());
+        let mut domain_threads = Vec::with_capacity(layout.len());
+        for (domain, members) in layout.iter().enumerate() {
+            let workers = if config.isolate_domains {
+                members
+                    .first()
+                    .and_then(|&index| {
+                        config
+                            .domain_workers
+                            .iter()
+                            .find(|(name, _)| name.as_str() == descriptors[index].name)
+                            .map(|(_, workers)| *workers)
+                    })
+                    .unwrap_or(config.runtime.workers)
+            } else {
+                config.runtime.workers
+            };
+            let (submitter, threads) = spawn_domain(DomainSpec {
+                engines: members
+                    .iter()
+                    .map(|&index| Arc::clone(&engine_cells[index]))
+                    .collect(),
+                workers: workers.max(1),
+                queue_capacity: config.runtime.queue_capacity,
+                batch_id_base: domain as u64,
+                batch_id_stride: stride,
+                policy: config.runtime.batching,
+                batch_timeout: config.batch_timeout,
+                bundle,
+                registry: Arc::clone(&registry),
+                cells: Arc::clone(&cells),
+                record: record.clone(),
+            });
+            submitters.push(submitter);
+            domain_threads.push(threads);
+        }
+
+        let handle = ServerHandle {
+            domains: Arc::new(submitters),
+            engines_index: Arc::new(engines_index),
+            auto_order: Arc::new(auto_order),
+            cells,
+            registry,
+            max_pending: config.max_pending,
+            fallback_drain: config
+                .drain_ops_per_second
+                .unwrap_or(DEFAULT_DRAIN_OPS_PER_SECOND)
+                .max(1.0),
+        };
+        Self {
+            handle,
+            domains: domain_threads,
+            executed,
+        }
+    }
+
+    /// A new submission handle; clone freely across threads.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// The engine registry this server executes on.
+    pub fn engines(&self) -> &Arc<EngineRegistry> {
+        &self.handle.registry
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> OnlineStats {
+        self.handle.stats()
+    }
+
+    /// Graceful shutdown: stop admitting, drain already-admitted requests,
+    /// execute their batches, join every domain's threads, and report final
+    /// stats.
+    pub fn shutdown(self) -> OnlineStats {
+        self.shutdown_with_batches().0
+    }
+
+    /// Shutdown that also returns the recorded executed batches (empty
+    /// unless `record_batches` was set).
+    pub(crate) fn shutdown_with_batches(self) -> (OnlineStats, Vec<ExecutedBatch>) {
+        self.handle
+            .cells
+            .shutting_down
+            .store(true, Ordering::Release);
+        for domain in self.handle.domains.iter() {
+            let _ = domain.tx.send(Submission::Shutdown);
+        }
+        for threads in self.domains {
+            threads.join();
+        }
+        let stats = self.handle.stats();
+        let executed = std::mem::take(&mut *self.executed.lock().expect("executed lock"));
+        (stats, executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchPolicy;
+    use crate::request::{default_mixed_models, mixed_trace};
+    use bishop_core::SimOptions;
+
+    fn online(policy: BatchPolicy, timeout: Option<Duration>) -> OnlineServer {
+        OnlineServer::start(
+            OnlineConfig::new(RuntimeConfig::new(2, policy)).with_batch_timeout(timeout),
+        )
+    }
+
+    #[test]
+    fn ticket_resolves_with_the_request_id() {
+        let server = online(BatchPolicy::new(4), None);
+        let handle = server.handle();
+        let trace = mixed_trace(&default_mixed_models(), 4, 2, 9);
+        let tickets: Vec<Ticket> = trace
+            .into_iter()
+            .map(|r| handle.try_submit(r).expect("admitted"))
+            .collect();
+        handle.flush();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.request_id(), i as u64);
+            let response = ticket
+                .wait()
+                .expect("response delivered")
+                .expect("simulator engine never fails");
+            assert_eq!(response.request_id, i as u64);
+            assert!(response.latency_seconds > 0.0);
+            assert_eq!(response.engine(), "simulator");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.admission, AdmissionStats::default());
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.backlog_ops, 0);
+        // The per-engine view attributes everything to the simulator domain.
+        let simulator = stats
+            .engines
+            .iter()
+            .find(|e| e.engine == EngineName::simulator())
+            .expect("simulator domain");
+        assert_eq!(simulator.completed, 4);
+        assert_eq!(simulator.queue_depth, 0);
+        assert_eq!(simulator.backlog_ops, 0);
+        assert!(simulator.drain_observations > 0, "workers fed calibration");
+        assert!(simulator.latency.p95 > 0.0);
+        for other in stats
+            .engines
+            .iter()
+            .filter(|e| e.engine.as_str() != "simulator")
+        {
+            assert_eq!(other.completed, 0);
+            assert_eq!(other.batches_executed, 0);
+        }
+    }
+
+    #[test]
+    fn timeout_closes_partial_batches_without_flush() {
+        let server = online(BatchPolicy::new(64), Some(Duration::from_millis(2)));
+        let handle = server.handle();
+        let trace = mixed_trace(&default_mixed_models(), 2, 1, 3);
+        let tickets: Vec<Ticket> = trace
+            .into_iter()
+            .map(|r| handle.try_submit(r).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            let response = ticket
+                .wait()
+                .expect("timeout closed the batch")
+                .expect("executed");
+            assert!(response.batch_size < 64);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let server = online(BatchPolicy::new(4), None);
+        let handle = server.handle();
+        server.shutdown();
+        let request = mixed_trace(&default_mixed_models(), 1, 1, 5).pop().unwrap();
+        assert_eq!(
+            handle.try_submit(request).err(),
+            Some(Rejection::ShuttingDown)
+        );
+        assert_eq!(handle.stats().admission.shutdown, 1);
+    }
+
+    #[test]
+    fn unknown_engine_resolves_tickets_with_a_typed_error() {
+        let server = online(BatchPolicy::new(1), None);
+        let handle = server.handle();
+        let request = mixed_trace(&default_mixed_models(), 1, 1, 5)
+            .pop()
+            .unwrap()
+            .with_engine(EngineName::from("tpu"));
+        let ticket = handle
+            .try_submit(request)
+            .expect("admission is engine-agnostic");
+        handle.flush();
+        let outcome = ticket.wait().expect("ticket resolves");
+        assert_eq!(
+            outcome,
+            Err(ServeError::UnknownEngine(EngineName::from("tpu")))
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_depth, 0, "failures drain the queue");
+        assert_eq!(stats.backlog_ops, 0);
+        // Unknown engines ride the default domain but are not attributed to
+        // any registered engine's scheduling stats.
+        assert!(stats.engines.iter().all(|e| e.failed == 0));
+    }
+
+    #[test]
+    fn engine_refusals_resolve_tickets_with_the_engine_error() {
+        // The native engine has no ECP path: requests routing an ECP model
+        // there fail typed, not silently and not hanging.
+        let server = online(BatchPolicy::new(1), None);
+        let handle = server.handle();
+        let entry = default_mixed_models()
+            .into_iter()
+            .find(|e| e.options == SimOptions::with_ecp(6))
+            .expect("imagenet entry defaults to ECP");
+        let request = InferenceRequest::new(0, entry, 1).with_engine(EngineName::native());
+        let ticket = handle.try_submit(request).expect("admitted");
+        handle.flush();
+        let outcome = ticket.wait().expect("ticket resolves");
+        let error = outcome.expect_err("native must refuse ECP");
+        assert_eq!(error.code(), "ecp_unsupported");
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        let native = stats
+            .engines
+            .iter()
+            .find(|e| e.engine == EngineName::native())
+            .expect("native domain");
+        assert_eq!(native.failed, 1, "refusal attributed to the native domain");
+    }
+
+    #[test]
+    fn batcher_caps_coalescing_at_the_engine_fold_limit() {
+        // The native engine caps batches at 1024 folded timesteps. A model
+        // spanning 300 timesteps may share a batch with at most 3 peers
+        // (3 × 300 ≤ 1024 < 4 × 300) even under a much larger batch policy
+        // — no request may fail `batch_too_large` because of coalescing.
+        use bishop_engine::CatalogEntry;
+        use bishop_model::{DatasetKind, ModelConfig};
+
+        let server = online(BatchPolicy::new(8), None);
+        let handle = server.handle();
+        let entry = CatalogEntry::new(
+            ModelConfig::new("fold-cap", DatasetKind::Cifar10, 1, 300, 4, 16, 2),
+            bishop_bundle::TrainingRegime::Bsa,
+            SimOptions::baseline(),
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                let request = InferenceRequest::new(i, Arc::clone(&entry), i)
+                    .with_engine(EngineName::native());
+                handle.try_submit(request).expect("admitted")
+            })
+            .collect();
+        handle.flush();
+        for ticket in tickets {
+            let response = ticket
+                .wait()
+                .expect("ticket resolves")
+                .expect("capped batches stay within the engine's fold limit");
+            assert!(
+                response.batch_size <= 3,
+                "batch of {} exceeds the fold cap",
+                response.batch_size
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn auto_requests_resolve_on_a_concrete_engine() {
+        // No deadline: auto prefers native for a profile native supports;
+        // an ECP profile skips native (no ECP path) and lands on simulator.
+        let server = online(BatchPolicy::new(1), None);
+        let handle = server.handle();
+        let entry = default_mixed_models()
+            .into_iter()
+            .find(|e| e.options.ecp_threshold.is_none())
+            .expect("cifar entry has baseline options");
+        let native_bound =
+            InferenceRequest::new(0, Arc::clone(&entry), 1).with_engine(EngineName::auto());
+        let ecp_bound = InferenceRequest::new(1, entry, 2)
+            .with_options(SimOptions::with_ecp(6))
+            .with_engine(EngineName::auto());
+        let first = handle.try_submit(native_bound).expect("admitted");
+        let second = handle.try_submit(ecp_bound).expect("admitted");
+        handle.flush();
+        assert_eq!(first.wait().unwrap().unwrap().engine(), "native");
+        assert_eq!(second.wait().unwrap().unwrap().engine(), "simulator");
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.admission.no_engine, 0);
+    }
+
+    #[test]
+    fn shared_layout_still_serves_every_engine() {
+        let server = OnlineServer::start(
+            OnlineConfig::new(RuntimeConfig::new(2, BatchPolicy::new(4)))
+                .with_batch_timeout(None)
+                .with_domain_isolation(false),
+        );
+        let handle = server.handle();
+        let trace = mixed_trace(&default_mixed_models(), 4, 2, 9);
+        let tickets: Vec<Ticket> = trace
+            .into_iter()
+            .map(|r| handle.try_submit(r).expect("admitted"))
+            .collect();
+        handle.flush();
+        for ticket in tickets {
+            ticket.wait().expect("resolved").expect("executed");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
+        // Per-engine attribution works even in the shared domain.
+        let simulator = stats
+            .engines
+            .iter()
+            .find(|e| e.engine == EngineName::simulator())
+            .expect("simulator stats");
+        assert_eq!(simulator.completed, 4);
+    }
+
+    #[test]
+    fn drain_seed_resolution_prefers_explicit_overrides() {
+        let config = OnlineConfig::default();
+        // Unset global knob: descriptor seeds win.
+        assert_eq!(config.drain_seed("native", 2e9), 2e9);
+        // Explicit global knob seeds every engine.
+        let config = OnlineConfig::default().with_drain_rate(123.0);
+        assert_eq!(config.drain_seed("native", 2e9), 123.0);
+        // Per-engine override beats both.
+        let config = config.with_engine_drain_seed(EngineName::native(), 7.0);
+        assert_eq!(config.drain_seed("native", 2e9), 7.0);
+        assert_eq!(config.drain_seed("simulator", 5e9), 123.0);
+        // Explicitly pinning the old global default is honoured verbatim —
+        // `Some(rate)` vs `None`, no magic-value aliasing.
+        let config = OnlineConfig::default().with_drain_rate(DEFAULT_DRAIN_OPS_PER_SECOND);
+        assert_eq!(
+            config.drain_seed("native", 2e9),
+            DEFAULT_DRAIN_OPS_PER_SECOND
+        );
+        // The clamp never lets a seed below 1 op/s through.
+        let config = OnlineConfig::default().with_drain_rate(0.0);
+        assert_eq!(config.drain_seed("native", 2e9), 1.0);
+    }
+}

@@ -91,6 +91,19 @@ fn main() {
         println!("engine {engine}: {body}");
     }
 
+    // 4c. "engine": "auto" — the runtime's dispatcher routes each request
+    //     to the cheapest engine whose predicted completion meets its
+    //     deadline: loose budgets get real native execution, tight ones
+    //     degrade to the analytic simulator, the impossible shed with an
+    //     explicit 429.
+    println!("\n=== POST /v1/infer with \"engine\": \"auto\" ===");
+    let reply = post_infer(
+        addr,
+        "{\"model\": \"cifar10-serve\", \"seed\": 7, \"engine\": \"auto\", \"deadline_ms\": 60000}",
+    );
+    let body = reply.split("\r\n\r\n").nth(1).unwrap_or(&reply);
+    println!("auto, loose deadline: {body}");
+
     // 5. A request with an unmeetable deadline under a tiny drain estimate
     //    would shed; at this load the backlog is empty, so it is admitted.
     let reply = post_infer(

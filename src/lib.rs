@@ -83,9 +83,9 @@ pub mod prelude {
     };
     pub use bishop_neuron::{LifConfig, LifNeuron};
     pub use bishop_runtime::{
-        BatchPolicy, BishopServer, CalibrationCache, InferenceRequest, InferenceResponse,
-        OnlineConfig, OnlineServer, RuntimeConfig, ServeError, ServerHandle, ServingOutcome,
-        ThroughputReport, Ticket,
+        BatchPolicy, BishopServer, CalibrationCache, EngineLoadStats, InferenceRequest,
+        InferenceResponse, OnlineConfig, OnlineServer, RuntimeConfig, ServeError, ServerHandle,
+        ServingOutcome, ThroughputReport, Ticket,
     };
     pub use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
     pub use bishop_train::{SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig};
