@@ -190,6 +190,11 @@ pub struct EngineBatch {
     pub options: SimOptions,
     /// Number of requests folded into the batch.
     pub batch_size: usize,
+    /// Globally unique id of the batch — the *batch span id* request
+    /// traces share with their batch-mates. Purely diagnostic: it is not
+    /// part of any memoization key and engines must not let it influence
+    /// execution.
+    pub batch_id: u64,
 }
 
 /// What an engine produced for one batch.
@@ -275,6 +280,7 @@ mod tests {
             seed: 1,
             options,
             batch_size: 1,
+            batch_id: 0,
         }
     }
 

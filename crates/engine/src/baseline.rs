@@ -120,6 +120,7 @@ mod tests {
             seed: 5,
             options,
             batch_size: 1,
+            batch_id: 0,
         }
     }
 

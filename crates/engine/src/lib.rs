@@ -43,6 +43,7 @@
 //!     seed: 7,
 //!     options: SimOptions::baseline(),
 //!     batch_size: 1,
+//!     batch_id: 0,
 //! };
 //! for engine in registry.engines() {
 //!     let output = engine.execute(&batch).expect("baseline options run everywhere");

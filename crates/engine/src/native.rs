@@ -184,6 +184,7 @@ mod tests {
             seed,
             options,
             batch_size: 1,
+            batch_id: 0,
         }
     }
 

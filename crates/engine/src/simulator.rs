@@ -116,6 +116,7 @@ mod tests {
             seed,
             options: SimOptions::baseline(),
             batch_size: 2,
+            batch_id: 0,
         }
     }
 

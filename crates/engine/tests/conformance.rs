@@ -33,6 +33,7 @@ fn batch(seed: u64, options: SimOptions) -> EngineBatch {
         seed,
         options,
         batch_size: 2,
+        batch_id: 0,
     }
 }
 
@@ -114,6 +115,7 @@ fn execute_agrees_with_descriptor_check() {
             seed: 1,
             options: SimOptions::baseline(),
             batch_size: 256,
+            batch_id: 0,
         },
     ];
     for_each_engine(|name, engine| {

@@ -18,7 +18,9 @@
 //! when the backlog would outlast the deadline).
 //!
 //! Errors are machine-readable: every non-2xx body is
-//! `{"error": {"code": "<stable_code>", "message": "<human text>"}}`.
+//! `{"error": {"code": "<stable_code>", "message": "<human text>",
+//! "request_id": <id>}}` — the id is the same one echoed in the
+//! `X-Request-Id` header and looked up on `GET /v1/debug/traces/<id>`.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,6 +28,9 @@ use std::time::Duration;
 use bishop_bundle::TrainingRegime;
 use bishop_core::SimOptions;
 use bishop_engine::{EngineName, EngineRegistry};
+use bishop_obs::{
+    FinishedTrace, RouterDecision, RouterVerdict, StageStamp, TraceContext, TraceSnapshot,
+};
 use bishop_runtime::{EngineLoadStats, InferenceRequest, InferenceResponse};
 
 use crate::json::Json;
@@ -74,6 +79,9 @@ pub struct InferSubmission {
     pub request: InferenceRequest,
     /// Deadline for deadline-based admission, if the client set one.
     pub deadline: Option<Duration>,
+    /// Whether the client asked for the `"timings"` breakdown in the
+    /// response body (`"trace": true` in the request, or `?trace=1`).
+    pub trace_requested: bool,
 }
 
 /// Decodes a `/v1/infer` JSON body into a runtime request, resolving the
@@ -147,6 +155,13 @@ pub fn decode_infer(
                 "\"deadline_ms\" must be a non-negative integer",
             )
         })?)),
+    };
+
+    let trace_requested = match body.get("trace") {
+        None => false,
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| ApiError::new("bad_request", "\"trace\" must be a boolean"))?,
     };
 
     // Engine resolution. `"auto"` defers the concrete choice to the
@@ -244,7 +259,11 @@ pub fn decode_infer(
         .with_regime(regime)
         .with_options(options)
         .with_engine(engine);
-    Ok(InferSubmission { request, deadline })
+    Ok(InferSubmission {
+        request,
+        deadline,
+        trace_requested,
+    })
 }
 
 /// Encodes a runtime response for the `/v1/infer` reply body.
@@ -369,15 +388,141 @@ fn regime_name(regime: TrainingRegime) -> &'static str {
     }
 }
 
-/// Encodes an error body: `{"error": {"code": ..., "message": ...}}`.
-pub fn error_body(code: &str, message: &str) -> Json {
+/// Encodes an error body:
+/// `{"error": {"code": ..., "message": ..., "request_id": ...}}`. The
+/// request id matches the `X-Request-Id` response header, so a failed
+/// request can be looked up on `GET /v1/debug/traces/<id>` and correlated
+/// with the structured event log.
+pub fn error_body(code: &str, message: &str, request_id: u64) -> Json {
     Json::object(vec![(
         "error",
         Json::object(vec![
             ("code", Json::string(code)),
             ("message", Json::string(message)),
+            ("request_id", Json::from_u64(request_id)),
         ]),
     )])
+}
+
+/// Encodes one recorded stage span of a trace.
+fn stamp_json(stamp: &StageStamp) -> Json {
+    Json::object(vec![
+        ("stage", Json::string(stamp.stage.label())),
+        ("start_seconds", Json::Number(stamp.start_seconds)),
+        ("end_seconds", Json::Number(stamp.end_seconds)),
+        ("seconds", Json::Number(stamp.seconds())),
+    ])
+}
+
+/// Encodes a router decision record: the candidates the dispatcher walked
+/// (with the predicted completion each was judged on) and the verdict.
+fn router_json(decision: &RouterDecision) -> Json {
+    let candidates = decision
+        .candidates
+        .iter()
+        .map(|c| {
+            let mut fields = vec![
+                ("engine", Json::string(&c.engine)),
+                ("eligible", Json::Bool(c.eligible)),
+            ];
+            if let Some(predicted) = c.predicted_seconds {
+                fields.push(("predicted_seconds", Json::Number(predicted)));
+            }
+            if let Some(meets) = c.meets_deadline {
+                fields.push(("meets_deadline", Json::Bool(meets)));
+            }
+            Json::object(fields)
+        })
+        .collect();
+    let verdict = match &decision.verdict {
+        RouterVerdict::Chosen { engine, degraded } => Json::object(vec![
+            (
+                "outcome",
+                Json::string(if *degraded { "degraded" } else { "chosen" }),
+            ),
+            ("engine", Json::string(engine)),
+        ]),
+        RouterVerdict::Shed { reason } => Json::object(vec![
+            ("outcome", Json::string("shed")),
+            ("reason", Json::string(reason)),
+        ]),
+    };
+    let mut fields = Vec::new();
+    if let Some(deadline) = decision.deadline_seconds {
+        fields.push(("deadline_seconds", Json::Number(deadline)));
+    }
+    fields.push(("candidates", Json::Array(candidates)));
+    fields.push(("verdict", verdict));
+    Json::object(fields)
+}
+
+/// Encodes a trace snapshot's shared fields (annotations, stage spans,
+/// router record) into `fields`.
+fn snapshot_fields(snapshot: &TraceSnapshot, fields: &mut Vec<(&'static str, Json)>) {
+    if let Some(model) = &snapshot.model {
+        fields.push(("model", Json::string(model)));
+    }
+    if let Some(engine) = &snapshot.engine {
+        fields.push(("engine", Json::string(engine)));
+    }
+    if let Some(batch_id) = snapshot.batch_id {
+        fields.push(("batch_id", Json::from_u64(batch_id)));
+    }
+    fields.push((
+        "stages",
+        Json::Array(snapshot.stamps.iter().map(stamp_json).collect()),
+    ));
+    if let Some(router) = &snapshot.router {
+        fields.push(("router", router_json(router)));
+    }
+}
+
+/// Encodes the opt-in `"timings"` object carried on a `/v1/infer` response
+/// (`?trace=1` or `"trace": true`): the stage spans recorded so far, on the
+/// trace's own clock. The `response_write` span is necessarily absent — it
+/// ends only after these bytes are on the wire; fetch the finished trace
+/// from `GET /v1/debug/traces/<id>` for the complete record.
+pub fn timings_json(trace: &TraceContext) -> Json {
+    let snapshot = trace.snapshot();
+    let mut fields = vec![
+        ("request_id", Json::from_u64(snapshot.request_id)),
+        ("elapsed_seconds", Json::Number(trace.elapsed_seconds())),
+    ];
+    snapshot_fields(&snapshot, &mut fields);
+    Json::object(fields)
+}
+
+/// Encodes one finished trace in full, for `GET /v1/debug/traces/<id>`.
+pub fn trace_json(trace: &FinishedTrace) -> Json {
+    let mut fields = vec![
+        ("request_id", Json::from_u64(trace.snapshot.request_id)),
+        ("status", Json::from_u64(trace.status as u64)),
+        ("total_seconds", Json::Number(trace.total_seconds)),
+    ];
+    if let Some(code) = &trace.error_code {
+        fields.push(("error_code", Json::string(code)));
+    }
+    snapshot_fields(&trace.snapshot, &mut fields);
+    Json::object(fields)
+}
+
+/// Encodes one finished trace as a listing row, for `GET /v1/debug/traces`.
+pub fn trace_summary_json(trace: &FinishedTrace) -> Json {
+    let mut fields = vec![
+        ("request_id", Json::from_u64(trace.snapshot.request_id)),
+        ("status", Json::from_u64(trace.status as u64)),
+        ("total_seconds", Json::Number(trace.total_seconds)),
+    ];
+    if let Some(code) = &trace.error_code {
+        fields.push(("error_code", Json::string(code)));
+    }
+    if let Some(model) = &trace.snapshot.model {
+        fields.push(("model", Json::string(model)));
+    }
+    if let Some(engine) = &trace.snapshot.engine {
+        fields.push(("engine", Json::string(engine)));
+    }
+    Json::object(fields)
 }
 
 #[cfg(test)]
@@ -709,13 +854,102 @@ mod tests {
     }
 
     #[test]
-    fn error_body_nests_code_and_message() {
-        let body = error_body("queue_full", "submission queue full");
+    fn error_body_nests_code_message_and_request_id() {
+        let body = error_body("queue_full", "submission queue full", 77);
         let error = body.get("error").expect("error object");
         assert_eq!(error.get("code").and_then(Json::as_str), Some("queue_full"));
         assert_eq!(
             error.get("message").and_then(Json::as_str),
             Some("submission queue full")
+        );
+        assert_eq!(error.get("request_id").and_then(Json::as_u64), Some(77));
+    }
+
+    #[test]
+    fn decode_accepts_and_validates_the_trace_flag() {
+        let catalog = ModelCatalog::serving_default();
+        let engines = registry();
+        let body = Json::parse(r#"{"model": "cifar10-serve"}"#).unwrap();
+        assert!(
+            !decode(&body, &catalog, &engines, 0)
+                .unwrap()
+                .trace_requested
+        );
+        let body = Json::parse(r#"{"model": "cifar10-serve", "trace": true}"#).unwrap();
+        assert!(
+            decode(&body, &catalog, &engines, 0)
+                .unwrap()
+                .trace_requested
+        );
+        let body = Json::parse(r#"{"model": "cifar10-serve", "trace": "yes"}"#).unwrap();
+        let error = decode(&body, &catalog, &engines, 0).unwrap_err();
+        assert_eq!(error.code, "bad_request");
+        assert!(error.message.contains("trace"));
+    }
+
+    #[test]
+    fn trace_json_includes_stages_and_router_record() {
+        use bishop_obs::{RouterCandidate, Stage};
+        let trace = TraceContext::new(5);
+        trace.set_model("cifar10-serve");
+        trace.stamp(Stage::Parse);
+        trace.set_router(RouterDecision {
+            deadline_seconds: Some(0.05),
+            candidates: vec![RouterCandidate {
+                engine: "native".to_string(),
+                eligible: true,
+                predicted_seconds: Some(0.01),
+                meets_deadline: Some(true),
+            }],
+            verdict: RouterVerdict::Chosen {
+                engine: "native".to_string(),
+                degraded: false,
+            },
+        });
+        trace.set_engine("native");
+        trace.set_batch_id(42);
+        trace.stamp(Stage::Router);
+
+        // The in-flight timings view.
+        let timings = timings_json(&trace);
+        assert_eq!(timings.get("request_id").and_then(Json::as_u64), Some(5));
+        assert_eq!(timings.get("engine").and_then(Json::as_str), Some("native"));
+        let Some(Json::Array(stages)) = timings.get("stages") else {
+            panic!("expected stages array");
+        };
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].get("stage").and_then(Json::as_str), Some("parse"));
+
+        // The finished-trace view carries status and the router record.
+        let finished = FinishedTrace {
+            snapshot: trace.snapshot(),
+            total_seconds: trace.elapsed_seconds(),
+            status: 200,
+            error_code: None,
+        };
+        let json = trace_json(&finished);
+        assert_eq!(json.get("status").and_then(Json::as_u64), Some(200));
+        assert_eq!(json.get("batch_id").and_then(Json::as_u64), Some(42));
+        let router = json.get("router").expect("router record");
+        let verdict = router.get("verdict").expect("verdict");
+        assert_eq!(
+            verdict.get("outcome").and_then(Json::as_str),
+            Some("chosen")
+        );
+        assert_eq!(verdict.get("engine").and_then(Json::as_str), Some("native"));
+        let Some(Json::Array(candidates)) = router.get("candidates") else {
+            panic!("expected candidates array");
+        };
+        assert_eq!(
+            candidates[0].get("meets_deadline").and_then(Json::as_bool),
+            Some(true)
+        );
+        // The summary row keeps the lookup keys.
+        let summary = trace_summary_json(&finished);
+        assert_eq!(summary.get("request_id").and_then(Json::as_u64), Some(5));
+        assert_eq!(
+            summary.get("model").and_then(Json::as_str),
+            Some("cifar10-serve")
         );
     }
 }

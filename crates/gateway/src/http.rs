@@ -59,6 +59,23 @@ impl Request {
         self.target.split('?').next().unwrap_or(&self.target)
     }
 
+    /// The raw query string of the target (without the `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, query)| query)
+    }
+
+    /// Whether the query string contains `key=value` (or bare `key` when
+    /// `value` is empty) among its `&`-separated parameters. No percent
+    /// decoding — the gateway's query parameters are plain tokens.
+    pub fn query_flag(&self, key: &str, value: &str) -> bool {
+        self.query().is_some_and(|query| {
+            query.split('&').any(|pair| {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                k == key && v == value
+            })
+        })
+    }
+
     /// Whether the connection should stay open after the response:
     /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
     /// `Connection` header overrides either.

@@ -18,17 +18,26 @@
 //!   execution `"engine"`; the connection thread parks on the runtime
 //!   [`Ticket`](bishop_runtime::Ticket) until the Token-Time-Bundle-aligned
 //!   batch it rode in is executed. Overload is shed with `429` (queue full /
-//!   deadline unmeetable), never a hang; engine refusals are `422` with the
-//!   engine's stable error code.
+//!   deadline unmeetable) carrying a `Retry-After` priced from the shedding
+//!   engine's calibrated drain rate, never a hang; engine refusals are `422`
+//!   with the engine's stable error code. Pass `"trace": true` (or
+//!   `?trace=1`) to get a `"timings"` object of per-stage spans back.
 //! * `GET /v1/models` — the servable model catalog, with per-entry engine
 //!   support.
 //! * `GET /v1/engines` — the registered execution backends and their
 //!   capability descriptors.
-//! * `GET /metrics` — gateway + runtime counters, Prometheus text format.
+//! * `GET /metrics` — gateway + runtime counters, per-engine/per-stage
+//!   latency histograms and router decision counters, Prometheus text format.
+//! * `GET /v1/debug/traces` — ring buffer of recent finished traces plus the
+//!   slowest-N tier, as summaries.
+//! * `GET /v1/debug/traces/<id>` — one finished trace in full: stage spans,
+//!   batch id, and the router decision record (candidates considered,
+//!   predicted completion vs deadline, verdict).
 //! * `GET /healthz` — liveness (`503` once draining).
 //!
-//! Every non-2xx body is machine-readable:
-//! `{"error": {"code": "<stable_code>", "message": "..."}}`.
+//! Every `/v1/infer` response carries an `X-Request-Id` header; every
+//! non-2xx body is machine-readable and repeats it:
+//! `{"error": {"code": "<stable_code>", "message": "...", "request_id": N}}`.
 //!
 //! ```
 //! use bishop_gateway::{Gateway, GatewayConfig};

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use bishop_obs::ObsHub;
 use bishop_runtime::OnlineStats;
 
 /// HTTP- and connection-level counters maintained by the gateway itself.
@@ -76,9 +77,12 @@ impl GatewayMetrics {
         self.parse_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the combined gateway + runtime state in Prometheus text
-    /// format.
-    pub fn render_prometheus(&self, runtime: &OnlineStats) -> String {
+    /// Renders the combined gateway + runtime + observability state in
+    /// Prometheus text format: the gateway's HTTP counters, the runtime's
+    /// scheduling counters, then the obs hub's log-bucketed stage-latency
+    /// histograms (`bishop_stage_seconds`) and router decision counters
+    /// (`bishop_router_decisions_total`).
+    pub fn render_prometheus(&self, runtime: &OnlineStats, obs: &ObsHub) -> String {
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: f64| {
             render_metric(&mut out, name, help, "counter", None, value);
@@ -232,18 +236,6 @@ impl GatewayMetrics {
             "gauge",
             |e| e.drain_ops_per_second,
         );
-        engine_family(
-            "bishop_runtime_engine_latency_seconds_p50",
-            "Observed median per-request latency over a recent window, by engine.",
-            "gauge",
-            |e| e.latency.p50,
-        );
-        engine_family(
-            "bishop_runtime_engine_latency_seconds_p95",
-            "Observed 95th-percentile per-request latency over a recent window, by engine.",
-            "gauge",
-            |e| e.latency.p95,
-        );
 
         // Backlog: like queue depth, the global gauge and the per-domain
         // labeled samples share one metric family, so aggregations over
@@ -277,6 +269,13 @@ impl GatewayMetrics {
             "Worst simulated per-request latency.",
             runtime.max_latency_seconds,
         );
+
+        // The source of truth for latency distributions: exact log-bucketed
+        // histograms per (engine, stage), replacing the bounded-window
+        // p50/p95 gauges this endpoint used to export (those summaries
+        // remain on /v1/engines). Router decision counters ride along.
+        obs.histograms.render_into(&mut out);
+        obs.router.render_into(&mut out);
         out
     }
 }
@@ -314,7 +313,7 @@ mod tests {
             queue_depth: 0,
             ..OnlineStats::default()
         };
-        let text = metrics.render_prometheus(&runtime);
+        let text = metrics.render_prometheus(&runtime, &ObsHub::default());
         assert!(text.contains("# TYPE bishop_gateway_http_responses_total counter"));
         assert!(text.contains("bishop_gateway_http_responses_total{status=\"200\"} 2"));
         assert!(text.contains("bishop_gateway_http_responses_total{status=\"429\"} 1"));
@@ -363,7 +362,7 @@ mod tests {
             ],
             ..OnlineStats::default()
         };
-        let text = metrics.render_prometheus(&runtime);
+        let text = metrics.render_prometheus(&runtime, &ObsHub::default());
         // The global gauge and the per-domain labeled samples share one
         // metric family.
         assert!(text.contains("bishop_runtime_queue_depth 5"));
@@ -380,14 +379,52 @@ mod tests {
         assert!(text.contains("bishop_runtime_batches_total{engine=\"native\"} 2"));
         assert!(text.contains("bishop_runtime_drain_ops_per_second{engine=\"native\"} 2000000000"));
         assert!(text.contains("bishop_runtime_engine_failed_total{engine=\"native\"} 1"));
-        assert!(
-            text.contains("bishop_runtime_engine_latency_seconds_p95{engine=\"simulator\"} 0.002")
-        );
+        // The lossy windowed p50/p95 gauges are gone from the scrape; the
+        // histogram family is the source of truth for distributions.
+        assert!(!text.contains("bishop_runtime_engine_latency_seconds_p"));
         // Exactly one HELP/TYPE header per family even with many engines.
         assert_eq!(
             text.matches("# TYPE bishop_runtime_queue_depth gauge")
                 .count(),
             1
+        );
+    }
+
+    #[test]
+    fn renders_obs_histograms_and_router_counters() {
+        use bishop_obs::{RouterCandidate, RouterDecision, RouterVerdict};
+        let metrics = GatewayMetrics::new();
+        let obs = ObsHub::default();
+        obs.histograms.record("simulator", "engine_execute", 0.002);
+        obs.histograms.record("simulator", "queue_wait", 1e-5);
+        obs.router.record(&RouterDecision {
+            deadline_seconds: Some(0.01),
+            candidates: vec![RouterCandidate {
+                engine: "native".to_string(),
+                eligible: true,
+                predicted_seconds: Some(0.001),
+                meets_deadline: Some(true),
+            }],
+            verdict: RouterVerdict::Chosen {
+                engine: "native".to_string(),
+                degraded: false,
+            },
+        });
+        let text = metrics.render_prometheus(&OnlineStats::default(), &obs);
+        // One HELP/TYPE header for the whole histogram family, then the
+        // labeled bucket/sum/count series.
+        assert_eq!(
+            text.matches("# TYPE bishop_stage_seconds histogram")
+                .count(),
+            1
+        );
+        assert!(text.contains(
+            "bishop_stage_seconds_bucket{engine=\"simulator\",stage=\"engine_execute\",le=\"+Inf\"} 1"
+        ));
+        assert!(text
+            .contains("bishop_stage_seconds_count{engine=\"simulator\",stage=\"queue_wait\"} 1"));
+        assert!(
+            text.contains("bishop_router_decisions_total{engine=\"native\",verdict=\"chosen\"} 1")
         );
     }
 }

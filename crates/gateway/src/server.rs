@@ -7,10 +7,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bishop_obs::{Stage, TraceContext};
 use bishop_runtime::{Rejection, ServerHandle};
 
 use crate::api::{
-    decode_infer, encode_response, engines_json, error_body, models_json, ModelCatalog,
+    decode_infer, encode_response, engines_json, error_body, models_json, timings_json, trace_json,
+    trace_summary_json, ModelCatalog,
 };
 use crate::http::{Limits, ParseError, Request, RequestReader, Response};
 use crate::json::Json;
@@ -30,6 +32,11 @@ pub struct GatewayConfig {
     pub limits: Limits,
     /// The models this gateway serves.
     pub catalog: ModelCatalog,
+    /// Whether `/v1/infer` requests get an end-to-end trace (stage stamps
+    /// through the runtime, a row in the trace store, histogram samples).
+    /// On by default; the off position is the A/B knob the observability
+    /// overhead bench measures. `X-Request-Id` is assigned either way.
+    pub trace_requests: bool,
 }
 
 impl Default for GatewayConfig {
@@ -40,6 +47,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             catalog: ModelCatalog::serving_default(),
+            trace_requests: true,
         }
     }
 }
@@ -74,6 +82,13 @@ impl GatewayConfig {
         self.catalog = catalog;
         self
     }
+
+    /// Enables or disables per-request tracing (the overhead-bench A/B
+    /// knob).
+    pub fn with_request_tracing(mut self, trace: bool) -> Self {
+        self.trace_requests = trace;
+        self
+    }
 }
 
 /// State shared between the acceptor and every connection thread.
@@ -86,6 +101,7 @@ struct Shared {
     read_timeout: Duration,
     shutting_down: AtomicBool,
     next_request_id: AtomicU64,
+    trace_requests: bool,
 }
 
 /// A running HTTP gateway in front of a Bishop online runtime.
@@ -113,6 +129,7 @@ impl Gateway {
             read_timeout: config.read_timeout,
             shutting_down: AtomicBool::new(false),
             next_request_id: AtomicU64::new(0),
+            trace_requests: config.trace_requests,
         });
 
         let acceptor = {
@@ -126,7 +143,7 @@ impl Gateway {
                     let Ok(stream) = stream else { continue };
                     if shared.metrics.active_connections() >= max_connections {
                         shared.metrics.connection_rejected();
-                        reject_connection(stream, &shared.metrics);
+                        reject_connection(stream, &shared);
                         continue;
                     }
                     shared.metrics.connection_opened();
@@ -179,13 +196,15 @@ impl Gateway {
 }
 
 /// Turns away a connection over the concurrency cap with `503`.
-fn reject_connection(mut stream: TcpStream, metrics: &GatewayMetrics) {
+fn reject_connection(mut stream: TcpStream, shared: &Shared) {
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     let response = Response::json(
         503,
-        &error_body("connection_limit", "connection limit reached"),
+        &error_body("connection_limit", "connection limit reached", request_id),
     )
-    .with_header("Retry-After", "1");
-    metrics.response(503);
+    .with_header("Retry-After", "1")
+    .with_header("X-Request-Id", &request_id.to_string());
+    shared.metrics.response(503);
     if response.write_to(&mut stream, false).is_ok() {
         drain_before_close(&stream);
     }
@@ -231,9 +250,21 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 // During shutdown finish this request but close after it.
                 let keep_alive =
                     request.keep_alive() && !shared.shutting_down.load(Ordering::Acquire);
-                let response = route(&request, shared);
-                shared.metrics.response(response.status);
-                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                let handled = route(&request, shared);
+                shared.metrics.response(handled.response.status);
+                let wrote = handled.response.write_to(&mut writer, keep_alive).is_ok();
+                // The response bytes are on the wire (or the write failed —
+                // either way the request is over): close the trace. The
+                // finish feeds the stage histograms and the trace store.
+                if let Some(trace) = handled.trace {
+                    trace.stamp(Stage::ResponseWrite);
+                    shared.runtime.obs().finish(
+                        &trace,
+                        handled.response.status,
+                        handled.error_code.as_deref(),
+                    );
+                }
+                if !wrote || !keep_alive {
                     return;
                 }
             }
@@ -253,7 +284,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                         ParseError::Timeout { .. } => ("timeout", "timed out reading request"),
                         _ => ("aborted", "request aborted"),
                     };
-                    let response = Response::json(status, &error_body(code, message));
+                    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::json(status, &error_body(code, message, request_id))
+                        .with_header("X-Request-Id", &request_id.to_string());
                     shared.metrics.response(status);
                     if response.write_to(&mut writer, false).is_ok() {
                         // The failed request's remaining bytes were never
@@ -268,25 +301,65 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// The outcome of routing one request: the response to write plus what the
+/// connection loop must finish *after* the bytes are on the wire — the
+/// request's trace (if `/v1/infer` allocated one) and, for error
+/// responses, the stable error code the finished trace records.
+struct Handled {
+    response: Response,
+    trace: Option<Arc<TraceContext>>,
+    error_code: Option<String>,
+}
+
+impl Handled {
+    /// An endpoint response with no per-request trace.
+    fn untraced(response: Response) -> Self {
+        Self {
+            response,
+            trace: None,
+            error_code: None,
+        }
+    }
+}
+
 /// Routes one parsed request to its endpoint.
-fn route(request: &Request, shared: &Shared) -> Response {
+fn route(request: &Request, shared: &Shared) -> Handled {
     match (request.method.as_str(), request.path()) {
         ("POST", "/v1/infer") => infer(request, shared),
-        ("GET", "/v1/models") => {
-            Response::json(200, &models_json(&shared.catalog, shared.runtime.engines()))
-        }
-        ("GET", "/v1/engines") => Response::json(
+        ("GET", "/v1/models") => Handled::untraced(Response::json(
+            200,
+            &models_json(&shared.catalog, shared.runtime.engines()),
+        )),
+        ("GET", "/v1/engines") => Handled::untraced(Response::json(
             200,
             &engines_json(shared.runtime.engines(), &shared.runtime.engine_stats()),
-        ),
-        ("GET", "/metrics") => Response::text(
+        )),
+        ("GET", "/metrics") => Handled::untraced(Response::text(
             200,
             "text/plain; version=0.0.4",
-            shared.metrics.render_prometheus(&shared.runtime.stats()),
-        ),
+            shared
+                .metrics
+                .render_prometheus(&shared.runtime.stats(), shared.runtime.obs()),
+        )),
+        ("GET", "/v1/debug/traces") => {
+            let traces = &shared.runtime.obs().traces;
+            let rows = |list: Vec<std::sync::Arc<bishop_obs::FinishedTrace>>| {
+                Json::Array(list.iter().map(|t| trace_summary_json(t)).collect())
+            };
+            Handled::untraced(Response::json(
+                200,
+                &Json::object(vec![
+                    ("recent", rows(traces.recent())),
+                    ("slowest", rows(traces.slowest())),
+                ]),
+            ))
+        }
+        ("GET", path) if path.starts_with("/v1/debug/traces/") => {
+            Handled::untraced(trace_detail(path, shared))
+        }
         ("GET", "/healthz") => {
             let draining = shared.shutting_down.load(Ordering::Acquire);
-            Response::json(
+            Handled::untraced(Response::json(
                 if draining { 503 } else { 200 },
                 &Json::object(vec![
                     (
@@ -298,30 +371,92 @@ fn route(request: &Request, shared: &Shared) -> Response {
                         Json::from_u64(shared.runtime.stats().queue_depth as u64),
                     ),
                 ]),
+            ))
+        }
+        (_, "/v1/infer") => method_not_allowed(shared, "POST"),
+        (_, "/v1/models" | "/v1/engines" | "/metrics" | "/healthz") => {
+            method_not_allowed(shared, "GET")
+        }
+        (_, path) if path.starts_with("/v1/debug/traces") => method_not_allowed(shared, "GET"),
+        _ => {
+            let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+            Handled::untraced(
+                Response::json(
+                    404,
+                    &error_body("not_found", "no such endpoint", request_id),
+                )
+                .with_header("X-Request-Id", &request_id.to_string()),
             )
         }
-        (_, "/v1/infer") => method_not_allowed("POST"),
-        (_, "/v1/models" | "/v1/engines" | "/metrics" | "/healthz") => method_not_allowed("GET"),
-        _ => Response::json(404, &error_body("not_found", "no such endpoint")),
     }
 }
 
-fn method_not_allowed(allow: &str) -> Response {
-    Response::json(405, &error_body("method_not_allowed", "method not allowed"))
-        .with_header("Allow", allow)
+/// `GET /v1/debug/traces/<id>`: one finished trace in full (stage spans,
+/// batch span id, router decision record).
+fn trace_detail(path: &str, shared: &Shared) -> Response {
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let id = path
+        .strip_prefix("/v1/debug/traces/")
+        .expect("caller matched the prefix");
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::json(
+            400,
+            &error_body("bad_request", "trace id must be an integer", request_id),
+        )
+        .with_header("X-Request-Id", &request_id.to_string());
+    };
+    match shared.runtime.obs().traces.find(id) {
+        Some(trace) => Response::json(200, &trace_json(&trace)),
+        None => Response::json(
+            404,
+            &error_body(
+                "trace_not_found",
+                "no retained trace with that request id (retention is bounded)",
+                request_id,
+            ),
+        )
+        .with_header("X-Request-Id", &request_id.to_string()),
+    }
 }
 
-/// `POST /v1/infer`: decode, admit, wait for the ticket, encode.
-fn infer(request: &Request, shared: &Shared) -> Response {
+fn method_not_allowed(shared: &Shared, allow: &str) -> Handled {
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    Handled::untraced(
+        Response::json(
+            405,
+            &error_body("method_not_allowed", "method not allowed", request_id),
+        )
+        .with_header("Allow", allow)
+        .with_header("X-Request-Id", &request_id.to_string()),
+    )
+}
+
+/// `POST /v1/infer`: allocate the request id and trace, decode, admit,
+/// wait for the ticket, encode. Every response — success or failure —
+/// carries the id in `X-Request-Id`; failures repeat it in the error body.
+fn infer(request: &Request, shared: &Shared) -> Handled {
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    // The trace is born at the edge so its clock covers the whole request:
+    // the stamps the runtime adds later all share this origin.
+    let trace = shared
+        .trace_requests
+        .then(|| Arc::new(TraceContext::new(request_id)));
+    let request_id_header = request_id.to_string();
+    let fail = |status: u16, code: &str, message: &str| Handled {
+        response: Response::json(status, &error_body(code, message, request_id))
+            .with_header("X-Request-Id", &request_id_header),
+        trace: trace.clone(),
+        error_code: Some(code.to_string()),
+    };
+
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return Response::json(400, &error_body("bad_request", "body is not UTF-8")),
+        Err(_) => return fail(400, "bad_request", "body is not UTF-8"),
     };
     let json = match Json::parse(body) {
         Ok(json) => json,
-        Err(error) => return Response::json(400, &error_body("bad_request", &error.to_string())),
+        Err(error) => return fail(400, "bad_request", &error.to_string()),
     };
-    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     let submission = match decode_infer(
         &json,
         &shared.catalog,
@@ -330,43 +465,75 @@ fn infer(request: &Request, shared: &Shared) -> Response {
         request_id,
     ) {
         Ok(submission) => submission,
-        Err(error) => return Response::json(error.status, &error_body(error.code, &error.message)),
+        Err(error) => return fail(error.status, error.code, &error.message),
     };
+    let want_timings = submission.trace_requested || request.query_flag("trace", "1");
+
+    let mut runtime_request = submission.request;
+    // What the client *asked* for ("auto" included) — the engine whose
+    // predicted backlog drain prices a 429's Retry-After.
+    let asked_engine = runtime_request.engine.clone();
+    if let Some(trace) = &trace {
+        trace.set_model(&runtime_request.entry.name);
+        trace.stamp(Stage::Parse);
+        runtime_request = runtime_request.with_trace(Arc::clone(trace));
+    }
 
     let admitted = match submission.deadline {
         Some(deadline) => shared
             .runtime
-            .try_submit_with_deadline(submission.request, deadline),
-        None => shared.runtime.try_submit(submission.request),
+            .try_submit_with_deadline(runtime_request, deadline),
+        None => shared.runtime.try_submit(runtime_request),
     };
     match admitted {
         Ok(ticket) => match ticket.wait() {
-            Some(Ok(response)) => Response::json(200, &encode_response(&response)),
+            Some(Ok(response)) => {
+                let mut encoded = encode_response(&response);
+                if want_timings {
+                    if let (Some(trace), Json::Object(fields)) = (&trace, &mut encoded) {
+                        fields.push(("timings".to_string(), timings_json(trace)));
+                    }
+                }
+                Handled {
+                    response: Response::json(200, &encoded)
+                        .with_header("X-Request-Id", &request_id_header),
+                    trace,
+                    error_code: None,
+                }
+            }
             // An engine refusal is the client's request profile, not server
             // load: 422 with the engine's stable code.
-            Some(Err(error)) => Response::json(422, &error_body(error.code(), &error.to_string())),
-            None => Response::json(
-                503,
-                &error_body("shutting_down", "server shut down mid-request"),
-            ),
+            Some(Err(error)) => fail(422, error.code(), &error.to_string()),
+            None => fail(503, "shutting_down", "server shut down mid-request"),
         },
         // Load-transient sheds: retrying after backoff can succeed.
+        // Retry-After is *priced*, not hardcoded: the predicted seconds for
+        // the shedding engine's admitted backlog to drain at its calibrated
+        // rate (for "auto", the best candidate's), clamped to [1, 60].
         Err(
             rejection @ (Rejection::QueueFull
             | Rejection::DeadlineUnmeetable
             | Rejection::NoEngineMeetsDeadline),
-        ) => Response::json(429, &error_body(rejection.code(), &rejection.to_string()))
-            .with_header("Retry-After", "1"),
+        ) => {
+            let retry_after = shared
+                .runtime
+                .predicted_drain_seconds(&asked_engine)
+                .ceil()
+                .clamp(1.0, 60.0) as u64;
+            let mut handled = fail(429, rejection.code(), &rejection.to_string());
+            handled.response = handled
+                .response
+                .with_header("Retry-After", &retry_after.to_string());
+            handled
+        }
         // No auto candidate can execute this request shape at all: the
         // client must change the request, so no Retry-After — 422 like any
         // other capability refusal. (The decode preflight catches this for
         // stock configurations; a runtime whose auto preference was
         // restricted after boot still sheds here.)
         Err(rejection @ Rejection::NoEngineSupportsRequest) => {
-            Response::json(422, &error_body(rejection.code(), &rejection.to_string()))
+            fail(422, rejection.code(), &rejection.to_string())
         }
-        Err(rejection) => {
-            Response::json(503, &error_body(rejection.code(), &rejection.to_string()))
-        }
+        Err(rejection) => fail(503, rejection.code(), &rejection.to_string()),
     }
 }

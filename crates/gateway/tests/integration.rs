@@ -288,7 +288,8 @@ fn auto_engine_routes_over_the_wire_and_engines_report_load() {
         "bishop_runtime_batches_total{engine=\"simulator\"} 1",
         "bishop_runtime_batches_total{engine=\"native\"} 1",
         "bishop_runtime_drain_ops_per_second{engine=\"simulator\"}",
-        "bishop_runtime_engine_latency_seconds_p95{engine=\"native\"}",
+        "bishop_stage_seconds_count{engine=\"native\",stage=\"engine_execute\"}",
+        "bishop_router_decisions_total{engine=",
     ] {
         assert!(metrics.contains(needle), "missing {needle} in {metrics}");
     }

@@ -1,0 +1,255 @@
+//! A leveled, rate-limited structured event log: one JSON object per line
+//! on stderr, for the events worth a log line in production — sheds,
+//! engine errors, slow requests — without ever letting an overload turn
+//! the log itself into the bottleneck.
+//!
+//! Rate limiting is a token bucket shared across all events: when the
+//! bucket is empty the event is dropped and counted, and the next emitted
+//! event carries a `"suppressed"` field so the gap is visible in the log
+//! instead of silent.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Event severity, in ascending order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventLevel {
+    /// Routine but notable (slow requests over the threshold).
+    Info,
+    /// Degraded service (sheds).
+    Warn,
+    /// Failures (engine errors).
+    Error,
+}
+
+impl EventLevel {
+    fn label(self) -> &'static str {
+        match self {
+            EventLevel::Info => "info",
+            EventLevel::Warn => "warn",
+            EventLevel::Error => "error",
+        }
+    }
+}
+
+/// One structured field value.
+#[derive(Debug, Clone, Copy)]
+pub enum EventValue<'a> {
+    /// A string (JSON-escaped on write).
+    Str(&'a str),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (written with full precision).
+    F64(f64),
+}
+
+#[derive(Debug)]
+struct LimiterState {
+    tokens: f64,
+    last_refill: Instant,
+    suppressed: u64,
+}
+
+/// The event log: level filter + token-bucket limiter + line sink.
+pub struct EventLog {
+    min_level: EventLevel,
+    burst: f64,
+    per_second: f64,
+    limiter: Mutex<LimiterState>,
+    /// `None` writes to stderr; tests inject a capturing sink.
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("min_level", &self.min_level)
+            .field("burst", &self.burst)
+            .field("per_second", &self.per_second)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventLog {
+    /// Creates a log emitting events at or above `min_level`, allowing a
+    /// burst of `burst` events refilled at `per_second` events/second.
+    pub fn new(min_level: EventLevel, burst: f64, per_second: f64) -> Self {
+        Self {
+            min_level,
+            burst: burst.max(1.0),
+            per_second: per_second.max(0.0),
+            limiter: Mutex::new(LimiterState {
+                tokens: burst.max(1.0),
+                last_refill: Instant::now(),
+                suppressed: 0,
+            }),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Redirects output from stderr into `sink` (tests).
+    pub fn set_sink(&self, sink: Box<dyn Write + Send>) {
+        *self.sink.lock().expect("event sink lock") = Some(sink);
+    }
+
+    /// Events dropped by the rate limiter since the last emitted line.
+    pub fn suppressed(&self) -> u64 {
+        self.limiter.lock().expect("event limiter lock").suppressed
+    }
+
+    /// Emits one structured event line, unless filtered or rate-limited.
+    /// Returns whether the line was written.
+    pub fn emit(&self, level: EventLevel, event: &str, fields: &[(&str, EventValue<'_>)]) -> bool {
+        if level < self.min_level {
+            return false;
+        }
+        let suppressed = {
+            let mut state = self.limiter.lock().expect("event limiter lock");
+            let elapsed = state.last_refill.elapsed().as_secs_f64();
+            state.last_refill = Instant::now();
+            state.tokens = (state.tokens + elapsed * self.per_second).min(self.burst);
+            if state.tokens < 1.0 {
+                state.suppressed += 1;
+                return false;
+            }
+            state.tokens -= 1.0;
+            std::mem::take(&mut state.suppressed)
+        };
+
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"level\":\"");
+        line.push_str(level.label());
+        line.push_str("\",\"event\":\"");
+        escape_into(&mut line, event);
+        line.push('"');
+        for (key, value) in fields {
+            line.push_str(",\"");
+            escape_into(&mut line, key);
+            line.push_str("\":");
+            match value {
+                EventValue::Str(s) => {
+                    line.push('"');
+                    escape_into(&mut line, s);
+                    line.push('"');
+                }
+                EventValue::U64(n) => line.push_str(&n.to_string()),
+                EventValue::F64(x) => line.push_str(&x.to_string()),
+            }
+        }
+        if suppressed > 0 {
+            line.push_str(&format!(",\"suppressed\":{suppressed}"));
+        }
+        line.push_str("}\n");
+
+        let mut sink = self.sink.lock().expect("event sink lock");
+        match sink.as_mut() {
+            Some(sink) => {
+                let _ = sink.write_all(line.as_bytes());
+                let _ = sink.flush();
+            }
+            None => {
+                let _ = std::io::stderr().write_all(line.as_bytes());
+            }
+        }
+        true
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink capturing lines into shared memory.
+    #[derive(Debug, Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn emits_one_json_line_with_escaped_fields() {
+        let log = EventLog::new(EventLevel::Info, 8.0, 1.0);
+        let capture = Capture::default();
+        log.set_sink(Box::new(capture.clone()));
+        assert!(log.emit(
+            EventLevel::Warn,
+            "request_shed",
+            &[
+                ("reason", EventValue::Str("queue_full")),
+                ("request_id", EventValue::U64(17)),
+                ("detail", EventValue::Str("say \"hi\"\n")),
+                ("backlog_seconds", EventValue::F64(1.5)),
+            ],
+        ));
+        let text = capture.text();
+        assert_eq!(
+            text,
+            "{\"level\":\"warn\",\"event\":\"request_shed\",\"reason\":\"queue_full\",\
+             \"request_id\":17,\"detail\":\"say \\\"hi\\\"\\n\",\"backlog_seconds\":1.5}\n"
+        );
+    }
+
+    #[test]
+    fn level_filter_drops_quiet_events() {
+        let log = EventLog::new(EventLevel::Warn, 8.0, 1.0);
+        let capture = Capture::default();
+        log.set_sink(Box::new(capture.clone()));
+        assert!(!log.emit(EventLevel::Info, "slow_request", &[]));
+        assert!(log.emit(EventLevel::Error, "engine_error", &[]));
+        assert_eq!(capture.text().lines().count(), 1);
+    }
+
+    #[test]
+    fn rate_limiter_suppresses_and_reports_the_gap() {
+        // Burst of 2, no refill: the third event is dropped and the count
+        // surfaces on the next line once tokens return.
+        let log = EventLog::new(EventLevel::Info, 2.0, 0.0);
+        let capture = Capture::default();
+        log.set_sink(Box::new(capture.clone()));
+        assert!(log.emit(EventLevel::Warn, "a", &[]));
+        assert!(log.emit(EventLevel::Warn, "b", &[]));
+        assert!(!log.emit(EventLevel::Warn, "c", &[]));
+        assert!(!log.emit(EventLevel::Warn, "d", &[]));
+        assert_eq!(log.suppressed(), 2);
+        // Refill by hand (simulate time passing) via a fresh log sharing
+        // the sink: the suppressed count is per-log, so instead verify the
+        // suppressed field lands on the next successful emit.
+        {
+            let mut state = log.limiter.lock().unwrap();
+            state.tokens = 1.0;
+        }
+        assert!(log.emit(EventLevel::Warn, "e", &[]));
+        assert!(capture.text().contains("\"event\":\"e\",\"suppressed\":2}"));
+        assert_eq!(log.suppressed(), 0);
+    }
+}

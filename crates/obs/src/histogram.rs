@@ -1,0 +1,251 @@
+//! Log-bucketed latency histograms in Prometheus exposition shape.
+//!
+//! Buckets are geometric — powers of two from 1 µs to ~67 s — so one fixed
+//! 28-bucket layout covers everything from a sub-millisecond simulator
+//! batch to a multi-second native flood with bounded relative error, and
+//! recording is a couple of atomic adds (no locks, no allocation, no
+//! sampling window to overflow — unlike the bounded p50/p95 windows these
+//! histograms replace as the `/metrics` source of truth).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Upper bounds (seconds) of the log-spaced buckets: `1e-6 · 2^k` for
+/// `k = 0..27`. Everything above the last bound lands in `+Inf`.
+pub const BUCKET_BOUNDS: usize = 27;
+
+fn bound(index: usize) -> f64 {
+    1e-6 * f64::powi(2.0, index as i32)
+}
+
+/// One lock-free histogram: per-bucket counters plus a running sum.
+#[derive(Debug)]
+pub struct LogHistogram {
+    /// `buckets[k]` counts observations `<= bound(k)`, non-cumulative;
+    /// the last slot is the `+Inf` overflow bucket.
+    buckets: [AtomicU64; BUCKET_BOUNDS + 1],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation in seconds (negatives clamp to zero).
+    pub fn record(&self, seconds: f64) {
+        let seconds = if seconds.is_finite() {
+            seconds.max(0.0)
+        } else {
+            0.0
+        };
+        let index = (0..BUCKET_BOUNDS)
+            .find(|&k| seconds <= bound(k))
+            .unwrap_or(BUCKET_BOUNDS);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Lock-free f64 accumulation via bit-cast CAS.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(current) + seconds;
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in seconds.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts, one per bound plus the `+Inf` bucket.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|bucket| {
+                total += bucket.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+/// The per-`(engine, stage)` histogram registry behind
+/// `bishop_stage_seconds` on `/metrics`.
+///
+/// Label cardinality is bounded by design: engines × stages, with
+/// `engine="none"` for spans recorded before a request resolved to a
+/// concrete engine (parse failures, pre-route sheds).
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    series: Mutex<BTreeMap<(String, &'static str), Arc<LogHistogram>>>,
+}
+
+impl StageHistograms {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stage span for an engine (or `"none"` pre-route).
+    pub fn record(&self, engine: &str, stage: &'static str, seconds: f64) {
+        let histogram = {
+            let mut series = self.series.lock().expect("histogram registry lock");
+            match series.get(&(engine.to_string(), stage)) {
+                Some(histogram) => Arc::clone(histogram),
+                None => {
+                    let histogram = Arc::new(LogHistogram::new());
+                    series.insert((engine.to_string(), stage), Arc::clone(&histogram));
+                    histogram
+                }
+            }
+        };
+        histogram.record(seconds);
+    }
+
+    /// The cumulative count at `le` for one series (test/introspection
+    /// helper; `le` must be one of the bucket bounds).
+    pub fn bucket_count(&self, engine: &str, stage: &'static str, le: f64) -> u64 {
+        let series = self.series.lock().expect("histogram registry lock");
+        let Some(histogram) = series.get(&(engine.to_string(), stage)) else {
+            return 0;
+        };
+        let cumulative = histogram.cumulative();
+        (0..BUCKET_BOUNDS)
+            .find(|&k| le <= bound(k))
+            .map(|k| cumulative[k])
+            .unwrap_or(cumulative[BUCKET_BOUNDS])
+    }
+
+    /// Renders the `bishop_stage_seconds` histogram family in Prometheus
+    /// text format: one `# HELP`/`# TYPE` header, then every labeled
+    /// series' `_bucket`/`_sum`/`_count` samples grouped under it.
+    pub fn render_into(&self, out: &mut String) {
+        out.push_str(
+            "# HELP bishop_stage_seconds Per-stage request latency by engine \
+             (log-bucketed; engine=\"none\" before an engine is resolved).\n\
+             # TYPE bishop_stage_seconds histogram\n",
+        );
+        let series = self.series.lock().expect("histogram registry lock");
+        for ((engine, stage), histogram) in series.iter() {
+            let cumulative = histogram.cumulative();
+            for (k, &count) in cumulative.iter().enumerate().take(BUCKET_BOUNDS) {
+                out.push_str(&format!(
+                    "bishop_stage_seconds_bucket{{engine=\"{engine}\",stage=\"{stage}\",le=\"{}\"}} {count}\n",
+                    bound(k)
+                ));
+            }
+            out.push_str(&format!(
+                "bishop_stage_seconds_bucket{{engine=\"{engine}\",stage=\"{stage}\",le=\"+Inf\"}} {}\n",
+                cumulative[BUCKET_BOUNDS]
+            ));
+            out.push_str(&format!(
+                "bishop_stage_seconds_sum{{engine=\"{engine}\",stage=\"{stage}\"}} {}\n",
+                histogram.sum()
+            ));
+            out.push_str(&format!(
+                "bishop_stage_seconds_count{{engine=\"{engine}\",stage=\"{stage}\"}} {}\n",
+                histogram.count()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_log_buckets() {
+        let histogram = LogHistogram::new();
+        histogram.record(0.5e-6); // first bucket (<= 1 µs)
+        histogram.record(3e-6); // <= 4 µs
+        histogram.record(1e3); // over the last bound: +Inf
+        assert_eq!(histogram.count(), 3);
+        assert!((histogram.sum() - 1000.0000035).abs() < 1e-6);
+        let cumulative = histogram.cumulative();
+        assert_eq!(cumulative[0], 1);
+        assert_eq!(cumulative[1], 1); // 2 µs bucket unchanged
+        assert_eq!(cumulative[2], 2); // 4 µs bucket catches 3 µs
+        assert_eq!(cumulative[BUCKET_BOUNDS], 3); // +Inf holds everything
+    }
+
+    #[test]
+    fn render_groups_series_under_one_family_header() {
+        let registry = StageHistograms::new();
+        registry.record("simulator", "engine_execute", 0.002);
+        registry.record("native", "engine_execute", 0.050);
+        registry.record("simulator", "queue_wait", 0.0001);
+        let mut out = String::new();
+        registry.render_into(&mut out);
+        assert_eq!(
+            out.matches("# TYPE bishop_stage_seconds histogram").count(),
+            1
+        );
+        assert_eq!(out.matches("# HELP bishop_stage_seconds ").count(), 1);
+        assert!(out.contains(
+            "bishop_stage_seconds_count{engine=\"simulator\",stage=\"engine_execute\"} 1"
+        ));
+        assert!(out.contains(
+            "bishop_stage_seconds_bucket{engine=\"native\",stage=\"engine_execute\",le=\"+Inf\"} 1"
+        ));
+        // Cumulative: a 2 ms observation is inside every bucket >= 2.048 ms.
+        assert_eq!(
+            registry.bucket_count("simulator", "engine_execute", 0.002048),
+            1
+        );
+        assert_eq!(
+            registry.bucket_count("simulator", "engine_execute", 0.001024),
+            0
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let registry = Arc::new(StageHistograms::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        registry.record("simulator", "engine_execute", i as f64 * 1e-6);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("recorder thread");
+        }
+        let mut out = String::new();
+        registry.render_into(&mut out);
+        assert!(out.contains(
+            "bishop_stage_seconds_count{engine=\"simulator\",stage=\"engine_execute\"} 4000"
+        ));
+    }
+}

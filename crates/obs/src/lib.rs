@@ -1,0 +1,228 @@
+//! # bishop-obs
+//!
+//! Zero-external-dependency observability for the Bishop serving stack:
+//! end-to-end request tracing, per-stage latency histograms, router
+//! decision records, bounded trace retention and a rate-limited structured
+//! event log — the per-request analogue of the paper's Fig. 17 latency
+//! decomposition, applied to the serving path instead of the chip.
+//!
+//! The crate sits *below* `bishop-runtime` in the dependency graph and
+//! knows nothing about HTTP, engines or batches; it only provides the
+//! vocabulary the serving layers stamp into:
+//!
+//! * [`TraceContext`] — one per request, allocated at the edge, carried as
+//!   an `Arc` along the whole path, stamped at each stage boundary
+//!   ([`Stage`]). Spans are monotone and non-overlapping by construction.
+//! * [`StageHistograms`] — lock-free log-bucketed histograms per
+//!   `(engine, stage)`, rendered as the `bishop_stage_seconds` Prometheus
+//!   histogram family.
+//! * [`TraceStore`] — a fixed-size ring of recent [`FinishedTrace`]s plus
+//!   a slowest-N tier, so fast traffic cannot evict the outlier under
+//!   investigation.
+//! * [`RouterDecision`] — the dispatcher's evidence for each `"auto"`
+//!   request: candidates considered, predicted completion vs deadline,
+//!   verdict (chosen / degraded / shed), counted by [`RouterMetrics`].
+//! * [`EventLog`] — leveled, token-bucket rate-limited JSON lines on
+//!   stderr for sheds, engine errors and slow requests.
+//!
+//! [`ObsHub`] bundles all of the above behind one `Arc` the serving stack
+//! threads through itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod histogram;
+pub mod router;
+pub mod store;
+pub mod trace;
+
+pub use events::{EventLevel, EventLog, EventValue};
+pub use histogram::{LogHistogram, StageHistograms};
+pub use router::{RouterCandidate, RouterDecision, RouterMetrics, RouterVerdict};
+pub use store::TraceStore;
+pub use trace::{FinishedTrace, Stage, StageStamp, TraceContext, TraceSnapshot};
+
+use std::sync::Arc;
+
+/// Configuration of an [`ObsHub`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// How many recently finished traces the ring buffer retains.
+    pub recent_traces: usize,
+    /// How many slowest-ever traces are retained besides the ring.
+    pub slowest_traces: usize,
+    /// Requests slower than this (seconds, end to end) emit a
+    /// `slow_request` event.
+    pub slow_threshold_seconds: f64,
+    /// Minimum severity the event log emits.
+    pub event_level: EventLevel,
+    /// Token-bucket burst of the event log.
+    pub event_burst: f64,
+    /// Token-bucket refill rate of the event log (events/second).
+    pub events_per_second: f64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            recent_traces: 256,
+            slowest_traces: 32,
+            slow_threshold_seconds: 1.0,
+            event_level: EventLevel::Info,
+            event_burst: 32.0,
+            events_per_second: 16.0,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Overrides the trace retention tiers.
+    pub fn with_trace_retention(mut self, recent: usize, slowest: usize) -> Self {
+        self.recent_traces = recent;
+        self.slowest_traces = slowest;
+        self
+    }
+
+    /// Overrides the slow-request threshold.
+    pub fn with_slow_threshold(mut self, seconds: f64) -> Self {
+        self.slow_threshold_seconds = seconds;
+        self
+    }
+
+    /// Overrides the event log's level and rate limit.
+    pub fn with_event_log(mut self, level: EventLevel, burst: f64, per_second: f64) -> Self {
+        self.event_level = level;
+        self.event_burst = burst;
+        self.events_per_second = per_second;
+        self
+    }
+}
+
+/// Every observability consumer behind one shared handle: histograms,
+/// trace retention, router metrics and the event log.
+#[derive(Debug)]
+pub struct ObsHub {
+    config: ObsConfig,
+    /// Per-`(engine, stage)` latency histograms (`bishop_stage_seconds`).
+    pub histograms: StageHistograms,
+    /// Finished-trace retention behind `GET /v1/debug/traces`.
+    pub traces: TraceStore,
+    /// `"auto"` dispatch verdict counters.
+    pub router: RouterMetrics,
+    /// The structured event log.
+    pub events: EventLog,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new(ObsConfig::default())
+    }
+}
+
+impl ObsHub {
+    /// Builds a hub from the given configuration.
+    pub fn new(config: ObsConfig) -> Self {
+        Self {
+            histograms: StageHistograms::new(),
+            traces: TraceStore::new(config.recent_traces, config.slowest_traces),
+            router: RouterMetrics::new(),
+            events: EventLog::new(
+                config.event_level,
+                config.event_burst,
+                config.events_per_second,
+            ),
+            config,
+        }
+    }
+
+    /// The configuration the hub was built with.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// Finishes one request's trace: feeds every recorded span into the
+    /// stage histograms (attributed to the resolved engine, or `"none"`),
+    /// retains the trace, and emits a `slow_request` event when the
+    /// end-to-end time crosses the configured threshold. Returns the
+    /// retained record.
+    pub fn finish(
+        &self,
+        trace: &TraceContext,
+        status: u16,
+        error_code: Option<&str>,
+    ) -> Arc<FinishedTrace> {
+        let total_seconds = trace.elapsed_seconds();
+        let snapshot = trace.snapshot();
+        let engine = snapshot
+            .engine
+            .clone()
+            .unwrap_or_else(|| "none".to_string());
+        for stamp in &snapshot.stamps {
+            self.histograms
+                .record(&engine, stamp.stage.label(), stamp.seconds());
+        }
+        let finished = Arc::new(FinishedTrace {
+            snapshot,
+            total_seconds,
+            status,
+            error_code: error_code.map(str::to_string),
+        });
+        self.traces.push(Arc::clone(&finished));
+        if total_seconds >= self.config.slow_threshold_seconds {
+            self.events.emit(
+                EventLevel::Info,
+                "slow_request",
+                &[
+                    ("request_id", EventValue::U64(finished.snapshot.request_id)),
+                    ("total_seconds", EventValue::F64(total_seconds)),
+                    ("engine", EventValue::Str(&engine)),
+                    ("status", EventValue::U64(status as u64)),
+                ],
+            );
+        }
+        finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_feeds_histograms_store_and_slow_log() {
+        let hub = ObsHub::new(
+            ObsConfig::default()
+                .with_trace_retention(4, 2)
+                .with_slow_threshold(0.0),
+        );
+        hub.events.set_sink(Box::new(std::io::sink()));
+        let trace = TraceContext::new(9);
+        trace.set_engine("simulator");
+        trace.stamp(Stage::Parse);
+        trace.stamp(Stage::EngineExecute);
+        let finished = hub.finish(&trace, 200, None);
+        assert_eq!(finished.status, 200);
+        assert_eq!(finished.snapshot.stamps.len(), 2);
+        assert!(hub.traces.find(9).is_some());
+        let mut out = String::new();
+        hub.histograms.render_into(&mut out);
+        assert!(out.contains(
+            "bishop_stage_seconds_count{engine=\"simulator\",stage=\"engine_execute\"} 1"
+        ));
+        // Threshold 0: every request is "slow", so the event spent a token.
+        assert_eq!(hub.events.suppressed(), 0);
+    }
+
+    #[test]
+    fn unresolved_engines_attribute_to_none() {
+        let hub = ObsHub::default();
+        let trace = TraceContext::new(1);
+        trace.stamp(Stage::Parse);
+        let finished = hub.finish(&trace, 429, Some("queue_full"));
+        assert_eq!(finished.error_code.as_deref(), Some("queue_full"));
+        let mut out = String::new();
+        hub.histograms.render_into(&mut out);
+        assert!(out.contains("bishop_stage_seconds_count{engine=\"none\",stage=\"parse\"} 1"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Router decision records: why the deadline-aware dispatcher chose (or
+//! refused) an engine for an `"auto"` request.
+//!
+//! The record is evidence, not telemetry aggregate: it lists every
+//! candidate the dispatcher actually considered, with the predicted
+//! completion it computed against the deadline at that instant — enough to
+//! answer "why did this request degrade to the simulator?" or "why was it
+//! shed?" from the trace alone. [`RouterMetrics`] additionally counts
+//! verdicts as a labeled Prometheus family so dashboards see degradation
+//! and shed rates without reading traces.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One engine the dispatcher considered for an `"auto"` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterCandidate {
+    /// Engine name, in preference order.
+    pub engine: String,
+    /// Whether the engine's descriptor can execute the request profile at
+    /// all (ECP support, fold limit).
+    pub eligible: bool,
+    /// Predicted completion in seconds — domain backlog plus the request's
+    /// own cost at the calibrated drain rate. `None` for ineligible
+    /// candidates and for deadline-less requests (nothing was predicted).
+    pub predicted_seconds: Option<f64>,
+    /// Whether the prediction met the deadline (`None` without one).
+    pub meets_deadline: Option<bool>,
+}
+
+/// What the dispatcher concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterVerdict {
+    /// An engine was chosen. `degraded` is set when a more-preferred
+    /// eligible engine was skipped because its predicted completion missed
+    /// the deadline — the request got a cheaper substrate than preference
+    /// alone would have given it.
+    Chosen {
+        /// The engine the request was routed to.
+        engine: String,
+        /// Whether a more-preferred eligible engine was passed over.
+        degraded: bool,
+    },
+    /// The request was shed with the given stable rejection code.
+    Shed {
+        /// Stable rejection code (`no_engine_meets_deadline`, …).
+        reason: String,
+    },
+}
+
+impl RouterVerdict {
+    /// The stable verdict label used on metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterVerdict::Chosen {
+                degraded: false, ..
+            } => "chosen",
+            RouterVerdict::Chosen { degraded: true, .. } => "degraded",
+            RouterVerdict::Shed { .. } => "shed",
+        }
+    }
+
+    /// The engine label for metrics (`none` for sheds).
+    pub fn engine_label(&self) -> &str {
+        match self {
+            RouterVerdict::Chosen { engine, .. } => engine,
+            RouterVerdict::Shed { .. } => "none",
+        }
+    }
+}
+
+/// The full decision record attached to an `"auto"` request's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterDecision {
+    /// The request's deadline in seconds, when it had one.
+    pub deadline_seconds: Option<f64>,
+    /// Every candidate considered, in preference order, up to and
+    /// including the chosen one.
+    pub candidates: Vec<RouterCandidate>,
+    /// What the dispatcher concluded.
+    pub verdict: RouterVerdict,
+}
+
+/// Labeled verdict counters: `bishop_router_decisions_total{engine=,verdict=}`.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    counts: Mutex<BTreeMap<(String, &'static str), u64>>,
+}
+
+impl RouterMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one decision.
+    pub fn record(&self, decision: &RouterDecision) {
+        let key = (
+            decision.verdict.engine_label().to_string(),
+            decision.verdict.label(),
+        );
+        *self
+            .counts
+            .lock()
+            .expect("router metrics lock")
+            .entry(key)
+            .or_insert(0) += 1;
+    }
+
+    /// The count for one `(engine, verdict)` pair.
+    pub fn count(&self, engine: &str, verdict: &str) -> u64 {
+        self.counts
+            .lock()
+            .expect("router metrics lock")
+            .iter()
+            .find(|((e, v), _)| e == engine && *v == verdict)
+            .map(|(_, &count)| count)
+            .unwrap_or(0)
+    }
+
+    /// Renders the `bishop_router_decisions_total` family in Prometheus
+    /// text format (one header, labeled series grouped under it).
+    pub fn render_into(&self, out: &mut String) {
+        out.push_str(
+            "# HELP bishop_router_decisions_total Auto-dispatch decisions by chosen engine \
+             and verdict (chosen / degraded / shed).\n\
+             # TYPE bishop_router_decisions_total counter\n",
+        );
+        let counts = self.counts.lock().expect("router metrics lock");
+        for ((engine, verdict), count) in counts.iter() {
+            out.push_str(&format!(
+                "bishop_router_decisions_total{{engine=\"{engine}\",verdict=\"{verdict}\"}} {count}\n"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(verdict: RouterVerdict) -> RouterDecision {
+        RouterDecision {
+            deadline_seconds: Some(0.05),
+            candidates: vec![
+                RouterCandidate {
+                    engine: "native".to_string(),
+                    eligible: true,
+                    predicted_seconds: Some(1.2),
+                    meets_deadline: Some(false),
+                },
+                RouterCandidate {
+                    engine: "simulator".to_string(),
+                    eligible: true,
+                    predicted_seconds: Some(0.001),
+                    meets_deadline: Some(true),
+                },
+            ],
+            verdict,
+        }
+    }
+
+    #[test]
+    fn verdict_labels_distinguish_degradation_from_preference() {
+        let chosen = RouterVerdict::Chosen {
+            engine: "native".to_string(),
+            degraded: false,
+        };
+        let degraded = RouterVerdict::Chosen {
+            engine: "simulator".to_string(),
+            degraded: true,
+        };
+        let shed = RouterVerdict::Shed {
+            reason: "no_engine_meets_deadline".to_string(),
+        };
+        assert_eq!(chosen.label(), "chosen");
+        assert_eq!(degraded.label(), "degraded");
+        assert_eq!(shed.label(), "shed");
+        assert_eq!(shed.engine_label(), "none");
+    }
+
+    #[test]
+    fn metrics_count_and_render_labeled_verdicts() {
+        let metrics = RouterMetrics::new();
+        metrics.record(&decision(RouterVerdict::Chosen {
+            engine: "simulator".to_string(),
+            degraded: true,
+        }));
+        metrics.record(&decision(RouterVerdict::Chosen {
+            engine: "simulator".to_string(),
+            degraded: true,
+        }));
+        metrics.record(&decision(RouterVerdict::Shed {
+            reason: "no_engine_meets_deadline".to_string(),
+        }));
+        assert_eq!(metrics.count("simulator", "degraded"), 2);
+        assert_eq!(metrics.count("none", "shed"), 1);
+        let mut out = String::new();
+        metrics.render_into(&mut out);
+        assert_eq!(
+            out.matches("# TYPE bishop_router_decisions_total counter")
+                .count(),
+            1
+        );
+        assert!(out.contains(
+            "bishop_router_decisions_total{engine=\"simulator\",verdict=\"degraded\"} 2"
+        ));
+        assert!(out.contains("bishop_router_decisions_total{engine=\"none\",verdict=\"shed\"} 1"));
+    }
+}

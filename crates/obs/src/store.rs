@@ -1,0 +1,143 @@
+//! The trace retention store: a fixed-size ring of recent traces plus a
+//! slowest-N tier, so a burst of fast requests cannot evict the one slow
+//! outlier you are debugging.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::trace::FinishedTrace;
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    recent: VecDeque<Arc<FinishedTrace>>,
+    /// Kept sorted by `total_seconds`, slowest first.
+    slowest: Vec<Arc<FinishedTrace>>,
+}
+
+/// Bounded retention of finished traces, served on `GET /v1/debug/traces`.
+#[derive(Debug)]
+pub struct TraceStore {
+    recent_capacity: usize,
+    slowest_capacity: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl TraceStore {
+    /// Creates a store retaining the last `recent_capacity` traces plus the
+    /// `slowest_capacity` slowest ever seen.
+    pub fn new(recent_capacity: usize, slowest_capacity: usize) -> Self {
+        Self {
+            recent_capacity: recent_capacity.max(1),
+            slowest_capacity,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// Retains one finished trace (evicting the oldest recent entry and the
+    /// fastest slowest-tier entry as needed).
+    pub fn push(&self, trace: Arc<FinishedTrace>) {
+        let mut inner = self.inner.lock().expect("trace store lock");
+        inner.recent.push_back(Arc::clone(&trace));
+        while inner.recent.len() > self.recent_capacity {
+            inner.recent.pop_front();
+        }
+        if self.slowest_capacity > 0 {
+            let position = inner
+                .slowest
+                .partition_point(|t| t.total_seconds >= trace.total_seconds);
+            if position < self.slowest_capacity {
+                inner.slowest.insert(position, trace);
+                inner.slowest.truncate(self.slowest_capacity);
+            }
+        }
+    }
+
+    /// The retained recent traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<FinishedTrace>> {
+        self.inner
+            .lock()
+            .expect("trace store lock")
+            .recent
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The slowest-N tier, slowest first.
+    pub fn slowest(&self) -> Vec<Arc<FinishedTrace>> {
+        self.inner.lock().expect("trace store lock").slowest.clone()
+    }
+
+    /// Looks a trace up by request id, in either tier (most recent match
+    /// wins when ids were reused across gateway restarts).
+    pub fn find(&self, request_id: u64) -> Option<Arc<FinishedTrace>> {
+        let inner = self.inner.lock().expect("trace store lock");
+        inner
+            .recent
+            .iter()
+            .rev()
+            .find(|t| t.snapshot.request_id == request_id)
+            .or_else(|| {
+                inner
+                    .slowest
+                    .iter()
+                    .find(|t| t.snapshot.request_id == request_id)
+            })
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSnapshot;
+
+    fn finished(request_id: u64, total_seconds: f64) -> Arc<FinishedTrace> {
+        Arc::new(FinishedTrace {
+            snapshot: TraceSnapshot {
+                request_id,
+                model: None,
+                engine: None,
+                batch_id: None,
+                stamps: Vec::new(),
+                router: None,
+            },
+            total_seconds,
+            status: 200,
+            error_code: None,
+        })
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_slowest_tier_survives() {
+        let store = TraceStore::new(4, 2);
+        store.push(finished(0, 9.0)); // the slow outlier
+        for id in 1..20 {
+            store.push(finished(id, 0.001));
+        }
+        // The ring only holds the last four fast requests…
+        let recent: Vec<u64> = store
+            .recent()
+            .iter()
+            .map(|t| t.snapshot.request_id)
+            .collect();
+        assert_eq!(recent, [16, 17, 18, 19]);
+        // …but the slow outlier is still retained and findable.
+        let slowest = store.slowest();
+        assert_eq!(slowest[0].snapshot.request_id, 0);
+        assert_eq!(slowest.len(), 2);
+        assert!(store.find(0).is_some());
+        assert!(store.find(19).is_some());
+        assert!(store.find(5).is_none(), "evicted fast trace is gone");
+    }
+
+    #[test]
+    fn slowest_tier_keeps_the_n_worst_in_order() {
+        let store = TraceStore::new(2, 3);
+        for (id, total) in [(1, 0.5), (2, 3.0), (3, 1.0), (4, 2.0), (5, 0.1)] {
+            store.push(finished(id, total));
+        }
+        let totals: Vec<f64> = store.slowest().iter().map(|t| t.total_seconds).collect();
+        assert_eq!(totals, [3.0, 2.0, 1.0]);
+    }
+}

@@ -147,6 +147,7 @@ impl<T: Batchable> RequestBatch<T> {
             seed: self.combined_seed(),
             options: self.options(),
             batch_size: self.len(),
+            batch_id: self.id,
         }
     }
 

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bishop_engine::{EngineDescriptor, EngineName};
+use bishop_obs::{RouterCandidate, RouterDecision, RouterVerdict};
 
 use crate::request::InferenceRequest;
 
@@ -49,6 +50,12 @@ pub(crate) fn predicted_completion_seconds(
 /// most-preferred eligible engine whose predicted completion meets the
 /// deadline. Without a deadline every eligible engine qualifies, so the
 /// most-preferred one wins outright.
+///
+/// Alongside the outcome, returns the full [`RouterDecision`] record:
+/// every candidate actually considered (in preference order, up to and
+/// including the chosen one) with the predicted completion it was judged
+/// on — the evidence a trace needs to explain *why* this request landed
+/// where it did, or why it was shed.
 pub(crate) fn select_engine(
     entries: &[EngineEntry],
     auto_order: &[usize],
@@ -56,43 +63,81 @@ pub(crate) fn select_engine(
     request: &InferenceRequest,
     estimated_ops: u64,
     deadline: Option<Duration>,
-) -> Result<usize, Rejection> {
+) -> (Result<usize, Rejection>, RouterDecision) {
+    let mut candidates = Vec::with_capacity(auto_order.len());
     let mut any_supports = false;
+    let mut skipped_eligible = false;
+    let mut chosen = None;
     for &index in auto_order {
         let entry = &entries[index];
         // Never route onto an engine the descriptor says would refuse the
         // profile (ECP on a non-ECP engine, oversized fold): a typed
         // refusal after dispatch would waste the queue slot the request
         // was admitted into.
-        if !entry
+        let eligible = entry
             .descriptor
-            .supports_model(request.model(), &request.options)
-        {
+            .supports_model(request.model(), &request.options);
+        if !eligible {
+            candidates.push(RouterCandidate {
+                engine: entry.name.as_str().to_string(),
+                eligible: false,
+                predicted_seconds: None,
+                meets_deadline: None,
+            });
             continue;
         }
         any_supports = true;
-        match deadline {
-            None => return Ok(index),
+        let (predicted, meets) = match deadline {
+            // No deadline: nothing to predict — the most-preferred
+            // eligible engine wins outright.
+            None => (None, None),
             Some(deadline) => {
                 let predicted = predicted_completion_seconds(
                     domains[entry.domain].backlog_ops(),
                     estimated_ops,
                     entry.cells.drain.ops_per_second(),
                 );
-                if predicted <= deadline.as_secs_f64() {
-                    return Ok(index);
-                }
+                (Some(predicted), Some(predicted <= deadline.as_secs_f64()))
             }
+        };
+        candidates.push(RouterCandidate {
+            engine: entry.name.as_str().to_string(),
+            eligible: true,
+            predicted_seconds: predicted,
+            meets_deadline: meets,
+        });
+        if meets != Some(false) {
+            chosen = Some(index);
+            break;
         }
+        skipped_eligible = true;
     }
+
     // Two distinct sheds: a profile no candidate can execute is permanent
     // (retrying cannot help — the client must change the request), while a
     // deadline no candidate meets is load-transient (retry-able).
-    if any_supports {
-        Err(Rejection::NoEngineMeetsDeadline)
-    } else {
-        Err(Rejection::NoEngineSupportsRequest)
-    }
+    let outcome = match chosen {
+        Some(index) => Ok(index),
+        None if any_supports => Err(Rejection::NoEngineMeetsDeadline),
+        None => Err(Rejection::NoEngineSupportsRequest),
+    };
+    let verdict = match &outcome {
+        Ok(index) => RouterVerdict::Chosen {
+            engine: entries[*index].name.as_str().to_string(),
+            // Degraded: a more-preferred eligible engine was passed over
+            // because its predicted completion missed the deadline.
+            degraded: skipped_eligible,
+        },
+        Err(rejection) => RouterVerdict::Shed {
+            reason: rejection.code().to_string(),
+        },
+    };
+    let decision = RouterDecision {
+        deadline_seconds: deadline.map(|d| d.as_secs_f64()),
+        candidates,
+        verdict,
+    };
+    (outcome, decision)
 }
 
 #[cfg(test)]
@@ -159,32 +204,48 @@ mod tests {
         let ops = 1_000_000;
 
         // No deadline: most-preferred (first) engine wins.
-        let chosen =
-            select_engine(&entries, &[0, 1], &domains, &request, ops, None).expect("eligible");
+        let chosen = select_engine(&entries, &[0, 1], &domains, &request, ops, None)
+            .0
+            .expect("eligible");
         assert_eq!(chosen, 0);
         // Tight deadline: 1e6 ops at 1e3 ops/s is 1000 s — the slow engine
         // cannot meet 1 ms, the fast one predicts 1 µs and wins.
-        let chosen = select_engine(
+        let (outcome, decision) = select_engine(
             &entries,
             &[0, 1],
             &domains,
             &request,
             ops,
             Some(Duration::from_millis(1)),
-        )
-        .expect("fast engine fits");
-        assert_eq!(chosen, 1);
-        // Loose deadline: the slow-but-preferred engine fits again.
-        let chosen = select_engine(
+        );
+        assert_eq!(outcome.expect("fast engine fits"), 1);
+        // The decision record captures both candidates, the miss and the
+        // hit, and flags the choice as degraded (a more-preferred engine
+        // was passed over for deadline reasons).
+        assert_eq!(decision.candidates.len(), 2);
+        assert_eq!(decision.candidates[0].meets_deadline, Some(false));
+        assert_eq!(decision.candidates[1].meets_deadline, Some(true));
+        match &decision.verdict {
+            bishop_obs::RouterVerdict::Chosen { engine, degraded } => {
+                assert_eq!(engine, "simulator");
+                assert!(degraded);
+            }
+            other => panic!("expected Chosen, got {other:?}"),
+        }
+        // Loose deadline: the slow-but-preferred engine fits again, and the
+        // walk stops at it — only one candidate is recorded, undegraded.
+        let (outcome, decision) = select_engine(
             &entries,
             &[0, 1],
             &domains,
             &request,
             ops,
             Some(Duration::from_secs(2000)),
-        )
-        .expect("slow engine fits");
-        assert_eq!(chosen, 0);
+        );
+        assert_eq!(outcome.expect("slow engine fits"), 0);
+        assert_eq!(decision.candidates.len(), 1);
+        assert_eq!(decision.verdict.label(), "chosen");
+        assert_eq!(decision.verdict.engine_label(), "native");
     }
 
     #[test]
@@ -192,7 +253,7 @@ mod tests {
         let (slow, slow_domain) = entry("native", 0, 1.0, false);
         let entries = [slow];
         let domains = [slow_domain];
-        let outcome = select_engine(
+        let (outcome, decision) = select_engine(
             &entries,
             &[0],
             &domains,
@@ -201,6 +262,15 @@ mod tests {
             Some(Duration::from_millis(1)),
         );
         assert_eq!(outcome, Err(Rejection::NoEngineMeetsDeadline));
+        // The shed verdict carries the same wire code the client sees.
+        assert_eq!(decision.verdict.label(), "shed");
+        assert_eq!(decision.verdict.engine_label(), "none");
+        match &decision.verdict {
+            bishop_obs::RouterVerdict::Shed { reason } => {
+                assert_eq!(reason, "no_engine_meets_deadline");
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
     }
 
     #[test]
@@ -211,19 +281,27 @@ mod tests {
         let (with_ecp, d1) = entry("simulator", 1, 1e12, true);
         let entries = [no_ecp, with_ecp];
         let domains = [d0, d1];
-        let chosen = select_engine(
+        let (outcome, decision) = select_engine(
             &entries,
             &[0, 1],
             &domains,
             &request(SimOptions::with_ecp(6)),
             1000,
             None,
-        )
-        .expect("ECP-capable engine eligible");
-        assert_eq!(chosen, 1);
+        );
+        assert_eq!(outcome.expect("ECP-capable engine eligible"), 1);
+        // The ineligible engine still appears in the record, marked so.
+        assert!(!decision.candidates[0].eligible);
+        assert!(decision.candidates[1].eligible);
+        // Skipping an *ineligible* engine is not degradation — no eligible
+        // candidate was passed over.
+        match &decision.verdict {
+            bishop_obs::RouterVerdict::Chosen { degraded, .. } => assert!(!degraded),
+            other => panic!("expected Chosen, got {other:?}"),
+        }
         // No candidate supports the profile at all: the *permanent* shed,
         // distinct from a transient unmeetable deadline.
-        let outcome = select_engine(
+        let (outcome, _) = select_engine(
             &entries,
             &[0],
             &domains,
@@ -246,6 +324,7 @@ mod tests {
             1_000,
             Some(Duration::from_millis(10)),
         )
+        .0
         .is_ok());
         // 1e6 ops of backlog pushes predicted completion past the deadline.
         domain.engines[0]
@@ -260,7 +339,8 @@ mod tests {
                 &request(SimOptions::baseline()),
                 1_000,
                 Some(Duration::from_millis(10)),
-            ),
+            )
+            .0,
             Err(Rejection::NoEngineMeetsDeadline)
         );
     }

@@ -16,6 +16,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bishop_engine::{EngineOutput, EngineRegistry};
+use bishop_obs::{EventLevel, EventValue, ObsHub, Stage};
 
 use crate::batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 use crate::request::{InferenceRequest, InferenceResponse};
@@ -120,6 +121,9 @@ pub(crate) struct DomainSpec {
     pub(crate) cells: Arc<StatsCells>,
     /// Executed-batch recording sink, when enabled.
     pub(crate) record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
+    /// Observability hub: stage stamps for riders' traces, engine-error
+    /// events from the workers.
+    pub(crate) obs: Arc<ObsHub>,
 }
 
 /// Boots one domain: its bounded channel, batcher thread and worker pool.
@@ -138,6 +142,7 @@ pub(crate) fn spawn_domain(spec: DomainSpec) -> (DomainSubmitter, DomainThreads)
             spec.engines.clone(),
             spec.record.clone(),
             spec.bundle,
+            Arc::clone(&spec.obs),
         ));
     }
     let batcher = spawn_batcher(
@@ -205,6 +210,13 @@ fn spawn_batcher(
         let mut ages: Vec<(Instant, BatchKey)> = Vec::new();
         let mut load = vec![0u64; workers];
         let dispatch = |batch: RequestBatch<PendingRequest>, load: &mut [u64]| {
+            // The batch just closed: every rider's batch-formation span ends
+            // here (it began when the rider left the queue).
+            for pending in &batch.requests {
+                if let Some(trace) = &pending.request.trace {
+                    trace.stamp(Stage::BatchFormation);
+                }
+            }
             let target = (0..workers)
                 .min_by_key(|&w| (load[w], w))
                 .expect("at least one worker");
@@ -237,6 +249,9 @@ fn spawn_batcher(
 
             match message {
                 Some(Submission::Request(pending)) => {
+                    if let Some(trace) = &pending.request.trace {
+                        trace.stamp(Stage::QueueWait);
+                    }
                     let key = BatchKey::from(pending.request());
                     let cap = engine_batch_cap(&registry, pending.request(), bundle);
                     let newly_opened = former.pending_count(&key) == 0;
@@ -262,6 +277,9 @@ fn spawn_batcher(
                     while let Ok(message) = submit_rx.try_recv() {
                         match message {
                             Submission::Request(pending) => {
+                                if let Some(trace) = &pending.request.trace {
+                                    trace.stamp(Stage::QueueWait);
+                                }
                                 let cap = engine_batch_cap(&registry, pending.request(), bundle);
                                 if let Some(batch) = former.push_capped(*pending, cap) {
                                     dispatch(batch, &mut load);
@@ -303,6 +321,7 @@ fn spawn_batcher(
 /// Spawns one domain worker: executes batches on whichever engine each
 /// batch names, resolves riders' tickets, and feeds the engine's drain-rate
 /// calibration with the measured wall-clock of every completion.
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     index: usize,
     batch_rx: mpsc::Receiver<RequestBatch<PendingRequest>>,
@@ -311,6 +330,7 @@ fn spawn_worker(
     engines: Vec<Arc<EngineCells>>,
     record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
     bundle: bishop_bundle::BundleShape,
+    obs: Arc<ObsHub>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         for batch in batch_rx {
@@ -323,6 +343,16 @@ fn spawn_worker(
             };
             let wall_seconds = started.elapsed().as_secs_f64();
             let batch_size = batch.len();
+            // Annotate every traced rider with where it actually executed:
+            // the batch span id shared with its batch-mates, the concrete
+            // engine, and the execute span (worker queue + engine run).
+            for pending in &batch.requests {
+                if let Some(trace) = &pending.request.trace {
+                    trace.set_batch_id(batch.id);
+                    trace.set_engine(batch.engine().as_str());
+                    trace.stamp(Stage::EngineExecute);
+                }
+            }
             let batch_ops: u64 = batch.requests.iter().map(|p| p.estimated_ops).sum();
             // Requests naming an unregistered engine ride the default
             // domain and fail typed below; they have no per-engine cells.
@@ -387,6 +417,18 @@ fn spawn_worker(
                     }
                 }
                 Err(error) => {
+                    // One structured line per failed batch (not per rider):
+                    // the operator signal for a refusing or broken backend.
+                    obs.events.emit(
+                        EventLevel::Error,
+                        "engine_error",
+                        &[
+                            ("engine", EventValue::Str(batch.engine().as_str())),
+                            ("batch_id", EventValue::U64(batch.id)),
+                            ("batch_size", EventValue::U64(batch_size as u64)),
+                            ("code", EventValue::Str(error.code())),
+                        ],
+                    );
                     for pending in batch.requests {
                         cells
                             .backlog_ops

@@ -66,6 +66,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use bishop_engine::{CalibrationCache, EngineError, EngineName, EngineRegistry, ResultCache};
+use bishop_obs::{EventLevel, EventValue, ObsHub, Stage, TraceContext};
 
 use crate::batch::config_ops;
 use crate::request::{InferenceRequest, InferenceResponse};
@@ -168,6 +169,11 @@ pub struct OnlineConfig {
     /// first); names not registered are skipped. Defaults to
     /// [`EngineRegistry::default_auto_preference`].
     pub auto_preference: Vec<EngineName>,
+    /// The observability hub (stage histograms, trace store, router
+    /// decision counters, event log) the server feeds. `None` (the
+    /// default) builds a hub with [`bishop_obs::ObsConfig`] defaults;
+    /// inject one to share it with a gateway or to tune retention.
+    pub obs: Option<Arc<ObsHub>>,
 }
 
 impl OnlineConfig {
@@ -189,6 +195,7 @@ impl OnlineConfig {
                 .into_iter()
                 .map(EngineName::new)
                 .collect(),
+            obs: None,
         }
     }
 
@@ -262,6 +269,13 @@ impl OnlineConfig {
     /// first).
     pub fn with_auto_preference(mut self, preference: Vec<EngineName>) -> Self {
         self.auto_preference = preference;
+        self
+    }
+
+    /// Injects an observability hub (to share one with a gateway, or to
+    /// tune trace retention and event-log levels).
+    pub fn with_obs(mut self, obs: Arc<ObsHub>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -426,12 +440,21 @@ pub(crate) struct StatsCells {
 pub struct Ticket {
     request_id: u64,
     rx: mpsc::Receiver<ServeResult>,
+    trace: Option<Arc<TraceContext>>,
 }
 
 impl Ticket {
     /// The id of the request this ticket tracks.
     pub fn request_id(&self) -> u64 {
         self.request_id
+    }
+
+    /// The trace context riding with the request, if the submitter
+    /// attached one — the same context the runtime stamps stage
+    /// boundaries into, so the edge can finish it after the response
+    /// is written.
+    pub fn trace(&self) -> Option<&Arc<TraceContext>> {
+        self.trace.as_ref()
     }
 
     /// Blocks until the outcome is ready. Returns `None` only if the
@@ -465,6 +488,7 @@ pub struct ServerHandle {
     /// Drain rate used for deadline admission of requests naming an engine
     /// the registry does not hold (they fail typed after dispatch).
     fallback_drain: f64,
+    obs: Arc<ObsHub>,
 }
 
 impl ServerHandle {
@@ -498,6 +522,23 @@ impl ServerHandle {
         self.submit_inner(request, None, true)
     }
 
+    /// Counts one shed into the event log: a rate-limited structured line
+    /// carrying the request id, the engine it was bound for and the typed
+    /// reason — the at-a-glance operator signal for "why are responses
+    /// 429ing".
+    fn log_shed(&self, request_id: u64, engine: &EngineName, rejection: Rejection) -> Rejection {
+        self.obs.events.emit(
+            EventLevel::Warn,
+            "request_shed",
+            &[
+                ("request_id", EventValue::U64(request_id)),
+                ("engine", EventValue::Str(engine.as_str())),
+                ("reason", EventValue::Str(rejection.code())),
+            ],
+        );
+        rejection
+    }
+
     fn submit_inner(
         &self,
         mut request: InferenceRequest,
@@ -508,34 +549,45 @@ impl ServerHandle {
         cells.submitted.fetch_add(1, Ordering::Relaxed);
         if cells.shutting_down.load(Ordering::Acquire) {
             cells.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-            return Err(Rejection::ShuttingDown);
+            return Err(self.log_shed(request.id, &request.engine, Rejection::ShuttingDown));
         }
         if !block && cells.pending.load(Ordering::Acquire) >= self.max_pending {
             cells.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-            return Err(Rejection::QueueFull);
+            return Err(self.log_shed(request.id, &request.engine, Rejection::QueueFull));
         }
 
         let estimated_ops = config_ops(request.model());
 
         // Resolve "auto" to a concrete engine before any bookkeeping: the
         // dispatcher picks the most-preferred engine whose predicted
-        // completion meets the deadline, or sheds typed.
+        // completion meets the deadline, or sheds typed. The full decision
+        // record — every candidate considered, the prediction each was
+        // judged on, the verdict — feeds the router counters and rides on
+        // the request's trace.
         let entry_index = if request.engine.is_auto() {
-            match dispatch::select_engine(
+            let (outcome, decision) = dispatch::select_engine(
                 &self.engines_index,
                 &self.auto_order,
                 &self.domains,
                 &request,
                 estimated_ops,
                 deadline,
-            ) {
+            );
+            self.obs.router.record(&decision);
+            if let Some(trace) = &request.trace {
+                trace.set_router(decision);
+            }
+            match outcome {
                 Ok(index) => {
                     request.engine = self.engines_index[index].name.clone();
                     Some(index)
                 }
                 Err(rejection) => {
                     cells.rejected_no_engine.fetch_add(1, Ordering::Relaxed);
-                    return Err(rejection);
+                    if let Some(trace) = &request.trace {
+                        trace.stamp(Stage::Router);
+                    }
+                    return Err(self.log_shed(request.id, &request.engine, rejection));
                 }
             }
         } else {
@@ -543,6 +595,10 @@ impl ServerHandle {
                 .iter()
                 .position(|entry| entry.name == request.engine)
         };
+        if let Some(trace) = &request.trace {
+            trace.set_engine(request.engine.as_str());
+            trace.stamp(Stage::Router);
+        }
 
         if !block {
             if let Some(deadline) = deadline {
@@ -567,7 +623,11 @@ impl ServerHandle {
                 };
                 if backlog as f64 / drain.max(1.0) > deadline.as_secs_f64() {
                     cells.rejected_deadline.fetch_add(1, Ordering::Relaxed);
-                    return Err(Rejection::DeadlineUnmeetable);
+                    return Err(self.log_shed(
+                        request.id,
+                        &request.engine,
+                        Rejection::DeadlineUnmeetable,
+                    ));
                 }
             }
         }
@@ -575,6 +635,11 @@ impl ServerHandle {
         let domain_index = entry_index.map_or(0, |index| self.engines_index[index].domain);
         let engine_cells = entry_index.map(|index| Arc::clone(&self.engines_index[index].cells));
         let request_id = request.id;
+        let engine_name = request.engine.clone();
+        let trace = request.trace.clone();
+        if let Some(trace) = &trace {
+            trace.stamp(Stage::Admission);
+        }
         let (completion, rx) = mpsc::channel();
         cells.pending.fetch_add(1, Ordering::AcqRel);
         cells.backlog_ops.fetch_add(estimated_ops, Ordering::AcqRel);
@@ -601,7 +666,11 @@ impl ServerHandle {
         match outcome {
             Ok(()) => {
                 cells.admitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { request_id, rx })
+                Ok(Ticket {
+                    request_id,
+                    rx,
+                    trace,
+                })
             }
             Err(rejection) => {
                 cells.pending.fetch_sub(1, Ordering::AcqRel);
@@ -618,7 +687,7 @@ impl ServerHandle {
                     }
                     _ => cells.rejected_shutdown.fetch_add(1, Ordering::Relaxed),
                 };
-                Err(rejection)
+                Err(self.log_shed(request_id, &engine_name, rejection))
             }
         }
     }
@@ -659,6 +728,38 @@ impl ServerHandle {
             .iter()
             .map(|&index| self.engines_index[index].name.clone())
             .collect()
+    }
+
+    /// The observability hub this server feeds: stage-latency histograms,
+    /// the recent/slowest trace store, router decision counters and the
+    /// structured event log.
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
+    }
+
+    /// Predicted seconds until the backlog ahead of a *new* request on the
+    /// given engine drains at its calibrated rate — what a 429's
+    /// `Retry-After` should quote. `"auto"` takes the best (smallest) drain
+    /// over the auto candidates; an engine the registry does not hold
+    /// falls back to the global backlog at the fallback seed rate.
+    pub fn predicted_drain_seconds(&self, engine: &EngineName) -> f64 {
+        let drain_of = |entry: &EngineEntry| {
+            self.domains[entry.domain].backlog_ops() as f64
+                / entry.cells.drain.ops_per_second().max(1.0)
+        };
+        if engine.is_auto() {
+            let best = self
+                .auto_order
+                .iter()
+                .map(|&index| drain_of(&self.engines_index[index]))
+                .fold(f64::INFINITY, f64::min);
+            if best.is_finite() {
+                return best;
+            }
+        } else if let Some(entry) = self.engines_index.iter().find(|e| e.name == *engine) {
+            return drain_of(entry);
+        }
+        self.cells.backlog_ops.load(Ordering::Acquire) as f64 / self.fallback_drain.max(1.0)
     }
 
     /// Per-engine scheduling-domain snapshots, in registry order (a cheaper
@@ -739,6 +840,10 @@ impl OnlineServer {
             ))
         });
         let bundle = config.runtime.hardware.bundle;
+        let obs = config
+            .obs
+            .clone()
+            .unwrap_or_else(|| Arc::new(ObsHub::default()));
         let cells = Arc::new(StatsCells::default());
         let executed = Arc::new(Mutex::new(Vec::new()));
         let record = config.record_batches.then(|| Arc::clone(&executed));
@@ -819,6 +924,7 @@ impl OnlineServer {
                 registry: Arc::clone(&registry),
                 cells: Arc::clone(&cells),
                 record: record.clone(),
+                obs: Arc::clone(&obs),
             });
             submitters.push(submitter);
             domain_threads.push(threads);
@@ -835,6 +941,7 @@ impl OnlineServer {
                 .drain_ops_per_second
                 .unwrap_or(DEFAULT_DRAIN_OPS_PER_SECOND)
                 .max(1.0),
+            obs,
         };
         Self {
             handle,

@@ -6,6 +6,7 @@ use bishop_bundle::TrainingRegime;
 use bishop_core::SimOptions;
 use bishop_engine::{CatalogEntry, EngineName, EngineOutput, ModelCatalog};
 use bishop_model::ModelConfig;
+use bishop_obs::TraceContext;
 
 /// One inference request submitted to the runtime.
 ///
@@ -17,7 +18,7 @@ use bishop_model::ModelConfig;
 /// workload, a trace seed (two requests with the same seed carry identical
 /// activations — e.g. retries or replayed traffic), and the per-request
 /// simulation options. Regime and options default to the catalog entry's.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct InferenceRequest {
     /// Caller-chosen request identifier; echoed in the response.
     pub id: u64,
@@ -31,6 +32,24 @@ pub struct InferenceRequest {
     pub options: SimOptions,
     /// Which execution backend serves the request.
     pub engine: EngineName,
+    /// The request's observability trace, when the edge allocated one. The
+    /// runtime stamps stage boundaries into it as the request travels
+    /// (admission, queue wait, batch formation, engine execute).
+    pub trace: Option<Arc<TraceContext>>,
+}
+
+/// Trace contexts are diagnostic sidecars: two requests are equal when
+/// their *served* contents are — whether either was being traced never
+/// affects batching, caching or determinism comparisons.
+impl PartialEq for InferenceRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.entry == other.entry
+            && self.regime == other.regime
+            && self.seed == other.seed
+            && self.options == other.options
+            && self.engine == other.engine
+    }
 }
 
 impl InferenceRequest {
@@ -44,6 +63,7 @@ impl InferenceRequest {
             entry,
             seed,
             engine: EngineName::simulator(),
+            trace: None,
         }
     }
 
@@ -62,6 +82,12 @@ impl InferenceRequest {
     /// Overrides the execution engine.
     pub fn with_engine(mut self, engine: EngineName) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches an observability trace context.
+    pub fn with_trace(mut self, trace: Arc<TraceContext>) -> Self {
+        self.trace = Some(trace);
         self
     }
 

@@ -115,7 +115,32 @@ fn main() {
         reply.split(' ').nth(1).unwrap_or("?")
     );
 
-    // 6. Live observability.
+    // 6. Request tracing: every response names its trace (X-Request-Id),
+    //    `?trace=1` returns the per-stage timings inline, and the finished
+    //    trace — stage spans plus the router's decision record — stays
+    //    fetchable on the debug endpoint.
+    println!("\n=== POST /v1/infer?trace=1 ===");
+    let reply = http(
+        addr,
+        format!(
+            "POST /v1/infer?trace=1 HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            r#"{"model": "cifar10-serve", "seed": 9}"#.len(),
+            r#"{"model": "cifar10-serve", "seed": 9}"#
+        ),
+    );
+    let traced_id = reply
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Request-Id: "))
+        .unwrap_or("?")
+        .trim()
+        .to_string();
+    println!("X-Request-Id: {traced_id}");
+    println!("{}", reply.split("\r\n\r\n").nth(1).unwrap_or(&reply));
+    println!("\n=== GET /v1/debug/traces/{traced_id} ===");
+    let trace = get(addr, &format!("/v1/debug/traces/{traced_id}"));
+    println!("{}", trace.split("\r\n\r\n").nth(1).unwrap_or(&trace));
+
+    // 7. Live observability.
     println!("\n=== GET /healthz ===");
     let health = get(addr, "/healthz");
     println!("{}", health.split("\r\n\r\n").nth(1).unwrap_or(&health));
@@ -125,11 +150,13 @@ fn main() {
         l.starts_with("bishop_runtime_requests_")
             || l.starts_with("bishop_runtime_batches_")
             || l.starts_with("bishop_gateway_http_responses_total{")
+            || l.starts_with("bishop_stage_seconds_count{engine=\"simulator\"")
+            || l.starts_with("bishop_router_decisions_total")
     }) {
         println!("{line}");
     }
 
-    // 7. Graceful shutdown: the gateway stops accepting, in-flight requests
+    // 8. Graceful shutdown: the gateway stops accepting, in-flight requests
     //    finish, then the runtime drains its queue and joins its threads.
     gateway.shutdown();
     let stats = runtime.shutdown();
