@@ -1,0 +1,327 @@
+//! Fault-tolerance A/B: what the hardening costs when nothing is failing,
+//! and how fast the stack recovers when something is.
+//!
+//! Part 1 — **idle-path overhead**: the same socket-level loadgen as the
+//! gateway/obs benches, run against two serving stacks that differ ONLY in
+//! the fault-tolerance machinery (per-engine circuit breakers + the worker
+//! retry loop, on at defaults vs `BreakerConfig::disabled()` +
+//! `RetryPolicy::disabled()`). Acceptance bar: hardening costs ≤ 3%
+//! throughput on the fault-free path.
+//!
+//! Part 2 — **recovery time**: a runtime whose `native` engine is wrapped
+//! in a `FaultInjectingEngine` serves closed-loop `"auto"` traffic; the
+//! native engine is forced into a 2 s outage and the bench measures how
+//! long after the outage ends the stack takes to re-reach 90% of its
+//! pre-outage capacity, plus when the native breaker observably re-closes.
+//!
+//! Both measurements go to `BENCH_faults.json` at the workspace root.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bishop_core::{BishopConfig, BishopSimulator};
+use bishop_engine::{EngineName, EngineRegistry, InferenceEngine, NativeEngine, SimulatorEngine};
+use bishop_faults::{FaultInjectingEngine, FaultPlan};
+use bishop_gateway::{Gateway, GatewayConfig};
+use bishop_runtime::{
+    default_mixed_models, BatchPolicy, BreakerConfig, BreakerState, InferenceRequest, OnlineConfig,
+    OnlineServer, RetryPolicy, RuntimeConfig,
+};
+
+const CLIENTS: usize = 12;
+const REQUESTS_PER_CLIENT: usize = 384;
+/// Paired alternating reps, best-of per arm (see the obs bench for why:
+/// machine interference is one-sided, so each arm's unimpeded capacity is
+/// its best pass).
+const REPS: usize = 9;
+
+fn infer_bytes() -> Vec<u8> {
+    let body = r#"{"model": "cifar10-serve", "seed": 0, "engine": "simulator"}"#;
+    format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads one keep-alive response; returns its status code.
+fn read_response(stream: &mut TcpStream, buffer: &mut Vec<u8>) -> u16 {
+    buffer.clear();
+    let mut chunk = [0u8; 2048];
+    let (head_end, body_len) = loop {
+        let n = stream.read(&mut chunk).expect("response bytes");
+        assert!(n > 0, "gateway closed unexpectedly");
+        buffer.extend_from_slice(&chunk[..n]);
+        if let Some(end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buffer[..end]).expect("UTF-8 head");
+            let body_len = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .map(|v| v.parse::<usize>().expect("length"))
+                .unwrap_or(0);
+            break (end, body_len);
+        }
+    };
+    while buffer.len() < head_end + 4 + body_len {
+        let n = stream.read(&mut chunk).expect("body bytes");
+        assert!(n > 0, "gateway closed mid-body");
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+    std::str::from_utf8(&buffer[..head_end])
+        .expect("head")
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+/// Fans `CLIENTS` keep-alive connections at the gateway; returns req/s.
+fn loadgen(addr: SocketAddr) -> f64 {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut buffer = Vec::new();
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    stream.write_all(&infer_bytes()).expect("send");
+                    assert_eq!(read_response(&mut stream, &mut buffer), 200);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    (CLIENTS * REQUESTS_PER_CLIENT) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Boots one serving stack (runtime + gateway) with hardening on or off.
+fn boot(hardened: bool) -> (OnlineServer, Gateway) {
+    let mut config = OnlineConfig::new(RuntimeConfig::new(4, BatchPolicy::new(8)))
+        .with_batch_timeout(Some(Duration::from_millis(1)))
+        .with_max_pending(4096);
+    if !hardened {
+        config = config
+            .with_retry_policy(RetryPolicy::disabled())
+            .with_breaker(BreakerConfig::disabled());
+    }
+    let runtime = OnlineServer::start(config);
+    let gateway =
+        Gateway::start(GatewayConfig::default(), runtime.handle()).expect("bind ephemeral port");
+    (runtime, gateway)
+}
+
+/// Part 1: breakers+retries on vs off on a fault-free serving path.
+fn idle_overhead_pct() -> (f64, f64, f64) {
+    let (hardened_rt, hardened_gw) = boot(true);
+    let (plain_rt, plain_gw) = boot(false);
+    let hardened_addr = hardened_gw.local_addr();
+    let plain_addr = plain_gw.local_addr();
+
+    // Warm-up: first-touch costs (calibration, memoization, threads) hit
+    // both arms identically and are excluded.
+    loadgen(plain_addr);
+    loadgen(hardened_addr);
+
+    let mut plain = Vec::new();
+    let mut hardened = Vec::new();
+    for rep in 0..REPS {
+        let (off, on) = if rep % 2 == 0 {
+            let off = loadgen(plain_addr);
+            (off, loadgen(hardened_addr))
+        } else {
+            let on = loadgen(hardened_addr);
+            (loadgen(plain_addr), on)
+        };
+        println!(
+            "faults idle rep {rep}: hardening off {off:.0} req/s, on {on:.0} req/s ({:+.2}%)",
+            (off - on) / off * 100.0
+        );
+        plain.push(off);
+        hardened.push(on);
+    }
+    hardened_gw.shutdown();
+    plain_gw.shutdown();
+    hardened_rt.shutdown();
+    plain_rt.shutdown();
+
+    let best = |xs: &[f64]| xs.iter().copied().fold(f64::MIN, f64::max);
+    let (on, off) = (best(&hardened), best(&plain));
+    ((off - on) / off * 100.0, on, off)
+}
+
+/// Part 2: 2 s forced native outage under closed-loop auto traffic.
+/// Returns (recovery_to_90pct_seconds, breaker_close_seconds,
+/// baseline_rps, outage_ok_fraction).
+fn outage_recovery() -> (f64, f64, f64, f64) {
+    let injector = Arc::new(FaultInjectingEngine::new(
+        Arc::new(NativeEngine::new()),
+        FaultPlan::new(),
+    ));
+    let registry = EngineRegistry::new()
+        .with_engine(Arc::new(SimulatorEngine::new(BishopSimulator::new(
+            BishopConfig::default(),
+        ))))
+        .with_engine(Arc::clone(&injector) as Arc<dyn InferenceEngine>);
+    // A fast breaker so the 2 s outage and the recovery are both visible
+    // inside a bench-sized run.
+    let runtime = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(4, BatchPolicy::new(8)))
+            .with_batch_timeout(Some(Duration::from_millis(1)))
+            .with_max_pending(4096)
+            .with_registry(Arc::new(registry))
+            .with_breaker(BreakerConfig {
+                window: 16,
+                min_observations: 8,
+                cooldown: Duration::from_millis(300),
+                ..BreakerConfig::default()
+            }),
+    );
+    let handle = runtime.handle();
+
+    let entry = default_mixed_models()
+        .into_iter()
+        .find(|e| e.options.ecp_threshold.is_none())
+        .expect("baseline-options entry");
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let handle = handle.clone();
+            let entry = Arc::clone(&entry);
+            let stop = Arc::clone(&stop);
+            let ok = Arc::clone(&ok);
+            let failed = Arc::clone(&failed);
+            std::thread::spawn(move || {
+                let mut id = client as u64 * 1_000_000;
+                while !stop.load(Ordering::Acquire) {
+                    id += 1;
+                    let request = InferenceRequest::new(id, Arc::clone(&entry), 0)
+                        .with_engine(EngineName::auto());
+                    match handle.try_submit(request) {
+                        Ok(ticket) => match ticket.wait() {
+                            Some(Ok(_)) => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let rps_over = |window: Duration| {
+        let before = ok.load(Ordering::Acquire);
+        std::thread::sleep(window);
+        (ok.load(Ordering::Acquire) - before) as f64 / window.as_secs_f64()
+    };
+
+    // Settle, then measure pre-outage capacity.
+    std::thread::sleep(Duration::from_millis(500));
+    let baseline = rps_over(Duration::from_secs(1));
+
+    // 2 s forced outage: every native execution fails typed.
+    let ok_before_outage = ok.load(Ordering::Acquire);
+    let total_before_outage = ok_before_outage + failed.load(Ordering::Acquire);
+    injector.set_forced(true);
+    std::thread::sleep(Duration::from_secs(2));
+    injector.set_forced(false);
+    let outage_end = Instant::now();
+    let ok_during = ok.load(Ordering::Acquire) - ok_before_outage;
+    let total_during =
+        ok.load(Ordering::Acquire) + failed.load(Ordering::Acquire) - total_before_outage;
+    let outage_ok_fraction = if total_during == 0 {
+        1.0
+    } else {
+        ok_during as f64 / total_during as f64
+    };
+
+    // Recovery: first 250 ms window back at >= 90% of baseline, and the
+    // native breaker observably closed again.
+    let mut recovery = f64::NAN;
+    let mut breaker_close = f64::NAN;
+    while outage_end.elapsed() < Duration::from_secs(10) {
+        let window = rps_over(Duration::from_millis(250));
+        if recovery.is_nan() && window >= 0.9 * baseline {
+            recovery = outage_end.elapsed().as_secs_f64();
+        }
+        if breaker_close.is_nan() {
+            let native_closed = handle.engine_stats().iter().any(|e| {
+                e.engine == EngineName::native() && e.breaker.state == BreakerState::Closed
+            });
+            if native_closed {
+                breaker_close = outage_end.elapsed().as_secs_f64();
+            }
+        }
+        if !recovery.is_nan() && !breaker_close.is_nan() {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    runtime.shutdown();
+    (recovery, breaker_close, baseline, outage_ok_fraction)
+}
+
+fn bench_fault_tolerance(_c: &mut Criterion) {
+    let (overhead_pct, hardened_rps, plain_rps) = idle_overhead_pct();
+    println!(
+        "fault-tolerance idle A/B: hardening on {hardened_rps:.0} req/s vs off \
+         {plain_rps:.0} req/s best-of-{REPS} ({overhead_pct:+.2}% overhead)"
+    );
+
+    let (recovery_seconds, breaker_close_seconds, baseline_rps, outage_ok_fraction) =
+        outage_recovery();
+    println!(
+        "fault-tolerance recovery: {baseline_rps:.0} req/s baseline, 2 s native outage \
+         ({:.1}% of in-outage requests still succeeded), back to 90% capacity in \
+         {recovery_seconds:.3} s, native breaker closed after {breaker_close_seconds:.3} s",
+        outage_ok_fraction * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+         \"reps\": {REPS},\n  \"hardened_rps\": {hardened_rps:.0},\n  \
+         \"plain_rps\": {plain_rps:.0},\n  \"idle_overhead_pct\": {overhead_pct:.2},\n  \
+         \"outage_seconds\": 2.0,\n  \"baseline_rps\": {baseline_rps:.0},\n  \
+         \"outage_ok_fraction\": {outage_ok_fraction:.4},\n  \
+         \"recovery_to_90pct_seconds\": {recovery_seconds:.3},\n  \
+         \"breaker_close_seconds\": {breaker_close_seconds:.3}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    assert!(
+        overhead_pct <= 3.0,
+        "breakers+retries must cost <= 3% fault-free throughput, measured {overhead_pct:.2}%"
+    );
+    assert!(
+        !recovery_seconds.is_nan() && !breaker_close_seconds.is_nan(),
+        "the stack must re-reach 90% capacity and re-close the native breaker \
+         within 10 s of a 2 s outage ending"
+    );
+}
+
+criterion_group!(benches, bench_fault_tolerance);
+criterion_main!(benches);

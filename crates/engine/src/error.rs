@@ -24,15 +24,30 @@ pub enum EngineError {
         /// The engine's declared limit.
         limit: usize,
     },
+    /// A transient execution fault: the batch was valid but this attempt
+    /// failed for a reason unrelated to the request (injected fault,
+    /// substrate hiccup). Retrying the same batch may succeed.
+    Transient {
+        /// The failing engine.
+        engine: &'static str,
+    },
+    /// The engine panicked while executing the batch. The runtime contains
+    /// the panic and resolves every batch-mate with this error; like
+    /// [`EngineError::Transient`] it says nothing about the request itself.
+    Panicked {
+        /// The engine whose execution panicked.
+        engine: &'static str,
+    },
 }
 
 impl EngineError {
     /// The engine the error originated from.
     pub fn engine(&self) -> &'static str {
         match self {
-            EngineError::EcpUnsupported { engine } | EngineError::BatchTooLarge { engine, .. } => {
-                engine
-            }
+            EngineError::EcpUnsupported { engine }
+            | EngineError::BatchTooLarge { engine, .. }
+            | EngineError::Transient { engine }
+            | EngineError::Panicked { engine } => engine,
         }
     }
 
@@ -42,7 +57,24 @@ impl EngineError {
         match self {
             EngineError::EcpUnsupported { .. } => "ecp_unsupported",
             EngineError::BatchTooLarge { .. } => "batch_too_large",
+            EngineError::Transient { .. } => "engine_transient",
+            EngineError::Panicked { .. } => "engine_panicked",
         }
+    }
+
+    /// Whether retrying the identical batch can plausibly succeed.
+    ///
+    /// Capability refusals ([`EngineError::EcpUnsupported`],
+    /// [`EngineError::BatchTooLarge`]) are deterministic properties of the
+    /// request — retrying them only burns budget — while execution faults
+    /// ([`EngineError::Transient`], [`EngineError::Panicked`]) describe one
+    /// failed attempt. The runtime's retry policy and circuit breakers key
+    /// off this split: only retryable errors count as engine health faults.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Transient { .. } | EngineError::Panicked { .. }
+        )
     }
 }
 
@@ -60,6 +92,12 @@ impl fmt::Display for EngineError {
                 f,
                 "engine \"{engine}\" caps batches at {limit} folded timesteps, got {folded_timesteps}"
             ),
+            EngineError::Transient { engine } => {
+                write!(f, "engine \"{engine}\" hit a transient execution fault")
+            }
+            EngineError::Panicked { engine } => {
+                write!(f, "engine \"{engine}\" panicked while executing the batch")
+            }
         }
     }
 }
@@ -84,5 +122,26 @@ mod tests {
         };
         assert_eq!(big.code(), "batch_too_large");
         assert!(big.to_string().contains("99"));
+
+        let transient = EngineError::Transient { engine: "native" };
+        assert_eq!(transient.code(), "engine_transient");
+        assert_eq!(transient.engine(), "native");
+
+        let panicked = EngineError::Panicked { engine: "native" };
+        assert_eq!(panicked.code(), "engine_panicked");
+        assert_eq!(panicked.engine(), "native");
+    }
+
+    #[test]
+    fn only_execution_faults_are_retryable() {
+        assert!(!EngineError::EcpUnsupported { engine: "e" }.retryable());
+        assert!(!EngineError::BatchTooLarge {
+            engine: "e",
+            folded_timesteps: 9,
+            limit: 8
+        }
+        .retryable());
+        assert!(EngineError::Transient { engine: "e" }.retryable());
+        assert!(EngineError::Panicked { engine: "e" }.retryable());
     }
 }

@@ -37,7 +37,11 @@ fn batch(seed: u64, options: SimOptions) -> EngineBatch {
     }
 }
 
-/// Runs `check` once per registered engine, labelling failures by name.
+/// Runs `check` once per registered engine, labelling failures by name —
+/// and once more per engine behind an empty-plan
+/// [`FaultInjectingEngine`](bishop_faults::FaultInjectingEngine) wrapper:
+/// with no faults scheduled the wrapper must be conformance-transparent,
+/// so the chaos harness can never weaken the backend contract it wraps.
 fn for_each_engine(check: impl Fn(&str, &Arc<dyn InferenceEngine>)) {
     let registry = registry();
     assert!(
@@ -46,6 +50,11 @@ fn for_each_engine(check: impl Fn(&str, &Arc<dyn InferenceEngine>)) {
     );
     for engine in registry.engines() {
         check(engine.descriptor().name, engine);
+        let wrapped: Arc<dyn InferenceEngine> = Arc::new(bishop_faults::FaultInjectingEngine::new(
+            Arc::clone(engine),
+            bishop_faults::FaultPlan::new(),
+        ));
+        check(engine.descriptor().name, &wrapped);
     }
 }
 

@@ -1,0 +1,379 @@
+//! # bishop-faults
+//!
+//! Deterministic fault injection for Bishop inference engines.
+//!
+//! The serving stack's fault-tolerance machinery (worker panic containment,
+//! retry-with-backoff, per-engine circuit breakers, health-aware degradation
+//! routing) is only trustworthy if it can be *driven* — reproducibly — by
+//! the exact failure shapes it claims to survive. This crate provides that
+//! driver: [`FaultInjectingEngine`] wraps any
+//! [`InferenceEngine`] and injects planned faults — typed transient errors,
+//! added latency, one-shot panics and flapping error bursts — according to a
+//! [`FaultPlan`] keyed on the *batch-execution index* (the 0-based count of
+//! `execute` calls the wrapper has seen). No wall clock, no randomness at
+//! execution time: a plan plus a traffic trace fully determines which
+//! batches fault, so chaos tests replay bit-identically.
+//!
+//! With an empty plan the wrapper is transparent: it delegates
+//! `descriptor()` and `execute()` verbatim, which the engine conformance
+//! suite exploits to hold the wrapped simulator to the full backend
+//! contract.
+//!
+//! ```
+//! use bishop_faults::{FaultInjectingEngine, FaultPlan};
+//! # use std::sync::Arc;
+//! # use bishop_engine::{InferenceEngine, SimulatorEngine};
+//! # use bishop_core::{BishopConfig, BishopSimulator};
+//! # let inner: Arc<dyn InferenceEngine> =
+//! #     Arc::new(SimulatorEngine::new(BishopSimulator::new(BishopConfig::default())));
+//! // Fail the 1st and 2nd batches, panic on the 5th, then run clean.
+//! let plan = FaultPlan::new().fail_range(0, 2).panic_at(4);
+//! let engine = FaultInjectingEngine::new(inner, plan);
+//! assert_eq!(engine.descriptor().name, "simulator");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use bishop_engine::{EngineBatch, EngineDescriptor, EngineError, EngineOutput, InferenceEngine};
+
+/// Marker embedded in every panic payload [`FaultInjectingEngine`] raises.
+///
+/// Chaos suites install a panic hook that swallows payloads containing this
+/// marker (an *injected* panic crossing `catch_unwind` is the expected
+/// outcome under test, not noise worth printing) while leaving genuine test
+/// panics loud.
+pub const INJECTED_PANIC_MARKER: &str = "bishop-faults: planned panic";
+
+/// One planned fault, applied to a single batch-execution index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the attempt with [`EngineError::Transient`] without invoking
+    /// the inner engine.
+    Error,
+    /// Sleep for the given duration, then delegate to the inner engine.
+    /// The batch succeeds — slowly.
+    Latency(Duration),
+    /// Panic with a payload containing [`INJECTED_PANIC_MARKER`] without
+    /// invoking the inner engine. The runtime's worker containment turns
+    /// this into [`EngineError::Panicked`] for every batch-mate.
+    Panic,
+}
+
+/// A deterministic per-batch-index fault schedule.
+///
+/// Indices count `execute` calls on the wrapping engine, starting at 0 and
+/// *including* retried attempts — a retry consumes the next index, which is
+/// what lets a plan express "fail twice, then recover" burst shapes that
+/// exercise the runtime's retry loop end to end.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the wrapper stays fully transparent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an arbitrary fault at `index` (replacing any fault already
+    /// planned there).
+    pub fn with_fault(mut self, index: u64, fault: Fault) -> Self {
+        self.faults.insert(index, fault);
+        self
+    }
+
+    /// Schedules a transient error at `index`.
+    pub fn fail_at(self, index: u64) -> Self {
+        self.with_fault(index, Fault::Error)
+    }
+
+    /// Schedules transient errors on `count` consecutive indices starting
+    /// at `start`.
+    pub fn fail_range(mut self, start: u64, count: u64) -> Self {
+        for index in start..start.saturating_add(count) {
+            self.faults.insert(index, Fault::Error);
+        }
+        self
+    }
+
+    /// Schedules a panic at `index`.
+    pub fn panic_at(self, index: u64) -> Self {
+        self.with_fault(index, Fault::Panic)
+    }
+
+    /// Schedules added latency at `index`.
+    pub fn delay_at(self, index: u64, delay: Duration) -> Self {
+        self.with_fault(index, Fault::Latency(delay))
+    }
+
+    /// Schedules a flapping error pattern: `cycles` repetitions of `burst`
+    /// consecutive errors followed by `gap` clean indices, starting at
+    /// `start`. This is the breaker-exercising shape: each burst drives the
+    /// error rate over threshold, each gap lets half-open probes succeed.
+    pub fn flapping(mut self, start: u64, burst: u64, gap: u64, cycles: u64) -> Self {
+        let period = burst.saturating_add(gap).max(1);
+        for cycle in 0..cycles {
+            let base = start.saturating_add(cycle.saturating_mul(period));
+            for offset in 0..burst {
+                self.faults
+                    .insert(base.saturating_add(offset), Fault::Error);
+            }
+        }
+        self
+    }
+
+    /// Scatters `count` transient errors pseudo-randomly over
+    /// `[0, range)`, derived purely from `seed` (splitmix64) — seeded
+    /// chaos without wall-clock nondeterminism: the same seed always yields
+    /// the same plan.
+    pub fn scattered(mut self, seed: u64, count: u64, range: u64) -> Self {
+        if range == 0 {
+            return self;
+        }
+        let mut state = seed;
+        let mut placed = 0;
+        // Cap the walk so a count near `range` cannot loop unboundedly on
+        // collisions; the bound is generous enough for test-sized plans.
+        for _ in 0..count.saturating_mul(16).saturating_add(64) {
+            if placed >= count.min(range) {
+                break;
+            }
+            state = splitmix64(&mut state);
+            let index = state % range;
+            if let std::collections::btree_map::Entry::Vacant(slot) = self.faults.entry(index) {
+                slot.insert(Fault::Error);
+                placed += 1;
+            }
+        }
+        self
+    }
+
+    /// The fault planned for `index`, if any.
+    pub fn fault_at(&self, index: u64) -> Option<&Fault> {
+        self.faults.get(&index)
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An [`InferenceEngine`] wrapper that injects the faults a [`FaultPlan`]
+/// schedules and otherwise delegates to the wrapped backend.
+///
+/// The wrapper reports the inner engine's descriptor verbatim (it *is* that
+/// engine, just unreliable), keeps a call counter to index the plan, and —
+/// beyond the static plan — exposes [`set_forced`](Self::set_forced), a
+/// runtime toggle that fails every attempt while set. The toggle exists for
+/// wall-clock experiments (e.g. "inject a 2 s outage mid-bench") where a
+/// per-index schedule cannot know how many batches fall inside the window;
+/// deterministic tests should prefer the plan.
+#[derive(Debug)]
+pub struct FaultInjectingEngine {
+    inner: std::sync::Arc<dyn InferenceEngine>,
+    plan: FaultPlan,
+    calls: AtomicU64,
+    forced: AtomicBool,
+    injected: AtomicU64,
+}
+
+impl FaultInjectingEngine {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: std::sync::Arc<dyn InferenceEngine>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            calls: AtomicU64::new(0),
+            forced: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns unconditional transient failure on or off, overriding the
+    /// plan while set.
+    pub fn set_forced(&self, failing: bool) {
+        self.forced.store(failing, Ordering::SeqCst);
+    }
+
+    /// How many `execute` calls the wrapper has seen.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// How many faults (errors, panics, delays) have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.inner.descriptor().name
+    }
+}
+
+impl InferenceEngine for FaultInjectingEngine {
+    fn descriptor(&self) -> EngineDescriptor {
+        self.inner.descriptor()
+    }
+
+    fn execute(&self, batch: &EngineBatch) -> Result<EngineOutput, EngineError> {
+        let index = self.calls.fetch_add(1, Ordering::SeqCst);
+        if self.forced.load(Ordering::SeqCst) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(EngineError::Transient {
+                engine: self.engine_name(),
+            });
+        }
+        match self.plan.fault_at(index) {
+            Some(Fault::Error) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                Err(EngineError::Transient {
+                    engine: self.engine_name(),
+                })
+            }
+            Some(Fault::Panic) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                panic!("{INJECTED_PANIC_MARKER} at batch index {index}");
+            }
+            Some(Fault::Latency(delay)) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(*delay);
+                self.inner.execute(batch)
+            }
+            None => self.inner.execute(batch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use bishop_bundle::TrainingRegime;
+    use bishop_core::{BishopConfig, BishopSimulator, SimOptions};
+    use bishop_engine::SimulatorEngine;
+    use bishop_model::{DatasetKind, ModelConfig};
+
+    fn simulator() -> Arc<dyn InferenceEngine> {
+        Arc::new(SimulatorEngine::new(BishopSimulator::new(
+            BishopConfig::default(),
+        )))
+    }
+
+    fn batch(seed: u64) -> EngineBatch {
+        EngineBatch {
+            config: ModelConfig::new("faults", DatasetKind::Cifar10, 1, 8, 16, 32, 2),
+            regime: TrainingRegime::Bsa,
+            seed,
+            options: SimOptions::baseline(),
+            batch_size: 1,
+            batch_id: 0,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let inner = simulator();
+        let direct = inner.execute(&batch(7)).unwrap();
+        let wrapped = FaultInjectingEngine::new(Arc::clone(&inner), FaultPlan::new());
+        assert_eq!(wrapped.descriptor(), inner.descriptor());
+        let output = wrapped.execute(&batch(7)).unwrap();
+        assert_eq!(output, direct);
+        assert_eq!(wrapped.calls(), 1);
+        assert_eq!(wrapped.injected(), 0);
+    }
+
+    #[test]
+    fn planned_errors_fire_on_exact_indices() {
+        let plan = FaultPlan::new().fail_at(0).fail_at(2);
+        let wrapped = FaultInjectingEngine::new(simulator(), plan);
+        assert_eq!(
+            wrapped.execute(&batch(1)),
+            Err(EngineError::Transient {
+                engine: "simulator"
+            })
+        );
+        assert!(wrapped.execute(&batch(1)).is_ok());
+        assert!(wrapped.execute(&batch(1)).is_err());
+        assert!(wrapped.execute(&batch(1)).is_ok());
+        assert_eq!(wrapped.injected(), 2);
+    }
+
+    #[test]
+    fn flapping_builds_burst_gap_cycles() {
+        let plan = FaultPlan::new().flapping(1, 2, 3, 2);
+        // Bursts at [1,2] and [6,7]; everything else clean.
+        for index in 0..10 {
+            let faulty = matches!(index, 1 | 2 | 6 | 7);
+            assert_eq!(plan.fault_at(index).is_some(), faulty, "index {index}");
+        }
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn scattered_is_seed_deterministic_and_bounded() {
+        let a = FaultPlan::new().scattered(42, 5, 100);
+        let b = FaultPlan::new().scattered(42, 5, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let c = FaultPlan::new().scattered(43, 5, 100);
+        assert_ne!(a, c);
+        // Degenerate ranges cannot loop or overshoot.
+        assert!(FaultPlan::new().scattered(1, 5, 0).is_empty());
+        assert_eq!(FaultPlan::new().scattered(1, 10, 3).len(), 3);
+    }
+
+    #[test]
+    fn panic_payload_carries_the_marker() {
+        let wrapped = FaultInjectingEngine::new(simulator(), FaultPlan::new().panic_at(0));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wrapped.execute(&batch(1))));
+        let payload = result.expect_err("planned panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(message.contains(INJECTED_PANIC_MARKER));
+        assert_eq!(wrapped.injected(), 1);
+    }
+
+    #[test]
+    fn forced_failure_overrides_the_plan_until_cleared() {
+        let wrapped = FaultInjectingEngine::new(simulator(), FaultPlan::new());
+        wrapped.set_forced(true);
+        assert!(wrapped.execute(&batch(1)).is_err());
+        assert!(wrapped.execute(&batch(1)).is_err());
+        wrapped.set_forced(false);
+        assert!(wrapped.execute(&batch(1)).is_ok());
+    }
+
+    #[test]
+    fn latency_faults_still_succeed() {
+        let wrapped = FaultInjectingEngine::new(
+            simulator(),
+            FaultPlan::new().delay_at(0, Duration::from_millis(1)),
+        );
+        assert!(wrapped.execute(&batch(1)).is_ok());
+        assert_eq!(wrapped.injected(), 1);
+    }
+}

@@ -373,7 +373,23 @@ pub fn engines_json(engines: &EngineRegistry, load: &[EngineLoadStats]) -> Json 
                         ),
                         ("latency_p50_seconds", Json::Number(stats.latency.p50)),
                         ("latency_p95_seconds", Json::Number(stats.latency.p95)),
+                        ("breaker_state", Json::string(stats.breaker.state.label())),
+                        (
+                            "consecutive_errors",
+                            Json::from_u64(stats.breaker.consecutive_errors),
+                        ),
+                        (
+                            "breaker_opened_total",
+                            Json::from_u64(stats.breaker.opened_total),
+                        ),
+                        ("worker_panics", Json::from_u64(stats.worker_panics)),
+                        ("retries_attempted", Json::from_u64(stats.retries_attempted)),
+                        ("retries_recovered", Json::from_u64(stats.retries_recovered)),
+                        ("retries_exhausted", Json::from_u64(stats.retries_exhausted)),
                     ]);
+                    if let Some(reopen) = stats.breaker.reopen_seconds {
+                        fields.push(("breaker_reopen_seconds", Json::Number(reopen)));
+                    }
                 }
                 Json::object(fields)
             })
@@ -431,6 +447,9 @@ fn router_json(decision: &RouterDecision) -> Json {
             if let Some(meets) = c.meets_deadline {
                 fields.push(("meets_deadline", Json::Bool(meets)));
             }
+            if c.breaker_open {
+                fields.push(("breaker_open", Json::Bool(true)));
+            }
             Json::object(fields)
         })
         .collect();
@@ -468,6 +487,7 @@ fn snapshot_fields(snapshot: &TraceSnapshot, fields: &mut Vec<(&'static str, Jso
     if let Some(batch_id) = snapshot.batch_id {
         fields.push(("batch_id", Json::from_u64(batch_id)));
     }
+    fields.push(("retries", Json::from_u64(snapshot.retries as u64)));
     fields.push((
         "stages",
         Json::Array(snapshot.stamps.iter().map(stamp_json).collect()),
@@ -795,6 +815,7 @@ mod tests {
                 mean: 0.002,
                 max: 0.006,
             },
+            ..EngineLoadStats::default()
         }];
         let json = engines_json(&registry(), &load);
         let Json::Array(engines) = &json else {
@@ -814,6 +835,22 @@ mod tests {
         );
         assert!(native.get("latency_p50_seconds").is_some());
         assert!(native.get("latency_p95_seconds").is_some());
+        // The fault-tolerance view rides with the load stats: breaker state,
+        // consecutive errors and the retry/panic counters.
+        assert_eq!(
+            native.get("breaker_state").and_then(Json::as_str),
+            Some("closed")
+        );
+        assert_eq!(
+            native.get("consecutive_errors").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(native.get("worker_panics").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            native.get("retries_attempted").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert!(native.get("breaker_reopen_seconds").is_none());
         // Engines without a load entry keep descriptor-only fields.
         let simulator = engines
             .iter()
@@ -900,6 +937,7 @@ mod tests {
                 eligible: true,
                 predicted_seconds: Some(0.01),
                 meets_deadline: Some(true),
+                breaker_open: false,
             }],
             verdict: RouterVerdict::Chosen {
                 engine: "native".to_string(),

@@ -172,6 +172,7 @@ impl GatewayMetrics {
             ("queue_full", runtime.admission.queue_full),
             ("deadline", runtime.admission.deadline),
             ("no_engine_meets_deadline", runtime.admission.no_engine),
+            ("engine_unavailable", runtime.admission.unavailable),
             ("shutdown", runtime.admission.shutdown),
         ] {
             out.push_str(&format!(
@@ -236,6 +237,46 @@ impl GatewayMetrics {
             "gauge",
             |e| e.drain_ops_per_second,
         );
+        engine_family(
+            "bishop_breaker_state",
+            "Circuit-breaker state, by engine: 0 = closed, 1 = half-open, 2 = open.",
+            "gauge",
+            |e| e.breaker.state.metric_value() as f64,
+        );
+        engine_family(
+            "bishop_breaker_opened_total",
+            "Circuit-breaker trips since boot, by engine.",
+            "counter",
+            |e| e.breaker.opened_total as f64,
+        );
+        engine_family(
+            "bishop_worker_panics_total",
+            "Engine panics contained by domain workers, by engine.",
+            "counter",
+            |e| e.worker_panics as f64,
+        );
+
+        // Retry outcomes, by engine: attempted counts every re-execution,
+        // recovered the batches a retry saved, exhausted the batches that
+        // failed with max_attempts spent, budget_denied the retries the
+        // shared budget refused (outage anti-amplification).
+        out.push_str(
+            "# HELP bishop_retries_total Batch execution retries, by engine and outcome.\n\
+             # TYPE bishop_retries_total counter\n",
+        );
+        for engine in &runtime.engines {
+            for (outcome, value) in [
+                ("attempted", engine.retries_attempted),
+                ("recovered", engine.retries_recovered),
+                ("exhausted", engine.retries_exhausted),
+                ("budget_denied", engine.retry_budget_denied),
+            ] {
+                out.push_str(&format!(
+                    "bishop_retries_total{{engine=\"{}\",outcome=\"{outcome}\"}} {value}\n",
+                    engine.engine
+                ));
+            }
+        }
 
         // Backlog: like queue depth, the global gauge and the per-domain
         // labeled samples share one metric family, so aggregations over
@@ -347,6 +388,7 @@ mod tests {
                         mean: 0.001,
                         max: 0.002,
                     },
+                    ..EngineLoadStats::default()
                 },
                 EngineLoadStats {
                     engine: bishop_engine::EngineName::native(),
@@ -358,6 +400,12 @@ mod tests {
                     drain_ops_per_second: 2e9,
                     drain_observations: 2,
                     latency: LatencyPercentiles::default(),
+                    worker_panics: 2,
+                    retries_attempted: 5,
+                    retries_recovered: 3,
+                    retries_exhausted: 1,
+                    retry_budget_denied: 4,
+                    ..EngineLoadStats::default()
                 },
             ],
             ..OnlineStats::default()
@@ -382,6 +430,23 @@ mod tests {
         // The lossy windowed p50/p95 gauges are gone from the scrape; the
         // histogram family is the source of truth for distributions.
         assert!(!text.contains("bishop_runtime_engine_latency_seconds_p"));
+        // Fault-tolerance families: breaker state gauge, contained panics,
+        // and retry outcomes — one HELP/TYPE header each.
+        assert!(text.contains("bishop_breaker_state{engine=\"simulator\"} 0"));
+        assert!(text.contains("bishop_worker_panics_total{engine=\"native\"} 2"));
+        assert!(text.contains("bishop_retries_total{engine=\"native\",outcome=\"attempted\"} 5"));
+        assert!(text.contains("bishop_retries_total{engine=\"native\",outcome=\"recovered\"} 3"));
+        assert!(text.contains("bishop_retries_total{engine=\"native\",outcome=\"exhausted\"} 1"));
+        assert!(
+            text.contains("bishop_retries_total{engine=\"native\",outcome=\"budget_denied\"} 4")
+        );
+        assert_eq!(
+            text.matches("# TYPE bishop_retries_total counter").count(),
+            1
+        );
+        assert!(
+            text.contains("bishop_runtime_requests_shed_total{reason=\"engine_unavailable\"} 0")
+        );
         // Exactly one HELP/TYPE header per family even with many engines.
         assert_eq!(
             text.matches("# TYPE bishop_runtime_queue_depth gauge")
@@ -404,6 +469,7 @@ mod tests {
                 eligible: true,
                 predicted_seconds: Some(0.001),
                 meets_deadline: Some(true),
+                breaker_open: false,
             }],
             verdict: RouterVerdict::Chosen {
                 engine: "native".to_string(),

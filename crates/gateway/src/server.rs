@@ -357,22 +357,7 @@ fn route(request: &Request, shared: &Shared) -> Handled {
         ("GET", path) if path.starts_with("/v1/debug/traces/") => {
             Handled::untraced(trace_detail(path, shared))
         }
-        ("GET", "/healthz") => {
-            let draining = shared.shutting_down.load(Ordering::Acquire);
-            Handled::untraced(Response::json(
-                if draining { 503 } else { 200 },
-                &Json::object(vec![
-                    (
-                        "status",
-                        Json::string(if draining { "draining" } else { "ok" }),
-                    ),
-                    (
-                        "queue_depth",
-                        Json::from_u64(shared.runtime.stats().queue_depth as u64),
-                    ),
-                ]),
-            ))
-        }
+        ("GET", "/healthz") => Handled::untraced(healthz(shared)),
         (_, "/v1/infer") => method_not_allowed(shared, "POST"),
         (_, "/v1/models" | "/v1/engines" | "/metrics" | "/healthz") => {
             method_not_allowed(shared, "GET")
@@ -389,6 +374,47 @@ fn route(request: &Request, shared: &Shared) -> Handled {
             )
         }
     }
+}
+
+/// `GET /healthz`: real readiness, not liveness theatre. `503 draining`
+/// while shutting down; `503 unhealthy` when every registered engine's
+/// circuit breaker is open (nothing can serve — a load balancer should
+/// stop routing here); `200 ok` otherwise, with the per-engine breaker
+/// states so a degraded-but-serving instance is visible at a glance.
+fn healthz(shared: &Shared) -> Response {
+    let draining = shared.shutting_down.load(Ordering::Acquire);
+    let engine_stats = shared.runtime.engine_stats();
+    let all_open = !engine_stats.is_empty()
+        && engine_stats
+            .iter()
+            .all(|e| e.breaker.state == bishop_runtime::BreakerState::Open);
+    let (status, label) = if draining {
+        (503, "draining")
+    } else if all_open {
+        (503, "unhealthy")
+    } else {
+        (200, "ok")
+    };
+    let breakers = engine_stats
+        .iter()
+        .map(|e| {
+            Json::object(vec![
+                ("engine", Json::string(e.engine.as_str())),
+                ("breaker_state", Json::string(e.breaker.state.label())),
+            ])
+        })
+        .collect();
+    Response::json(
+        status,
+        &Json::object(vec![
+            ("status", Json::string(label)),
+            (
+                "queue_depth",
+                Json::from_u64(shared.runtime.stats().queue_depth as u64),
+            ),
+            ("engines", Json::Array(breakers)),
+        ]),
+    )
 }
 
 /// `GET /v1/debug/traces/<id>`: one finished trace in full (stage spans,
@@ -501,8 +527,15 @@ fn infer(request: &Request, shared: &Shared) -> Handled {
                     error_code: None,
                 }
             }
-            // An engine refusal is the client's request profile, not server
-            // load: 422 with the engine's stable code.
+            // A retryable execution fault that outlived the runtime's own
+            // retry loop is server health, not the client's request: 503,
+            // retry elsewhere/later. Capability refusals stay 422 — the
+            // client must change the request profile.
+            Some(Err(bishop_runtime::ServeError::Engine(error))) if error.retryable() => {
+                let mut handled = fail(503, error.code(), &error.to_string());
+                handled.response = handled.response.with_header("Retry-After", "1");
+                handled
+            }
             Some(Err(error)) => fail(422, error.code(), &error.to_string()),
             None => fail(503, "shutting_down", "server shut down mid-request"),
         },
@@ -533,6 +566,22 @@ fn infer(request: &Request, shared: &Shared) -> Handled {
         // restricted after boot still sheds here.)
         Err(rejection @ Rejection::NoEngineSupportsRequest) => {
             fail(422, rejection.code(), &rejection.to_string())
+        }
+        // The named engine's circuit breaker is open (or, for "auto", every
+        // eligible engine's is): 503, with Retry-After priced from the
+        // breaker's next half-open probe window rather than backlog drain.
+        Err(rejection @ Rejection::EngineUnavailable) => {
+            let retry_after = shared
+                .runtime
+                .breaker_reopen_seconds(&asked_engine)
+                .unwrap_or(1.0)
+                .ceil()
+                .clamp(1.0, 60.0) as u64;
+            let mut handled = fail(503, rejection.code(), &rejection.to_string());
+            handled.response = handled
+                .response
+                .with_header("Retry-After", &retry_after.to_string());
+            handled
         }
         Err(rejection) => fail(503, rejection.code(), &rejection.to_string()),
     }

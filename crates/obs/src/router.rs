@@ -26,6 +26,40 @@ pub struct RouterCandidate {
     pub predicted_seconds: Option<f64>,
     /// Whether the prediction met the deadline (`None` without one).
     pub meets_deadline: Option<bool>,
+    /// Whether the engine was skipped because its circuit breaker refused
+    /// admission (open, or half-open with the probe quota spent).
+    pub breaker_open: bool,
+}
+
+/// Asserts the shape of a [`RouterVerdict`] with a readable failure.
+///
+/// Two forms:
+///
+/// ```
+/// use bishop_obs::{assert_verdict, RouterVerdict};
+/// let verdict = RouterVerdict::Chosen { engine: "simulator".into(), degraded: true };
+/// assert_verdict!(verdict, chosen = "simulator", degraded = true);
+/// let shed = RouterVerdict::Shed { reason: "queue_full".into() };
+/// assert_verdict!(shed, shed = "queue_full");
+/// ```
+#[macro_export]
+macro_rules! assert_verdict {
+    ($verdict:expr, chosen = $engine:expr, degraded = $degraded:expr) => {
+        match &$verdict {
+            $crate::RouterVerdict::Chosen { engine, degraded }
+                if engine.as_str() == $engine && *degraded == $degraded => {}
+            other => panic!(
+                "expected Chosen {{ engine: {:?}, degraded: {} }}, got {other:?}",
+                $engine, $degraded
+            ),
+        }
+    };
+    ($verdict:expr, shed = $reason:expr) => {
+        match &$verdict {
+            $crate::RouterVerdict::Shed { reason } if reason.as_str() == $reason => {}
+            other => panic!("expected Shed {{ reason: {:?} }}, got {other:?}", $reason),
+        }
+    };
 }
 
 /// What the dispatcher concluded.
@@ -33,8 +67,9 @@ pub struct RouterCandidate {
 pub enum RouterVerdict {
     /// An engine was chosen. `degraded` is set when a more-preferred
     /// eligible engine was skipped because its predicted completion missed
-    /// the deadline — the request got a cheaper substrate than preference
-    /// alone would have given it.
+    /// the deadline — or because its circuit breaker refused admission —
+    /// the request got a cheaper substrate than preference alone would
+    /// have given it.
     Chosen {
         /// The engine the request was routed to.
         engine: String,
@@ -148,12 +183,14 @@ mod tests {
                     eligible: true,
                     predicted_seconds: Some(1.2),
                     meets_deadline: Some(false),
+                    breaker_open: false,
                 },
                 RouterCandidate {
                     engine: "simulator".to_string(),
                     eligible: true,
                     predicted_seconds: Some(0.001),
                     meets_deadline: Some(true),
+                    breaker_open: false,
                 },
             ],
             verdict,
@@ -206,5 +243,35 @@ mod tests {
             "bishop_router_decisions_total{engine=\"simulator\",verdict=\"degraded\"} 2"
         ));
         assert!(out.contains("bishop_router_decisions_total{engine=\"none\",verdict=\"shed\"} 1"));
+    }
+
+    #[test]
+    fn assert_verdict_macro_accepts_matching_shapes() {
+        assert_verdict!(
+            RouterVerdict::Chosen {
+                engine: "native".to_string(),
+                degraded: false
+            },
+            chosen = "native",
+            degraded = false
+        );
+        assert_verdict!(
+            RouterVerdict::Shed {
+                reason: "queue_full".to_string()
+            },
+            shed = "queue_full"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Chosen")]
+    fn assert_verdict_macro_reports_mismatches() {
+        assert_verdict!(
+            RouterVerdict::Shed {
+                reason: "queue_full".to_string()
+            },
+            chosen = "native",
+            degraded = false
+        );
     }
 }

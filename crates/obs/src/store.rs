@@ -101,6 +101,7 @@ mod tests {
                 batch_id: None,
                 stamps: Vec::new(),
                 router: None,
+                retries: 0,
             },
             total_seconds,
             status: 200,

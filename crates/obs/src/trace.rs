@@ -94,6 +94,7 @@ struct TraceInner {
     /// End offset of the last recorded stamp: the start of the next one.
     last_offset: f64,
     router: Option<RouterDecision>,
+    retries: u32,
 }
 
 /// The per-request trace: a gateway-assigned request id, the instant the
@@ -167,6 +168,14 @@ impl TraceContext {
         self.inner.lock().expect("trace lock").router = Some(decision);
     }
 
+    /// Records how many *extra* execution attempts the request's batch
+    /// needed (0 = first attempt succeeded). Each retried attempt also
+    /// stamps its own [`Stage::EngineExecute`] span, so a retried request
+    /// shows one span per attempt plus this count.
+    pub fn set_retries(&self, retries: u32) {
+        self.inner.lock().expect("trace lock").retries = retries;
+    }
+
     /// A point-in-time copy of everything recorded so far.
     pub fn snapshot(&self) -> TraceSnapshot {
         let inner = self.inner.lock().expect("trace lock");
@@ -177,6 +186,7 @@ impl TraceContext {
             batch_id: inner.batch_id,
             stamps: inner.stamps.clone(),
             router: inner.router.clone(),
+            retries: inner.retries,
         }
     }
 }
@@ -197,6 +207,9 @@ pub struct TraceSnapshot {
     pub stamps: Vec<StageStamp>,
     /// The dispatcher's routing decision, for `"auto"` requests.
     pub router: Option<RouterDecision>,
+    /// Extra execution attempts the request's batch needed (0 = clean
+    /// first attempt).
+    pub retries: u32,
 }
 
 /// A completed request's trace: the snapshot plus its outcome — what the
@@ -249,6 +262,30 @@ mod tests {
         assert_eq!(snapshot.engine.as_deref(), Some("simulator"));
         assert_eq!(snapshot.batch_id, Some(42));
         assert!(snapshot.router.is_none());
+        assert_eq!(snapshot.retries, 0);
+        trace.set_retries(2);
+        assert_eq!(trace.snapshot().retries, 2);
+    }
+
+    #[test]
+    fn retried_attempts_stamp_one_engine_execute_span_each() {
+        // The worker stamps EngineExecute once per attempt; spans must stay
+        // monotone and non-overlapping even across the retry loop.
+        let trace = TraceContext::new(3);
+        trace.stamp(Stage::BatchFormation);
+        trace.stamp(Stage::EngineExecute);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        trace.stamp(Stage::EngineExecute);
+        trace.set_retries(1);
+        let snapshot = trace.snapshot();
+        let execute_spans: Vec<_> = snapshot
+            .stamps
+            .iter()
+            .filter(|s| s.stage == Stage::EngineExecute)
+            .collect();
+        assert_eq!(execute_spans.len(), 2);
+        assert_eq!(execute_spans[0].end_seconds, execute_spans[1].start_seconds);
+        assert_eq!(snapshot.retries, 1);
     }
 
     #[test]

@@ -70,8 +70,9 @@ pub use bishop_engine::cache;
 pub use batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 pub use online::{
-    AdmissionStats, EngineLoadStats, OnlineConfig, OnlineServer, OnlineStats, Rejection,
-    ServeError, ServeResult, ServerHandle, Ticket, DEFAULT_DRAIN_OPS_PER_SECOND,
+    AdmissionStats, BreakerConfig, BreakerSnapshot, BreakerState, EngineLoadStats, OnlineConfig,
+    OnlineServer, OnlineStats, Rejection, RetryPolicy, ServeError, ServeResult, ServerHandle,
+    Ticket, DEFAULT_DRAIN_OPS_PER_SECOND,
 };
 pub use report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,

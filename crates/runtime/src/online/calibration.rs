@@ -16,6 +16,9 @@ use bishop_engine::EngineName;
 
 use crate::report::LatencyPercentiles;
 
+use super::breaker::{BreakerConfig, BreakerSnapshot, CircuitBreaker};
+use super::retry::{RetryBudget, RetryPolicy};
+
 /// Weight of the newest observation in the drain-rate EWMA. Low enough to
 /// ride out one anomalous batch, high enough to converge from a bad seed
 /// within a handful of completions.
@@ -146,12 +149,31 @@ pub(crate) struct EngineCells {
     pub(crate) failed: AtomicU64,
     pub(crate) drain: DrainRate,
     pub(crate) latency: LatencyWindow,
+    /// The engine's circuit breaker (admission consults, workers feed).
+    pub(crate) breaker: CircuitBreaker,
+    /// The domain's retry-budget token bucket.
+    pub(crate) retry_budget: RetryBudget,
+    /// Engine panics contained by `catch_unwind` in this domain's workers.
+    pub(crate) panics: AtomicU64,
+    /// Retry attempts workers actually slept-and-re-executed.
+    pub(crate) retries_attempted: AtomicU64,
+    /// Batches that succeeded on a retry attempt.
+    pub(crate) retries_recovered: AtomicU64,
+    /// Batches that failed after exhausting their retry attempts.
+    pub(crate) retries_exhausted: AtomicU64,
+    /// Retries denied because the budget was empty.
+    pub(crate) retry_budget_denied: AtomicU64,
 }
 
 impl EngineCells {
     /// Zeroed cells for `name`, with the drain rate seeded at
-    /// `seed_ops_per_second`.
-    pub(crate) fn new(name: EngineName, seed_ops_per_second: f64) -> Self {
+    /// `seed_ops_per_second` and fault-tolerance per the given tuning.
+    pub(crate) fn new(
+        name: EngineName,
+        seed_ops_per_second: f64,
+        breaker: BreakerConfig,
+        retry: &RetryPolicy,
+    ) -> Self {
         Self {
             name,
             pending: AtomicUsize::new(0),
@@ -161,6 +183,13 @@ impl EngineCells {
             failed: AtomicU64::new(0),
             drain: DrainRate::seeded(seed_ops_per_second),
             latency: LatencyWindow::default(),
+            breaker: CircuitBreaker::new(breaker),
+            retry_budget: RetryBudget::new(retry),
+            panics: AtomicU64::new(0),
+            retries_attempted: AtomicU64::new(0),
+            retries_recovered: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
+            retry_budget_denied: AtomicU64::new(0),
         }
     }
 
@@ -176,6 +205,12 @@ impl EngineCells {
             drain_ops_per_second: self.drain.ops_per_second(),
             drain_observations: self.drain.observations(),
             latency: self.latency.percentiles(),
+            breaker: self.breaker.snapshot(),
+            worker_panics: self.panics.load(Ordering::Acquire),
+            retries_attempted: self.retries_attempted.load(Ordering::Acquire),
+            retries_recovered: self.retries_recovered.load(Ordering::Acquire),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Acquire),
+            retry_budget_denied: self.retry_budget_denied.load(Ordering::Acquire),
         }
     }
 }
@@ -206,6 +241,40 @@ pub struct EngineLoadStats {
     /// Observed per-request latency percentiles (engine clock) over a
     /// bounded recent window.
     pub latency: LatencyPercentiles,
+    /// The engine's circuit-breaker state.
+    pub breaker: BreakerSnapshot,
+    /// Engine panics contained by the domain's workers.
+    pub worker_panics: u64,
+    /// Retry attempts the domain's workers executed.
+    pub retries_attempted: u64,
+    /// Batches that succeeded on a retry.
+    pub retries_recovered: u64,
+    /// Batches that failed after exhausting retries.
+    pub retries_exhausted: u64,
+    /// Retries denied by an empty budget.
+    pub retry_budget_denied: u64,
+}
+
+impl Default for EngineLoadStats {
+    fn default() -> Self {
+        Self {
+            engine: EngineName::default(),
+            queue_depth: 0,
+            backlog_ops: 0,
+            batches_executed: 0,
+            completed: 0,
+            failed: 0,
+            drain_ops_per_second: 1.0,
+            drain_observations: 0,
+            latency: LatencyPercentiles::default(),
+            breaker: BreakerSnapshot::default(),
+            worker_panics: 0,
+            retries_attempted: 0,
+            retries_recovered: 0,
+            retries_exhausted: 0,
+            retry_budget_denied: 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -266,14 +335,24 @@ mod tests {
 
     #[test]
     fn engine_cells_snapshot_reflects_counters() {
-        let cells = EngineCells::new(EngineName::native(), 123.0);
+        let cells = EngineCells::new(
+            EngineName::native(),
+            123.0,
+            BreakerConfig::default(),
+            &RetryPolicy::default(),
+        );
         cells.pending.store(3, Ordering::Release);
         cells.completed.store(9, Ordering::Release);
+        cells.panics.store(2, Ordering::Release);
+        cells.retries_attempted.store(5, Ordering::Release);
         let snap = cells.snapshot();
         assert_eq!(snap.engine, EngineName::native());
         assert_eq!(snap.queue_depth, 3);
         assert_eq!(snap.completed, 9);
         assert_eq!(snap.drain_ops_per_second, 123.0);
         assert_eq!(snap.drain_observations, 0);
+        assert_eq!(snap.breaker.state.label(), "closed");
+        assert_eq!(snap.worker_panics, 2);
+        assert_eq!(snap.retries_attempted, 5);
     }
 }

@@ -17,12 +17,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bishop_engine::{EngineDescriptor, EngineName};
-use bishop_obs::{RouterCandidate, RouterDecision, RouterVerdict};
+use bishop_obs::{ObsHub, RouterCandidate, RouterDecision, RouterVerdict};
 
 use crate::request::InferenceRequest;
 
+use super::breaker::BreakerAdmit;
 use super::calibration::EngineCells;
-use super::domain::DomainSubmitter;
+use super::domain::{log_breaker_transition, DomainSubmitter};
 use super::Rejection;
 
 /// One resolvable engine: its identity and descriptor, the per-engine
@@ -63,9 +64,11 @@ pub(crate) fn select_engine(
     request: &InferenceRequest,
     estimated_ops: u64,
     deadline: Option<Duration>,
+    obs: &ObsHub,
 ) -> (Result<usize, Rejection>, RouterDecision) {
     let mut candidates = Vec::with_capacity(auto_order.len());
     let mut any_supports = false;
+    let mut any_admitted = false;
     let mut skipped_eligible = false;
     let mut chosen = None;
     for &index in auto_order {
@@ -83,10 +86,32 @@ pub(crate) fn select_engine(
                 eligible: false,
                 predicted_seconds: None,
                 meets_deadline: None,
+                breaker_open: false,
             });
             continue;
         }
         any_supports = true;
+        // Health-aware degradation: an engine whose breaker refuses
+        // admission is passed over exactly like a deadline miss — the next
+        // candidate absorbs the traffic instead of the client seeing a
+        // 5xx. (An open breaker past its cooldown flips to half-open here,
+        // so auto traffic is what probes a recovering engine.)
+        let (admit, transition) = entry.cells.breaker.admit();
+        if let Some(transition) = transition {
+            log_breaker_transition(obs, entry.name.as_str(), transition);
+        }
+        if let BreakerAdmit::Shed { .. } = admit {
+            candidates.push(RouterCandidate {
+                engine: entry.name.as_str().to_string(),
+                eligible: true,
+                predicted_seconds: None,
+                meets_deadline: None,
+                breaker_open: true,
+            });
+            skipped_eligible = true;
+            continue;
+        }
+        any_admitted = true;
         let (predicted, meets) = match deadline {
             // No deadline: nothing to predict — the most-preferred
             // eligible engine wins outright.
@@ -105,6 +130,7 @@ pub(crate) fn select_engine(
             eligible: true,
             predicted_seconds: predicted,
             meets_deadline: meets,
+            breaker_open: false,
         });
         if meets != Some(false) {
             chosen = Some(index);
@@ -113,12 +139,15 @@ pub(crate) fn select_engine(
         skipped_eligible = true;
     }
 
-    // Two distinct sheds: a profile no candidate can execute is permanent
-    // (retrying cannot help — the client must change the request), while a
-    // deadline no candidate meets is load-transient (retry-able).
+    // Three distinct sheds: a profile no candidate can execute is permanent
+    // (retrying cannot help — the client must change the request); a
+    // deadline no candidate meets is load-transient; every eligible
+    // candidate breaker-blocked is health-transient (retry after the
+    // breakers' cooldown).
     let outcome = match chosen {
         Some(index) => Ok(index),
-        None if any_supports => Err(Rejection::NoEngineMeetsDeadline),
+        None if any_admitted => Err(Rejection::NoEngineMeetsDeadline),
+        None if any_supports => Err(Rejection::EngineUnavailable),
         None => Err(Rejection::NoEngineSupportsRequest),
     };
     let verdict = match &outcome {
@@ -142,10 +171,13 @@ pub(crate) fn select_engine(
 
 #[cfg(test)]
 mod tests {
+    use super::super::breaker::BreakerConfig;
+    use super::super::retry::RetryPolicy;
     use super::*;
     use bishop_core::SimOptions;
     use bishop_engine::{CatalogEntry, EngineSubstrate};
     use bishop_model::{DatasetKind, ModelConfig};
+    use bishop_obs::assert_verdict;
     use std::sync::mpsc;
 
     fn entry(
@@ -154,7 +186,12 @@ mod tests {
         seed_rate: f64,
         supports_ecp: bool,
     ) -> (EngineEntry, DomainSubmitter) {
-        let cells = Arc::new(EngineCells::new(EngineName::from(name), seed_rate));
+        let cells = Arc::new(EngineCells::new(
+            EngineName::from(name),
+            seed_rate,
+            BreakerConfig::default(),
+            &RetryPolicy::default(),
+        ));
         let descriptor = EngineDescriptor {
             name: if name == "native" {
                 "native"
@@ -203,8 +240,9 @@ mod tests {
         let request = request(SimOptions::baseline());
         let ops = 1_000_000;
 
+        let obs = ObsHub::default();
         // No deadline: most-preferred (first) engine wins.
-        let chosen = select_engine(&entries, &[0, 1], &domains, &request, ops, None)
+        let chosen = select_engine(&entries, &[0, 1], &domains, &request, ops, None, &obs)
             .0
             .expect("eligible");
         assert_eq!(chosen, 0);
@@ -217,6 +255,7 @@ mod tests {
             &request,
             ops,
             Some(Duration::from_millis(1)),
+            &obs,
         );
         assert_eq!(outcome.expect("fast engine fits"), 1);
         // The decision record captures both candidates, the miss and the
@@ -225,13 +264,7 @@ mod tests {
         assert_eq!(decision.candidates.len(), 2);
         assert_eq!(decision.candidates[0].meets_deadline, Some(false));
         assert_eq!(decision.candidates[1].meets_deadline, Some(true));
-        match &decision.verdict {
-            bishop_obs::RouterVerdict::Chosen { engine, degraded } => {
-                assert_eq!(engine, "simulator");
-                assert!(degraded);
-            }
-            other => panic!("expected Chosen, got {other:?}"),
-        }
+        assert_verdict!(decision.verdict, chosen = "simulator", degraded = true);
         // Loose deadline: the slow-but-preferred engine fits again, and the
         // walk stops at it — only one candidate is recorded, undegraded.
         let (outcome, decision) = select_engine(
@@ -241,6 +274,7 @@ mod tests {
             &request,
             ops,
             Some(Duration::from_secs(2000)),
+            &obs,
         );
         assert_eq!(outcome.expect("slow engine fits"), 0);
         assert_eq!(decision.candidates.len(), 1);
@@ -260,17 +294,13 @@ mod tests {
             &request(SimOptions::baseline()),
             1_000_000,
             Some(Duration::from_millis(1)),
+            &ObsHub::default(),
         );
         assert_eq!(outcome, Err(Rejection::NoEngineMeetsDeadline));
         // The shed verdict carries the same wire code the client sees.
         assert_eq!(decision.verdict.label(), "shed");
         assert_eq!(decision.verdict.engine_label(), "none");
-        match &decision.verdict {
-            bishop_obs::RouterVerdict::Shed { reason } => {
-                assert_eq!(reason, "no_engine_meets_deadline");
-            }
-            other => panic!("expected Shed, got {other:?}"),
-        }
+        assert_verdict!(decision.verdict, shed = "no_engine_meets_deadline");
     }
 
     #[test]
@@ -281,6 +311,7 @@ mod tests {
         let (with_ecp, d1) = entry("simulator", 1, 1e12, true);
         let entries = [no_ecp, with_ecp];
         let domains = [d0, d1];
+        let obs = ObsHub::default();
         let (outcome, decision) = select_engine(
             &entries,
             &[0, 1],
@@ -288,6 +319,7 @@ mod tests {
             &request(SimOptions::with_ecp(6)),
             1000,
             None,
+            &obs,
         );
         assert_eq!(outcome.expect("ECP-capable engine eligible"), 1);
         // The ineligible engine still appears in the record, marked so.
@@ -295,10 +327,7 @@ mod tests {
         assert!(decision.candidates[1].eligible);
         // Skipping an *ineligible* engine is not degradation — no eligible
         // candidate was passed over.
-        match &decision.verdict {
-            bishop_obs::RouterVerdict::Chosen { degraded, .. } => assert!(!degraded),
-            other => panic!("expected Chosen, got {other:?}"),
-        }
+        assert_verdict!(decision.verdict, chosen = "simulator", degraded = false);
         // No candidate supports the profile at all: the *permanent* shed,
         // distinct from a transient unmeetable deadline.
         let (outcome, _) = select_engine(
@@ -308,8 +337,61 @@ mod tests {
             &request(SimOptions::with_ecp(6)),
             1000,
             None,
+            &obs,
         );
         assert_eq!(outcome, Err(Rejection::NoEngineSupportsRequest));
+    }
+
+    /// Trips one entry's breaker open by feeding its window hard failures.
+    fn trip_breaker(entry: &EngineEntry) {
+        let config = BreakerConfig::default();
+        for _ in 0..config.window {
+            entry.cells.breaker.record(true);
+        }
+        assert_eq!(
+            entry.cells.breaker.snapshot().state,
+            super::super::breaker::BreakerState::Open
+        );
+    }
+
+    #[test]
+    fn routes_around_an_open_breaker_and_sheds_when_all_are_open() {
+        let (native, d0) = entry("native", 0, 1e12, false);
+        let (simulator, d1) = entry("simulator", 1, 1e12, true);
+        trip_breaker(&native);
+        let entries = [native, simulator];
+        let domains = [d0, d1];
+        let obs = ObsHub::default();
+        // The preferred engine's breaker is open: auto degrades to the next
+        // candidate and the decision record says why.
+        let (outcome, decision) = select_engine(
+            &entries,
+            &[0, 1],
+            &domains,
+            &request(SimOptions::baseline()),
+            1000,
+            None,
+            &obs,
+        );
+        assert_eq!(outcome.expect("healthy engine absorbs the traffic"), 1);
+        assert!(decision.candidates[0].eligible);
+        assert!(decision.candidates[0].breaker_open);
+        assert!(!decision.candidates[1].breaker_open);
+        assert_verdict!(decision.verdict, chosen = "simulator", degraded = true);
+        // Every eligible breaker open: the health-transient shed, distinct
+        // from both deadline and capability sheds.
+        trip_breaker(&entries[1]);
+        let (outcome, decision) = select_engine(
+            &entries,
+            &[0, 1],
+            &domains,
+            &request(SimOptions::baseline()),
+            1000,
+            None,
+            &obs,
+        );
+        assert_eq!(outcome, Err(Rejection::EngineUnavailable));
+        assert_verdict!(decision.verdict, shed = "engine_unavailable");
     }
 
     #[test]
@@ -323,6 +405,7 @@ mod tests {
             &request(SimOptions::baseline()),
             1_000,
             Some(Duration::from_millis(10)),
+            &ObsHub::default(),
         )
         .0
         .is_ok());
@@ -339,6 +422,7 @@ mod tests {
                 &request(SimOptions::baseline()),
                 1_000,
                 Some(Duration::from_millis(10)),
+                &ObsHub::default(),
             )
             .0,
             Err(Rejection::NoEngineMeetsDeadline)

@@ -15,13 +15,15 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bishop_engine::{EngineOutput, EngineRegistry};
+use bishop_engine::{EngineError, EngineOutput, EngineRegistry};
 use bishop_obs::{EventLevel, EventValue, ObsHub, Stage};
 
 use crate::batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 use crate::request::{InferenceRequest, InferenceResponse};
 
+use super::breaker::BreakerTransition;
 use super::calibration::{add_f64, max_f64, EngineCells};
+use super::retry::RetryPolicy;
 use super::{ServeError, ServeResult, StatsCells};
 
 /// One admitted request travelling through a domain batcher: the request
@@ -124,6 +126,8 @@ pub(crate) struct DomainSpec {
     /// Observability hub: stage stamps for riders' traces, engine-error
     /// events from the workers.
     pub(crate) obs: Arc<ObsHub>,
+    /// Retry loop tuning for the domain's workers.
+    pub(crate) retry: RetryPolicy,
 }
 
 /// Boots one domain: its bounded channel, batcher thread and worker pool.
@@ -143,6 +147,7 @@ pub(crate) fn spawn_domain(spec: DomainSpec) -> (DomainSubmitter, DomainThreads)
             spec.record.clone(),
             spec.bundle,
             Arc::clone(&spec.obs),
+            spec.retry.clone(),
         ));
     }
     let batcher = spawn_batcher(
@@ -318,9 +323,27 @@ fn spawn_batcher(
     })
 }
 
+/// Emits one structured line for a breaker state transition. Opening is an
+/// operator page (traffic is being refused); half-opening and closing are
+/// recovery progress.
+pub(crate) fn log_breaker_transition(obs: &ObsHub, engine: &str, transition: BreakerTransition) {
+    let level = match transition {
+        BreakerTransition::Opened => EventLevel::Warn,
+        BreakerTransition::HalfOpened | BreakerTransition::Closed => EventLevel::Info,
+    };
+    obs.events.emit(
+        level,
+        transition.event(),
+        &[("engine", EventValue::Str(engine))],
+    );
+}
+
 /// Spawns one domain worker: executes batches on whichever engine each
-/// batch names, resolves riders' tickets, and feeds the engine's drain-rate
-/// calibration with the measured wall-clock of every completion.
+/// batch names — containing engine panics with `catch_unwind` and retrying
+/// retryable faults per the domain's [`RetryPolicy`] — resolves riders'
+/// tickets, feeds the engine's circuit breaker with every attempt outcome,
+/// and feeds the drain-rate calibration with the measured wall-clock of
+/// every successful attempt.
 #[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     index: usize,
@@ -331,28 +354,11 @@ fn spawn_worker(
     record: Option<Arc<Mutex<Vec<ExecutedBatch>>>>,
     bundle: bishop_bundle::BundleShape,
     obs: Arc<ObsHub>,
+    retry: RetryPolicy,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         for batch in batch_rx {
-            let started = Instant::now();
-            let outcome = match registry.get(batch.engine().as_str()) {
-                None => Err(ServeError::UnknownEngine(batch.engine().clone())),
-                Some(engine) => engine
-                    .execute(&batch.engine_batch(bundle))
-                    .map_err(ServeError::Engine),
-            };
-            let wall_seconds = started.elapsed().as_secs_f64();
             let batch_size = batch.len();
-            // Annotate every traced rider with where it actually executed:
-            // the batch span id shared with its batch-mates, the concrete
-            // engine, and the execute span (worker queue + engine run).
-            for pending in &batch.requests {
-                if let Some(trace) = &pending.request.trace {
-                    trace.set_batch_id(batch.id);
-                    trace.set_engine(batch.engine().as_str());
-                    trace.stamp(Stage::EngineExecute);
-                }
-            }
             let batch_ops: u64 = batch.requests.iter().map(|p| p.estimated_ops).sum();
             // Requests naming an unregistered engine ride the default
             // domain and fail typed below; they have no per-engine cells.
@@ -360,7 +366,110 @@ fn spawn_worker(
                 .iter()
                 .find(|e| e.name == *batch.engine())
                 .map(Arc::clone);
+            // Annotate every traced rider with where it executes: the batch
+            // span id shared with its batch-mates and the concrete engine.
+            // The execute span (worker queue + engine run) is stamped once
+            // per *attempt* below, so retried requests show one
+            // `engine_execute` span per attempt.
+            for pending in &batch.requests {
+                if let Some(trace) = &pending.request.trace {
+                    trace.set_batch_id(batch.id);
+                    trace.set_engine(batch.engine().as_str());
+                }
+            }
 
+            let mut attempts: u32 = 0;
+            let mut wall_seconds = 0.0;
+            let outcome = match registry.get(batch.engine().as_str()) {
+                None => Err(ServeError::UnknownEngine(batch.engine().clone())),
+                Some(engine) => {
+                    let engine_name = engine.descriptor().name;
+                    let engine_batch = batch.engine_batch(bundle);
+                    loop {
+                        attempts += 1;
+                        let started = Instant::now();
+                        // Contain engine panics: batch-mates resolve to a
+                        // typed error and the worker keeps draining. The
+                        // engine is behind an `Arc` and takes `&self`, so
+                        // no worker-local state can be left torn.
+                        let attempt =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                engine.execute(&engine_batch)
+                            }))
+                            .unwrap_or_else(|_| {
+                                if let Some(cells) = &engine_cells {
+                                    cells.panics.fetch_add(1, Ordering::AcqRel);
+                                }
+                                Err(EngineError::Panicked {
+                                    engine: engine_name,
+                                })
+                            });
+                        wall_seconds = started.elapsed().as_secs_f64();
+                        for pending in &batch.requests {
+                            if let Some(trace) = &pending.request.trace {
+                                trace.stamp(Stage::EngineExecute);
+                            }
+                        }
+                        // Only health faults feed the breaker; capability
+                        // refusals say nothing about the engine.
+                        let health_fault = attempt.as_ref().is_err_and(|e| e.retryable());
+                        if let Some(cells) = &engine_cells {
+                            if let Some(transition) = cells.breaker.record(health_fault) {
+                                log_breaker_transition(&obs, engine_name, transition);
+                            }
+                        }
+                        match attempt {
+                            Ok(output) => {
+                                if let Some(cells) = &engine_cells {
+                                    cells.retry_budget.refill();
+                                    if attempts > 1 {
+                                        cells.retries_recovered.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                }
+                                break Ok(output);
+                            }
+                            Err(error) => {
+                                if health_fault && attempts < retry.max_attempts.max(1) {
+                                    let budget_ok = engine_cells
+                                        .as_ref()
+                                        .is_some_and(|c| c.retry_budget.try_spend());
+                                    if budget_ok {
+                                        if let Some(cells) = &engine_cells {
+                                            cells.retries_attempted.fetch_add(1, Ordering::AcqRel);
+                                        }
+                                        std::thread::sleep(retry.backoff(attempts));
+                                        continue;
+                                    }
+                                    if let Some(cells) = &engine_cells {
+                                        cells.retry_budget_denied.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                    obs.events.emit(
+                                        EventLevel::Warn,
+                                        "retry_budget_exhausted",
+                                        &[
+                                            ("engine", EventValue::Str(engine_name)),
+                                            ("batch_id", EventValue::U64(batch.id)),
+                                            ("code", EventValue::Str(error.code())),
+                                        ],
+                                    );
+                                } else if health_fault && attempts > 1 {
+                                    if let Some(cells) = &engine_cells {
+                                        cells.retries_exhausted.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                }
+                                break Err(ServeError::Engine(error));
+                            }
+                        }
+                    }
+                }
+            };
+            if attempts > 1 {
+                for pending in &batch.requests {
+                    if let Some(trace) = &pending.request.trace {
+                        trace.set_retries(attempts - 1);
+                    }
+                }
+            }
             match outcome {
                 Ok(output) => {
                     let output = Arc::new(output);

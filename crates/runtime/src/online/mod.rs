@@ -54,12 +54,18 @@
 //! tickets resolve to a typed [`ServeError`] and the failure is counted in
 //! [`OnlineStats::failed`].
 
+mod breaker;
 mod calibration;
 mod dispatch;
 mod domain;
+mod retry;
 
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState};
 pub use calibration::EngineLoadStats;
 pub(crate) use domain::ExecutedBatch;
+pub use retry::RetryPolicy;
+
+use breaker::BreakerAdmit;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -174,6 +180,17 @@ pub struct OnlineConfig {
     /// default) builds a hub with [`bishop_obs::ObsConfig`] defaults;
     /// inject one to share it with a gateway or to tune retention.
     pub obs: Option<Arc<ObsHub>>,
+    /// Per-domain retry loop for *retryable* engine errors (transient
+    /// faults, contained panics): capped exponential backoff under a
+    /// shared retry budget. Defaults on; [`RetryPolicy::disabled`] turns
+    /// it off for deterministic replay.
+    pub retry: RetryPolicy,
+    /// Per-engine circuit breaker: error-rate-over-window trips the engine
+    /// open, a cooldown later half-open probes decide recovery. `"auto"`
+    /// dispatch skips open engines (degrading to the next candidate);
+    /// explicit-engine requests shed typed. Defaults on;
+    /// [`BreakerConfig::disabled`] turns it off.
+    pub breaker: BreakerConfig,
 }
 
 impl OnlineConfig {
@@ -196,6 +213,8 @@ impl OnlineConfig {
                 .map(EngineName::new)
                 .collect(),
             obs: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -279,6 +298,20 @@ impl OnlineConfig {
         self
     }
 
+    /// Overrides the per-domain retry policy ([`RetryPolicy::disabled`]
+    /// turns retries off).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the per-engine circuit-breaker tuning
+    /// ([`BreakerConfig::disabled`] turns breakers off).
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// The drain-rate seed for one engine: an explicit per-engine override
     /// wins, then an explicitly-set global knob, then the descriptor seed.
     fn drain_seed(&self, name: &str, descriptor_seed: f64) -> f64 {
@@ -321,6 +354,11 @@ pub enum Rejection {
     /// or an empty candidate set). Permanent for this request shape —
     /// retrying cannot help.
     NoEngineSupportsRequest,
+    /// The named engine's circuit breaker is open (for `"auto"`: every
+    /// eligible engine's breaker is). Health-transient: retry after the
+    /// breaker's cooldown — [`ServerHandle::breaker_reopen_seconds`]
+    /// prices the `Retry-After`.
+    EngineUnavailable,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
 }
@@ -333,6 +371,7 @@ impl Rejection {
             Rejection::DeadlineUnmeetable => "deadline_unmeetable",
             Rejection::NoEngineMeetsDeadline => "no_engine_meets_deadline",
             Rejection::NoEngineSupportsRequest => "auto_unroutable",
+            Rejection::EngineUnavailable => "engine_unavailable",
             Rejection::ShuttingDown => "shutting_down",
         }
     }
@@ -348,6 +387,9 @@ impl std::fmt::Display for Rejection {
             }
             Rejection::NoEngineSupportsRequest => {
                 f.write_str("no auto-eligible engine can execute the request profile")
+            }
+            Rejection::EngineUnavailable => {
+                f.write_str("engine unavailable: its circuit breaker is open")
             }
             Rejection::ShuttingDown => f.write_str("server shutting down"),
         }
@@ -368,6 +410,9 @@ pub struct AdmissionStats {
     /// ([`Rejection::NoEngineMeetsDeadline`]) or could execute the profile
     /// at all ([`Rejection::NoEngineSupportsRequest`]).
     pub no_engine: u64,
+    /// Requests shed because the target engine's circuit breaker was open
+    /// ([`Rejection::EngineUnavailable`]).
+    pub unavailable: u64,
     /// Requests shed because the server was shutting down.
     pub shutdown: u64,
 }
@@ -375,7 +420,7 @@ pub struct AdmissionStats {
 impl AdmissionStats {
     /// Total shed requests across all reasons.
     pub fn total(&self) -> u64 {
-        self.queue_full + self.deadline + self.no_engine + self.shutdown
+        self.queue_full + self.deadline + self.no_engine + self.unavailable + self.shutdown
     }
 }
 
@@ -424,6 +469,7 @@ pub(crate) struct StatsCells {
     pub(crate) rejected_queue_full: AtomicU64,
     pub(crate) rejected_deadline: AtomicU64,
     pub(crate) rejected_no_engine: AtomicU64,
+    pub(crate) rejected_unavailable: AtomicU64,
     pub(crate) rejected_shutdown: AtomicU64,
     pub(crate) batches_executed: AtomicU64,
     pub(crate) pending: AtomicUsize,
@@ -572,6 +618,7 @@ impl ServerHandle {
                 &request,
                 estimated_ops,
                 deadline,
+                &self.obs,
             );
             self.obs.router.record(&decision);
             if let Some(trace) = &request.trace {
@@ -583,7 +630,11 @@ impl ServerHandle {
                     Some(index)
                 }
                 Err(rejection) => {
-                    cells.rejected_no_engine.fetch_add(1, Ordering::Relaxed);
+                    let counter = match rejection {
+                        Rejection::EngineUnavailable => &cells.rejected_unavailable,
+                        _ => &cells.rejected_no_engine,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
                     if let Some(trace) = &request.trace {
                         trace.stamp(Stage::Router);
                     }
@@ -591,9 +642,33 @@ impl ServerHandle {
                 }
             }
         } else {
-            self.engines_index
+            let entry_index = self
+                .engines_index
                 .iter()
-                .position(|entry| entry.name == request.engine)
+                .position(|entry| entry.name == request.engine);
+            // Explicitly-named engines are *not* rerouted around an open
+            // breaker — the client asked for this one — but they are shed
+            // typed instead of being queued onto a known-unhealthy engine.
+            // (Blocking submission is the offline replay path; it bypasses
+            // the breaker to stay deterministic.)
+            if !block {
+                if let Some(index) = entry_index {
+                    let entry = &self.engines_index[index];
+                    let (admit, transition) = entry.cells.breaker.admit();
+                    if let Some(transition) = transition {
+                        domain::log_breaker_transition(&self.obs, entry.name.as_str(), transition);
+                    }
+                    if let BreakerAdmit::Shed { .. } = admit {
+                        cells.rejected_unavailable.fetch_add(1, Ordering::Relaxed);
+                        return Err(self.log_shed(
+                            request.id,
+                            &request.engine,
+                            Rejection::EngineUnavailable,
+                        ));
+                    }
+                }
+            }
+            entry_index
         };
         if let Some(trace) = &request.trace {
             trace.set_engine(request.engine.as_str());
@@ -762,6 +837,17 @@ impl ServerHandle {
         self.cells.backlog_ops.load(Ordering::Acquire) as f64 / self.fallback_drain.max(1.0)
     }
 
+    /// Seconds until the named engine's open breaker next admits a
+    /// half-open probe — what an `engine_unavailable` 503's `Retry-After`
+    /// should quote. `None` when the engine is unknown or its breaker is
+    /// not open.
+    pub fn breaker_reopen_seconds(&self, engine: &EngineName) -> Option<f64> {
+        self.engines_index
+            .iter()
+            .find(|entry| entry.name == *engine)
+            .and_then(|entry| entry.cells.breaker.snapshot().reopen_seconds)
+    }
+
     /// Per-engine scheduling-domain snapshots, in registry order (a cheaper
     /// call than [`ServerHandle::stats`] when only the per-engine view is
     /// needed).
@@ -786,6 +872,7 @@ impl ServerHandle {
                 queue_full: c.rejected_queue_full.load(Ordering::Acquire),
                 deadline: c.rejected_deadline.load(Ordering::Acquire),
                 no_engine: c.rejected_no_engine.load(Ordering::Acquire),
+                unavailable: c.rejected_unavailable.load(Ordering::Acquire),
                 shutdown: c.rejected_shutdown.load(Ordering::Acquire),
             },
             batches_executed: c.batches_executed.load(Ordering::Acquire),
@@ -867,6 +954,8 @@ impl OnlineServer {
                 Arc::new(EngineCells::new(
                     EngineName::new(descriptor.name),
                     config.drain_seed(descriptor.name, descriptor.seed_drain_ops_per_second),
+                    config.breaker.clone(),
+                    &config.retry,
                 ))
             })
             .collect();
@@ -925,6 +1014,7 @@ impl OnlineServer {
                 cells: Arc::clone(&cells),
                 record: record.clone(),
                 obs: Arc::clone(&obs),
+                retry: config.retry.clone(),
             });
             submitters.push(submitter);
             domain_threads.push(threads);

@@ -1,0 +1,511 @@
+//! Chaos suite: drives the serving stack's fault-tolerance machinery with
+//! planned faults and proves the headline guarantees end to end —
+//!
+//! * an injected engine panic is contained by the worker: every batch-mate
+//!   resolves to the typed [`EngineError::Panicked`] and the worker keeps
+//!   serving the very next batch;
+//! * retryable faults are retried with backoff inside the worker, each
+//!   attempt visible as its own `engine_execute` span on the request trace;
+//! * while `native` flaps, `"auto"` traffic silently degrades to the
+//!   simulator with **zero** non-shed client-visible failures, the breaker
+//!   open/half-open/close cycle is observable on `/v1/engines`, `/metrics`
+//!   and the router decision record, and traffic returns to `native` once
+//!   its breaker re-closes;
+//! * `/healthz` turns 503 when every engine's breaker is open, and explicit
+//!   requests into an open breaker get a typed `engine_unavailable` 503
+//!   priced with the breaker's reopen deadline.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bishop_core::{BishopConfig, BishopSimulator};
+use bishop_engine::{
+    EngineError, EngineName, EngineRegistry, InferenceEngine, NativeEngine, SimulatorEngine,
+};
+use bishop_faults::{FaultInjectingEngine, FaultPlan, INJECTED_PANIC_MARKER};
+use bishop_gateway::{Gateway, GatewayConfig, Json};
+use bishop_runtime::{
+    default_mixed_models, BatchPolicy, BreakerConfig, InferenceRequest, OnlineConfig, OnlineServer,
+    RetryPolicy, RuntimeConfig, ServeError,
+};
+
+/// Installs (once, process-wide) a panic hook that swallows the payloads
+/// [`FaultInjectingEngine`] raises on purpose — an injected panic crossing
+/// the worker's `catch_unwind` is the expected outcome under test, not
+/// noise — while chaining every other panic to the previous hook.
+fn silence_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains(INJECTED_PANIC_MARKER));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn simulator() -> Arc<dyn InferenceEngine> {
+    Arc::new(SimulatorEngine::new(BishopSimulator::new(
+        BishopConfig::default(),
+    )))
+}
+
+/// A fast breaker so open → half-open → close cycles fit in a test. The
+/// cooldown is long enough that the open state is observable over several
+/// HTTP roundtrips before a half-open probe is admitted, yet short enough
+/// that two probe cycles fit comfortably in a test run.
+fn fast_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        error_threshold: 0.5,
+        min_observations: 4,
+        cooldown: Duration::from_secs(1),
+        half_open_probes: 1,
+        ..BreakerConfig::default()
+    }
+}
+
+/// Sends raw bytes, reads until EOF, returns (status, full response text).
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {reply:?}"));
+    (status, reply)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw_roundtrip(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn infer_raw(body: &str) -> Vec<u8> {
+    format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// The value of `name: ...` in the response head, if present.
+fn header_value<'a>(reply: &'a str, name: &str) -> Option<&'a str> {
+    let head = reply.split("\r\n\r\n").next().unwrap_or(reply);
+    head.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name}: ")))
+}
+
+/// The parsed JSON body of a response.
+fn body_json(reply: &str) -> Json {
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("");
+    Json::parse(body).unwrap_or_else(|e| panic!("unparsable body {e}: {body:?}"))
+}
+
+/// The `/v1/engines` row for `name` (a flat array of engine objects).
+fn engine_row(addr: SocketAddr, name: &str) -> Json {
+    let (status, reply) = get(addr, "/v1/engines");
+    assert_eq!(status, 200, "{reply}");
+    let Json::Array(engines) = body_json(&reply) else {
+        panic!("engines listing is not an array: {reply}");
+    };
+    engines
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+        .unwrap_or_else(|| panic!("no {name} row in {reply}"))
+        .clone()
+}
+
+fn breaker_state_of(row: &Json) -> String {
+    row.get("breaker_state")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("engine row without breaker_state: {row:?}"))
+        .to_string()
+}
+
+#[test]
+fn injected_panic_resolves_every_batch_mate_typed_and_the_worker_survives() {
+    silence_injected_panics();
+    // One worker, one domain, retries off: the planned panic on the first
+    // batch must surface typed instead of being masked by a retry.
+    let registry = EngineRegistry::new().with_engine(Arc::new(FaultInjectingEngine::new(
+        simulator(),
+        FaultPlan::new().panic_at(0),
+    )));
+    let server = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(3)))
+            .with_batch_timeout(Some(Duration::from_millis(5)))
+            .with_registry(Arc::new(registry))
+            .with_retry_policy(RetryPolicy::disabled()),
+    );
+    let handle = server.handle();
+    let entry = default_mixed_models().into_iter().next().expect("catalog");
+
+    // Three compatible requests fill the batch policy exactly: one batch,
+    // one execute call, one planned panic.
+    let tickets: Vec<_> = (0..3)
+        .map(|id| {
+            handle
+                .try_submit(InferenceRequest::new(id, Arc::clone(&entry), 0))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            Some(Err(ServeError::Engine(EngineError::Panicked { engine }))) => {
+                assert_eq!(engine, "simulator");
+            }
+            other => panic!("batch-mate must resolve typed Panicked, got {other:?}"),
+        }
+    }
+
+    // The worker that contained the panic is still serving.
+    let ticket = handle
+        .try_submit(InferenceRequest::new(99, Arc::clone(&entry), 0))
+        .expect("admitted after panic");
+    assert!(
+        matches!(ticket.wait(), Some(Ok(_))),
+        "the worker must keep serving after containing a panic"
+    );
+
+    let sim_stats = handle
+        .engine_stats()
+        .into_iter()
+        .find(|e| e.engine == EngineName::simulator())
+        .expect("simulator stats");
+    assert_eq!(sim_stats.worker_panics, 1);
+    assert_eq!(sim_stats.failed, 3);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 3);
+}
+
+#[test]
+fn retried_request_traces_one_engine_execute_span_per_attempt() {
+    // The simulator fails its first two executions and succeeds on the
+    // third: the default policy's three attempts recover the batch, and the
+    // trace shows the whole story.
+    let registry = EngineRegistry::new().with_engine(Arc::new(FaultInjectingEngine::new(
+        simulator(),
+        FaultPlan::new().fail_range(0, 2),
+    )));
+    let runtime = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2)))
+            .with_batch_timeout(Some(Duration::from_millis(5)))
+            .with_registry(Arc::new(registry)),
+    );
+    let handle = runtime.handle();
+    let gateway = Gateway::start(GatewayConfig::default(), runtime.handle()).expect("bind");
+    let addr = gateway.local_addr();
+
+    let (status, reply) = raw_roundtrip(
+        addr,
+        &infer_raw(r#"{"model": "cifar10-serve", "seed": 0, "trace": true}"#),
+    );
+    assert_eq!(status, 200, "{reply}");
+    let body = body_json(&reply);
+    let timings = body.get("timings").expect("timings when trace: true");
+    assert_eq!(
+        timings.get("retries").and_then(Json::as_u64),
+        Some(2),
+        "two failed attempts before the success: {reply}"
+    );
+
+    // One engine_execute span per attempt, monotone and non-overlapping.
+    let Some(Json::Array(stages)) = timings.get("stages") else {
+        panic!("timings without stages: {reply}");
+    };
+    let labels: Vec<&str> = stages
+        .iter()
+        .map(|s| s.get("stage").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        labels,
+        [
+            "parse",
+            "router",
+            "admission",
+            "queue_wait",
+            "batch_formation",
+            "engine_execute",
+            "engine_execute",
+            "engine_execute",
+        ],
+        "{reply}"
+    );
+    let mut previous_end = 0.0_f64;
+    for stage in stages {
+        let start = stage.get("start_seconds").and_then(Json::as_f64).unwrap();
+        let end = stage.get("end_seconds").and_then(Json::as_f64).unwrap();
+        assert!(start >= previous_end - 1e-9, "overlapping spans: {reply}");
+        assert!(end >= start, "span ends before it starts: {reply}");
+        previous_end = end;
+    }
+
+    let stats = handle
+        .engine_stats()
+        .into_iter()
+        .find(|e| e.engine == EngineName::simulator())
+        .expect("simulator stats");
+    assert_eq!(stats.retries_attempted, 2);
+    assert_eq!(stats.retries_recovered, 1);
+    assert_eq!(stats.retries_exhausted, 0);
+
+    gateway.shutdown();
+    runtime.shutdown();
+}
+
+#[test]
+fn auto_traffic_degrades_to_simulator_while_native_flaps_then_returns() {
+    // Native flaps in deterministic bursts of two errors and one clean call
+    // (three bursts, clean from call 9 on): every native-routed request
+    // recovers within the three-attempt budget, the error rate still trips
+    // the breaker, and once the plan runs clean a half-open probe re-closes
+    // it. Throughout, no client ever sees a failure.
+    let injector = Arc::new(FaultInjectingEngine::new(
+        Arc::new(NativeEngine::new()),
+        FaultPlan::new().flapping(0, 2, 1, 3),
+    ));
+    let registry = EngineRegistry::new()
+        .with_engine(simulator())
+        .with_engine(Arc::clone(&injector) as Arc<dyn InferenceEngine>);
+    let runtime = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2)))
+            .with_batch_timeout(Some(Duration::from_millis(5)))
+            .with_registry(Arc::new(registry))
+            .with_breaker(fast_breaker()),
+    );
+    let handle = runtime.handle();
+    let gateway = Gateway::start(GatewayConfig::default(), runtime.handle()).expect("bind");
+    let addr = gateway.local_addr();
+
+    let infer_auto = |seed: u64| -> (String, u64) {
+        let body = format!(
+            "{{\"model\": \"cifar10-serve\", \"seed\": {seed}, \
+             \"engine\": \"auto\", \"trace\": true}}"
+        );
+        let (status, reply) = raw_roundtrip(addr, &infer_raw(&body));
+        assert_eq!(status, 200, "auto requests must never fail: {reply}");
+        let engine = body_json(&reply)
+            .get("engine")
+            .and_then(Json::as_str)
+            .expect("served engine on the response")
+            .to_string();
+        let id = header_value(&reply, "X-Request-Id")
+            .expect("request id header")
+            .parse()
+            .unwrap();
+        (engine, id)
+    };
+
+    // Drive auto traffic until the native breaker opens. The first batches
+    // are served by native through retries; their recorded failures trip
+    // the breaker without a single client-visible error.
+    let mut degraded_request = None;
+    let opened = Instant::now();
+    while breaker_state_of(&engine_row(addr, "native")) != "open" {
+        assert!(
+            opened.elapsed() < Duration::from_secs(10),
+            "native breaker never opened"
+        );
+        infer_auto(0);
+    }
+
+    // With the breaker open, auto traffic lands on the simulator.
+    for seed in 0..3 {
+        let (engine, id) = infer_auto(seed);
+        assert_eq!(engine, "simulator", "open breaker must divert traffic");
+        degraded_request = Some(id);
+    }
+
+    // The degraded request's trace records why: native was skipped with its
+    // breaker open, and the verdict names the fallback as degraded.
+    let (status, reply) = get(
+        addr,
+        &format!("/v1/debug/traces/{}", degraded_request.expect("sent")),
+    );
+    assert_eq!(status, 200, "{reply}");
+    let trace = body_json(&reply);
+    let router = trace.get("router").expect("router record on the trace");
+    let Some(Json::Array(candidates)) = router.get("candidates") else {
+        panic!("router record without candidates: {reply}");
+    };
+    let native_candidate = candidates
+        .iter()
+        .find(|c| c.get("engine").and_then(Json::as_str) == Some("native"))
+        .expect("native candidate on the record");
+    assert_eq!(
+        native_candidate.get("breaker_open").and_then(Json::as_bool),
+        Some(true),
+        "{reply}"
+    );
+    let verdict = router.get("verdict").expect("verdict");
+    assert_eq!(
+        verdict.get("outcome").and_then(Json::as_str),
+        Some("degraded"),
+        "{reply}"
+    );
+    assert_eq!(
+        verdict.get("engine").and_then(Json::as_str),
+        Some("simulator"),
+        "{reply}"
+    );
+
+    // Keep trickling auto traffic: each cooldown expiry admits a half-open
+    // probe to native. The first probe hits the tail of the flap (and
+    // re-opens the breaker), a later one lands clean and closes it.
+    let recovering = Instant::now();
+    while breaker_state_of(&engine_row(addr, "native")) != "closed" {
+        assert!(
+            recovering.elapsed() < Duration::from_secs(10),
+            "native breaker never re-closed"
+        );
+        infer_auto(1);
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // Recovery is observable on every surface: the engines listing, the
+    // metrics scrape, and fresh traffic choosing native un-degraded again.
+    let row = engine_row(addr, "native");
+    assert!(
+        row.get("breaker_opened_total").and_then(Json::as_u64) >= Some(1),
+        "{row:?}"
+    );
+    assert_eq!(row.get("worker_panics").and_then(Json::as_u64), Some(0));
+    let (status, scrape) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        scrape.contains("bishop_breaker_state{engine=\"native\"} 0"),
+        "closed breaker must scrape as 0: {scrape}"
+    );
+    assert!(
+        scrape.contains("bishop_retries_total{engine=\"native\",outcome=\"recovered\"}"),
+        "{scrape}"
+    );
+    let (engine, _) = infer_auto(2);
+    assert_eq!(engine, "native", "recovered native takes traffic back");
+
+    // Zero client-visible failures end to end, on either surface.
+    let failed: u64 = handle.engine_stats().iter().map(|e| e.failed).sum();
+    assert_eq!(failed, 0, "every batch must have recovered via retries");
+    gateway.shutdown();
+    let stats = runtime.shutdown();
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.admission.unavailable == 0,
+        "auto is degraded, not shed"
+    );
+}
+
+#[test]
+fn healthz_and_explicit_requests_report_an_open_breaker_typed() {
+    // A single-engine stack (the wrapped simulator) so "all breakers open"
+    // is one forced outage away; a long cooldown keeps it open while the
+    // assertions run.
+    let injector = Arc::new(FaultInjectingEngine::new(simulator(), FaultPlan::new()));
+    let registry =
+        EngineRegistry::new().with_engine(Arc::clone(&injector) as Arc<dyn InferenceEngine>);
+    let runtime = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(2)))
+            .with_batch_timeout(Some(Duration::from_millis(5)))
+            .with_registry(Arc::new(registry))
+            .with_retry_policy(RetryPolicy::disabled())
+            .with_breaker(BreakerConfig {
+                window: 4,
+                min_observations: 2,
+                cooldown: Duration::from_secs(30),
+                ..fast_breaker()
+            }),
+    );
+    let gateway = Gateway::start(GatewayConfig::default(), runtime.handle()).expect("bind");
+    let addr = gateway.local_addr();
+
+    let (status, reply) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(
+        body_json(&reply).get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+
+    // Force the outage and fail requests until the breaker opens. Each
+    // pre-open failure is a typed retryable 503.
+    injector.set_forced(true);
+    let body = r#"{"model": "cifar10-serve", "seed": 0, "engine": "simulator"}"#;
+    let tripping = Instant::now();
+    loop {
+        let (status, reply) = raw_roundtrip(addr, &infer_raw(body));
+        assert_eq!(status, 503, "{reply}");
+        let code = body_json(&reply)
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .expect("machine-readable error");
+        assert!(
+            header_value(&reply, "Retry-After").is_some(),
+            "every 503 carries Retry-After: {reply}"
+        );
+        if code == "engine_unavailable" {
+            // Priced from the breaker's reopen deadline (30 s cooldown).
+            let retry_after: u64 = header_value(&reply, "Retry-After")
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!((1..=60).contains(&retry_after), "{reply}");
+            break;
+        }
+        assert_eq!(code, "engine_transient", "{reply}");
+        assert!(
+            tripping.elapsed() < Duration::from_secs(10),
+            "breaker never opened"
+        );
+    }
+
+    // All engines' breakers are open: the instance is not ready.
+    let (status, reply) = get(addr, "/healthz");
+    assert_eq!(status, 503, "{reply}");
+    let health = body_json(&reply);
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("unhealthy")
+    );
+    let row = engine_row(addr, "simulator");
+    assert_eq!(breaker_state_of(&row), "open");
+    assert!(
+        row.get("breaker_reopen_seconds")
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s > 0.0),
+        "open breaker must advertise its reopen deadline: {row:?}"
+    );
+
+    // Recovery path still works: lift the outage — the breaker stays open
+    // (cooldown), so health stays 503 until a probe would run; the typed
+    // rejection is what clients see meanwhile.
+    injector.set_forced(false);
+    let (status, _) = raw_roundtrip(addr, &infer_raw(body));
+    assert_eq!(status, 503, "open breaker sheds until its cooldown expires");
+
+    gateway.shutdown();
+    let stats = runtime.shutdown();
+    assert!(stats.admission.unavailable >= 1);
+    assert_eq!(stats.completed, 0);
+}

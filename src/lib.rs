@@ -21,6 +21,10 @@
 //!   layer: the simulator, native-CPU and baseline execution backends behind
 //!   one trait, the engine registry, the model catalog and the memoizing
 //!   caches;
+//! * [`faults`] — deterministic fault injection for chaos testing: a
+//!   seeded [`FaultInjectingEngine`](bishop_faults::FaultInjectingEngine)
+//!   wrapper that makes any engine fail, stall or panic on a planned
+//!   schedule;
 //! * [`train`] — surrogate-gradient training with the BSA loss and ECP-aware
 //!   evaluation;
 //! * [`runtime`] — the batched multi-core inference serving runtime: bounded
@@ -55,6 +59,7 @@ pub use bishop_bundle as bundle;
 pub use bishop_core as core;
 pub use bishop_engine as engine;
 pub use bishop_experiments as experiments;
+pub use bishop_faults as faults;
 pub use bishop_gateway as gateway;
 pub use bishop_memsys as memsys;
 pub use bishop_model as model;
@@ -75,6 +80,7 @@ pub mod prelude {
         BaselineEngine, CatalogEntry, EngineBatch, EngineDescriptor, EngineError, EngineName,
         EngineOutput, EngineRegistry, InferenceEngine, NativeEngine, SimulatorEngine,
     };
+    pub use bishop_faults::{FaultInjectingEngine, FaultPlan};
     pub use bishop_gateway::{Gateway, GatewayConfig, ModelCatalog};
     pub use bishop_memsys::{AreaPowerBreakdown, DramModel, EnergyModel, MemoryHierarchy};
     pub use bishop_model::workload::SyntheticTraceSpec;
@@ -83,9 +89,9 @@ pub mod prelude {
     };
     pub use bishop_neuron::{LifConfig, LifNeuron};
     pub use bishop_runtime::{
-        BatchPolicy, BishopServer, CalibrationCache, EngineLoadStats, InferenceRequest,
-        InferenceResponse, OnlineConfig, OnlineServer, RuntimeConfig, ServeError, ServerHandle,
-        ServingOutcome, ThroughputReport, Ticket,
+        BatchPolicy, BishopServer, BreakerConfig, CalibrationCache, EngineLoadStats,
+        InferenceRequest, InferenceResponse, OnlineConfig, OnlineServer, RetryPolicy,
+        RuntimeConfig, ServeError, ServerHandle, ServingOutcome, ThroughputReport, Ticket,
     };
     pub use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
     pub use bishop_train::{SpikePatternDataset, SpikingClassifier, Trainer, TrainingConfig};
