@@ -29,7 +29,8 @@ use bishop_bundle::TrainingRegime;
 use bishop_core::SimOptions;
 use bishop_engine::{EngineName, EngineRegistry};
 use bishop_obs::{
-    FinishedTrace, RouterDecision, RouterVerdict, StageStamp, TraceContext, TraceSnapshot,
+    FinishedTrace, ProfileReport, RouterDecision, RouterVerdict, SloStatus, StageStamp,
+    TraceContext, TraceSnapshot,
 };
 use bishop_runtime::{EngineLoadStats, InferenceRequest, InferenceResponse};
 
@@ -524,6 +525,66 @@ pub fn trace_json(trace: &FinishedTrace) -> Json {
     }
     snapshot_fields(&trace.snapshot, &mut fields);
     Json::object(fields)
+}
+
+/// Encodes the SLO statuses for `GET /v1/slo`: one object per objective
+/// with its compliance, remaining error budget, multi-window burn rates
+/// and current alert state.
+pub fn slo_json(statuses: &[SloStatus]) -> Json {
+    Json::Array(
+        statuses
+            .iter()
+            .map(|s| {
+                Json::object(vec![
+                    ("name", Json::string(&s.name)),
+                    ("kind", Json::string(s.kind)),
+                    ("objective", Json::Number(s.objective)),
+                    ("window_seconds", Json::Number(s.window_seconds)),
+                    ("fast_window_seconds", Json::Number(s.fast_window_seconds)),
+                    ("compliance", Json::Number(s.compliance)),
+                    ("fast_compliance", Json::Number(s.fast_compliance)),
+                    (
+                        "error_budget_remaining",
+                        Json::Number(s.error_budget_remaining),
+                    ),
+                    ("burn_rate_fast", Json::Number(s.burn_rate_fast)),
+                    ("burn_rate_slow", Json::Number(s.burn_rate_slow)),
+                    ("alert", Json::string(s.alert.label())),
+                    ("good_events", Json::Number(s.good_events)),
+                    ("total_events", Json::Number(s.total_events)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encodes the profiler report for `GET /v1/debug/profile`: per
+/// engine×kind×stage self-time entries plus the collapsed-stack lines a
+/// flame-graph tool folds directly.
+pub fn profile_json(report: &ProfileReport) -> Json {
+    let entries = report
+        .entries
+        .iter()
+        .map(|e| {
+            Json::object(vec![
+                ("engine", Json::string(&e.engine)),
+                ("kind", Json::string(e.kind)),
+                ("stage", Json::string(e.stage)),
+                ("samples", Json::from_u64(e.samples)),
+                ("seconds", Json::Number(e.seconds)),
+                ("fraction", Json::Number(e.fraction)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("total_samples", Json::from_u64(report.total_samples)),
+        ("total_seconds", Json::Number(report.total_seconds)),
+        ("entries", Json::Array(entries)),
+        (
+            "collapsed",
+            Json::Array(report.collapsed().iter().map(Json::string).collect()),
+        ),
+    ])
 }
 
 /// Encodes one finished trace as a listing row, for `GET /v1/debug/traces`.

@@ -76,6 +76,16 @@ impl Request {
         })
     }
 
+    /// The value of the first `key=value` pair among the `&`-separated
+    /// query parameters (a bare `key` reads as the empty value). No percent
+    /// decoding — the gateway's query parameters are plain tokens.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+
     /// Whether the connection should stay open after the response:
     /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
     /// `Connection` header overrides either.

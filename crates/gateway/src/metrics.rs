@@ -80,8 +80,10 @@ impl GatewayMetrics {
     /// Renders the combined gateway + runtime + observability state in
     /// Prometheus text format: the gateway's HTTP counters, the runtime's
     /// scheduling counters, then the obs hub's log-bucketed stage-latency
-    /// histograms (`bishop_stage_seconds`) and router decision counters
-    /// (`bishop_router_decisions_total`).
+    /// histograms (`bishop_stage_seconds`), router decision counters
+    /// (`bishop_router_decisions_total`), SLO compliance/burn gauges
+    /// (`bishop_slo_*`) and profiler self-time totals
+    /// (`bishop_profile_seconds_total`).
     pub fn render_prometheus(&self, runtime: &OnlineStats, obs: &ObsHub) -> String {
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: f64| {
@@ -317,6 +319,11 @@ impl GatewayMetrics {
         // remain on /v1/engines). Router decision counters ride along.
         obs.histograms.render_into(&mut out);
         obs.router.render_into(&mut out);
+        // The temporal layer: SLO compliance/burn (evaluated as a pure
+        // read against the sampler-fed time-series store) and the
+        // profiler's per-stage self-time totals.
+        obs.slo.render_into(&mut out, &obs.timeseries);
+        obs.profiler.render_into(&mut out);
         out
     }
 }

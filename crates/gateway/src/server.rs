@@ -11,8 +11,8 @@ use bishop_obs::{Stage, TraceContext};
 use bishop_runtime::{Rejection, ServerHandle};
 
 use crate::api::{
-    decode_infer, encode_response, engines_json, error_body, models_json, timings_json, trace_json,
-    trace_summary_json, ModelCatalog,
+    decode_infer, encode_response, engines_json, error_body, models_json, profile_json, slo_json,
+    timings_json, trace_json, trace_summary_json, ModelCatalog,
 };
 use crate::http::{Limits, ParseError, Request, RequestReader, Response};
 use crate::json::Json;
@@ -341,28 +341,29 @@ fn route(request: &Request, shared: &Shared) -> Handled {
                 .metrics
                 .render_prometheus(&shared.runtime.stats(), shared.runtime.obs()),
         )),
-        ("GET", "/v1/debug/traces") => {
-            let traces = &shared.runtime.obs().traces;
-            let rows = |list: Vec<std::sync::Arc<bishop_obs::FinishedTrace>>| {
-                Json::Array(list.iter().map(|t| trace_summary_json(t)).collect())
-            };
-            Handled::untraced(Response::json(
-                200,
-                &Json::object(vec![
-                    ("recent", rows(traces.recent())),
-                    ("slowest", rows(traces.slowest())),
-                ]),
-            ))
-        }
+        ("GET", "/v1/debug/traces") => Handled::untraced(trace_listing(request, shared)),
         ("GET", path) if path.starts_with("/v1/debug/traces/") => {
             Handled::untraced(trace_detail(path, shared))
         }
+        ("GET", "/v1/slo") => {
+            let obs = shared.runtime.obs();
+            Handled::untraced(Response::json(
+                200,
+                &slo_json(&obs.slo.evaluate(&obs.timeseries, None)),
+            ))
+        }
+        ("GET", "/v1/debug/profile") => Handled::untraced(Response::json(
+            200,
+            &profile_json(&shared.runtime.obs().profiler.report()),
+        )),
         ("GET", "/healthz") => Handled::untraced(healthz(shared)),
         (_, "/v1/infer") => method_not_allowed(shared, "POST"),
-        (_, "/v1/models" | "/v1/engines" | "/metrics" | "/healthz") => {
+        (_, "/v1/models" | "/v1/engines" | "/metrics" | "/healthz" | "/v1/slo") => {
             method_not_allowed(shared, "GET")
         }
-        (_, path) if path.starts_with("/v1/debug/traces") => method_not_allowed(shared, "GET"),
+        (_, path) if path.starts_with("/v1/debug/traces") || path == "/v1/debug/profile" => {
+            method_not_allowed(shared, "GET")
+        }
         _ => {
             let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
             Handled::untraced(
@@ -413,6 +414,69 @@ fn healthz(shared: &Shared) -> Response {
                 Json::from_u64(shared.runtime.stats().queue_depth as u64),
             ),
             ("engines", Json::Array(breakers)),
+        ]),
+    )
+}
+
+/// `GET /v1/debug/traces`: the retained recent/slowest listings, optionally
+/// narrowed by `?engine=<name>` (the engine the request served on),
+/// `?verdict=<chosen|degraded|shed>` (the router's decision, `"auto"`
+/// requests only) and `?min_ms=<float>` (total latency floor). Filters
+/// compose; a malformed `min_ms` is a `400`.
+fn trace_listing(request: &Request, shared: &Shared) -> Response {
+    let min_seconds = match request.query_param("min_ms") {
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(ms) if ms.is_finite() && ms >= 0.0 => Some(ms / 1000.0),
+            _ => {
+                let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+                return Response::json(
+                    400,
+                    &error_body(
+                        "bad_request",
+                        "min_ms must be a non-negative number",
+                        request_id,
+                    ),
+                )
+                .with_header("X-Request-Id", &request_id.to_string());
+            }
+        },
+        None => None,
+    };
+    let engine = request.query_param("engine");
+    let verdict = request.query_param("verdict");
+    let keep = |trace: &bishop_obs::FinishedTrace| -> bool {
+        if let Some(engine) = engine {
+            if trace.snapshot.engine.as_deref() != Some(engine) {
+                return false;
+            }
+        }
+        if let Some(verdict) = verdict {
+            let recorded = trace.snapshot.router.as_ref().map(|r| r.verdict.label());
+            if recorded != Some(verdict) {
+                return false;
+            }
+        }
+        if let Some(floor) = min_seconds {
+            if trace.total_seconds < floor {
+                return false;
+            }
+        }
+        true
+    };
+    let traces = &shared.runtime.obs().traces;
+    let rows = |list: Vec<Arc<bishop_obs::FinishedTrace>>| {
+        Json::Array(
+            list.iter()
+                .filter(|t| keep(t))
+                .map(|t| trace_summary_json(t))
+                .collect(),
+        )
+    };
+    Response::json(
+        200,
+        &Json::object(vec![
+            ("recent", rows(traces.recent())),
+            ("slowest", rows(traces.slowest())),
         ]),
     )
 }

@@ -1,0 +1,332 @@
+//! The temporal-observability endpoints end to end: `GET /v1/slo` serving
+//! the declarative objectives with live compliance/burn numbers, `GET
+//! /v1/debug/profile` serving the sampling profiler's self-time report and
+//! collapsed stacks, the `bishop_slo_*` / `bishop_profile_seconds_total`
+//! families on `/metrics`, and the `engine=` / `verdict=` / `min_ms=`
+//! filters on the trace listing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bishop_gateway::{Gateway, GatewayConfig, Json};
+use bishop_runtime::{BatchPolicy, OnlineConfig, OnlineServer, RuntimeConfig, SamplerConfig};
+
+/// The running stack under test, with a fast sampler so the temporal layer
+/// fills within milliseconds instead of seconds.
+struct Stack {
+    runtime: OnlineServer,
+    gateway: Gateway,
+}
+
+impl Stack {
+    fn boot() -> Stack {
+        let runtime = OnlineServer::start(
+            OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(4)))
+                .with_batch_timeout(Some(Duration::from_millis(5)))
+                .with_sampler(
+                    SamplerConfig::default()
+                        .with_intervals(Duration::from_millis(1), Duration::from_millis(20)),
+                ),
+        );
+        let gateway =
+            Gateway::start(GatewayConfig::default(), runtime.handle()).expect("bind ephemeral");
+        Stack { runtime, gateway }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.gateway.local_addr()
+    }
+
+    fn finish(self) {
+        self.gateway.shutdown();
+        self.runtime.shutdown();
+    }
+}
+
+/// Sends raw bytes, reads until EOF, returns (status, full response text).
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {reply:?}"));
+    (status, reply)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw_roundtrip(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String) {
+    raw_roundtrip(
+        addr,
+        format!("{method} {path} HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    )
+}
+
+fn infer(addr: SocketAddr, body: &str) -> (u16, String) {
+    raw_roundtrip(
+        addr,
+        format!(
+            "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// The parsed JSON body of a response.
+fn body_json(reply: &str) -> Json {
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("");
+    Json::parse(body).unwrap_or_else(|e| panic!("unparsable body {e}: {body:?}"))
+}
+
+#[test]
+fn slo_endpoint_serves_the_stock_objectives_and_metrics_carry_the_families() {
+    let stack = Stack::boot();
+    let addr = stack.addr();
+    // Let the sampler's first scrape establish the zero baseline before
+    // traffic, so every finished request lands in the window deltas.
+    std::thread::sleep(Duration::from_millis(50));
+    for seed in 0..8 {
+        let (status, reply) = infer(
+            addr,
+            &format!("{{\"model\": \"cifar10-serve\", \"seed\": {seed}}}"),
+        );
+        assert_eq!(status, 200, "{reply}");
+    }
+    // Two metrics intervals so the sampler has scraped the finished
+    // requests into the store before the objectives are read.
+    std::thread::sleep(Duration::from_millis(60));
+
+    let (status, reply) = get(addr, "/v1/slo");
+    assert_eq!(status, 200, "{reply}");
+    let Json::Array(objectives) = body_json(&reply) else {
+        panic!("/v1/slo must serve an array: {reply}");
+    };
+    let names: Vec<&str> = objectives
+        .iter()
+        .map(|o| o.get("name").and_then(Json::as_str).expect("name"))
+        .collect();
+    assert_eq!(
+        names,
+        ["availability", "shed_rate", "execute_p95"],
+        "{reply}"
+    );
+    let availability = &objectives[0];
+    assert_eq!(
+        availability.get("alert").and_then(Json::as_str),
+        Some("ok"),
+        "healthy traffic must not burn: {reply}"
+    );
+    assert_eq!(
+        availability.get("compliance").and_then(Json::as_f64),
+        Some(1.0),
+        "{reply}"
+    );
+    assert_eq!(
+        availability
+            .get("error_budget_remaining")
+            .and_then(Json::as_f64),
+        Some(1.0),
+        "{reply}"
+    );
+    assert!(
+        availability
+            .get("total_events")
+            .and_then(Json::as_f64)
+            .is_some_and(|t| t >= 8.0),
+        "the sampler must have scraped the finished requests: {reply}"
+    );
+
+    let (status, scrape) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for family in [
+        "# TYPE bishop_slo_objective gauge",
+        "# TYPE bishop_slo_error_budget_remaining gauge",
+        "# TYPE bishop_slo_burn_rate gauge",
+        "bishop_slo_compliance{slo=\"availability\"}",
+        "bishop_slo_burn_rate{slo=\"availability\",window=\"fast\"}",
+        "# TYPE bishop_profile_seconds_total counter",
+    ] {
+        assert!(scrape.contains(family), "missing {family:?} in {scrape}");
+    }
+
+    stack.finish();
+}
+
+#[test]
+fn profile_endpoint_serves_self_time_entries_and_collapsed_stacks() {
+    let stack = Stack::boot();
+    let addr = stack.addr();
+    for seed in 0..4 {
+        let (status, reply) = infer(
+            addr,
+            &format!("{{\"model\": \"cifar10-serve\", \"seed\": {seed}}}"),
+        );
+        assert_eq!(status, 200, "{reply}");
+    }
+    // Let the 1 ms profile cadence accumulate a meaningful sample count.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let (status, reply) = get(addr, "/v1/debug/profile");
+    assert_eq!(status, 200, "{reply}");
+    let report = body_json(&reply);
+    assert!(
+        report
+            .get("total_samples")
+            .and_then(Json::as_u64)
+            .is_some_and(|n| n > 0),
+        "the always-on profiler must have samples: {reply}"
+    );
+    assert!(
+        report
+            .get("total_seconds")
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s > 0.0),
+        "{reply}"
+    );
+    let Some(Json::Array(entries)) = report.get("entries") else {
+        panic!("profile without entries: {reply}");
+    };
+    let simulator_worker = entries
+        .iter()
+        .find(|e| {
+            e.get("engine").and_then(Json::as_str) == Some("simulator")
+                && e.get("kind").and_then(Json::as_str) == Some("worker")
+        })
+        .unwrap_or_else(|| panic!("no simulator worker entry: {reply}"));
+    assert!(
+        simulator_worker
+            .get("fraction")
+            .and_then(Json::as_f64)
+            .is_some_and(|f| (0.0..=1.0).contains(&f)),
+        "{reply}"
+    );
+    let Some(Json::Array(collapsed)) = report.get("collapsed") else {
+        panic!("profile without collapsed stacks: {reply}");
+    };
+    assert!(
+        collapsed.iter().any(|line| {
+            line.as_str()
+                .is_some_and(|l| l.starts_with("simulator/worker;"))
+        }),
+        "collapsed lines must fold engine/kind;stage: {reply}"
+    );
+
+    stack.finish();
+}
+
+#[test]
+fn trace_listing_filters_narrow_by_engine_verdict_and_latency() {
+    let stack = Stack::boot();
+    let addr = stack.addr();
+    // Four explicit simulator requests and two auto requests (the router
+    // records a verdict only for "auto").
+    for seed in 0..4 {
+        let (status, reply) = infer(
+            addr,
+            &format!("{{\"model\": \"cifar10-serve\", \"seed\": {seed}}}"),
+        );
+        assert_eq!(status, 200, "{reply}");
+    }
+    for seed in 0..2 {
+        let (status, reply) = infer(
+            addr,
+            &format!("{{\"model\": \"cifar10-serve\", \"seed\": {seed}, \"engine\": \"auto\"}}"),
+        );
+        assert_eq!(status, 200, "{reply}");
+    }
+
+    let recent_count = |reply: &str| -> usize {
+        let Some(Json::Array(rows)) = body_json(reply).get("recent").cloned() else {
+            panic!("listing without recent: {reply}");
+        };
+        rows.len()
+    };
+
+    let (status, unfiltered) = get(addr, "/v1/debug/traces");
+    assert_eq!(status, 200);
+    let total = recent_count(&unfiltered);
+    assert_eq!(total, 6, "{unfiltered}");
+
+    // engine=: only rows served on that engine survive.
+    let (status, filtered) = get(addr, "/v1/debug/traces?engine=simulator");
+    assert_eq!(status, 200);
+    let simulator_rows = recent_count(&filtered);
+    assert!(
+        simulator_rows >= 4,
+        "explicit simulator traffic must survive its own filter: {filtered}"
+    );
+    let Some(Json::Array(rows)) = body_json(&filtered).get("recent").cloned() else {
+        unreachable!()
+    };
+    for row in rows {
+        assert_eq!(
+            row.get("engine").and_then(Json::as_str),
+            Some("simulator"),
+            "{filtered}"
+        );
+    }
+
+    // verdict=: auto traffic's router verdicts; nothing was shed here.
+    let (status, chosen) = get(addr, "/v1/debug/traces?verdict=chosen");
+    assert_eq!(status, 200);
+    let (status, degraded) = get(addr, "/v1/debug/traces?verdict=degraded");
+    assert_eq!(status, 200);
+    assert_eq!(
+        recent_count(&chosen) + recent_count(&degraded),
+        2,
+        "each auto request recorded exactly one verdict: {chosen} {degraded}"
+    );
+    let (status, shed) = get(addr, "/v1/debug/traces?verdict=shed");
+    assert_eq!(status, 200);
+    assert_eq!(recent_count(&shed), 0, "{shed}");
+
+    // min_ms=: zero keeps everything, an absurd floor keeps nothing, and
+    // filters compose.
+    let (status, all) = get(addr, "/v1/debug/traces?min_ms=0");
+    assert_eq!(status, 200);
+    assert_eq!(recent_count(&all), total);
+    let (status, none) = get(addr, "/v1/debug/traces?min_ms=9999999");
+    assert_eq!(status, 200);
+    assert_eq!(recent_count(&none), 0, "{none}");
+    let (status, composed) = get(addr, "/v1/debug/traces?engine=simulator&min_ms=0");
+    assert_eq!(status, 200);
+    assert_eq!(recent_count(&composed), simulator_rows);
+
+    // A malformed floor is the client's error, stably coded.
+    let (status, bad) = get(addr, "/v1/debug/traces?min_ms=abc");
+    assert_eq!(status, 400, "{bad}");
+    assert_eq!(
+        body_json(&bad)
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{bad}"
+    );
+
+    // The new endpoints are GET-only.
+    let (status, reply) = request(addr, "POST", "/v1/slo");
+    assert_eq!(status, 405, "{reply}");
+    let (status, reply) = request(addr, "POST", "/v1/debug/profile");
+    assert_eq!(status, 405, "{reply}");
+
+    stack.finish();
+}

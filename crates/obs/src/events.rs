@@ -9,8 +9,18 @@
 //! instead of silent.
 
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Workers survive engine panics via `catch_unwind` (PR 7), so a panic
+/// while holding the limiter or sink lock must not turn every later log
+/// call into a second panic — both states stay sound across an unwind
+/// (plain counters and an optional sink), so recovery is always safe.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Event severity, in ascending order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -90,12 +100,12 @@ impl EventLog {
 
     /// Redirects output from stderr into `sink` (tests).
     pub fn set_sink(&self, sink: Box<dyn Write + Send>) {
-        *self.sink.lock().expect("event sink lock") = Some(sink);
+        *lock_unpoisoned(&self.sink) = Some(sink);
     }
 
     /// Events dropped by the rate limiter since the last emitted line.
     pub fn suppressed(&self) -> u64 {
-        self.limiter.lock().expect("event limiter lock").suppressed
+        lock_unpoisoned(&self.limiter).suppressed
     }
 
     /// Emits one structured event line, unless filtered or rate-limited.
@@ -105,7 +115,7 @@ impl EventLog {
             return false;
         }
         let suppressed = {
-            let mut state = self.limiter.lock().expect("event limiter lock");
+            let mut state = lock_unpoisoned(&self.limiter);
             let elapsed = state.last_refill.elapsed().as_secs_f64();
             state.last_refill = Instant::now();
             state.tokens = (state.tokens + elapsed * self.per_second).min(self.burst);
@@ -142,7 +152,7 @@ impl EventLog {
         }
         line.push_str("}\n");
 
-        let mut sink = self.sink.lock().expect("event sink lock");
+        let mut sink = lock_unpoisoned(&self.sink);
         match sink.as_mut() {
             Some(sink) => {
                 let _ = sink.write_all(line.as_bytes());
@@ -251,5 +261,35 @@ mod tests {
         assert!(log.emit(EventLevel::Warn, "e", &[]));
         assert!(capture.text().contains("\"event\":\"e\",\"suppressed\":2}"));
         assert_eq!(log.suppressed(), 0);
+    }
+
+    #[test]
+    fn survives_lock_poisoning_from_a_panicking_holder() {
+        // Regression: workers survive engine panics via catch_unwind, so a
+        // panic while holding the limiter or sink lock must not turn every
+        // later emit/suppressed call into a second panic.
+        let log = Arc::new(EventLog::new(EventLevel::Info, 8.0, 1.0));
+        let capture = Capture::default();
+        log.set_sink(Box::new(capture.clone()));
+
+        let holder = Arc::clone(&log);
+        let _ = std::thread::spawn(move || {
+            let _limiter = holder.limiter.lock().unwrap();
+            let _sink = holder.sink.lock().unwrap();
+            panic!("injected panic while holding event-log locks");
+        })
+        .join();
+        assert!(log.limiter.is_poisoned());
+        assert!(log.sink.is_poisoned());
+
+        // Every public entry point still works on the recovered guards.
+        assert_eq!(log.suppressed(), 0);
+        assert!(log.emit(
+            EventLevel::Warn,
+            "after_poison",
+            &[("ok", EventValue::U64(1))],
+        ));
+        assert!(capture.text().contains("\"event\":\"after_poison\""));
+        log.set_sink(Box::new(std::io::sink()));
     }
 }

@@ -19,6 +19,16 @@ fn bound(index: usize) -> f64 {
     1e-6 * f64::powi(2.0, index as i32)
 }
 
+/// The upper bound (seconds) of log bucket `index`; indexes at or past
+/// [`BUCKET_BOUNDS`] are the `+Inf` overflow bucket.
+pub fn bucket_bound(index: usize) -> f64 {
+    if index >= BUCKET_BOUNDS {
+        f64::INFINITY
+    } else {
+        bound(index)
+    }
+}
+
 /// One lock-free histogram: per-bucket counters plus a running sum.
 #[derive(Debug)]
 pub struct LogHistogram {
@@ -94,6 +104,107 @@ impl LogHistogram {
             })
             .collect()
     }
+
+    /// An owned point-in-time copy of the bucket counts, for windowed
+    /// rollups ([`HistogramSnapshot::diff`]) and quantile estimation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// An owned copy of a [`LogHistogram`]'s non-cumulative bucket counts.
+///
+/// Snapshots support the set algebra the time-series rollup path needs:
+/// [`diff`](Self::diff) turns two cumulative scrapes into the window
+/// between them, [`merge`](Self::merge) folds per-engine windows into an
+/// all-engines one, and [`quantile`](Self::quantile) estimates a latency
+/// quantile by linear interpolation within the log bucket it lands in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Non-cumulative bucket counts; the last slot is `+Inf`.
+    counts: [u64; BUCKET_BOUNDS + 1],
+    count: u64,
+    sum: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKET_BOUNDS + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Total observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the observations in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The observations recorded between `earlier` and `self` — the
+    /// window between two scrapes of the same histogram. Saturating, so
+    /// a mismatched pair degrades to zeros instead of wrapping.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|k| self.counts[k].saturating_sub(earlier.counts[k])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: (self.sum - earlier.sum).max(0.0),
+        }
+    }
+
+    /// Estimates quantile `q` (clamped to `[0, 1]`) in seconds.
+    ///
+    /// The estimate interpolates linearly between the containing bucket's
+    /// bounds (the lowest bucket starts at 0), exactly like Prometheus'
+    /// `histogram_quantile`; observations in the `+Inf` overflow bucket
+    /// report the last finite bound. Estimates are monotone in `q` by
+    /// construction. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (k, &in_bucket) in self.counts.iter().enumerate() {
+            cumulative += in_bucket;
+            if in_bucket > 0 && cumulative as f64 >= rank {
+                if k >= BUCKET_BOUNDS {
+                    return bound(BUCKET_BOUNDS - 1);
+                }
+                let lower = if k == 0 { 0.0 } else { bound(k - 1) };
+                let upper = bound(k);
+                let into_bucket = rank - (cumulative - in_bucket) as f64;
+                let fraction = (into_bucket / in_bucket as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * fraction;
+            }
+        }
+        bound(BUCKET_BOUNDS - 1)
+    }
 }
 
 /// The per-`(engine, stage)` histogram registry behind
@@ -127,6 +238,17 @@ impl StageHistograms {
             }
         };
         histogram.record(seconds);
+    }
+
+    /// Snapshots every registered `(engine, stage)` series at once — the
+    /// background sampler diffs consecutive snapshots into windowed
+    /// quantile rollups.
+    pub fn snapshot_all(&self) -> Vec<((String, &'static str), HistogramSnapshot)> {
+        let series = self.series.lock().expect("histogram registry lock");
+        series
+            .iter()
+            .map(|(key, histogram)| (key.clone(), histogram.snapshot()))
+            .collect()
     }
 
     /// The cumulative count at `le` for one series (test/introspection
@@ -224,6 +346,107 @@ mod tests {
             registry.bucket_count("simulator", "engine_execute", 0.001024),
             0
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log_buckets() {
+        let histogram = LogHistogram::new();
+        // 100 observations, all exactly on the 1.024 ms bound (bucket 10):
+        // every quantile must stay inside that bucket's bounds.
+        for _ in 0..100 {
+            histogram.record(0.001024);
+        }
+        let snapshot = histogram.snapshot();
+        let lower = bucket_bound(9);
+        let upper = bucket_bound(10);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let estimate = snapshot.quantile(q);
+            assert!(
+                estimate >= lower - f64::EPSILON && estimate <= upper + f64::EPSILON,
+                "q={q} estimate {estimate} escaped bucket [{lower}, {upper}]"
+            );
+        }
+        // q=1 is the bucket's upper bound exactly.
+        assert!((snapshot.quantile(1.0) - upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_boundary_cases_are_sane() {
+        // Empty snapshot reports 0.
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0.0);
+
+        // A single observation in the lowest bucket interpolates from 0.
+        let one = LogHistogram::new();
+        one.record(0.5e-6);
+        let snapshot = one.snapshot();
+        assert!(snapshot.quantile(0.5) > 0.0);
+        assert!(snapshot.quantile(1.0) <= bucket_bound(0) + f64::EPSILON);
+
+        // Observations past the last bound report the last finite bound,
+        // never +Inf or NaN.
+        let over = LogHistogram::new();
+        over.record(1e3);
+        let snapshot = over.snapshot();
+        let estimate = snapshot.quantile(0.99);
+        assert!(estimate.is_finite());
+        assert_eq!(estimate, bucket_bound(BUCKET_BOUNDS - 1));
+
+        // Out-of-range q clamps instead of panicking.
+        assert!(snapshot.quantile(-1.0).is_finite());
+        assert!(snapshot.quantile(2.0).is_finite());
+    }
+
+    #[test]
+    fn merged_snapshots_stay_monotone_on_adversarial_distributions() {
+        // Bimodal: one engine all-fast, one all-slow, one spiking across
+        // five decades — after merging, quantiles must still be monotone
+        // in q and bracket the recorded values.
+        let fast = LogHistogram::new();
+        let slow = LogHistogram::new();
+        let spiky = LogHistogram::new();
+        for i in 0..1000 {
+            fast.record(2e-6);
+            slow.record(4.0);
+            spiky.record(1e-6 * f64::powi(10.0, i % 5));
+        }
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&fast.snapshot());
+        merged.merge(&slow.snapshot());
+        merged.merge(&spiky.snapshot());
+        assert_eq!(merged.count(), 3000);
+        let quantiles: Vec<f64> = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| merged.quantile(q))
+            .collect();
+        for pair in quantiles.windows(2) {
+            assert!(
+                pair[0] <= pair[1] + f64::EPSILON,
+                "quantiles regressed: {pair:?}"
+            );
+        }
+        // The median sits between the fast mode and the slow mode.
+        assert!(merged.quantile(0.5) > 1e-6);
+        assert!(merged.quantile(0.5) < 4.0);
+        // The tail sees the 4 s mode.
+        assert!(merged.quantile(0.99) >= 2.0);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_the_window_between_scrapes() {
+        let histogram = LogHistogram::new();
+        histogram.record(0.001);
+        histogram.record(0.002);
+        let earlier = histogram.snapshot();
+        histogram.record(4.0);
+        let window = histogram.snapshot().diff(&earlier);
+        assert_eq!(window.count(), 1);
+        assert!((window.sum() - 4.0).abs() < 1e-9);
+        // The windowed quantile sees only the slow observation.
+        assert!(window.quantile(0.5) > 2.0);
+        // A mismatched diff saturates to empty instead of wrapping.
+        let empty = earlier.diff(&histogram.snapshot());
+        assert_eq!(empty.count(), 0);
+        assert!(empty.sum() >= 0.0);
     }
 
     #[test]

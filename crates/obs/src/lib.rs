@@ -24,6 +24,16 @@
 //!   verdict (chosen / degraded / shed), counted by [`RouterMetrics`].
 //! * [`EventLog`] — leveled, token-bucket rate-limited JSON lines on
 //!   stderr for sheds, engine errors and slow requests.
+//! * [`TimeSeriesStore`] — fixed-memory multi-resolution rollups (1 s /
+//!   10 s / 60 s rings) of counters, gauges and histogram quantiles, fed
+//!   by the runtime's background sampler.
+//! * [`SloEngine`] — declarative objectives with rolling error budgets
+//!   and multi-window burn rates over the store, surfaced as
+//!   `GET /v1/slo`, `bishop_slo_*` metrics and edge-triggered alerts.
+//! * [`WorkerProfiler`] — an always-on sampling wall-clock profiler:
+//!   worker threads publish their stage to an atomic [`StageSlot`] and
+//!   the sampler aggregates self-time per engine × stage
+//!   (`GET /v1/debug/profile`).
 //!
 //! [`ObsHub`] bundles all of the above behind one `Arc` the serving stack
 //! threads through itself.
@@ -33,14 +43,20 @@
 
 pub mod events;
 pub mod histogram;
+pub mod profile;
 pub mod router;
+pub mod slo;
 pub mod store;
+pub mod timeseries;
 pub mod trace;
 
 pub use events::{EventLevel, EventLog, EventValue};
-pub use histogram::{LogHistogram, StageHistograms};
+pub use histogram::{HistogramSnapshot, LogHistogram, StageHistograms};
+pub use profile::{ProfileEntry, ProfileReport, StageSlot, WorkerProfiler, WorkerStage};
 pub use router::{RouterCandidate, RouterDecision, RouterMetrics, RouterVerdict};
+pub use slo::{SloAlert, SloEngine, SloSignal, SloSpec, SloStatus, SloTuning};
 pub use store::TraceStore;
+pub use timeseries::{Resolution, SeriesKind, SeriesPoint, TimeSeriesConfig, TimeSeriesStore};
 pub use trace::{FinishedTrace, Stage, StageStamp, TraceContext, TraceSnapshot};
 
 use std::sync::Arc;
@@ -61,6 +77,13 @@ pub struct ObsConfig {
     pub event_burst: f64,
     /// Token-bucket refill rate of the event log (events/second).
     pub events_per_second: f64,
+    /// Rollup ladder of the time-series store.
+    pub timeseries: TimeSeriesConfig,
+    /// Declarative service-level objectives (defaults:
+    /// [`default_slos`](ObsConfig::default_slos)).
+    pub slos: Vec<SloSpec>,
+    /// Burn-rate alert thresholds.
+    pub slo_tuning: SloTuning,
 }
 
 impl Default for ObsConfig {
@@ -72,11 +95,29 @@ impl Default for ObsConfig {
             event_level: EventLevel::Info,
             event_burst: 32.0,
             events_per_second: 16.0,
+            timeseries: TimeSeriesConfig::default(),
+            slos: ObsConfig::default_slos(),
+            slo_tuning: SloTuning::default(),
         }
     }
 }
 
 impl ObsConfig {
+    /// The stock objectives, phrased over the series the runtime's
+    /// background sampler feeds:
+    ///
+    /// * `availability` — ≥ 99.9% of finished requests succeed (failures
+    ///   and breaker/shutdown sheds count against it);
+    /// * `shed_rate` — ≤ 1% of submitted requests shed for any reason;
+    /// * `execute_p95` — the all-engines p95 of `engine_execute` stays
+    ///   under 1 s for ≥ 99% of sampled windows.
+    pub fn default_slos() -> Vec<SloSpec> {
+        vec![
+            SloSpec::good_ratio("availability", 0.999, "requests.ok", "requests.finished"),
+            SloSpec::bad_ratio("shed_rate", 0.99, "requests.shed", "requests.submitted"),
+            SloSpec::gauge_below("execute_p95", 0.99, "stage_p95.all.engine_execute", 1.0),
+        ]
+    }
     /// Overrides the trace retention tiers.
     pub fn with_trace_retention(mut self, recent: usize, slowest: usize) -> Self {
         self.recent_traces = recent;
@@ -97,6 +138,24 @@ impl ObsConfig {
         self.events_per_second = per_second;
         self
     }
+
+    /// Overrides the time-series rollup ladder.
+    pub fn with_timeseries(mut self, timeseries: TimeSeriesConfig) -> Self {
+        self.timeseries = timeseries;
+        self
+    }
+
+    /// Replaces the service-level objectives.
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+
+    /// Overrides the burn-rate alert thresholds.
+    pub fn with_slo_tuning(mut self, tuning: SloTuning) -> Self {
+        self.slo_tuning = tuning;
+        self
+    }
 }
 
 /// Every observability consumer behind one shared handle: histograms,
@@ -112,6 +171,12 @@ pub struct ObsHub {
     pub router: RouterMetrics,
     /// The structured event log.
     pub events: EventLog,
+    /// Multi-resolution windowed rollups the background sampler feeds.
+    pub timeseries: TimeSeriesStore,
+    /// Error-budget / burn-rate evaluation over the time series.
+    pub slo: SloEngine,
+    /// Sampled wall-clock self-time of the domain worker threads.
+    pub profiler: WorkerProfiler,
 }
 
 impl Default for ObsHub {
@@ -132,6 +197,9 @@ impl ObsHub {
                 config.event_burst,
                 config.events_per_second,
             ),
+            timeseries: TimeSeriesStore::new(config.timeseries.clone()),
+            slo: SloEngine::new(config.slos.clone(), config.slo_tuning),
+            profiler: WorkerProfiler::new(),
             config,
         }
     }

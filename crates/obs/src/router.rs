@@ -153,6 +153,17 @@ impl RouterMetrics {
             .unwrap_or(0)
     }
 
+    /// Every `(engine, verdict)` count at once — the background sampler
+    /// rolls these into per-verdict counter series.
+    pub fn snapshot(&self) -> Vec<((String, &'static str), u64)> {
+        self.counts
+            .lock()
+            .expect("router metrics lock")
+            .iter()
+            .map(|(key, &count)| (key.clone(), count))
+            .collect()
+    }
+
     /// Renders the `bishop_router_decisions_total` family in Prometheus
     /// text format (one header, labeled series grouped under it).
     pub fn render_into(&self, out: &mut String) {

@@ -1,0 +1,596 @@
+//! Declarative service-level objectives with rolling error budgets and
+//! multi-window burn rates, evaluated against the [`TimeSeriesStore`].
+//!
+//! Each [`SloSpec`] names a compliance signal (a good/total counter pair,
+//! a bad/total counter pair, or a gauge-below-threshold check), an
+//! objective (the required compliance ratio, e.g. `0.999`) and two
+//! windows: a long *budget* window and a short *fast* window. Evaluation
+//! computes, per objective:
+//!
+//! * **compliance** over each window — the fraction of events (or gauge
+//!   samples) that met the objective;
+//! * **burn rate** per window — `(1 - compliance) / (1 - objective)`, the
+//!   speed the error budget is being consumed at (1.0 = exactly the
+//!   sustainable rate);
+//! * **error budget remaining** — `1 - slow-window burn`, clamped to
+//!   `[0, 1]`.
+//!
+//! Alerting follows the SRE multi-window burn-rate recipe: a fast-window
+//! burn over the fast threshold (default 14.4 — the budget would be gone
+//! in under an hour at a 30-day scale) pages, a slow-window burn over the
+//! slow threshold (default 6.0) warns, and transitions between states emit
+//! edge-triggered events into the [`EventLog`] so a sustained burn doesn't
+//! flood the log.
+
+use std::sync::Mutex;
+
+use crate::events::{EventLevel, EventLog, EventValue};
+use crate::timeseries::TimeSeriesStore;
+
+/// The compliance signal an objective is measured by.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSignal {
+    /// `good / total` over a pair of counter series.
+    GoodRatio {
+        /// Counter series counting good events.
+        good: String,
+        /// Counter series counting all events.
+        total: String,
+    },
+    /// `1 - bad / total` over a pair of counter series.
+    BadRatio {
+        /// Counter series counting bad events.
+        bad: String,
+        /// Counter series counting all events.
+        total: String,
+    },
+    /// The fraction of gauge buckets whose *max* stayed at or below the
+    /// threshold (conservative: a bucket with any excursion counts all
+    /// its samples as non-compliant).
+    GaugeBelow {
+        /// Gauge series to check.
+        series: String,
+        /// Compliance threshold the gauge must stay at or below.
+        threshold: f64,
+    },
+}
+
+impl SloSignal {
+    /// Stable label for wire formats.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SloSignal::GoodRatio { .. } => "good_ratio",
+            SloSignal::BadRatio { .. } => "bad_ratio",
+            SloSignal::GaugeBelow { .. } => "gauge_below",
+        }
+    }
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable name (metric label, JSON key).
+    pub name: String,
+    /// Required compliance ratio in `(0, 1)`, e.g. `0.999`.
+    pub objective: f64,
+    /// The budget window, seconds (the slow burn window).
+    pub window_seconds: f64,
+    /// The fast burn-detection window, seconds.
+    pub fast_window_seconds: f64,
+    /// The signal compliance is measured by.
+    pub signal: SloSignal,
+}
+
+impl SloSpec {
+    /// A good/total counter-ratio objective with default windows
+    /// (300 s budget, 60 s fast).
+    pub fn good_ratio(name: &str, objective: f64, good: &str, total: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            objective,
+            window_seconds: 300.0,
+            fast_window_seconds: 60.0,
+            signal: SloSignal::GoodRatio {
+                good: good.to_string(),
+                total: total.to_string(),
+            },
+        }
+    }
+
+    /// A bad/total counter-ratio objective with default windows.
+    pub fn bad_ratio(name: &str, objective: f64, bad: &str, total: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            objective,
+            window_seconds: 300.0,
+            fast_window_seconds: 60.0,
+            signal: SloSignal::BadRatio {
+                bad: bad.to_string(),
+                total: total.to_string(),
+            },
+        }
+    }
+
+    /// A gauge-below-threshold objective with default windows.
+    pub fn gauge_below(name: &str, objective: f64, series: &str, threshold: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            objective,
+            window_seconds: 300.0,
+            fast_window_seconds: 60.0,
+            signal: SloSignal::GaugeBelow {
+                series: series.to_string(),
+                threshold,
+            },
+        }
+    }
+
+    /// Overrides the budget and fast windows.
+    pub fn with_windows(mut self, window_seconds: f64, fast_window_seconds: f64) -> Self {
+        self.window_seconds = window_seconds;
+        self.fast_window_seconds = fast_window_seconds;
+        self
+    }
+}
+
+/// Burn-rate alert thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTuning {
+    /// Fast-window burn rate that pages (default 14.4).
+    pub fast_burn_threshold: f64,
+    /// Slow-window burn rate that warns (default 6.0).
+    pub slow_burn_threshold: f64,
+}
+
+impl Default for SloTuning {
+    fn default() -> Self {
+        Self {
+            fast_burn_threshold: 14.4,
+            slow_burn_threshold: 6.0,
+        }
+    }
+}
+
+/// The alert state of one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloAlert {
+    /// Burning within budget.
+    Ok,
+    /// Slow-window burn over the warn threshold.
+    SlowBurn,
+    /// Fast-window burn over the page threshold.
+    FastBurn,
+}
+
+impl SloAlert {
+    /// Stable label for wire formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloAlert::Ok => "ok",
+            SloAlert::SlowBurn => "slow_burn",
+            SloAlert::FastBurn => "fast_burn",
+        }
+    }
+}
+
+/// One objective's evaluated status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The objective's stable name.
+    pub name: String,
+    /// Required compliance ratio.
+    pub objective: f64,
+    /// Budget window, seconds.
+    pub window_seconds: f64,
+    /// Fast window, seconds.
+    pub fast_window_seconds: f64,
+    /// Signal kind label (`good_ratio` / `bad_ratio` / `gauge_below`).
+    pub kind: &'static str,
+    /// Compliance over the budget window.
+    pub compliance: f64,
+    /// Compliance over the fast window.
+    pub fast_compliance: f64,
+    /// Error budget remaining, `[0, 1]`.
+    pub error_budget_remaining: f64,
+    /// Burn rate over the fast window.
+    pub burn_rate_fast: f64,
+    /// Burn rate over the budget window.
+    pub burn_rate_slow: f64,
+    /// Current alert state.
+    pub alert: SloAlert,
+    /// Good events (or compliant gauge samples) in the budget window.
+    pub good_events: f64,
+    /// Total events (or gauge samples) in the budget window.
+    pub total_events: f64,
+}
+
+/// The SLO engine: specs, thresholds and the edge-trigger alert state.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    tuning: SloTuning,
+    /// Last alert state per spec, for edge-triggered event emission.
+    last_alerts: Mutex<Vec<SloAlert>>,
+}
+
+impl SloEngine {
+    /// Builds an engine over the given objectives.
+    pub fn new(specs: Vec<SloSpec>, tuning: SloTuning) -> Self {
+        let last_alerts = Mutex::new(vec![SloAlert::Ok; specs.len()]);
+        Self {
+            specs,
+            tuning,
+            last_alerts,
+        }
+    }
+
+    /// The objectives the engine evaluates.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// The alert thresholds in effect.
+    pub fn tuning(&self) -> SloTuning {
+        self.tuning
+    }
+
+    /// Evaluates every objective against the store at the current time,
+    /// emitting edge-triggered alert events into `events` if provided
+    /// (pass `None` for a pure read, e.g. a `/metrics` render).
+    pub fn evaluate(&self, store: &TimeSeriesStore, events: Option<&EventLog>) -> Vec<SloStatus> {
+        self.evaluate_at(store, events, store.now_seconds())
+    }
+
+    /// [`evaluate`](Self::evaluate) at an explicit store time.
+    pub fn evaluate_at(
+        &self,
+        store: &TimeSeriesStore,
+        events: Option<&EventLog>,
+        at_seconds: f64,
+    ) -> Vec<SloStatus> {
+        let statuses: Vec<SloStatus> = self
+            .specs
+            .iter()
+            .map(|spec| self.status_of(spec, store, at_seconds))
+            .collect();
+        if let Some(events) = events {
+            let mut last = self.last_alerts.lock().expect("slo alert state lock");
+            for (status, previous) in statuses.iter().zip(last.iter_mut()) {
+                if status.alert != *previous {
+                    emit_transition(events, status, *previous);
+                    *previous = status.alert;
+                }
+            }
+        }
+        statuses
+    }
+
+    fn status_of(&self, spec: &SloSpec, store: &TimeSeriesStore, at_seconds: f64) -> SloStatus {
+        let (good, total) = compliance_events(&spec.signal, store, spec.window_seconds, at_seconds);
+        let (fast_good, fast_total) =
+            compliance_events(&spec.signal, store, spec.fast_window_seconds, at_seconds);
+        let compliance = ratio_or_one(good, total);
+        let fast_compliance = ratio_or_one(fast_good, fast_total);
+        // An objective of 1.0 would make the budget zero; clamp so burn
+        // rates stay finite.
+        let budget_fraction = (1.0 - spec.objective).max(1e-9);
+        let burn_rate_slow = (1.0 - compliance) / budget_fraction;
+        let burn_rate_fast = (1.0 - fast_compliance) / budget_fraction;
+        let alert = if burn_rate_fast >= self.tuning.fast_burn_threshold {
+            SloAlert::FastBurn
+        } else if burn_rate_slow >= self.tuning.slow_burn_threshold {
+            SloAlert::SlowBurn
+        } else {
+            SloAlert::Ok
+        };
+        SloStatus {
+            name: spec.name.clone(),
+            objective: spec.objective,
+            window_seconds: spec.window_seconds,
+            fast_window_seconds: spec.fast_window_seconds,
+            kind: spec.signal.kind_label(),
+            compliance,
+            fast_compliance,
+            error_budget_remaining: (1.0 - burn_rate_slow).clamp(0.0, 1.0),
+            burn_rate_fast,
+            burn_rate_slow,
+            alert,
+            good_events: good,
+            total_events: total,
+        }
+    }
+
+    /// Renders the `bishop_slo_*` gauge families in Prometheus text
+    /// format (a pure read: no alert events are emitted).
+    pub fn render_into(&self, out: &mut String, store: &TimeSeriesStore) {
+        let statuses = self.evaluate_at(store, None, store.now_seconds());
+        if statuses.is_empty() {
+            return;
+        }
+        out.push_str(
+            "# HELP bishop_slo_objective Required compliance ratio per objective.\n\
+             # TYPE bishop_slo_objective gauge\n",
+        );
+        for s in &statuses {
+            out.push_str(&format!(
+                "bishop_slo_objective{{slo=\"{}\"}} {}\n",
+                s.name, s.objective
+            ));
+        }
+        out.push_str(
+            "# HELP bishop_slo_compliance Compliance over the budget window.\n\
+             # TYPE bishop_slo_compliance gauge\n",
+        );
+        for s in &statuses {
+            out.push_str(&format!(
+                "bishop_slo_compliance{{slo=\"{}\"}} {}\n",
+                s.name, s.compliance
+            ));
+        }
+        out.push_str(
+            "# HELP bishop_slo_error_budget_remaining Error budget left in the budget window, 0-1.\n\
+             # TYPE bishop_slo_error_budget_remaining gauge\n",
+        );
+        for s in &statuses {
+            out.push_str(&format!(
+                "bishop_slo_error_budget_remaining{{slo=\"{}\"}} {}\n",
+                s.name, s.error_budget_remaining
+            ));
+        }
+        out.push_str(
+            "# HELP bishop_slo_burn_rate Error-budget burn rate per window (1 = sustainable).\n\
+             # TYPE bishop_slo_burn_rate gauge\n",
+        );
+        for s in &statuses {
+            out.push_str(&format!(
+                "bishop_slo_burn_rate{{slo=\"{}\",window=\"fast\"}} {}\n",
+                s.name, s.burn_rate_fast
+            ));
+            out.push_str(&format!(
+                "bishop_slo_burn_rate{{slo=\"{}\",window=\"slow\"}} {}\n",
+                s.name, s.burn_rate_slow
+            ));
+        }
+        out.push_str(
+            "# HELP bishop_slo_alert Alert state per objective (0 ok, 1 slow burn, 2 fast burn).\n\
+             # TYPE bishop_slo_alert gauge\n",
+        );
+        for s in &statuses {
+            let level = match s.alert {
+                SloAlert::Ok => 0,
+                SloAlert::SlowBurn => 1,
+                SloAlert::FastBurn => 2,
+            };
+            out.push_str(&format!("bishop_slo_alert{{slo=\"{}\"}} {level}\n", s.name));
+        }
+    }
+}
+
+/// `(good, total)` event counts for a signal over one window. No events
+/// means fully compliant (an idle service burns no budget).
+fn compliance_events(
+    signal: &SloSignal,
+    store: &TimeSeriesStore,
+    window_seconds: f64,
+    at_seconds: f64,
+) -> (f64, f64) {
+    match signal {
+        SloSignal::GoodRatio { good, total } => {
+            let total = store.window_sum(total, window_seconds, at_seconds).max(0.0);
+            let good = store
+                .window_sum(good, window_seconds, at_seconds)
+                .clamp(0.0, total);
+            (good, total)
+        }
+        SloSignal::BadRatio { bad, total } => {
+            let total = store.window_sum(total, window_seconds, at_seconds).max(0.0);
+            let bad = store
+                .window_sum(bad, window_seconds, at_seconds)
+                .clamp(0.0, total);
+            (total - bad, total)
+        }
+        SloSignal::GaugeBelow { series, threshold } => {
+            let mut good = 0u64;
+            let mut total = 0u64;
+            for point in store.window_points(series, window_seconds, at_seconds) {
+                total += point.samples;
+                if point.max <= *threshold {
+                    good += point.samples;
+                }
+            }
+            (good as f64, total as f64)
+        }
+    }
+}
+
+fn ratio_or_one(good: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        1.0
+    } else {
+        (good / total).clamp(0.0, 1.0)
+    }
+}
+
+fn emit_transition(events: &EventLog, status: &SloStatus, previous: SloAlert) {
+    let (event, level) = match status.alert {
+        SloAlert::FastBurn => ("slo_fast_burn", EventLevel::Error),
+        SloAlert::SlowBurn => ("slo_slow_burn", EventLevel::Warn),
+        SloAlert::Ok => ("slo_recovered", EventLevel::Info),
+    };
+    events.emit(
+        level,
+        event,
+        &[
+            ("slo", EventValue::Str(&status.name)),
+            ("previous", EventValue::Str(previous.label())),
+            ("compliance", EventValue::F64(status.compliance)),
+            ("burn_rate_fast", EventValue::F64(status.burn_rate_fast)),
+            ("burn_rate_slow", EventValue::F64(status.burn_rate_slow)),
+            (
+                "error_budget_remaining",
+                EventValue::F64(status.error_budget_remaining),
+            ),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{Resolution, TimeSeriesConfig};
+
+    fn store() -> TimeSeriesStore {
+        TimeSeriesStore::new(TimeSeriesConfig {
+            resolutions: vec![Resolution {
+                bucket_seconds: 1,
+                slots: 600,
+            }],
+        })
+    }
+
+    fn availability() -> SloSpec {
+        SloSpec::good_ratio("availability", 0.9, "ok", "finished").with_windows(100.0, 10.0)
+    }
+
+    #[test]
+    fn idle_objectives_are_fully_compliant() {
+        let engine = SloEngine::new(vec![availability()], SloTuning::default());
+        let statuses = engine.evaluate_at(&store(), None, 50.0);
+        assert_eq!(statuses.len(), 1);
+        let s = &statuses[0];
+        assert_eq!(s.compliance, 1.0);
+        assert_eq!(s.error_budget_remaining, 1.0);
+        assert_eq!(s.burn_rate_fast, 0.0);
+        assert_eq!(s.alert, SloAlert::Ok);
+        assert_eq!(s.kind, "good_ratio");
+    }
+
+    #[test]
+    fn a_total_outage_burns_fast_and_emits_one_edge_triggered_alert() {
+        let ts = store();
+        // 100 s of healthy traffic...
+        for t in 0..100 {
+            let at = t as f64 + 0.5;
+            ts.record_counter_at(at, "ok", (t * 10) as f64);
+            ts.record_counter_at(at, "finished", (t * 10) as f64);
+        }
+        // ...then 10 s of total outage.
+        for t in 100..110 {
+            let at = t as f64 + 0.5;
+            ts.record_counter_at(at, "ok", 990.0);
+            ts.record_counter_at(at, "finished", (990 + (t - 99) * 10) as f64);
+        }
+        // Fast window burn during total outage is (1-0)/(1-0.9) = 10;
+        // page at 8 so the outage crosses it.
+        let engine = SloEngine::new(
+            vec![availability()],
+            SloTuning {
+                fast_burn_threshold: 8.0,
+                slow_burn_threshold: 6.0,
+            },
+        );
+        let log = EventLog::new(EventLevel::Info, 8.0, 1.0);
+        let sink = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Cap(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Cap {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        log.set_sink(Box::new(Cap(std::sync::Arc::clone(&sink))));
+
+        let statuses = engine.evaluate_at(&ts, Some(&log), 109.9);
+        let s = &statuses[0];
+        // Fast window (10 s) is a near-total outage (bucket alignment lets
+        // one healthy boundary bucket in): burn ≈ (1 - 0.09) / 0.1 ≈ 9.
+        assert!(s.fast_compliance < 0.15, "fast {}", s.fast_compliance);
+        assert!((s.burn_rate_fast - 9.1).abs() < 1.0);
+        assert_eq!(s.alert, SloAlert::FastBurn);
+        assert!(s.error_budget_remaining < 1.0);
+        assert!(s.compliance < 1.0);
+
+        // Re-evaluating in the same state emits no second event.
+        engine.evaluate_at(&ts, Some(&log), 109.95);
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.matches("\"slo\":\"availability\"").count(), 1);
+
+        // Recovery: 30 s of clean traffic clears the fast window and
+        // emits one recovery event.
+        for t in 110..140 {
+            let at = t as f64 + 0.5;
+            ts.record_counter_at(at, "ok", (1000 + (t - 109) * 10) as f64);
+            ts.record_counter_at(at, "finished", (1100 + (t - 109) * 10) as f64);
+        }
+        let statuses = engine.evaluate_at(&ts, Some(&log), 139.9);
+        let s = &statuses[0];
+        assert_eq!(s.fast_compliance, 1.0);
+        assert!(s.burn_rate_fast < 1e-9);
+        // The budget window still remembers the outage.
+        assert!(s.compliance < 1.0);
+        assert!(s.error_budget_remaining < 1.0);
+        assert_eq!(s.alert, SloAlert::Ok);
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"event\":\"slo_recovered\""));
+    }
+
+    #[test]
+    fn gauge_below_counts_excursion_buckets_as_non_compliant() {
+        let ts = store();
+        for t in 0..10 {
+            ts.record_gauge_at(t as f64 + 0.5, "p95", 0.2);
+        }
+        ts.record_gauge_at(10.5, "p95", 5.0); // one excursion bucket
+        let spec = SloSpec::gauge_below("latency", 0.5, "p95", 1.0).with_windows(20.0, 5.0);
+        let engine = SloEngine::new(vec![spec], SloTuning::default());
+        let s = &engine.evaluate_at(&ts, None, 10.9)[0];
+        assert_eq!(s.kind, "gauge_below");
+        assert_eq!(s.total_events, 11.0);
+        assert_eq!(s.good_events, 10.0);
+        assert!(s.compliance > 0.89 && s.compliance < 0.92);
+    }
+
+    #[test]
+    fn bad_ratio_inverts_the_signal() {
+        let ts = store();
+        ts.record_counter_at(0.5, "shed", 0.0);
+        ts.record_counter_at(0.5, "submitted", 0.0);
+        ts.record_counter_at(1.5, "shed", 5.0);
+        ts.record_counter_at(1.5, "submitted", 100.0);
+        let spec =
+            SloSpec::bad_ratio("shed_rate", 0.99, "shed", "submitted").with_windows(10.0, 2.0);
+        let engine = SloEngine::new(vec![spec], SloTuning::default());
+        let s = &engine.evaluate_at(&ts, None, 1.9)[0];
+        assert!((s.compliance - 0.95).abs() < 1e-9);
+        assert!((s.burn_rate_slow - 5.0).abs() < 1e-6);
+        assert_eq!(s.alert, SloAlert::Ok);
+    }
+
+    #[test]
+    fn render_emits_every_slo_family_once() {
+        let engine = SloEngine::new(
+            vec![
+                availability(),
+                SloSpec::bad_ratio("shed_rate", 0.99, "shed", "submitted"),
+            ],
+            SloTuning::default(),
+        );
+        let mut out = String::new();
+        engine.render_into(&mut out, &store());
+        for family in [
+            "bishop_slo_objective",
+            "bishop_slo_compliance",
+            "bishop_slo_error_budget_remaining",
+            "bishop_slo_burn_rate",
+            "bishop_slo_alert",
+        ] {
+            assert_eq!(out.matches(&format!("# TYPE {family} gauge")).count(), 1);
+        }
+        assert!(out.contains("bishop_slo_compliance{slo=\"availability\"} 1"));
+        assert!(out.contains("bishop_slo_burn_rate{slo=\"shed_rate\",window=\"fast\"} 0"));
+        assert!(out.contains("bishop_slo_alert{slo=\"availability\"} 0"));
+    }
+}

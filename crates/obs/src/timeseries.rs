@@ -1,0 +1,440 @@
+//! A multi-resolution in-memory time-series store: fixed rings per series
+//! at 1 s / 10 s / 60 s rollups, so a scrape or an SLO evaluation can
+//! answer "what did queue depth, shed rate or native p95 do over the last
+//! five minutes" without any external metrics system.
+//!
+//! The store is deliberately off the request hot path: only the background
+//! sampler writes (a handful of series every tick) and only HTTP reads, so
+//! one mutex over the series map is enough — recording never contends with
+//! request traffic. Memory is bounded by construction: every series owns
+//! exactly `Σ resolution.slots` ring slots, allocated once.
+//!
+//! Two series kinds cover everything the sampler feeds:
+//!
+//! * **Gauges** (queue depth, drain rate, stage quantiles) aggregate each
+//!   bucket's samples as count/sum/min/max, so both spikes and means
+//!   survive the rollup.
+//! * **Counters** (requests completed, sheds, batches) are recorded as the
+//!   *cumulative* value each tick; the store keeps the per-bucket delta and
+//!   reports it as a rate. A cumulative value that moves backwards is
+//!   treated as a counter reset, mirroring Prometheus `rate()` semantics.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One rollup tier: bucket width in whole seconds and ring length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Width of each bucket, in whole seconds (>= 1).
+    pub bucket_seconds: u64,
+    /// Ring length: how many buckets the tier retains.
+    pub slots: usize,
+}
+
+impl Resolution {
+    /// The span the tier covers, in seconds.
+    pub fn span_seconds(&self) -> f64 {
+        (self.bucket_seconds * self.slots as u64) as f64
+    }
+}
+
+/// The rollup ladder every series is stored at.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesConfig {
+    /// Tiers, finest first. Defaults to 1 s × 120 / 10 s × 90 / 60 s × 60:
+    /// two minutes at full resolution, fifteen minutes at 10 s, an hour
+    /// at 60 s.
+    pub resolutions: Vec<Resolution>,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        Self {
+            resolutions: vec![
+                Resolution {
+                    bucket_seconds: 1,
+                    slots: 120,
+                },
+                Resolution {
+                    bucket_seconds: 10,
+                    slots: 90,
+                },
+                Resolution {
+                    bucket_seconds: 60,
+                    slots: 60,
+                },
+            ],
+        }
+    }
+}
+
+/// Whether a series holds sampled instantaneous values or a monotone
+/// cumulative count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Cumulative count; buckets hold deltas, read back as rates.
+    Counter,
+    /// Instantaneous value; buckets hold count/sum/min/max.
+    Gauge,
+}
+
+/// One rollup bucket read back from the store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Bucket start, seconds since the store's epoch.
+    pub start_seconds: f64,
+    /// Bucket width in seconds.
+    pub bucket_seconds: u64,
+    /// Samples aggregated into the bucket.
+    pub samples: u64,
+    /// Sum of the samples (for counters: the increase in the bucket).
+    pub sum: f64,
+    /// Smallest sample in the bucket (gauges).
+    pub min: f64,
+    /// Largest sample in the bucket (gauges).
+    pub max: f64,
+}
+
+impl SeriesPoint {
+    /// Mean sample value in the bucket.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+
+    /// For counters: the per-second rate over the bucket.
+    pub fn rate(&self) -> f64 {
+        self.sum / self.bucket_seconds as f64
+    }
+}
+
+/// A ring slot; `stamp` is the absolute bucket index plus one, so zero
+/// means "never written" and a stale slot from a previous lap is detected
+/// without ever clearing the ring.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    stamp: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    resolution: Resolution,
+    slots: Vec<Slot>,
+}
+
+impl Ring {
+    fn new(resolution: Resolution) -> Self {
+        Self {
+            resolution,
+            slots: vec![Slot::default(); resolution.slots.max(1)],
+        }
+    }
+
+    fn record(&mut self, at_seconds: f64, value: f64) {
+        let bucket = (at_seconds.max(0.0) / self.resolution.bucket_seconds as f64) as u64;
+        let index = (bucket as usize) % self.slots.len();
+        let slot = &mut self.slots[index];
+        if slot.stamp != bucket + 1 {
+            *slot = Slot {
+                stamp: bucket + 1,
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
+        }
+        slot.count += 1;
+        slot.sum += value;
+        slot.min = slot.min.min(value);
+        slot.max = slot.max.max(value);
+    }
+
+    /// Buckets overlapping `[at - window, at]`, oldest first.
+    fn window(&self, at_seconds: f64, window_seconds: f64) -> Vec<SeriesPoint> {
+        let width = self.resolution.bucket_seconds as f64;
+        let newest = (at_seconds.max(0.0) / width) as u64;
+        let wanted = (window_seconds.max(0.0) / width).ceil() as u64;
+        let reachable = (self.slots.len() as u64 - 1).min(wanted);
+        let oldest = newest.saturating_sub(reachable);
+        (oldest..=newest)
+            .filter_map(|bucket| {
+                let slot = &self.slots[(bucket as usize) % self.slots.len()];
+                (slot.stamp == bucket + 1 && slot.count > 0).then(|| SeriesPoint {
+                    start_seconds: (bucket * self.resolution.bucket_seconds) as f64,
+                    bucket_seconds: self.resolution.bucket_seconds,
+                    samples: slot.count,
+                    sum: slot.sum,
+                    min: slot.min,
+                    max: slot.max,
+                })
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct Series {
+    kind: SeriesKind,
+    rings: Vec<Ring>,
+    /// Last cumulative value seen (counters): the delta baseline.
+    last_cumulative: Option<f64>,
+}
+
+/// The store: a named map of multi-resolution series plus a monotonic
+/// epoch every timestamp is relative to.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    epoch: Instant,
+    config: TimeSeriesConfig,
+    series: Mutex<BTreeMap<String, Series>>,
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> Self {
+        Self::new(TimeSeriesConfig::default())
+    }
+}
+
+impl TimeSeriesStore {
+    /// Creates an empty store; the clock starts now.
+    pub fn new(config: TimeSeriesConfig) -> Self {
+        Self {
+            epoch: Instant::now(),
+            config,
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Seconds since the store was created — the time base every
+    /// `*_at` method and every [`SeriesPoint::start_seconds`] uses.
+    pub fn now_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records one gauge sample at the current time.
+    pub fn record_gauge(&self, name: &str, value: f64) {
+        self.record_gauge_at(self.now_seconds(), name, value);
+    }
+
+    /// Records one gauge sample at an explicit time (deterministic tests
+    /// and the sampler, which stamps one consistent `now` per sweep).
+    pub fn record_gauge_at(&self, at_seconds: f64, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut series = self.series.lock().expect("time-series lock");
+        let entry = self.entry(&mut series, name, SeriesKind::Gauge);
+        for ring in &mut entry.rings {
+            ring.record(at_seconds, value);
+        }
+    }
+
+    /// Records a counter's *cumulative* value at the current time.
+    pub fn record_counter(&self, name: &str, cumulative: f64) {
+        self.record_counter_at(self.now_seconds(), name, cumulative);
+    }
+
+    /// Records a counter's cumulative value at an explicit time. The first
+    /// observation establishes the baseline; later ones store the delta
+    /// (a backwards move is treated as a reset, keeping the whole new
+    /// value, like Prometheus `rate()`).
+    pub fn record_counter_at(&self, at_seconds: f64, name: &str, cumulative: f64) {
+        if !cumulative.is_finite() {
+            return;
+        }
+        let mut series = self.series.lock().expect("time-series lock");
+        let entry = self.entry(&mut series, name, SeriesKind::Counter);
+        let delta = match entry.last_cumulative.replace(cumulative) {
+            Some(previous) if cumulative >= previous => cumulative - previous,
+            Some(_) => cumulative,
+            // The first observation only establishes the baseline.
+            None => return,
+        };
+        for ring in &mut entry.rings {
+            ring.record(at_seconds, delta);
+        }
+    }
+
+    fn entry<'a>(
+        &self,
+        series: &'a mut BTreeMap<String, Series>,
+        name: &str,
+        kind: SeriesKind,
+    ) -> &'a mut Series {
+        series.entry(name.to_string()).or_insert_with(|| Series {
+            kind,
+            rings: self
+                .config
+                .resolutions
+                .iter()
+                .map(|&r| Ring::new(r))
+                .collect(),
+            last_cumulative: None,
+        })
+    }
+
+    /// The kind a series was first recorded as, if it exists.
+    pub fn kind(&self, name: &str) -> Option<SeriesKind> {
+        self.series
+            .lock()
+            .expect("time-series lock")
+            .get(name)
+            .map(|s| s.kind)
+    }
+
+    /// Every series name currently in the store.
+    pub fn series_names(&self) -> Vec<String> {
+        self.series
+            .lock()
+            .expect("time-series lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Buckets of `name` overlapping `[at - window, at]`, oldest first,
+    /// read from the finest tier that spans the window (falling back to
+    /// the coarsest). Empty if the series doesn't exist.
+    pub fn window_points(
+        &self,
+        name: &str,
+        window_seconds: f64,
+        at_seconds: f64,
+    ) -> Vec<SeriesPoint> {
+        let series = self.series.lock().expect("time-series lock");
+        let Some(entry) = series.get(name) else {
+            return Vec::new();
+        };
+        let ring = entry
+            .rings
+            .iter()
+            .find(|ring| ring.resolution.span_seconds() >= window_seconds)
+            .or_else(|| entry.rings.last());
+        match ring {
+            Some(ring) => ring.window(at_seconds, window_seconds),
+            None => Vec::new(),
+        }
+    }
+
+    /// For counters: the total increase over `[at - window, at]` (the sum
+    /// of bucket deltas). For gauges this sums raw samples — callers want
+    /// [`window_points`](Self::window_points) instead.
+    pub fn window_sum(&self, name: &str, window_seconds: f64, at_seconds: f64) -> f64 {
+        self.window_points(name, window_seconds, at_seconds)
+            .iter()
+            .map(|p| p.sum)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_store() -> TimeSeriesStore {
+        TimeSeriesStore::new(TimeSeriesConfig {
+            resolutions: vec![
+                Resolution {
+                    bucket_seconds: 1,
+                    slots: 8,
+                },
+                Resolution {
+                    bucket_seconds: 10,
+                    slots: 6,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn gauges_roll_up_count_sum_min_max_per_bucket() {
+        let store = tiny_store();
+        store.record_gauge_at(100.2, "queue_depth.native", 4.0);
+        store.record_gauge_at(100.7, "queue_depth.native", 10.0);
+        store.record_gauge_at(101.1, "queue_depth.native", 1.0);
+        let points = store.window_points("queue_depth.native", 2.0, 101.5);
+        assert_eq!(points.len(), 2);
+        let first = points[0];
+        assert_eq!(first.samples, 2);
+        assert_eq!(first.min, 4.0);
+        assert_eq!(first.max, 10.0);
+        assert!((first.mean() - 7.0).abs() < 1e-12);
+        assert_eq!(points[1].samples, 1);
+        assert_eq!(points[1].min, 1.0);
+        assert_eq!(store.kind("queue_depth.native"), Some(SeriesKind::Gauge));
+    }
+
+    #[test]
+    fn counters_store_deltas_and_read_back_as_rates() {
+        let store = tiny_store();
+        // First observation is the baseline, not an increase.
+        store.record_counter_at(50.5, "requests.ok", 100.0);
+        store.record_counter_at(51.5, "requests.ok", 130.0);
+        store.record_counter_at(52.5, "requests.ok", 130.0);
+        store.record_counter_at(53.5, "requests.ok", 190.0);
+        assert!((store.window_sum("requests.ok", 4.0, 53.9) - 90.0).abs() < 1e-9);
+        let points = store.window_points("requests.ok", 4.0, 53.9);
+        let last = points.last().unwrap();
+        assert!((last.rate() - 60.0).abs() < 1e-9);
+        assert_eq!(store.kind("requests.ok"), Some(SeriesKind::Counter));
+    }
+
+    #[test]
+    fn counter_resets_keep_the_new_value_instead_of_going_negative() {
+        let store = tiny_store();
+        store.record_counter_at(10.5, "restarts", 500.0);
+        store.record_counter_at(11.5, "restarts", 7.0); // reset: process restarted
+        let sum = store.window_sum("restarts", 3.0, 11.9);
+        assert!((sum - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_ring_laps_do_not_leak_into_the_window() {
+        let store = tiny_store();
+        // Fine ring has 8 × 1 s slots; a sample 100 s old occupies the
+        // same physical slot as a fresh bucket index would, but its stamp
+        // gives it away.
+        store.record_gauge_at(4.5, "g", 1.0);
+        store.record_gauge_at(104.5, "g", 2.0);
+        let points = store.window_points("g", 6.0, 105.0);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].max, 2.0);
+        // The coarse ring (10 s × 6 = 60 s span) serves wider windows and
+        // has also lapped the old sample away.
+        let wide = store.window_points("g", 50.0, 105.0);
+        assert_eq!(wide.len(), 1);
+    }
+
+    #[test]
+    fn window_picks_the_finest_resolution_that_spans_it() {
+        let store = tiny_store();
+        store.record_gauge_at(20.5, "g", 1.0);
+        store.record_gauge_at(21.5, "g", 3.0);
+        // 2 s window fits the 1 s ring: two buckets.
+        assert_eq!(store.window_points("g", 2.0, 21.9).len(), 2);
+        // 30 s window needs the 10 s ring: both samples in one bucket.
+        let coarse = store.window_points("g", 30.0, 21.9);
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].samples, 2);
+        assert_eq!(coarse[0].bucket_seconds, 10);
+    }
+
+    #[test]
+    fn missing_series_and_non_finite_samples_are_inert() {
+        let store = tiny_store();
+        assert!(store.window_points("nope", 10.0, 100.0).is_empty());
+        assert_eq!(store.window_sum("nope", 10.0, 100.0), 0.0);
+        assert_eq!(store.kind("nope"), None);
+        store.record_gauge_at(1.0, "g", f64::NAN);
+        store.record_gauge_at(1.0, "g", f64::INFINITY);
+        assert!(store.series_names().is_empty());
+    }
+}

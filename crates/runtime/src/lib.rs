@@ -71,8 +71,8 @@ pub use batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 pub use online::{
     AdmissionStats, BreakerConfig, BreakerSnapshot, BreakerState, EngineLoadStats, OnlineConfig,
-    OnlineServer, OnlineStats, Rejection, RetryPolicy, ServeError, ServeResult, ServerHandle,
-    Ticket, DEFAULT_DRAIN_OPS_PER_SECOND,
+    OnlineServer, OnlineStats, Rejection, RetryPolicy, SamplerConfig, ServeError, ServeResult,
+    ServerHandle, Ticket, DEFAULT_DRAIN_OPS_PER_SECOND,
 };
 pub use report::{
     CoreUtilization, LatencyPercentiles, ServingAggregates, ThroughputReport, WallClockStats,

@@ -16,7 +16,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bishop_engine::{EngineError, EngineOutput, EngineRegistry};
-use bishop_obs::{EventLevel, EventValue, ObsHub, Stage};
+use bishop_obs::{EventLevel, EventValue, ObsHub, Stage, StageSlot, WorkerStage};
 
 use crate::batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
 use crate::request::{InferenceRequest, InferenceResponse};
@@ -133,6 +133,12 @@ pub(crate) struct DomainSpec {
 /// Boots one domain: its bounded channel, batcher thread and worker pool.
 pub(crate) fn spawn_domain(spec: DomainSpec) -> (DomainSubmitter, DomainThreads) {
     let (submit_tx, submit_rx) = mpsc::sync_channel::<Submission>(spec.queue_capacity);
+    // Profiler attribution label: the engine name with per-engine
+    // isolation, `"shared"` for a multi-engine (or engine-less) domain.
+    let profile_label = match spec.engines.as_slice() {
+        [only] => only.name.as_str().to_string(),
+        _ => "shared".to_string(),
+    };
     let mut batch_txs = Vec::with_capacity(spec.workers);
     let mut workers = Vec::with_capacity(spec.workers);
     for index in 0..spec.workers {
@@ -148,6 +154,7 @@ pub(crate) fn spawn_domain(spec: DomainSpec) -> (DomainSubmitter, DomainThreads)
             spec.bundle,
             Arc::clone(&spec.obs),
             spec.retry.clone(),
+            spec.obs.profiler.register(&profile_label, "worker"),
         ));
     }
     let batcher = spawn_batcher(
@@ -159,6 +166,7 @@ pub(crate) fn spawn_domain(spec: DomainSpec) -> (DomainSubmitter, DomainThreads)
         spec.bundle,
         spec.batch_id_base,
         spec.batch_id_stride,
+        spec.obs.profiler.register(&profile_label, "batcher"),
     );
     (
         DomainSubmitter {
@@ -205,6 +213,7 @@ fn spawn_batcher(
     bundle: bishop_bundle::BundleShape,
     batch_id_base: u64,
     batch_id_stride: u64,
+    stage_slot: Arc<StageSlot>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let workers = batch_txs.len();
@@ -233,7 +242,10 @@ fn spawn_batcher(
 
         'run: loop {
             // Wait for the next message, or — with a timeout policy and an
-            // open batch — until the oldest open batch comes due.
+            // open batch — until the oldest open batch comes due. The
+            // profiler sees the blocking wait as idle and everything after
+            // a message (or a timeout tick) lands as batch formation.
+            stage_slot.set(WorkerStage::Idle);
             let message = match (batch_timeout, ages.first()) {
                 (Some(timeout), Some((opened, _))) => {
                     let due = *opened + timeout;
@@ -252,6 +264,7 @@ fn spawn_batcher(
                 },
             };
 
+            stage_slot.set(WorkerStage::BatchFormation);
             match message {
                 Some(Submission::Request(pending)) => {
                     if let Some(trace) = &pending.request.trace {
@@ -316,9 +329,11 @@ fn spawn_batcher(
             }
         }
 
+        stage_slot.set(WorkerStage::BatchFormation);
         for batch in former.flush() {
             dispatch(batch, &mut load);
         }
+        stage_slot.set(WorkerStage::Idle);
         // Dropping the senders lets every worker drain its queue and exit.
     })
 }
@@ -355,9 +370,15 @@ fn spawn_worker(
     bundle: bishop_bundle::BundleShape,
     obs: Arc<ObsHub>,
     retry: RetryPolicy,
+    stage_slot: Arc<StageSlot>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        // The blocking receive runs with Idle published; each batch body
+        // publishes its stage transitions and restores Idle before the
+        // next receive, so the sampling profiler attributes the worker's
+        // wall-clock to execute / backoff / fan-out correctly.
         for batch in batch_rx {
+            stage_slot.set(WorkerStage::EngineExecute);
             let batch_size = batch.len();
             let batch_ops: u64 = batch.requests.iter().map(|p| p.estimated_ops).sum();
             // Requests naming an unregistered engine ride the default
@@ -437,7 +458,9 @@ fn spawn_worker(
                                         if let Some(cells) = &engine_cells {
                                             cells.retries_attempted.fetch_add(1, Ordering::AcqRel);
                                         }
+                                        stage_slot.set(WorkerStage::RetryBackoff);
                                         std::thread::sleep(retry.backoff(attempts));
+                                        stage_slot.set(WorkerStage::EngineExecute);
                                         continue;
                                     }
                                     if let Some(cells) = &engine_cells {
@@ -470,6 +493,7 @@ fn spawn_worker(
                     }
                 }
             }
+            stage_slot.set(WorkerStage::ResponseFanout);
             match outcome {
                 Ok(output) => {
                     let output = Arc::new(output);
@@ -555,6 +579,7 @@ fn spawn_worker(
                     }
                 }
             }
+            stage_slot.set(WorkerStage::Idle);
         }
     })
 }

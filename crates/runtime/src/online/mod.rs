@@ -59,11 +59,13 @@ mod calibration;
 mod dispatch;
 mod domain;
 mod retry;
+mod sampler;
 
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState};
 pub use calibration::EngineLoadStats;
 pub(crate) use domain::ExecutedBatch;
 pub use retry::RetryPolicy;
+pub use sampler::SamplerConfig;
 
 use breaker::BreakerAdmit;
 
@@ -191,6 +193,11 @@ pub struct OnlineConfig {
     /// explicit-engine requests shed typed. Defaults on;
     /// [`BreakerConfig::disabled`] turns it off.
     pub breaker: BreakerConfig,
+    /// The background observability sampler: sweeps the worker stage
+    /// slots into the profiler and scrapes counters/gauges/quantiles into
+    /// the time-series store (which the SLO engine evaluates). Defaults
+    /// on; [`SamplerConfig::disabled`] turns the thread off.
+    pub sampler: SamplerConfig,
 }
 
 impl OnlineConfig {
@@ -215,6 +222,7 @@ impl OnlineConfig {
             obs: None,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            sampler: SamplerConfig::default(),
         }
     }
 
@@ -309,6 +317,13 @@ impl OnlineConfig {
     /// ([`BreakerConfig::disabled`] turns breakers off).
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Overrides the background sampler ([`SamplerConfig::disabled`]
+    /// turns the thread off; tests shrink the intervals).
+    pub fn with_sampler(mut self, sampler: SamplerConfig) -> Self {
+        self.sampler = sampler;
         self
     }
 
@@ -900,6 +915,7 @@ pub struct OnlineServer {
     handle: ServerHandle,
     domains: Vec<DomainThreads>,
     executed: Arc<Mutex<Vec<ExecutedBatch>>>,
+    sampler: Option<sampler::SamplerThread>,
 }
 
 impl OnlineServer {
@@ -1020,6 +1036,14 @@ impl OnlineServer {
             domain_threads.push(threads);
         }
 
+        let sampler_thread = config.sampler.enabled.then(|| {
+            sampler::spawn_sampler(
+                config.sampler.clone(),
+                Arc::clone(&obs),
+                Arc::clone(&cells),
+                engine_cells.clone(),
+            )
+        });
         let handle = ServerHandle {
             domains: Arc::new(submitters),
             engines_index: Arc::new(engines_index),
@@ -1037,6 +1061,7 @@ impl OnlineServer {
             handle,
             domains: domain_threads,
             executed,
+            sampler: sampler_thread,
         }
     }
 
@@ -1074,6 +1099,11 @@ impl OnlineServer {
         }
         for threads in self.domains {
             threads.join();
+        }
+        // Stop the sampler after the domains drain so its final scrape
+        // sees the fully settled counters.
+        if let Some(sampler) = self.sampler {
+            sampler.stop_and_join();
         }
         let stats = self.handle.stats();
         let executed = std::mem::take(&mut *self.executed.lock().expect("executed lock"));

@@ -152,8 +152,36 @@ fn main() {
             || l.starts_with("bishop_gateway_http_responses_total{")
             || l.starts_with("bishop_stage_seconds_count{engine=\"simulator\"")
             || l.starts_with("bishop_router_decisions_total")
+            || l.starts_with("bishop_slo_")
     }) {
         println!("{line}");
+    }
+
+    // 7b. The temporal layer: the background sampler has been scraping the
+    //     counters into the time-series store all along, so the SLO engine
+    //     can report live compliance and the always-on profiler can say
+    //     where worker wall-clock went.
+    std::thread::sleep(Duration::from_millis(1100));
+    println!("\n=== GET /v1/slo ===");
+    let slo = get(addr, "/v1/slo");
+    println!("{}", slo.split("\r\n\r\n").nth(1).unwrap_or(&slo));
+    println!("\n=== GET /v1/debug/profile (collapsed stacks) ===");
+    let profile = get(addr, "/v1/debug/profile");
+    let profile_body = profile.split("\r\n\r\n").nth(1).unwrap_or(&profile);
+    if let Ok(report) = Json::parse(profile_body) {
+        if let Some(Json::Array(collapsed)) = report.get("collapsed") {
+            for line in collapsed.iter().filter_map(Json::as_str) {
+                println!("{line}");
+            }
+        }
+    }
+    println!("\n=== GET /v1/debug/traces?engine=simulator&min_ms=0 ===");
+    let listing = get(addr, "/v1/debug/traces?engine=simulator&min_ms=0");
+    let listing_body = listing.split("\r\n\r\n").nth(1).unwrap_or(&listing);
+    if let Ok(parsed) = Json::parse(listing_body) {
+        if let Some(Json::Array(rows)) = parsed.get("recent") {
+            println!("{} simulator traces in the recent ring", rows.len());
+        }
     }
 
     // 8. Graceful shutdown: the gateway stops accepting, in-flight requests

@@ -81,7 +81,7 @@ pub mod prelude {
         EngineOutput, EngineRegistry, InferenceEngine, NativeEngine, SimulatorEngine,
     };
     pub use bishop_faults::{FaultInjectingEngine, FaultPlan};
-    pub use bishop_gateway::{Gateway, GatewayConfig, ModelCatalog};
+    pub use bishop_gateway::{Gateway, GatewayConfig, Json, ModelCatalog};
     pub use bishop_memsys::{AreaPowerBreakdown, DramModel, EnergyModel, MemoryHierarchy};
     pub use bishop_model::workload::SyntheticTraceSpec;
     pub use bishop_model::{
