@@ -1,0 +1,276 @@
+//! Streaming & session serving bench: the wins the stateful path is for.
+//!
+//! Two A/Bs against one booted gateway + native runtime, raw-socket clients:
+//!
+//! 1. **Time-to-first-event.** The same native inference submitted blocking
+//!    (one JSON response after the full forward pass) and streamed
+//!    (`"stream": true`, chunked NDJSON). The streamed arm's first step
+//!    event must land at least 2× sooner than the blocking arm's complete
+//!    response — that is the latency the per-timestep event channel buys a
+//!    client that can act on partial progress.
+//! 2. **Resumed continuation vs cold replay.** Finishing the second half of
+//!    a horizon from a parked session's LIF membranes, versus re-running
+//!    the whole horizon from scratch. The continuation re-executes only the
+//!    remaining timesteps, so it must beat the cold replay.
+//!
+//! The measured numbers are written to `BENCH_sessions.json` at the
+//! workspace root.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::SimOptions;
+use bishop_gateway::{Gateway, GatewayConfig, ModelCatalog};
+use bishop_model::{DatasetKind, ModelConfig};
+use bishop_runtime::{BatchPolicy, OnlineConfig, OnlineServer, RuntimeConfig};
+
+/// Big enough that the native forward pass dominates HTTP overhead; the
+/// paper-scale serving models at a longer 8-timestep horizon.
+const TIMESTEPS: usize = 8;
+const REPS: usize = 7;
+
+fn bench_model() -> ModelCatalog {
+    ModelCatalog::serving_default().with_model(
+        "session-bench",
+        ModelConfig::new(
+            "session-bench",
+            DatasetKind::Cifar10,
+            2,
+            TIMESTEPS,
+            64,
+            128,
+            4,
+        ),
+        TrainingRegime::Bsa,
+        SimOptions::baseline(),
+    )
+}
+
+fn post(body: &str) -> Vec<u8> {
+    format!(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn post_path(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Sends a blocking request; returns seconds to the complete response.
+fn blocking_seconds(addr: SocketAddr, body: &str) -> f64 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let start = Instant::now();
+    stream.write_all(&post(body)).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        reply.starts_with("HTTP/1.1 200"),
+        "blocking request failed: {reply}"
+    );
+    elapsed
+}
+
+/// Sends a streamed request; returns (seconds to the first complete step
+/// event chunk, seconds to the terminating 0-chunk).
+fn streamed_seconds(addr: SocketAddr, body: &str) -> (f64, f64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let start = Instant::now();
+    stream.write_all(&post(body)).expect("send");
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut first_event: Option<f64> = None;
+    let total = loop {
+        let n = stream.read(&mut chunk).expect("read stream");
+        assert!(n > 0, "gateway closed mid-stream");
+        buffer.extend_from_slice(&chunk[..n]);
+        if first_event.is_none() && first_chunk_complete(&buffer) {
+            first_event = Some(start.elapsed().as_secs_f64());
+        }
+        if buffer.windows(7).any(|w| w == b"\r\n0\r\n\r\n") {
+            break start.elapsed().as_secs_f64();
+        }
+    };
+    assert!(
+        buffer.starts_with(b"HTTP/1.1 200"),
+        "streamed request failed: {}",
+        String::from_utf8_lossy(&buffer)
+    );
+    (first_event.expect("at least one event chunk"), total)
+}
+
+/// True once the buffer holds the response head plus one complete chunk
+/// (size line, payload, trailing CRLF) — i.e. the first step event has
+/// fully arrived.
+fn first_chunk_complete(buffer: &[u8]) -> bool {
+    let Some(head_end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return false;
+    };
+    let body = &buffer[head_end + 4..];
+    let Some(line_end) = body.windows(2).position(|w| w == b"\r\n") else {
+        return false;
+    };
+    let Ok(size_text) = std::str::from_utf8(&body[..line_end]) else {
+        return false;
+    };
+    let Ok(size) = usize::from_str_radix(size_text.trim(), 16) else {
+        return false;
+    };
+    size > 0 && body.len() >= line_end + 2 + size + 2
+}
+
+/// Creates a session and returns its wire id.
+fn create_session(addr: SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&post_path("/v1/sessions", body))
+        .expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read");
+    assert!(
+        reply.starts_with("HTTP/1.1 200"),
+        "session create failed: {reply}"
+    );
+    let marker = "\"id\":\"";
+    let at = reply.find(marker).expect("session id in response") + marker.len();
+    reply[at..]
+        .split('"')
+        .next()
+        .expect("closing quote")
+        .to_string()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    xs[xs.len() / 2]
+}
+
+fn bench_sessions(_c: &mut Criterion) {
+    let runtime = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(2, BatchPolicy::new(4)))
+            .with_batch_timeout(Some(Duration::from_millis(1))),
+    );
+    let gateway = Gateway::start(
+        GatewayConfig::default().with_catalog(bench_model()),
+        runtime.handle(),
+    )
+    .expect("bind ephemeral port");
+    let addr = gateway.local_addr();
+
+    // Warm-up: first-touch weight generation and thread spawn.
+    blocking_seconds(
+        addr,
+        r#"{"model": "session-bench", "engine": "native", "seed": 999}"#,
+    );
+
+    // --- A/B 1: streamed time-to-first-event vs blocking time-to-last ---
+    let mut blocking = Vec::new();
+    let mut ttfe = Vec::new();
+    let mut stream_total = Vec::new();
+    for rep in 0..REPS {
+        let seed = rep as u64;
+        blocking.push(blocking_seconds(
+            addr,
+            &format!(r#"{{"model": "session-bench", "engine": "native", "seed": {seed}}}"#),
+        ));
+        let (first, total) = streamed_seconds(
+            addr,
+            &format!(
+                r#"{{"model": "session-bench", "engine": "native", "seed": {seed}, "stream": true}}"#
+            ),
+        );
+        ttfe.push(first);
+        stream_total.push(total);
+    }
+    let blocking_ms = median(&mut blocking) * 1e3;
+    let ttfe_ms = median(&mut ttfe) * 1e3;
+    let stream_total_ms = median(&mut stream_total) * 1e3;
+    let ttfe_speedup = blocking_ms / ttfe_ms;
+    println!(
+        "streaming : first event {ttfe_ms:.2} ms vs blocking {blocking_ms:.2} ms \
+         ({ttfe_speedup:.1}x earlier; streamed total {stream_total_ms:.2} ms)"
+    );
+
+    // --- A/B 2: resumed second half vs cold full replay ---
+    let mut cold = Vec::new();
+    let mut resumed = Vec::new();
+    for rep in 0..REPS {
+        let seed = 100 + rep as u64;
+        cold.push(blocking_seconds(
+            addr,
+            &format!(r#"{{"model": "session-bench", "engine": "native", "seed": {seed}}}"#),
+        ));
+        let id = create_session(
+            addr,
+            &format!(r#"{{"model": "session-bench", "engine": "native", "seed": {seed}}}"#),
+        );
+        // Park the first half untimed; time only finishing the horizon.
+        blocking_seconds(
+            addr,
+            &format!(
+                r#"{{"model": "session-bench", "session": "{id}", "timesteps": {}}}"#,
+                TIMESTEPS / 2
+            ),
+        );
+        resumed.push(blocking_seconds(
+            addr,
+            &format!(r#"{{"model": "session-bench", "session": "{id}"}}"#),
+        ));
+    }
+    let cold_ms = median(&mut cold) * 1e3;
+    let resumed_ms = median(&mut resumed) * 1e3;
+    let resumed_speedup = cold_ms / resumed_ms;
+    println!(
+        "sessions  : resume second half {resumed_ms:.2} ms vs cold replay {cold_ms:.2} ms \
+         ({resumed_speedup:.2}x)"
+    );
+
+    gateway.shutdown();
+    runtime.shutdown();
+
+    let json = format!(
+        "{{\n  \"model\": \"session-bench\",\n  \"timesteps\": {TIMESTEPS},\n  \
+         \"reps\": {REPS},\n  \"blocking_ms\": {blocking_ms:.3},\n  \
+         \"stream_first_event_ms\": {ttfe_ms:.3},\n  \
+         \"stream_total_ms\": {stream_total_ms:.3},\n  \
+         \"ttfe_speedup\": {ttfe_speedup:.2},\n  \"cold_replay_ms\": {cold_ms:.3},\n  \
+         \"resumed_ms\": {resumed_ms:.3},\n  \
+         \"resumed_speedup\": {resumed_speedup:.2}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sessions.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    assert!(
+        ttfe_speedup >= 2.0,
+        "the first streamed event must arrive >= 2x sooner than the blocking \
+         response, measured {ttfe_speedup:.2}x"
+    );
+    assert!(
+        resumed_speedup > 1.0,
+        "resuming a parked session must beat cold replay, measured {resumed_speedup:.2}x"
+    );
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use bishop_bundle::TrainingRegime;
 use bishop_core::{RunMetrics, SimOptions};
 use bishop_model::ModelConfig;
+use bishop_session::SessionState;
 
 use crate::error::EngineError;
 
@@ -121,6 +122,12 @@ pub struct EngineDescriptor {
     /// Upper bound on the folded timestep axis of one batch, if the engine
     /// has one (`None` = unbounded).
     pub max_folded_timesteps: Option<usize>,
+    /// Whether the engine implements
+    /// [`InferenceEngine::execute_streaming`] — per-step progress events
+    /// and exported session state. The gateway preflights streamed and
+    /// session-bound requests against this flag so refusals happen before
+    /// any response bytes are committed to the wire.
+    pub supports_streaming: bool,
     /// A priori estimate of the dense operations per second this engine
     /// retires, used to *seed* the serving runtime's per-engine drain-rate
     /// calibration before any batch has completed. The runtime's online
@@ -242,6 +249,59 @@ impl EngineOutput {
     }
 }
 
+/// One progress event of a streaming execution.
+///
+/// The native engine emits one event per executed timestep; the simulator,
+/// which has no timestep loop of its own, emits one per simulated layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEvent {
+    /// 0-based index of the completed step, counting from the start of the
+    /// session (a resumed execution continues the count).
+    pub index: usize,
+    /// Total step count this request will reach (absolute, like `index`).
+    pub total: usize,
+    /// What one step is on this engine: `"timestep"` (native) or `"layer"`
+    /// (simulator).
+    pub unit: &'static str,
+    /// Spikes the step produced in the final encoder output (0 when the
+    /// substrate does not execute spikes).
+    pub spikes: usize,
+}
+
+/// Receives [`StepEvent`]s during a streaming execution.
+///
+/// Engines call [`StepSink::on_step`] from the executing worker thread;
+/// implementations must not block (the runtime forwards into a bounded
+/// channel with a non-blocking send and counts drops).
+pub trait StepSink {
+    /// Called after each completed step.
+    fn on_step(&mut self, event: &StepEvent);
+}
+
+/// A sink that discards every event (blocking callers of the streaming
+/// path that only want the state/output).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullStepSink;
+
+impl StepSink for NullStepSink {
+    fn on_step(&mut self, _event: &StepEvent) {}
+}
+
+/// What a streaming execution produced: the ordinary batch output plus the
+/// exported session state and (when the substrate computes them) the
+/// running per-class logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedOutput {
+    /// The ordinary batch output, as [`InferenceEngine::execute`] would
+    /// report it.
+    pub output: EngineOutput,
+    /// Exported state to park in a session slot and resume from.
+    pub state: SessionState,
+    /// Per-class logits over every timestep executed so far, when the
+    /// substrate runs the functional model.
+    pub logits: Option<Vec<f32>>,
+}
+
 /// One pluggable execution backend for batched spiking-transformer
 /// inference.
 ///
@@ -266,6 +326,35 @@ pub trait InferenceEngine: Send + Sync + fmt::Debug {
 
     /// Executes one batch on this substrate.
     fn execute(&self, batch: &EngineBatch) -> Result<EngineOutput, EngineError>;
+
+    /// Executes `steps` further timesteps of a stateful, streaming
+    /// inference, emitting progress into `sink` and returning the exported
+    /// session state alongside the ordinary output.
+    ///
+    /// Unlike [`execute`](Self::execute), `batch.config` here is the *base*
+    /// (unpadded, unrenamed) model configuration — weight identity across a
+    /// split sequence depends on it — and the work size is carried by
+    /// `steps`: the execution covers absolute timesteps
+    /// `resume.timesteps_done() .. resume.timesteps_done() + steps`.
+    /// `resume = None` starts from timestep zero with fresh membranes.
+    ///
+    /// Splitting a sequence across calls must be bit-identical to one call
+    /// covering the same range (deterministic engines only). The default
+    /// implementation refuses with the typed
+    /// [`EngineError::StreamingUnsupported`]; baseline analytic engines
+    /// keep it.
+    fn execute_streaming(
+        &self,
+        batch: &EngineBatch,
+        steps: usize,
+        resume: Option<&SessionState>,
+        sink: &mut dyn StepSink,
+    ) -> Result<StreamedOutput, EngineError> {
+        let _ = (batch, steps, resume, sink);
+        Err(EngineError::StreamingUnsupported {
+            engine: self.descriptor().name,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +381,7 @@ mod tests {
             deterministic: true,
             measures_wall_clock: false,
             max_folded_timesteps: Some(16),
+            supports_streaming: false,
             seed_drain_ops_per_second: 1e9,
             description: "test engine",
         }

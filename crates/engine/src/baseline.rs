@@ -60,6 +60,7 @@ impl InferenceEngine for BaselineEngine {
                 deterministic: true,
                 measures_wall_clock: false,
                 max_folded_timesteps: None,
+                supports_streaming: false,
                 seed_drain_ops_per_second: 4e9,
                 description: "Parallel Time Batching (HPCA'22) homogeneous systolic-array \
                               baseline over the same synthesized workloads",
@@ -71,6 +72,7 @@ impl InferenceEngine for BaselineEngine {
                 deterministic: true,
                 measures_wall_clock: false,
                 max_folded_timesteps: None,
+                supports_streaming: false,
                 // Closed-form roofline: evaluation is effectively free.
                 seed_drain_ops_per_second: 8e9,
                 description: "Jetson-Nano-class edge-GPU roofline baseline (dense FP16, \

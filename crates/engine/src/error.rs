@@ -38,6 +38,13 @@ pub enum EngineError {
         /// The engine whose execution panicked.
         engine: &'static str,
     },
+    /// The engine has no stateful/streaming execution path: it cannot emit
+    /// per-step events or accept an imported session state. Deterministic
+    /// like the other capability refusals — retrying never helps.
+    StreamingUnsupported {
+        /// The refusing engine.
+        engine: &'static str,
+    },
 }
 
 impl EngineError {
@@ -47,7 +54,8 @@ impl EngineError {
             EngineError::EcpUnsupported { engine }
             | EngineError::BatchTooLarge { engine, .. }
             | EngineError::Transient { engine }
-            | EngineError::Panicked { engine } => engine,
+            | EngineError::Panicked { engine }
+            | EngineError::StreamingUnsupported { engine } => engine,
         }
     }
 
@@ -59,6 +67,7 @@ impl EngineError {
             EngineError::BatchTooLarge { .. } => "batch_too_large",
             EngineError::Transient { .. } => "engine_transient",
             EngineError::Panicked { .. } => "engine_panicked",
+            EngineError::StreamingUnsupported { .. } => "streaming_unsupported",
         }
     }
 
@@ -98,6 +107,9 @@ impl fmt::Display for EngineError {
             EngineError::Panicked { engine } => {
                 write!(f, "engine \"{engine}\" panicked while executing the batch")
             }
+            EngineError::StreamingUnsupported { engine } => {
+                write!(f, "engine \"{engine}\" has no streaming/stateful execution path")
+            }
         }
     }
 }
@@ -130,6 +142,11 @@ mod tests {
         let panicked = EngineError::Panicked { engine: "native" };
         assert_eq!(panicked.code(), "engine_panicked");
         assert_eq!(panicked.engine(), "native");
+
+        let streaming = EngineError::StreamingUnsupported { engine: "ptb" };
+        assert_eq!(streaming.code(), "streaming_unsupported");
+        assert_eq!(streaming.engine(), "ptb");
+        assert!(streaming.to_string().contains("streaming"));
     }
 
     #[test]
@@ -143,5 +160,6 @@ mod tests {
         .retryable());
         assert!(EngineError::Transient { engine: "e" }.retryable());
         assert!(EngineError::Panicked { engine: "e" }.retryable());
+        assert!(!EngineError::StreamingUnsupported { engine: "e" }.retryable());
     }
 }

@@ -65,6 +65,7 @@ pub mod simulator;
 
 pub use api::{
     EngineBatch, EngineDescriptor, EngineName, EngineOutput, EngineSubstrate, InferenceEngine,
+    NullStepSink, StepEvent, StepSink, StreamedOutput,
 };
 pub use baseline::BaselineEngine;
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
@@ -73,6 +74,10 @@ pub use error::EngineError;
 pub use native::{NativeEngine, NativeEngineConfig};
 pub use registry::EngineRegistry;
 pub use simulator::SimulatorEngine;
+
+// Re-exported so engine wrappers and callers can name the session state the
+// streaming API carries without depending on `bishop-session` directly.
+pub use bishop_session::SessionState;
 
 /// Name of the default cycle-level Bishop simulator backend.
 pub const SIMULATOR_ENGINE: &str = "simulator";

@@ -12,12 +12,16 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bishop_model::{ModelConfig, SpikingTransformer};
+use bishop_model::{ModelConfig, SpikingTransformer, TransformerStepper};
+use bishop_session::SessionState;
 use bishop_spiketensor::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::api::{EngineBatch, EngineDescriptor, EngineOutput, EngineSubstrate, InferenceEngine};
+use crate::api::{
+    EngineBatch, EngineDescriptor, EngineOutput, EngineSubstrate, InferenceEngine, StepEvent,
+    StepSink, StreamedOutput,
+};
 use crate::cache::OnceMap;
 use crate::error::EngineError;
 use crate::NATIVE_ENGINE;
@@ -126,6 +130,7 @@ impl InferenceEngine for NativeEngine {
             deterministic: false,
             measures_wall_clock: true,
             max_folded_timesteps: Some(self.config.max_folded_timesteps),
+            supports_streaming: true,
             // Real CPU execution is orders of magnitude slower than the
             // memoized simulator; seed conservatively and let the EWMA of
             // measured batch wall-clocks take over.
@@ -158,6 +163,70 @@ impl InferenceEngine for NativeEngine {
             metrics: None,
             wall_seconds: Some(wall),
             prediction: Some(result.prediction),
+        })
+    }
+
+    fn execute_streaming(
+        &self,
+        batch: &EngineBatch,
+        steps: usize,
+        resume: Option<&SessionState>,
+        sink: &mut dyn StepSink,
+    ) -> Result<StreamedOutput, EngineError> {
+        self.descriptor().check(batch)?;
+        let model = self.model(&batch.config);
+
+        // Same deterministic patch synthesis as `execute`: the session pins
+        // its seed at creation, so every continuation steps the exact input
+        // the earlier requests ran on.
+        let mut rng = StdRng::seed_from_u64(batch.seed);
+        let patches =
+            DenseMatrix::random_uniform(batch.config.tokens, batch.config.features, 1.0, &mut rng);
+
+        let start = Instant::now();
+        let mut stepper = match resume {
+            Some(SessionState::Native(state)) => {
+                TransformerStepper::resume(&model, &patches, state.clone())
+            }
+            // A state exported by a different substrate cannot seed native
+            // membranes; treat the coupling as broken rather than guess.
+            Some(SessionState::Simulated { .. }) => {
+                return Err(EngineError::StreamingUnsupported {
+                    engine: NATIVE_ENGINE,
+                })
+            }
+            None => TransformerStepper::new(&model, &patches),
+        };
+        assert!(
+            stepper.timesteps_done() + steps > 0,
+            "a streaming execution must cover at least one timestep"
+        );
+        let total = stepper.timesteps_done() + steps;
+        for _ in 0..steps {
+            let outcome = stepper.step();
+            sink.on_step(&StepEvent {
+                index: outcome.timestep,
+                total,
+                unit: "timestep",
+                spikes: outcome.spikes,
+            });
+        }
+        let readout = stepper.finish();
+        let state = SessionState::Native(stepper.export());
+        let wall = start.elapsed().as_secs_f64();
+
+        Ok(StreamedOutput {
+            output: EngineOutput {
+                engine: NATIVE_ENGINE,
+                latency_seconds: wall,
+                energy_mj: self.config.cpu_power_watts * wall * 1e3,
+                cycles: (wall * self.config.clock_hz) as u64,
+                metrics: None,
+                wall_seconds: Some(wall),
+                prediction: Some(readout.prediction),
+            },
+            state,
+            logits: Some(readout.logits),
         })
     }
 }

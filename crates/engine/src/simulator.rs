@@ -3,8 +3,12 @@
 use std::sync::Arc;
 
 use bishop_core::BishopSimulator;
+use bishop_session::SessionState;
 
-use crate::api::{EngineBatch, EngineDescriptor, EngineOutput, EngineSubstrate, InferenceEngine};
+use crate::api::{
+    EngineBatch, EngineDescriptor, EngineOutput, EngineSubstrate, InferenceEngine, StepEvent,
+    StepSink, StreamedOutput,
+};
 use crate::cache::{CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 use crate::error::EngineError;
 use crate::SIMULATOR_ENGINE;
@@ -73,6 +77,7 @@ impl InferenceEngine for SimulatorEngine {
             deterministic: true,
             measures_wall_clock: false,
             max_folded_timesteps: None,
+            supports_streaming: true,
             // Memoized analytic simulation retires batches in microseconds
             // once warm; the calibration EWMA corrects from observations.
             seed_drain_ops_per_second: 5e9,
@@ -95,6 +100,60 @@ impl InferenceEngine for SimulatorEngine {
                 .simulate_named(&workload, &batch.options, batch.config.name.clone())
         });
         Ok(EngineOutput::from_metrics(SIMULATOR_ENGINE, metrics))
+    }
+
+    fn execute_streaming(
+        &self,
+        batch: &EngineBatch,
+        steps: usize,
+        resume: Option<&SessionState>,
+        sink: &mut dyn StepSink,
+    ) -> Result<StreamedOutput, EngineError> {
+        let done = match resume {
+            Some(SessionState::Simulated { timesteps_done }) => *timesteps_done,
+            // Simulated latency/energy cannot be continued from real
+            // membrane potentials; refuse the cross-substrate resume typed.
+            Some(SessionState::Native(_)) => {
+                return Err(EngineError::StreamingUnsupported {
+                    engine: SIMULATOR_ENGINE,
+                })
+            }
+            None => 0,
+        };
+        let total_timesteps = done + steps;
+        assert!(
+            total_timesteps > 0,
+            "a streaming execution must cover at least one timestep"
+        );
+        // Simulate the whole accumulated sequence under the session's base
+        // configuration: both halves of a split sequence resolve to the
+        // same memoized workload and result the single long request would,
+        // so the continuation is bit-identical (and usually cache-warm).
+        let accumulated = EngineBatch {
+            config: batch.config.clone().with_timesteps(total_timesteps),
+            ..batch.clone()
+        };
+        let output = self.execute(&accumulated)?;
+        // The simulator has no timestep loop of its own; its progress unit
+        // is the simulated layer, reported once the metrics exist.
+        if let Some(metrics) = &output.metrics {
+            let total = metrics.layers.len();
+            for (index, _layer) in metrics.layers.iter().enumerate() {
+                sink.on_step(&StepEvent {
+                    index,
+                    total,
+                    unit: "layer",
+                    spikes: 0,
+                });
+            }
+        }
+        Ok(StreamedOutput {
+            output,
+            state: SessionState::Simulated {
+                timesteps_done: total_timesteps,
+            },
+            logits: None,
+        })
     }
 }
 

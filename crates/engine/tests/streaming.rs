@@ -1,0 +1,187 @@
+//! Streaming/stateful execution contract, engine by engine.
+//!
+//! The acceptance property of the session subsystem lives here at the
+//! engine layer: splitting a T-timestep sequence into session-continued
+//! calls is **bit-identical** to one call covering the whole range, on both
+//! engines that implement streaming (native and simulator). Baselines must
+//! refuse with the typed `streaming_unsupported`.
+
+use std::sync::Arc;
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::BishopSimulator;
+use bishop_core::{BishopConfig, SimOptions};
+use bishop_engine::{
+    CalibrationCache, EngineBatch, EngineError, EngineRegistry, InferenceEngine, NativeEngine,
+    ResultCache, SessionState, SimulatorEngine, StepEvent, StepSink, StreamedOutput,
+};
+use bishop_model::{DatasetKind, ModelConfig};
+
+/// Collects every event for assertions.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<StepEvent>,
+}
+
+impl StepSink for Recorder {
+    fn on_step(&mut self, event: &StepEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+fn base_batch(timesteps: usize, seed: u64) -> EngineBatch {
+    EngineBatch {
+        config: ModelConfig::new("streaming", DatasetKind::Cifar10, 2, timesteps, 8, 16, 2),
+        regime: TrainingRegime::Bsa,
+        seed,
+        options: SimOptions::baseline(),
+        batch_size: 1,
+        batch_id: 0,
+    }
+}
+
+fn stream(
+    engine: &dyn InferenceEngine,
+    batch: &EngineBatch,
+    steps: usize,
+    resume: Option<&SessionState>,
+) -> (StreamedOutput, Vec<StepEvent>) {
+    let mut recorder = Recorder::default();
+    let streamed = engine
+        .execute_streaming(batch, steps, resume, &mut recorder)
+        .expect("streaming-capable engine");
+    (streamed, recorder.events)
+}
+
+#[test]
+fn native_split_session_is_bit_identical_to_single_request() {
+    let engine = NativeEngine::new();
+    let batch = base_batch(6, 42);
+
+    let (single, single_events) = stream(&engine, &batch, 6, None);
+    assert_eq!(single_events.len(), 6);
+
+    for split in 1..6 {
+        let (first, first_events) = stream(&engine, &batch, split, None);
+        assert_eq!(first_events.len(), split);
+        let (second, second_events) = stream(&engine, &batch, 6 - split, Some(&first.state));
+        assert_eq!(second_events.len(), 6 - split);
+
+        assert_eq!(
+            second.logits, single.logits,
+            "split at {split}: logits diverged from the single-request path"
+        );
+        assert_eq!(second.output.prediction, single.output.prediction);
+        assert_eq!(second.state, single.state, "membrane state diverged");
+        // Event indices continue the absolute timestep count across the split.
+        assert_eq!(second_events[0].index, split);
+        assert_eq!(second_events.last().unwrap().index, 5);
+        assert!(second_events.iter().all(|e| e.total == 6));
+        assert!(second_events.iter().all(|e| e.unit == "timestep"));
+    }
+}
+
+#[test]
+fn native_streaming_prediction_matches_blocking_execute() {
+    let engine = NativeEngine::new();
+    let batch = base_batch(4, 7);
+    let blocking = engine.execute(&batch).expect("native executes");
+    let (streamed, events) = stream(&engine, &batch, 4, None);
+    assert_eq!(streamed.output.prediction, blocking.prediction);
+    assert_eq!(events.len(), 4);
+    let logits = streamed.logits.expect("native reports running logits");
+    assert_eq!(logits.len(), DatasetKind::Cifar10.classes());
+    match streamed.state {
+        SessionState::Native(state) => assert_eq!(state.timesteps_done(), 4),
+        other => panic!("native must export native state, got {other:?}"),
+    }
+}
+
+#[test]
+fn simulator_split_session_is_bit_identical_to_single_request() {
+    let engine = SimulatorEngine::new(BishopSimulator::new(BishopConfig::default()));
+    let batch = base_batch(8, 9);
+
+    let (single, _) = stream(&engine, &batch, 8, None);
+    let (first, _) = stream(&engine, &batch, 3, None);
+    assert_eq!(first.state, SessionState::Simulated { timesteps_done: 3 });
+    let (second, events) = stream(&engine, &batch, 5, Some(&first.state));
+
+    assert_eq!(second.output, single.output, "simulated metrics diverged");
+    assert_eq!(second.state, SessionState::Simulated { timesteps_done: 8 });
+    assert!(!events.is_empty(), "simulator reports per-layer progress");
+    assert!(events.iter().all(|e| e.unit == "layer"));
+    let total = events.len();
+    assert!(events.iter().all(|e| e.total == total));
+}
+
+#[test]
+fn simulator_streaming_matches_blocking_execute_of_accumulated_config() {
+    let engine = SimulatorEngine::new(BishopSimulator::new(BishopConfig::default()));
+    let batch = base_batch(4, 11);
+    let (streamed, _) = stream(&engine, &batch, 4, None);
+    let blocking = engine.execute(&batch).expect("simulator executes");
+    assert_eq!(
+        streamed.output, blocking,
+        "same config, same memoized result"
+    );
+}
+
+#[test]
+fn cross_substrate_resume_is_refused_typed() {
+    let native = NativeEngine::new();
+    let simulator = SimulatorEngine::new(BishopSimulator::new(BishopConfig::default()));
+    let batch = base_batch(4, 3);
+
+    let (from_sim, _) = stream(&simulator, &batch, 2, None);
+    let mut sink = Recorder::default();
+    let err = native
+        .execute_streaming(&batch, 2, Some(&from_sim.state), &mut sink)
+        .expect_err("native cannot resume simulated state");
+    assert_eq!(err.code(), "streaming_unsupported");
+
+    let (from_native, _) = stream(&native, &batch, 2, None);
+    let err = simulator
+        .execute_streaming(&batch, 2, Some(&from_native.state), &mut sink)
+        .expect_err("simulator cannot resume native membranes");
+    assert_eq!(err.code(), "streaming_unsupported");
+}
+
+#[test]
+fn baseline_engines_refuse_streaming_typed() {
+    let registry = EngineRegistry::serving_default(
+        &BishopConfig::default(),
+        Arc::new(CalibrationCache::new()),
+        Arc::new(ResultCache::new()),
+    );
+    let batch = base_batch(4, 5);
+    for name in ["ptb", "gpu"] {
+        let engine = registry.get(name).expect("registered baseline");
+        let mut sink = Recorder::default();
+        let err = engine
+            .execute_streaming(&batch, 4, None, &mut sink)
+            .expect_err("baselines have no streaming path");
+        assert_eq!(
+            err,
+            EngineError::StreamingUnsupported { engine: name },
+            "baseline {name}"
+        );
+        assert!(!err.retryable());
+        assert!(sink.events.is_empty());
+    }
+}
+
+#[test]
+fn fault_wrapper_delegates_streaming_transparently() {
+    let inner: Arc<dyn InferenceEngine> = Arc::new(NativeEngine::new());
+    let wrapped = bishop_faults::FaultInjectingEngine::new(
+        Arc::clone(&inner),
+        bishop_faults::FaultPlan::new(),
+    );
+    let batch = base_batch(4, 21);
+    let (direct, direct_events) = stream(inner.as_ref(), &batch, 4, None);
+    let (via_wrapper, wrapper_events) = stream(&wrapped, &batch, 4, None);
+    assert_eq!(via_wrapper.logits, direct.logits);
+    assert_eq!(via_wrapper.state, direct.state);
+    assert_eq!(wrapper_events, direct_events);
+}

@@ -39,7 +39,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-use bishop_engine::{EngineBatch, EngineDescriptor, EngineError, EngineOutput, InferenceEngine};
+use bishop_engine::{
+    EngineBatch, EngineDescriptor, EngineError, EngineOutput, InferenceEngine, SessionState,
+    StepSink, StreamedOutput,
+};
 
 /// Marker embedded in every panic payload [`FaultInjectingEngine`] raises.
 ///
@@ -260,6 +263,43 @@ impl InferenceEngine for FaultInjectingEngine {
                 self.inner.execute(batch)
             }
             None => self.inner.execute(batch),
+        }
+    }
+
+    fn execute_streaming(
+        &self,
+        batch: &EngineBatch,
+        steps: usize,
+        resume: Option<&SessionState>,
+        sink: &mut dyn StepSink,
+    ) -> Result<StreamedOutput, EngineError> {
+        // Streaming executions share the batch-execution index space and
+        // fault shapes of `execute`: the plan neither knows nor cares how a
+        // batch runs.
+        let index = self.calls.fetch_add(1, Ordering::SeqCst);
+        if self.forced.load(Ordering::SeqCst) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(EngineError::Transient {
+                engine: self.engine_name(),
+            });
+        }
+        match self.plan.fault_at(index) {
+            Some(Fault::Error) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                Err(EngineError::Transient {
+                    engine: self.engine_name(),
+                })
+            }
+            Some(Fault::Panic) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                panic!("{INJECTED_PANIC_MARKER} at batch index {index}");
+            }
+            Some(Fault::Latency(delay)) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(*delay);
+                self.inner.execute_streaming(batch, steps, resume, sink)
+            }
+            None => self.inner.execute_streaming(batch, steps, resume, sink),
         }
     }
 }

@@ -15,7 +15,12 @@
 //! meets the deadline (`native` preferred, `simulator` under pressure);
 //! `regime` and `ecp_threshold` override the catalog entry's defaults;
 //! `deadline_ms` opts the request into deadline admission (shed up front
-//! when the backlog would outlast the deadline).
+//! when the backlog would outlast the deadline). `"stream": true` answers
+//! with a chunked NDJSON event stream (one `"step"` event per timestep,
+//! then a terminal `"result"` event); `"session": "<id>"` continues a
+//! session created on `POST /v1/sessions` from its persisted LIF membrane
+//! state; `"timesteps": n` runs a partial prefix of the model's horizon.
+//! All three need a concrete engine advertising `supports_streaming`.
 //!
 //! Errors are machine-readable: every non-2xx body is
 //! `{"error": {"code": "<stable_code>", "message": "<human text>",
@@ -27,12 +32,13 @@ use std::time::Duration;
 
 use bishop_bundle::TrainingRegime;
 use bishop_core::SimOptions;
-use bishop_engine::{EngineName, EngineRegistry};
+use bishop_engine::{EngineName, EngineRegistry, StepEvent};
 use bishop_obs::{
     FinishedTrace, ProfileReport, RouterDecision, RouterVerdict, SloStatus, StageStamp,
     TraceContext, TraceSnapshot,
 };
 use bishop_runtime::{EngineLoadStats, InferenceRequest, InferenceResponse};
+use bishop_session::SessionStore;
 
 use crate::json::Json;
 
@@ -83,6 +89,14 @@ pub struct InferSubmission {
     /// Whether the client asked for the `"timings"` breakdown in the
     /// response body (`"trace": true` in the request, or `?trace=1`).
     pub trace_requested: bool,
+    /// Whether the client asked for a chunked per-timestep event stream
+    /// (`"stream": true`).
+    pub stream: bool,
+    /// Wire-form session id the request continues (`"session": "<id>"`),
+    /// still unresolved — the server leases it against the store.
+    pub session: Option<String>,
+    /// Explicit timestep count (`"timesteps": n`), for partial execution.
+    pub steps: Option<usize>,
 }
 
 /// Decodes a `/v1/infer` JSON body into a runtime request, resolving the
@@ -163,6 +177,42 @@ pub fn decode_infer(
         Some(value) => value
             .as_bool()
             .ok_or_else(|| ApiError::new("bad_request", "\"trace\" must be a boolean"))?,
+    };
+
+    let stream = match body.get("stream") {
+        None => false,
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| ApiError::new("bad_request", "\"stream\" must be a boolean"))?,
+    };
+
+    let session = match body.get("session") {
+        None => None,
+        Some(value) => Some(
+            value
+                .as_str()
+                .ok_or_else(|| ApiError::new("bad_request", "\"session\" must be a string"))?
+                .to_string(),
+        ),
+    };
+
+    let steps = match body.get("timesteps") {
+        None => None,
+        Some(value) => {
+            let steps = value.as_u64().filter(|&t| t >= 1).ok_or_else(|| {
+                ApiError::new("bad_request", "\"timesteps\" must be a positive integer")
+            })?;
+            if steps > entry.config.timesteps as u64 {
+                return Err(ApiError::unprocessable(
+                    "timesteps_out_of_range",
+                    format!(
+                        "\"timesteps\" ({steps}) exceeds model \"{}\"'s {}-timestep horizon",
+                        entry.name, entry.config.timesteps
+                    ),
+                ));
+            }
+            Some(steps as usize)
+        }
     };
 
     // Engine resolution. `"auto"` defers the concrete choice to the
@@ -256,14 +306,52 @@ pub fn decode_infer(
         }
     }
 
-    let request = InferenceRequest::new(request_id, Arc::clone(entry), seed)
+    // Streaming preflight: streamed, session-bound and partial-timestep
+    // requests run the stateful execution path, which needs a concrete
+    // engine implementing per-step streaming. Refuse here — before any
+    // chunked `200` response header could commit to the wire — so the
+    // client always gets a typed error. `"auto"` stays blocking-only: the
+    // dispatcher's capability model knows nothing about streaming.
+    if stream || session.is_some() || steps.is_some() {
+        if engine.is_auto() {
+            return Err(ApiError::unprocessable(
+                "streaming_unsupported",
+                "streamed, session-bound and partial-timestep requests need a concrete \
+                 \"engine\" (\"auto\" routing cannot guarantee a streaming-capable backend)",
+            ));
+        }
+        if let Some(backend) = engines.get(engine.as_str()) {
+            let descriptor = backend.descriptor();
+            if !descriptor.supports_streaming {
+                return Err(ApiError::unprocessable(
+                    "streaming_unsupported",
+                    format!(
+                        "engine \"{}\" does not implement streamed stateful execution \
+                         (see \"supports_streaming\" on GET /v1/engines)",
+                        descriptor.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    let mut request = InferenceRequest::new(request_id, Arc::clone(entry), seed)
         .with_regime(regime)
         .with_options(options)
         .with_engine(engine);
+    if stream {
+        request = request.with_streaming();
+    }
+    if let Some(steps) = steps {
+        request = request.with_steps(steps);
+    }
     Ok(InferSubmission {
         request,
         deadline,
         trace_requested,
+        stream,
+        session,
+        steps,
     })
 }
 
@@ -344,6 +432,7 @@ pub fn engines_json(engines: &EngineRegistry, load: &[EngineLoadStats]) -> Json 
                     ("supports_ecp", Json::Bool(d.supports_ecp)),
                     ("deterministic", Json::Bool(d.deterministic)),
                     ("measures_wall_clock", Json::Bool(d.measures_wall_clock)),
+                    ("supports_streaming", Json::Bool(d.supports_streaming)),
                     (
                         "max_folded_timesteps",
                         match d.max_folded_timesteps {
@@ -485,6 +574,9 @@ fn snapshot_fields(snapshot: &TraceSnapshot, fields: &mut Vec<(&'static str, Jso
     if let Some(engine) = &snapshot.engine {
         fields.push(("engine", Json::string(engine)));
     }
+    if let Some(session) = &snapshot.session {
+        fields.push(("session", Json::string(session)));
+    }
     if let Some(batch_id) = snapshot.batch_id {
         fields.push(("batch_id", Json::from_u64(batch_id)));
     }
@@ -603,7 +695,55 @@ pub fn trace_summary_json(trace: &FinishedTrace) -> Json {
     if let Some(engine) = &trace.snapshot.engine {
         fields.push(("engine", Json::string(engine)));
     }
+    if let Some(session) = &trace.snapshot.session {
+        fields.push(("session", Json::string(session)));
+    }
     Json::object(fields)
+}
+
+/// Encodes one streamed progress event as one NDJSON line object of the
+/// chunked `/v1/infer` response: `{"event": "step", ...}`.
+pub fn step_event_json(request_id: u64, event: &StepEvent) -> Json {
+    Json::object(vec![
+        ("event", Json::string("step")),
+        ("request_id", Json::from_u64(request_id)),
+        ("index", Json::from_u64(event.index as u64)),
+        ("total", Json::from_u64(event.total as u64)),
+        ("unit", Json::string(event.unit)),
+        ("spikes", Json::from_u64(event.spikes as u64)),
+    ])
+}
+
+/// Encodes the session store for `GET /v1/sessions`: the store's bounds
+/// plus one row per live session.
+pub fn sessions_json(store: &SessionStore) -> Json {
+    let config = store.config();
+    let stats = store.stats();
+    let rows = store
+        .snapshot()
+        .iter()
+        .map(|s| {
+            Json::object(vec![
+                ("id", Json::string(&s.id)),
+                ("model", Json::string(&s.model)),
+                ("engine", Json::string(&s.engine)),
+                ("seed", Json::from_u64(s.seed)),
+                ("timesteps_done", Json::from_u64(s.timesteps_done as u64)),
+                ("in_flight", Json::Bool(s.in_flight)),
+                ("age_seconds", Json::Number(s.age_seconds)),
+                (
+                    "ttl_remaining_seconds",
+                    Json::Number(s.ttl_remaining_seconds),
+                ),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("capacity", Json::from_u64(config.capacity as u64)),
+        ("ttl_seconds", Json::Number(config.ttl.as_secs_f64())),
+        ("active", Json::from_u64(stats.active)),
+        ("sessions", Json::Array(rows)),
+    ])
 }
 
 #[cfg(test)]
@@ -949,6 +1089,117 @@ mod tests {
         let error = decode_infer(&body, &catalog, &engines, &restricted, 0).unwrap_err();
         assert_eq!(error.code, "auto_unroutable");
         assert!(error.message.contains("native"), "{}", error.message);
+    }
+
+    #[test]
+    fn decodes_stream_session_and_timesteps_fields() {
+        let catalog = ModelCatalog::serving_default();
+        let engines = registry();
+        let body = Json::parse(
+            r#"{"model": "cifar10-serve", "engine": "native", "stream": true,
+                "session": "sess-0-0", "timesteps": 2}"#,
+        )
+        .unwrap();
+        let submission = decode(&body, &catalog, &engines, 3).unwrap();
+        assert!(submission.stream);
+        assert_eq!(submission.session.as_deref(), Some("sess-0-0"));
+        assert_eq!(submission.steps, Some(2));
+        assert!(submission.request.streaming);
+        assert_eq!(submission.request.steps, Some(2));
+        // Plain requests decode with the stateful fields off.
+        let body = Json::parse(r#"{"model": "cifar10-serve"}"#).unwrap();
+        let submission = decode(&body, &catalog, &engines, 4).unwrap();
+        assert!(!submission.stream);
+        assert!(submission.session.is_none());
+        assert!(submission.steps.is_none());
+        assert!(!submission.request.stateful());
+        // Malformed stateful fields are typed 400s.
+        for body in [
+            r#"{"model": "cifar10-serve", "engine": "native", "stream": "yes"}"#,
+            r#"{"model": "cifar10-serve", "engine": "native", "session": 7}"#,
+            r#"{"model": "cifar10-serve", "engine": "native", "timesteps": 0}"#,
+        ] {
+            let json = Json::parse(body).unwrap();
+            let error = decode(&json, &catalog, &engines, 0).unwrap_err();
+            assert_eq!(error.code, "bad_request", "{body}");
+        }
+        // Timestep counts beyond the model horizon are a 422.
+        let body =
+            Json::parse(r#"{"model": "cifar10-serve", "engine": "native", "timesteps": 4096}"#)
+                .unwrap();
+        let error = decode(&body, &catalog, &engines, 0).unwrap_err();
+        assert_eq!(error.code, "timesteps_out_of_range");
+        assert_eq!(error.status, 422);
+    }
+
+    #[test]
+    fn streaming_preflight_refuses_auto_and_non_streaming_engines() {
+        let catalog = ModelCatalog::serving_default();
+        let engines = registry();
+        // "auto" cannot guarantee a streaming-capable backend.
+        let body =
+            Json::parse(r#"{"model": "cifar10-serve", "engine": "auto", "stream": true}"#).unwrap();
+        let error = decode(&body, &catalog, &engines, 0).unwrap_err();
+        assert_eq!(error.code, "streaming_unsupported");
+        assert_eq!(error.status, 422);
+        // The baseline engines advertise supports_streaming = false, so a
+        // streamed request is refused at decode — before any chunked
+        // response header could commit.
+        for field in [r#""stream": true"#, r#""session": "sess-0-0""#] {
+            let body = Json::parse(&format!(
+                r#"{{"model": "cifar10-serve", "engine": "ptb", {field}}}"#
+            ))
+            .unwrap();
+            let error = decode(&body, &catalog, &engines, 0).unwrap_err();
+            assert_eq!(error.code, "streaming_unsupported", "{field}");
+            assert_eq!(error.status, 422);
+        }
+        // Both streaming-capable engines accept the same request shape.
+        for engine in ["simulator", "native"] {
+            let body = Json::parse(&format!(
+                r#"{{"model": "cifar10-serve", "engine": "{engine}", "stream": true}}"#
+            ))
+            .unwrap();
+            assert!(decode(&body, &catalog, &engines, 0).is_ok(), "{engine}");
+        }
+    }
+
+    #[test]
+    fn step_events_and_session_listings_encode() {
+        let event = StepEvent {
+            index: 2,
+            total: 6,
+            unit: "timestep",
+            spikes: 31,
+        };
+        let json = step_event_json(9, &event);
+        assert_eq!(json.get("event").and_then(Json::as_str), Some("step"));
+        assert_eq!(json.get("request_id").and_then(Json::as_u64), Some(9));
+        assert_eq!(json.get("index").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("total").and_then(Json::as_u64), Some(6));
+        assert_eq!(json.get("unit").and_then(Json::as_str), Some("timestep"));
+        assert_eq!(json.get("spikes").and_then(Json::as_u64), Some(31));
+
+        let store = SessionStore::new(bishop_session::SessionStoreConfig::default());
+        let id = store.create("cifar10-serve", "native", 7).unwrap();
+        let json = sessions_json(&store);
+        assert_eq!(json.get("capacity").and_then(Json::as_u64), Some(64));
+        assert_eq!(json.get("active").and_then(Json::as_u64), Some(1));
+        let Some(Json::Array(rows)) = json.get("sessions") else {
+            panic!("expected sessions array");
+        };
+        assert_eq!(
+            rows[0].get("id").and_then(Json::as_str),
+            Some(id.to_string().as_str())
+        );
+        assert_eq!(
+            rows[0].get("model").and_then(Json::as_str),
+            Some("cifar10-serve")
+        );
+        assert_eq!(
+            rows[0].get("in_flight").and_then(Json::as_bool),
+            Some(false)
+        );
     }
 
     #[test]

@@ -184,29 +184,44 @@ impl<R: Read> RequestReader<R> {
         }
         let (method, target, http11, headers) = parse_head(head)?;
 
-        // Phase 2: the declared body.
-        let content_length = match header_value(&headers, "content-length") {
-            Some(text) => text
-                .trim()
-                .parse::<usize>()
-                .map_err(|_| ParseError::BadRequest("invalid Content-Length".into()))?,
-            None => 0,
-        };
-        if header_value(&headers, "transfer-encoding").is_some() {
-            return Err(ParseError::Unsupported("chunked request bodies".into()));
-        }
-        if content_length > self.limits.max_body_bytes {
-            return Err(ParseError::BodyTooLarge);
-        }
+        // Phase 2: the declared body. A chunked transfer-encoding takes
+        // precedence over any Content-Length (RFC 9112 §6.3); encodings
+        // other than a single `chunked` stay a typed 501.
         let body_start = head_end + 4;
-        while self.buffer.len() < body_start + content_length {
-            if self.fill()? == 0 {
-                return Err(ParseError::UnexpectedEof);
+        let (body, consumed) = match header_value(&headers, "transfer-encoding") {
+            Some(encoding) if encoding.trim().eq_ignore_ascii_case("chunked") => {
+                self.read_chunked_body(body_start)?
             }
-        }
-        let body = self.buffer[body_start..body_start + content_length].to_vec();
+            Some(encoding) => {
+                return Err(ParseError::Unsupported(format!(
+                    "transfer-encoding \"{}\"",
+                    encoding.trim()
+                )));
+            }
+            None => {
+                let content_length = match header_value(&headers, "content-length") {
+                    Some(text) => text
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| ParseError::BadRequest("invalid Content-Length".into()))?,
+                    None => 0,
+                };
+                if content_length > self.limits.max_body_bytes {
+                    return Err(ParseError::BodyTooLarge);
+                }
+                while self.buffer.len() < body_start + content_length {
+                    if self.fill()? == 0 {
+                        return Err(ParseError::UnexpectedEof);
+                    }
+                }
+                (
+                    self.buffer[body_start..body_start + content_length].to_vec(),
+                    body_start + content_length,
+                )
+            }
+        };
         // Keep any pipelined bytes for the next call.
-        self.buffer.drain(..body_start + content_length);
+        self.buffer.drain(..consumed);
 
         Ok(Some(Request {
             method,
@@ -215,6 +230,73 @@ impl<R: Read> RequestReader<R> {
             headers,
             body,
         }))
+    }
+
+    /// Decodes a chunked request body starting at `body_start` in the
+    /// buffer. Returns the reassembled body and the buffer offset one past
+    /// the terminating blank trailer line, so pipelined requests keep
+    /// working. `max_body_bytes` is enforced on the *accumulated* decoded
+    /// size, before each chunk's data is buffered.
+    fn read_chunked_body(&mut self, body_start: usize) -> Result<(Vec<u8>, usize), ParseError> {
+        let mut body = Vec::new();
+        let mut pos = body_start;
+        loop {
+            let line_end = self.find_crlf(pos)?;
+            let line = std::str::from_utf8(&self.buffer[pos..line_end])
+                .map_err(|_| ParseError::BadRequest("non-UTF-8 chunk size line".into()))?;
+            // Chunk extensions (anything after `;`) are legal; ignore them.
+            let size_text = line.split(';').next().unwrap_or(line).trim();
+            let size = usize::from_str_radix(size_text, 16)
+                .map_err(|_| ParseError::BadRequest("invalid chunk size".into()))?;
+            if body.len().saturating_add(size) > self.limits.max_body_bytes {
+                return Err(ParseError::BodyTooLarge);
+            }
+            pos = line_end + 2;
+            if size == 0 {
+                // Discard trailer fields until the blank line that ends the
+                // chunked message.
+                loop {
+                    let trailer_end = self.find_crlf(pos)?;
+                    if trailer_end == pos {
+                        return Ok((body, pos + 2));
+                    }
+                    pos = trailer_end + 2;
+                }
+            }
+            while self.buffer.len() < pos + size + 2 {
+                if self.fill()? == 0 {
+                    return Err(ParseError::UnexpectedEof);
+                }
+            }
+            body.extend_from_slice(&self.buffer[pos..pos + size]);
+            if &self.buffer[pos + size..pos + size + 2] != b"\r\n" {
+                return Err(ParseError::BadRequest(
+                    "chunk data not CRLF-terminated".into(),
+                ));
+            }
+            pos += size + 2;
+        }
+    }
+
+    /// Fills until a CRLF appears at or after `from`; returns its offset.
+    /// Size and trailer lines are bounded by `max_head_bytes` so a peer
+    /// cannot grow the buffer without bound between chunks.
+    fn find_crlf(&mut self, from: usize) -> Result<usize, ParseError> {
+        loop {
+            let window_start = from.min(self.buffer.len());
+            if let Some(offset) = self.buffer[window_start..]
+                .windows(2)
+                .position(|w| w == b"\r\n")
+            {
+                return Ok(window_start + offset);
+            }
+            if self.buffer.len().saturating_sub(from) > self.limits.max_head_bytes {
+                return Err(ParseError::BadRequest("oversized chunk metadata".into()));
+            }
+            if self.fill()? == 0 {
+                return Err(ParseError::UnexpectedEof);
+            }
+        }
     }
 
     fn fill(&mut self) -> Result<usize, ParseError> {
@@ -371,7 +453,10 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
+        410 => "Gone",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -469,9 +554,54 @@ mod tests {
     }
 
     #[test]
-    fn chunked_bodies_are_unsupported() {
-        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
-        assert!(matches!(read_one(raw), Err(ParseError::Unsupported(_))));
+    fn chunked_bodies_reassemble() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let request = read_one(raw).unwrap().unwrap();
+        assert_eq!(request.body, b"Wikipedia");
+        // Chunked request then a pipelined plain request on one connection.
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    3;ext=1\r\nabc\r\n0\r\nTrailer: ignored\r\n\r\n\
+                    GET /next HTTP/1.1\r\n\r\n"
+            .to_vec();
+        let mut reader = RequestReader::new(&raw[..], Limits::default());
+        assert_eq!(reader.read_request().unwrap().unwrap().body, b"abc");
+        assert_eq!(reader.read_request().unwrap().unwrap().target, "/next");
+    }
+
+    #[test]
+    fn chunked_bodies_enforce_limits_and_syntax() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        // Accumulated chunk sizes exceed the body cap before the data for
+        // the oversized chunk is ever demanded.
+        let big = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nabcdef\r\n6\r\n";
+        assert!(matches!(
+            RequestReader::new(&big[..], limits).read_request(),
+            Err(ParseError::BodyTooLarge)
+        ));
+        // Malformed hex size line.
+        assert!(matches!(
+            read_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        // Chunk data not CRLF-terminated.
+        assert!(matches!(
+            read_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX0\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        // Truncated mid-chunk is an EOF, not a hang.
+        assert!(matches!(
+            read_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nab"),
+            Err(ParseError::UnexpectedEof)
+        ));
+        // Non-chunked transfer encodings stay a typed 501.
+        assert!(matches!(
+            read_one(b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
+            Err(ParseError::Unsupported(_))
+        ));
     }
 
     #[test]

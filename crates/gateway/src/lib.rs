@@ -22,6 +22,18 @@
 //!   engine's calibrated drain rate, never a hang; engine refusals are `422`
 //!   with the engine's stable error code. Pass `"trace": true` (or
 //!   `?trace=1`) to get a `"timings"` object of per-stage spans back.
+//!   With `"stream": true` the response is `Transfer-Encoding: chunked`
+//!   NDJSON: one `{"event": "step", ...}` line per timestep (native) or
+//!   simulated layer (simulator) as execution runs, then a terminal
+//!   `{"event": "result", ...}` line. Pass `"session": "<id>"` to continue
+//!   a parked session's LIF membrane state, `"timesteps": N` to run a
+//!   partial horizon; a split sequence is bit-identical to the
+//!   single-request path. Chunked *request* bodies are reassembled, too.
+//! * `POST /v1/sessions` — claim a persistent session slot pinned to a
+//!   `{model, engine, seed}` identity; `GET` lists live sessions, `DELETE
+//!   /v1/sessions/<id>` evicts one. Sessions expire after an idle TTL
+//!   (`410` on resume) and in-flight sessions refuse concurrent use
+//!   (`409`).
 //! * `GET /v1/models` — the servable model catalog, with per-entry engine
 //!   support.
 //! * `GET /v1/engines` — the registered execution backends and their

@@ -7,6 +7,7 @@ use std::sync::Mutex;
 
 use bishop_obs::ObsHub;
 use bishop_runtime::OnlineStats;
+use bishop_session::SessionStoreStats;
 
 /// HTTP- and connection-level counters maintained by the gateway itself.
 /// Runtime-level counters (queue depth, shed totals, simulated work) come
@@ -83,8 +84,17 @@ impl GatewayMetrics {
     /// histograms (`bishop_stage_seconds`), router decision counters
     /// (`bishop_router_decisions_total`), SLO compliance/burn gauges
     /// (`bishop_slo_*`) and profiler self-time totals
-    /// (`bishop_profile_seconds_total`).
-    pub fn render_prometheus(&self, runtime: &OnlineStats, obs: &ObsHub) -> String {
+    /// (`bishop_profile_seconds_total`). When a session store's stats are
+    /// provided, the session gauge/counters
+    /// (`bishop_sessions_active`, `bishop_sessions_evicted_total`) ride
+    /// along with the per-engine streamed-event counter
+    /// (`bishop_stream_events_total`).
+    pub fn render_prometheus(
+        &self,
+        runtime: &OnlineStats,
+        obs: &ObsHub,
+        sessions: Option<&SessionStoreStats>,
+    ) -> String {
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: f64| {
             render_metric(&mut out, name, help, "counter", None, value);
@@ -257,6 +267,38 @@ impl GatewayMetrics {
             "counter",
             |e| e.worker_panics as f64,
         );
+        engine_family(
+            "bishop_stream_events_total",
+            "Per-step progress events forwarded to streamed tickets, by engine.",
+            "counter",
+            |e| e.stream_events as f64,
+        );
+
+        // Session-slot occupancy and eviction counters, when the gateway
+        // runs a session store.
+        if let Some(stats) = sessions {
+            render_metric(
+                &mut out,
+                "bishop_sessions_active",
+                "Live sessions holding a persistent state slot.",
+                "gauge",
+                None,
+                stats.active as f64,
+            );
+            out.push_str(
+                "# HELP bishop_sessions_evicted_total Sessions evicted, by reason.\n\
+                 # TYPE bishop_sessions_evicted_total counter\n",
+            );
+            for (reason, value) in [
+                ("ttl", stats.evicted_ttl),
+                ("capacity", stats.evicted_capacity),
+                ("explicit", stats.evicted_explicit),
+            ] {
+                out.push_str(&format!(
+                    "bishop_sessions_evicted_total{{reason=\"{reason}\"}} {value}\n"
+                ));
+            }
+        }
 
         // Retry outcomes, by engine: attempted counts every re-execution,
         // recovered the batches a retry saved, exhausted the batches that
@@ -361,7 +403,7 @@ mod tests {
             queue_depth: 0,
             ..OnlineStats::default()
         };
-        let text = metrics.render_prometheus(&runtime, &ObsHub::default());
+        let text = metrics.render_prometheus(&runtime, &ObsHub::default(), None);
         assert!(text.contains("# TYPE bishop_gateway_http_responses_total counter"));
         assert!(text.contains("bishop_gateway_http_responses_total{status=\"200\"} 2"));
         assert!(text.contains("bishop_gateway_http_responses_total{status=\"429\"} 1"));
@@ -417,7 +459,7 @@ mod tests {
             ],
             ..OnlineStats::default()
         };
-        let text = metrics.render_prometheus(&runtime, &ObsHub::default());
+        let text = metrics.render_prometheus(&runtime, &ObsHub::default(), None);
         // The global gauge and the per-domain labeled samples share one
         // metric family.
         assert!(text.contains("bishop_runtime_queue_depth 5"));
@@ -483,7 +525,7 @@ mod tests {
                 degraded: false,
             },
         });
-        let text = metrics.render_prometheus(&OnlineStats::default(), &obs);
+        let text = metrics.render_prometheus(&OnlineStats::default(), &obs, None);
         // One HELP/TYPE header for the whole histogram family, then the
         // labeled bucket/sum/count series.
         assert_eq!(
@@ -499,5 +541,36 @@ mod tests {
         assert!(
             text.contains("bishop_router_decisions_total{engine=\"native\",verdict=\"chosen\"} 1")
         );
+    }
+
+    #[test]
+    fn renders_session_and_stream_families() {
+        use bishop_runtime::EngineLoadStats;
+        let metrics = GatewayMetrics::new();
+        let runtime = OnlineStats {
+            engines: vec![EngineLoadStats {
+                engine: bishop_engine::EngineName::native(),
+                stream_events: 12,
+                ..EngineLoadStats::default()
+            }],
+            ..OnlineStats::default()
+        };
+        // Without a session store the session families are absent but the
+        // per-engine stream counter still renders.
+        let text = metrics.render_prometheus(&runtime, &ObsHub::default(), None);
+        assert!(text.contains("bishop_stream_events_total{engine=\"native\"} 12"));
+        assert!(!text.contains("bishop_sessions_active"));
+
+        let stats = SessionStoreStats {
+            active: 3,
+            evicted_ttl: 2,
+            evicted_capacity: 1,
+            evicted_explicit: 4,
+        };
+        let text = metrics.render_prometheus(&runtime, &ObsHub::default(), Some(&stats));
+        assert!(text.contains("bishop_sessions_active 3"));
+        assert!(text.contains("bishop_sessions_evicted_total{reason=\"ttl\"} 2"));
+        assert!(text.contains("bishop_sessions_evicted_total{reason=\"capacity\"} 1"));
+        assert!(text.contains("bishop_sessions_evicted_total{reason=\"explicit\"} 4"));
     }
 }

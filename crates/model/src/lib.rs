@@ -37,6 +37,7 @@ pub mod mlp;
 pub mod profile;
 pub mod projection;
 pub mod ssa;
+pub mod stepper;
 pub mod tokenizer;
 pub mod transformer;
 pub mod workload;
@@ -46,6 +47,7 @@ pub use encoder::EncoderBlock;
 pub use mlp::SpikingMlp;
 pub use projection::{spike_matmul, spike_matmul_reference, SpikingLinear};
 pub use ssa::{SpikingSelfAttention, SsaOutput};
+pub use stepper::{BlockState, ModelState, PooledReadout, StepOutcome, TransformerStepper};
 pub use tokenizer::SpikingTokenizer;
 pub use transformer::{InferenceResult, SpikingTransformer};
 pub use workload::{

@@ -64,6 +64,16 @@ impl SpikingTokenizer {
         self.timesteps
     }
 
+    /// The projection weight matrix (`P × D`).
+    pub fn weight(&self) -> &DenseMatrix {
+        &self.weight
+    }
+
+    /// The LIF configuration of the tokenizer's spike generator.
+    pub fn lif_config(&self) -> LifConfig {
+        self.lif
+    }
+
     /// Tokenises the `N × P` patch matrix into a `T × N × D` spike tensor.
     ///
     /// The analog patch features drive the membrane charge identically at

@@ -96,6 +96,11 @@ impl SpikingTransformer {
         &self.blocks
     }
 
+    /// The classification head (`D × classes`).
+    pub fn classifier(&self) -> &DenseMatrix {
+        &self.classifier
+    }
+
     /// Global-average-pools a spike tensor over time and tokens into a
     /// per-feature firing-rate vector.
     pub fn pool(spikes: &SpikeTensor) -> Vec<f32> {

@@ -106,6 +106,27 @@ impl LifLayer {
         }
     }
 
+    /// Resumes a layer from previously exported membrane potentials.
+    ///
+    /// This is the state-import half of stateful (session) serving: a layer
+    /// parked between requests is reconstructed bit-identically from the
+    /// potentials [`LifLayer::membrane_potentials`] exported, so stepping it
+    /// continues the exact trajectory the exporting layer was on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_mem` is empty.
+    pub fn from_potentials(config: LifConfig, v_mem: Vec<f32>) -> Self {
+        assert!(!v_mem.is_empty(), "an LIF layer needs at least one neuron");
+        Self { config, v_mem }
+    }
+
+    /// Consumes the layer, returning its membrane potentials (the state-export
+    /// half of stateful serving).
+    pub fn into_potentials(self) -> Vec<f32> {
+        self.v_mem
+    }
+
     /// Number of neurons in the layer.
     pub fn units(&self) -> usize {
         self.v_mem.len()
@@ -278,6 +299,30 @@ mod tests {
         assert_eq!(layer.membrane_potentials(), &[0.0, 0.0]);
         // After reset the neuron must accumulate from scratch again.
         assert_eq!(layer.step(&[0.9, 0.9]), vec![false, false]);
+    }
+
+    #[test]
+    fn resumed_layer_continues_the_exact_trajectory() {
+        // Stepping a fresh layer twice must equal stepping once, exporting
+        // the potentials, resuming, and stepping the resumed layer once.
+        let mut reference = LifLayer::new(3, LifConfig::default());
+        reference.step(&[0.6, 0.3, 0.9]);
+        let mut resumed =
+            LifLayer::from_potentials(reference.config(), reference.membrane_potentials().to_vec());
+        let a = reference.step(&[0.5, 0.5, 0.5]);
+        let b = resumed.step(&[0.5, 0.5, 0.5]);
+        assert_eq!(a, b);
+        assert_eq!(
+            reference.membrane_potentials(),
+            resumed.membrane_potentials()
+        );
+        assert_eq!(resumed.into_potentials(), reference.membrane_potentials());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neuron")]
+    fn resume_rejects_empty_state() {
+        LifLayer::from_potentials(LifConfig::default(), Vec::new());
     }
 
     #[test]

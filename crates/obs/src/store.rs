@@ -98,6 +98,7 @@ mod tests {
                 request_id,
                 model: None,
                 engine: None,
+                session: None,
                 batch_id: None,
                 stamps: Vec::new(),
                 router: None,

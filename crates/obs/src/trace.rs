@@ -35,6 +35,9 @@ pub enum Stage {
     BatchFormation,
     /// Worker-side engine execution of the batch the request rode in.
     EngineExecute,
+    /// Writing streamed per-step progress chunks to the client (streamed
+    /// requests only; spans the whole chunked event phase).
+    StreamWrite,
     /// Serializing and writing the HTTP response.
     ResponseWrite,
 }
@@ -49,12 +52,13 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::BatchFormation => "batch_formation",
             Stage::EngineExecute => "engine_execute",
+            Stage::StreamWrite => "stream_write",
             Stage::ResponseWrite => "response_write",
         }
     }
 
     /// Every stage, in path order (the metric label universe).
-    pub fn all() -> [Stage; 7] {
+    pub fn all() -> [Stage; 8] {
         [
             Stage::Parse,
             Stage::Router,
@@ -62,6 +66,7 @@ impl Stage {
             Stage::QueueWait,
             Stage::BatchFormation,
             Stage::EngineExecute,
+            Stage::StreamWrite,
             Stage::ResponseWrite,
         ]
     }
@@ -89,6 +94,7 @@ impl StageStamp {
 struct TraceInner {
     model: Option<String>,
     engine: Option<String>,
+    session: Option<String>,
     batch_id: Option<u64>,
     stamps: Vec<StageStamp>,
     /// End offset of the last recorded stamp: the start of the next one.
@@ -157,6 +163,12 @@ impl TraceContext {
         self.inner.lock().expect("trace lock").engine = Some(engine.to_string());
     }
 
+    /// Records the wire-form session id the request continued (stateful
+    /// requests only) — the `?session=` filter key of the trace listing.
+    pub fn set_session(&self, session: &str) {
+        self.inner.lock().expect("trace lock").session = Some(session.to_string());
+    }
+
     /// Records the id of the batch the request rode in — the *batch span
     /// id* shared by every batch-mate.
     pub fn set_batch_id(&self, batch_id: u64) {
@@ -183,6 +195,7 @@ impl TraceContext {
             request_id: self.request_id,
             model: inner.model.clone(),
             engine: inner.engine.clone(),
+            session: inner.session.clone(),
             batch_id: inner.batch_id,
             stamps: inner.stamps.clone(),
             router: inner.router.clone(),
@@ -201,6 +214,8 @@ pub struct TraceSnapshot {
     pub model: Option<String>,
     /// Concrete engine the request routed to, once resolved.
     pub engine: Option<String>,
+    /// Wire-form session id the request continued, for stateful requests.
+    pub session: Option<String>,
     /// Id of the batch the request rode in (shared by batch-mates).
     pub batch_id: Option<u64>,
     /// Recorded stage spans, in stamp order.
@@ -257,9 +272,11 @@ mod tests {
         trace.set_model("cifar10-serve");
         trace.set_engine("simulator");
         trace.set_batch_id(42);
+        trace.set_session("sess-0-0");
         let snapshot = trace.snapshot();
         assert_eq!(snapshot.model.as_deref(), Some("cifar10-serve"));
         assert_eq!(snapshot.engine.as_deref(), Some("simulator"));
+        assert_eq!(snapshot.session.as_deref(), Some("sess-0-0"));
         assert_eq!(snapshot.batch_id, Some(42));
         assert!(snapshot.router.is_none());
         assert_eq!(snapshot.retries, 0);
@@ -300,6 +317,7 @@ mod tests {
                 "queue_wait",
                 "batch_formation",
                 "engine_execute",
+                "stream_write",
                 "response_write"
             ]
         );

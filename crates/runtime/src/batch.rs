@@ -32,6 +32,12 @@ pub struct BatchKey {
     regime: bishop_bundle::TrainingRegime,
     options: SimOptions,
     engine: EngineName,
+    /// Exclusivity discriminator: `Some(request id)` for stateful
+    /// (streaming/session) requests, whose membrane state is per-sequence
+    /// and must never fold into a shared timestep axis. Distinct per
+    /// request, so stateful requests always form singleton batches — even
+    /// against an open compatible group.
+    exclusive: Option<u64>,
 }
 
 impl From<&InferenceRequest> for BatchKey {
@@ -41,6 +47,7 @@ impl From<&InferenceRequest> for BatchKey {
             regime: request.regime,
             options: request.options,
             engine: request.engine.clone(),
+            exclusive: request.stateful().then_some(request.id),
         }
     }
 }

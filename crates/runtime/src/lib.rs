@@ -68,6 +68,15 @@ pub mod server;
 pub use bishop_engine::cache;
 
 pub use batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
+/// Streaming/session vocabulary appearing in the runtime's public API
+/// ([`InferenceRequest::resume`], [`Ticket::progress`],
+/// [`ServerHandle::register_sessions`]), re-exported so runtime clients
+/// need no direct `bishop-engine`/`bishop-session` dependency.
+pub use bishop_engine::{SessionState, StepEvent};
+pub use bishop_session::{
+    EvictionReason, SessionError, SessionId, SessionSnapshot, SessionStore, SessionStoreConfig,
+    SessionStoreStats,
+};
 pub use cache::{CacheStats, CalibrationCache, ResultCache, ResultKey, WorkloadKey};
 pub use online::{
     AdmissionStats, BreakerConfig, BreakerSnapshot, BreakerState, EngineLoadStats, OnlineConfig,

@@ -163,6 +163,8 @@ pub(crate) struct EngineCells {
     pub(crate) retries_exhausted: AtomicU64,
     /// Retries denied because the budget was empty.
     pub(crate) retry_budget_denied: AtomicU64,
+    /// Step events emitted by this engine's streaming executions.
+    pub(crate) stream_events: AtomicU64,
 }
 
 impl EngineCells {
@@ -190,6 +192,7 @@ impl EngineCells {
             retries_recovered: AtomicU64::new(0),
             retries_exhausted: AtomicU64::new(0),
             retry_budget_denied: AtomicU64::new(0),
+            stream_events: AtomicU64::new(0),
         }
     }
 
@@ -211,6 +214,7 @@ impl EngineCells {
             retries_recovered: self.retries_recovered.load(Ordering::Acquire),
             retries_exhausted: self.retries_exhausted.load(Ordering::Acquire),
             retry_budget_denied: self.retry_budget_denied.load(Ordering::Acquire),
+            stream_events: self.stream_events.load(Ordering::Acquire),
         }
     }
 }
@@ -253,6 +257,9 @@ pub struct EngineLoadStats {
     pub retries_exhausted: u64,
     /// Retries denied by an empty budget.
     pub retry_budget_denied: u64,
+    /// Step events this engine's streaming executions emitted (per-timestep
+    /// on native, per-layer on the simulator).
+    pub stream_events: u64,
 }
 
 impl Default for EngineLoadStats {
@@ -273,6 +280,7 @@ impl Default for EngineLoadStats {
             retries_recovered: 0,
             retries_exhausted: 0,
             retry_budget_denied: 0,
+            stream_events: 0,
         }
     }
 }

@@ -203,6 +203,7 @@ mod tests {
             deterministic: true,
             measures_wall_clock: false,
             max_folded_timesteps: None,
+            supports_streaming: false,
             seed_drain_ops_per_second: seed_rate,
             description: "test",
         };

@@ -15,7 +15,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bishop_engine::{EngineError, EngineOutput, EngineRegistry};
+use bishop_engine::{EngineBatch, EngineError, EngineOutput, EngineRegistry, StepEvent, StepSink};
 use bishop_obs::{EventLevel, EventValue, ObsHub, Stage, StageSlot, WorkerStage};
 
 use crate::batch::{BatchFormer, BatchKey, BatchPolicy, Batchable, RequestBatch};
@@ -33,6 +33,31 @@ pub(crate) struct PendingRequest {
     pub(crate) request: InferenceRequest,
     pub(crate) completion: mpsc::Sender<ServeResult>,
     pub(crate) estimated_ops: u64,
+    /// Bounded progress channel into the request's ticket, when the caller
+    /// asked for streaming. Workers forward engine step events through it
+    /// with `try_send` — a slow ticket reader drops events, never blocks
+    /// the worker.
+    pub(crate) progress: Option<mpsc::SyncSender<StepEvent>>,
+}
+
+/// Forwards engine step callbacks into a ticket's bounded progress channel
+/// without ever blocking the worker, and counts what flowed (and what a
+/// saturated channel dropped).
+struct ProgressSink {
+    progress: Option<mpsc::SyncSender<StepEvent>>,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl StepSink for ProgressSink {
+    fn on_step(&mut self, event: &StepEvent) {
+        self.emitted += 1;
+        if let Some(tx) = &self.progress {
+            if tx.try_send(event.clone()).is_err() {
+                self.dropped += 1;
+            }
+        }
+    }
 }
 
 impl Batchable for PendingRequest {
@@ -271,7 +296,15 @@ fn spawn_batcher(
                         trace.stamp(Stage::QueueWait);
                     }
                     let key = BatchKey::from(pending.request());
-                    let cap = engine_batch_cap(&registry, pending.request(), bundle);
+                    // Stateful (session/streaming) requests never coalesce —
+                    // membranes are per-sequence state — and must not sit in
+                    // an open group waiting for batch-mates that can never
+                    // arrive: cap 1 closes their singleton batch immediately.
+                    let cap = if pending.request().stateful() {
+                        1
+                    } else {
+                        engine_batch_cap(&registry, pending.request(), bundle)
+                    };
                     let newly_opened = former.pending_count(&key) == 0;
                     match former.push_capped(*pending, cap) {
                         Some(batch) => {
@@ -298,7 +331,11 @@ fn spawn_batcher(
                                 if let Some(trace) = &pending.request.trace {
                                     trace.stamp(Stage::QueueWait);
                                 }
-                                let cap = engine_batch_cap(&registry, pending.request(), bundle);
+                                let cap = if pending.request().stateful() {
+                                    1
+                                } else {
+                                    engine_batch_cap(&registry, pending.request(), bundle)
+                                };
                                 if let Some(batch) = former.push_capped(*pending, cap) {
                                     dispatch(batch, &mut load);
                                 }
@@ -381,6 +418,10 @@ fn spawn_worker(
             stage_slot.set(WorkerStage::EngineExecute);
             let batch_size = batch.len();
             let batch_ops: u64 = batch.requests.iter().map(|p| p.estimated_ops).sum();
+            // Stateful (session/streaming) requests always form singleton
+            // batches (the batcher caps them at 1); they execute on the
+            // engine's streaming path below instead of `execute`.
+            let stateful = batch_size == 1 && batch.requests[0].request.stateful();
             // Requests naming an unregistered engine ride the default
             // domain and fail typed below; they have no per-engine cells.
             let engine_cells = engines
@@ -403,6 +444,79 @@ fn spawn_worker(
             let mut wall_seconds = 0.0;
             let outcome = match registry.get(batch.engine().as_str()) {
                 None => Err(ServeError::UnknownEngine(batch.engine().clone())),
+                Some(engine) if stateful => {
+                    let engine_name = engine.descriptor().name;
+                    let pending = &batch.requests[0];
+                    let request = &pending.request;
+                    // The streaming path executes the request's *base*
+                    // configuration (no batch rename, no timestep padding):
+                    // session continuations must resolve the same weights
+                    // and the same memoized workload as the single long
+                    // request would, or the split stops being bit-identical.
+                    let engine_batch = EngineBatch {
+                        config: request.entry.config.clone(),
+                        regime: request.regime,
+                        seed: request.seed,
+                        options: request.options,
+                        batch_size: 1,
+                        batch_id: batch.id,
+                    };
+                    let steps = request.effective_steps();
+                    let resume = request.resume.clone();
+                    let mut sink = ProgressSink {
+                        progress: pending.progress.clone(),
+                        emitted: 0,
+                        dropped: 0,
+                    };
+                    attempts = 1;
+                    let started = Instant::now();
+                    // One attempt, never retried: step events already
+                    // reached the client, and replaying them after a
+                    // mid-sequence fault would double-deliver timesteps.
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.execute_streaming(&engine_batch, steps, resume.as_deref(), &mut sink)
+                    }))
+                    .unwrap_or_else(|_| {
+                        if let Some(cells) = &engine_cells {
+                            cells.panics.fetch_add(1, Ordering::AcqRel);
+                        }
+                        Err(EngineError::Panicked {
+                            engine: engine_name,
+                        })
+                    });
+                    wall_seconds = started.elapsed().as_secs_f64();
+                    if let Some(trace) = &request.trace {
+                        trace.stamp(Stage::EngineExecute);
+                    }
+                    let health_fault = attempt.as_ref().is_err_and(|e| e.retryable());
+                    if let Some(cells) = &engine_cells {
+                        if let Some(transition) = cells.breaker.record(health_fault) {
+                            log_breaker_transition(&obs, engine_name, transition);
+                        }
+                        cells
+                            .stream_events
+                            .fetch_add(sink.emitted, Ordering::AcqRel);
+                    }
+                    if sink.dropped > 0 {
+                        obs.events.emit(
+                            EventLevel::Warn,
+                            "stream_events_dropped",
+                            &[
+                                ("engine", EventValue::Str(engine_name)),
+                                ("batch_id", EventValue::U64(batch.id)),
+                                ("dropped", EventValue::U64(sink.dropped)),
+                            ],
+                        );
+                    }
+                    match attempt {
+                        Ok(streamed) => Ok((
+                            streamed.output,
+                            Some(Arc::new(streamed.state)),
+                            streamed.logits,
+                        )),
+                        Err(error) => Err(ServeError::Engine(error)),
+                    }
+                }
                 Some(engine) => {
                     let engine_name = engine.descriptor().name;
                     let engine_batch = batch.engine_batch(bundle);
@@ -447,7 +561,7 @@ fn spawn_worker(
                                         cells.retries_recovered.fetch_add(1, Ordering::AcqRel);
                                     }
                                 }
-                                break Ok(output);
+                                break Ok((output, None, None));
                             }
                             Err(error) => {
                                 if health_fault && attempts < retry.max_attempts.max(1) {
@@ -495,7 +609,7 @@ fn spawn_worker(
             }
             stage_slot.set(WorkerStage::ResponseFanout);
             match outcome {
-                Ok(output) => {
+                Ok((output, session_state, logits)) => {
                     let output = Arc::new(output);
                     let latency = output.latency_seconds;
                     cells.batches_executed.fetch_add(1, Ordering::AcqRel);
@@ -533,6 +647,8 @@ fn spawn_worker(
                             worker: index,
                             latency_seconds: latency,
                             output: Arc::clone(&output),
+                            session_state: session_state.clone(),
+                            logits: logits.clone(),
                         };
                         cells
                             .backlog_ops

@@ -70,11 +70,14 @@ pub use sampler::SamplerConfig;
 use breaker::BreakerAdmit;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use bishop_engine::{CalibrationCache, EngineError, EngineName, EngineRegistry, ResultCache};
+use bishop_engine::{
+    CalibrationCache, EngineError, EngineName, EngineRegistry, ResultCache, StepEvent,
+};
 use bishop_obs::{EventLevel, EventValue, ObsHub, Stage, TraceContext};
+use bishop_session::SessionStore;
 
 use crate::batch::config_ops;
 use crate::request::{InferenceRequest, InferenceResponse};
@@ -502,6 +505,11 @@ pub struct Ticket {
     request_id: u64,
     rx: mpsc::Receiver<ServeResult>,
     trace: Option<Arc<TraceContext>>,
+    /// Bounded per-step progress events, present when the request asked for
+    /// streaming. The sender side lives with the domain worker; it closes
+    /// when execution finishes, so draining this receiver to disconnection
+    /// and then calling [`Ticket::wait`] never blocks on a dead stream.
+    progress: Option<mpsc::Receiver<StepEvent>>,
 }
 
 impl Ticket {
@@ -533,6 +541,13 @@ impl Ticket {
     pub fn try_wait(&self) -> Option<ServeResult> {
         self.rx.try_recv().ok()
     }
+
+    /// The per-step progress channel, when the request asked for streaming.
+    /// Receive until it disconnects (execution finished), then collect the
+    /// terminal outcome with [`Ticket::wait`].
+    pub fn progress(&self) -> Option<&mpsc::Receiver<StepEvent>> {
+        self.progress.as_ref()
+    }
 }
 
 /// A cloneable, thread-safe submission endpoint of an [`OnlineServer`].
@@ -550,6 +565,10 @@ pub struct ServerHandle {
     /// the registry does not hold (they fail typed after dispatch).
     fallback_drain: f64,
     obs: Arc<ObsHub>,
+    /// The session store an edge (gateway) registered with this server, if
+    /// any — the background sampler scrapes its occupancy/eviction counters
+    /// into the time-series store alongside the engine gauges.
+    sessions: Arc<OnceLock<Arc<SessionStore>>>,
 }
 
 impl ServerHandle {
@@ -731,6 +750,15 @@ impl ServerHandle {
             trace.stamp(Stage::Admission);
         }
         let (completion, rx) = mpsc::channel();
+        // Streaming requests get a bounded progress channel sized for one
+        // event per executed timestep (workers `try_send` and drop on a
+        // saturated channel rather than block).
+        let (progress_tx, progress_rx) = if request.streaming {
+            let (tx, rx) = mpsc::sync_channel(request.effective_steps().max(64));
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
         cells.pending.fetch_add(1, Ordering::AcqRel);
         cells.backlog_ops.fetch_add(estimated_ops, Ordering::AcqRel);
         if let Some(engine) = &engine_cells {
@@ -743,6 +771,7 @@ impl ServerHandle {
             request,
             completion,
             estimated_ops,
+            progress: progress_tx,
         }));
         let tx = &self.domains[domain_index].tx;
         let outcome = if block {
@@ -760,6 +789,7 @@ impl ServerHandle {
                     request_id,
                     rx,
                     trace,
+                    progress: progress_rx,
                 })
             }
             Err(rejection) => {
@@ -825,6 +855,19 @@ impl ServerHandle {
     /// structured event log.
     pub fn obs(&self) -> &Arc<ObsHub> {
         &self.obs
+    }
+
+    /// Registers the edge's session store with this server so the
+    /// background sampler scrapes its occupancy and eviction counters.
+    /// Returns `false` (and changes nothing) if a store was already
+    /// registered.
+    pub fn register_sessions(&self, store: Arc<SessionStore>) -> bool {
+        self.sessions.set(store).is_ok()
+    }
+
+    /// The registered session store, if an edge attached one.
+    pub fn sessions(&self) -> Option<Arc<SessionStore>> {
+        self.sessions.get().cloned()
     }
 
     /// Predicted seconds until the backlog ahead of a *new* request on the
@@ -1036,12 +1079,14 @@ impl OnlineServer {
             domain_threads.push(threads);
         }
 
+        let sessions: Arc<OnceLock<Arc<SessionStore>>> = Arc::new(OnceLock::new());
         let sampler_thread = config.sampler.enabled.then(|| {
             sampler::spawn_sampler(
                 config.sampler.clone(),
                 Arc::clone(&obs),
                 Arc::clone(&cells),
                 engine_cells.clone(),
+                Arc::clone(&sessions),
             )
         });
         let handle = ServerHandle {
@@ -1056,6 +1101,7 @@ impl OnlineServer {
                 .unwrap_or(DEFAULT_DRAIN_OPS_PER_SECOND)
                 .max(1.0),
             obs,
+            sessions,
         };
         Self {
             handle,

@@ -18,11 +18,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bishop_obs::{HistogramSnapshot, ObsHub};
+use bishop_session::SessionStore;
 
 use super::breaker::BreakerState;
 use super::calibration::EngineCells;
@@ -91,6 +92,7 @@ pub(crate) fn spawn_sampler(
     obs: Arc<ObsHub>,
     cells: Arc<StatsCells>,
     engines: Vec<Arc<EngineCells>>,
+    sessions: Arc<OnceLock<Arc<SessionStore>>>,
 ) -> SamplerThread {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
@@ -106,14 +108,14 @@ pub(crate) fn spawn_sampler(
                 .sample(now.duration_since(last_profile).as_secs_f64());
             last_profile = now;
             if now.duration_since(last_metrics) >= config.metrics_interval {
-                scrape(&obs, &cells, &engines, &mut histogram_baseline);
+                scrape(&obs, &cells, &engines, &sessions, &mut histogram_baseline);
                 obs.slo.evaluate(&obs.timeseries, Some(&obs.events));
                 last_metrics = now;
             }
         }
         // Final scrape: a server shut down inside one metrics interval
         // still lands its counters and a final SLO evaluation.
-        scrape(&obs, &cells, &engines, &mut histogram_baseline);
+        scrape(&obs, &cells, &engines, &sessions, &mut histogram_baseline);
         obs.slo.evaluate(&obs.timeseries, Some(&obs.events));
     });
     SamplerThread { stop, handle }
@@ -124,6 +126,7 @@ fn scrape(
     obs: &ObsHub,
     cells: &StatsCells,
     engines: &[Arc<EngineCells>],
+    sessions: &OnceLock<Arc<SessionStore>>,
     histogram_baseline: &mut BTreeMap<(String, &'static str), HistogramSnapshot>,
 ) {
     let ts = &obs.timeseries;
@@ -203,6 +206,21 @@ fn scrape(
             &format!("engine.retries.{name}"),
             engine.retries_attempted.load(Ordering::Acquire) as f64,
         );
+        ts.record_counter(
+            &format!("engine.stream_events.{name}"),
+            engine.stream_events.load(Ordering::Acquire) as f64,
+        );
+    }
+
+    // Session-slot occupancy, when a gateway registered its store with
+    // this server (the store lives at the edge; the sampler just reads
+    // its counters into the same temporal layer everything else uses).
+    if let Some(store) = sessions.get() {
+        let stats = store.stats();
+        ts.record_gauge("sessions.active", stats.active as f64);
+        ts.record_counter("sessions.evicted.ttl", stats.evicted_ttl as f64);
+        ts.record_counter("sessions.evicted.capacity", stats.evicted_capacity as f64);
+        ts.record_counter("sessions.evicted.explicit", stats.evicted_explicit as f64);
     }
 
     // Router verdicts, as per-verdict totals across engines.

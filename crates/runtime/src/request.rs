@@ -7,6 +7,7 @@ use bishop_core::SimOptions;
 use bishop_engine::{CatalogEntry, EngineName, EngineOutput, ModelCatalog};
 use bishop_model::ModelConfig;
 use bishop_obs::TraceContext;
+use bishop_session::SessionState;
 
 /// One inference request submitted to the runtime.
 ///
@@ -36,6 +37,16 @@ pub struct InferenceRequest {
     /// runtime stamps stage boundaries into it as the request travels
     /// (admission, queue wait, batch formation, engine execute).
     pub trace: Option<Arc<TraceContext>>,
+    /// Whether the caller wants per-step progress events streamed through
+    /// the ticket while the batch executes (stateful execution path).
+    pub streaming: bool,
+    /// Parked session state to resume from (session continuation). The
+    /// engine continues the sequence from `resume.timesteps_done()`.
+    pub resume: Option<Arc<SessionState>>,
+    /// Timesteps to execute in this request on the stateful path, when
+    /// overriding the model's configured count. `None` = the catalog
+    /// entry's `timesteps`.
+    pub steps: Option<usize>,
 }
 
 /// Trace contexts are diagnostic sidecars: two requests are equal when
@@ -49,6 +60,9 @@ impl PartialEq for InferenceRequest {
             && self.seed == other.seed
             && self.options == other.options
             && self.engine == other.engine
+            && self.streaming == other.streaming
+            && self.resume == other.resume
+            && self.steps == other.steps
     }
 }
 
@@ -64,6 +78,9 @@ impl InferenceRequest {
             seed,
             engine: EngineName::simulator(),
             trace: None,
+            streaming: false,
+            resume: None,
+            steps: None,
         }
     }
 
@@ -91,6 +108,37 @@ impl InferenceRequest {
         self
     }
 
+    /// Requests per-step progress events (stateful execution path).
+    pub fn with_streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Continues a parked session from its exported state.
+    pub fn with_resume(mut self, state: Arc<SessionState>) -> Self {
+        self.resume = Some(state);
+        self
+    }
+
+    /// Overrides how many timesteps this request executes on the stateful
+    /// path.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Whether this request rides the stateful/streaming execution path
+    /// (and therefore must never coalesce with other requests: membranes
+    /// are per-sequence state).
+    pub fn stateful(&self) -> bool {
+        self.streaming || self.resume.is_some() || self.steps.is_some()
+    }
+
+    /// Timesteps this request executes on the stateful path.
+    pub fn effective_steps(&self) -> usize {
+        self.steps.unwrap_or(self.entry.config.timesteps)
+    }
+
     /// The model configuration behind the catalog entry.
     pub fn model(&self) -> &ModelConfig {
         &self.entry.config
@@ -116,6 +164,11 @@ pub struct InferenceResponse {
     /// Full engine output of the batch run, shared between all requests of
     /// the batch.
     pub output: Arc<EngineOutput>,
+    /// Exported session state, when the request rode the stateful path.
+    pub session_state: Option<Arc<SessionState>>,
+    /// Running per-class logits, when the substrate computes them on the
+    /// stateful path.
+    pub logits: Option<Vec<f32>>,
 }
 
 impl InferenceResponse {

@@ -1,0 +1,233 @@
+//! Streaming tickets and session continuation through the full runtime
+//! stack: admission → domain batcher → worker → engine streaming path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bishop_bundle::TrainingRegime;
+use bishop_core::SimOptions;
+use bishop_engine::{CatalogEntry, EngineName};
+use bishop_model::{DatasetKind, ModelConfig};
+use bishop_runtime::{
+    BatchPolicy, InferenceRequest, InferenceResponse, OnlineConfig, OnlineServer, RuntimeConfig,
+    SamplerConfig, SessionState, SessionStore, SessionStoreConfig, StepEvent, Ticket,
+};
+
+const TIMESTEPS: usize = 6;
+
+fn entry() -> Arc<CatalogEntry> {
+    CatalogEntry::new(
+        ModelConfig::new("session-rt", DatasetKind::Cifar10, 2, TIMESTEPS, 8, 16, 2),
+        TrainingRegime::Bsa,
+        SimOptions::baseline(),
+    )
+}
+
+fn server() -> OnlineServer {
+    OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(2, BatchPolicy::new(4)))
+            .with_batch_timeout(None)
+            .with_sampler(SamplerConfig::disabled()),
+    )
+}
+
+/// Drains the ticket's progress channel to disconnection, then waits for
+/// the terminal outcome.
+fn drain(ticket: Ticket) -> (Vec<StepEvent>, InferenceResponse) {
+    let events: Vec<StepEvent> = ticket
+        .progress()
+        .expect("streaming tickets carry a progress channel")
+        .iter()
+        .collect();
+    let response = ticket
+        .wait()
+        .expect("ticket resolves")
+        .expect("streaming-capable engine");
+    (events, response)
+}
+
+#[test]
+fn streaming_ticket_delivers_per_timestep_events_then_the_response() {
+    let server = server();
+    let handle = server.handle();
+    let request = InferenceRequest::new(0, entry(), 7)
+        .with_engine(EngineName::native())
+        .with_streaming();
+    let ticket = handle.try_submit(request).expect("admitted");
+    let (events, response) = drain(ticket);
+
+    assert_eq!(events.len(), TIMESTEPS, "one event per timestep");
+    for (i, event) in events.iter().enumerate() {
+        assert_eq!(event.index, i);
+        assert_eq!(event.total, TIMESTEPS);
+        assert_eq!(event.unit, "timestep");
+    }
+    assert_eq!(response.batch_size, 1, "stateful requests never coalesce");
+    let state = response.session_state.as_deref().expect("state exported");
+    assert_eq!(state.timesteps_done(), TIMESTEPS);
+    let logits = response.logits.as_ref().expect("native reports logits");
+    assert_eq!(logits.len(), DatasetKind::Cifar10.classes());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    let native = stats
+        .engines
+        .iter()
+        .find(|e| e.engine == EngineName::native())
+        .expect("native domain");
+    assert_eq!(
+        native.stream_events, TIMESTEPS as u64,
+        "step events are counted per engine"
+    );
+}
+
+#[test]
+fn split_continuation_is_bit_identical_through_the_runtime_on_native() {
+    let server = server();
+    let handle = server.handle();
+    let entry = entry();
+
+    let single = InferenceRequest::new(0, Arc::clone(&entry), 11)
+        .with_engine(EngineName::native())
+        .with_streaming();
+    let (_, single_response) = drain(handle.try_submit(single).expect("admitted"));
+
+    let first = InferenceRequest::new(1, Arc::clone(&entry), 11)
+        .with_engine(EngineName::native())
+        .with_streaming()
+        .with_steps(2);
+    let (first_events, first_response) = drain(handle.try_submit(first).expect("admitted"));
+    assert_eq!(first_events.len(), 2);
+    let parked = first_response.session_state.expect("state exported");
+
+    let second = InferenceRequest::new(2, Arc::clone(&entry), 11)
+        .with_engine(EngineName::native())
+        .with_streaming()
+        .with_resume(Arc::clone(&parked))
+        .with_steps(TIMESTEPS - 2);
+    let (second_events, second_response) = drain(handle.try_submit(second).expect("admitted"));
+
+    // Event indices continue the absolute timestep count across requests.
+    assert_eq!(second_events[0].index, 2);
+    assert_eq!(second_events.last().unwrap().index, TIMESTEPS - 1);
+    assert_eq!(
+        second_response.logits, single_response.logits,
+        "two-request continuation diverged from the single-request path"
+    );
+    assert_eq!(second_response.session_state, single_response.session_state);
+    server.shutdown();
+}
+
+#[test]
+fn split_continuation_is_bit_identical_through_the_runtime_on_simulator() {
+    let server = server();
+    let handle = server.handle();
+    let entry = entry();
+
+    let single = InferenceRequest::new(0, Arc::clone(&entry), 5).with_streaming();
+    let (_, single_response) = drain(handle.try_submit(single).expect("admitted"));
+
+    let first = InferenceRequest::new(1, Arc::clone(&entry), 5)
+        .with_streaming()
+        .with_steps(4);
+    let (_, first_response) = drain(handle.try_submit(first).expect("admitted"));
+    let parked = first_response.session_state.expect("state exported");
+    assert_eq!(*parked, SessionState::Simulated { timesteps_done: 4 });
+
+    let second = InferenceRequest::new(2, Arc::clone(&entry), 5)
+        .with_streaming()
+        .with_resume(parked)
+        .with_steps(TIMESTEPS - 4);
+    let (second_events, second_response) = drain(handle.try_submit(second).expect("admitted"));
+
+    assert_eq!(
+        second_response.output, single_response.output,
+        "simulated metrics diverged across the split"
+    );
+    assert!(
+        !second_events.is_empty(),
+        "simulator reports per-layer progress"
+    );
+    assert!(second_events.iter().all(|e| e.unit == "layer"));
+    server.shutdown();
+}
+
+#[test]
+fn baseline_engines_resolve_streaming_tickets_with_a_typed_refusal() {
+    let server = server();
+    let handle = server.handle();
+    let request = InferenceRequest::new(0, entry(), 3)
+        .with_engine(EngineName::from("ptb"))
+        .with_streaming();
+    let ticket = handle
+        .try_submit(request)
+        .expect("admission is typed later");
+    let events: Vec<StepEvent> = ticket.progress().expect("channel exists").iter().collect();
+    assert!(events.is_empty(), "refusal emits no step events");
+    let error = ticket
+        .wait()
+        .expect("ticket resolves")
+        .expect_err("ptb has no streaming path");
+    assert_eq!(error.code(), "streaming_unsupported");
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.queue_depth, 0, "refusals drain the queue");
+}
+
+#[test]
+fn resume_without_streaming_skips_the_progress_channel_but_exports_state() {
+    let server = server();
+    let handle = server.handle();
+    let entry = entry();
+    let first = InferenceRequest::new(0, Arc::clone(&entry), 9)
+        .with_engine(EngineName::native())
+        .with_streaming()
+        .with_steps(3);
+    let (_, first_response) = drain(handle.try_submit(first).expect("admitted"));
+    let parked = first_response.session_state.expect("state exported");
+
+    // A continuation without `streaming` still rides the stateful path
+    // (exclusive batch, exported state) — it just has no event channel.
+    let second = InferenceRequest::new(1, entry, 9)
+        .with_engine(EngineName::native())
+        .with_resume(parked)
+        .with_steps(3);
+    let ticket = handle.try_submit(second).expect("admitted");
+    assert!(ticket.progress().is_none(), "no channel without streaming");
+    let response = ticket
+        .wait()
+        .expect("ticket resolves")
+        .expect("native continues the session");
+    let state = response.session_state.expect("state exported");
+    assert_eq!(state.timesteps_done(), TIMESTEPS);
+    server.shutdown();
+}
+
+#[test]
+fn registered_session_store_is_scraped_into_the_time_series() {
+    let server = OnlineServer::start(
+        OnlineConfig::new(RuntimeConfig::new(1, BatchPolicy::new(1))).with_sampler(
+            SamplerConfig::default()
+                .with_intervals(Duration::from_millis(1), Duration::from_millis(1)),
+        ),
+    );
+    let handle = server.handle();
+    let store = Arc::new(SessionStore::new(SessionStoreConfig::default()));
+    assert!(handle.register_sessions(Arc::clone(&store)));
+    assert!(
+        !handle.register_sessions(Arc::clone(&store)),
+        "second registration is refused"
+    );
+    assert!(handle.sessions().is_some());
+    store
+        .create("session-rt", "native", 1)
+        .expect("slot available");
+    let obs = Arc::clone(handle.obs());
+    server.shutdown(); // final scrape lands the session gauges
+    let names = obs.timeseries.series_names();
+    assert!(
+        names.iter().any(|n| n == "sessions.active"),
+        "sessions.active missing from {names:?}"
+    );
+    assert!(names.iter().any(|n| n == "sessions.evicted.ttl"));
+}
