@@ -15,9 +15,10 @@ use bishop_core::{AttentionCoreModel, BishopConfig, BishopSimulator, SimOptions}
 use bishop_memsys::EnergyModel;
 use bishop_model::workload::SyntheticTraceSpec;
 use bishop_model::{
-    spike_matmul, spike_matmul_reference, DatasetKind, ModelConfig, ModelWorkload,
-    SpikingSelfAttention,
+    select_accumulate, select_accumulate_reference, spike_matmul, spike_matmul_reference,
+    DatasetKind, ModelConfig, ModelWorkload, SpikingSelfAttention,
 };
+use bishop_spiketensor::words::simd;
 use bishop_spiketensor::{DenseMatrix, SpikeTraceGenerator, TensorShape, TraceProfile};
 
 fn trace(density: f64, shape: TensorShape, seed: u64) -> bishop_spiketensor::SpikeTensor {
@@ -185,9 +186,29 @@ fn bench_perf_ratios(_c: &mut Criterion) {
             black_box(TtbTags::from_tensor(&tagged, bundle));
         },
     );
+    let v = trace(0.18, shape, 36);
+    let scores = DenseMatrix::random_uniform(shape.tokens, shape.tokens, 1.0, &mut rng);
+    let scale = 1.0 / shape.features as f32;
+    measure(
+        "sv_select_accumulate",
+        3,
+        &mut || {
+            let mut out = DenseMatrix::zeros(shape.tokens, shape.features);
+            select_accumulate_reference(&mut out, &scores, scale, &v, 0, 0, shape.features);
+            black_box(out);
+        },
+        &mut || {
+            let mut out = DenseMatrix::zeros(shape.tokens, shape.features);
+            select_accumulate(&mut out, &scores, scale, &v, 0, 0, shape.features);
+            black_box(out);
+        },
+    );
 
+    // Record which dispatch tier produced the `word` timings, so numbers
+    // from different hosts are comparable.
     let json = format!(
-        "{{\n  \"shape\": \"{shape}\",\n{}\n}}\n",
+        "{{\n  \"shape\": \"{shape}\",\n  \"simd_tier\": \"{}\",\n{}\n}}\n",
+        simd::active().tier().label(),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

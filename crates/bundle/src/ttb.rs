@@ -1,5 +1,6 @@
 //! Token-Time Bundle geometry and activity tags.
 
+use bishop_spiketensor::words::simd;
 use bishop_spiketensor::{SpikeTensor, TensorShape};
 
 /// Shape of a Token-Time Bundle: `BSn` tokens × `BSt` timesteps.
@@ -149,15 +150,20 @@ impl TtbTags {
         let shape = tensor.shape();
         let grid = TtbGrid::new(shape, bundle);
         let features = shape.features;
+        let kernels = simd::active();
         let mut tags = vec![0u32; grid.bundles_per_feature() * features];
+        // Per-row logical words, reused across rows; the row view's masked
+        // logical reads keep tail bits clear, satisfying the masked_inc
+        // contract.
+        let mut row_bits: Vec<u64> = Vec::with_capacity(features.div_ceil(64));
         for t in 0..shape.timesteps {
             for n in 0..shape.tokens {
                 let (bt, bn) = grid.bundle_of(t, n);
                 let base = (bt * grid.token_bundles() + bn) * features;
-                let row = &mut tags[base..base + features];
-                for d in tensor.row_words(t, n).iter_set_bits() {
-                    row[d] += 1;
-                }
+                let row = tensor.row_words(t, n);
+                row_bits.clear();
+                row_bits.extend((0..row.word_count()).map(|i| row.word(i)));
+                kernels.masked_inc(&mut tags[base..base + features], &row_bits);
             }
         }
         Self { grid, tags }

@@ -134,6 +134,12 @@ pub struct EngineDescriptor {
     /// EWMA of observed throughput replaces the seed as traffic flows; the
     /// seed only has to be the right order of magnitude.
     pub seed_drain_ops_per_second: f64,
+    /// The SIMD kernel tier the engine's compute runs on (`"scalar"`,
+    /// `"neon"`, `"avx2"`, `"avx512"`), or `None` for engines that do not
+    /// execute the functional kernels (simulators / analytic models).
+    /// Published on `GET /v1/engines` so operators can see which popcount
+    /// path a deployment resolved to.
+    pub simd_tier: Option<&'static str>,
     /// One-line human description.
     pub description: &'static str,
 }
@@ -383,6 +389,7 @@ mod tests {
             max_folded_timesteps: Some(16),
             supports_streaming: false,
             seed_drain_ops_per_second: 1e9,
+            simd_tier: None,
             description: "test engine",
         }
     }

@@ -62,6 +62,7 @@ impl InferenceEngine for BaselineEngine {
                 max_folded_timesteps: None,
                 supports_streaming: false,
                 seed_drain_ops_per_second: 4e9,
+                simd_tier: None,
                 description: "Parallel Time Batching (HPCA'22) homogeneous systolic-array \
                               baseline over the same synthesized workloads",
             },
@@ -75,6 +76,7 @@ impl InferenceEngine for BaselineEngine {
                 supports_streaming: false,
                 // Closed-form roofline: evaluation is effectively free.
                 seed_drain_ops_per_second: 8e9,
+                simd_tier: None,
                 description: "Jetson-Nano-class edge-GPU roofline baseline (dense FP16, \
                               per-timestep launch overhead)",
             },

@@ -12,8 +12,9 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bishop_model::{ModelConfig, SpikingTransformer, TransformerStepper};
+use bishop_model::{ComputePool, ModelConfig, SpikingTransformer, TransformerStepper};
 use bishop_session::SessionState;
+use bishop_spiketensor::words::simd;
 use bishop_spiketensor::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,6 +43,12 @@ pub struct NativeEngineConfig {
     /// Entry bound of the weight cache (one materialized transformer per
     /// distinct batched configuration).
     pub model_cache_capacity: usize,
+    /// Width of the intra-batch compute pool: independent units of one
+    /// batch (timesteps, heads, token-row chunks) fan out across this many
+    /// threads, caller included. `0` auto-sizes to the host's available
+    /// parallelism; `1` forces sequential execution. Results are
+    /// bit-identical at any width.
+    pub compute_workers: usize,
 }
 
 impl Default for NativeEngineConfig {
@@ -51,6 +58,7 @@ impl Default for NativeEngineConfig {
             clock_hz: 2.5e9,
             max_folded_timesteps: 1024,
             model_cache_capacity: 32,
+            compute_workers: 0,
         }
     }
 }
@@ -75,6 +83,7 @@ impl Default for NativeEngineConfig {
 pub struct NativeEngine {
     config: NativeEngineConfig,
     models: OnceMap<ModelConfig, SpikingTransformer>,
+    pool: ComputePool,
 }
 
 impl NativeEngine {
@@ -83,18 +92,32 @@ impl NativeEngine {
         Self::with_config(NativeEngineConfig::default())
     }
 
-    /// An engine with explicit host parameters.
+    /// An engine with explicit host parameters. The intra-batch compute
+    /// pool is sized from [`NativeEngineConfig::compute_workers`].
     pub fn with_config(config: NativeEngineConfig) -> Self {
+        let pool = ComputePool::new(config.compute_workers);
+        Self::with_config_and_pool(config, pool)
+    }
+
+    /// An engine with an explicitly constructed compute pool (the runtime
+    /// uses this to attach profiler probes to the pool lanes).
+    pub fn with_config_and_pool(config: NativeEngineConfig, pool: ComputePool) -> Self {
         let capacity = config.model_cache_capacity;
         Self {
             config,
             models: OnceMap::with_capacity(capacity),
+            pool,
         }
     }
 
     /// The host parameters in use.
     pub fn config(&self) -> &NativeEngineConfig {
         &self.config
+    }
+
+    /// The intra-batch compute pool.
+    pub fn compute_pool(&self) -> &ComputePool {
+        &self.pool
     }
 
     /// The transformer serving `config`, built (with weights seeded from the
@@ -135,6 +158,7 @@ impl InferenceEngine for NativeEngine {
             // memoized simulator; seed conservatively and let the EWMA of
             // measured batch wall-clocks take over.
             seed_drain_ops_per_second: 2e9,
+            simd_tier: Some(simd::active().tier().label()),
             description: "Functional spiking-transformer forward pass on the host CPU \
                           (word-parallel popcount kernels, measured wall-clock)",
         }
@@ -152,7 +176,7 @@ impl InferenceEngine for NativeEngine {
             DenseMatrix::random_uniform(batch.config.tokens, batch.config.features, 1.0, &mut rng);
 
         let start = Instant::now();
-        let result = model.infer(&patches);
+        let result = model.infer_with(&patches, &self.pool);
         let wall = start.elapsed().as_secs_f64();
 
         Ok(EngineOutput {
@@ -187,6 +211,7 @@ impl InferenceEngine for NativeEngine {
         let mut stepper = match resume {
             Some(SessionState::Native(state)) => {
                 TransformerStepper::resume(&model, &patches, state.clone())
+                    .with_pool(self.pool.clone())
             }
             // A state exported by a different substrate cannot seed native
             // membranes; treat the coupling as broken rather than guess.
@@ -195,7 +220,7 @@ impl InferenceEngine for NativeEngine {
                     engine: NATIVE_ENGINE,
                 })
             }
-            None => TransformerStepper::new(&model, &patches),
+            None => TransformerStepper::new(&model, &patches).with_pool(self.pool.clone()),
         };
         assert!(
             stepper.timesteps_done() + steps > 0,

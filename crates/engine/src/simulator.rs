@@ -81,6 +81,7 @@ impl InferenceEngine for SimulatorEngine {
             // Memoized analytic simulation retires batches in microseconds
             // once warm; the calibration EWMA corrects from observations.
             seed_drain_ops_per_second: 5e9,
+            simd_tier: None,
             description: "Cycle-level Bishop heterogeneous-core simulator with workload and \
                           result memoization",
         }

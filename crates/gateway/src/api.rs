@@ -444,6 +444,13 @@ pub fn engines_json(engines: &EngineRegistry, load: &[EngineLoadStats]) -> Json 
                         "seed_drain_ops_per_second",
                         Json::Number(d.seed_drain_ops_per_second),
                     ),
+                    (
+                        "simd_tier",
+                        match d.simd_tier {
+                            Some(tier) => Json::string(tier),
+                            None => Json::Null,
+                        },
+                    ),
                     ("description", Json::string(d.description)),
                 ];
                 if let Some(stats) = load.iter().find(|s| s.engine.as_str() == d.name) {
@@ -995,6 +1002,14 @@ mod tests {
             native.get("substrate").and_then(Json::as_str),
             Some("host_cpu")
         );
+        // The native engine publishes the SIMD tier its kernels resolved
+        // to; pure simulators/analytic models publish null.
+        let tier = native.get("simd_tier").and_then(Json::as_str);
+        assert!(
+            matches!(tier, Some("scalar" | "neon" | "avx2" | "avx512")),
+            "unexpected simd_tier {tier:?}"
+        );
+        assert_eq!(engines[0].get("simd_tier"), Some(&Json::Null));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use bishop_spiketensor::SpikeTensor;
 use rand::Rng;
 
 use crate::mlp::{MlpOutput, SpikingMlp};
+use crate::parallel::ComputePool;
 use crate::ssa::{SpikingSelfAttention, SsaOutput};
 
 /// All activations produced by one encoder block forward pass.
@@ -64,11 +65,17 @@ impl EncoderBlock {
 
     /// Forward pass with residual merging.
     pub fn forward(&self, input: &SpikeTensor) -> EncoderOutput {
-        let ssa = self.ssa.forward(input);
+        self.forward_with(input, &ComputePool::sequential())
+    }
+
+    /// Pool-parallel [`EncoderBlock::forward`]; bit-identical at any pool
+    /// width.
+    pub fn forward_with(&self, input: &SpikeTensor, pool: &ComputePool) -> EncoderOutput {
+        let ssa = self.ssa.forward_with(input, pool);
         let mlp_input = input
             .or(&ssa.output)
             .expect("SSA output shape matches its input shape");
-        let mlp = self.mlp.forward(&mlp_input);
+        let mlp = self.mlp.forward_with(&mlp_input, pool);
         let output = mlp_input
             .or(&mlp.output)
             .expect("MLP output shape matches its input shape");

@@ -34,6 +34,7 @@
 pub mod config;
 pub mod encoder;
 pub mod mlp;
+pub mod parallel;
 pub mod profile;
 pub mod projection;
 pub mod ssa;
@@ -45,8 +46,9 @@ pub mod workload;
 pub use config::{DatasetKind, ModelConfig};
 pub use encoder::EncoderBlock;
 pub use mlp::SpikingMlp;
+pub use parallel::{ComputePool, WorkerProbe};
 pub use projection::{spike_matmul, spike_matmul_reference, SpikingLinear};
-pub use ssa::{SpikingSelfAttention, SsaOutput};
+pub use ssa::{select_accumulate, select_accumulate_reference, SpikingSelfAttention, SsaOutput};
 pub use stepper::{BlockState, ModelState, PooledReadout, StepOutcome, TransformerStepper};
 pub use tokenizer::SpikingTokenizer;
 pub use transformer::{InferenceResult, SpikingTransformer};

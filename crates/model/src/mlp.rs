@@ -4,6 +4,7 @@ use bishop_neuron::LifConfig;
 use bishop_spiketensor::SpikeTensor;
 use rand::Rng;
 
+use crate::parallel::ComputePool;
 use crate::projection::SpikingLinear;
 
 /// The spiking MLP block of an encoder: two spiking linear layers with an
@@ -74,8 +75,14 @@ impl SpikingMlp {
 
     /// Forward pass returning both the hidden and output spike tensors.
     pub fn forward(&self, input: &SpikeTensor) -> MlpOutput {
-        let hidden = self.fc1.forward(input);
-        let output = self.fc2.forward(&hidden);
+        self.forward_with(input, &ComputePool::sequential())
+    }
+
+    /// Pool-parallel [`SpikingMlp::forward`]; bit-identical at any pool
+    /// width.
+    pub fn forward_with(&self, input: &SpikeTensor, pool: &ComputePool) -> MlpOutput {
+        let hidden = self.fc1.forward_with(input, pool);
+        let output = self.fc2.forward_with(&hidden, pool);
         MlpOutput { hidden, output }
     }
 }

@@ -1,8 +1,11 @@
 //! Spiking linear (projection) layers.
 
 use bishop_neuron::{lif_over_time, LifConfig};
+use bishop_spiketensor::words::simd;
 use bishop_spiketensor::{DenseMatrix, SpikeTensor};
 use rand::Rng;
+
+use crate::parallel::ComputePool;
 
 /// Multiplies the binary spike plane at timestep `t` (an `N × D_in` 0/1
 /// matrix) with a dense `D_in × D_out` weight matrix.
@@ -14,8 +17,10 @@ use rand::Rng;
 ///
 /// Word-parallel: each token's active input features are enumerated with the
 /// `trailing_zeros` set-bit iterator over the packed feature row, so the work
-/// is proportional to the number of spikes rather than `D_in`. Bit-for-bit
-/// identical to [`spike_matmul_reference`].
+/// is proportional to the number of spikes rather than `D_in`; the dense
+/// weight-row accumulation runs on the active SIMD tier's element-wise
+/// `add_assign` kernel (no reassociation, so still bit-for-bit identical to
+/// [`spike_matmul_reference`]).
 ///
 /// # Panics
 ///
@@ -31,17 +36,48 @@ pub fn spike_matmul(spikes: &SpikeTensor, t: usize, weight: &DenseMatrix) -> Den
         weight.rows(),
         shape.features
     );
+    let kernels = simd::active();
     let mut out = DenseMatrix::zeros(shape.tokens, weight.cols());
     for n in 0..shape.tokens {
         for d_in in spikes.row_words(t, n).iter_set_bits() {
-            let weight_row = weight.row(d_in);
-            let out_row = out.row_mut(n);
-            for (o, &w) in out_row.iter_mut().zip(weight_row) {
-                *o += w;
-            }
+            kernels.add_assign(out.row_mut(n), weight.row(d_in));
         }
     }
     out
+}
+
+/// Pool-parallel variant of [`spike_matmul`]: output token rows are
+/// independent, so they are fanned across the compute pool and reassembled
+/// in token order. Each row runs the exact same accumulation sequence as
+/// the sequential kernel, so the result is bit-for-bit identical to
+/// [`spike_matmul`] at any pool width.
+pub fn spike_matmul_with(
+    spikes: &SpikeTensor,
+    t: usize,
+    weight: &DenseMatrix,
+    pool: &ComputePool,
+) -> DenseMatrix {
+    if !pool.is_parallel() {
+        return spike_matmul(spikes, t, weight);
+    }
+    let shape = spikes.shape();
+    assert!(t < shape.timesteps, "timestep {t} out of range");
+    assert_eq!(
+        weight.rows(),
+        shape.features,
+        "weight rows ({}) must equal input features ({})",
+        weight.rows(),
+        shape.features
+    );
+    let rows = pool.run(shape.tokens, |n| {
+        let kernels = simd::active();
+        let mut row = vec![0.0_f32; weight.cols()];
+        for d_in in spikes.row_words(t, n).iter_set_bits() {
+            kernels.add_assign(&mut row, weight.row(d_in));
+        }
+        row
+    });
+    DenseMatrix::from_rows(&rows)
 }
 
 /// Scalar reference implementation of [`spike_matmul`], kept for
@@ -138,14 +174,35 @@ impl SpikingLinear {
     /// applying the LIF stage. Exposed because the Bishop spike generator
     /// consumes exactly this intermediate quantity.
     pub fn synaptic_integration(&self, input: &SpikeTensor) -> Vec<DenseMatrix> {
-        (0..input.shape().timesteps)
-            .map(|t| spike_matmul(input, t, &self.weight))
-            .collect()
+        self.synaptic_integration_with(input, &ComputePool::sequential())
+    }
+
+    /// Pool-parallel [`SpikingLinear::synaptic_integration`]: timesteps are
+    /// independent before the LIF stage (the membrane coupling happens in
+    /// `lif_over_time`), so they are fanned across the compute pool. A
+    /// single-timestep input falls back to row-chunked
+    /// [`spike_matmul_with`]. Bit-identical to the sequential path.
+    pub fn synaptic_integration_with(
+        &self,
+        input: &SpikeTensor,
+        pool: &ComputePool,
+    ) -> Vec<DenseMatrix> {
+        let timesteps = input.shape().timesteps;
+        if timesteps == 1 {
+            return vec![spike_matmul_with(input, 0, &self.weight, pool)];
+        }
+        pool.run(timesteps, |t| spike_matmul(input, t, &self.weight))
     }
 
     /// Full forward pass: synaptic integration followed by the LIF layer.
     pub fn forward(&self, input: &SpikeTensor) -> SpikeTensor {
-        let integration = self.synaptic_integration(input);
+        self.forward_with(input, &ComputePool::sequential())
+    }
+
+    /// Pool-parallel [`SpikingLinear::forward`]; bit-identical at any pool
+    /// width.
+    pub fn forward_with(&self, input: &SpikeTensor, pool: &ComputePool) -> SpikeTensor {
+        let integration = self.synaptic_integration_with(input, pool);
         lif_over_time(&integration, self.lif)
     }
 }

@@ -1,10 +1,90 @@
 //! Multi-head Spiking Self-Attention (SSA), Eq. 3–8 of the paper.
 
 use bishop_neuron::{lif_over_time, LifConfig};
+use bishop_spiketensor::words::simd;
 use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
 use rand::Rng;
 
+use crate::parallel::ComputePool;
 use crate::projection::SpikingLinear;
+
+/// The SSA `S·V` select-accumulate for one head and one timestep:
+/// `head_output[i, d0+d] += S[i, j]·scale` for every token pair `(i, j)`
+/// with a non-zero scaled score and every set bit `d` of V's `(t, j)` head
+/// sub-row.
+///
+/// The V sub-row's logical words are materialised once per `j` and each
+/// destination row then takes one spike-masked SIMD `masked_add` — blend
+/// semantics, so lanes whose V bit is clear keep their exact bit pattern and
+/// the result stays bit-for-bit identical to
+/// [`select_accumulate_reference`].
+///
+/// # Panics
+///
+/// Panics if `s` is not `tokens × tokens` or the feature range is out of
+/// bounds for `v`.
+pub fn select_accumulate(
+    head_output: &mut DenseMatrix,
+    s: &DenseMatrix,
+    scale: f32,
+    v: &SpikeTensor,
+    t: usize,
+    d0: usize,
+    d1: usize,
+) {
+    let tokens = v.shape().tokens;
+    assert_eq!(s.rows(), tokens, "score rows must equal token count");
+    assert_eq!(s.cols(), tokens, "score cols must equal token count");
+    let kernels = simd::active();
+    let mut v_bits: Vec<u64> = Vec::with_capacity((d1 - d0).div_ceil(64));
+    for j in 0..tokens {
+        let v_row = v.row_feature_slice(t, j, d0, d1);
+        v_bits.clear();
+        v_bits.extend((0..v_row.word_count()).map(|i| v_row.word(i)));
+        if v_bits.iter().all(|&w| w == 0) {
+            continue;
+        }
+        for i in 0..tokens {
+            let weight = s.get(i, j) * scale;
+            if weight == 0.0 {
+                continue;
+            }
+            kernels.masked_add(&mut head_output.row_mut(i)[d0..d1], &v_bits, weight);
+        }
+    }
+}
+
+/// Scalar reference implementation of [`select_accumulate`] (per-set-bit
+/// accumulation), kept for differential testing of the spike-masked SIMD
+/// kernel.
+pub fn select_accumulate_reference(
+    head_output: &mut DenseMatrix,
+    s: &DenseMatrix,
+    scale: f32,
+    v: &SpikeTensor,
+    t: usize,
+    d0: usize,
+    d1: usize,
+) {
+    let tokens = v.shape().tokens;
+    assert_eq!(s.rows(), tokens, "score rows must equal token count");
+    assert_eq!(s.cols(), tokens, "score cols must equal token count");
+    for j in 0..tokens {
+        let v_row = v.row_feature_slice(t, j, d0, d1);
+        if v_row.count_ones() == 0 {
+            continue;
+        }
+        for i in 0..tokens {
+            let weight = s.get(i, j) * scale;
+            if weight == 0.0 {
+                continue;
+            }
+            for d in v_row.iter_set_bits() {
+                head_output.add_assign(i, d0 + d, weight);
+            }
+        }
+    }
+}
 
 /// Output bundle of an SSA block forward pass.
 ///
@@ -156,6 +236,35 @@ impl SpikingSelfAttention {
             .map(|j| k.row_feature_slice(t, j, d_start, d_end))
             .collect();
         let mut s = DenseMatrix::zeros(tokens, tokens);
+
+        // Word-aligned feature range (the whole-tensor case whenever
+        // `D % 64 == 0`): every row pairs with every other row, so hoist
+        // the logical-word assembly and the dispatch-table lookup out of
+        // the `tokens²` pair loop and AND+popcount the raw packed words.
+        let q_aligned: Option<Vec<&[u64]>> = q_rows.iter().map(|r| r.aligned_words()).collect();
+        let k_aligned: Option<Vec<&[u64]>> = k_rows.iter().map(|r| r.aligned_words()).collect();
+        if let (Some(q_words), Some(k_words)) = (q_aligned, k_aligned) {
+            let kernels = simd::active();
+            let long = (d_end - d_start) / 64 >= simd::DISPATCH_MIN_WORDS;
+            for (i, qi) in q_words.iter().enumerate() {
+                let out_row = s.row_mut(i);
+                for (j, kj) in k_words.iter().enumerate() {
+                    let overlap = if long {
+                        kernels.and_popcount(qi, kj) as u32
+                    } else {
+                        qi.iter()
+                            .zip(kj.iter())
+                            .map(|(a, b)| (a & b).count_ones())
+                            .sum()
+                    };
+                    if overlap > 0 {
+                        out_row[j] = overlap as f32;
+                    }
+                }
+            }
+            return s;
+        }
+
         for (i, q_row) in q_rows.iter().enumerate() {
             let out_row = s.row_mut(i);
             for (j, k_row) in k_rows.iter().enumerate() {
@@ -192,54 +301,61 @@ impl SpikingSelfAttention {
 
     /// Full forward pass of the SSA block.
     pub fn forward(&self, x: &SpikeTensor) -> SsaOutput {
+        self.forward_with(x, &ComputePool::sequential())
+    }
+
+    /// Pool-parallel [`SpikingSelfAttention::forward`].
+    ///
+    /// The score + select-accumulate stage fans out over *timesteps*: each
+    /// task computes every head's `S` matrix (ascending head order) and the
+    /// full concatenated head-output plane for its timestep. Heads write
+    /// disjoint feature columns and timesteps are independent before the
+    /// `O_temp` LIF stage, so any pool width produces bit-for-bit the same
+    /// activations as the sequential pass.
+    pub fn forward_with(&self, x: &SpikeTensor, pool: &ComputePool) -> SsaOutput {
         let shape = x.shape();
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+        let q = self.wq.forward_with(x, pool);
+        let k = self.wk.forward_with(x, pool);
+        let v = self.wv.forward_with(x, pool);
 
         let head_dim = shape.features / self.heads;
         let scale = 2.0_f32.powi(-(self.scale_shift as i32));
+        let heads = self.heads;
 
-        let mut scores: Vec<Vec<DenseMatrix>> = Vec::with_capacity(self.heads);
-        // Synaptic input to the O_temp LIF layer: concatenated head outputs.
-        let mut head_outputs: Vec<DenseMatrix> = (0..shape.timesteps)
-            .map(|_| DenseMatrix::zeros(shape.tokens, shape.features))
-            .collect();
-
-        for h in 0..self.heads {
-            let d0 = h * head_dim;
-            let d1 = d0 + head_dim;
-            let mut head_scores = Vec::with_capacity(shape.timesteps);
-            for (t, head_output) in head_outputs.iter_mut().enumerate() {
+        let per_timestep = pool.run(shape.timesteps, |t| {
+            // Synaptic input to the O_temp LIF layer: concatenated head
+            // outputs for this timestep.
+            let mut head_output = DenseMatrix::zeros(shape.tokens, shape.features);
+            let mut timestep_scores = Vec::with_capacity(heads);
+            for h in 0..heads {
+                let d0 = h * head_dim;
+                let d1 = d0 + head_dim;
                 // Q/K/V head sub-rows are zero-copy word views; no
                 // head_slice copies on the hot path.
                 let s = Self::attention_scores_in(&q, &k, t, d0, d1);
-                // Y[t] = (S · s) · V[t]  — V is binary, so this is a
-                // select-accumulate over the set bits of each V row.
-                for j in 0..shape.tokens {
-                    let v_row = v.row_feature_slice(t, j, d0, d1);
-                    if v_row.count_ones() == 0 {
-                        continue;
-                    }
-                    for i in 0..shape.tokens {
-                        let weight = s.get(i, j) * scale;
-                        if weight == 0.0 {
-                            continue;
-                        }
-                        for d in v_row.iter_set_bits() {
-                            head_output.add_assign(i, d0 + d, weight);
-                        }
-                    }
-                }
-                head_scores.push(s);
+                // Y[t] = (S · s) · V[t]  — V is binary, so this is the
+                // spike-masked select-accumulate kernel.
+                select_accumulate(&mut head_output, &s, scale, &v, t, d0, d1);
+                timestep_scores.push(s);
             }
-            scores.push(head_scores);
+            (timestep_scores, head_output)
+        });
+
+        let mut scores: Vec<Vec<DenseMatrix>> = (0..heads)
+            .map(|_| Vec::with_capacity(shape.timesteps))
+            .collect();
+        let mut head_outputs: Vec<DenseMatrix> = Vec::with_capacity(shape.timesteps);
+        for (timestep_scores, head_output) in per_timestep {
+            for (h, s) in timestep_scores.into_iter().enumerate() {
+                scores[h].push(s);
+            }
+            head_outputs.push(head_output);
         }
 
         // Eq. 7: LIF over the concatenated head outputs.
         let o_temp = lif_over_time(&head_outputs, self.wq.lif_config());
         // Eq. 8 + re-binarisation by the next stage's spike generator.
-        let output = self.wo.forward(&o_temp);
+        let output = self.wo.forward_with(&o_temp, pool);
 
         SsaOutput {
             q,

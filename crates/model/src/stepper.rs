@@ -21,8 +21,9 @@
 use bishop_neuron::LifLayer;
 use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
 
-use crate::projection::spike_matmul;
-use crate::ssa::SpikingSelfAttention;
+use crate::parallel::ComputePool;
+use crate::projection::{spike_matmul, spike_matmul_with};
+use crate::ssa::{select_accumulate, SpikingSelfAttention};
 use crate::transformer::SpikingTransformer;
 
 /// Exported LIF membrane state of one encoder block (one vector per spike
@@ -117,6 +118,7 @@ pub struct TransformerStepper<'a> {
     blocks: Vec<BlockLayers>,
     pooled_counts: Vec<u64>,
     timesteps_done: usize,
+    pool: ComputePool,
 }
 
 impl<'a> TransformerStepper<'a> {
@@ -165,7 +167,18 @@ impl<'a> TransformerStepper<'a> {
             blocks,
             pooled_counts: vec![0; config.features],
             timesteps_done: 0,
+            pool: ComputePool::sequential(),
         }
+    }
+
+    /// Attaches a compute pool: the Q/K/V integrations, the per-head
+    /// score/select stage, and the projection matmuls of each step fan out
+    /// across it. Stepping stays bit-for-bit identical to the sequential
+    /// stepper (and therefore to the full-tensor pass) at any pool width.
+    #[must_use]
+    pub fn with_pool(mut self, pool: ComputePool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Resumes a parked execution from an exported [`ModelState`].
@@ -247,49 +260,66 @@ impl<'a> TransformerStepper<'a> {
         for (block, layers) in self.model.blocks().iter().zip(self.blocks.iter_mut()) {
             let ssa = block.ssa();
             let mlp = block.mlp();
-            let q = step_lif(&mut layers.wq, &spike_matmul(&x, 0, ssa.wq().weight()));
-            let k = step_lif(&mut layers.wk, &spike_matmul(&x, 0, ssa.wk().weight()));
-            let v = step_lif(&mut layers.wv, &spike_matmul(&x, 0, ssa.wv().weight()));
+            // The three Q/K/V synaptic integrations read the same input and
+            // are independent, so they fan out as a triple; the LIF steps
+            // stay on the caller (they mutate per-layer membrane state).
+            let weights = [ssa.wq().weight(), ssa.wk().weight(), ssa.wv().weight()];
+            let mut qkv = self
+                .pool
+                .run(3, |i| spike_matmul(&x, 0, weights[i]))
+                .into_iter();
+            let q = step_lif(&mut layers.wq, &qkv.next().expect("three integrations"));
+            let k = step_lif(&mut layers.wk, &qkv.next().expect("three integrations"));
+            let v = step_lif(&mut layers.wv, &qkv.next().expect("three integrations"));
 
-            // One timestep of multi-head attention, accumulated in exactly
-            // the loop order of `SpikingSelfAttention::forward` (head, then
-            // key token, then query token, then feature) so the f32 sums
-            // match the full-tensor pass bit for bit.
+            // One timestep of multi-head attention via the shared
+            // score/select-accumulate kernels, accumulated in exactly the
+            // order of `SpikingSelfAttention::forward` so the f32 sums match
+            // the full-tensor pass bit for bit. Heads write disjoint feature
+            // columns, so the parallel path computes per-head planes and
+            // copies their exact bits into place.
             let head_dim = features / ssa.heads();
             let scale = 2.0_f32.powi(-(ssa.scale_shift() as i32));
             let mut head_output = DenseMatrix::zeros(tokens, features);
-            for h in 0..ssa.heads() {
-                let d0 = h * head_dim;
-                let d1 = d0 + head_dim;
-                let s = SpikingSelfAttention::attention_scores_in(&q, &k, 0, d0, d1);
-                for j in 0..tokens {
-                    let v_row = v.row_feature_slice(0, j, d0, d1);
-                    if v_row.count_ones() == 0 {
-                        continue;
-                    }
+            if self.pool.is_parallel() {
+                let partials = self.pool.run(ssa.heads(), |h| {
+                    let d0 = h * head_dim;
+                    let d1 = d0 + head_dim;
+                    let s = SpikingSelfAttention::attention_scores_in(&q, &k, 0, d0, d1);
+                    let mut partial = DenseMatrix::zeros(tokens, features);
+                    select_accumulate(&mut partial, &s, scale, &v, 0, d0, d1);
+                    partial
+                });
+                for (h, partial) in partials.iter().enumerate() {
+                    let d0 = h * head_dim;
+                    let d1 = d0 + head_dim;
                     for i in 0..tokens {
-                        let weight = s.get(i, j) * scale;
-                        if weight == 0.0 {
-                            continue;
-                        }
-                        for d in v_row.iter_set_bits() {
-                            head_output.add_assign(i, d0 + d, weight);
-                        }
+                        head_output.row_mut(i)[d0..d1].copy_from_slice(&partial.row(i)[d0..d1]);
                     }
+                }
+            } else {
+                for h in 0..ssa.heads() {
+                    let d0 = h * head_dim;
+                    let d1 = d0 + head_dim;
+                    let s = SpikingSelfAttention::attention_scores_in(&q, &k, 0, d0, d1);
+                    select_accumulate(&mut head_output, &s, scale, &v, 0, d0, d1);
                 }
             }
             let o_temp = step_lif(&mut layers.o_temp, &head_output);
-            let ssa_out = step_lif(&mut layers.wo, &spike_matmul(&o_temp, 0, ssa.wo().weight()));
+            let ssa_out = step_lif(
+                &mut layers.wo,
+                &spike_matmul_with(&o_temp, 0, ssa.wo().weight(), &self.pool),
+            );
             let mlp_input = x
                 .or(&ssa_out)
                 .expect("SSA output shape matches its input shape");
             let hidden = step_lif(
                 &mut layers.fc1,
-                &spike_matmul(&mlp_input, 0, mlp.fc1().weight()),
+                &spike_matmul_with(&mlp_input, 0, mlp.fc1().weight(), &self.pool),
             );
             let mlp_out = step_lif(
                 &mut layers.fc2,
-                &spike_matmul(&hidden, 0, mlp.fc2().weight()),
+                &spike_matmul_with(&hidden, 0, mlp.fc2().weight(), &self.pool),
             );
             x = mlp_input
                 .or(&mlp_out)

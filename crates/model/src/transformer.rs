@@ -7,6 +7,7 @@ use rand::Rng;
 
 use crate::config::ModelConfig;
 use crate::encoder::EncoderBlock;
+use crate::parallel::ComputePool;
 use crate::tokenizer::SpikingTokenizer;
 use crate::workload::{
     score_bits_for, AttentionWorkload, LayerKind, LayerWorkload, ModelWorkload, ProjectionWorkload,
@@ -120,6 +121,18 @@ impl SpikingTransformer {
     ///
     /// Panics if the patch matrix has the wrong number of tokens or features.
     pub fn infer(&self, patches: &DenseMatrix) -> InferenceResult {
+        self.infer_with(patches, &ComputePool::sequential())
+    }
+
+    /// Pool-parallel [`SpikingTransformer::infer`]: the per-layer compute
+    /// (projection timesteps, attention score/select timesteps, MLP
+    /// timesteps) fans out across the pool while the layer-to-layer dataflow
+    /// stays sequential. Bit-for-bit identical to `infer` at any pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch matrix has the wrong number of tokens or features.
+    pub fn infer_with(&self, patches: &DenseMatrix, pool: &ComputePool) -> InferenceResult {
         assert_eq!(
             patches.rows(),
             self.config.tokens,
@@ -141,7 +154,7 @@ impl SpikingTransformer {
                 weight_bits: self.config.weight_bits,
             }));
 
-            let out = block.forward(&x);
+            let out = block.forward_with(&x, pool);
 
             workload.push(LayerWorkload::Attention(AttentionWorkload {
                 block: block_index,

@@ -3,7 +3,10 @@
 //! scalar `*_reference` implementations, including on feature widths that
 //! are not a multiple of 64.
 
-use bishop_model::{spike_matmul, spike_matmul_reference, SpikingSelfAttention};
+use bishop_model::{
+    select_accumulate, select_accumulate_reference, spike_matmul, spike_matmul_reference,
+    SpikingSelfAttention,
+};
 use bishop_spiketensor::{DenseMatrix, SpikeTensor, TensorShape};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -83,6 +86,34 @@ proptest! {
             // weights in the same order, so the floats are identical.
             prop_assert_eq!(word, scalar);
         }
+    }
+
+    #[test]
+    fn select_accumulate_matches_reference(
+        n in 1usize..8,
+        d_index in 0usize..6,
+        head_dim in 1usize..33,
+        density in 0.0f64..0.8,
+        scale_raw in -4.0f32..4.0,
+        seed in any::<u64>(),
+    ) {
+        // The masked-add path of the dispatch table, driven through the SSA
+        // S·V accumulation on a head column window [d0, d1) of a wider value
+        // tensor — exactly the slice geometry the parallel stepper uses.
+        const FEATURES: [usize; 6] = [1, 17, 63, 64, 65, 130];
+        let d_lo = FEATURES[d_index % FEATURES.len()];
+        let features = d_lo.max(head_dim);
+        let d0 = features - head_dim.min(features);
+        let shape = TensorShape::new(1, n, features);
+        let v = random_tensor(shape, density, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xACC);
+        let s = DenseMatrix::random_uniform(n, n, 1.0, &mut rng);
+        let base = DenseMatrix::random_uniform(n, features, 1.0, &mut rng);
+        let mut word = base.clone();
+        let mut scalar = base.clone();
+        select_accumulate(&mut word, &s, scale_raw, &v, 0, d0, features);
+        select_accumulate_reference(&mut scalar, &s, scale_raw, &v, 0, d0, features);
+        prop_assert_eq!(word, scalar);
     }
 }
 

@@ -1,0 +1,107 @@
+//! Pool-parallelism bit-identity: running the model with an intra-batch
+//! [`ComputePool`] of any width must produce exactly the results of the
+//! sequential pass — logits to the last bit, spike tensors word for word,
+//! and exported LIF membrane state float for float. This is the contract
+//! that lets the native engine fan one batch across cores without giving
+//! up the serving stack's determinism guarantees.
+
+use bishop_model::{ComputePool, DatasetKind, ModelConfig, SpikingTransformer, TransformerStepper};
+use bishop_spiketensor::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_and_patches(seed: u64) -> (SpikingTransformer, DenseMatrix) {
+    // Timesteps (5) exceeding small pool widths, unaligned token count,
+    // two blocks, four heads: every fan-out axis gets ragged chunks.
+    let config = ModelConfig::new("pool-identity", DatasetKind::Cifar10, 2, 5, 7, 32, 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = SpikingTransformer::random(&config, 24, 10, &mut rng);
+    let patches = DenseMatrix::random_uniform(config.tokens, 24, 1.0, &mut rng);
+    (model, patches)
+}
+
+fn logits_bits(logits: &[f32]) -> Vec<u32> {
+    logits.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn infer_with_pool_is_bit_identical_to_sequential() {
+    let (model, patches) = model_and_patches(71);
+    let sequential = model.infer(&patches);
+    for width in [2, 3, 8, 0] {
+        let pool = ComputePool::new(width);
+        let parallel = model.infer_with(&patches, &pool);
+        assert_eq!(
+            logits_bits(&parallel.logits),
+            logits_bits(&sequential.logits),
+            "logits diverged at pool width {}",
+            pool.width()
+        );
+        assert_eq!(parallel.prediction, sequential.prediction);
+        assert_eq!(parallel.final_spikes, sequential.final_spikes);
+        // The captured workload embeds every intermediate spike tensor
+        // (Q/K/V, O_temp, MLP activations) — equality here pins the whole
+        // activation trace, not just the classifier readout.
+        assert_eq!(parallel.workload, sequential.workload);
+    }
+}
+
+#[test]
+fn stepper_with_pool_matches_sequential_stepper_and_full_inference() {
+    let (model, patches) = model_and_patches(72);
+    let timesteps = model.config().timesteps;
+    let reference = model.infer(&patches);
+
+    let mut sequential = TransformerStepper::new(&model, &patches);
+    for _ in 0..timesteps {
+        sequential.step();
+    }
+
+    for width in [2, 3, 8] {
+        let mut pooled =
+            TransformerStepper::new(&model, &patches).with_pool(ComputePool::new(width));
+        for _ in 0..timesteps {
+            pooled.step();
+        }
+        // Exported membranes are the strictest comparison: every LIF
+        // potential of every layer after every step, bit for bit.
+        assert_eq!(
+            pooled.export(),
+            sequential.export(),
+            "membrane state diverged at pool width {width}"
+        );
+        assert_eq!(
+            logits_bits(&pooled.finish().logits),
+            logits_bits(&reference.logits),
+            "stepper logits diverged from full inference at pool width {width}"
+        );
+    }
+}
+
+#[test]
+fn pooled_stepper_resume_split_stays_lockstep() {
+    let (model, patches) = model_and_patches(73);
+    let timesteps = model.config().timesteps;
+
+    let mut single = TransformerStepper::new(&model, &patches);
+    for _ in 0..timesteps {
+        single.step();
+    }
+
+    // A session stepped partly sequentially and resumed under a pool (the
+    // worker it migrates to may have a different pool width) must land on
+    // the same state.
+    let mut first = TransformerStepper::new(&model, &patches);
+    first.step();
+    let parked = first.export();
+    let mut second =
+        TransformerStepper::resume(&model, &patches, parked).with_pool(ComputePool::new(4));
+    for _ in 1..timesteps {
+        second.step();
+    }
+    assert_eq!(second.export(), single.export());
+    assert_eq!(
+        logits_bits(&second.finish().logits),
+        logits_bits(&single.finish().logits)
+    );
+}

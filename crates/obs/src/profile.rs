@@ -113,8 +113,9 @@ impl WorkerProfiler {
     }
 
     /// Registers one thread's stage slot, starting Idle. `kind` separates
-    /// thread roles under one engine (`"worker"` / `"batcher"`), so an
-    /// idle batcher can't dilute the workers' execute share.
+    /// thread roles under one engine (`"worker"` / `"batcher"` /
+    /// `"compute"` for intra-batch pool lanes), so an idle batcher can't
+    /// dilute the workers' execute share.
     pub fn register(&self, engine: &str, kind: &'static str) -> Arc<StageSlot> {
         let slot = Arc::new(StageSlot::default());
         self.slots
@@ -214,7 +215,8 @@ impl WorkerProfiler {
 pub struct ProfileEntry {
     /// Engine the thread serves (`"shared"` in a non-isolated domain).
     pub engine: String,
-    /// Thread role: `"worker"` or `"batcher"`.
+    /// Thread role: `"worker"`, `"batcher"`, or `"compute"` (an
+    /// intra-batch compute-pool lane).
     pub kind: &'static str,
     /// Stage label.
     pub stage: &'static str,

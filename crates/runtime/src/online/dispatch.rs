@@ -205,6 +205,7 @@ mod tests {
             max_folded_timesteps: None,
             supports_streaming: false,
             seed_drain_ops_per_second: seed_rate,
+            simd_tier: None,
             description: "test",
         };
         let (tx, _rx) = mpsc::sync_channel(1);

@@ -16,7 +16,10 @@
 //! machinery in `bishop-bundle` builds on. The [`words`] module exposes the
 //! word-parallel kernel layer (zero-copy [`RowBits`] row views, AND+popcount
 //! [`RowBits::dot`], `trailing_zeros`-driven set-bit iteration) that the
-//! model and accelerator hot paths run on.
+//! model and accelerator hot paths run on, and [`words::simd`] pushes below
+//! it with runtime-dispatched AVX2 / AVX-512 / NEON kernels selected once
+//! per process into a [`simd::KernelDispatch`](words::simd::KernelDispatch)
+//! table (scalar word fallback everywhere else).
 //!
 //! ```
 //! use bishop_spiketensor::{SpikeTensor, TensorShape};
@@ -28,7 +31,11 @@
 //! assert!(spikes.get(0, 3, 7));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `words::simd` module is the single,
+// explicitly-allowed exception — runtime-detected SIMD intrinsics with the
+// safety argument documented at the module head. Everything else in the
+// crate (and the rest of the workspace) remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dense;
@@ -45,4 +52,5 @@ pub use generate::{SpikeTraceGenerator, TraceProfile};
 pub use shape::TensorShape;
 pub use stats::{DensitySummary, FeatureDensity};
 pub use tensor::SpikeTensor;
+pub use words::simd::{KernelDispatch, SimdTier};
 pub use words::{RowBits, SetBits};

@@ -1,6 +1,6 @@
 //! Bit-packed binary spike tensor.
 
-use crate::words::RowBits;
+use crate::words::{simd, RowBits};
 use crate::{ShapeError, TensorShape};
 
 /// A binary spiking activation tensor of shape `T × N × D`, bit-packed 64
@@ -60,6 +60,7 @@ impl SpikeTensor {
             *word = u64::MAX;
         }
         tensor.clear_tail();
+        tensor.debug_assert_tail_invariant();
         tensor
     }
 
@@ -99,7 +100,9 @@ impl SpikeTensor {
         if filled > 0 {
             words.push(word);
         }
-        Self { shape, words }
+        let tensor = Self { shape, words };
+        tensor.debug_assert_tail_invariant();
+        tensor
     }
 
     /// The tensor's shape.
@@ -132,6 +135,7 @@ impl SpikeTensor {
         } else {
             *word &= !(1 << (idx % 64));
         }
+        self.debug_assert_tail_invariant();
     }
 
     /// The packed word storage. Bits beyond `shape().len()` in the final
@@ -176,9 +180,10 @@ impl SpikeTensor {
         self.row_words(t, n).slice(d_start, d_end)
     }
 
-    /// Number of active spikes in the whole tensor.
+    /// Number of active spikes in the whole tensor. Runs on the active SIMD
+    /// popcount tier — exact without masking thanks to the tail invariant.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        simd::active().popcount(&self.words) as usize
     }
 
     /// Fraction of positions that fired, in `[0, 1]`.
@@ -325,10 +330,12 @@ impl SpikeTensor {
             .zip(&other.words)
             .map(|(a, b)| a & b)
             .collect();
-        Ok(SpikeTensor {
+        let result = SpikeTensor {
             shape: self.shape,
             words,
-        })
+        };
+        result.debug_assert_tail_invariant();
+        Ok(result)
     }
 
     /// Elementwise logical OR of two tensors of identical shape.
@@ -346,10 +353,12 @@ impl SpikeTensor {
             .zip(&other.words)
             .map(|(a, b)| a | b)
             .collect();
-        Ok(SpikeTensor {
+        let result = SpikeTensor {
             shape: self.shape,
             words,
-        })
+        };
+        result.debug_assert_tail_invariant();
+        Ok(result)
     }
 
     /// Returns a copy restricted to the given feature columns (all other
@@ -375,6 +384,7 @@ impl SpikeTensor {
                 });
             }
         }
+        result.debug_assert_tail_invariant();
         result
     }
 
@@ -401,6 +411,7 @@ impl SpikeTensor {
                 });
             }
         }
+        result.debug_assert_tail_invariant();
         result
     }
 
@@ -465,6 +476,7 @@ impl SpikeTensor {
             };
             self.words[w] &= !mask;
         }
+        self.debug_assert_tail_invariant();
     }
 
     /// Overwrites the feature row of `(t, n)` from logical 64-bit source
@@ -492,6 +504,7 @@ impl SpikeTensor {
                 value & ((1u64 << remaining) - 1)
             }
         });
+        self.debug_assert_tail_invariant();
     }
 
     /// Size in bytes of the packed representation (what the accelerator would
@@ -509,6 +522,31 @@ impl SpikeTensor {
             if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << last_bits) - 1;
             }
+        }
+    }
+
+    /// Debug check of the documented tail invariant: bits at linear indices
+    /// `>= len()` in the final word are zero. Every mutation site asserts
+    /// this so SIMD tail-handling bugs fail loudly in debug builds instead
+    /// of silently corrupting bulk word kernels.
+    #[inline]
+    fn debug_assert_tail_invariant(&self) {
+        debug_assert!(
+            self.tail_is_zero(),
+            "tail invariant violated: bits beyond len() set in final word of shape {}",
+            self.shape
+        );
+    }
+
+    /// Whether the tail invariant currently holds.
+    fn tail_is_zero(&self) -> bool {
+        let last_bits = self.shape.len() % 64;
+        if last_bits == 0 {
+            return true;
+        }
+        match self.words.last() {
+            Some(&last) => last & !((1u64 << last_bits) - 1) == 0,
+            None => true,
         }
     }
 }

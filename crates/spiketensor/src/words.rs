@@ -23,6 +23,14 @@
 //! must be bit-for-bit identical to the scalar path on every input,
 //! including rows that straddle word boundaries and tensors whose total
 //! length is not a multiple of 64.
+//!
+//! Below the word layer sits [`simd`]: runtime-dispatched AVX2 / AVX-512 /
+//! NEON kernels selected once per process. Word-aligned kernels here route
+//! through the active [`simd::KernelDispatch`] table when the operand is
+//! long enough ([`simd::DISPATCH_MIN_WORDS`]) for the indirect call to pay
+//! for itself; shorter rows keep the inlined scalar word loop.
+
+pub mod simd;
 
 /// A zero-copy view of a contiguous bit range of a
 /// [`SpikeTensor`](crate::SpikeTensor)'s packed words — typically the
@@ -145,8 +153,28 @@ impl<'a> RowBits<'a> {
         RowBits::new(self.words, self.offset as usize + start, end - start)
     }
 
-    /// Number of set bits in the view, counted word-wise.
+    /// The view's packed physical words, if the view is exactly
+    /// word-aligned (starts on a word boundary and covers a whole number
+    /// of words). Lets batch kernels that pair many rows against each
+    /// other (attention scores) run straight over the raw words instead
+    /// of paying the logical-word assembly per pair; `None` means the
+    /// caller must go through [`RowBits::word`].
+    #[inline]
+    pub fn aligned_words(&self) -> Option<&'a [u64]> {
+        (self.offset == 0 && self.len.is_multiple_of(64)).then(|| &self.words[..self.len / 64])
+    }
+
+    /// Number of set bits in the view, counted word-wise. Long aligned
+    /// views take the SIMD popcount over whole physical words.
     pub fn count_ones(&self) -> usize {
+        if self.offset == 0 && self.len / 64 >= simd::DISPATCH_MIN_WORDS {
+            let full = self.len / 64;
+            let mut acc = simd::active().popcount(&self.words[..full]) as usize;
+            if !self.len.is_multiple_of(64) {
+                acc += self.word(full).count_ones() as usize;
+            }
+            return acc;
+        }
         (0..self.word_count())
             .map(|i| self.word(i).count_ones() as usize)
             .sum()
@@ -169,13 +197,18 @@ impl<'a> RowBits<'a> {
         if self.offset == 0 && other.offset == 0 {
             // Aligned fast path: AND whole physical words; only a final
             // partial word (which may hold the next row's bits) needs the
-            // masked logical read.
+            // masked logical read. Long rows go through the SIMD dispatch
+            // table; short ones (a D=128 row is two words) stay inline.
             let full = self.len / 64;
-            let mut acc: u32 = self.words[..full]
-                .iter()
-                .zip(&other.words[..full])
-                .map(|(a, b)| (a & b).count_ones())
-                .sum();
+            let mut acc: u32 = if full >= simd::DISPATCH_MIN_WORDS {
+                simd::active().and_popcount(&self.words[..full], &other.words[..full]) as u32
+            } else {
+                self.words[..full]
+                    .iter()
+                    .zip(&other.words[..full])
+                    .map(|(a, b)| (a & b).count_ones())
+                    .sum()
+            };
             if !self.len.is_multiple_of(64) {
                 acc += (self.word(full) & other.word(full)).count_ones();
             }

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 /// Random shape whose feature axis deliberately covers unaligned widths
 /// (1, 63, 65, 100 …) as well as aligned ones (64, 128).
 fn shape_from(t: usize, n: usize, d_index: usize) -> TensorShape {
-    const FEATURES: [usize; 8] = [1, 3, 63, 64, 65, 100, 128, 130];
+    const FEATURES: [usize; 10] = [1, 3, 63, 64, 65, 100, 128, 130, 256, 320];
     TensorShape::new(t, n, FEATURES[d_index % FEATURES.len()])
 }
 
@@ -29,7 +29,7 @@ proptest! {
     fn dot_matches_reference(
         t in 1usize..4,
         n in 1usize..6,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.0f64..0.6,
         seed in any::<u64>(),
     ) {
@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn masked_subrow_dot_matches_reference(
         n in 1usize..6,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.05f64..0.7,
         split in 0.0f64..1.0,
         seed in any::<u64>(),
@@ -74,7 +74,7 @@ proptest! {
     fn set_bit_iteration_matches_scalar_scan(
         t in 1usize..4,
         n in 1usize..6,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.0f64..1.0,
         seed in any::<u64>(),
     ) {
@@ -97,7 +97,7 @@ proptest! {
     fn region_popcount_matches_reference(
         t in 1usize..5,
         n in 1usize..8,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.0f64..0.8,
         seed in any::<u64>(),
         t0 in 0usize..4,
@@ -121,7 +121,7 @@ proptest! {
     fn from_fn_matches_per_bit_set_construction(
         t in 1usize..4,
         n in 1usize..6,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.0f64..1.0,
         seed in any::<u64>(),
     ) {
@@ -146,7 +146,7 @@ proptest! {
     fn row_round_trips_through_set_row_words(
         t in 1usize..4,
         n in 1usize..6,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.0f64..1.0,
         seed in any::<u64>(),
     ) {
@@ -181,7 +181,7 @@ proptest! {
     fn counts_and_slices_match_scalar_paths(
         t in 1usize..4,
         n in 1usize..6,
-        d_index in 0usize..8,
+        d_index in 0usize..10,
         density in 0.0f64..0.8,
         seed in any::<u64>(),
     ) {

@@ -1,0 +1,242 @@
+//! Per-tier SIMD differential suite: every kernel of every SIMD tier the
+//! executing host supports must be bit-for-bit identical to the scalar
+//! reference tier — on unaligned lengths, partial tail words, empty rows,
+//! and f32 payloads that include negative zeros and denormals.
+//!
+//! Tiers the host cannot run are skipped (with a log line, so CI output
+//! records which paths were actually exercised); the scalar tier is always
+//! available, so the suite never silently degenerates to zero comparisons.
+
+use bishop_spiketensor::words::simd::{self, SimdTier};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The tiers to differentially test: everything the host supports beyond
+/// the scalar reference itself.
+fn tiers_under_test() -> Vec<SimdTier> {
+    SimdTier::available()
+        .into_iter()
+        .filter(|&tier| tier != SimdTier::Scalar)
+        .collect()
+}
+
+fn scalar() -> &'static simd::KernelDispatch {
+    simd::kernels_for(SimdTier::Scalar).expect("scalar tier is always available")
+}
+
+/// Word-vector lengths covering empty input, sub-threshold rows, the
+/// dispatch threshold itself, full SIMD vectors (4/8 words) and ragged
+/// remainders beyond them.
+const WORD_LENGTHS: [usize; 9] = [0, 1, 3, 4, 5, 8, 11, 16, 33];
+
+fn random_words(len: usize, density: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let mut word = 0u64;
+            for bit in 0..64 {
+                if rng.gen_bool(density) {
+                    word |= 1 << bit;
+                }
+            }
+            word
+        })
+        .collect()
+}
+
+/// A masked-kernel bit vector for a row of `len` lanes: `len.div_ceil(64)`
+/// words with the tail-zero invariant upheld.
+fn random_mask(len: usize, density: f64, seed: u64) -> Vec<u64> {
+    let mut bits = random_words(len.div_ceil(64), density, seed);
+    if !len.is_multiple_of(64) {
+        if let Some(last) = bits.last_mut() {
+            *last &= (1u64 << (len % 64)) - 1;
+        }
+    }
+    bits
+}
+
+/// Random f32 payload including sign flips, negative zero and denormals —
+/// the values whose bit patterns an unfaithful kernel corrupts first.
+fn random_f32s(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.gen_range(0..10) {
+            0 => -0.0,
+            1 => 0.0,
+            2 => f32::MIN_POSITIVE / 2.0, // denormal
+            3 => -f32::MIN_POSITIVE / 2.0,
+            _ => rng.gen_range(-1.0e3_f32..1.0e3),
+        })
+        .collect()
+}
+
+fn bits_of(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn host_tier_coverage_is_logged() {
+    let available = SimdTier::available();
+    assert_eq!(available.first(), Some(&SimdTier::Scalar));
+    for tier in [
+        SimdTier::Scalar,
+        SimdTier::Neon,
+        SimdTier::Avx2,
+        SimdTier::Avx512,
+    ] {
+        if tier.is_available() {
+            println!("simd_differential: exercising tier `{}`", tier.label());
+            assert!(simd::kernels_for(tier).is_some());
+        } else {
+            println!(
+                "simd_differential: tier `{}` unavailable on this host, skipped",
+                tier.label()
+            );
+            assert!(simd::kernels_for(tier).is_none());
+        }
+    }
+    // The active table is the widest available tier.
+    assert_eq!(
+        simd::active().tier(),
+        *available.last().expect("scalar is always present")
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn popcount_matches_scalar_on_every_tier(
+        len_index in 0usize..WORD_LENGTHS.len(),
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let words = random_words(WORD_LENGTHS[len_index], density, seed);
+        let expected = scalar().popcount(&words);
+        for tier in tiers_under_test() {
+            let kernels = simd::kernels_for(tier).expect("tier listed as available");
+            prop_assert!(
+                kernels.popcount(&words) == expected,
+                "popcount diverged on tier {}", tier.label()
+            );
+        }
+    }
+
+    #[test]
+    fn and_popcount_matches_scalar_on_every_tier(
+        len_index in 0usize..WORD_LENGTHS.len(),
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let len = WORD_LENGTHS[len_index];
+        let a = random_words(len, density, seed);
+        let b = random_words(len, 1.0 - density * 0.5, seed ^ 0xBEEF);
+        let expected = scalar().and_popcount(&a, &b);
+        for tier in tiers_under_test() {
+            let kernels = simd::kernels_for(tier).expect("tier listed as available");
+            prop_assert!(
+                kernels.and_popcount(&a, &b) == expected,
+                "and_popcount diverged on tier {}", tier.label()
+            );
+        }
+    }
+
+    #[test]
+    fn add_assign_is_bitwise_identical_on_every_tier(
+        len in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let src = random_f32s(len, seed);
+        let dst = random_f32s(len, seed ^ 0xD15EA5E);
+        let mut expected = dst.clone();
+        scalar().add_assign(&mut expected, &src);
+        for tier in tiers_under_test() {
+            let kernels = simd::kernels_for(tier).expect("tier listed as available");
+            let mut got = dst.clone();
+            kernels.add_assign(&mut got, &src);
+            prop_assert!(
+                bits_of(&got) == bits_of(&expected),
+                "add_assign diverged on tier {}", tier.label()
+            );
+        }
+    }
+
+    #[test]
+    fn masked_add_is_bitwise_identical_on_every_tier(
+        len in 0usize..300,
+        density in 0.0f64..1.0,
+        weight_sel in 0usize..4,
+        weight_raw in -10.0f32..10.0,
+        seed in any::<u64>(),
+    ) {
+        let weight = match weight_sel {
+            0 => 0.25,
+            1 => -1.5,
+            2 => -0.0,
+            _ => weight_raw,
+        };
+        let bits = random_mask(len, density, seed);
+        let dst = random_f32s(len, seed ^ 0xCAFE);
+        let mut expected = dst.clone();
+        scalar().masked_add(&mut expected, &bits, weight);
+        // Scalar blend semantics: unset lanes keep their exact bits.
+        for d in 0..len {
+            if bits[d / 64] & (1 << (d % 64)) == 0 {
+                prop_assert_eq!(expected[d].to_bits(), dst[d].to_bits());
+            }
+        }
+        for tier in tiers_under_test() {
+            let kernels = simd::kernels_for(tier).expect("tier listed as available");
+            let mut got = dst.clone();
+            kernels.masked_add(&mut got, &bits, weight);
+            prop_assert!(
+                bits_of(&got) == bits_of(&expected),
+                "masked_add diverged on tier {}", tier.label()
+            );
+        }
+    }
+
+    #[test]
+    fn masked_inc_matches_scalar_on_every_tier(
+        len in 0usize..300,
+        density in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let bits = random_mask(len, density, seed);
+        let dst: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
+            (0..len).map(|_| rng.gen_range(0..1000)).collect()
+        };
+        let mut expected = dst.clone();
+        scalar().masked_inc(&mut expected, &bits);
+        for tier in tiers_under_test() {
+            let kernels = simd::kernels_for(tier).expect("tier listed as available");
+            let mut got = dst.clone();
+            kernels.masked_inc(&mut got, &bits);
+            prop_assert!(
+                got == expected,
+                "masked_inc diverged on tier {}", tier.label()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_all_zero_rows_are_neutral_on_every_tier(
+        len_index in 0usize..WORD_LENGTHS.len(),
+    ) {
+        let zeros = vec![0u64; WORD_LENGTHS[len_index]];
+        for tier in SimdTier::available() {
+            let kernels = simd::kernels_for(tier).expect("tier listed as available");
+            prop_assert_eq!(kernels.popcount(&zeros), 0);
+            prop_assert_eq!(kernels.and_popcount(&zeros, &zeros), 0);
+            prop_assert_eq!(kernels.popcount(&[]), 0);
+            let mut empty_f32: [f32; 0] = [];
+            kernels.add_assign(&mut empty_f32, &[]);
+            kernels.masked_add(&mut empty_f32, &[], 1.0);
+            let mut empty_u32: [u32; 0] = [];
+            kernels.masked_inc(&mut empty_u32, &[]);
+        }
+    }
+}
